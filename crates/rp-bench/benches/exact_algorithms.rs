@@ -1,0 +1,52 @@
+//! Benchmarks of the exact solvers (Table 1's positive results):
+//!
+//! * the paper's polynomial algorithm for Multiple/homogeneous
+//!   (Section 4.1), scaled well past the experiment sizes to show its
+//!   asymptotic behaviour;
+//! * the exhaustive oracle and the exact ILP on small instances, to
+//!   document the cost of exactness on the NP-complete variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::bench_instance;
+use rp_core::exact::{solve_exhaustive, solve_multiple_homogeneous};
+use rp_core::ilp::solve_exact_ilp;
+use rp_core::Policy;
+use rp_workloads::platform::PlatformKind;
+
+fn bench_multiple_homogeneous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_multiple_homogeneous");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [50usize, 200, 800, 3200] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_homogeneous(), 77);
+        group.bench_with_input(BenchmarkId::new("three_pass", size), &problem, |b, p| {
+            b.iter(|| solve_multiple_homogeneous(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_exact_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_small_instances");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let problem = bench_instance(16, 0.5, PlatformKind::default_heterogeneous(), 9);
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", policy.name()),
+            &problem,
+            |b, p| b.iter(|| solve_exhaustive(p, policy)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ilp", policy.name()),
+            &problem,
+            |b, p| b.iter(|| solve_exact_ilp(p, policy)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiple_homogeneous, bench_small_exact_solvers);
+criterion_main!(benches);

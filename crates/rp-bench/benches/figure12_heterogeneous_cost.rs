@@ -1,0 +1,32 @@
+//! Figure 12 — heterogeneous platforms, relative cost per λ.
+//!
+//! The benchmark times a scaled-down version of the sweep that
+//! regenerates the figure (the full-size series is produced by
+//! `cargo run --release -p rp-bench --bin reproduce -- fig12`), and
+//! prints the resulting table once so the series is visible in the
+//! benchmark log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rp_bench::mini_figure_config;
+use rp_experiments::figures::{reproduce_figure_with, FigureId};
+
+fn bench_sweep(c: &mut Criterion) {
+    let figure = FigureId::Fig12HeterogeneousCost;
+    let config = mini_figure_config(figure);
+
+    // Print the series once, outside the measurement loop.
+    let report = reproduce_figure_with(figure, &config);
+    println!("\n{}\n", report.to_markdown());
+
+    let mut group = c.benchmark_group("figure12");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("heterogeneous_cost_sweep", |b| {
+        b.iter(|| reproduce_figure_with(figure, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

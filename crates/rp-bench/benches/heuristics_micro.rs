@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the eight heuristics (plus MixedBest) on fixed
+//! trees of increasing problem size, homogeneous and heterogeneous.
+//!
+//! The paper argues all heuristics are worst-case quadratic in the
+//! problem size `s = |C| + |N|`; these benchmarks make the constant
+//! factors and the actual scaling visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::{bench_instance, MICRO_SIZES};
+use rp_core::Heuristic;
+use rp_workloads::platform::PlatformKind;
+
+fn bench_heuristics(c: &mut Criterion) {
+    for (platform, platform_name) in [
+        (PlatformKind::default_homogeneous(), "homogeneous"),
+        (PlatformKind::default_heterogeneous(), "heterogeneous"),
+    ] {
+        let mut group = c.benchmark_group(format!("heuristics_{platform_name}"));
+        group.sample_size(20);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for &size in &MICRO_SIZES {
+            let problem = bench_instance(size, 0.5, platform, 1234 + size as u64);
+            for heuristic in Heuristic::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(heuristic.full_name(), size),
+                    &problem,
+                    |b, problem| b.iter(|| heuristic.run(problem)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

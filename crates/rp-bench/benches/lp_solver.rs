@@ -1,0 +1,58 @@
+//! Benchmarks of the LP-based lower bounds (Section 7.1): the fully
+//! rational relaxation versus the mixed bound (integral `x_j`), across
+//! problem sizes. The paper computed these with GLPK; this documents
+//! what the bundled simplex/branch-and-bound substitute costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_bench::bench_instance;
+use rp_core::ilp::{build_model, lower_bound, lower_bound_with, BoundKind, IlpOptions, Integrality};
+use rp_core::Policy;
+use rp_lp::{solve_lp, BranchBoundOptions};
+use rp_workloads::platform::PlatformKind;
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_lower_bounds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // Cap the branch-and-bound effort for the mixed bound so one bench
+    // iteration stays bounded; the bound remains valid when truncated.
+    let capped = IlpOptions {
+        branch_bound: BranchBoundOptions {
+            max_nodes: 100,
+            ..BranchBoundOptions::default()
+        },
+    };
+    for size in [20usize, 40, 80] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_heterogeneous(), 31);
+        group.bench_with_input(BenchmarkId::new("rational", size), &problem, |b, p| {
+            b.iter(|| lower_bound(p, BoundKind::Rational))
+        });
+        if size <= 40 {
+            group.bench_with_input(BenchmarkId::new("mixed_capped", size), &problem, |b, p| {
+                b.iter(|| lower_bound_with(p, BoundKind::Mixed, &capped))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_simplex_on_formulations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_multiple_relaxation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [20usize, 40, 80, 120] {
+        let problem = bench_instance(size, 0.5, PlatformKind::default_homogeneous(), 57);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        group.bench_with_input(
+            BenchmarkId::new("solve_lp", size),
+            &formulation.model,
+            |b, model| b.iter(|| solve_lp(model)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds, bench_simplex_on_formulations);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The policy-separation constructions of Section 3 (Figures 2 and 3):
+//! how quickly the exact solvers and the heuristics handle the
+//! adversarial instances, as the gap parameter `n` grows.
+//!
+//! These are the instances where Upwards beats Closest by an unbounded
+//! factor (Figure 2) and Multiple approaches a factor 2 over Upwards
+//! (Figure 3); the printed costs document the gap itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_core::exact::{optimal_cost, solve_multiple_homogeneous};
+use rp_core::Heuristic;
+use rp_workloads::paper_examples::{figure2, figure3};
+
+fn bench_figure2(c: &mut Criterion) {
+    // Print the gap table once: Upwards stays at 3 replicas, Closest
+    // needs n + 2.
+    println!("\nFigure 2 gap (exact costs):");
+    for n in [2u64, 3] {
+        let p = figure2(n);
+        println!(
+            "  n = {n}: Closest = {:?}, Upwards = {:?}",
+            optimal_cost(&p, rp_core::Policy::Closest),
+            optimal_cost(&p, rp_core::Policy::Upwards),
+        );
+    }
+
+    let mut group = c.benchmark_group("figure2_construction");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [2u64, 4, 8, 16] {
+        let p = figure2(n);
+        group.bench_with_input(BenchmarkId::new("ubcf", n), &p, |b, p| {
+            b.iter(|| Heuristic::Ubcf.run(p))
+        });
+        group.bench_with_input(BenchmarkId::new("cbu", n), &p, |b, p| {
+            b.iter(|| Heuristic::Cbu.run(p))
+        });
+        group.bench_with_input(BenchmarkId::new("mixed_best", n), &p, |b, p| {
+            b.iter(|| Heuristic::MixedBest.run(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    println!("\nFigure 3 gap (Multiple optimum = n + 1):");
+    for n in [2u64, 3] {
+        let p = figure3(n);
+        let multiple = solve_multiple_homogeneous(&p)
+            .into_placement()
+            .map(|pl| pl.num_replicas());
+        println!(
+            "  n = {n}: Multiple = {:?}, Upwards = {:?}",
+            multiple,
+            optimal_cost(&p, rp_core::Policy::Upwards),
+        );
+    }
+
+    let mut group = c.benchmark_group("figure3_construction");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [2u64, 8, 32, 128] {
+        let p = figure3(n);
+        group.bench_with_input(
+            BenchmarkId::new("optimal_multiple", n),
+            &p,
+            |b, p| b.iter(|| solve_multiple_homogeneous(p)),
+        );
+        group.bench_with_input(BenchmarkId::new("mg", n), &p, |b, p| {
+            b.iter(|| Heuristic::Mg.run(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs the ablation studies (policy families, bound tightness, tree
+//! shapes) and prints their tables as markdown.
+//!
+//! ```text
+//! cargo run --release -p rp-bench --bin ablations            # default (reduced) configuration
+//! cargo run --release -p rp-bench --bin ablations -- --full  # the figure-sized sweep
+//! ```
+
+use rp_experiments::ablations::{
+    bound_tightness_ablation, policy_family_ablation, tree_shape_ablation,
+};
+use rp_experiments::runner::{run_sweep, ExperimentConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    let base = if full {
+        ExperimentConfig::homogeneous()
+    } else {
+        ExperimentConfig {
+            trees_per_lambda: 10,
+            size_range: (15, 60),
+            ..ExperimentConfig::homogeneous()
+        }
+    };
+
+    eprintln!(
+        "running ablations ({} trees per λ, sizes {}..={}) ...",
+        base.trees_per_lambda, base.size_range.0, base.size_range.1
+    );
+
+    println!("## Policy-family ablation (relative cost of the best heuristic per family)\n");
+    let results = run_sweep(&base);
+    println!("{}", policy_family_ablation(&results).to_markdown());
+
+    println!("## Lower-bound tightness (rational / mixed, same instances)\n");
+    let bound_config = ExperimentConfig {
+        size_range: (15, 40),
+        ..base.clone()
+    };
+    let bound_trees = if full { 10 } else { 4 };
+    println!(
+        "{}",
+        bound_tightness_ablation(&bound_config, bound_trees).to_markdown()
+    );
+
+    println!("## Tree-shape ablation (λ = 0.5)\n");
+    println!("{}", tree_shape_ablation(&base, 0.5).to_markdown());
+}

@@ -1,0 +1,181 @@
+//! Regenerates the data series behind every reproduced figure of the
+//! paper (Figures 9–12 plus the QoS extension sweep).
+//!
+//! ```text
+//! # the full default sweeps (30 trees per λ, sizes 15..=100):
+//! cargo run --release -p rp-bench --bin reproduce -- all
+//!
+//! # one figure, smaller and faster:
+//! cargo run --release -p rp-bench --bin reproduce -- fig9 --quick
+//!
+//! # write CSV files next to the printed markdown:
+//! cargo run --release -p rp-bench --bin reproduce -- all --out results/
+//! ```
+//!
+//! The printed tables have one row per load factor λ and one column per
+//! heuristic — the same series as the paper's plots.
+
+use std::path::PathBuf;
+
+use rp_experiments::figures::{
+    check_cost_shape, check_success_shape, reproduce_figure_with, FigureId,
+};
+use rp_experiments::runner::{run_sweep, ExperimentConfig};
+
+struct CliOptions {
+    figures: Vec<FigureId>,
+    quick: bool,
+    trees: Option<usize>,
+    size_max: Option<usize>,
+    out_dir: Option<PathBuf>,
+    check_shape: bool,
+    bound: Option<rp_core::ilp::BoundKind>,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
+    let mut figures = Vec::new();
+    let mut quick = false;
+    let mut trees = None;
+    let mut size_max = None;
+    let mut out_dir = None;
+    let mut check_shape = false;
+    let mut bound = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "all" => figures.extend(FigureId::ALL),
+            "--quick" => quick = true,
+            "--check-shape" => check_shape = true,
+            "--trees" => {
+                let value = iter.next().ok_or("--trees needs a value")?;
+                trees = Some(value.parse().map_err(|_| "invalid --trees value")?);
+            }
+            "--size-max" => {
+                let value = iter.next().ok_or("--size-max needs a value")?;
+                size_max = Some(value.parse().map_err(|_| "invalid --size-max value")?);
+            }
+            "--out" => {
+                let value = iter.next().ok_or("--out needs a directory")?;
+                out_dir = Some(PathBuf::from(value));
+            }
+            "--bound" => {
+                let value = iter.next().ok_or("--bound needs `rational` or `mixed`")?;
+                bound = Some(match value.as_str() {
+                    "rational" => rp_core::ilp::BoundKind::Rational,
+                    "mixed" => rp_core::ilp::BoundKind::Mixed,
+                    other => return Err(format!("unknown bound kind `{other}`")),
+                });
+            }
+            key => match FigureId::from_key(key) {
+                Some(figure) => figures.push(figure),
+                None => return Err(format!("unknown argument `{key}`")),
+            },
+        }
+    }
+    if figures.is_empty() {
+        figures.extend(FigureId::ALL);
+    }
+    figures.dedup();
+    Ok(CliOptions {
+        figures,
+        quick,
+        trees,
+        size_max,
+        out_dir,
+        check_shape,
+        bound,
+    })
+}
+
+fn configure(figure: FigureId, options: &CliOptions) -> ExperimentConfig {
+    let mut config = figure.config();
+    if options.quick {
+        config.trees_per_lambda = 8;
+        config.size_range = (15, 40);
+    }
+    if let Some(trees) = options.trees {
+        config.trees_per_lambda = trees;
+    }
+    if let Some(size_max) = options.size_max {
+        config.size_range = (config.size_range.0.min(size_max), size_max);
+    }
+    if let Some(bound) = options.bound {
+        config.bound = bound;
+    }
+    config
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: reproduce [all|fig9|fig10|fig11|fig12|qos]... \
+                 [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
+                 [--out DIR] [--check-shape]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(dir) = &options.out_dir {
+        if let Err(error) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {error}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut shape_failures = 0usize;
+    for &figure in &options.figures {
+        let config = configure(figure, &options);
+        eprintln!(
+            "running {} ({} trees per λ, sizes {}..={}) ...",
+            figure.key(),
+            config.trees_per_lambda,
+            config.size_range.0,
+            config.size_range.1
+        );
+        let started = std::time::Instant::now();
+        let report = reproduce_figure_with(figure, &config);
+        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+
+        println!("{}", report.to_markdown());
+
+        if let Some(dir) = &options.out_dir {
+            let path = dir.join(format!("{}.csv", figure.key()));
+            if let Err(error) = std::fs::write(&path, report.table.to_csv()) {
+                eprintln!("error: cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("  wrote {}", path.display());
+        }
+
+        if options.check_shape {
+            let results = run_sweep(&config);
+            let violations = match figure {
+                FigureId::Fig9HomogeneousSuccess
+                | FigureId::Fig11HeterogeneousSuccess
+                | FigureId::QosSweep => check_success_shape(&results),
+                FigureId::Fig10HomogeneousCost | FigureId::Fig12HeterogeneousCost => {
+                    check_cost_shape(&results)
+                }
+            };
+            if violations.is_empty() {
+                eprintln!("  shape check: OK");
+            } else {
+                shape_failures += violations.len();
+                for violation in violations {
+                    eprintln!("  shape check FAILED: {violation}");
+                }
+            }
+        }
+    }
+
+    if shape_failures > 0 {
+        eprintln!("{shape_failures} shape expectation(s) violated");
+        std::process::exit(1);
+    }
+}

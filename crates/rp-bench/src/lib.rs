@@ -1,0 +1,56 @@
+//! # rp-bench — benchmarks and figure reproduction
+//!
+//! * `src/bin/reproduce.rs` — regenerates the data series behind every
+//!   reproduced figure (`cargo run --release -p rp-bench --bin reproduce -- all`);
+//! * `benches/` — criterion benchmarks: one scaled-down sweep per figure
+//!   plus micro-benchmarks of the heuristics, the exact algorithms and
+//!   the LP solver.
+//!
+//! This crate contains shared helpers for the benchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rp_core::ProblemInstance;
+use rp_workloads::platform::{generate_problem, PlatformKind, WorkloadConfig};
+use rp_workloads::tree_gen::{generate_tree, TreeGenConfig, TreeShape};
+
+/// Builds a deterministic benchmark instance of problem size `s` with
+/// load factor `lambda` on the given platform.
+pub fn bench_instance(s: usize, lambda: f64, platform: PlatformKind, seed: u64) -> ProblemInstance {
+    let tree = generate_tree(
+        &TreeGenConfig::with_problem_size(s, TreeShape::RandomAttachment),
+        seed,
+    );
+    generate_problem(tree, &WorkloadConfig::new(platform, lambda), seed ^ 0xABCD)
+}
+
+/// The problem sizes exercised by the micro-benchmarks.
+pub const MICRO_SIZES: [usize; 3] = [50, 150, 400];
+
+/// A scaled-down experiment configuration for the per-figure criterion
+/// benchmarks: small trees and few repetitions so a benchmark iteration
+/// stays in the tens of milliseconds, while still exercising the exact
+/// code path that regenerates the figure.
+pub fn mini_figure_config(figure: rp_experiments::FigureId) -> rp_experiments::ExperimentConfig {
+    let mut config = figure.config();
+    config.lambdas = vec![0.2, 0.5, 0.8];
+    config.trees_per_lambda = 4;
+    config.size_range = (15, 40);
+    config.threads = Some(1); // criterion wants single-threaded, stable timings
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_instances_are_deterministic_and_sized() {
+        let a = bench_instance(80, 0.5, PlatformKind::default_homogeneous(), 3);
+        let b = bench_instance(80, 0.5, PlatformKind::default_homogeneous(), 3);
+        assert_eq!(a.tree().problem_size(), 80);
+        assert_eq!(a.total_requests(), b.total_requests());
+        assert!((a.load_factor() - 0.5).abs() < 0.05);
+    }
+}

@@ -1,0 +1,449 @@
+//! Request-to-server assignment procedures for a *fixed* replica set.
+//!
+//! Several components need to answer the question "given this set of
+//! replicas, can the clients' requests be routed to them, and how?":
+//!
+//! * under **Closest** the assignment is forced (every client uses the
+//!   first replica on its path), so feasibility is a simple check;
+//! * under **Multiple** a greedy bottom-up pass is optimal: serving
+//!   requests as low as possible never hurts the nodes above;
+//! * under **Upwards** feasibility is a bin-packing-like question
+//!   (NP-hard in general, Section 4.2), solved here by backtracking for
+//!   the small instances used by the exhaustive oracle.
+//!
+//! These procedures are shared by the exact solvers, the Multiple Greedy
+//! heuristic and several tests.
+
+use rp_tree::{ClientId, NodeId, NodeMap};
+
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// Computes the (forced) Closest assignment for a replica set, checking
+/// capacities and QoS. Returns `None` when the replica set is infeasible
+/// under the Closest policy.
+pub fn closest_assignment(problem: &ProblemInstance, replicas: &[NodeId]) -> Option<Placement> {
+    let tree = problem.tree();
+    let mut placement = Placement::empty(tree.num_clients());
+    for &r in replicas {
+        placement.add_replica(r);
+    }
+    let mut loads: NodeMap<u64> = NodeMap::filled(tree.num_nodes(), 0);
+    for client in tree.client_ids() {
+        let requests = problem.requests(client);
+        if requests == 0 {
+            continue;
+        }
+        let server = tree
+            .ancestors_of_client(client)
+            .into_iter()
+            .find(|n| placement.has_replica(*n))?;
+        if let Some(q) = problem.qos(client) {
+            let distance = tree
+                .client_distance(client, server)
+                .expect("server is an ancestor of the client");
+            if distance > q {
+                return None;
+            }
+        }
+        loads[server] += requests;
+        placement.assign(client, server, requests);
+    }
+    for node in tree.node_ids() {
+        if loads[node] > problem.capacity(node) {
+            return None;
+        }
+    }
+    Some(placement)
+}
+
+/// Computes a Multiple assignment for a replica set by a greedy
+/// bottom-up pass: each replica serves as many pending requests from its
+/// subtree as its remaining capacity allows, prioritising the clients
+/// with the least QoS headroom. Returns `None` when some requests cannot
+/// be served.
+///
+/// Without QoS constraints this greedy is exact: if any assignment
+/// exists, the greedy finds one (serving a request at the lowest
+/// possible replica only decreases the flow seen higher up). With the
+/// QoS-by-distance extension, serving the most constrained clients first
+/// preserves exactness by the usual exchange argument on nested paths.
+pub fn greedy_multiple_assignment(
+    problem: &ProblemInstance,
+    replicas: &[NodeId],
+) -> Option<Placement> {
+    let tree = problem.tree();
+    let mut placement = Placement::empty(tree.num_clients());
+    for &r in replicas {
+        placement.add_replica(r);
+    }
+
+    // Remaining requests per client.
+    let mut remaining: Vec<u64> = tree
+        .client_ids()
+        .map(|c| problem.requests(c))
+        .collect();
+    // Pending clients per node: clients of the node's subtree that still
+    // have unassigned requests, accumulated bottom-up.
+    let mut pending: Vec<Vec<ClientId>> = vec![Vec::new(); tree.num_nodes()];
+
+    let node_depth: Vec<u32> = tree.node_ids().map(|n| tree.node_depth(n)).collect();
+
+    for node in tree.postorder_nodes() {
+        // Gather pending clients from direct client children and child nodes.
+        let mut clients: Vec<ClientId> = Vec::new();
+        for &c in tree.child_clients(node) {
+            if remaining[c.index()] > 0 {
+                clients.push(c);
+            }
+        }
+        for &child in tree.child_nodes(node) {
+            clients.append(&mut pending[child.index()]);
+        }
+
+        if placement.has_replica(node) {
+            let mut capacity_left = problem.capacity(node);
+            // Serve the clients with the smallest QoS headroom first.
+            clients.sort_by_key(|&c| qos_headroom(problem, c, node_depth[node.index()]));
+            for &client in &clients {
+                if capacity_left == 0 {
+                    break;
+                }
+                if remaining[client.index()] == 0 {
+                    continue;
+                }
+                if !client_may_use(problem, client, node, node_depth[node.index()]) {
+                    continue;
+                }
+                let amount = remaining[client.index()].min(capacity_left);
+                placement.assign(client, node, amount);
+                remaining[client.index()] -= amount;
+                capacity_left -= amount;
+            }
+        }
+
+        clients.retain(|&c| remaining[c.index()] > 0);
+        pending[node.index()] = clients;
+    }
+
+    if remaining.iter().all(|&r| r == 0) {
+        Some(placement)
+    } else {
+        None
+    }
+}
+
+/// QoS headroom of `client` when served at a node of depth `server_depth`:
+/// the number of additional hops the client could still climb. Clients
+/// without a QoS bound get the maximum headroom (served last).
+fn qos_headroom(problem: &ProblemInstance, client: ClientId, server_depth: u32) -> i64 {
+    match problem.qos(client) {
+        None => i64::MAX,
+        Some(q) => {
+            let distance = problem.tree().client_depth(client) as i64 - server_depth as i64;
+            q as i64 - distance
+        }
+    }
+}
+
+fn client_may_use(
+    problem: &ProblemInstance,
+    client: ClientId,
+    server: NodeId,
+    server_depth: u32,
+) -> bool {
+    match problem.qos(client) {
+        None => true,
+        Some(q) => {
+            let distance = problem.tree().client_depth(client) as i64 - server_depth as i64;
+            let _ = server;
+            distance <= q as i64
+        }
+    }
+}
+
+/// Options for the Upwards backtracking assignment.
+#[derive(Clone, Copy, Debug)]
+pub struct UpwardsSearchOptions {
+    /// Maximum number of explored branches before giving up (treated as
+    /// infeasible; generous enough for oracle-sized instances).
+    pub max_steps: usize,
+}
+
+impl Default for UpwardsSearchOptions {
+    fn default() -> Self {
+        UpwardsSearchOptions { max_steps: 2_000_000 }
+    }
+}
+
+/// Searches for a single-server (Upwards) assignment onto a fixed
+/// replica set by backtracking over the clients in non-increasing
+/// request order. Exact for small instances; intended as a test oracle.
+pub fn upwards_assignment_backtracking(
+    problem: &ProblemInstance,
+    replicas: &[NodeId],
+    options: &UpwardsSearchOptions,
+) -> Option<Placement> {
+    let tree = problem.tree();
+    let mut placement = Placement::empty(tree.num_clients());
+    for &r in replicas {
+        placement.add_replica(r);
+    }
+
+    let mut clients: Vec<ClientId> = tree
+        .client_ids()
+        .filter(|&c| problem.requests(c) > 0)
+        .collect();
+    clients.sort_by_key(|&c| std::cmp::Reverse(problem.requests(c)));
+
+    // Eligible replica ancestors per client (respecting QoS).
+    let candidates: Vec<Vec<NodeId>> = clients
+        .iter()
+        .map(|&c| {
+            problem
+                .eligible_servers(c)
+                .into_iter()
+                .filter(|n| placement.has_replica(*n))
+                .collect()
+        })
+        .collect();
+
+    let mut remaining_capacity: NodeMap<u64> =
+        NodeMap::from_vec(tree.node_ids().map(|n| problem.capacity(n)).collect());
+    let mut chosen: Vec<Option<NodeId>> = vec![None; clients.len()];
+    let mut steps = 0usize;
+
+    if !backtrack(
+        problem,
+        &clients,
+        &candidates,
+        &mut remaining_capacity,
+        &mut chosen,
+        0,
+        &mut steps,
+        options.max_steps,
+    ) {
+        return None;
+    }
+
+    for (idx, &client) in clients.iter().enumerate() {
+        let server = chosen[idx].expect("assignment chosen for every client");
+        placement.assign(client, server, problem.requests(client));
+    }
+    Some(placement)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    problem: &ProblemInstance,
+    clients: &[ClientId],
+    candidates: &[Vec<NodeId>],
+    remaining: &mut NodeMap<u64>,
+    chosen: &mut Vec<Option<NodeId>>,
+    index: usize,
+    steps: &mut usize,
+    max_steps: usize,
+) -> bool {
+    if index == clients.len() {
+        return true;
+    }
+    if *steps >= max_steps {
+        return false;
+    }
+    let client = clients[index];
+    let requests = problem.requests(client);
+    for &server in &candidates[index] {
+        if remaining[server] >= requests {
+            *steps += 1;
+            remaining[server] -= requests;
+            chosen[index] = Some(server);
+            if backtrack(
+                problem, clients, candidates, remaining, chosen, index + 1, steps, max_steps,
+            ) {
+                return true;
+            }
+            chosen[index] = None;
+            remaining[server] += requests;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use rp_tree::TreeBuilder;
+
+    /// Figure 1's two-node chain: s2 (root) -> s1, with `children` clients
+    /// below s1, each issuing `requests` requests; W = 1.
+    fn figure1(children: usize, requests: u64) -> (ProblemInstance, NodeId, NodeId) {
+        let mut b = TreeBuilder::new();
+        let s2 = b.add_root();
+        let s1 = b.add_node(s2);
+        for _ in 0..children {
+            b.add_client(s1);
+        }
+        let tree = b.build().unwrap();
+        let reqs = vec![requests; children];
+        let p = ProblemInstance::replica_counting(tree, reqs, 1);
+        (p, s1, s2)
+    }
+
+    #[test]
+    fn closest_assignment_on_figure_1a() {
+        let (p, s1, s2) = figure1(1, 1);
+        // A single replica on s1 (or s2) serves the single request.
+        for server in [s1, s2] {
+            let placement = closest_assignment(&p, &[server]).unwrap();
+            assert!(placement.is_valid(&p, Policy::Closest));
+            assert_eq!(placement.cost(&p), 1);
+        }
+    }
+
+    #[test]
+    fn closest_assignment_fails_on_figure_1b() {
+        let (p, s1, s2) = figure1(2, 1);
+        // Two unit clients, W = 1: Closest cannot split them even with
+        // replicas on both nodes (both clients are forced onto s1).
+        assert!(closest_assignment(&p, &[s1, s2]).is_none());
+        assert!(closest_assignment(&p, &[s1]).is_none());
+        assert!(closest_assignment(&p, &[s2]).is_none());
+    }
+
+    #[test]
+    fn upwards_assignment_succeeds_on_figure_1b() {
+        let (p, s1, s2) = figure1(2, 1);
+        let placement =
+            upwards_assignment_backtracking(&p, &[s1, s2], &UpwardsSearchOptions::default())
+                .unwrap();
+        assert!(placement.is_valid(&p, Policy::Upwards));
+        assert_eq!(placement.num_replicas(), 2);
+    }
+
+    #[test]
+    fn upwards_assignment_fails_on_figure_1c() {
+        let (p, s1, s2) = figure1(1, 2);
+        // A single client with 2 requests cannot be served by a single
+        // W = 1 server.
+        assert!(upwards_assignment_backtracking(
+            &p,
+            &[s1, s2],
+            &UpwardsSearchOptions::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn multiple_assignment_succeeds_on_figure_1c() {
+        let (p, s1, s2) = figure1(1, 2);
+        let placement = greedy_multiple_assignment(&p, &[s1, s2]).unwrap();
+        assert!(placement.is_valid(&p, Policy::Multiple));
+        let client = p.tree().client_ids().next().unwrap();
+        assert_eq!(placement.assignments(client).len(), 2);
+    }
+
+    #[test]
+    fn multiple_assignment_fails_when_capacity_is_short() {
+        let (p, s1, s2) = figure1(3, 1);
+        // 3 requests, total reachable capacity 2.
+        assert!(greedy_multiple_assignment(&p, &[s1, s2]).is_none());
+    }
+
+    #[test]
+    fn greedy_multiple_respects_qos() {
+        // root -> mid -> leaf-node -> client(2), with W = 1 per node.
+        // With q = 1 the client may only use its parent, so even three
+        // replicas cannot serve 2 requests.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        let low = b.add_node(mid);
+        b.add_client(low);
+        let tree = b.build().unwrap();
+        let nodes = [root, mid, low];
+        let p = ProblemInstance::builder(tree.clone())
+            .requests(vec![2])
+            .capacities(vec![1, 1, 1])
+            .storage_costs(vec![1, 1, 1])
+            .qos(vec![Some(1)])
+            .build();
+        assert!(greedy_multiple_assignment(&p, &nodes).is_none());
+
+        // With q = 2 the client reaches low and mid: feasible.
+        let p2 = ProblemInstance::builder(tree)
+            .requests(vec![2])
+            .capacities(vec![1, 1, 1])
+            .storage_costs(vec![1, 1, 1])
+            .qos(vec![Some(2)])
+            .build();
+        let placement = greedy_multiple_assignment(&p2, &nodes).unwrap();
+        assert!(placement.is_valid(&p2, Policy::Multiple));
+    }
+
+    #[test]
+    fn greedy_multiple_prioritises_constrained_clients() {
+        // Two clients under the same node `low`: one with a tight QoS
+        // (q = 1, can only use `low`), one without QoS. Capacity 1 per
+        // node. The greedy must give `low` to the constrained client and
+        // send the other one up.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let low = b.add_node(root);
+        b.add_client(low);
+        b.add_client(low);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![1, 1])
+            .capacities(vec![1, 1])
+            .storage_costs(vec![1, 1])
+            .qos(vec![Some(1), None])
+            .build();
+        let placement = greedy_multiple_assignment(&p, &[root, low]).unwrap();
+        assert!(placement.is_valid(&p, Policy::Multiple));
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        assert_eq!(placement.single_server(clients[0]), Some(low));
+        assert_eq!(placement.single_server(clients[1]), Some(root));
+    }
+
+    #[test]
+    fn upwards_backtracking_finds_non_greedy_packings() {
+        // Node chain root(cap 4) -> mid(cap 3); clients: 3 and 2 and 2.
+        // c0 (3 requests) under mid; c1, c2 (2 each) under mid as well.
+        // Greedy "biggest to smallest remaining" could mis-assign; the
+        // backtracking must find: mid <- 3, root <- 2 + 2.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        b.add_client(mid);
+        b.add_client(mid);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![3, 2, 2], vec![4, 3]);
+        let placement =
+            upwards_assignment_backtracking(&p, &[root, mid], &UpwardsSearchOptions::default())
+                .unwrap();
+        assert!(placement.is_valid(&p, Policy::Upwards));
+    }
+
+    #[test]
+    fn upwards_backtracking_respects_step_limit() {
+        let (p, s1, s2) = figure1(2, 1);
+        let placement = upwards_assignment_backtracking(
+            &p,
+            &[s1, s2],
+            &UpwardsSearchOptions { max_steps: 0 },
+        );
+        assert!(placement.is_none());
+    }
+
+    #[test]
+    fn zero_request_clients_are_ignored() {
+        let (p, s1, _) = figure1(2, 0);
+        let placement = closest_assignment(&p, &[s1]).unwrap();
+        for c in p.tree().client_ids() {
+            assert!(placement.assignments(c).is_empty());
+        }
+        assert!(placement.is_valid(&p, Policy::Closest));
+    }
+}

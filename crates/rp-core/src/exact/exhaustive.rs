@@ -1,0 +1,274 @@
+//! Exhaustive search over replica sets — an exact (exponential) oracle
+//! for small instances.
+//!
+//! The search enumerates every subset of internal nodes in order of
+//! non-decreasing storage cost and returns the first subset for which a
+//! valid request assignment exists under the requested policy. It is
+//! used by the test suite to certify the optimal Multiple/homogeneous
+//! algorithm, the ILP formulations and the heuristics on instances small
+//! enough to enumerate (the NP-completeness results of Section 4 rule
+//! out anything better in general).
+
+use rp_tree::NodeId;
+
+use crate::assignment::{
+    closest_assignment, greedy_multiple_assignment, upwards_assignment_backtracking,
+    UpwardsSearchOptions,
+};
+use crate::policy::Policy;
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// Options for the exhaustive search.
+#[derive(Clone, Copy, Debug)]
+pub struct ExhaustiveOptions {
+    /// Maximum number of internal nodes the search will accept
+    /// (2^n subsets are enumerated).
+    pub max_nodes: usize,
+    /// Step limit handed to the Upwards backtracking feasibility check.
+    pub upwards: UpwardsSearchOptions,
+}
+
+impl Default for ExhaustiveOptions {
+    fn default() -> Self {
+        ExhaustiveOptions {
+            max_nodes: 22,
+            upwards: UpwardsSearchOptions::default(),
+        }
+    }
+}
+
+/// Finds a minimum-cost placement under `policy` by exhaustive
+/// enumeration, or `None` when the instance is infeasible.
+///
+/// Panics when the tree has more internal nodes than
+/// [`ExhaustiveOptions::max_nodes`].
+pub fn solve_exhaustive(problem: &ProblemInstance, policy: Policy) -> Option<Placement> {
+    solve_exhaustive_with(problem, policy, &ExhaustiveOptions::default())
+}
+
+/// [`solve_exhaustive`] with explicit options.
+pub fn solve_exhaustive_with(
+    problem: &ProblemInstance,
+    policy: Policy,
+    options: &ExhaustiveOptions,
+) -> Option<Placement> {
+    let tree = problem.tree();
+    let n = tree.num_nodes();
+    assert!(
+        n <= options.max_nodes,
+        "exhaustive search limited to {} internal nodes, tree has {n}",
+        options.max_nodes
+    );
+
+    let nodes: Vec<NodeId> = tree.node_ids().collect();
+    let costs: Vec<u64> = nodes.iter().map(|&n| problem.storage_cost(n)).collect();
+
+    // Enumerate subsets ordered by total cost (then by replica count for
+    // determinism on cost ties).
+    let mut subsets: Vec<(u64, u32, u64)> = (0u64..(1u64 << n))
+        .map(|mask| {
+            let cost: u64 = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| costs[i])
+                .sum();
+            (cost, mask.count_ones(), mask)
+        })
+        .collect();
+    subsets.sort_unstable();
+
+    for (_, _, mask) in subsets {
+        let replicas: Vec<NodeId> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| nodes[i])
+            .collect();
+        let placement = feasible_assignment(problem, policy, &replicas, options);
+        if let Some(placement) = placement {
+            return Some(placement);
+        }
+    }
+    None
+}
+
+/// The minimum cost under `policy`, if the instance is feasible.
+pub fn optimal_cost(problem: &ProblemInstance, policy: Policy) -> Option<u64> {
+    solve_exhaustive(problem, policy).map(|p| p.cost(problem))
+}
+
+fn feasible_assignment(
+    problem: &ProblemInstance,
+    policy: Policy,
+    replicas: &[NodeId],
+    options: &ExhaustiveOptions,
+) -> Option<Placement> {
+    match policy {
+        Policy::Closest => closest_assignment(problem, replicas),
+        Policy::Upwards => upwards_assignment_backtracking(problem, replicas, &options.upwards),
+        Policy::Multiple => greedy_multiple_assignment(problem, replicas),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::multiple_homogeneous::solve_multiple_homogeneous;
+    use rp_tree::TreeBuilder;
+
+    /// Figure 2 of the paper with a small n: Upwards needs 3 replicas
+    /// where Closest needs n + 2.
+    fn figure2(n: u64) -> ProblemInstance {
+        // s_{2n+2} is the root, with one client (1 request) and child
+        // s_{2n+1}; s_{2n+1} has 2n child nodes s_1..s_2n, each with one
+        // client issuing a single request. Every node has capacity W = n.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mut reqs = vec![];
+        b.add_client(root);
+        reqs.push(1);
+        let hub = b.add_node(root);
+        for _ in 0..2 * n {
+            let s = b.add_node(hub);
+            b.add_client(s);
+            reqs.push(1);
+        }
+        let tree = b.build().unwrap();
+        ProblemInstance::replica_counting(tree, reqs, n)
+    }
+
+    #[test]
+    fn policy_hierarchy_on_figure_1() {
+        // Two stacked nodes with W = 1.
+        let build = |clients: &[u64]| {
+            let mut b = TreeBuilder::new();
+            let s2 = b.add_root();
+            let s1 = b.add_node(s2);
+            for _ in clients {
+                b.add_client(s1);
+            }
+            ProblemInstance::replica_counting(b.build().unwrap(), clients.to_vec(), 1)
+        };
+        // (a) one unit client: everyone solves it with 1 replica.
+        let p = build(&[1]);
+        for policy in Policy::ALL {
+            assert_eq!(optimal_cost(&p, policy), Some(1), "policy {policy}");
+        }
+        // (b) two unit clients: Closest fails, Upwards/Multiple need 2.
+        let p = build(&[1, 1]);
+        assert_eq!(optimal_cost(&p, Policy::Closest), None);
+        assert_eq!(optimal_cost(&p, Policy::Upwards), Some(2));
+        assert_eq!(optimal_cost(&p, Policy::Multiple), Some(2));
+        // (c) one client with two requests: only Multiple solves it.
+        let p = build(&[2]);
+        assert_eq!(optimal_cost(&p, Policy::Closest), None);
+        assert_eq!(optimal_cost(&p, Policy::Upwards), None);
+        assert_eq!(optimal_cost(&p, Policy::Multiple), Some(2));
+    }
+
+    #[test]
+    fn upwards_beats_closest_on_figure_2() {
+        let p = figure2(2); // n = 2: W = 2, 5 clients
+        let closest = optimal_cost(&p, Policy::Closest);
+        let upwards = optimal_cost(&p, Policy::Upwards);
+        // Upwards: replicas on root, hub and one chain node... the paper
+        // places them on s_2n, s_2n+1, s_2n+2; cost 3.
+        assert_eq!(upwards, Some(3));
+        // Closest: the paper shows n + 2 = 4 replicas are needed.
+        assert_eq!(closest, Some(4));
+    }
+
+    #[test]
+    fn exhaustive_matches_optimal_multiple_algorithm() {
+        // Randomish small homogeneous instances: the exhaustive Multiple
+        // optimum must equal the polynomial algorithm's replica count.
+        let shapes: Vec<(Vec<usize>, Vec<u64>, u64)> = vec![
+            // (children per node in a two-level tree, requests, W)
+            (vec![2, 2], vec![3, 1, 2, 2], 4),
+            (vec![3, 1], vec![1, 1, 1, 5], 5),
+            (vec![1, 1, 1], vec![4, 4, 4], 6),
+        ];
+        for (arms, reqs, w) in shapes {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root();
+            let mut idx = 0;
+            for &arm in &arms {
+                let mid = b.add_node(root);
+                for _ in 0..arm {
+                    b.add_client(mid);
+                    idx += 1;
+                }
+            }
+            assert_eq!(idx, reqs.len());
+            let p = ProblemInstance::replica_counting(b.build().unwrap(), reqs, w);
+            let exhaustive = optimal_cost(&p, Policy::Multiple);
+            let algorithmic = solve_multiple_homogeneous(&p)
+                .into_placement()
+                .map(|pl| pl.cost(&p));
+            assert_eq!(exhaustive, algorithmic);
+        }
+    }
+
+    #[test]
+    fn costs_respect_the_policy_hierarchy() {
+        // On any instance where all three are feasible:
+        // cost(Multiple) <= cost(Upwards) <= cost(Closest).
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let c = b.add_node(root);
+        b.add_client(a);
+        b.add_client(a);
+        b.add_client(c);
+        b.add_client(root);
+        let p = ProblemInstance::replica_cost(
+            b.build().unwrap(),
+            vec![3, 2, 4, 1],
+            vec![6, 5, 4],
+        );
+        let closest = optimal_cost(&p, Policy::Closest).unwrap();
+        let upwards = optimal_cost(&p, Policy::Upwards).unwrap();
+        let multiple = optimal_cost(&p, Policy::Multiple).unwrap();
+        assert!(multiple <= upwards);
+        assert!(upwards <= closest);
+    }
+
+    #[test]
+    fn returned_placements_validate() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        b.add_client(a);
+        b.add_client(a);
+        b.add_client(root);
+        let p =
+            ProblemInstance::replica_cost(b.build().unwrap(), vec![2, 3, 1], vec![4, 5]);
+        for policy in Policy::ALL {
+            if let Some(placement) = solve_exhaustive(&p, policy) {
+                assert!(placement.is_valid(&p, policy), "policy {policy}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive search limited")]
+    fn too_many_nodes_are_rejected() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        for _ in 0..25 {
+            b.add_node(root);
+        }
+        b.add_client(root);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![1], 1);
+        let _ = solve_exhaustive(&p, Policy::Multiple);
+    }
+
+    #[test]
+    fn infeasible_instances_return_none_for_all_policies() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_client(root);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![10], 3);
+        for policy in Policy::ALL {
+            assert_eq!(optimal_cost(&p, policy), None, "policy {policy}");
+        }
+    }
+}

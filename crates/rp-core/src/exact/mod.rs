@@ -1,0 +1,11 @@
+//! Exact solvers: the paper's polynomial algorithm for
+//! Multiple/homogeneous instances and an exhaustive oracle for small
+//! instances of every policy.
+
+pub mod exhaustive;
+pub mod multiple_homogeneous;
+
+pub use exhaustive::{
+    optimal_cost, solve_exhaustive, solve_exhaustive_with, ExhaustiveOptions,
+};
+pub use multiple_homogeneous::{solve_multiple_homogeneous, MultipleHomogeneousOutcome};

@@ -1,0 +1,299 @@
+//! The eight polynomial heuristics of Section 6, plus *MixedBest*.
+//!
+//! | Heuristic | Policy | Strategy |
+//! |-----------|--------|----------|
+//! | [`ctda`]  | Closest | repeated breadth-first passes, every fitting node becomes a server |
+//! | [`ctdlf`] | Closest | breadth-first, heaviest subtree first, one server per pass |
+//! | [`cbu`]   | Closest | single bottom-up pass |
+//! | [`utd`]   | Upwards | exhausted nodes top-down, then a top-down mop-up pass |
+//! | [`ubcf`]  | Upwards | clients by decreasing size, best-fit ancestor |
+//! | [`mtd`]   | Multiple | exhausted nodes top-down with client splitting |
+//! | [`mbu`]   | Multiple | exhausted nodes bottom-up, small clients first |
+//! | [`mg`]    | Multiple | greedy bottom-up sweep (never misses a feasible instance) |
+//! | [`mixed_best`] | Multiple | best of all eight |
+//!
+//! All heuristics return `None` when they fail to produce a valid
+//! solution; a placement they return is always valid for their policy
+//! (and therefore for every less constrained policy).
+
+mod closest;
+mod multiple;
+mod state;
+mod upwards;
+
+pub use closest::{cbu, ctda, ctdlf};
+pub use multiple::{mbu, mg, mtd};
+pub use state::{DeleteOrder, HeuristicState};
+pub use upwards::{ubcf, utd};
+
+use crate::policy::Policy;
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// Identifier of one of the paper's heuristics (plus MixedBest).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Heuristic {
+    /// Closest Top Down All.
+    Ctda,
+    /// Closest Top Down Largest First.
+    Ctdlf,
+    /// Closest Bottom Up.
+    Cbu,
+    /// Upwards Top Down.
+    Utd,
+    /// Upwards Big Client First.
+    Ubcf,
+    /// Multiple Top Down.
+    Mtd,
+    /// Multiple Bottom Up.
+    Mbu,
+    /// Multiple Greedy.
+    Mg,
+    /// Best solution of all eight heuristics (valid under Multiple).
+    MixedBest,
+}
+
+impl Heuristic {
+    /// The eight base heuristics, in the order used by the paper's plots.
+    pub const BASE: [Heuristic; 8] = [
+        Heuristic::Ctda,
+        Heuristic::Ctdlf,
+        Heuristic::Cbu,
+        Heuristic::Utd,
+        Heuristic::Ubcf,
+        Heuristic::Mg,
+        Heuristic::Mtd,
+        Heuristic::Mbu,
+    ];
+
+    /// The eight base heuristics plus MixedBest.
+    pub const ALL: [Heuristic; 9] = [
+        Heuristic::Ctda,
+        Heuristic::Ctdlf,
+        Heuristic::Cbu,
+        Heuristic::Utd,
+        Heuristic::Ubcf,
+        Heuristic::Mg,
+        Heuristic::Mtd,
+        Heuristic::Mbu,
+        Heuristic::MixedBest,
+    ];
+
+    /// The full name used in the paper's figures.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Heuristic::Ctda => "ClosestTopDownAll",
+            Heuristic::Ctdlf => "ClosestTopDownLargestFirst",
+            Heuristic::Cbu => "ClosestBottomUp",
+            Heuristic::Utd => "UpwardsTopDown",
+            Heuristic::Ubcf => "UpwardsBigClientFirst",
+            Heuristic::Mtd => "MultipleTopDown",
+            Heuristic::Mbu => "MultipleBottomUp",
+            Heuristic::Mg => "MultipleGreedy",
+            Heuristic::MixedBest => "MixedBest",
+        }
+    }
+
+    /// The short acronym used in the paper's text.
+    pub fn acronym(self) -> &'static str {
+        match self {
+            Heuristic::Ctda => "CTDA",
+            Heuristic::Ctdlf => "CTDLF",
+            Heuristic::Cbu => "CBU",
+            Heuristic::Utd => "UTD",
+            Heuristic::Ubcf => "UBCF",
+            Heuristic::Mtd => "MTD",
+            Heuristic::Mbu => "MBU",
+            Heuristic::Mg => "MG",
+            Heuristic::MixedBest => "MB",
+        }
+    }
+
+    /// The access policy whose rules the heuristic's solutions obey.
+    pub fn policy(self) -> Policy {
+        match self {
+            Heuristic::Ctda | Heuristic::Ctdlf | Heuristic::Cbu => Policy::Closest,
+            Heuristic::Utd | Heuristic::Ubcf => Policy::Upwards,
+            Heuristic::Mtd | Heuristic::Mbu | Heuristic::Mg | Heuristic::MixedBest => {
+                Policy::Multiple
+            }
+        }
+    }
+
+    /// Runs the heuristic on `problem`.
+    pub fn run(self, problem: &ProblemInstance) -> Option<Placement> {
+        match self {
+            Heuristic::Ctda => ctda(problem),
+            Heuristic::Ctdlf => ctdlf(problem),
+            Heuristic::Cbu => cbu(problem),
+            Heuristic::Utd => utd(problem),
+            Heuristic::Ubcf => ubcf(problem),
+            Heuristic::Mtd => mtd(problem),
+            Heuristic::Mbu => mbu(problem),
+            Heuristic::Mg => mg(problem),
+            Heuristic::MixedBest => mixed_best(problem),
+        }
+    }
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.acronym())
+    }
+}
+
+/// *MixedBest* (MB): runs all eight base heuristics and keeps the
+/// cheapest valid solution. Since any Closest or Upwards solution is
+/// also a Multiple solution, the result is always valid under Multiple;
+/// and because MG never misses a feasible instance, neither does
+/// MixedBest (Section 7.3).
+pub fn mixed_best(problem: &ProblemInstance) -> Option<Placement> {
+    let mut best: Option<(u64, Placement)> = None;
+    for heuristic in Heuristic::BASE {
+        if let Some(placement) = heuristic.run(problem) {
+            let cost = placement.cost(problem);
+            let replace = match &best {
+                None => true,
+                Some((best_cost, _)) => cost < *best_cost,
+            };
+            if replace {
+                best = Some((cost, placement));
+            }
+        }
+    }
+    best.map(|(_, placement)| placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    fn small_instance() -> ProblemInstance {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let c = b.add_node(root);
+        b.add_client(a);
+        b.add_client(a);
+        b.add_client(c);
+        b.add_client(root);
+        ProblemInstance::replica_cost(b.build().unwrap(), vec![3, 2, 4, 1], vec![6, 5, 4])
+    }
+
+    #[test]
+    fn metadata_is_consistent() {
+        assert_eq!(Heuristic::ALL.len(), 9);
+        assert_eq!(Heuristic::BASE.len(), 8);
+        for h in Heuristic::ALL {
+            assert!(!h.full_name().is_empty());
+            assert!(!h.acronym().is_empty());
+            assert_eq!(h.to_string(), h.acronym());
+        }
+        assert_eq!(Heuristic::Ctda.policy(), Policy::Closest);
+        assert_eq!(Heuristic::Ubcf.policy(), Policy::Upwards);
+        assert_eq!(Heuristic::Mg.policy(), Policy::Multiple);
+        assert_eq!(Heuristic::MixedBest.policy(), Policy::Multiple);
+    }
+
+    #[test]
+    fn every_heuristic_returns_a_valid_placement_or_none() {
+        let p = small_instance();
+        for h in Heuristic::ALL {
+            if let Some(placement) = h.run(&p) {
+                assert!(
+                    placement.is_valid(&p, h.policy()),
+                    "{h} produced an invalid placement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_best_is_at_least_as_good_as_every_base_heuristic() {
+        let p = small_instance();
+        let best = mixed_best(&p).expect("MG guarantees a solution here");
+        let best_cost = best.cost(&p);
+        for h in Heuristic::BASE {
+            if let Some(placement) = h.run(&p) {
+                assert!(best_cost <= placement.cost(&p), "{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_best_succeeds_whenever_mg_does() {
+        let p = small_instance();
+        assert_eq!(mg(&p).is_some(), mixed_best(&p).is_some());
+    }
+
+    #[test]
+    fn heuristics_respect_qos_bounds() {
+        // root -> mid -> low -> {c0 (2 req, q = 1), c1 (1 req, no QoS)};
+        // root -> c2 (1 req, q = 1). W = 2 everywhere.
+        // c0 can only be served at `low`, c2 only at the root.
+        let mut b = rp_tree::TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        let low = b.add_node(mid);
+        b.add_client(low);
+        b.add_client(low);
+        b.add_client(root);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![2, 1, 1])
+            .capacities(vec![2, 2, 2])
+            .storage_costs(vec![1, 1, 1])
+            .qos(vec![Some(1), None, Some(1)])
+            .build();
+        for h in Heuristic::ALL {
+            if let Some(placement) = h.run(&p) {
+                assert!(
+                    placement.is_valid(&p, h.policy()),
+                    "{h} violated QoS: {:?}",
+                    placement.validate(&p, h.policy())
+                );
+            }
+        }
+        // MG must find the feasible solution (low serves c0, mid or low
+        // serves c1, root serves c2).
+        let greedy = mg(&p).expect("feasible under Multiple");
+        assert!(greedy.is_valid(&p, Policy::Multiple));
+    }
+
+    #[test]
+    fn qos_infeasible_instances_fail_cleanly() {
+        // A client that cannot reach any server with enough capacity.
+        let mut b = rp_tree::TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![5])
+            .capacities(vec![10, 3])
+            .storage_costs(vec![10, 3])
+            .qos(vec![Some(1)])
+            .build();
+        for h in Heuristic::ALL {
+            assert!(h.run(&p).is_none(), "{h} should fail on a QoS-infeasible instance");
+        }
+    }
+
+    #[test]
+    fn run_dispatches_to_the_matching_free_function() {
+        let p = small_instance();
+        assert_eq!(
+            Heuristic::Cbu.run(&p).map(|pl| pl.cost(&p)),
+            cbu(&p).map(|pl| pl.cost(&p))
+        );
+        assert_eq!(
+            Heuristic::Ubcf.run(&p).map(|pl| pl.cost(&p)),
+            ubcf(&p).map(|pl| pl.cost(&p))
+        );
+        assert_eq!(
+            Heuristic::Mg.run(&p).map(|pl| pl.cost(&p)),
+            mg(&p).map(|pl| pl.cost(&p))
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! Shared bookkeeping for the polynomial heuristics of Section 6.
+//!
+//! Every heuristic manipulates the same two quantities:
+//!
+//! * `remaining[i]` — the requests of client `i` not yet affected to a
+//!   server (the paper's `r'_i`);
+//! * `inreq[j]` — the number of *unserved* requests issued in
+//!   `subtree(j)` (the paper's `inreq_j`), kept consistent by
+//!   subtracting from every ancestor of a client whenever some of its
+//!   requests are assigned.
+//!
+//! [`HeuristicState`] owns this bookkeeping together with the
+//! [`Placement`] being built, and provides the `deleteRequests`
+//! procedures shared by the Upwards and Multiple heuristics.
+
+use rp_tree::{ClientId, NodeId};
+
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// Order in which the delete procedures consider the clients of a
+/// subtree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeleteOrder {
+    /// Non-increasing `r_i` (UTD, MTD, MG).
+    LargestFirst,
+    /// Non-decreasing `r_i` (MBU: "delete many small clients rather than
+    /// fewer demanding ones").
+    SmallestFirst,
+}
+
+/// Mutable working state shared by all heuristics.
+pub struct HeuristicState<'a> {
+    problem: &'a ProblemInstance,
+    remaining: Vec<u64>,
+    inreq: Vec<u64>,
+    node_depth: Vec<u32>,
+    client_depth: Vec<u32>,
+    placement: Placement,
+}
+
+impl<'a> HeuristicState<'a> {
+    /// Initialises the state: nothing is served, `inreq[j]` equals the
+    /// total requests of `subtree(j)`.
+    pub fn new(problem: &'a ProblemInstance) -> Self {
+        let tree = problem.tree();
+        let remaining: Vec<u64> = tree.client_ids().map(|c| problem.requests(c)).collect();
+        let mut inreq = vec![0u64; tree.num_nodes()];
+        for node in tree.postorder_nodes() {
+            let mut total: u64 = tree
+                .child_clients(node)
+                .iter()
+                .map(|&c| problem.requests(c))
+                .sum();
+            total += tree
+                .child_nodes(node)
+                .iter()
+                .map(|&child| inreq[child.index()])
+                .sum::<u64>();
+            inreq[node.index()] = total;
+        }
+        let node_depth: Vec<u32> = tree.node_ids().map(|n| tree.node_depth(n)).collect();
+        let client_depth: Vec<u32> = tree.client_ids().map(|c| tree.client_depth(c)).collect();
+        HeuristicState {
+            problem,
+            remaining,
+            inreq,
+            node_depth,
+            client_depth,
+            placement: Placement::empty(tree.num_clients()),
+        }
+    }
+
+    /// `true` when `server` (an ancestor of `client`) lies within the
+    /// client's QoS bound. Clients without a bound accept any ancestor.
+    pub fn within_qos(&self, client: ClientId, server: NodeId) -> bool {
+        match self.problem.qos(client) {
+            None => true,
+            Some(q) => {
+                let distance = self.client_depth[client.index()]
+                    .saturating_sub(self.node_depth[server.index()]);
+                distance <= q
+            }
+        }
+    }
+
+    /// QoS headroom of `client` when served at `server`: how many more
+    /// hops it could still climb. Unbounded clients get `i64::MAX`.
+    fn qos_headroom(&self, client: ClientId, server: NodeId) -> i64 {
+        match self.problem.qos(client) {
+            None => i64::MAX,
+            Some(q) => {
+                let distance = i64::from(self.client_depth[client.index()])
+                    - i64::from(self.node_depth[server.index()]);
+                i64::from(q) - distance
+            }
+        }
+    }
+
+    /// The problem being solved.
+    pub fn problem(&self) -> &ProblemInstance {
+        self.problem
+    }
+
+    /// Unserved requests in `subtree(node)`.
+    pub fn inreq(&self, node: NodeId) -> u64 {
+        self.inreq[node.index()]
+    }
+
+    /// Unserved requests of a client.
+    pub fn remaining(&self, client: ClientId) -> u64 {
+        self.remaining[client.index()]
+    }
+
+    /// `true` once every request has been assigned to some server.
+    pub fn all_served(&self) -> bool {
+        self.inreq[self.problem.tree().root().index()] == 0
+    }
+
+    /// Adds a replica at `node` without assigning any request.
+    pub fn add_replica(&mut self, node: NodeId) {
+        self.placement.add_replica(node);
+    }
+
+    /// `true` when `node` already carries a replica.
+    pub fn has_replica(&self, node: NodeId) -> bool {
+        self.placement.has_replica(node)
+    }
+
+    /// Assigns `amount` requests of `client` to `server`, updating the
+    /// remaining counts and the `inreq` of every ancestor of the client.
+    pub fn assign(&mut self, client: ClientId, server: NodeId, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        debug_assert!(self.remaining[client.index()] >= amount);
+        self.remaining[client.index()] -= amount;
+        self.placement.assign(client, server, amount);
+        for ancestor in self.problem.tree().ancestors_of_client(client) {
+            self.inreq[ancestor.index()] -= amount;
+        }
+    }
+
+    /// Clients of `subtree(node)` that still have unserved requests,
+    /// in depth-first order (the paper's `clients(s)` restricted to
+    /// pending clients).
+    pub fn pending_clients(&self, node: NodeId) -> Vec<ClientId> {
+        self.problem
+            .tree()
+            .subtree_clients(node)
+            .into_iter()
+            .filter(|&c| self.remaining[c.index()] > 0)
+            .collect()
+    }
+
+    /// Pending clients of `subtree(node)` that may be served *at* `node`
+    /// without violating their QoS bound.
+    pub fn eligible_pending_clients(&self, node: NodeId) -> Vec<ClientId> {
+        self.pending_clients(node)
+            .into_iter()
+            .filter(|&c| self.within_qos(c, node))
+            .collect()
+    }
+
+    /// Pending requests of `subtree(node)` that may be served at `node`
+    /// (the QoS-aware counterpart of [`inreq`](Self::inreq); equal to it
+    /// when no client carries a QoS bound).
+    pub fn eligible_inreq(&self, node: NodeId) -> u64 {
+        if !self.problem.has_qos() {
+            return self.inreq(node);
+        }
+        self.eligible_pending_clients(node)
+            .into_iter()
+            .map(|c| self.remaining[c.index()])
+            .sum()
+    }
+
+    /// The load a Closest replica at `node` would have to absorb: all
+    /// pending requests of its subtree. Returns `None` when some pending
+    /// client lies beyond its QoS bound from `node` — under Closest that
+    /// client would be forced onto `node`, so the replica cannot be
+    /// placed there (yet).
+    pub fn closest_candidate_load(&self, node: NodeId) -> Option<u64> {
+        if !self.problem.has_qos() {
+            return Some(self.inreq(node));
+        }
+        let mut total = 0u64;
+        for client in self.pending_clients(node) {
+            if !self.within_qos(client, node) {
+                return None;
+            }
+            total += self.remaining[client.index()];
+        }
+        Some(total)
+    }
+
+    /// Places a replica at `node` and serves **all** pending requests of
+    /// its subtree there — the Closest heuristics' action when
+    /// `W_node >= inreq_node`. Panics (in debug) if the capacity or QoS
+    /// precondition is violated.
+    pub fn serve_whole_subtree(&mut self, node: NodeId) {
+        debug_assert!(self.inreq(node) <= self.problem.capacity(node));
+        self.add_replica(node);
+        for client in self.pending_clients(node) {
+            debug_assert!(self.within_qos(client, node));
+            let amount = self.remaining[client.index()];
+            self.assign(client, node, amount);
+        }
+    }
+
+    /// The paper's `deleteRequests` for **single-server** policies
+    /// (Algorithm 6): assign whole clients of `subtree(server)` to
+    /// `server`, in non-increasing request order, as long as they fit in
+    /// `budget`. Clients whose QoS bound excludes `server` are skipped.
+    /// Returns the number of requests actually assigned.
+    pub fn delete_requests_single(&mut self, server: NodeId, budget: u64) -> u64 {
+        let mut clients = self.eligible_pending_clients(server);
+        // Most QoS-constrained first, then largest first.
+        clients.sort_by_key(|&c| {
+            (
+                self.qos_headroom(c, server),
+                std::cmp::Reverse(self.remaining[c.index()]),
+            )
+        });
+        let mut left = budget;
+        for client in clients {
+            if left == 0 {
+                break;
+            }
+            let requests = self.remaining[client.index()];
+            if requests <= left {
+                self.assign(client, server, requests);
+                left -= requests;
+            }
+        }
+        budget - left
+    }
+
+    /// The paper's `deleteRequestsInMTD` / `deleteRequestsInMBU` for the
+    /// **Multiple** policy (Algorithm 10): assign whole clients in the
+    /// given order while they fit, then split one more client to consume
+    /// the remaining budget exactly. Clients whose QoS bound excludes
+    /// `server` are skipped; when QoS bounds are present the most
+    /// constrained clients are served first. Returns the number of
+    /// requests actually assigned.
+    pub fn delete_requests_multiple(
+        &mut self,
+        server: NodeId,
+        budget: u64,
+        order: DeleteOrder,
+    ) -> u64 {
+        let mut clients = self.eligible_pending_clients(server);
+        match order {
+            DeleteOrder::LargestFirst => clients.sort_by_key(|&c| {
+                (
+                    self.qos_headroom(c, server),
+                    std::cmp::Reverse(self.remaining[c.index()]),
+                )
+            }),
+            DeleteOrder::SmallestFirst => {
+                clients.sort_by_key(|&c| (self.qos_headroom(c, server), self.remaining[c.index()]))
+            }
+        }
+        let mut left = budget;
+        for client in clients {
+            if left == 0 {
+                break;
+            }
+            let requests = self.remaining[client.index()];
+            if requests <= left {
+                self.assign(client, server, requests);
+                left -= requests;
+            } else {
+                // Partial assignment: only possible under Multiple.
+                self.assign(client, server, left);
+                left = 0;
+            }
+        }
+        budget - left
+    }
+
+    /// Consumes the state, returning the placement when every request
+    /// has been served and `None` otherwise (the heuristic failed to
+    /// find a valid solution).
+    pub fn into_solution(self) -> Option<Placement> {
+        if self.inreq[self.problem.tree().root().index()] == 0 {
+            Some(self.placement)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the state returning the placement unconditionally (used
+    /// by tests to inspect partial solutions).
+    pub fn into_placement_unchecked(self) -> Placement {
+        self.placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use rp_tree::TreeBuilder;
+
+    /// root -> n1 -> {c0: 4, c1: 2}; root -> {c2: 3}
+    fn sample() -> (ProblemInstance, Vec<NodeId>, Vec<ClientId>) {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let n1 = b.add_node(root);
+        let c0 = b.add_client(n1);
+        let c1 = b.add_client(n1);
+        let c2 = b.add_client(root);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![4, 2, 3], vec![10, 6]);
+        (p, vec![root, n1], vec![c0, c1, c2])
+    }
+
+    #[test]
+    fn initial_inreq_is_the_subtree_request_total() {
+        let (p, n, _) = sample();
+        let state = HeuristicState::new(&p);
+        assert_eq!(state.inreq(n[0]), 9);
+        assert_eq!(state.inreq(n[1]), 6);
+        assert!(!state.all_served());
+    }
+
+    #[test]
+    fn assign_updates_remaining_and_all_ancestors() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.add_replica(n[0]);
+        state.assign(c[0], n[0], 3);
+        assert_eq!(state.remaining(c[0]), 1);
+        assert_eq!(state.inreq(n[1]), 3);
+        assert_eq!(state.inreq(n[0]), 6);
+    }
+
+    #[test]
+    fn serve_whole_subtree_clears_the_subtree() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.serve_whole_subtree(n[1]);
+        assert_eq!(state.inreq(n[1]), 0);
+        assert_eq!(state.inreq(n[0]), 3);
+        assert_eq!(state.remaining(c[0]), 0);
+        assert_eq!(state.remaining(c[1]), 0);
+        assert_eq!(state.remaining(c[2]), 3);
+        assert!(state.has_replica(n[1]));
+        assert!(!state.all_served());
+    }
+
+    #[test]
+    fn delete_single_assigns_whole_clients_largest_first() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.add_replica(n[1]);
+        // Budget 5 among clients {4, 2}: takes the 4, skips the 2 (does
+        // not fit the remaining budget of 1).
+        let assigned = state.delete_requests_single(n[1], 5);
+        assert_eq!(assigned, 4);
+        assert_eq!(state.remaining(c[0]), 0);
+        assert_eq!(state.remaining(c[1]), 2);
+    }
+
+    #[test]
+    fn delete_multiple_splits_the_last_client() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.add_replica(n[1]);
+        let assigned = state.delete_requests_multiple(n[1], 5, DeleteOrder::LargestFirst);
+        assert_eq!(assigned, 5);
+        assert_eq!(state.remaining(c[0]), 0);
+        assert_eq!(state.remaining(c[1]), 1);
+    }
+
+    #[test]
+    fn delete_multiple_smallest_first_prefers_small_clients() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.add_replica(n[1]);
+        let assigned = state.delete_requests_multiple(n[1], 3, DeleteOrder::SmallestFirst);
+        assert_eq!(assigned, 3);
+        // The 2-request client is taken first, then 1 request of the big one.
+        assert_eq!(state.remaining(c[1]), 0);
+        assert_eq!(state.remaining(c[0]), 3);
+    }
+
+    #[test]
+    fn into_solution_requires_everything_served() {
+        let (p, n, _) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.serve_whole_subtree(n[1]);
+        assert!(HeuristicState::into_solution(state).is_none());
+
+        let mut state = HeuristicState::new(&p);
+        state.serve_whole_subtree(n[0]);
+        let placement = state.into_solution().unwrap();
+        assert!(placement.is_valid(&p, Policy::Multiple));
+        assert_eq!(placement.num_replicas(), 1);
+    }
+
+    #[test]
+    fn pending_clients_shrinks_as_requests_are_served() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        assert_eq!(state.pending_clients(n[0]).len(), 3);
+        state.add_replica(n[0]);
+        state.assign(c[2], n[0], 3);
+        let pending = state.pending_clients(n[0]);
+        assert_eq!(pending.len(), 2);
+        assert!(!pending.contains(&c[2]));
+    }
+}

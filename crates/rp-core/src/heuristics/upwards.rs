@@ -1,0 +1,255 @@
+//! Heuristics for the **Upwards** policy (Section 6.2).
+//!
+//! Under Upwards every client is still served by a single replica, but
+//! that replica may sit anywhere on its path to the root, so a server no
+//! longer has to absorb its whole subtree.
+
+use rp_tree::{ClientId, NodeId};
+
+use crate::heuristics::state::HeuristicState;
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// *Upwards Top Down* (UTD): two depth-first passes.
+///
+/// The first pass (Algorithm 7) places a replica on every node whose
+/// subtree holds at least `W_j` unserved requests and immediately
+/// affects to it as many **whole** clients as fit (largest first,
+/// Algorithm 6). The second pass (Algorithm 8) walks down from the root
+/// and adds a replica on each highest node that still sees unserved
+/// requests, again affecting whole clients.
+pub fn utd(problem: &ProblemInstance) -> Option<Placement> {
+    let tree = problem.tree();
+    let mut state = HeuristicState::new(problem);
+
+    // First pass: depth-first preorder, exhausted nodes become servers.
+    // (With QoS bounds, only the requests that may legally be served at
+    // the node count towards exhausting it.)
+    for node in tree.dfs_preorder_nodes() {
+        let inreq = state.eligible_inreq(node);
+        if inreq > 0 && inreq >= problem.capacity(node) {
+            state.add_replica(node);
+            state.delete_requests_single(node, problem.capacity(node));
+        }
+    }
+
+    // Second pass: for each root-most node that still sees pending
+    // requests and has no replica, add one.
+    utd_second_pass(problem, &mut state, tree.root());
+    state.into_solution()
+}
+
+fn utd_second_pass(problem: &ProblemInstance, state: &mut HeuristicState<'_>, node: NodeId) {
+    if state.inreq(node) == 0 {
+        return;
+    }
+    if !state.has_replica(node) {
+        state.add_replica(node);
+        let budget = state.eligible_inreq(node).min(problem.capacity(node));
+        state.delete_requests_single(node, budget);
+    } else {
+        for &child in problem.tree().child_nodes(node) {
+            if state.inreq(child) > 0 {
+                utd_second_pass(problem, state, child);
+            }
+        }
+    }
+}
+
+/// *Upwards Big Client First* (UBCF, Algorithm 9): clients are processed
+/// by non-increasing request count; each is assigned to the eligible
+/// ancestor with the smallest remaining capacity that can still hold all
+/// of its requests (a best-fit rule). The heuristic fails as soon as
+/// some client fits nowhere.
+pub fn ubcf(problem: &ProblemInstance) -> Option<Placement> {
+    let tree = problem.tree();
+    let mut state = HeuristicState::new(problem);
+    // Remaining capacity per node (capacities shrink as clients are placed).
+    let mut capacity_left: Vec<u64> = tree.node_ids().map(|n| problem.capacity(n)).collect();
+
+    let mut clients: Vec<ClientId> = tree
+        .client_ids()
+        .filter(|&c| problem.requests(c) > 0)
+        .collect();
+    clients.sort_by_key(|&c| std::cmp::Reverse(problem.requests(c)));
+
+    for client in clients {
+        let requests = problem.requests(client);
+        let best = problem
+            .eligible_servers(client)
+            .into_iter()
+            .filter(|&a| capacity_left[a.index()] >= requests)
+            .min_by_key(|&a| capacity_left[a.index()]);
+        match best {
+            None => return None,
+            Some(server) => {
+                capacity_left[server.index()] -= requests;
+                state.add_replica(server);
+                state.assign(client, server, requests);
+            }
+        }
+    }
+    state.into_solution()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::optimal_cost;
+    use crate::policy::Policy;
+    use rp_tree::TreeBuilder;
+
+    fn check_valid(problem: &ProblemInstance, placement: &Placement) {
+        if let Err(violations) = placement.validate(problem, Policy::Upwards) {
+            panic!("invalid Upwards placement: {violations}");
+        }
+    }
+
+    /// Figure 1(b): two stacked W = 1 nodes, two unit clients under the
+    /// lower one. Upwards needs both replicas; Closest has no solution.
+    fn figure1b() -> ProblemInstance {
+        let mut b = TreeBuilder::new();
+        let s2 = b.add_root();
+        let s1 = b.add_node(s2);
+        b.add_client(s1);
+        b.add_client(s1);
+        ProblemInstance::replica_counting(b.build().unwrap(), vec![1, 1], 1)
+    }
+
+    #[test]
+    fn both_heuristics_solve_figure_1b() {
+        let p = figure1b();
+        for (name, heuristic) in [
+            ("utd", utd as fn(&ProblemInstance) -> Option<Placement>),
+            ("ubcf", ubcf),
+        ] {
+            let placement = heuristic(&p).unwrap_or_else(|| panic!("{name} failed"));
+            check_valid(&p, &placement);
+            assert_eq!(placement.num_replicas(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn single_request_only_needs_one_replica() {
+        let mut b = TreeBuilder::new();
+        let s2 = b.add_root();
+        let s1 = b.add_node(s2);
+        b.add_client(s1);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![1], 1);
+        for heuristic in [utd, ubcf] {
+            let placement = heuristic(&p).unwrap();
+            check_valid(&p, &placement);
+            assert_eq!(placement.num_replicas(), 1);
+        }
+    }
+
+    #[test]
+    fn upwards_cannot_split_a_client() {
+        // Figure 1(c): one client with 2 requests, two W = 1 nodes.
+        let mut b = TreeBuilder::new();
+        let s2 = b.add_root();
+        let s1 = b.add_node(s2);
+        b.add_client(s1);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![2], 1);
+        assert!(utd(&p).is_none());
+        assert!(ubcf(&p).is_none());
+    }
+
+    #[test]
+    fn ubcf_uses_best_fit_on_heterogeneous_capacities() {
+        // Figure 4: s1 (W = n) above the 2-client chain, s2 (W = n),
+        // s3 (W = Kn) at the top. The client under s1 issues n - 1
+        // requests, the client under s2 issues n + 1 requests... here we
+        // reuse the spirit: a big client must go to the big server, and
+        // the small client should fill the *smallest* fitting server so
+        // that the expensive server is not bought unnecessarily.
+        let mut b = TreeBuilder::new();
+        let s3 = b.add_root();
+        let s2 = b.add_node(s3);
+        let s1 = b.add_node(s2);
+        b.add_client(s1); // 4 requests
+        b.add_client(s2); // 6 requests
+        let p = ProblemInstance::replica_cost(
+            b.build().unwrap(),
+            vec![4, 6],
+            vec![100, 6, 5], // s3 = 100, s2 = 6, s1 = 5
+        );
+        let placement = ubcf(&p).unwrap();
+        check_valid(&p, &placement);
+        // Big client (6) -> s2 (best fit 6); small client (4) -> s1 (5).
+        assert_eq!(placement.cost(&p), 11);
+        assert!(!placement.has_replica(s3));
+    }
+
+    #[test]
+    fn utd_handles_multi_level_overflow() {
+        // A deep chain where each level is exhausted in turn.
+        // root(5) -> a(5) -> b(5) -> {c0: 5, c1: 5, c2: 3}
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let bb = b.add_node(a);
+        b.add_client(bb);
+        b.add_client(bb);
+        b.add_client(bb);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![5, 5, 3], 5);
+        let placement = utd(&p).unwrap();
+        check_valid(&p, &placement);
+        assert_eq!(placement.num_replicas(), 3);
+    }
+
+    #[test]
+    fn heuristic_costs_never_beat_the_exhaustive_optimum() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let c = b.add_node(root);
+        b.add_client(a);
+        b.add_client(a);
+        b.add_client(c);
+        b.add_client(root);
+        let p = ProblemInstance::replica_cost(
+            b.build().unwrap(),
+            vec![3, 2, 4, 1],
+            vec![6, 5, 4],
+        );
+        let optimum = optimal_cost(&p, Policy::Upwards).unwrap();
+        for heuristic in [utd, ubcf] {
+            if let Some(placement) = heuristic(&p) {
+                check_valid(&p, &placement);
+                assert!(placement.cost(&p) >= optimum);
+            }
+        }
+    }
+
+    #[test]
+    fn ubcf_respects_qos_bounds() {
+        // The client with a tight QoS cannot climb to the root even if
+        // that is the only node with remaining capacity.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        b.add_client(mid);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![3, 3])
+            .capacities(vec![10, 3])
+            .storage_costs(vec![10, 3])
+            .qos(vec![Some(1), Some(1)])
+            .build();
+        // Both clients may only use `mid` (capacity 3): infeasible.
+        assert!(ubcf(&p).is_none());
+    }
+
+    #[test]
+    fn zero_requests_need_no_replicas() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_clients(root, 2);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![0, 0], 4);
+        for heuristic in [utd, ubcf] {
+            assert_eq!(heuristic(&p).unwrap().num_replicas(), 0);
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The integer-linear-program formulations of Section 5.
+//!
+//! For every policy the decision variables are:
+//!
+//! * `x_j` — 1 when node `j` hosts a replica (always integral in the
+//!   exact solves; kept integral in the *mixed* lower bound of
+//!   Section 7.1, relaxed in the fully rational bound);
+//! * `y_{i,j}` — under the single-server policies, 1 when `j` serves
+//!   client `i`; under Multiple, the number of requests of `i` served by
+//!   `j`. Only created for `j` on the path from `i` to the root and
+//!   within the client's QoS bound (other `y_{i,j}` are fixed to 0 in
+//!   the paper, so we simply do not create them);
+//! * `z_{i,l}` — the requests of `i` flowing through link `l`. These are
+//!   only materialised when needed (bandwidth constraints, or the
+//!   Closest exclusion constraints), as allowed by the paper's remark
+//!   that they can be eliminated otherwise.
+//!
+//! The objective is the total storage cost `Σ_j s_j · x_j`.
+
+use rp_lp::{Cmp, LinExpr, Model, VarId};
+use rp_tree::{ClientId, LinkId, NodeId};
+
+use crate::policy::Policy;
+use crate::problem::ProblemInstance;
+
+/// How integral the variables should be.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Integrality {
+    /// Everything integral: solving the model yields an exact optimal
+    /// placement.
+    Exact,
+    /// Only the `x_j` are integral; `y` and `z` are rational. This is the
+    /// refined lower bound used in the paper's experiments (Section 7.1).
+    MixedBound,
+    /// Fully rational relaxation: the cheapest bound.
+    RationalBound,
+}
+
+/// The model plus the bookkeeping needed to interpret its solution.
+pub struct IlpFormulation {
+    /// The LP/MILP model.
+    pub model: Model,
+    /// `x_j` variables, indexed by node index.
+    pub x: Vec<VarId>,
+    /// For every client, its eligible servers and the matching `y_{i,j}`.
+    pub y: Vec<Vec<(NodeId, VarId)>>,
+    /// For every client, the links of its path to the root and the
+    /// matching `z_{i,l}` (empty when `z` variables were not needed).
+    pub z: Vec<Vec<(LinkId, VarId)>>,
+    policy: Policy,
+}
+
+impl IlpFormulation {
+    /// The policy this formulation encodes.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The `y` variable for a given client/server pair, if it exists.
+    pub fn y_var(&self, client: ClientId, server: NodeId) -> Option<VarId> {
+        self.y[client.index()]
+            .iter()
+            .find(|(node, _)| *node == server)
+            .map(|(_, var)| *var)
+    }
+}
+
+/// Builds the formulation of `problem` under `policy` with the requested
+/// integrality.
+pub fn build_model(
+    problem: &ProblemInstance,
+    policy: Policy,
+    integrality: Integrality,
+) -> IlpFormulation {
+    let tree = problem.tree();
+    let mut model = Model::minimize();
+
+    let x_integral = matches!(integrality, Integrality::Exact | Integrality::MixedBound);
+    let yz_integral = matches!(integrality, Integrality::Exact);
+
+    // x_j: replica indicators, weighted by storage cost in the objective.
+    let x: Vec<VarId> = tree
+        .node_ids()
+        .map(|node| {
+            let cost = problem.storage_cost(node) as f64;
+            if x_integral {
+                model.add_binary_var(format!("x_{node}"), cost)
+            } else {
+                model.add_var(format!("x_{node}"), 0.0, Some(1.0), cost)
+            }
+        })
+        .collect();
+
+    // Do we need explicit z variables?
+    let need_z = problem.has_bandwidth_limits() || policy == Policy::Closest;
+
+    // y_{i,j} for eligible servers only.
+    let mut y: Vec<Vec<(NodeId, VarId)>> = Vec::with_capacity(tree.num_clients());
+    for client in tree.client_ids() {
+        let mut row = Vec::new();
+        for server in problem.eligible_servers(client) {
+            let requests = problem.requests(client) as f64;
+            let var = match policy {
+                Policy::Closest | Policy::Upwards => {
+                    if yz_integral {
+                        model.add_binary_var(format!("y_{client}_{server}"), 0.0)
+                    } else {
+                        model.add_var(format!("y_{client}_{server}"), 0.0, Some(1.0), 0.0)
+                    }
+                }
+                Policy::Multiple => {
+                    if yz_integral {
+                        model.add_int_var(format!("y_{client}_{server}"), 0.0, Some(requests), 0.0)
+                    } else {
+                        model.add_var(format!("y_{client}_{server}"), 0.0, Some(requests), 0.0)
+                    }
+                }
+            };
+            row.push((server, var));
+        }
+        y.push(row);
+    }
+
+    // z_{i,l} along each client's path, when needed.
+    let mut z: Vec<Vec<(LinkId, VarId)>> = vec![Vec::new(); tree.num_clients()];
+    if need_z {
+        for client in tree.client_ids() {
+            let requests = problem.requests(client) as f64;
+            let mut row = Vec::new();
+            for link in tree.client_path_to_root(client) {
+                let upper = match policy {
+                    Policy::Closest | Policy::Upwards => 1.0,
+                    Policy::Multiple => requests,
+                };
+                let var = if yz_integral {
+                    model.add_int_var(format!("z_{client}_{link}"), 0.0, Some(upper), 0.0)
+                } else {
+                    model.add_var(format!("z_{client}_{link}"), 0.0, Some(upper), 0.0)
+                };
+                row.push((link, var));
+            }
+            z[client.index()] = row;
+        }
+    }
+
+    // --- Coverage: every client (or every request) is assigned. ---
+    for client in tree.client_ids() {
+        let requests = problem.requests(client);
+        let rhs = match policy {
+            Policy::Closest | Policy::Upwards => {
+                if requests == 0 {
+                    continue;
+                }
+                1.0
+            }
+            Policy::Multiple => requests as f64,
+        };
+        let expr = rp_lp::lin_sum(y[client.index()].iter().map(|&(_, var)| (1.0, var)));
+        model.add_constraint(format!("cover_{client}"), expr, Cmp::Eq, rhs);
+    }
+
+    // --- Server capacities (also tie y to x). ---
+    for node in tree.node_ids() {
+        let mut expr = LinExpr::new();
+        for client in tree.client_ids() {
+            if let Some(var) = y_lookup(&y, client, node) {
+                let coeff = match policy {
+                    Policy::Closest | Policy::Upwards => problem.requests(client) as f64,
+                    Policy::Multiple => 1.0,
+                };
+                expr.add_term(coeff, var);
+            }
+        }
+        expr.add_term(-(problem.capacity(node) as f64), x[node.index()]);
+        model.add_constraint(format!("capacity_{node}"), expr, Cmp::Le, 0.0);
+    }
+
+    // --- Link-flow recurrences and bandwidths (only when z exists). ---
+    if need_z {
+        for client in tree.client_ids() {
+            let requests = problem.requests(client);
+            let path = &z[client.index()];
+            if path.is_empty() {
+                continue;
+            }
+            // First link: everything the client sends crosses it.
+            let first_rhs = match policy {
+                Policy::Closest | Policy::Upwards => {
+                    if requests == 0 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                Policy::Multiple => requests as f64,
+            };
+            model.add_constraint(
+                format!("first_link_{client}"),
+                LinExpr::var(path[0].1),
+                Cmp::Eq,
+                first_rhs,
+            );
+            // succ(l) = z_l - y_{i, upper(l)}.
+            for window in 0..path.len() {
+                let (link, z_var) = path[window];
+                let upper = tree.link_upper(link);
+                let y_upper = y_lookup(&y, client, upper);
+                let next = path.get(window + 1).map(|&(_, var)| var);
+                let mut expr = LinExpr::var(z_var);
+                if let Some(y_var) = y_upper {
+                    expr.add_term(-1.0, y_var);
+                }
+                match next {
+                    Some(next_var) => {
+                        expr.add_term(-1.0, next_var);
+                        model.add_constraint(
+                            format!("flow_{client}_{link}"),
+                            expr,
+                            Cmp::Eq,
+                            0.0,
+                        );
+                    }
+                    None => {
+                        // Topmost link: whatever crosses it must be served
+                        // by the root.
+                        model.add_constraint(
+                            format!("flow_{client}_{link}"),
+                            expr,
+                            Cmp::Eq,
+                            0.0,
+                        );
+                    }
+                }
+            }
+        }
+        // Bandwidths.
+        if problem.has_bandwidth_limits() {
+            for link in tree.link_ids() {
+                if let Some(bw) = problem.bandwidth(link) {
+                    let mut expr = LinExpr::new();
+                    for client in tree.client_ids() {
+                        if let Some(&(_, var)) =
+                            z[client.index()].iter().find(|(l, _)| *l == link)
+                        {
+                            let coeff = match policy {
+                                Policy::Closest | Policy::Upwards => {
+                                    problem.requests(client) as f64
+                                }
+                                Policy::Multiple => 1.0,
+                            };
+                            expr.add_term(coeff, var);
+                        }
+                    }
+                    if !expr.is_empty() {
+                        model.add_constraint(
+                            format!("bandwidth_{link}"),
+                            expr,
+                            Cmp::Le,
+                            bw as f64,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Closest exclusion constraints (Section 5.1). ---
+    // If node j serves client i, then no client i' below j may send
+    // requests across the link j -> parent(j):
+    //   y_{i,j} <= 1 - z_{i', j -> parent(j)}.
+    if policy == Policy::Closest {
+        for client in tree.client_ids() {
+            if problem.requests(client) == 0 {
+                continue;
+            }
+            for &(server, y_var) in &y[client.index()] {
+                if tree.is_root(server) {
+                    continue;
+                }
+                let blocking_link = LinkId::Node(server);
+                for other in tree.subtree_clients(server) {
+                    if other == client || problem.requests(other) == 0 {
+                        continue;
+                    }
+                    if let Some(&(_, z_var)) = z[other.index()]
+                        .iter()
+                        .find(|(l, _)| *l == blocking_link)
+                    {
+                        let expr = LinExpr::var(y_var).plus(1.0, z_var);
+                        model.add_constraint(
+                            format!("closest_{client}_{server}_{other}"),
+                            expr,
+                            Cmp::Le,
+                            1.0,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    IlpFormulation {
+        model,
+        x,
+        y,
+        z,
+        policy,
+    }
+}
+
+fn y_lookup(y: &[Vec<(NodeId, VarId)>], client: ClientId, node: NodeId) -> Option<VarId> {
+    y[client.index()]
+        .iter()
+        .find(|(n, _)| *n == node)
+        .map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    fn sample() -> ProblemInstance {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        b.add_client(mid);
+        b.add_client(root);
+        ProblemInstance::replica_cost(b.build().unwrap(), vec![3, 5, 2], vec![10, 10])
+    }
+
+    #[test]
+    fn multiple_formulation_without_bandwidth_has_no_z() {
+        let p = sample();
+        let f = build_model(&p, Policy::Multiple, Integrality::Exact);
+        assert!(f.z.iter().all(|row| row.is_empty()));
+        // x per node plus y per (client, eligible server):
+        // c0: 2 servers, c1: 2, c2: 1 => 5 y vars + 2 x vars.
+        assert_eq!(f.model.num_vars(), 7);
+        assert_eq!(f.policy(), Policy::Multiple);
+    }
+
+    #[test]
+    fn closest_formulation_materialises_z() {
+        let p = sample();
+        let f = build_model(&p, Policy::Closest, Integrality::Exact);
+        assert!(f.z.iter().any(|row| !row.is_empty()));
+        // The exclusion constraints must reference the link below the
+        // candidate server.
+        let text = f.model.to_string();
+        assert!(text.contains("closest_"));
+    }
+
+    #[test]
+    fn qos_restricts_the_y_variables() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![4])
+            .capacities(vec![10, 10])
+            .qos(vec![Some(1)])
+            .build();
+        let f = build_model(&p, Policy::Upwards, Integrality::Exact);
+        // Only the parent (distance 1) is eligible, not the root.
+        assert_eq!(f.y[0].len(), 1);
+    }
+
+    #[test]
+    fn mixed_bound_keeps_x_integral_and_relaxes_y() {
+        let p = sample();
+        let f = build_model(&p, Policy::Multiple, Integrality::MixedBound);
+        for &x in &f.x {
+            assert!(f.model.variable(x).integer);
+        }
+        for row in &f.y {
+            for &(_, var) in row {
+                assert!(!f.model.variable(var).integer);
+            }
+        }
+        let relaxed = build_model(&p, Policy::Multiple, Integrality::RationalBound);
+        assert!(relaxed.model.is_pure_lp());
+    }
+
+    #[test]
+    fn y_var_lookup_matches_registry() {
+        let p = sample();
+        let f = build_model(&p, Policy::Multiple, Integrality::Exact);
+        let client = p.tree().client_ids().next().unwrap();
+        let server = p.tree().parent_of_client(client);
+        assert!(f.y_var(client, server).is_some());
+        // The root is also eligible for this client.
+        assert!(f.y_var(client, p.tree().root()).is_some());
+    }
+
+    #[test]
+    fn bandwidth_limits_generate_constraints() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![4])
+            .capacities(vec![10, 10])
+            .node_link_bandwidths(vec![None, Some(2)])
+            .build();
+        let f = build_model(&p, Policy::Multiple, Integrality::Exact);
+        let text = f.model.to_string();
+        assert!(text.contains("bandwidth_"));
+        assert!(text.contains("first_link_"));
+    }
+}

@@ -1,0 +1,356 @@
+//! ILP-based exact solves and LP-based lower bounds (Sections 5 and 7.1).
+
+mod formulation;
+
+pub use formulation::{build_model, IlpFormulation, Integrality};
+
+use rp_lp::{solve_lp_with, solve_milp_with, BranchBoundOptions, SimplexOptions, Status};
+
+use crate::policy::Policy;
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// Options for the ILP solver.
+#[derive(Clone, Copy, Debug)]
+pub struct IlpOptions {
+    /// Options of the underlying branch-and-bound / simplex.
+    pub branch_bound: BranchBoundOptions,
+}
+
+impl Default for IlpOptions {
+    fn default() -> Self {
+        IlpOptions {
+            branch_bound: BranchBoundOptions {
+                max_nodes: 20_000,
+                ..BranchBoundOptions::default()
+            },
+        }
+    }
+}
+
+/// Result of an exact ILP solve.
+#[derive(Clone, Debug)]
+pub enum IlpOutcome {
+    /// An optimal placement was found and extracted.
+    Optimal(Placement),
+    /// The instance is infeasible under the requested policy.
+    Infeasible,
+    /// The node limit was hit before optimality was proven; the best
+    /// incumbent (if any) is returned.
+    NodeLimit(Option<Placement>),
+}
+
+impl IlpOutcome {
+    /// The placement, when one is available (optimal or incumbent).
+    pub fn into_placement(self) -> Option<Placement> {
+        match self {
+            IlpOutcome::Optimal(p) => Some(p),
+            IlpOutcome::Infeasible => None,
+            IlpOutcome::NodeLimit(p) => p,
+        }
+    }
+}
+
+/// Solves the exact ILP for `problem` under `policy` and extracts the
+/// placement.
+pub fn solve_exact_ilp(problem: &ProblemInstance, policy: Policy) -> IlpOutcome {
+    solve_exact_ilp_with(problem, policy, &IlpOptions::default())
+}
+
+/// [`solve_exact_ilp`] with explicit options.
+pub fn solve_exact_ilp_with(
+    problem: &ProblemInstance,
+    policy: Policy,
+    options: &IlpOptions,
+) -> IlpOutcome {
+    let formulation = build_model(problem, policy, Integrality::Exact);
+    let outcome = solve_milp_with(&formulation.model, &options.branch_bound);
+    match outcome.status {
+        Status::Infeasible => IlpOutcome::Infeasible,
+        Status::Optimal => {
+            let incumbent = outcome.incumbent.expect("optimal status implies an incumbent");
+            IlpOutcome::Optimal(extract_placement(problem, policy, &formulation, &incumbent.values))
+        }
+        _ => IlpOutcome::NodeLimit(
+            outcome
+                .incumbent
+                .map(|s| extract_placement(problem, policy, &formulation, &s.values)),
+        ),
+    }
+}
+
+/// Which LP relaxation to use for the lower bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoundKind {
+    /// Fully rational relaxation of the Multiple formulation — cheapest
+    /// to compute, weakest bound.
+    Rational,
+    /// The paper's refined bound (Section 7.1): `x_j` integral, request
+    /// variables rational. Falls back to the weakest open-node
+    /// relaxation when the branch-and-bound node limit is hit, which is
+    /// still a valid lower bound.
+    Mixed,
+}
+
+/// An LP-based lower bound on the optimal replica cost.
+///
+/// The bound is computed on the **Multiple** formulation: since any
+/// Closest or Upwards solution is also a Multiple solution, the value is
+/// a valid lower bound for all three policies (this is exactly how the
+/// paper's experiments use it). Returns `None` when even the Multiple
+/// relaxation is infeasible (no policy has a solution).
+pub fn lower_bound(problem: &ProblemInstance, kind: BoundKind) -> Option<f64> {
+    lower_bound_with(problem, kind, &IlpOptions::default())
+}
+
+/// [`lower_bound`] with explicit options.
+pub fn lower_bound_with(
+    problem: &ProblemInstance,
+    kind: BoundKind,
+    options: &IlpOptions,
+) -> Option<f64> {
+    match kind {
+        BoundKind::Rational => {
+            let formulation = build_model(problem, Policy::Multiple, Integrality::RationalBound);
+            let solution = solve_lp_with(&formulation.model, &options.branch_bound.simplex);
+            match solution.status {
+                Status::Optimal => Some(solution.objective),
+                Status::Infeasible => None,
+                // A failed solve yields no usable bound; fall back to 0,
+                // which is always valid.
+                _ => Some(0.0),
+            }
+        }
+        BoundKind::Mixed => {
+            let formulation = build_model(problem, Policy::Multiple, Integrality::MixedBound);
+            let outcome = solve_milp_with(&formulation.model, &options.branch_bound);
+            match outcome.status {
+                Status::Infeasible => None,
+                Status::Unbounded => Some(0.0),
+                _ => outcome.bound.or(Some(0.0)),
+            }
+        }
+    }
+}
+
+/// Rounds an LP lower bound up to the next integer (all storage costs
+/// are integral, so this is still a valid bound), guarding against
+/// floating-point noise.
+pub fn integral_lower_bound(bound: f64) -> u64 {
+    (bound - 1e-6).ceil().max(0.0) as u64
+}
+
+/// Turns an (integral) ILP solution back into a [`Placement`].
+fn extract_placement(
+    problem: &ProblemInstance,
+    policy: Policy,
+    formulation: &IlpFormulation,
+    values: &[f64],
+) -> Placement {
+    let tree = problem.tree();
+    let mut placement = Placement::empty(tree.num_clients());
+    for (index, &x_var) in formulation.x.iter().enumerate() {
+        if values[x_var.index()] > 0.5 {
+            placement.add_replica(rp_tree::NodeId::from_index(index));
+        }
+    }
+    for client in tree.client_ids() {
+        let requests = problem.requests(client);
+        if requests == 0 {
+            continue;
+        }
+        for &(server, y_var) in &formulation.y[client.index()] {
+            let value = values[y_var.index()];
+            let amount = match policy {
+                Policy::Closest | Policy::Upwards => {
+                    if value > 0.5 {
+                        requests
+                    } else {
+                        0
+                    }
+                }
+                Policy::Multiple => value.round().max(0.0) as u64,
+            };
+            if amount > 0 {
+                placement.assign(client, server, amount);
+            }
+        }
+    }
+    placement
+}
+
+/// Convenience: the cost of the exact ILP optimum, if feasible and
+/// proven optimal within the node limit.
+pub fn exact_optimal_cost(problem: &ProblemInstance, policy: Policy) -> Option<u64> {
+    match solve_exact_ilp(problem, policy) {
+        IlpOutcome::Optimal(p) => Some(p.cost(problem)),
+        _ => None,
+    }
+}
+
+/// Simplex options tuned for the larger relaxations used in experiment
+/// sweeps (looser tolerance, higher iteration budget).
+pub fn sweep_simplex_options() -> SimplexOptions {
+    SimplexOptions {
+        tolerance: 1e-6,
+        max_iterations: Some(200_000),
+        bland_after: 20_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{optimal_cost, solve_multiple_homogeneous};
+    use rp_tree::TreeBuilder;
+
+    fn small_instance() -> ProblemInstance {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let c = b.add_node(root);
+        b.add_client(a);
+        b.add_client(a);
+        b.add_client(c);
+        b.add_client(root);
+        ProblemInstance::replica_cost(b.build().unwrap(), vec![3, 2, 4, 1], vec![6, 5, 4])
+    }
+
+    #[test]
+    fn ilp_matches_the_exhaustive_oracle_on_all_policies() {
+        let p = small_instance();
+        for policy in Policy::ALL {
+            let ilp = exact_optimal_cost(&p, policy);
+            let oracle = optimal_cost(&p, policy);
+            assert_eq!(ilp, oracle, "policy {policy}");
+            if let IlpOutcome::Optimal(placement) = solve_exact_ilp(&p, policy) {
+                assert!(
+                    placement.is_valid(&p, policy),
+                    "ILP placement invalid for {policy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ilp_matches_the_polynomial_multiple_algorithm() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let c = b.add_node(root);
+        b.add_client(a);
+        b.add_client(a);
+        b.add_client(c);
+        b.add_client(root);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![3, 1, 2, 2], 4);
+        let algorithmic = solve_multiple_homogeneous(&p)
+            .into_placement()
+            .map(|pl| pl.cost(&p));
+        assert_eq!(exact_optimal_cost(&p, Policy::Multiple), algorithmic);
+    }
+
+    #[test]
+    fn infeasible_instances_are_reported() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_client(root);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![5], 2);
+        for policy in Policy::ALL {
+            assert!(matches!(
+                solve_exact_ilp(&p, policy),
+                IlpOutcome::Infeasible
+            ));
+        }
+        assert_eq!(lower_bound(&p, BoundKind::Rational), None);
+        assert_eq!(lower_bound(&p, BoundKind::Mixed), None);
+    }
+
+    #[test]
+    fn bounds_never_exceed_the_optimum_and_mixed_dominates_rational() {
+        let p = small_instance();
+        let optimum = optimal_cost(&p, Policy::Multiple).unwrap() as f64;
+        let rational = lower_bound(&p, BoundKind::Rational).unwrap();
+        let mixed = lower_bound(&p, BoundKind::Mixed).unwrap();
+        assert!(rational <= optimum + 1e-6);
+        assert!(mixed <= optimum + 1e-6);
+        assert!(mixed + 1e-6 >= rational);
+    }
+
+    #[test]
+    fn integral_lower_bound_rounds_up_safely() {
+        assert_eq!(integral_lower_bound(3.0000001), 3);
+        assert_eq!(integral_lower_bound(3.2), 4);
+        assert_eq!(integral_lower_bound(0.0), 0);
+        assert_eq!(integral_lower_bound(-0.5), 0);
+    }
+
+    #[test]
+    fn closest_ilp_detects_figure_1b_infeasibility() {
+        let mut b = TreeBuilder::new();
+        let s2 = b.add_root();
+        let s1 = b.add_node(s2);
+        b.add_client(s1);
+        b.add_client(s1);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![1, 1], 1);
+        assert!(matches!(
+            solve_exact_ilp(&p, Policy::Closest),
+            IlpOutcome::Infeasible
+        ));
+        assert_eq!(exact_optimal_cost(&p, Policy::Upwards), Some(2));
+        assert_eq!(exact_optimal_cost(&p, Policy::Multiple), Some(2));
+    }
+
+    #[test]
+    fn qos_constrained_ilp_matches_oracle() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        b.add_client(root);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![2, 1])
+            .capacities(vec![3, 3])
+            .storage_costs(vec![3, 3])
+            .qos(vec![Some(1), Some(1)])
+            .build();
+        // The mid client may only use mid; the root client only the root.
+        for policy in Policy::ALL {
+            assert_eq!(exact_optimal_cost(&p, policy), Some(6), "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_constrained_ilp_is_tighter() {
+        // One client with 4 requests under mid; the link mid -> root only
+        // carries 1 request. Serving from the root alone is impossible.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        let tree = b.build().unwrap();
+        let unconstrained = ProblemInstance::builder(tree.clone())
+            .requests(vec![4])
+            .capacities(vec![10, 3])
+            .storage_costs(vec![10, 3])
+            .build();
+        // Without bandwidth limits the cheapest solution serves the whole
+        // client from the root (cost 10).
+        assert_eq!(
+            exact_optimal_cost(&unconstrained, Policy::Multiple),
+            Some(10)
+        );
+        let constrained = ProblemInstance::builder(tree)
+            .requests(vec![4])
+            .capacities(vec![10, 3])
+            .storage_costs(vec![10, 3])
+            .node_link_bandwidths(vec![None, Some(0)])
+            .build();
+        // With a dead link above mid, everything must be served at mid,
+        // whose capacity (3) is too small: infeasible.
+        assert!(matches!(
+            solve_exact_ilp(&constrained, Policy::Multiple),
+            IlpOutcome::Infeasible
+        ));
+    }
+}

@@ -1,0 +1,351 @@
+//! Plain-text (de)serialisation of whole problem instances.
+//!
+//! Builds on `rp_tree::text` (which covers the topology) and adds the
+//! per-client and per-node attributes, so generated workloads can be
+//! archived next to experiment results and re-solved later:
+//!
+//! ```text
+//! problem v1
+//! kind cost                     # or: counting
+//! tree v1
+//! node 0 root
+//! node 1 parent 0
+//! client 0 parent 1
+//! client 1 parent 0
+//! endtree
+//! client 0 requests 12 qos 3
+//! client 1 requests 4
+//! node 0 capacity 100 cost 100
+//! node 1 capacity 50 cost 50 bandwidth 80
+//! ```
+//!
+//! Omitted attributes default to: no QoS bound, unbounded link bandwidth
+//! (the root's `bandwidth`, having no upwards link, is ignored).
+
+use rp_tree::text::{parse_tree, write_tree};
+use rp_tree::TreeError;
+
+use crate::problem::{ProblemInstance, ProblemKind};
+
+/// Serialises a problem instance into the text format.
+pub fn write_problem(problem: &ProblemInstance) -> String {
+    let tree = problem.tree();
+    let mut out = String::from("problem v1\n");
+    out.push_str(match problem.kind() {
+        ProblemKind::ReplicaCounting => "kind counting\n",
+        ProblemKind::ReplicaCost => "kind cost\n",
+    });
+    out.push_str(&write_tree(tree));
+    out.push_str("endtree\n");
+    for client in tree.client_ids() {
+        out.push_str(&format!(
+            "client {} requests {}",
+            client.index(),
+            problem.requests(client)
+        ));
+        if let Some(q) = problem.qos(client) {
+            out.push_str(&format!(" qos {q}"));
+        }
+        if let Some(bw) = problem.bandwidth(rp_tree::LinkId::Client(client)) {
+            out.push_str(&format!(" bandwidth {bw}"));
+        }
+        out.push('\n');
+    }
+    for node in tree.node_ids() {
+        out.push_str(&format!(
+            "node {} capacity {} cost {}",
+            node.index(),
+            problem.capacity(node),
+            problem.storage_cost(node)
+        ));
+        if !tree.is_root(node) {
+            if let Some(bw) = problem.bandwidth(rp_tree::LinkId::Node(node)) {
+                out.push_str(&format!(" bandwidth {bw}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a problem instance from the text format produced by
+/// [`write_problem`].
+pub fn parse_problem(input: &str) -> Result<ProblemInstance, TreeError> {
+    let mut lines = input.lines().enumerate();
+
+    // Header.
+    let mut kind = ProblemKind::ReplicaCost;
+    let mut tree_text = String::new();
+    let mut saw_problem_header = false;
+    let mut saw_kind = false;
+    let mut in_tree = false;
+    let mut tree_done = false;
+    let mut attribute_lines: Vec<(usize, String)> = Vec::new();
+
+    for (line_no, raw) in lines.by_ref() {
+        let line_no = line_no + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if !saw_problem_header {
+            if line != "problem v1" {
+                return Err(parse_err(line_no, "expected header `problem v1`"));
+            }
+            saw_problem_header = true;
+            continue;
+        }
+        if !saw_kind {
+            kind = match line.as_str() {
+                "kind counting" => ProblemKind::ReplicaCounting,
+                "kind cost" => ProblemKind::ReplicaCost,
+                _ => return Err(parse_err(line_no, "expected `kind counting` or `kind cost`")),
+            };
+            saw_kind = true;
+            continue;
+        }
+        if !tree_done && !in_tree {
+            if line == "tree v1" {
+                in_tree = true;
+                tree_text.push_str("tree v1\n");
+                continue;
+            }
+            return Err(parse_err(line_no, "expected the embedded `tree v1` block"));
+        }
+        if in_tree {
+            if line == "endtree" {
+                in_tree = false;
+                tree_done = true;
+            } else {
+                tree_text.push_str(&line);
+                tree_text.push('\n');
+            }
+            continue;
+        }
+        attribute_lines.push((line_no, line));
+    }
+
+    if tree_text.is_empty() {
+        return Err(parse_err(0, "missing embedded tree block"));
+    }
+    let tree = parse_tree(&tree_text)?;
+
+    let num_clients = tree.num_clients();
+    let num_nodes = tree.num_nodes();
+    let mut requests = vec![None::<u64>; num_clients];
+    let mut qos = vec![None::<u32>; num_clients];
+    let mut client_bw = vec![None::<u64>; num_clients];
+    let mut capacities = vec![None::<u64>; num_nodes];
+    let mut costs = vec![None::<u64>; num_nodes];
+    let mut node_bw = vec![None::<u64>; num_nodes];
+
+    for (line_no, line) in attribute_lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["client", index, rest @ ..] => {
+                let index: usize = index
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "invalid client index"))?;
+                if index >= num_clients {
+                    return Err(parse_err(line_no, "client index out of range"));
+                }
+                let attrs = parse_attributes(rest, line_no)?;
+                for (key, value) in attrs {
+                    match key {
+                        "requests" => requests[index] = Some(value),
+                        "qos" => qos[index] = Some(value as u32),
+                        "bandwidth" => client_bw[index] = Some(value),
+                        _ => return Err(parse_err(line_no, "unknown client attribute")),
+                    }
+                }
+            }
+            ["node", index, rest @ ..] => {
+                let index: usize = index
+                    .parse()
+                    .map_err(|_| parse_err(line_no, "invalid node index"))?;
+                if index >= num_nodes {
+                    return Err(parse_err(line_no, "node index out of range"));
+                }
+                let attrs = parse_attributes(rest, line_no)?;
+                for (key, value) in attrs {
+                    match key {
+                        "capacity" => capacities[index] = Some(value),
+                        "cost" => costs[index] = Some(value),
+                        "bandwidth" => node_bw[index] = Some(value),
+                        _ => return Err(parse_err(line_no, "unknown node attribute")),
+                    }
+                }
+            }
+            _ => return Err(parse_err(line_no, "expected `client ...` or `node ...`")),
+        }
+    }
+
+    let requests: Vec<u64> = requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or_else(|| parse_err(0, &format!("client {i} has no `requests`"))))
+        .collect::<Result<_, _>>()?;
+    let capacities: Vec<u64> = capacities
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.ok_or_else(|| parse_err(0, &format!("node {i} has no `capacity`"))))
+        .collect::<Result<_, _>>()?;
+    let costs: Vec<u64> = costs
+        .into_iter()
+        .zip(capacities.iter())
+        .map(|(cost, &capacity)| cost.unwrap_or(capacity))
+        .collect();
+
+    Ok(ProblemInstance::builder(tree)
+        .requests(requests)
+        .capacities(capacities)
+        .storage_costs(costs)
+        .qos(qos)
+        .client_link_bandwidths(client_bw)
+        .node_link_bandwidths(node_bw)
+        .kind(kind)
+        .build())
+}
+
+fn parse_attributes<'a>(
+    tokens: &[&'a str],
+    line_no: usize,
+) -> Result<Vec<(&'a str, u64)>, TreeError> {
+    if tokens.len() % 2 != 0 {
+        return Err(parse_err(line_no, "attributes must come in `key value` pairs"));
+    }
+    let mut out = Vec::with_capacity(tokens.len() / 2);
+    for pair in tokens.chunks(2) {
+        let value: u64 = pair[1]
+            .parse()
+            .map_err(|_| parse_err(line_no, "attribute values must be non-negative integers"))?;
+        out.push((pair[0], value));
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_err(line: usize, message: &str) -> TreeError {
+    TreeError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::{LinkId, TreeBuilder};
+
+    fn sample_problem() -> ProblemInstance {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let hub = b.add_node(root);
+        b.add_client(hub);
+        b.add_client(root);
+        let tree = b.build().unwrap();
+        ProblemInstance::builder(tree)
+            .requests(vec![12, 4])
+            .capacities(vec![100, 50])
+            .storage_costs(vec![90, 50])
+            .qos(vec![Some(3), None])
+            .node_link_bandwidths(vec![None, Some(80)])
+            .kind(ProblemKind::ReplicaCost)
+            .build()
+    }
+
+    fn problems_equal(a: &ProblemInstance, b: &ProblemInstance) -> bool {
+        if a.tree() != b.tree() || a.kind() != b.kind() {
+            return false;
+        }
+        a.tree().client_ids().all(|c| {
+            a.requests(c) == b.requests(c)
+                && a.qos(c) == b.qos(c)
+                && a.bandwidth(LinkId::Client(c)) == b.bandwidth(LinkId::Client(c))
+        }) && a.tree().node_ids().all(|n| {
+            a.capacity(n) == b.capacity(n)
+                && a.storage_cost(n) == b.storage_cost(n)
+                && (a.tree().is_root(n)
+                    || a.bandwidth(LinkId::Node(n)) == b.bandwidth(LinkId::Node(n)))
+        })
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let p = sample_problem();
+        let text = write_problem(&p);
+        let parsed = parse_problem(&text).unwrap();
+        assert!(problems_equal(&p, &parsed), "round-trip mismatch:\n{text}");
+    }
+
+    #[test]
+    fn counting_kind_round_trips() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_clients(root, 2);
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![1, 2], 5);
+        let parsed = parse_problem(&write_problem(&p)).unwrap();
+        assert_eq!(parsed.kind(), ProblemKind::ReplicaCounting);
+        assert!(problems_equal(&p, &parsed));
+    }
+
+    #[test]
+    fn missing_cost_defaults_to_capacity() {
+        let text = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+                    client 0 requests 7\nnode 0 capacity 10\n";
+        let p = parse_problem(text).unwrap();
+        let node = p.tree().node_ids().next().unwrap();
+        assert_eq!(p.capacity(node), 10);
+        assert_eq!(p.storage_cost(node), 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_tolerated() {
+        let text = "\n# archived workload\nproblem v1\nkind cost\ntree v1\nnode 0 root\n\
+                    client 0 parent 0\nendtree\nclient 0 requests 3  # peak rate\nnode 0 capacity 5\n";
+        let p = parse_problem(text).unwrap();
+        assert_eq!(p.total_requests(), 3);
+    }
+
+    #[test]
+    fn missing_attributes_are_reported() {
+        let no_requests = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+                           node 0 capacity 5\n";
+        assert!(parse_problem(no_requests)
+            .unwrap_err()
+            .to_string()
+            .contains("no `requests`"));
+        let no_capacity = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+                           client 0 requests 1\n";
+        assert!(parse_problem(no_capacity)
+            .unwrap_err()
+            .to_string()
+            .contains("no `capacity`"));
+    }
+
+    #[test]
+    fn malformed_headers_and_attributes_are_rejected() {
+        assert!(parse_problem("tree v1\n").is_err());
+        assert!(parse_problem("problem v1\nbogus\n").is_err());
+        let bad_attr = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+                        client 0 requests\nnode 0 capacity 5\n";
+        assert!(parse_problem(bad_attr).is_err());
+        let bad_index = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+                         client 9 requests 1\nnode 0 capacity 5\n";
+        assert!(parse_problem(bad_index).is_err());
+    }
+
+    #[test]
+    fn parsed_instances_are_solvable() {
+        let p = sample_problem();
+        let parsed = parse_problem(&write_problem(&p)).unwrap();
+        let placement = crate::Heuristic::MixedBest.run(&parsed).expect("feasible");
+        assert!(placement.is_valid(&parsed, crate::Policy::Multiple));
+    }
+}

@@ -1,0 +1,70 @@
+//! # rp-core — replica placement in tree networks
+//!
+//! The core library of this reproduction of *"Strategies for Replica
+//! Placement in Tree Networks"* (Benoit, Rehn, Robert; IPPS 2007). It
+//! provides:
+//!
+//! * [`ProblemInstance`] — a distribution tree decorated with client
+//!   requests, server capacities and storage costs, optional QoS bounds
+//!   and link bandwidths (Section 2);
+//! * [`Policy`] — the three access policies *Closest*, *Upwards* and
+//!   *Multiple* (Section 3);
+//! * [`Placement`] — solutions (replica set + request assignment) with
+//!   full constraint validation;
+//! * [`exact`] — the paper's optimal polynomial algorithm for
+//!   Multiple/homogeneous instances (Section 4.1) and an exhaustive
+//!   oracle for small instances;
+//! * [`heuristics`] — the eight polynomial heuristics of Section 6 plus
+//!   MixedBest;
+//! * [`ilp`] — the integer-linear-program formulations of Section 5 and
+//!   the LP-based lower bounds of Section 7.1;
+//! * [`bounds`] — the closed-form bounds of Section 3.4;
+//! * [`multi`] — the several-object-types extension of Section 8.1;
+//! * [`objective`] — the read/write/combined objectives of Section 8.2;
+//! * [`io`] — plain-text (de)serialisation of whole problem instances;
+//! * [`assignment`] — request-assignment procedures for a fixed replica
+//!   set, shared by the solvers above.
+//!
+//! ```
+//! use rp_core::{Heuristic, Policy, ProblemInstance};
+//! use rp_tree::TreeBuilder;
+//!
+//! // A toy CDN: the root, two regional hubs, four clients.
+//! let mut b = TreeBuilder::new();
+//! let root = b.add_root();
+//! let east = b.add_node(root);
+//! let west = b.add_node(root);
+//! b.add_clients(east, 2);
+//! b.add_clients(west, 2);
+//! let tree = b.build().unwrap();
+//!
+//! let problem = ProblemInstance::replica_cost(
+//!     tree,
+//!     vec![30, 25, 40, 10],      // requests per client
+//!     vec![120, 60, 60],         // capacity (= cost) per node
+//! );
+//!
+//! let placement = Heuristic::MixedBest.run(&problem).expect("feasible");
+//! assert!(placement.is_valid(&problem, Policy::Multiple));
+//! assert!(placement.cost(&problem) <= 180);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod bounds;
+pub mod exact;
+pub mod heuristics;
+pub mod ilp;
+pub mod io;
+pub mod multi;
+pub mod objective;
+mod policy;
+mod problem;
+mod solution;
+
+pub use heuristics::{mixed_best, Heuristic};
+pub use policy::Policy;
+pub use problem::{ProblemBuilder, ProblemInstance, ProblemKind};
+pub use solution::{Assignment, Placement, Violation, Violations};

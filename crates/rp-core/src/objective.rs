@@ -1,0 +1,217 @@
+//! Richer objective functions — the extension sketched in Section 8.2 of
+//! the paper.
+//!
+//! The core problem only charges for the replicas themselves
+//! (`Σ s_j`). Realistic deployments also care about
+//!
+//! * the **read cost** — the communication incurred by routing requests
+//!   to their servers (here: requests × hops, the QoS=distance metric);
+//! * the **write cost** — propagating an update to every replica, which
+//!   travels along the minimal subtree of the tree spanning the replica
+//!   set (the paper follows Wolfson & Milo in using this spanning
+//!   structure);
+//! * a **linear combination** `α·storage + β·read + γ·write` of the
+//!   three.
+//!
+//! The placement algorithms do not optimise these quantities (the paper
+//! leaves that as future work), but the evaluators below make it easy to
+//! compare placements under richer objectives — see the
+//! `objective_tradeoffs` example.
+
+use crate::problem::ProblemInstance;
+use crate::solution::Placement;
+
+/// Weights of the combined objective `α·storage + β·read + γ·write`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Weight of the replica storage cost (the paper's base objective).
+    pub storage: f64,
+    /// Weight of the read (request-routing) cost.
+    pub read: f64,
+    /// Weight of the write (update-propagation) cost.
+    pub write: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights {
+            storage: 1.0,
+            read: 0.0,
+            write: 0.0,
+        }
+    }
+}
+
+/// Read cost of a placement: every request pays one unit per hop between
+/// its client and the replica that serves it (requests served by the
+/// client's own parent pay 1).
+pub fn read_cost(problem: &ProblemInstance, placement: &Placement) -> u64 {
+    let tree = problem.tree();
+    let mut total = 0u64;
+    for client in tree.client_ids() {
+        for assignment in placement.assignments(client) {
+            let hops = tree
+                .client_distance(client, assignment.server)
+                .expect("assignments are validated to lie on the client's path");
+            total += assignment.amount * u64::from(hops);
+        }
+    }
+    total
+}
+
+/// Write cost of a placement: the number of tree links in the minimal
+/// subtree connecting all replicas (0 or 1 replica costs nothing),
+/// multiplied by `updates` — the number of updates per time unit.
+///
+/// In a tree the minimal connecting subtree is exactly the set of links
+/// whose lower subtree contains *some but not all* replicas, so the cost
+/// is computed in one bottom-up pass.
+pub fn write_cost(problem: &ProblemInstance, placement: &Placement, updates: u64) -> u64 {
+    let tree = problem.tree();
+    let total_replicas = placement.num_replicas();
+    if total_replicas <= 1 || updates == 0 {
+        return 0;
+    }
+    let mut below = vec![0usize; tree.num_nodes()];
+    for node in tree.postorder_nodes() {
+        let mut count = usize::from(placement.has_replica(node));
+        for &child in tree.child_nodes(node) {
+            count += below[child.index()];
+        }
+        below[node.index()] = count;
+    }
+    let spanning_links = tree
+        .node_ids()
+        .filter(|&node| !tree.is_root(node))
+        .filter(|&node| below[node.index()] > 0 && below[node.index()] < total_replicas)
+        .count() as u64;
+    spanning_links * updates
+}
+
+/// The combined objective `α·storage + β·read + γ·write` for a given
+/// update rate.
+pub fn combined_cost(
+    problem: &ProblemInstance,
+    placement: &Placement,
+    weights: &ObjectiveWeights,
+    updates: u64,
+) -> f64 {
+    weights.storage * placement.cost(problem) as f64
+        + weights.read * read_cost(problem, placement) as f64
+        + weights.write * write_cost(problem, placement, updates) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use rp_tree::{NodeId, TreeBuilder};
+
+    /// root(n0) -> n1 -> n2 -> {c0}; root -> {c1}
+    fn chain_problem() -> (ProblemInstance, Vec<NodeId>) {
+        let mut b = TreeBuilder::new();
+        let n0 = b.add_root();
+        let n1 = b.add_node(n0);
+        let n2 = b.add_node(n1);
+        b.add_client(n2);
+        b.add_client(n0);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::replica_counting(tree, vec![4, 2], 10);
+        (p, vec![n0, n1, n2])
+    }
+
+    #[test]
+    fn read_cost_counts_requests_times_hops() {
+        let (p, n) = chain_problem();
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        // Serve c0 (4 requests) at the root: 3 hops; c1 (2 requests) at
+        // the root: 1 hop. Read cost = 4*3 + 2*1 = 14.
+        let mut far = Placement::empty(2);
+        far.add_replica(n[0]);
+        far.assign(clients[0], n[0], 4);
+        far.assign(clients[1], n[0], 2);
+        assert!(far.is_valid(&p, Policy::Upwards));
+        assert_eq!(read_cost(&p, &far), 14);
+
+        // Serve c0 at its parent instead: 4*1 + 2*1 = 6.
+        let mut near = Placement::empty(2);
+        near.add_replica(n[2]);
+        near.add_replica(n[0]);
+        near.assign(clients[0], n[2], 4);
+        near.assign(clients[1], n[0], 2);
+        assert!(near.is_valid(&p, Policy::Upwards));
+        assert_eq!(read_cost(&p, &near), 6);
+    }
+
+    #[test]
+    fn write_cost_is_the_spanning_subtree_size() {
+        let (p, n) = chain_problem();
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        let mut placement = Placement::empty(2);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[2]);
+        placement.assign(clients[0], n[2], 4);
+        placement.assign(clients[1], n[0], 2);
+        // The spanning subtree between n0 and n2 uses the two links
+        // n2 -> n1 and n1 -> n0.
+        assert_eq!(write_cost(&p, &placement, 1), 2);
+        assert_eq!(write_cost(&p, &placement, 5), 10);
+    }
+
+    #[test]
+    fn single_replica_has_no_write_cost() {
+        let (p, n) = chain_problem();
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        let mut placement = Placement::empty(2);
+        placement.add_replica(n[0]);
+        placement.assign(clients[0], n[0], 4);
+        placement.assign(clients[1], n[0], 2);
+        assert_eq!(write_cost(&p, &placement, 7), 0);
+        assert_eq!(write_cost(&p, &Placement::empty(2), 7), 0);
+    }
+
+    #[test]
+    fn combined_cost_weights_the_three_components() {
+        let (p, n) = chain_problem();
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        let mut placement = Placement::empty(2);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[2]);
+        placement.assign(clients[0], n[2], 4);
+        placement.assign(clients[1], n[0], 2);
+
+        let storage_only = combined_cost(&p, &placement, &ObjectiveWeights::default(), 3);
+        assert!((storage_only - 2.0).abs() < 1e-12); // unit costs, 2 replicas
+
+        let weights = ObjectiveWeights {
+            storage: 1.0,
+            read: 0.5,
+            write: 2.0,
+        };
+        // storage 2, read 4*1 + 2*1 = 6, write 2 links * 3 updates = 6.
+        let combined = combined_cost(&p, &placement, &weights, 3);
+        assert!((combined - (2.0 + 0.5 * 6.0 + 2.0 * 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_placements_trade_write_cost_for_read_cost() {
+        // The classic trade-off: replicas near the clients lower the read
+        // cost but enlarge the spanning subtree that updates must cover.
+        let (p, n) = chain_problem();
+        let clients: Vec<_> = p.tree().client_ids().collect();
+
+        let mut near = Placement::empty(2);
+        near.add_replica(n[2]);
+        near.add_replica(n[0]);
+        near.assign(clients[0], n[2], 4);
+        near.assign(clients[1], n[0], 2);
+
+        let mut far = Placement::empty(2);
+        far.add_replica(n[0]);
+        far.assign(clients[0], n[0], 4);
+        far.assign(clients[1], n[0], 2);
+
+        assert!(read_cost(&p, &near) < read_cost(&p, &far));
+        assert!(write_cost(&p, &near, 1) > write_cost(&p, &far, 1));
+    }
+}

@@ -1,0 +1,102 @@
+//! The three server access policies compared in the paper (Section 3).
+
+use std::fmt;
+
+/// How a client's requests may be mapped onto replica servers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Policy {
+    /// *Closest* — the classical policy from the literature: every client
+    /// is served entirely by the **first** replica encountered on its
+    /// path to the root. A replica therefore "shields" its subtree:
+    /// requests from below may never traverse it to be served higher up.
+    Closest,
+    /// *Upwards* — the general single-server policy introduced by the
+    /// paper: every client is served entirely by a single replica, which
+    /// may be **any** node on its path to the root.
+    Upwards,
+    /// *Multiple* — the multiple-server policy introduced by the paper:
+    /// a client's requests may be **split** across several replicas on
+    /// its path to the root.
+    Multiple,
+}
+
+impl Policy {
+    /// All three policies, from most to least constrained.
+    pub const ALL: [Policy; 3] = [Policy::Closest, Policy::Upwards, Policy::Multiple];
+
+    /// Short name used in tables and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Closest => "Closest",
+            Policy::Upwards => "Upwards",
+            Policy::Multiple => "Multiple",
+        }
+    }
+
+    /// Whether each client must be served by exactly one replica.
+    pub fn is_single_server(self) -> bool {
+        matches!(self, Policy::Closest | Policy::Upwards)
+    }
+
+    /// Returns `true` when any valid solution under `self` is also valid
+    /// under `other` (the policy hierarchy of Section 3: Closest ⊆
+    /// Upwards ⊆ Multiple). Consequently the optimal cost under `other`
+    /// is at most the optimal cost under `self`.
+    pub fn is_refined_by(self, other: Policy) -> bool {
+        self.rank() <= other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Policy::Closest => 0,
+            Policy::Upwards => 1,
+            Policy::Multiple => 2,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_display_agree() {
+        for p in Policy::ALL {
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(Policy::Closest.name(), "Closest");
+        assert_eq!(Policy::Upwards.name(), "Upwards");
+        assert_eq!(Policy::Multiple.name(), "Multiple");
+    }
+
+    #[test]
+    fn single_server_classification() {
+        assert!(Policy::Closest.is_single_server());
+        assert!(Policy::Upwards.is_single_server());
+        assert!(!Policy::Multiple.is_single_server());
+    }
+
+    #[test]
+    fn refinement_hierarchy_matches_the_paper() {
+        // A Closest solution is valid for Upwards and Multiple; an Upwards
+        // solution is valid for Multiple; not the other way round.
+        assert!(Policy::Closest.is_refined_by(Policy::Upwards));
+        assert!(Policy::Closest.is_refined_by(Policy::Multiple));
+        assert!(Policy::Upwards.is_refined_by(Policy::Multiple));
+        assert!(Policy::Closest.is_refined_by(Policy::Closest));
+        assert!(!Policy::Multiple.is_refined_by(Policy::Upwards));
+        assert!(!Policy::Upwards.is_refined_by(Policy::Closest));
+    }
+
+    #[test]
+    fn all_lists_each_policy_once() {
+        let set: std::collections::HashSet<_> = Policy::ALL.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

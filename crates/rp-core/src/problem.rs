@@ -1,0 +1,456 @@
+//! Problem instances: a distribution tree decorated with the request,
+//! capacity, cost, QoS and bandwidth parameters of Section 2.
+//!
+//! * every client `i` issues `r_i` requests per time unit and may carry a
+//!   QoS bound `q_i` expressed as a maximum number of hops to its
+//!   server(s) (the paper's *QoS = distance* simplification);
+//! * every internal node `j` has a processing capacity `W_j` (requests
+//!   per time unit) and a storage cost `s_j` (the paper's experiments use
+//!   `s_j = W_j`, and `s_j = 1` for Replica Counting);
+//! * every link may carry at most `BW_l` requests per time unit
+//!   (`None` = unbounded, the default).
+
+use std::sync::Arc;
+
+use rp_tree::{ClientId, ClientMap, LinkId, NodeId, NodeMap, TreeNetwork};
+
+/// Which flavour of the optimisation problem an instance represents.
+///
+/// The distinction only affects how costs are reported; the solvers and
+/// heuristics always minimise `Σ s_j` over the chosen replicas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProblemKind {
+    /// Homogeneous nodes, unit storage cost: minimise the number of
+    /// replicas (the paper's **Replica Counting**).
+    ReplicaCounting,
+    /// Heterogeneous (or homogeneous) nodes with `s_j = W_j`: minimise
+    /// the total capacity bought (the paper's **Replica Cost**).
+    ReplicaCost,
+}
+
+/// A fully-specified replica-placement instance.
+#[derive(Clone, Debug)]
+pub struct ProblemInstance {
+    tree: Arc<TreeNetwork>,
+    requests: ClientMap<u64>,
+    capacities: NodeMap<u64>,
+    storage_costs: NodeMap<u64>,
+    qos: ClientMap<Option<u32>>,
+    client_link_bandwidth: ClientMap<Option<u64>>,
+    node_link_bandwidth: NodeMap<Option<u64>>,
+    kind: ProblemKind,
+}
+
+impl ProblemInstance {
+    /// Starts building an instance over `tree`.
+    pub fn builder(tree: impl Into<Arc<TreeNetwork>>) -> ProblemBuilder {
+        ProblemBuilder::new(tree.into())
+    }
+
+    /// Builds a homogeneous **Replica Counting** instance: every node has
+    /// capacity `capacity` and unit storage cost.
+    pub fn replica_counting(
+        tree: impl Into<Arc<TreeNetwork>>,
+        requests: Vec<u64>,
+        capacity: u64,
+    ) -> Self {
+        let tree = tree.into();
+        let n = tree.num_nodes();
+        ProblemBuilder::new(tree)
+            .requests(requests)
+            .capacities(vec![capacity; n])
+            .storage_costs(vec![1; n])
+            .kind(ProblemKind::ReplicaCounting)
+            .build()
+    }
+
+    /// Builds a **Replica Cost** instance with `s_j = W_j` (the paper's
+    /// convention for heterogeneous platforms).
+    pub fn replica_cost(
+        tree: impl Into<Arc<TreeNetwork>>,
+        requests: Vec<u64>,
+        capacities: Vec<u64>,
+    ) -> Self {
+        let tree = tree.into();
+        ProblemBuilder::new(tree)
+            .requests(requests)
+            .storage_costs(capacities.clone())
+            .capacities(capacities)
+            .kind(ProblemKind::ReplicaCost)
+            .build()
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &TreeNetwork {
+        &self.tree
+    }
+
+    /// Shared handle to the underlying tree.
+    pub fn tree_arc(&self) -> Arc<TreeNetwork> {
+        Arc::clone(&self.tree)
+    }
+
+    /// Problem flavour.
+    pub fn kind(&self) -> ProblemKind {
+        self.kind
+    }
+
+    /// Requests per time unit issued by `client` (`r_i`).
+    pub fn requests(&self, client: ClientId) -> u64 {
+        self.requests[client]
+    }
+
+    /// Processing capacity of `node` (`W_j`).
+    pub fn capacity(&self, node: NodeId) -> u64 {
+        self.capacities[node]
+    }
+
+    /// Storage cost of `node` (`s_j`).
+    pub fn storage_cost(&self, node: NodeId) -> u64 {
+        self.storage_costs[node]
+    }
+
+    /// QoS bound of `client` in hops, if any (`q_i`).
+    pub fn qos(&self, client: ClientId) -> Option<u32> {
+        self.qos[client]
+    }
+
+    /// Bandwidth of a link, if bounded (`BW_l`).
+    pub fn bandwidth(&self, link: LinkId) -> Option<u64> {
+        match link {
+            LinkId::Client(c) => self.client_link_bandwidth[c],
+            LinkId::Node(n) => self.node_link_bandwidth[n],
+        }
+    }
+
+    /// Sum of all client requests.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.as_slice().iter().sum()
+    }
+
+    /// Sum of all node capacities.
+    pub fn total_capacity(&self) -> u64 {
+        self.capacities.as_slice().iter().sum()
+    }
+
+    /// Load factor `λ = Σ r_i / Σ W_j` used to parameterise the paper's
+    /// experiments (Section 7.2).
+    pub fn load_factor(&self) -> f64 {
+        let capacity = self.total_capacity();
+        if capacity == 0 {
+            return f64::INFINITY;
+        }
+        self.total_requests() as f64 / capacity as f64
+    }
+
+    /// `true` when every node has the same capacity and the same cost.
+    pub fn is_homogeneous(&self) -> bool {
+        let caps = self.capacities.as_slice();
+        let costs = self.storage_costs.as_slice();
+        caps.windows(2).all(|w| w[0] == w[1]) && costs.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// `true` when at least one client carries a QoS bound.
+    pub fn has_qos(&self) -> bool {
+        self.qos.as_slice().iter().any(|q| q.is_some())
+    }
+
+    /// `true` when at least one link carries a bandwidth bound.
+    pub fn has_bandwidth_limits(&self) -> bool {
+        self.client_link_bandwidth.as_slice().iter().any(|b| b.is_some())
+            || self.node_link_bandwidth.as_slice().iter().any(|b| b.is_some())
+    }
+
+    /// Total number of requests issued in `subtree(node)` — the paper's
+    /// `tflow`/initial `inreq` quantity.
+    pub fn subtree_requests(&self, node: NodeId) -> u64 {
+        self.tree
+            .subtree_clients(node)
+            .into_iter()
+            .map(|c| self.requests(c))
+            .sum()
+    }
+
+    /// Candidate servers for `client` under *any* policy: the nodes on
+    /// its path to the root, filtered by the client's QoS bound when one
+    /// is present.
+    pub fn eligible_servers(&self, client: ClientId) -> Vec<NodeId> {
+        let ancestors = self.tree.ancestors_of_client(client);
+        match self.qos(client) {
+            None => ancestors,
+            Some(q) => ancestors
+                .into_iter()
+                .take(q as usize)
+                .collect(),
+        }
+    }
+
+    /// The homogeneous capacity `W`, if the instance is homogeneous.
+    pub fn homogeneous_capacity(&self) -> Option<u64> {
+        let caps = self.capacities.as_slice();
+        let first = *caps.first()?;
+        caps.iter().all(|&w| w == first).then_some(first)
+    }
+}
+
+/// Builder for [`ProblemInstance`].
+#[derive(Clone, Debug)]
+pub struct ProblemBuilder {
+    tree: Arc<TreeNetwork>,
+    requests: Option<Vec<u64>>,
+    capacities: Option<Vec<u64>>,
+    storage_costs: Option<Vec<u64>>,
+    qos: Option<Vec<Option<u32>>>,
+    client_link_bandwidth: Option<Vec<Option<u64>>>,
+    node_link_bandwidth: Option<Vec<Option<u64>>>,
+    kind: ProblemKind,
+}
+
+impl ProblemBuilder {
+    fn new(tree: Arc<TreeNetwork>) -> Self {
+        ProblemBuilder {
+            tree,
+            requests: None,
+            capacities: None,
+            storage_costs: None,
+            qos: None,
+            client_link_bandwidth: None,
+            node_link_bandwidth: None,
+            kind: ProblemKind::ReplicaCost,
+        }
+    }
+
+    /// Sets `r_i` for every client, in client-index order.
+    pub fn requests(mut self, requests: Vec<u64>) -> Self {
+        assert_eq!(
+            requests.len(),
+            self.tree.num_clients(),
+            "one request count per client is required"
+        );
+        self.requests = Some(requests);
+        self
+    }
+
+    /// Sets `W_j` for every node, in node-index order.
+    pub fn capacities(mut self, capacities: Vec<u64>) -> Self {
+        assert_eq!(
+            capacities.len(),
+            self.tree.num_nodes(),
+            "one capacity per internal node is required"
+        );
+        self.capacities = Some(capacities);
+        self
+    }
+
+    /// Sets `s_j` for every node, in node-index order. Defaults to the
+    /// capacities (the paper's `s_j = W_j` convention).
+    pub fn storage_costs(mut self, costs: Vec<u64>) -> Self {
+        assert_eq!(
+            costs.len(),
+            self.tree.num_nodes(),
+            "one storage cost per internal node is required"
+        );
+        self.storage_costs = Some(costs);
+        self
+    }
+
+    /// Sets the per-client QoS bounds (hops), in client-index order.
+    pub fn qos(mut self, qos: Vec<Option<u32>>) -> Self {
+        assert_eq!(
+            qos.len(),
+            self.tree.num_clients(),
+            "one QoS entry per client is required"
+        );
+        self.qos = Some(qos);
+        self
+    }
+
+    /// Sets the same QoS bound (hops) on every client.
+    pub fn uniform_qos(self, hops: u32) -> Self {
+        let n = self.tree.num_clients();
+        self.qos(vec![Some(hops); n])
+    }
+
+    /// Sets the bandwidth of the link above every client, in client-index
+    /// order.
+    pub fn client_link_bandwidths(mut self, bandwidths: Vec<Option<u64>>) -> Self {
+        assert_eq!(bandwidths.len(), self.tree.num_clients());
+        self.client_link_bandwidth = Some(bandwidths);
+        self
+    }
+
+    /// Sets the bandwidth of the link above every node, in node-index
+    /// order (the root's entry is ignored: it has no upwards link).
+    pub fn node_link_bandwidths(mut self, bandwidths: Vec<Option<u64>>) -> Self {
+        assert_eq!(bandwidths.len(), self.tree.num_nodes());
+        self.node_link_bandwidth = Some(bandwidths);
+        self
+    }
+
+    /// Sets the problem flavour used for reporting.
+    pub fn kind(mut self, kind: ProblemKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Finalises the instance. Panics when requests or capacities are
+    /// missing (they have no sensible default).
+    pub fn build(self) -> ProblemInstance {
+        let requests = self.requests.expect("requests must be provided");
+        let capacities = self.capacities.expect("capacities must be provided");
+        let storage_costs = self.storage_costs.unwrap_or_else(|| capacities.clone());
+        let num_clients = self.tree.num_clients();
+        let num_nodes = self.tree.num_nodes();
+        ProblemInstance {
+            tree: self.tree,
+            requests: ClientMap::from_vec(requests),
+            capacities: NodeMap::from_vec(capacities),
+            storage_costs: NodeMap::from_vec(storage_costs),
+            qos: ClientMap::from_vec(self.qos.unwrap_or_else(|| vec![None; num_clients])),
+            client_link_bandwidth: ClientMap::from_vec(
+                self.client_link_bandwidth
+                    .unwrap_or_else(|| vec![None; num_clients]),
+            ),
+            node_link_bandwidth: NodeMap::from_vec(
+                self.node_link_bandwidth
+                    .unwrap_or_else(|| vec![None; num_nodes]),
+            ),
+            kind: self.kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    /// root(n0) -> n1 -> {c0 (3 req), c1 (5 req)}; root -> c2 (2 req)
+    fn sample_tree() -> TreeNetwork {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let n1 = b.add_node(root);
+        b.add_client(n1);
+        b.add_client(n1);
+        b.add_client(root);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn replica_counting_constructor_sets_unit_costs() {
+        let p = ProblemInstance::replica_counting(sample_tree(), vec![3, 5, 2], 10);
+        assert_eq!(p.kind(), ProblemKind::ReplicaCounting);
+        for node in p.tree().node_ids().collect::<Vec<_>>() {
+            assert_eq!(p.capacity(node), 10);
+            assert_eq!(p.storage_cost(node), 1);
+        }
+        assert!(p.is_homogeneous());
+        assert_eq!(p.homogeneous_capacity(), Some(10));
+    }
+
+    #[test]
+    fn replica_cost_constructor_uses_capacity_as_cost() {
+        let p = ProblemInstance::replica_cost(sample_tree(), vec![3, 5, 2], vec![10, 20]);
+        assert_eq!(p.kind(), ProblemKind::ReplicaCost);
+        let nodes: Vec<_> = p.tree().node_ids().collect();
+        assert_eq!(p.capacity(nodes[0]), 10);
+        assert_eq!(p.storage_cost(nodes[0]), 10);
+        assert_eq!(p.capacity(nodes[1]), 20);
+        assert_eq!(p.storage_cost(nodes[1]), 20);
+        assert!(!p.is_homogeneous());
+        assert_eq!(p.homogeneous_capacity(), None);
+    }
+
+    #[test]
+    fn totals_and_load_factor() {
+        let p = ProblemInstance::replica_cost(sample_tree(), vec![3, 5, 2], vec![10, 30]);
+        assert_eq!(p.total_requests(), 10);
+        assert_eq!(p.total_capacity(), 40);
+        assert!((p.load_factor() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtree_requests_matches_manual_sum() {
+        let p = ProblemInstance::replica_cost(sample_tree(), vec![3, 5, 2], vec![10, 10]);
+        let nodes: Vec<_> = p.tree().node_ids().collect();
+        assert_eq!(p.subtree_requests(nodes[0]), 10); // whole tree
+        assert_eq!(p.subtree_requests(nodes[1]), 8); // c0 + c1
+    }
+
+    #[test]
+    fn eligible_servers_respect_qos() {
+        let tree = sample_tree();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![3, 5, 2])
+            .capacities(vec![10, 10])
+            .qos(vec![Some(1), None, Some(1)])
+            .build();
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        let nodes: Vec<_> = p.tree().node_ids().collect();
+        // c0 with q=1 may only use its parent n1.
+        assert_eq!(p.eligible_servers(clients[0]), vec![nodes[1]]);
+        // c1 without QoS may use n1 and the root.
+        assert_eq!(p.eligible_servers(clients[1]), vec![nodes[1], nodes[0]]);
+        // c2 hangs off the root: q=1 still allows the root.
+        assert_eq!(p.eligible_servers(clients[2]), vec![nodes[0]]);
+        assert!(p.has_qos());
+    }
+
+    #[test]
+    fn bandwidth_defaults_to_unbounded() {
+        let p = ProblemInstance::replica_cost(sample_tree(), vec![1, 1, 1], vec![5, 5]);
+        assert!(!p.has_bandwidth_limits());
+        for link in p.tree().link_ids().collect::<Vec<_>>() {
+            assert_eq!(p.bandwidth(link), None);
+        }
+    }
+
+    #[test]
+    fn bandwidth_can_be_bounded_per_link() {
+        let tree = sample_tree();
+        let p = ProblemInstance::builder(tree)
+            .requests(vec![3, 5, 2])
+            .capacities(vec![10, 10])
+            .client_link_bandwidths(vec![Some(3), Some(5), None])
+            .node_link_bandwidths(vec![None, Some(8)])
+            .build();
+        assert!(p.has_bandwidth_limits());
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        let nodes: Vec<_> = p.tree().node_ids().collect();
+        assert_eq!(p.bandwidth(LinkId::Client(clients[0])), Some(3));
+        assert_eq!(p.bandwidth(LinkId::Client(clients[2])), None);
+        assert_eq!(p.bandwidth(LinkId::Node(nodes[1])), Some(8));
+    }
+
+    #[test]
+    fn uniform_qos_applies_to_all_clients() {
+        let p = ProblemInstance::builder(sample_tree())
+            .requests(vec![1, 1, 1])
+            .capacities(vec![5, 5])
+            .uniform_qos(2)
+            .build();
+        for c in p.tree().client_ids().collect::<Vec<_>>() {
+            assert_eq!(p.qos(c), Some(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one request count per client")]
+    fn wrong_request_vector_length_panics() {
+        let _ = ProblemInstance::replica_counting(sample_tree(), vec![1, 2], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests must be provided")]
+    fn missing_requests_panics() {
+        let _ = ProblemInstance::builder(sample_tree())
+            .capacities(vec![5, 5])
+            .build();
+    }
+
+    #[test]
+    fn load_factor_with_zero_capacity_is_infinite() {
+        let p = ProblemInstance::replica_cost(sample_tree(), vec![1, 1, 1], vec![0, 0]);
+        assert!(p.load_factor().is_infinite());
+    }
+}

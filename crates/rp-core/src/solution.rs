@@ -1,0 +1,658 @@
+//! Placements (solutions) and their validation.
+//!
+//! A [`Placement`] records the replica set `R` and, for every client, how
+//! many of its requests each replica serves. [`Placement::validate`]
+//! checks the solution against a [`ProblemInstance`] under a given
+//! [`Policy`], covering every constraint of Section 2.2: request
+//! coverage, path eligibility, the single-server / closest-server rules,
+//! server capacities, QoS bounds and link bandwidths.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rp_tree::{ClientId, LinkId, NodeId};
+
+use crate::policy::Policy;
+use crate::problem::ProblemInstance;
+
+/// One client-to-server assignment: `amount` requests of the client are
+/// processed by `server`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    /// The serving replica.
+    pub server: NodeId,
+    /// Number of requests routed to `server`.
+    pub amount: u64,
+}
+
+/// A replica placement together with the request assignment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Placement {
+    replicas: Vec<NodeId>,
+    /// `assignments[c]` lists the servers of client `c`; empty when the
+    /// placement does not serve the client (which validation rejects).
+    assignments: Vec<Vec<Assignment>>,
+}
+
+impl Placement {
+    /// Creates an empty placement for a problem over `num_clients` clients.
+    pub fn empty(num_clients: usize) -> Self {
+        Placement {
+            replicas: Vec::new(),
+            assignments: vec![Vec::new(); num_clients],
+        }
+    }
+
+    /// Adds a replica to the set `R` (idempotent).
+    pub fn add_replica(&mut self, node: NodeId) {
+        if let Err(pos) = self.replicas.binary_search(&node) {
+            self.replicas.insert(pos, node);
+        }
+    }
+
+    /// Returns `true` when `node` carries a replica.
+    pub fn has_replica(&self, node: NodeId) -> bool {
+        self.replicas.binary_search(&node).is_ok()
+    }
+
+    /// The replica set, sorted by node index.
+    pub fn replicas(&self) -> &[NodeId] {
+        &self.replicas
+    }
+
+    /// Number of replicas (the Replica Counting objective when nodes are
+    /// homogeneous).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Routes `amount` requests of `client` to `server`, merging with any
+    /// existing assignment to the same server.
+    pub fn assign(&mut self, client: ClientId, server: NodeId, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let list = &mut self.assignments[client.index()];
+        match list.iter_mut().find(|a| a.server == server) {
+            Some(existing) => existing.amount += amount,
+            None => list.push(Assignment { server, amount }),
+        }
+    }
+
+    /// The assignments of a client.
+    pub fn assignments(&self, client: ClientId) -> &[Assignment] {
+        &self.assignments[client.index()]
+    }
+
+    /// Total requests of `client` covered by this placement.
+    pub fn assigned_requests(&self, client: ClientId) -> u64 {
+        self.assignments[client.index()]
+            .iter()
+            .map(|a| a.amount)
+            .sum()
+    }
+
+    /// The single server of `client`, if it has exactly one.
+    pub fn single_server(&self, client: ClientId) -> Option<NodeId> {
+        match self.assignments[client.index()].as_slice() {
+            [only] => Some(only.server),
+            _ => None,
+        }
+    }
+
+    /// Total load (requests served) of every replica.
+    pub fn server_loads(&self) -> BTreeMap<NodeId, u64> {
+        let mut loads: BTreeMap<NodeId, u64> = self.replicas.iter().map(|&n| (n, 0)).collect();
+        for list in &self.assignments {
+            for a in list {
+                *loads.entry(a.server).or_insert(0) += a.amount;
+            }
+        }
+        loads
+    }
+
+    /// Flow of requests through every link implied by the assignment.
+    pub fn link_flows(&self, problem: &ProblemInstance) -> BTreeMap<LinkId, u64> {
+        let tree = problem.tree();
+        let mut flows: BTreeMap<LinkId, u64> = BTreeMap::new();
+        for client in tree.client_ids() {
+            for a in self.assignments(client) {
+                if let Some(links) = tree.client_path_links(client, a.server) {
+                    for link in links {
+                        *flows.entry(link).or_insert(0) += a.amount;
+                    }
+                }
+            }
+        }
+        flows
+    }
+
+    /// Total storage cost `Σ s_j` of the replica set.
+    pub fn cost(&self, problem: &ProblemInstance) -> u64 {
+        self.replicas
+            .iter()
+            .map(|&n| problem.storage_cost(n))
+            .sum()
+    }
+
+    /// Validates the placement against `problem` under `policy`.
+    pub fn validate(&self, problem: &ProblemInstance, policy: Policy) -> Result<(), Violations> {
+        let mut violations = Vec::new();
+        let tree = problem.tree();
+
+        if self.assignments.len() != tree.num_clients() {
+            violations.push(Violation::WrongClientCount {
+                expected: tree.num_clients(),
+                actual: self.assignments.len(),
+            });
+            return Err(Violations(violations));
+        }
+
+        // Per-client checks.
+        for client in tree.client_ids() {
+            let requests = problem.requests(client);
+            let assigned = self.assigned_requests(client);
+            if assigned != requests {
+                violations.push(Violation::RequestsNotCovered {
+                    client,
+                    requested: requests,
+                    assigned,
+                });
+            }
+            let list = self.assignments(client);
+            if policy.is_single_server() && requests > 0 && list.len() > 1 {
+                violations.push(Violation::MultipleServersUnderSingleServerPolicy {
+                    client,
+                    servers: list.iter().map(|a| a.server).collect(),
+                });
+            }
+            for a in list {
+                if !self.has_replica(a.server) {
+                    violations.push(Violation::ServerWithoutReplica {
+                        client,
+                        server: a.server,
+                    });
+                }
+                if !tree.is_on_client_path(client, a.server) {
+                    violations.push(Violation::ServerOffPath {
+                        client,
+                        server: a.server,
+                    });
+                }
+                if let Some(q) = problem.qos(client) {
+                    if let Some(d) = tree.client_distance(client, a.server) {
+                        if d > q {
+                            violations.push(Violation::QosExceeded {
+                                client,
+                                server: a.server,
+                                distance: d,
+                                bound: q,
+                            });
+                        }
+                    }
+                }
+            }
+            // The Closest rule: the chosen server must be the first
+            // replica on the path from the client to the root.
+            if policy == Policy::Closest && requests > 0 {
+                if let Some(server) = list.first().map(|a| a.server) {
+                    if let Some(first_replica) = tree
+                        .ancestors_of_client(client)
+                        .into_iter()
+                        .find(|n| self.has_replica(*n))
+                    {
+                        if first_replica != server {
+                            violations.push(Violation::NotClosestReplica {
+                                client,
+                                server,
+                                closest: first_replica,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Server capacities.
+        for (server, load) in self.server_loads() {
+            let capacity = problem.capacity(server);
+            if load > capacity {
+                violations.push(Violation::CapacityExceeded {
+                    server,
+                    load,
+                    capacity,
+                });
+            }
+        }
+
+        // Link bandwidths.
+        if problem.has_bandwidth_limits() {
+            for (link, flow) in self.link_flows(problem) {
+                if let Some(bw) = problem.bandwidth(link) {
+                    if flow > bw {
+                        violations.push(Violation::BandwidthExceeded { link, flow, bandwidth: bw });
+                    }
+                }
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(Violations(violations))
+        }
+    }
+
+    /// `true` when [`validate`](Placement::validate) succeeds.
+    pub fn is_valid(&self, problem: &ProblemInstance, policy: Policy) -> bool {
+        self.validate(problem, policy).is_ok()
+    }
+}
+
+/// A single constraint violation found by [`Placement::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// The placement was built for a different number of clients.
+    WrongClientCount {
+        /// Clients in the problem.
+        expected: usize,
+        /// Clients in the placement.
+        actual: usize,
+    },
+    /// A client's requests are not exactly covered.
+    RequestsNotCovered {
+        /// The client.
+        client: ClientId,
+        /// Requests issued.
+        requested: u64,
+        /// Requests assigned.
+        assigned: u64,
+    },
+    /// A single-server policy but the client uses several servers.
+    MultipleServersUnderSingleServerPolicy {
+        /// The client.
+        client: ClientId,
+        /// The servers it uses.
+        servers: Vec<NodeId>,
+    },
+    /// A client is served by a node that carries no replica.
+    ServerWithoutReplica {
+        /// The client.
+        client: ClientId,
+        /// The offending server.
+        server: NodeId,
+    },
+    /// A client is served by a node outside its path to the root.
+    ServerOffPath {
+        /// The client.
+        client: ClientId,
+        /// The offending server.
+        server: NodeId,
+    },
+    /// Under Closest, a client skipped a replica located closer to it.
+    NotClosestReplica {
+        /// The client.
+        client: ClientId,
+        /// The server actually used.
+        server: NodeId,
+        /// The first replica on the client's path.
+        closest: NodeId,
+    },
+    /// A server processes more requests than its capacity.
+    CapacityExceeded {
+        /// The server.
+        server: NodeId,
+        /// Requests assigned to it.
+        load: u64,
+        /// Its capacity `W_j`.
+        capacity: u64,
+    },
+    /// A client is served farther away than its QoS bound allows.
+    QosExceeded {
+        /// The client.
+        client: ClientId,
+        /// The server used.
+        server: NodeId,
+        /// Hops between them.
+        distance: u32,
+        /// The bound `q_i`.
+        bound: u32,
+    },
+    /// More requests flow through a link than its bandwidth allows.
+    BandwidthExceeded {
+        /// The link.
+        link: LinkId,
+        /// Requests flowing through it.
+        flow: u64,
+        /// Its bandwidth `BW_l`.
+        bandwidth: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongClientCount { expected, actual } => {
+                write!(f, "placement covers {actual} clients, problem has {expected}")
+            }
+            Violation::RequestsNotCovered {
+                client,
+                requested,
+                assigned,
+            } => write!(
+                f,
+                "client {client}: {assigned}/{requested} requests assigned"
+            ),
+            Violation::MultipleServersUnderSingleServerPolicy { client, servers } => write!(
+                f,
+                "client {client} uses {} servers under a single-server policy",
+                servers.len()
+            ),
+            Violation::ServerWithoutReplica { client, server } => {
+                write!(f, "client {client} served by {server} which has no replica")
+            }
+            Violation::ServerOffPath { client, server } => {
+                write!(f, "client {client} served by {server} which is not on its path to the root")
+            }
+            Violation::NotClosestReplica {
+                client,
+                server,
+                closest,
+            } => write!(
+                f,
+                "client {client} served by {server} but the closest replica is {closest}"
+            ),
+            Violation::CapacityExceeded {
+                server,
+                load,
+                capacity,
+            } => write!(f, "server {server} load {load} exceeds capacity {capacity}"),
+            Violation::QosExceeded {
+                client,
+                server,
+                distance,
+                bound,
+            } => write!(
+                f,
+                "client {client} served by {server} at distance {distance} > QoS bound {bound}"
+            ),
+            Violation::BandwidthExceeded {
+                link,
+                flow,
+                bandwidth,
+            } => write!(f, "{link} carries {flow} requests > bandwidth {bandwidth}"),
+        }
+    }
+}
+
+/// The full list of violations found by [`Placement::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violations(pub Vec<Violation>);
+
+impl Violations {
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always `false`: a `Violations` value is only built when non-empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the violations.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Violations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} constraint violation(s):", self.0.len())?;
+        for v in &self.0 {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violations {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::{TreeBuilder, TreeNetwork};
+
+    /// root(n0) -> n1 -> {c0 (3 req), c1 (5 req)}; root -> c2 (2 req).
+    fn sample() -> (ProblemInstance, Vec<NodeId>, Vec<ClientId>) {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let n1 = b.add_node(root);
+        let c0 = b.add_client(n1);
+        let c1 = b.add_client(n1);
+        let c2 = b.add_client(root);
+        let tree: TreeNetwork = b.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![3, 5, 2], vec![10, 10]);
+        (p, vec![root, n1], vec![c0, c1, c2])
+    }
+
+    fn full_single_server_placement(
+        p: &ProblemInstance,
+        server_for: impl Fn(ClientId) -> NodeId,
+    ) -> Placement {
+        let mut placement = Placement::empty(p.tree().num_clients());
+        for c in p.tree().client_ids() {
+            let s = server_for(c);
+            placement.add_replica(s);
+            placement.assign(c, s, p.requests(c));
+        }
+        placement
+    }
+
+    #[test]
+    fn valid_closest_placement_passes_all_policies() {
+        let (p, n, _) = sample();
+        // Replica at n1 serves c0+c1 (8 <= 10); replica at root serves c2.
+        let placement = full_single_server_placement(&p, |c| {
+            if c.index() == 2 {
+                n[0]
+            } else {
+                n[1]
+            }
+        });
+        for policy in Policy::ALL {
+            assert!(placement.is_valid(&p, policy), "policy {policy}");
+        }
+        assert_eq!(placement.cost(&p), 20);
+        assert_eq!(placement.num_replicas(), 2);
+    }
+
+    #[test]
+    fn upwards_only_placement_fails_closest_validation() {
+        let (p, n, c) = sample();
+        // Replicas at n1 and root, but c0 is served by the root even
+        // though n1 (a closer replica) exists: legal under Upwards and
+        // Multiple, illegal under Closest.
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        placement.assign(c[0], n[0], 3);
+        placement.assign(c[1], n[1], 5);
+        placement.assign(c[2], n[0], 2);
+        assert!(placement.is_valid(&p, Policy::Upwards));
+        assert!(placement.is_valid(&p, Policy::Multiple));
+        let err = placement.validate(&p, Policy::Closest).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::NotClosestReplica { .. })));
+    }
+
+    #[test]
+    fn split_assignment_fails_single_server_policies() {
+        let (p, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        // c1's 5 requests split between n1 and the root.
+        placement.assign(c[0], n[1], 3);
+        placement.assign(c[1], n[1], 2);
+        placement.assign(c[1], n[0], 3);
+        placement.assign(c[2], n[0], 2);
+        assert!(placement.is_valid(&p, Policy::Multiple));
+        for policy in [Policy::Closest, Policy::Upwards] {
+            let err = placement.validate(&p, policy).unwrap_err();
+            assert!(err.iter().any(|v| matches!(
+                v,
+                Violation::MultipleServersUnderSingleServerPolicy { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn uncovered_requests_are_reported() {
+        let (p, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.assign(c[0], n[0], 3);
+        placement.assign(c[1], n[0], 5);
+        // c2 not assigned at all.
+        let err = placement.validate(&p, Policy::Multiple).unwrap_err();
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::RequestsNotCovered { client, assigned: 0, .. } if *client == c[2]
+        )));
+    }
+
+    #[test]
+    fn capacity_violations_are_reported() {
+        let (p, n, _) = sample();
+        // Everything on n1: 10 requests (3+5) is fine, but adding c2 is
+        // impossible (not on path) — instead overload the root with all 10.
+        let placement = full_single_server_placement(&p, |_| n[0]);
+        // Root load is 3 + 5 + 2 = 10 <= 10 => fine. Shrink capacity to 9.
+        let p_small = ProblemInstance::replica_cost(
+            p.tree_arc(),
+            vec![3, 5, 2],
+            vec![9, 10],
+        );
+        let err = placement.validate(&p_small, Policy::Upwards).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::CapacityExceeded { load: 10, capacity: 9, .. })));
+    }
+
+    #[test]
+    fn assignment_to_non_replica_or_off_path_is_reported() {
+        let (p, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.assign(c[0], n[1], 3); // n1 has no replica
+        placement.assign(c[1], n[0], 5);
+        placement.assign(c[2], n[1], 2); // n1 is not on c2's path
+        let err = placement.validate(&p, Policy::Multiple).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::ServerWithoutReplica { .. })));
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::ServerOffPath { .. })));
+    }
+
+    #[test]
+    fn qos_violations_are_reported() {
+        let (p, n, _) = sample();
+        let p = ProblemInstance::builder(p.tree_arc())
+            .requests(vec![3, 5, 2])
+            .capacities(vec![10, 10])
+            .qos(vec![Some(1), Some(2), Some(1)])
+            .build();
+        // Serve everything from the root: c0 is at distance 2 > 1.
+        let placement = full_single_server_placement(&p, |_| n[0]);
+        let err = placement.validate(&p, Policy::Upwards).unwrap_err();
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::QosExceeded { distance: 2, bound: 1, .. }
+        )));
+    }
+
+    #[test]
+    fn bandwidth_violations_are_reported() {
+        let (p, n, _) = sample();
+        let p = ProblemInstance::builder(p.tree_arc())
+            .requests(vec![3, 5, 2])
+            .capacities(vec![10, 10])
+            // The link n1 -> root can only carry 4 requests.
+            .node_link_bandwidths(vec![None, Some(4)])
+            .build();
+        // Serve everything from the root: 8 requests cross the n1 link.
+        let placement = full_single_server_placement(&p, |_| n[0]);
+        let err = placement.validate(&p, Policy::Upwards).unwrap_err();
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::BandwidthExceeded { flow: 8, bandwidth: 4, .. }
+        )));
+    }
+
+    #[test]
+    fn server_loads_and_link_flows_are_computed() {
+        let (p, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        placement.assign(c[0], n[1], 3);
+        placement.assign(c[1], n[1], 2);
+        placement.assign(c[1], n[0], 3);
+        placement.assign(c[2], n[0], 2);
+        let loads = placement.server_loads();
+        assert_eq!(loads[&n[1]], 5);
+        assert_eq!(loads[&n[0]], 5);
+        let flows = placement.link_flows(&p);
+        assert_eq!(flows[&LinkId::Client(c[1])], 5);
+        // Only c1's 3 root-bound requests cross the n1 -> root link.
+        assert_eq!(flows[&LinkId::Node(n[1])], 3);
+    }
+
+    #[test]
+    fn assign_merges_duplicate_servers_and_ignores_zero() {
+        let (_, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.assign(c[0], n[0], 2);
+        placement.assign(c[0], n[0], 3);
+        placement.assign(c[0], n[0], 0);
+        assert_eq!(placement.assignments(c[0]).len(), 1);
+        assert_eq!(placement.assigned_requests(c[0]), 5);
+        assert_eq!(placement.single_server(c[0]), Some(n[0]));
+    }
+
+    #[test]
+    fn add_replica_is_idempotent_and_sorted() {
+        let (_, n, _) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[1]);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        assert_eq!(placement.replicas(), &[n[0], n[1]]);
+    }
+
+    #[test]
+    fn violations_display_is_informative() {
+        let (p, n, _) = sample();
+        let placement = Placement::empty(3);
+        let _ = n;
+        let err = placement.validate(&p, Policy::Multiple).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("constraint violation"));
+        assert!(text.contains("requests assigned"));
+        assert_eq!(err.len(), 3);
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn wrong_client_count_is_detected_early() {
+        let (p, _, _) = sample();
+        let placement = Placement::empty(1);
+        let err = placement.validate(&p, Policy::Multiple).unwrap_err();
+        assert!(matches!(err.0[0], Violation::WrongClientCount { .. }));
+    }
+}

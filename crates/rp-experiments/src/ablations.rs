@@ -1,0 +1,239 @@
+//! Ablation studies of the reproduction's own design choices.
+//!
+//! The paper's figures aggregate the eight heuristics into one plot per
+//! metric; the tables here isolate the ingredients this reproduction had
+//! to choose (and that a user of the library may want to reconsider):
+//!
+//! * **policy families** — how much of MixedBest's quality comes from
+//!   the Closest, Upwards and Multiple heuristics respectively;
+//! * **lower bound** — how much tighter the mixed bound (integral `x_j`)
+//!   is than the rational relaxation, measured on the same instances;
+//! * **tree shape** — how sensitive the headline metrics are to the
+//!   random-tree family used by the generator (the paper leaves its
+//!   generator unspecified).
+
+use rp_core::ilp::{integral_lower_bound, lower_bound, BoundKind};
+use rp_core::Heuristic;
+
+use crate::metrics::TrialResult;
+use crate::report::SeriesTable;
+use crate::runner::{generate_trial_problem, run_sweep, ExperimentConfig, SweepResults};
+
+/// Best cost achieved by a set of heuristics on one trial, if any.
+fn best_cost(trial: &TrialResult, heuristics: &[Heuristic]) -> Option<u64> {
+    heuristics
+        .iter()
+        .filter_map(|&h| trial.cost_of(h))
+        .min()
+}
+
+/// Relative cost of "the best heuristic of a family" per λ, mirroring the
+/// paper's `rcost` definition (failures contribute 0 over solvable trees).
+fn family_relative_cost(results: &SweepResults, family: &[Heuristic]) -> Vec<f64> {
+    results
+        .batches
+        .iter()
+        .map(|batch| {
+            let solvable: Vec<&TrialResult> =
+                batch.trials.iter().filter(|t| t.solvable()).collect();
+            if solvable.is_empty() {
+                return 0.0;
+            }
+            let total: f64 = solvable
+                .iter()
+                .map(|trial| {
+                    let bound = trial.lp_bound.expect("filtered on solvable");
+                    match best_cost(trial, family) {
+                        Some(cost) if cost > 0 => bound / cost as f64,
+                        Some(_) => 1.0,
+                        None => 0.0,
+                    }
+                })
+                .sum();
+            total / solvable.len() as f64
+        })
+        .collect()
+}
+
+/// Per-λ relative cost of the best heuristic within each policy family,
+/// next to MixedBest. Shows which family MixedBest actually relies on at
+/// each load level.
+pub fn policy_family_ablation(results: &SweepResults) -> SeriesTable {
+    let closest = [Heuristic::Ctda, Heuristic::Ctdlf, Heuristic::Cbu];
+    let upwards = [Heuristic::Utd, Heuristic::Ubcf];
+    let multiple = [Heuristic::Mtd, Heuristic::Mbu, Heuristic::Mg];
+
+    let closest_costs = family_relative_cost(results, &closest);
+    let upwards_costs = family_relative_cost(results, &upwards);
+    let multiple_costs = family_relative_cost(results, &multiple);
+    let all_costs = family_relative_cost(results, &Heuristic::BASE);
+
+    let headers = vec![
+        "lambda".to_string(),
+        "best_closest".to_string(),
+        "best_upwards".to_string(),
+        "best_multiple".to_string(),
+        "mixed_best".to_string(),
+    ];
+    let rows = results
+        .batches
+        .iter()
+        .enumerate()
+        .map(|(i, batch)| {
+            vec![
+                format!("{:.1}", batch.lambda),
+                format!("{:.3}", closest_costs[i]),
+                format!("{:.3}", upwards_costs[i]),
+                format!("{:.3}", multiple_costs[i]),
+                format!("{:.3}", all_costs[i]),
+            ]
+        })
+        .collect();
+    SeriesTable { headers, rows }
+}
+
+/// Compares the rational and mixed lower bounds on the very same
+/// instances: per λ, the mean ratio `rational / mixed` (1.0 would mean
+/// the cheap bound is already as tight as the paper's refined one).
+/// Runs on a reduced number of trees because the mixed bound is
+/// expensive with the bundled branch-and-bound.
+pub fn bound_tightness_ablation(config: &ExperimentConfig, trees: usize) -> SeriesTable {
+    let headers = vec![
+        "lambda".to_string(),
+        "trees".to_string(),
+        "mean_rational".to_string(),
+        "mean_mixed".to_string(),
+        "mean_ratio".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &lambda in &config.lambdas {
+        let mut rational_sum = 0.0;
+        let mut mixed_sum = 0.0;
+        let mut ratio_sum = 0.0;
+        let mut count = 0usize;
+        for tree_index in 0..trees {
+            let problem = generate_trial_problem(config, lambda, tree_index);
+            let rational = lower_bound(&problem, BoundKind::Rational)
+                .map(|b| integral_lower_bound(b) as f64);
+            let mixed =
+                lower_bound(&problem, BoundKind::Mixed).map(|b| integral_lower_bound(b) as f64);
+            if let (Some(rational), Some(mixed)) = (rational, mixed) {
+                if mixed > 0.0 {
+                    rational_sum += rational;
+                    mixed_sum += mixed;
+                    ratio_sum += rational / mixed;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            rows.push(vec![
+                format!("{lambda:.1}"),
+                "0".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        } else {
+            rows.push(vec![
+                format!("{lambda:.1}"),
+                count.to_string(),
+                format!("{:.2}", rational_sum / count as f64),
+                format!("{:.2}", mixed_sum / count as f64),
+                format!("{:.3}", ratio_sum / count as f64),
+            ]);
+        }
+    }
+    SeriesTable { headers, rows }
+}
+
+/// Runs the same sweep under each tree-shape family and reports, per
+/// shape, the LP success rate and MixedBest relative cost at a fixed λ.
+pub fn tree_shape_ablation(base: &ExperimentConfig, lambda: f64) -> SeriesTable {
+    use rp_workloads::tree_gen::TreeShape;
+    let shapes: [(&str, TreeShape); 4] = [
+        ("random_attachment", TreeShape::RandomAttachment),
+        ("bounded_degree_3", TreeShape::BoundedDegree { max_children: 3 }),
+        ("linear", TreeShape::Linear),
+        ("balanced_binary", TreeShape::Balanced { arity: 2 }),
+    ];
+    let headers = vec![
+        "shape".to_string(),
+        "lp_success".to_string(),
+        "mixed_best_rcost".to_string(),
+        "closest_success".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for (name, shape) in shapes {
+        let config = ExperimentConfig {
+            lambdas: vec![lambda],
+            shape,
+            ..base.clone()
+        };
+        let results = run_sweep(&config);
+        let batch = &results.batches[0];
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", batch.lp_success_rate()),
+            format!("{:.3}", batch.relative_cost(Heuristic::MixedBest)),
+            format!("{:.3}", batch.success_rate(Heuristic::Cbu)),
+        ]);
+    }
+    SeriesTable { headers, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            lambdas: vec![0.3, 0.7],
+            trees_per_lambda: 4,
+            size_range: (12, 20),
+            ..ExperimentConfig::smoke_test()
+        }
+    }
+
+    #[test]
+    fn policy_family_ablation_is_bounded_by_mixed_best() {
+        let results = run_sweep(&tiny_config());
+        let table = policy_family_ablation(&results);
+        assert_eq!(table.headers.len(), 5);
+        for row in &table.rows {
+            let best_family = row[1..4]
+                .iter()
+                .map(|v| v.parse::<f64>().unwrap())
+                .fold(0.0f64, f64::max);
+            let mixed: f64 = row[4].parse().unwrap();
+            // MixedBest is the max over the families (same trials, same
+            // bound), so it can never be lower.
+            assert!(mixed + 1e-9 >= best_family, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn bound_tightness_ratio_never_exceeds_one() {
+        let config = tiny_config();
+        let table = bound_tightness_ablation(&config, 2);
+        assert_eq!(table.rows.len(), config.lambdas.len());
+        for row in &table.rows {
+            if row[4] == "-" {
+                continue;
+            }
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio <= 1.0 + 1e-9, "rational bound tighter than mixed? {row:?}");
+            assert!(ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_shape_ablation_covers_all_shapes() {
+        let table = tree_shape_ablation(&tiny_config(), 0.3);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            let success: f64 = row[1].parse().unwrap();
+            assert!((0.0..=1.0).contains(&success));
+        }
+    }
+}

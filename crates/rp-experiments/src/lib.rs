@@ -1,0 +1,39 @@
+//! # rp-experiments — the paper's evaluation harness
+//!
+//! Reproduces the experimental study of Section 7: per-λ sweeps over
+//! randomly generated trees, running the eight heuristics (plus
+//! MixedBest) on every tree and comparing their costs against the
+//! LP-based lower bound.
+//!
+//! * [`runner`] — sweep configuration and execution (parallel over trees);
+//! * [`metrics`] — success rates and the paper's `rcost` relative cost;
+//! * [`report`] — CSV / markdown rendering of the per-λ series;
+//! * [`figures`] — one driver per reproduced figure (9–12 plus the QoS
+//!   extension), with shape checks for the paper's qualitative claims;
+//! * [`pool`] — a minimal scoped-thread fork-join helper.
+//!
+//! ```
+//! use rp_experiments::figures::{reproduce_figure_with, FigureId};
+//! use rp_experiments::runner::ExperimentConfig;
+//!
+//! // A tiny sweep (4 trees for 2 values of λ) purely for illustration;
+//! // the real figures use ExperimentConfig::homogeneous().
+//! let config = ExperimentConfig::smoke_test();
+//! let report = reproduce_figure_with(FigureId::Fig9HomogeneousSuccess, &config);
+//! assert_eq!(report.table.num_rows(), config.lambdas.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod figures;
+pub mod metrics;
+pub mod pool;
+pub mod report;
+pub mod runner;
+
+pub use figures::{reproduce_figure, reproduce_figure_with, FigureId, FigureReport};
+pub use metrics::{LambdaBatch, TrialResult};
+pub use report::{relative_cost_table, success_table, SeriesTable};
+pub use runner::{run_sweep, ExperimentConfig, SweepResults};

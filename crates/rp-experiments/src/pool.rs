@@ -1,0 +1,122 @@
+//! A small fork-join helper built on `std::thread::scope`.
+//!
+//! The experiment sweeps are embarrassingly parallel (one unit of work
+//! per generated tree), so a simple shared-counter work queue over
+//! scoped threads is all that is needed — no external thread-pool crate,
+//! no unsafe code, results returned in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped so tiny jobs do not spawn dozens of threads.
+pub fn default_threads(work_items: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hardware.min(work_items.max(1)).max(1)
+}
+
+/// Applies `f` to every item, in parallel over `threads` workers, and
+/// returns the results in input order.
+///
+/// Items are handed out through a shared atomic counter, so long and
+/// short work items mix freely without static partitioning imbalance.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let value = f(&items[index]);
+                *results[index].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed by some worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let results = parallel_map(&items, 8, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            
+        });
+        assert_eq!(results.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let items = vec![1, 2, 3];
+        let results = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(results, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], 4, |&x| x * 3), vec![21]);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_bounded() {
+        assert!(default_threads(0) >= 1);
+        assert!(default_threads(1) == 1);
+        assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn unbalanced_work_is_still_completed() {
+        // Items with very different costs: the shared counter must keep
+        // all workers busy and produce every result.
+        let items: Vec<u64> = (0..64).collect();
+        let results = parallel_map(&items, 4, |&x| {
+            let mut acc = 0u64;
+            let rounds = if x % 7 == 0 { 50_000 } else { 10 };
+            for i in 0..rounds {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            acc
+        });
+        assert_eq!(results.len(), 64);
+    }
+}

@@ -1,0 +1,301 @@
+//! The experiment runner: generate trees, run every heuristic, compute
+//! the LP lower bound, aggregate per load factor.
+//!
+//! This reproduces the experimental plan of Section 7.2: a set of load
+//! factors λ, a number of random trees per λ, and for each tree the
+//! per-heuristic cost plus an LP-based lower bound.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rp_core::ilp::{integral_lower_bound, lower_bound_with, BoundKind, IlpOptions};
+use rp_core::{Heuristic, ProblemInstance};
+use rp_workloads::platform::{generate_problem_with_rng, PlatformKind, WorkloadConfig};
+use rp_workloads::tree_gen::{generate_tree_with_rng, TreeGenConfig, TreeShape};
+
+use crate::metrics::{LambdaBatch, TrialResult};
+use crate::pool::{default_threads, parallel_map};
+
+/// Full description of a sweep.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Load factors to evaluate (the paper uses 0.1, 0.2, …, 0.9).
+    pub lambdas: Vec<f64>,
+    /// Number of random trees per load factor (the paper uses 30).
+    pub trees_per_lambda: usize,
+    /// Problem sizes are drawn uniformly from this inclusive range.
+    pub size_range: (usize, usize),
+    /// Tree shape family.
+    pub shape: TreeShape,
+    /// Server capacity model.
+    pub platform: PlatformKind,
+    /// Optional uniform QoS bound in hops.
+    pub qos_hops: Option<u32>,
+    /// Which LP relaxation provides the lower bound.
+    pub bound: BoundKind,
+    /// Base RNG seed; every (λ, tree) pair derives its own sub-seed.
+    pub seed: u64,
+    /// Worker threads (`None` = automatic).
+    pub threads: Option<usize>,
+    /// Heuristics to evaluate.
+    pub heuristics: Vec<Heuristic>,
+}
+
+impl ExperimentConfig {
+    /// The paper's λ grid: 0.1, 0.2, …, 0.9.
+    pub fn paper_lambdas() -> Vec<f64> {
+        (1..=9).map(|i| i as f64 / 10.0).collect()
+    }
+
+    /// The default homogeneous sweep (Figures 9 and 10), scaled to sizes
+    /// that the bundled LP solver handles comfortably. The paper uses
+    /// 15 ≤ s ≤ 400; see EXPERIMENTS.md for the size discussion.
+    pub fn homogeneous() -> Self {
+        ExperimentConfig {
+            lambdas: Self::paper_lambdas(),
+            trees_per_lambda: 30,
+            size_range: (15, 150),
+            shape: TreeShape::RandomAttachment,
+            platform: PlatformKind::default_homogeneous(),
+            qos_hops: None,
+            bound: BoundKind::Rational,
+            seed: 20070326, // IPPS 2007 kick-off date, for flavour
+            threads: None,
+            heuristics: Heuristic::ALL.to_vec(),
+        }
+    }
+
+    /// The default heterogeneous sweep (Figures 11 and 12).
+    pub fn heterogeneous() -> Self {
+        ExperimentConfig {
+            platform: PlatformKind::default_heterogeneous(),
+            ..Self::homogeneous()
+        }
+    }
+
+    /// A miniature configuration for unit tests and smoke benches.
+    pub fn smoke_test() -> Self {
+        ExperimentConfig {
+            lambdas: vec![0.2, 0.6],
+            trees_per_lambda: 4,
+            size_range: (12, 24),
+            shape: TreeShape::RandomAttachment,
+            platform: PlatformKind::default_homogeneous(),
+            qos_hops: None,
+            bound: BoundKind::Rational,
+            seed: 7,
+            threads: Some(2),
+            heuristics: Heuristic::ALL.to_vec(),
+        }
+    }
+}
+
+/// Results of a full sweep: one batch per load factor.
+#[derive(Clone, Debug)]
+pub struct SweepResults {
+    /// The configuration that produced these results.
+    pub config: ExperimentConfig,
+    /// One batch per λ, in the order of `config.lambdas`.
+    pub batches: Vec<LambdaBatch>,
+}
+
+/// Runs the full sweep described by `config`.
+pub fn run_sweep(config: &ExperimentConfig) -> SweepResults {
+    let batches = config
+        .lambdas
+        .iter()
+        .map(|&lambda| run_lambda_batch(config, lambda))
+        .collect();
+    SweepResults {
+        config: config.clone(),
+        batches,
+    }
+}
+
+/// Runs all the trees of a single load factor, in parallel.
+pub fn run_lambda_batch(config: &ExperimentConfig, lambda: f64) -> LambdaBatch {
+    let indices: Vec<usize> = (0..config.trees_per_lambda).collect();
+    let threads = config
+        .threads
+        .unwrap_or_else(|| default_threads(indices.len()));
+    let trials = parallel_map(&indices, threads, |&tree_index| {
+        run_single_trial(config, lambda, tree_index)
+    });
+    LambdaBatch { lambda, trials }
+}
+
+/// Generates and evaluates one tree.
+pub fn run_single_trial(config: &ExperimentConfig, lambda: f64, tree_index: usize) -> TrialResult {
+    let problem = generate_trial_problem(config, lambda, tree_index);
+
+    let heuristics_start = Instant::now();
+    let heuristic_costs: Vec<(Heuristic, Option<u64>)> = config
+        .heuristics
+        .iter()
+        .map(|&h| {
+            let cost = h.run(&problem).map(|placement| {
+                debug_assert!(placement.is_valid(&problem, h.policy()));
+                placement.cost(&problem)
+            });
+            (h, cost)
+        })
+        .collect();
+    let heuristics_seconds = heuristics_start.elapsed().as_secs_f64();
+
+    let lp_start = Instant::now();
+    let ilp_options = IlpOptions::default();
+    // Storage costs are integral, so the bound can always be rounded up
+    // to the next integer; this markedly tightens the fully rational
+    // relaxation on Replica Counting instances.
+    let lp_bound = lower_bound_with(&problem, config.bound, &ilp_options)
+        .map(|raw| integral_lower_bound(raw) as f64);
+    let lp_seconds = lp_start.elapsed().as_secs_f64();
+
+    TrialResult {
+        tree_index,
+        problem_size: problem.tree().problem_size(),
+        achieved_lambda: problem.load_factor(),
+        lp_bound,
+        heuristic_costs,
+        lp_seconds,
+        heuristics_seconds,
+    }
+}
+
+/// Generates the problem instance for one (λ, tree index) pair. Exposed
+/// so benchmarks can time the solvers on exactly the trees the sweep
+/// uses.
+pub fn generate_trial_problem(
+    config: &ExperimentConfig,
+    lambda: f64,
+    tree_index: usize,
+) -> ProblemInstance {
+    let seed = trial_seed(config.seed, lambda, tree_index);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = rng.gen_range(config.size_range.0..=config.size_range.1);
+    let tree = generate_tree_with_rng(
+        &TreeGenConfig::with_problem_size(size, config.shape),
+        &mut rng,
+    );
+    let workload = WorkloadConfig {
+        platform: config.platform,
+        lambda,
+        qos_hops: config.qos_hops,
+    };
+    generate_problem_with_rng(tree, &workload, &mut rng)
+}
+
+/// Derives a deterministic sub-seed for one trial.
+fn trial_seed(base: u64, lambda: f64, tree_index: usize) -> u64 {
+    // Mix with two large odd constants (splitmix-style) so that nearby
+    // (λ, index) pairs get unrelated streams.
+    let lambda_bits = (lambda * 1000.0).round() as u64;
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(lambda_bits.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((tree_index as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_core::Policy;
+
+    #[test]
+    fn smoke_sweep_produces_consistent_batches() {
+        let config = ExperimentConfig::smoke_test();
+        let results = run_sweep(&config);
+        assert_eq!(results.batches.len(), config.lambdas.len());
+        for (batch, &lambda) in results.batches.iter().zip(&config.lambdas) {
+            assert_eq!(batch.lambda, lambda);
+            assert_eq!(batch.trials.len(), config.trees_per_lambda);
+            for trial in &batch.trials {
+                assert!(trial.problem_size >= config.size_range.0);
+                assert!(trial.problem_size <= config.size_range.1);
+                // Achieved λ tracks the target.
+                assert!((trial.achieved_lambda - lambda).abs() < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_in_the_seed() {
+        let config = ExperimentConfig::smoke_test();
+        let a = run_sweep(&config);
+        let b = run_sweep(&config);
+        for (ba, bb) in a.batches.iter().zip(&b.batches) {
+            for (ta, tb) in ba.trials.iter().zip(&bb.trials) {
+                assert_eq!(ta.problem_size, tb.problem_size);
+                assert_eq!(ta.heuristic_costs, tb.heuristic_costs);
+                assert_eq!(
+                    ta.lp_bound.map(|v| (v * 1e6).round()),
+                    tb.lp_bound.map(|v| (v * 1e6).round())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_any_heuristic_cost() {
+        let config = ExperimentConfig::smoke_test();
+        let results = run_sweep(&config);
+        for batch in &results.batches {
+            for trial in &batch.trials {
+                if let Some(bound) = trial.lp_bound {
+                    for (h, cost) in &trial.heuristic_costs {
+                        if let Some(cost) = cost {
+                            assert!(
+                                bound <= *cost as f64 + 1e-6,
+                                "λ={} tree {}: bound {bound} > {h} cost {cost}",
+                                batch.lambda,
+                                trial.tree_index
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mg_succeeds_exactly_when_the_lp_is_feasible() {
+        let config = ExperimentConfig::smoke_test();
+        let results = run_sweep(&config);
+        for batch in &results.batches {
+            for trial in &batch.trials {
+                assert_eq!(
+                    trial.solvable(),
+                    trial.cost_of(Heuristic::Mg).is_some(),
+                    "λ={} tree {}",
+                    batch.lambda,
+                    trial.tree_index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_trial_problems_match_the_platform_kind() {
+        let config = ExperimentConfig {
+            platform: PlatformKind::default_heterogeneous(),
+            ..ExperimentConfig::smoke_test()
+        };
+        let p = generate_trial_problem(&config, 0.4, 0);
+        assert_eq!(p.kind(), rp_core::ProblemKind::ReplicaCost);
+        let placement = Heuristic::Mg.run(&p);
+        if let Some(placement) = placement {
+            assert!(placement.is_valid(&p, Policy::Multiple));
+        }
+    }
+
+    #[test]
+    fn trial_seeds_differ_across_lambdas_and_indices() {
+        let s1 = trial_seed(1, 0.1, 0);
+        let s2 = trial_seed(1, 0.2, 0);
+        let s3 = trial_seed(1, 0.1, 1);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(s2, s3);
+    }
+}

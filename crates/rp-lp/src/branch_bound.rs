@@ -1,0 +1,431 @@
+//! Branch-and-bound for mixed-integer linear programs.
+//!
+//! The replica-placement formulations only declare a modest number of
+//! integer variables (the replica indicators `x_j`, one per internal
+//! node), so a straightforward LP-based branch-and-bound is sufficient:
+//! solve the continuous relaxation with the dense simplex, branch on the
+//! most fractional integer variable, and explore the resulting subtree
+//! depth-first while pruning with the incumbent.
+//!
+//! The solver reports both the best incumbent and the best proven bound,
+//! which is exactly what the paper's "mixed" lower bound (Section 7.1)
+//! needs: even when the node limit stops the search early, the weakest
+//! open-node relaxation value is still a valid lower bound on the
+//! optimal integer objective.
+
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{solve_lp_with, SimplexOptions};
+use crate::solution::{Solution, Status};
+
+/// Options for the branch-and-bound search.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchBoundOptions {
+    /// LP sub-solver options.
+    pub simplex: SimplexOptions,
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Integrality tolerance: a value within this distance of an integer
+    /// is considered integral.
+    pub integrality_tolerance: f64,
+}
+
+impl Default for BranchBoundOptions {
+    fn default() -> Self {
+        BranchBoundOptions {
+            simplex: SimplexOptions::default(),
+            max_nodes: 10_000,
+            integrality_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Outcome of a MILP solve, with bound information.
+#[derive(Clone, Debug)]
+pub struct MilpOutcome {
+    /// Best integral solution found (if any), in the original sense.
+    pub incumbent: Option<Solution>,
+    /// Best proven bound on the optimal objective: a lower bound for
+    /// minimisation problems, an upper bound for maximisation problems.
+    /// `None` when the root relaxation was infeasible.
+    pub bound: Option<f64>,
+    /// Overall status.
+    pub status: Status,
+    /// Number of explored branch-and-bound nodes.
+    pub explored_nodes: usize,
+}
+
+impl MilpOutcome {
+    /// Convenience accessor mirroring [`Solution`]: the objective of the
+    /// incumbent, if one was found.
+    pub fn objective(&self) -> Option<f64> {
+        self.incumbent.as_ref().map(|s| s.objective)
+    }
+}
+
+/// Solves `model` as a mixed-integer program with default options.
+pub fn solve_milp(model: &Model) -> MilpOutcome {
+    solve_milp_with(model, &BranchBoundOptions::default())
+}
+
+/// Solves `model` as a mixed-integer program.
+pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutcome {
+    let integer_vars = model.integer_vars();
+    if integer_vars.is_empty() {
+        let sol = solve_lp_with(model, &options.simplex);
+        let bound = if sol.status == Status::Optimal {
+            Some(sol.objective)
+        } else {
+            None
+        };
+        let status = sol.status;
+        return MilpOutcome {
+            incumbent: if sol.has_point() { Some(sol) } else { None },
+            bound,
+            status,
+            explored_nodes: 1,
+        };
+    }
+
+    let minimise = model.sense() == Sense::Minimize;
+    // `better(a, b)`: is objective a strictly better than b?
+    let better = |a: f64, b: f64| if minimise { a < b - 1e-9 } else { a > b + 1e-9 };
+
+    #[derive(Clone)]
+    struct NodeBounds {
+        // (var, lower, upper) overrides relative to the root model.
+        overrides: Vec<(VarId, f64, Option<f64>)>,
+    }
+
+    let mut stack: Vec<NodeBounds> = vec![NodeBounds { overrides: vec![] }];
+    let mut incumbent: Option<Solution> = None;
+    let mut explored = 0usize;
+    // Relaxation values of *open* (pruned-by-limit) and explored leaves;
+    // the global bound is the weakest relaxation among nodes that were
+    // never fathomed by bound. We track it as the min (for minimisation)
+    // over nodes we abandoned plus the root relaxation chain; a simpler
+    // sound choice: the root relaxation value, improved only when the
+    // search completes (then the incumbent is optimal).
+    let mut root_relaxation: Option<f64> = None;
+    let mut node_limit_hit = false;
+    let mut open_bound: Option<f64> = None;
+
+    while let Some(node) = stack.pop() {
+        if explored >= options.max_nodes {
+            node_limit_hit = true;
+            // Nodes still on the stack were never examined: account for
+            // them in the proven bound via their parent relaxations. We
+            // conservatively fall back to the root relaxation below.
+            break;
+        }
+        explored += 1;
+
+        // Apply bound overrides on a scratch copy of the model.
+        let mut scratch = model.clone();
+        let mut conflict = false;
+        for &(var, lower, upper) in &node.overrides {
+            if let Some(ub) = upper {
+                if ub < lower - 1e-12 {
+                    conflict = true;
+                    break;
+                }
+            }
+            scratch.set_bounds(var, lower, upper);
+        }
+        if conflict {
+            continue;
+        }
+
+        let relaxation = solve_lp_with(&scratch, &options.simplex);
+        match relaxation.status {
+            Status::Infeasible => continue,
+            Status::Unbounded => {
+                return MilpOutcome {
+                    incumbent,
+                    bound: None,
+                    status: Status::Unbounded,
+                    explored_nodes: explored,
+                };
+            }
+            Status::IterationLimit | Status::NodeLimit => {
+                // Treat as an open node we could not fathom.
+                node_limit_hit = true;
+                continue;
+            }
+            Status::Optimal => {}
+        }
+        if root_relaxation.is_none() {
+            root_relaxation = Some(relaxation.objective);
+        }
+
+        // Prune by bound.
+        if let Some(ref inc) = incumbent {
+            if !better(relaxation.objective, inc.objective) {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let tol = options.integrality_tolerance;
+        let mut branch_var: Option<(VarId, f64, f64)> = None; // (var, value, fractionality)
+        for &var in &integer_vars {
+            let value = relaxation.value(var);
+            let frac = (value - value.round()).abs();
+            if frac > tol {
+                let distance_to_half = (value.fract() - 0.5).abs();
+                match branch_var {
+                    Some((_, _, best)) if distance_to_half >= best => {}
+                    _ => branch_var = Some((var, value, distance_to_half)),
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral solution: candidate incumbent. Round the integer
+                // coordinates exactly to avoid drift in downstream checks.
+                let mut candidate = relaxation;
+                for &var in &integer_vars {
+                    let v = candidate.values[var.index()].round();
+                    candidate.values[var.index()] = v;
+                }
+                candidate.objective = model.objective_value(&candidate.values);
+                let replace = match incumbent {
+                    None => true,
+                    Some(ref inc) => better(candidate.objective, inc.objective),
+                };
+                if replace {
+                    incumbent = Some(candidate);
+                }
+            }
+            Some((var, value, _)) => {
+                let floor = value.floor();
+                let ceil = value.ceil();
+                let current = current_bounds(model, &node.overrides, var);
+
+                // Down branch: var <= floor.
+                let mut down = node.clone();
+                let down_upper = Some(match current.1 {
+                    Some(ub) => ub.min(floor),
+                    None => floor,
+                });
+                down.overrides.push((var, current.0, down_upper));
+
+                // Up branch: var >= ceil.
+                let mut up = node.clone();
+                up.overrides.push((var, current.0.max(ceil), current.1));
+
+                // Track the relaxation value as the bound for whatever we
+                // may leave unexplored if the node limit hits.
+                open_bound = Some(match open_bound {
+                    None => relaxation.objective,
+                    Some(b) => {
+                        if minimise {
+                            b.min(relaxation.objective)
+                        } else {
+                            b.max(relaxation.objective)
+                        }
+                    }
+                });
+
+                // Depth-first: push the branch closer to the fractional
+                // value last so it is explored first.
+                if value - floor < ceil - value {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    let status = if node_limit_hit {
+        Status::NodeLimit
+    } else if incumbent.is_some() {
+        Status::Optimal
+    } else {
+        Status::Infeasible
+    };
+
+    // Proven bound: if the search completed, the incumbent (or
+    // infeasibility) is exact; otherwise fall back to the weakest
+    // relaxation observed (or the root relaxation).
+    let bound = if node_limit_hit {
+        open_bound.or(root_relaxation)
+    } else { incumbent.as_ref().map(|inc| inc.objective) };
+
+    MilpOutcome {
+        incumbent,
+        bound,
+        status,
+        explored_nodes: explored,
+    }
+}
+
+/// Effective bounds of `var` after applying `overrides` in order on top
+/// of the root model.
+fn current_bounds(
+    model: &Model,
+    overrides: &[(VarId, f64, Option<f64>)],
+    var: VarId,
+) -> (f64, Option<f64>) {
+    let mut lower = model.variable(var).lower;
+    let mut upper = model.variable(var).upper;
+    for &(v, lo, up) in overrides {
+        if v == var {
+            lower = lo;
+            upper = up;
+        }
+    }
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin_sum, Cmp, LinExpr, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 2.5);
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Optimal);
+        assert_close(out.objective().unwrap(), 2.5);
+        assert_close(out.bound.unwrap(), 2.5);
+        assert_eq!(out.explored_nodes, 1);
+    }
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary. Optimum: a+c=17?
+        // options: {a,b}: weight 7 no; {b,c}: 6 -> 20; {a,c}: 5 -> 17.
+        // So best is 20.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary_var("a", 10.0);
+        let b = m.add_binary_var("b", 13.0);
+        let c = m.add_binary_var("c", 7.0);
+        m.add_constraint(
+            "weight",
+            lin_sum([(3.0, a), (4.0, b), (2.0, c)]),
+            Cmp::Le,
+            6.0,
+        );
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Optimal);
+        assert_close(out.objective().unwrap(), 20.0);
+        let sol = out.incumbent.unwrap();
+        assert_close(sol.value(a), 0.0);
+        assert_close(sol.value(b), 1.0);
+        assert_close(sol.value(c), 1.0);
+    }
+
+    #[test]
+    fn integer_rounding_gap_is_respected() {
+        // min x st 2x >= 7, x integer => x = 4 (LP relaxation 3.5).
+        let mut m = Model::minimize();
+        let x = m.add_int_var("x", 0.0, None, 1.0);
+        m.add_constraint("c", lin_sum([(2.0, x)]), Cmp::Ge, 7.0);
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Optimal);
+        assert_close(out.objective().unwrap(), 4.0);
+        assert_close(out.bound.unwrap(), 4.0);
+    }
+
+    #[test]
+    fn infeasible_milp_is_detected() {
+        let mut m = Model::minimize();
+        let x = m.add_binary_var("x", 1.0);
+        m.add_constraint("impossible", LinExpr::var(x), Cmp::Ge, 2.0);
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Infeasible);
+        assert!(out.incumbent.is_none());
+        assert!(out.bound.is_none());
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min 5y + x  st  x >= 3.3 - 3y,  y binary, x >= 0.
+        // y=0 -> x=3.3, cost 3.3 ; y=1 -> x=0.3, cost 5.3. Optimum 3.3.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        let y = m.add_binary_var("y", 5.0);
+        m.add_constraint("c", lin_sum([(1.0, x), (3.0, y)]), Cmp::Ge, 3.3);
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Optimal);
+        assert_close(out.objective().unwrap(), 3.3);
+    }
+
+    #[test]
+    fn equality_constrained_milp() {
+        // x + y = 5, x,y integer, min 3x + 2y => x=0, y=5, cost 10.
+        let mut m = Model::minimize();
+        let x = m.add_int_var("x", 0.0, None, 3.0);
+        let y = m.add_int_var("y", 0.0, None, 2.0);
+        m.add_constraint("sum", lin_sum([(1.0, x), (1.0, y)]), Cmp::Eq, 5.0);
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Optimal);
+        assert_close(out.objective().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn node_limit_still_reports_a_valid_bound() {
+        // Vertex cover of a triangle: the LP relaxation is fractional
+        // (all 0.5, value 1.5) while the integer optimum is 2. With
+        // max_nodes = 1 the search stops after the root node but the
+        // reported bound must still be a valid lower bound.
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..3).map(|i| m.add_binary_var(format!("x{i}"), 1.0)).collect();
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        for (i, (a, b)) in edges.iter().enumerate() {
+            m.add_constraint(
+                format!("edge{i}"),
+                lin_sum([(1.0, vars[*a]), (1.0, vars[*b])]),
+                Cmp::Ge,
+                1.0,
+            );
+        }
+        let exact = solve_milp(&m);
+        assert_eq!(exact.status, Status::Optimal);
+        assert_close(exact.objective().unwrap(), 2.0);
+
+        let limited = solve_milp_with(
+            &m,
+            &BranchBoundOptions {
+                max_nodes: 1,
+                ..BranchBoundOptions::default()
+            },
+        );
+        assert_eq!(limited.status, Status::NodeLimit);
+        let bound = limited.bound.expect("root relaxation bound");
+        assert!(bound <= 2.0 + 1e-6, "bound {bound} must not exceed the optimum");
+        assert!(bound >= 1.0, "bound {bound} should be at least the trivial bound");
+    }
+
+    #[test]
+    fn maximisation_milp_prunes_correctly() {
+        // max 4x + 3y st x + y <= 3.5, x <= 2.2, integers -> x=2, y=1 -> 11.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_int_var("x", 0.0, Some(2.2), 4.0);
+        let y = m.add_int_var("y", 0.0, None, 3.0);
+        m.add_constraint("c", lin_sum([(1.0, x), (1.0, y)]), Cmp::Le, 3.5);
+        let out = solve_milp(&m);
+        assert_eq!(out.status, Status::Optimal);
+        assert_close(out.objective().unwrap(), 11.0);
+    }
+
+    #[test]
+    fn explored_node_count_is_reported() {
+        let mut m = Model::minimize();
+        let x = m.add_int_var("x", 0.0, None, 1.0);
+        m.add_constraint("c", lin_sum([(2.0, x)]), Cmp::Ge, 7.0);
+        let out = solve_milp(&m);
+        assert!(out.explored_nodes >= 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # rp-lp — linear programming substrate
+//!
+//! A small, dependency-free LP/MILP toolkit used by `rp-core` to express
+//! the integer-linear-program formulations of the replica-placement
+//! problem (Section 5 of the paper) and to compute the LP-based lower
+//! bound of Section 7.1.
+//!
+//! * [`Model`] — variables (continuous or integer, bounded), linear
+//!   constraints, linear objective.
+//! * [`solve_lp`] — dense two-phase primal simplex for the continuous
+//!   relaxation.
+//! * [`solve_milp`] — LP-based branch-and-bound over the declared
+//!   integer variables, reporting both the best incumbent and a proven
+//!   bound.
+//!
+//! The paper used off-the-shelf solvers (GLPK / Maple); this crate is a
+//! from-scratch replacement sized for the formulations at hand, so the
+//! whole reproduction remains self-contained (see DESIGN.md).
+//!
+//! ```
+//! use rp_lp::{Model, LinExpr, Cmp, Sense, solve_milp};
+//!
+//! // Minimise the number of bins of capacity 10 needed for items 6, 5, 4.
+//! let mut m = Model::minimize();
+//! let bins: Vec<_> = (0..3).map(|b| m.add_binary_var(format!("bin{b}"), 1.0)).collect();
+//! let mut assign = vec![];
+//! for item in 0..3 {
+//!     let row: Vec<_> = (0..3)
+//!         .map(|b| m.add_binary_var(format!("item{item}_in{b}"), 0.0))
+//!         .collect();
+//!     let expr = row.iter().fold(LinExpr::new(), |e, &v| e.plus(1.0, v));
+//!     m.add_constraint(format!("assign{item}"), expr, Cmp::Eq, 1.0);
+//!     assign.push(row);
+//! }
+//! let sizes = [6.0, 5.0, 4.0];
+//! for b in 0..3 {
+//!     let mut expr = LinExpr::new();
+//!     for item in 0..3 {
+//!         expr.add_term(sizes[item], assign[item][b]);
+//!     }
+//!     expr.add_term(-10.0, bins[b]);
+//!     m.add_constraint(format!("cap{b}"), expr, Cmp::Le, 0.0);
+//! }
+//! let out = solve_milp(&m);
+//! assert_eq!(out.objective().unwrap().round() as i64, 2);
+//! let _ = Sense::Minimize;
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod branch_bound;
+mod model;
+mod simplex;
+mod solution;
+
+pub use branch_bound::{solve_milp, solve_milp_with, BranchBoundOptions, MilpOutcome};
+pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
+pub use simplex::{solve_lp, solve_lp_with, SimplexOptions};
+pub use solution::{Solution, Status};

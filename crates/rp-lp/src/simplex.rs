@@ -1,0 +1,685 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver works on the continuous relaxation of a [`Model`]: integer
+//! markers are ignored here (branch-and-bound, in
+//! [`crate::branch_bound`], layers integrality on top).
+//!
+//! The implementation is a textbook full-tableau simplex:
+//!
+//! 1. shift every variable by its lower bound so all variables are
+//!    non-negative, and turn finite upper bounds into extra rows;
+//! 2. normalise rows to non-negative right-hand sides and add slack,
+//!    surplus and artificial columns;
+//! 3. phase 1 minimises the sum of artificials to find a basic feasible
+//!    solution (or prove infeasibility);
+//! 4. phase 2 minimises the true objective, with Dantzig pricing and an
+//!    automatic switch to Bland's rule to guarantee termination.
+//!
+//! This is `O(m·n)` memory and `O(m·n)` work per pivot — ample for the
+//! replica-placement formulations used by the experiment harness, and
+//! entirely dependency-free.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::solution::{Solution, Status};
+
+/// Tunable solver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimplexOptions {
+    /// Feasibility / optimality tolerance.
+    pub tolerance: f64,
+    /// Hard cap on pivot iterations per phase. `None` picks a bound that
+    /// scales with the problem size.
+    pub max_iterations: Option<usize>,
+    /// Number of Dantzig-pricing iterations before switching to Bland's
+    /// rule (anti-cycling).
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tolerance: 1e-7,
+            max_iterations: None,
+            bland_after: 10_000,
+        }
+    }
+}
+
+/// Solves the continuous relaxation of `model` with default options.
+pub fn solve_lp(model: &Model) -> Solution {
+    solve_lp_with(model, &SimplexOptions::default())
+}
+
+/// Solves the continuous relaxation of `model`.
+pub fn solve_lp_with(model: &Model, options: &SimplexOptions) -> Solution {
+    Tableau::build(model, options).solve(model)
+}
+
+/// Column classification inside the tableau.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ColKind {
+    /// Shifted structural variable (index into the model's variables).
+    Structural(usize),
+    /// Slack or surplus column.
+    Slack,
+    /// Artificial column (phase 1 only).
+    Artificial,
+}
+
+struct Tableau {
+    /// `rows x (num_cols + 1)`; the last column is the right-hand side.
+    data: Vec<Vec<f64>>,
+    /// Basis: for each row, the column currently basic in it.
+    basis: Vec<usize>,
+    /// Kind of every column.
+    kinds: Vec<ColKind>,
+    /// Phase-2 cost of every column (structural columns carry the shifted
+    /// objective, slack/surplus are 0, artificials are irrelevant because
+    /// they are barred from entering in phase 2).
+    costs: Vec<f64>,
+    /// Constant added back to the objective after solving (from the lower
+    /// bound shift and the sense flip).
+    objective_shift: f64,
+    /// Lower bounds of the original variables (for unshifting).
+    lower_bounds: Vec<f64>,
+    /// `true` when the model maximises (we negate costs internally).
+    maximise: bool,
+    options: SimplexOptions,
+    /// Set when the constraint preprocessing already proved infeasibility
+    /// (e.g. a bound row with negative range).
+    trivially_infeasible: bool,
+}
+
+impl Tableau {
+    fn build(model: &Model, options: &SimplexOptions) -> Self {
+        let n = model.num_vars();
+        let maximise = model.sense() == Sense::Maximize;
+        let lower_bounds: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+
+        // Shifted objective: cost of x'_j is c_j (sign-flipped when
+        // maximising); the constant c^T l is restored afterwards.
+        let mut costs_structural: Vec<f64> = model
+            .variables
+            .iter()
+            .map(|v| if maximise { -v.objective } else { v.objective })
+            .collect();
+        let objective_shift: f64 = model
+            .variables
+            .iter()
+            .map(|v| v.objective * v.lower)
+            .sum();
+
+        // Collect rows: (terms over structural vars, cmp, rhs) with the
+        // lower-bound shift applied.
+        let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+        let mut trivially_infeasible = false;
+        for c in &model.constraints {
+            let mut rhs = c.rhs;
+            let mut terms = Vec::with_capacity(c.terms.len());
+            for &(var, coeff) in &c.terms {
+                rhs -= coeff * lower_bounds[var.index()];
+                terms.push((var.index(), coeff));
+            }
+            rows.push((terms, c.cmp, rhs));
+        }
+        // Upper bounds become x'_j <= u_j - l_j.
+        for (j, v) in model.variables.iter().enumerate() {
+            if let Some(ub) = v.upper {
+                let range = ub - v.lower;
+                if range < 0.0 {
+                    trivially_infeasible = true;
+                }
+                rows.push((vec![(j, 1.0)], Cmp::Le, range));
+            }
+        }
+
+        let m = rows.len();
+        // Column layout: structural | slack/surplus | artificial | rhs.
+        let mut kinds: Vec<ColKind> = (0..n).map(ColKind::Structural).collect();
+        let mut costs: Vec<f64> = std::mem::take(&mut costs_structural);
+
+        // First pass: count slack and artificial columns.
+        let mut num_slack = 0usize;
+        let mut num_art = 0usize;
+        for (_, cmp, rhs) in &rows {
+            let rhs_negative = *rhs < 0.0;
+            let effective = effective_cmp(*cmp, rhs_negative);
+            match effective {
+                Cmp::Le => num_slack += 1,
+                Cmp::Ge => {
+                    num_slack += 1;
+                    num_art += 1;
+                }
+                Cmp::Eq => num_art += 1,
+            }
+        }
+        let total_cols = n + num_slack + num_art;
+        let mut data = vec![vec![0.0; total_cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        kinds.extend(std::iter::repeat_n(ColKind::Slack, num_slack));
+        kinds.extend(std::iter::repeat_n(ColKind::Artificial, num_art));
+        costs.extend(std::iter::repeat_n(0.0, num_slack + num_art));
+
+        let mut next_slack = n;
+        let mut next_art = n + num_slack;
+        for (i, (terms, cmp, rhs)) in rows.iter().enumerate() {
+            let flip = *rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(j, coeff) in terms {
+                data[i][j] += sign * coeff;
+            }
+            data[i][total_cols] = sign * rhs;
+            match effective_cmp(*cmp, flip) {
+                Cmp::Le => {
+                    data[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    data[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    data[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    data[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        Tableau {
+            data,
+            basis,
+            kinds,
+            costs,
+            objective_shift,
+            lower_bounds,
+            maximise,
+            options: *options,
+            trivially_infeasible,
+        }
+    }
+
+    fn num_cols(&self) -> usize {
+        self.kinds.len()
+    }
+
+    fn rhs_col(&self) -> usize {
+        self.kinds.len()
+    }
+
+    fn solve(mut self, model: &Model) -> Solution {
+        if self.trivially_infeasible {
+            return Solution::status_only(Status::Infeasible);
+        }
+        let tol = self.options.tolerance;
+
+        // ---- Phase 1: minimise the sum of artificial variables. ----
+        let has_artificials = self.kinds.contains(&ColKind::Artificial);
+        if has_artificials {
+            let phase1_costs: Vec<f64> = self
+                .kinds
+                .iter()
+                .map(|k| if *k == ColKind::Artificial { 1.0 } else { 0.0 })
+                .collect();
+            match self.run_phase(&phase1_costs, /* allow_artificial_entering = */ true) {
+                PhaseOutcome::Optimal => {}
+                PhaseOutcome::Unbounded => {
+                    // Phase 1 objective is bounded below by 0; this would be
+                    // a numerical failure. Treat conservatively.
+                    return Solution::status_only(Status::IterationLimit);
+                }
+                PhaseOutcome::IterationLimit => {
+                    return Solution::status_only(Status::IterationLimit);
+                }
+            }
+            let phase1_obj = self.objective_of(&phase1_costs);
+            if phase1_obj > tol * 10.0 {
+                return Solution::status_only(Status::Infeasible);
+            }
+            self.drive_out_artificials();
+        }
+
+        // ---- Phase 2: minimise the shifted objective. ----
+        let phase2_costs = self.costs.clone();
+        match self.run_phase(&phase2_costs, /* allow_artificial_entering = */ false) {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => return Solution::status_only(Status::Unbounded),
+            PhaseOutcome::IterationLimit => {
+                return Solution::status_only(Status::IterationLimit)
+            }
+        }
+
+        // Extract the solution, unshift, restore the sense.
+        let mut values = self.lower_bounds.clone();
+        let rhs_col = self.rhs_col();
+        for (row, &col) in self.basis.iter().enumerate() {
+            if let ColKind::Structural(j) = self.kinds[col] {
+                values[j] += self.data[row][rhs_col].max(0.0);
+            }
+        }
+        let mut objective = model.objective_value(&values);
+        // Guard against tiny negative noise around zero.
+        if objective.abs() < tol {
+            objective = 0.0;
+        }
+        let _ = self.objective_shift; // already folded in via objective_value
+        let _ = self.maximise;
+        Solution {
+            status: Status::Optimal,
+            objective,
+            values,
+        }
+    }
+
+    /// Value of `costs` at the current basic solution.
+    fn objective_of(&self, costs: &[f64]) -> f64 {
+        let rhs = self.rhs_col();
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(row, &col)| costs[col] * self.data[row][rhs])
+            .sum()
+    }
+
+    /// Runs pivots until optimality for the given cost vector.
+    fn run_phase(&mut self, costs: &[f64], allow_artificial_entering: bool) -> PhaseOutcome {
+        let tol = self.options.tolerance;
+        let m = self.data.len();
+        let n = self.num_cols();
+        let max_iter = self
+            .options
+            .max_iterations
+            .unwrap_or_else(|| 200 + 50 * (m + n));
+        let mut reduced = vec![0.0; n];
+
+        for iteration in 0..max_iter {
+            // Reduced costs: r_j = c_j - c_B^T (B^-1 A_j).
+            let basic_costs: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
+            for (j, r) in reduced.iter_mut().enumerate() {
+                let mut dot = 0.0;
+                for (row, bc) in basic_costs.iter().enumerate() {
+                    if *bc != 0.0 {
+                        dot += bc * self.data[row][j];
+                    }
+                }
+                *r = costs[j] - dot;
+            }
+
+            let use_bland = iteration >= self.options.bland_after;
+            let entering = self.choose_entering(&reduced, tol, use_bland, allow_artificial_entering);
+            let entering = match entering {
+                Some(j) => j,
+                None => return PhaseOutcome::Optimal,
+            };
+
+            // Ratio test.
+            let rhs_col = self.rhs_col();
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for row in 0..m {
+                let a = self.data[row][entering];
+                if a > tol {
+                    let ratio = self.data[row][rhs_col] / a;
+                    let better = ratio < best_ratio - tol
+                        || (ratio < best_ratio + tol
+                            && leaving
+                                .map(|l| self.basis[row] < self.basis[l])
+                                .unwrap_or(true));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(row);
+                    }
+                }
+            }
+            let leaving = match leaving {
+                Some(row) => row,
+                None => return PhaseOutcome::Unbounded,
+            };
+
+            self.pivot(leaving, entering);
+        }
+        PhaseOutcome::IterationLimit
+    }
+
+    fn choose_entering(
+        &self,
+        reduced: &[f64],
+        tol: f64,
+        use_bland: bool,
+        allow_artificial: bool,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &r) in reduced.iter().enumerate() {
+            if !allow_artificial && self.kinds[j] == ColKind::Artificial {
+                continue;
+            }
+            if r < -tol {
+                if use_bland {
+                    return Some(j);
+                }
+                match best {
+                    Some((_, best_r)) if r >= best_r => {}
+                    _ => best = Some((j, r)),
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let rhs = self.rhs_col();
+        let pivot_value = self.data[pivot_row][pivot_col];
+        debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
+        let inv = 1.0 / pivot_value;
+        for value in self.data[pivot_row].iter_mut() {
+            *value *= inv;
+        }
+        let pivot_row_copy = self.data[pivot_row].clone();
+        for (row, row_data) in self.data.iter_mut().enumerate() {
+            if row == pivot_row {
+                continue;
+            }
+            let factor = row_data[pivot_col];
+            if factor != 0.0 {
+                for (col, value) in row_data.iter_mut().enumerate() {
+                    *value -= factor * pivot_row_copy[col];
+                }
+                // Clean up numerical dust in the pivot column and RHS.
+                row_data[pivot_col] = 0.0;
+                if row_data[rhs].abs() < 1e-12 {
+                    row_data[rhs] = 0.0;
+                }
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// After phase 1, replace basic artificial variables (at value 0) by
+    /// structural or slack columns wherever possible, so phase 2 never
+    /// pivots on them.
+    fn drive_out_artificials(&mut self) {
+        let tol = self.options.tolerance;
+        for row in 0..self.data.len() {
+            if self.kinds[self.basis[row]] != ColKind::Artificial {
+                continue;
+            }
+            // Find any non-artificial column with a non-zero entry.
+            let replacement = (0..self.num_cols())
+                .find(|&j| self.kinds[j] != ColKind::Artificial && self.data[row][j].abs() > tol);
+            if let Some(col) = replacement {
+                self.pivot(row, col);
+            }
+            // If none exists the row is redundant; the artificial stays
+            // basic at value zero, which is harmless because artificials
+            // are barred from entering in phase 2.
+        }
+    }
+}
+
+fn effective_cmp(cmp: Cmp, rhs_negative: bool) -> Cmp {
+    if !rhs_negative {
+        return cmp;
+    }
+    match cmp {
+        Cmp::Le => Cmp::Ge,
+        Cmp::Ge => Cmp::Le,
+        Cmp::Eq => Cmp::Eq,
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin_sum, LinExpr, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximisation_with_two_variables() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None, 3.0);
+        let y = m.add_var("y", 0.0, None, 5.0);
+        m.add_constraint("c1", LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_constraint("c2", lin_sum([(2.0, y)]), Cmp::Le, 12.0);
+        m.add_constraint("c3", lin_sum([(3.0, x), (2.0, y)]), Cmp::Le, 18.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn minimisation_with_ge_constraints_needs_phase_one() {
+        // min 2x + 3y  s.t. x + y >= 10, x >= 2, y >= 3  => x=7,y=3 -> 23.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 2.0);
+        let y = m.add_var("y", 0.0, None, 3.0);
+        m.add_constraint("sum", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 10.0);
+        m.add_constraint("xmin", LinExpr::var(x), Cmp::Ge, 2.0);
+        m.add_constraint("ymin", LinExpr::var(y), Cmp::Ge, 3.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 23.0);
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints_are_respected() {
+        // min x + y  s.t. x + 2y = 8, x <= 4  => y >= 2; best x=4,y=2 -> 6...
+        // check: objective x+y with x+2y=8 => x = 8-2y, obj = 8 - y, so
+        // maximise y: y <= 4 (x >= 0). Best y=4, x=0, obj 4.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(4.0), 1.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("eq", lin_sum([(1.0, x), (2.0, y)]), Cmp::Eq, 8.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 4.0);
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.value(y), 4.0);
+    }
+
+    #[test]
+    fn infeasible_system_is_detected() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(1.0), 1.0);
+        m.add_constraint("too_big", LinExpr::var(x), Cmp::Ge, 5.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Infeasible);
+        assert!(!sol.has_point());
+    }
+
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("a", lin_sum([(1.0, x), (1.0, y)]), Cmp::Eq, 4.0);
+        m.add_constraint("b", lin_sum([(1.0, x), (1.0, y)]), Cmp::Eq, 6.0);
+        assert_eq!(solve_lp(&m).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_is_detected() {
+        // max x with only a lower bound.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None, 1.0);
+        m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 1.0);
+        assert_eq!(solve_lp(&m).status, Status::Unbounded);
+    }
+
+    #[test]
+    fn lower_bound_shift_is_applied() {
+        // min x + y with x >= 3, y >= 4 and x + y >= 10 => 10.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 3.0, None, 1.0);
+        let y = m.add_var("y", 4.0, None, 1.0);
+        m.add_constraint("sum", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 10.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 10.0);
+        assert!(sol.value(x) >= 3.0 - 1e-9);
+        assert!(sol.value(y) >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn inverted_bounds_are_infeasible() {
+        let mut m = Model::minimize();
+        // Upper bound below lower bound cannot be constructed through the
+        // checked API, so emulate it with constraints.
+        let x = m.add_var("x", 2.0, None, 1.0);
+        m.add_constraint("ub", LinExpr::var(x), Cmp::Le, 1.0);
+        assert_eq!(solve_lp(&m).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic cycling-prone instance (Beale's example). Bland's rule
+        // fallback must terminate with the optimum -0.05 (maximisation form:
+        // max 0.75a - 150b + 0.02c - 6d).
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, None, 0.75);
+        let b = m.add_var("b", 0.0, None, -150.0);
+        let c = m.add_var("c", 0.0, None, 0.02);
+        let d = m.add_var("d", 0.0, None, -6.0);
+        m.add_constraint(
+            "r1",
+            lin_sum([(0.25, a), (-60.0, b), (-0.04, c), (9.0, d)]),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            "r2",
+            lin_sum([(0.5, a), (-90.0, b), (-0.02, c), (3.0, d)]),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint("r3", LinExpr::var(c), Cmp::Le, 1.0);
+        let options = SimplexOptions {
+            bland_after: 20,
+            ..SimplexOptions::default()
+        };
+        let sol = solve_lp_with(&m, &options);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 0.05);
+    }
+
+    #[test]
+    fn zero_constraint_model_uses_bounds_only() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.5, Some(9.0), 2.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.value(x), 1.5);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // x - y <= -2 with x,y >= 0: equivalent to y >= x + 2.
+        // min y s.t. that => x = 0, y = 2.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 0.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("neg", lin_sum([(1.0, x), (-1.0, y)]), Cmp::Le, -2.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase_two() {
+        // Same equality twice: redundant artificial row must be handled.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        let y = m.add_var("y", 0.0, None, 2.0);
+        m.add_constraint("e1", lin_sum([(1.0, x), (1.0, y)]), Cmp::Eq, 5.0);
+        m.add_constraint("e2", lin_sum([(2.0, x), (2.0, y)]), Cmp::Eq, 10.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 5.0);
+        assert_close(sol.value(x), 5.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn transportation_like_problem() {
+        // Two suppliers (cap 20, 30), three consumers (demand 10, 25, 15),
+        // costs:
+        //        c1 c2 c3
+        //   s1:   2  3  1
+        //   s2:   5  4  8
+        // Optimal plan: s1 -> c3 (15 @ 1) + c1 (5 @ 2) = 25,
+        //               s2 -> c1 (5 @ 5) + c2 (25 @ 4) = 125, total 150.
+        // (Any unit moved from s1's cheap cells to c2 costs a net +2.)
+        let mut m = Model::minimize();
+        let costs = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
+        let caps = [20.0, 30.0];
+        let demands = [10.0, 25.0, 15.0];
+        let mut vars = vec![vec![]; 2];
+        for s in 0..2 {
+            for c in 0..3 {
+                vars[s].push(m.add_var(format!("x{s}{c}"), 0.0, None, costs[s][c]));
+            }
+        }
+        for s in 0..2 {
+            let expr = lin_sum(vars[s].iter().map(|&v| (1.0, v)));
+            m.add_constraint(format!("cap{s}"), expr, Cmp::Le, caps[s]);
+        }
+        for c in 0..3 {
+            let expr = lin_sum((0..2).map(|s| (1.0, vars[s][c])));
+            m.add_constraint(format!("dem{c}"), expr, Cmp::Ge, demands[c]);
+        }
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 150.0);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn solution_respects_upper_bounds() {
+        // max x + y with x <= 2, y <= 3 (as variable bounds).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, Some(2.0), 1.0);
+        let y = m.add_var("y", 0.0, Some(3.0), 1.0);
+        m.add_constraint("mix", lin_sum([(1.0, x), (1.0, y)]), Cmp::Le, 10.0);
+        let sol = solve_lp(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 5.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None, 3.0);
+        let y = m.add_var("y", 0.0, None, 5.0);
+        m.add_constraint("c1", LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_constraint("c2", lin_sum([(2.0, y)]), Cmp::Le, 12.0);
+        m.add_constraint("c3", lin_sum([(3.0, x), (2.0, y)]), Cmp::Le, 18.0);
+        let options = SimplexOptions {
+            max_iterations: Some(1),
+            ..SimplexOptions::default()
+        };
+        let sol = solve_lp_with(&m, &options);
+        assert_eq!(sol.status, Status::IterationLimit);
+    }
+}

@@ -1,0 +1,97 @@
+//! Solver outcomes.
+
+use std::fmt;
+
+use crate::model::VarId;
+
+/// Termination status of an LP or MILP solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The iteration limit was reached before convergence.
+    IterationLimit,
+    /// The branch-and-bound node limit was reached; the reported solution
+    /// (if any) is the best incumbent and the bound may not be proven
+    /// optimal.
+    NodeLimit,
+}
+
+impl Status {
+    /// `true` for [`Status::Optimal`].
+    pub fn is_optimal(self) -> bool {
+        matches!(self, Status::Optimal)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::IterationLimit => "iteration limit reached",
+            Status::NodeLimit => "node limit reached",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The result of solving a model.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Why the solver stopped.
+    pub status: Status,
+    /// Objective value in the *original* model sense (only meaningful
+    /// when a feasible point was found).
+    pub objective: f64,
+    /// Value of each variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Builds a solution carrying only a status (no feasible point).
+    pub fn status_only(status: Status) -> Self {
+        Solution {
+            status,
+            objective: f64::NAN,
+            values: Vec::new(),
+        }
+    }
+
+    /// Value of a single variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Returns `true` when the solution holds a usable feasible point
+    /// (optimal, or best incumbent under a node limit).
+    pub fn has_point(&self) -> bool {
+        !self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display_and_predicates() {
+        assert!(Status::Optimal.is_optimal());
+        assert!(!Status::Infeasible.is_optimal());
+        assert_eq!(Status::Unbounded.to_string(), "unbounded");
+        assert_eq!(Status::IterationLimit.to_string(), "iteration limit reached");
+        assert_eq!(Status::NodeLimit.to_string(), "node limit reached");
+    }
+
+    #[test]
+    fn status_only_solutions_have_no_point() {
+        let s = Solution::status_only(Status::Infeasible);
+        assert!(!s.has_point());
+        assert!(s.objective.is_nan());
+    }
+}

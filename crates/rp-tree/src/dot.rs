@@ -1,0 +1,192 @@
+//! Graphviz DOT export of a distribution tree.
+//!
+//! Handy for eyeballing generated workloads and for illustrating
+//! solutions: the caller supplies closures that decorate nodes and
+//! clients (e.g. marking replica nodes, printing request counts).
+
+use std::fmt::Write as _;
+
+use crate::ids::{ClientId, NodeId};
+use crate::tree::TreeNetwork;
+
+/// Options controlling DOT rendering.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Name of the digraph.
+    pub graph_name: String,
+    /// Rank direction: `"TB"` (default) or `"LR"`.
+    pub rankdir: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            graph_name: "distribution_tree".to_string(),
+            rankdir: "TB".to_string(),
+        }
+    }
+}
+
+/// Renders the tree as Graphviz DOT with default decorations: internal
+/// nodes as boxes, clients as ellipses, labelled with their ids (or the
+/// label set at build time, if any).
+pub fn to_dot(tree: &TreeNetwork) -> String {
+    to_dot_with(
+        tree,
+        &DotOptions::default(),
+        |node| {
+            tree.node_label(node)
+                .map(str::to_owned)
+                .unwrap_or_else(|| node.to_string())
+        },
+        |client| {
+            tree.client_label(client)
+                .map(str::to_owned)
+                .unwrap_or_else(|| client.to_string())
+        },
+        |_| false,
+    )
+}
+
+/// Renders the tree as Graphviz DOT with custom labels and an optional
+/// highlight predicate for nodes (highlighted nodes are filled — used to
+/// mark replicas in a placement).
+pub fn to_dot_with<FN, FC, FH>(
+    tree: &TreeNetwork,
+    options: &DotOptions,
+    node_label: FN,
+    client_label: FC,
+    highlight_node: FH,
+) -> String
+where
+    FN: Fn(NodeId) -> String,
+    FC: Fn(ClientId) -> String,
+    FH: Fn(NodeId) -> bool,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_name(&options.graph_name));
+    let _ = writeln!(out, "  rankdir={};", options.rankdir);
+    let _ = writeln!(out, "  node [fontsize=10];");
+
+    for node in tree.node_ids() {
+        let label = escape(&node_label(node));
+        let fill = if highlight_node(node) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} [shape=box, label=\"{}\"{}];", node, label, fill);
+    }
+    for client in tree.client_ids() {
+        let label = escape(&client_label(client));
+        let _ = writeln!(
+            out,
+            "  {} [shape=ellipse, label=\"{}\"];",
+            client, label
+        );
+    }
+    // Edges are drawn parent -> child to match the usual depiction of
+    // distribution trees (root on top).
+    for node in tree.node_ids() {
+        if let Some(parent) = tree.parent_of_node(node) {
+            let _ = writeln!(out, "  {} -> {};", parent, node);
+        }
+    }
+    for client in tree.client_ids() {
+        let parent = tree.parent_of_client(client);
+        let _ = writeln!(out, "  {} -> {};", parent, client);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "tree".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn sample() -> TreeNetwork {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        b.add_client(a);
+        b.add_client(root);
+        b.set_node_label(root, "the root");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let t = sample();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("n1 [shape=box"));
+        assert!(dot.contains("c0 [shape=ellipse"));
+        assert!(dot.contains("c1 [shape=ellipse"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> c0;"));
+        assert!(dot.contains("n0 -> c1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_uses_build_time_labels() {
+        let t = sample();
+        let dot = to_dot(&t);
+        assert!(dot.contains("label=\"the root\""));
+    }
+
+    #[test]
+    fn dot_highlights_replica_nodes() {
+        let t = sample();
+        let dot = to_dot_with(
+            &t,
+            &DotOptions::default(),
+            |n| n.to_string(),
+            |c| c.to_string(),
+            |n| n.index() == 0,
+        );
+        assert!(dot.contains("n0 [shape=box, label=\"n0\", style=filled"));
+        assert!(!dot.contains("n1 [shape=box, label=\"n1\", style=filled"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_labels() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_client(root);
+        b.set_node_label(root, "a \"quoted\" label");
+        let t = b.build().unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains("a \\\"quoted\\\" label"));
+    }
+
+    #[test]
+    fn graph_name_is_sanitised() {
+        let t = sample();
+        let opts = DotOptions {
+            graph_name: "my tree (v2)".to_string(),
+            rankdir: "LR".to_string(),
+        };
+        let dot = to_dot_with(&t, &opts, |n| n.to_string(), |c| c.to_string(), |_| false);
+        assert!(dot.contains("digraph my_tree__v2_ {"));
+        assert!(dot.contains("rankdir=LR;"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for building and validating distribution trees.
+
+use std::fmt;
+
+use crate::ids::{ClientId, NodeId};
+
+/// Errors raised while constructing or validating a [`TreeNetwork`](crate::TreeNetwork).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TreeError {
+    /// The tree has no internal node at all; a distribution tree needs at
+    /// least a root.
+    EmptyTree,
+    /// More than one node was declared without a parent.
+    MultipleRoots {
+        /// The first root encountered.
+        first: NodeId,
+        /// The conflicting second root.
+        second: NodeId,
+    },
+    /// No node was declared as root (every node has a parent), which
+    /// implies a cycle.
+    NoRoot,
+    /// A node id used as a parent does not exist.
+    UnknownParent {
+        /// The dense index that was out of range.
+        index: usize,
+    },
+    /// A cycle was detected while walking from a node towards the root.
+    CycleDetected {
+        /// A node that participates in (or leads into) the cycle.
+        node: NodeId,
+    },
+    /// A node is not reachable from the root.
+    UnreachableNode {
+        /// The unreachable node.
+        node: NodeId,
+    },
+    /// A client references a parent node that does not exist.
+    UnknownClientParent {
+        /// The client with the dangling parent reference.
+        client: ClientId,
+        /// The dense index that was out of range.
+        index: usize,
+    },
+    /// Parsing a textual tree description failed.
+    Parse {
+        /// 1-based line number where the error occurred.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EmptyTree => write!(f, "tree has no internal nodes"),
+            TreeError::MultipleRoots { first, second } => {
+                write!(f, "multiple roots declared: {first} and {second}")
+            }
+            TreeError::NoRoot => write!(f, "no root node (every node has a parent)"),
+            TreeError::UnknownParent { index } => {
+                write!(f, "parent node index {index} does not exist")
+            }
+            TreeError::CycleDetected { node } => {
+                write!(f, "cycle detected on the path from {node} to the root")
+            }
+            TreeError::UnreachableNode { node } => {
+                write!(f, "node {node} is not reachable from the root")
+            }
+            TreeError::UnknownClientParent { client, index } => {
+                write!(f, "client {client} references unknown parent node index {index}")
+            }
+            TreeError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningful_messages() {
+        let cases: Vec<(TreeError, &str)> = vec![
+            (TreeError::EmptyTree, "no internal nodes"),
+            (
+                TreeError::MultipleRoots {
+                    first: NodeId::from_index(0),
+                    second: NodeId::from_index(3),
+                },
+                "multiple roots",
+            ),
+            (TreeError::NoRoot, "no root"),
+            (TreeError::UnknownParent { index: 9 }, "index 9"),
+            (
+                TreeError::CycleDetected {
+                    node: NodeId::from_index(2),
+                },
+                "cycle",
+            ),
+            (
+                TreeError::UnreachableNode {
+                    node: NodeId::from_index(4),
+                },
+                "not reachable",
+            ),
+            (
+                TreeError::UnknownClientParent {
+                    client: ClientId::from_index(1),
+                    index: 7,
+                },
+                "unknown parent",
+            ),
+            (
+                TreeError::Parse {
+                    line: 12,
+                    message: "bad token".into(),
+                },
+                "line 12",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(
+                text.contains(needle),
+                "expected {text:?} to contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&TreeError::EmptyTree);
+    }
+}

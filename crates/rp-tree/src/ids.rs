@@ -1,0 +1,307 @@
+//! Typed identifiers for the entities of a distribution tree.
+//!
+//! The paper distinguishes two kinds of vertices: *clients* (the leaves
+//! of the tree, set `C`) and *internal nodes* (set `N`, the candidate
+//! replica locations). Links are identified by their lower endpoint:
+//! every vertex other than the root has exactly one link to its parent,
+//! so a link can be named unambiguously by the child vertex it starts
+//! from.
+//!
+//! All identifiers are thin wrappers around a dense `usize` index so
+//! that attribute tables can be plain `Vec`s.
+
+use std::fmt;
+
+/// Identifier of a client (a leaf of the distribution tree).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub(crate) u32);
+
+/// Identifier of an internal node (a candidate replica location).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a tree link, named by its *lower* endpoint (the child
+/// side). `LinkId::Client(c)` is the link `c -> parent(c)`,
+/// `LinkId::Node(n)` is the link `n -> parent(n)`; the root has no link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LinkId {
+    /// Link from a client leaf up to its parent node.
+    Client(ClientId),
+    /// Link from a non-root internal node up to its parent node.
+    Node(NodeId),
+}
+
+impl ClientId {
+    /// Creates a client id from a raw dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ClientId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// Creates a node id from a raw dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Returns `true` if the lower endpoint of this link is a client.
+    #[inline]
+    pub fn is_client_link(self) -> bool {
+        matches!(self, LinkId::Client(_))
+    }
+
+    /// Returns the client at the lower endpoint, if any.
+    #[inline]
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            LinkId::Client(c) => Some(c),
+            LinkId::Node(_) => None,
+        }
+    }
+
+    /// Returns the node at the lower endpoint, if any.
+    #[inline]
+    pub fn as_node(self) -> Option<NodeId> {
+        match self {
+            LinkId::Node(n) => Some(n),
+            LinkId::Client(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkId::Client(c) => write!(f, "link[{c}]"),
+            LinkId::Node(n) => write!(f, "link[{n}]"),
+        }
+    }
+}
+
+/// A dense map from [`ClientId`] to values of type `T`.
+///
+/// This is a thin wrapper over `Vec<T>` that only allows indexing by the
+/// typed id, preventing accidental mix-ups between client and node
+/// indices in algorithm code.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ClientMap<T> {
+    values: Vec<T>,
+}
+
+/// A dense map from [`NodeId`] to values of type `T`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NodeMap<T> {
+    values: Vec<T>,
+}
+
+impl<T> ClientMap<T> {
+    /// Builds a map with `len` entries, all initialised to `value`.
+    pub fn filled(len: usize, value: T) -> Self
+    where
+        T: Clone,
+    {
+        ClientMap {
+            values: vec![value; len],
+        }
+    }
+
+    /// Builds a map from a plain vector whose positions follow client indices.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        ClientMap { values }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(ClientId, &T)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClientId, &T)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ClientId::from_index(i), v))
+    }
+
+    /// Returns the underlying values in client-index order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T> NodeMap<T> {
+    /// Builds a map with `len` entries, all initialised to `value`.
+    pub fn filled(len: usize, value: T) -> Self
+    where
+        T: Clone,
+    {
+        NodeMap {
+            values: vec![value; len],
+        }
+    }
+
+    /// Builds a map from a plain vector whose positions follow node indices.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        NodeMap { values }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(NodeId, &T)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (NodeId::from_index(i), v))
+    }
+
+    /// Returns the underlying values in node-index order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T> std::ops::Index<ClientId> for ClientMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: ClientId) -> &T {
+        &self.values[id.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<ClientId> for ClientMap<T> {
+    #[inline]
+    fn index_mut(&mut self, id: ClientId) -> &mut T {
+        &mut self.values[id.index()]
+    }
+}
+
+impl<T> std::ops::Index<NodeId> for NodeMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: NodeId) -> &T {
+        &self.values[id.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<NodeId> for NodeMap<T> {
+    #[inline]
+    fn index_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.values[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_id_round_trips_through_index() {
+        for i in [0usize, 1, 7, 1_000_000] {
+            assert_eq!(ClientId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        for i in [0usize, 1, 7, 1_000_000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(ClientId::from_index(3).to_string(), "c3");
+        assert_eq!(NodeId::from_index(5).to_string(), "n5");
+        assert_eq!(
+            LinkId::Client(ClientId::from_index(3)).to_string(),
+            "link[c3]"
+        );
+        assert_eq!(LinkId::Node(NodeId::from_index(5)).to_string(), "link[n5]");
+    }
+
+    #[test]
+    fn link_id_accessors() {
+        let cl = LinkId::Client(ClientId::from_index(2));
+        let nl = LinkId::Node(NodeId::from_index(4));
+        assert!(cl.is_client_link());
+        assert!(!nl.is_client_link());
+        assert_eq!(cl.as_client(), Some(ClientId::from_index(2)));
+        assert_eq!(cl.as_node(), None);
+        assert_eq!(nl.as_node(), Some(NodeId::from_index(4)));
+        assert_eq!(nl.as_client(), None);
+    }
+
+    #[test]
+    fn client_map_index_and_iter() {
+        let mut m = ClientMap::filled(3, 0u64);
+        m[ClientId::from_index(1)] = 42;
+        assert_eq!(m[ClientId::from_index(1)], 42);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        let collected: Vec<_> = m.iter().map(|(id, v)| (id.index(), *v)).collect();
+        assert_eq!(collected, vec![(0, 0), (1, 42), (2, 0)]);
+    }
+
+    #[test]
+    fn node_map_index_and_iter() {
+        let m = NodeMap::from_vec(vec![10u32, 20, 30]);
+        assert_eq!(m[NodeId::from_index(2)], 30);
+        assert_eq!(m.as_slice(), &[10, 20, 30]);
+        let ids: Vec<_> = m.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ids_are_orderable_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId::from_index(1));
+        set.insert(NodeId::from_index(1));
+        set.insert(NodeId::from_index(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(ClientId::from_index(0) < ClientId::from_index(9));
+    }
+}

@@ -1,0 +1,49 @@
+//! # rp-tree — distribution-tree substrate
+//!
+//! Immutable tree networks for the replica-placement problem studied in
+//! *"Strategies for Replica Placement in Tree Networks"* (Benoit, Rehn,
+//! Robert; IPPS 2007). A tree is made of **internal nodes** (the
+//! candidate replica locations, set `N`) and **client leaves** (the
+//! request sources, set `C`); every vertex except the root has exactly
+//! one link towards its parent.
+//!
+//! This crate is purely structural: request counts, server capacities,
+//! storage costs, QoS bounds and link bandwidths live in `rp-core`'s
+//! problem instances and are keyed by the typed ids defined here.
+//!
+//! ```
+//! use rp_tree::{TreeBuilder, TreeStats};
+//!
+//! // root -- n1 -- {c0, c1}
+//! //     \-- c2
+//! let mut b = TreeBuilder::new();
+//! let root = b.add_root();
+//! let n1 = b.add_node(root);
+//! b.add_clients(n1, 2);
+//! b.add_client(root);
+//! let tree = b.build().unwrap();
+//!
+//! assert_eq!(tree.problem_size(), 5);
+//! assert_eq!(tree.ancestors_of_client(tree.client_ids().next().unwrap()),
+//!            vec![n1, root]);
+//! println!("{}", TreeStats::compute(&tree));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod ids;
+mod tree;
+
+pub mod dot;
+pub mod stats;
+pub mod text;
+mod traverse;
+mod validate;
+
+pub use error::TreeError;
+pub use ids::{ClientId, ClientMap, LinkId, NodeId, NodeMap};
+pub use stats::TreeStats;
+pub use tree::{ClientHandle, NodeHandle, TreeBuilder, TreeNetwork};
+pub use validate::validate;

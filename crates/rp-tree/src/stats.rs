@@ -1,0 +1,163 @@
+//! Summary statistics of a tree's shape.
+//!
+//! The experiment harness reports these alongside every generated
+//! workload so that result tables document the tree population they were
+//! measured on (the paper only states "randomly generated trees with
+//! 15 <= s <= 400").
+
+use crate::tree::TreeNetwork;
+
+/// Shape statistics of a distribution tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of internal nodes `|N|`.
+    pub num_nodes: usize,
+    /// Number of clients `|C|`.
+    pub num_clients: usize,
+    /// Problem size `s = |C| + |N|`.
+    pub problem_size: usize,
+    /// Depth of the tree in links (maximum client depth).
+    pub depth: u32,
+    /// Maximum number of children (nodes + clients) of an internal node.
+    pub max_degree: usize,
+    /// Mean number of children (nodes + clients) over internal nodes.
+    pub mean_degree: f64,
+    /// Number of internal nodes whose children are all clients.
+    pub bottom_nodes: usize,
+    /// Number of internal nodes with no children at all.
+    pub childless_nodes: usize,
+    /// Mean depth of the clients.
+    pub mean_client_depth: f64,
+}
+
+impl TreeStats {
+    /// Computes the statistics of `tree`.
+    pub fn compute(tree: &TreeNetwork) -> Self {
+        let num_nodes = tree.num_nodes();
+        let num_clients = tree.num_clients();
+        let mut max_degree = 0usize;
+        let mut total_degree = 0usize;
+        let mut bottom_nodes = 0usize;
+        let mut childless_nodes = 0usize;
+        for node in tree.node_ids() {
+            let degree = tree.child_nodes(node).len() + tree.child_clients(node).len();
+            max_degree = max_degree.max(degree);
+            total_degree += degree;
+            if tree.is_bottom_node(node) {
+                bottom_nodes += 1;
+            }
+            if tree.is_childless(node) {
+                childless_nodes += 1;
+            }
+        }
+        let depth = tree.depth();
+        let total_client_depth: u64 = tree
+            .client_ids()
+            .map(|c| u64::from(tree.client_depth(c)))
+            .sum();
+        TreeStats {
+            num_nodes,
+            num_clients,
+            problem_size: num_nodes + num_clients,
+            depth,
+            max_degree,
+            mean_degree: if num_nodes == 0 {
+                0.0
+            } else {
+                total_degree as f64 / num_nodes as f64
+            },
+            bottom_nodes,
+            childless_nodes,
+            mean_client_depth: if num_clients == 0 {
+                0.0
+            } else {
+                total_client_depth as f64 / num_clients as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "s={} (|N|={}, |C|={}), depth={}, max_deg={}, mean_deg={:.2}, \
+             bottom={}, childless={}, mean_client_depth={:.2}",
+            self.problem_size,
+            self.num_nodes,
+            self.num_clients,
+            self.depth,
+            self.max_degree,
+            self.mean_degree,
+            self.bottom_nodes,
+            self.childless_nodes,
+            self.mean_client_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn stats_of_star_tree() {
+        // Root with 4 clients directly attached.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_clients(root, 4);
+        let t = b.build().unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.num_nodes, 1);
+        assert_eq!(s.num_clients, 4);
+        assert_eq!(s.problem_size, 5);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.mean_degree - 4.0).abs() < 1e-12);
+        assert_eq!(s.bottom_nodes, 1);
+        assert_eq!(s.childless_nodes, 0);
+        assert!((s.mean_client_depth - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_chain_tree() {
+        // root -> n -> n -> n, single client at the bottom.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let deep = b.add_node_chain(root, 3);
+        b.add_client(deep);
+        let t = b.build().unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_clients, 1);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.max_degree, 1);
+        assert_eq!(s.bottom_nodes, 1);
+        assert_eq!(s.childless_nodes, 0);
+    }
+
+    #[test]
+    fn stats_count_childless_nodes() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_node(root); // childless internal node
+        b.add_client(root);
+        let t = b.build().unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.childless_nodes, 1);
+        // The root has an internal-node child, so it is not a bottom node.
+        assert_eq!(s.bottom_nodes, 0);
+    }
+
+    #[test]
+    fn display_mentions_problem_size() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_client(root);
+        let t = b.build().unwrap();
+        let text = TreeStats::compute(&t).to_string();
+        assert!(text.contains("s=2"));
+        assert!(text.contains("depth=1"));
+    }
+}

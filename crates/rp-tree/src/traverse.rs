@@ -1,0 +1,349 @@
+//! Traversal utilities: ancestors, subtrees, paths, depths and orders.
+//!
+//! All the algorithms in the paper are phrased in terms of a handful of
+//! primitives — `Ancestors(k)`, `subtree(k)`, `path[i -> s]`, breadth-
+//! first and bottom-up traversals — which this module provides on top of
+//! the immutable [`TreeNetwork`].
+
+use crate::ids::{ClientId, LinkId, NodeId};
+use crate::tree::TreeNetwork;
+
+impl TreeNetwork {
+    /// Ancestors of an internal node, from its parent up to the root
+    /// (the node itself is excluded, matching the paper's `Ancestors(k)`).
+    pub fn ancestors_of_node(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut current = self.parent_of_node(node);
+        while let Some(n) = current {
+            out.push(n);
+            current = self.parent_of_node(n);
+        }
+        out
+    }
+
+    /// Ancestors of a client: its parent node, then that node's
+    /// ancestors up to the root. These are exactly the candidate servers
+    /// for the client under every access policy.
+    pub fn ancestors_of_client(&self, client: ClientId) -> Vec<NodeId> {
+        let parent = self.parent_of_client(client);
+        let mut out = vec![parent];
+        out.extend(self.ancestors_of_node(parent));
+        out
+    }
+
+    /// Ancestors of a node *including the node itself*, bottom-up.
+    pub fn self_and_ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = vec![node];
+        out.extend(self.ancestors_of_node(node));
+        out
+    }
+
+    /// Returns `true` when `ancestor` lies on the path from `node` to the
+    /// root (or is `node` itself).
+    pub fn node_is_ancestor_or_self(&self, node: NodeId, ancestor: NodeId) -> bool {
+        let mut current = Some(node);
+        while let Some(n) = current {
+            if n == ancestor {
+                return true;
+            }
+            current = self.parent_of_node(n);
+        }
+        false
+    }
+
+    /// Returns `true` when `server` is an eligible server for `client`,
+    /// i.e. it lies on the path from the client to the root.
+    pub fn is_on_client_path(&self, client: ClientId, server: NodeId) -> bool {
+        self.node_is_ancestor_or_self(self.parent_of_client(client), server)
+    }
+
+    /// All internal nodes of `subtree(node)`, including `node`, in
+    /// depth-first preorder.
+    pub fn subtree_nodes(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &child in self.child_nodes(n).iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// All clients in `subtree(node)`, in depth-first preorder of their
+    /// parent nodes (this is the paper's `clients(j)`).
+    pub fn subtree_clients(&self, node: NodeId) -> Vec<ClientId> {
+        let mut out = Vec::new();
+        for n in self.subtree_nodes(node) {
+            out.extend_from_slice(self.child_clients(n));
+        }
+        out
+    }
+
+    /// Number of hops on the path from a client to a candidate server,
+    /// i.e. `|path[i -> s]|`. Returns `None` if `server` is not on the
+    /// client's path to the root.
+    pub fn client_distance(&self, client: ClientId, server: NodeId) -> Option<u32> {
+        let mut hops = 1u32;
+        let mut current = self.parent_of_client(client);
+        loop {
+            if current == server {
+                return Some(hops);
+            }
+            match self.parent_of_node(current) {
+                Some(p) => {
+                    current = p;
+                    hops += 1;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// The links on the path from a client up to (and including the link
+    /// into) `server`. Returns `None` if `server` is not an ancestor of
+    /// the client.
+    pub fn client_path_links(&self, client: ClientId, server: NodeId) -> Option<Vec<LinkId>> {
+        let mut links = vec![LinkId::Client(client)];
+        let mut current = self.parent_of_client(client);
+        loop {
+            if current == server {
+                return Some(links);
+            }
+            match self.parent_of_node(current) {
+                Some(p) => {
+                    links.push(LinkId::Node(current));
+                    current = p;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// All links on the path from a client up to the root.
+    pub fn client_path_to_root(&self, client: ClientId) -> Vec<LinkId> {
+        self.client_path_links(client, self.root())
+            .expect("the root is an ancestor of every client")
+    }
+
+    /// Depth of an internal node (the root has depth 0).
+    pub fn node_depth(&self, node: NodeId) -> u32 {
+        self.ancestors_of_node(node).len() as u32
+    }
+
+    /// Depth of a client (its parent's depth plus one).
+    pub fn client_depth(&self, client: ClientId) -> u32 {
+        self.node_depth(self.parent_of_client(client)) + 1
+    }
+
+    /// Breadth-first order over internal nodes, starting at the root.
+    ///
+    /// This is the traversal used by the Closest top-down heuristics
+    /// (CTDA / CTDLF) in Section 6.1.
+    pub fn bfs_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.num_nodes());
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.root());
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            for &child in self.child_nodes(n) {
+                queue.push_back(child);
+            }
+        }
+        out
+    }
+
+    /// Depth-first preorder over internal nodes, starting at the root.
+    pub fn dfs_preorder_nodes(&self) -> Vec<NodeId> {
+        self.subtree_nodes(self.root())
+    }
+
+    /// Post-order over internal nodes (children before parents). This is
+    /// the natural order for the bottom-up passes of the optimal
+    /// Multiple/homogeneous algorithm and the CBU / MBU heuristics.
+    pub fn postorder_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.num_nodes());
+        // Iterative post-order: push (node, visited_children_flag).
+        let mut stack = vec![(self.root(), false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                out.push(n);
+            } else {
+                stack.push((n, true));
+                for &child in self.child_nodes(n).iter().rev() {
+                    stack.push((child, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth of the tree counted in node levels: the maximum client depth.
+    /// A root with only client children has depth 1.
+    pub fn depth(&self) -> u32 {
+        self.client_ids()
+            .map(|c| self.client_depth(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Lowest common ancestor of two internal nodes.
+    pub fn lowest_common_ancestor(&self, a: NodeId, b: NodeId) -> NodeId {
+        let ancestors_a: std::collections::HashSet<NodeId> =
+            self.self_and_ancestors(a).into_iter().collect();
+        let mut current = b;
+        loop {
+            if ancestors_a.contains(&current) {
+                return current;
+            }
+            current = self
+                .parent_of_node(current)
+                .expect("the root is a common ancestor of every pair of nodes");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    /// Builds the example tree of Figure 6 in the paper (topology only):
+    ///
+    /// ```text
+    ///            n1
+    ///        /    |    \
+    ///      n2    n3     n4
+    ///     /  \    |    / | \
+    ///   c(2) c(2) n5 n6 n9 c(1)
+    ///              |  /\   | \
+    ///             ... (clients and deeper nodes)
+    /// ```
+    ///
+    /// For traversal tests we only need a moderately bushy shape, so we
+    /// reproduce the upper part: root with three internal children, one
+    /// of which has a deeper chain.
+    fn figure6_like() -> (TreeNetwork, Vec<NodeId>, Vec<ClientId>) {
+        let mut b = TreeBuilder::new();
+        let n1 = b.add_root();
+        let n2 = b.add_node(n1);
+        let n3 = b.add_node(n1);
+        let n4 = b.add_node(n1);
+        let n5 = b.add_node(n3);
+        let n6 = b.add_node(n4);
+        let c0 = b.add_client(n2);
+        let c1 = b.add_client(n2);
+        let c2 = b.add_client(n5);
+        let c3 = b.add_client(n6);
+        let c4 = b.add_client(n4);
+        let tree = b.build().unwrap();
+        (tree, vec![n1, n2, n3, n4, n5, n6], vec![c0, c1, c2, c3, c4])
+    }
+
+    #[test]
+    fn ancestors_exclude_self_and_end_at_root() {
+        let (t, n, _) = figure6_like();
+        assert_eq!(t.ancestors_of_node(n[0]), vec![]);
+        assert_eq!(t.ancestors_of_node(n[4]), vec![n[2], n[0]]);
+        assert_eq!(t.self_and_ancestors(n[4]), vec![n[4], n[2], n[0]]);
+    }
+
+    #[test]
+    fn client_ancestors_are_candidate_servers() {
+        let (t, n, c) = figure6_like();
+        assert_eq!(t.ancestors_of_client(c[2]), vec![n[4], n[2], n[0]]);
+        assert_eq!(t.ancestors_of_client(c[4]), vec![n[3], n[0]]);
+        assert!(t.is_on_client_path(c[2], n[0]));
+        assert!(t.is_on_client_path(c[2], n[4]));
+        assert!(!t.is_on_client_path(c[2], n[1]));
+    }
+
+    #[test]
+    fn subtree_collection() {
+        let (t, n, c) = figure6_like();
+        let sub = t.subtree_nodes(n[3]);
+        assert_eq!(sub, vec![n[3], n[5]]);
+        let sub_clients = t.subtree_clients(n[3]);
+        assert_eq!(sub_clients.len(), 2);
+        assert!(sub_clients.contains(&c[3]));
+        assert!(sub_clients.contains(&c[4]));
+        // The whole tree.
+        assert_eq!(t.subtree_nodes(t.root()).len(), t.num_nodes());
+        assert_eq!(t.subtree_clients(t.root()).len(), t.num_clients());
+    }
+
+    #[test]
+    fn distances_and_paths() {
+        let (t, n, c) = figure6_like();
+        assert_eq!(t.client_distance(c[2], n[4]), Some(1));
+        assert_eq!(t.client_distance(c[2], n[2]), Some(2));
+        assert_eq!(t.client_distance(c[2], n[0]), Some(3));
+        assert_eq!(t.client_distance(c[2], n[1]), None);
+
+        let path = t.client_path_links(c[2], n[0]).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], LinkId::Client(c[2]));
+        assert_eq!(path[1], LinkId::Node(n[4]));
+        assert_eq!(path[2], LinkId::Node(n[2]));
+        assert_eq!(t.client_path_to_root(c[2]), path);
+        assert!(t.client_path_links(c[2], n[1]).is_none());
+    }
+
+    #[test]
+    fn depths() {
+        let (t, n, c) = figure6_like();
+        assert_eq!(t.node_depth(n[0]), 0);
+        assert_eq!(t.node_depth(n[4]), 2);
+        assert_eq!(t.client_depth(c[0]), 2);
+        assert_eq!(t.client_depth(c[2]), 3);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn traversal_orders_cover_all_nodes_once() {
+        let (t, _, _) = figure6_like();
+        for order in [t.bfs_nodes(), t.dfs_preorder_nodes(), t.postorder_nodes()] {
+            assert_eq!(order.len(), t.num_nodes());
+            let unique: std::collections::HashSet<_> = order.iter().collect();
+            assert_eq!(unique.len(), t.num_nodes());
+        }
+    }
+
+    #[test]
+    fn bfs_is_level_order_and_postorder_ends_at_root() {
+        let (t, n, _) = figure6_like();
+        let bfs = t.bfs_nodes();
+        assert_eq!(bfs[0], n[0]);
+        assert_eq!(&bfs[1..4], &[n[1], n[2], n[3]]);
+        let post = t.postorder_nodes();
+        assert_eq!(*post.last().unwrap(), n[0]);
+        // Children appear before their parents in post-order.
+        let pos = |x: NodeId| post.iter().position(|&y| y == x).unwrap();
+        assert!(pos(n[4]) < pos(n[2]));
+        assert!(pos(n[5]) < pos(n[3]));
+    }
+
+    #[test]
+    fn lowest_common_ancestor_works() {
+        let (t, n, _) = figure6_like();
+        assert_eq!(t.lowest_common_ancestor(n[4], n[5]), n[0]);
+        assert_eq!(t.lowest_common_ancestor(n[4], n[2]), n[2]);
+        assert_eq!(t.lowest_common_ancestor(n[2], n[4]), n[2]);
+        assert_eq!(t.lowest_common_ancestor(n[3], n[3]), n[3]);
+    }
+
+    #[test]
+    fn deep_chain_traversal_is_iterative_not_recursive() {
+        // A 50_000-deep chain would overflow the stack with a recursive
+        // implementation; the iterative one must handle it.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let deep = b.add_node_chain(root, 50_000);
+        b.add_client(deep);
+        let t = b.build().unwrap();
+        assert_eq!(t.postorder_nodes().len(), 50_001);
+        assert_eq!(t.subtree_nodes(t.root()).len(), 50_001);
+        assert_eq!(t.node_depth(deep), 50_000);
+    }
+}

@@ -1,0 +1,469 @@
+//! The distribution tree itself: an arena of internal nodes and client
+//! leaves, built once through [`TreeBuilder`] and then immutable.
+//!
+//! The topology follows the paper's framework (Section 2.1): clients are
+//! the leaves of the tree, internal nodes are the candidate replica
+//! locations, and every vertex other than the root has exactly one link
+//! to its parent. Attributes such as request counts, server capacities or
+//! link bandwidths are *not* stored here — they belong to the problem
+//! instance (`rp-core`), keyed by the typed ids defined in this crate.
+
+use crate::error::TreeError;
+use crate::ids::{ClientId, LinkId, NodeId};
+
+/// Internal-node record inside the arena.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct NodeData {
+    /// Parent node, or `None` for the root.
+    pub(crate) parent: Option<NodeId>,
+    /// Child internal nodes, in insertion order.
+    pub(crate) child_nodes: Vec<NodeId>,
+    /// Child clients, in insertion order.
+    pub(crate) child_clients: Vec<ClientId>,
+    /// Optional human-readable label (used by DOT / text export).
+    pub(crate) label: Option<String>,
+}
+
+/// Client (leaf) record inside the arena.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct ClientData {
+    /// The internal node this client hangs from.
+    pub(crate) parent: NodeId,
+    /// Optional human-readable label.
+    pub(crate) label: Option<String>,
+}
+
+/// An immutable distribution tree: internal nodes `N` and client leaves `C`.
+///
+/// Construct one with [`TreeBuilder`]; the builder checks the structural
+/// invariants (single root, acyclic parent pointers, every node reachable
+/// from the root) before handing out a `TreeNetwork`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeNetwork {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) clients: Vec<ClientData>,
+    pub(crate) root: NodeId,
+}
+
+impl TreeNetwork {
+    /// Number of internal nodes `|N|`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of clients `|C|`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Problem size `s = |C| + |N|` as used throughout the paper.
+    pub fn problem_size(&self) -> usize {
+        self.num_nodes() + self.num_clients()
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Returns `true` if `node` is the root.
+    pub fn is_root(&self, node: NodeId) -> bool {
+        node == self.root
+    }
+
+    /// Parent of an internal node (`None` for the root).
+    pub fn parent_of_node(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Parent node of a client.
+    pub fn parent_of_client(&self, client: ClientId) -> NodeId {
+        self.clients[client.index()].parent
+    }
+
+    /// Child internal nodes of `node`, in insertion order.
+    pub fn child_nodes(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].child_nodes
+    }
+
+    /// Child clients of `node`, in insertion order.
+    pub fn child_clients(&self, node: NodeId) -> &[ClientId] {
+        &self.nodes[node.index()].child_clients
+    }
+
+    /// Returns `true` if `node` has neither child nodes nor child clients.
+    ///
+    /// Such nodes are legal (they simply can never usefully host a
+    /// replica) but unusual; the paper's instances never contain them.
+    pub fn is_childless(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].child_nodes.is_empty()
+            && self.nodes[node.index()].child_clients.is_empty()
+    }
+
+    /// Returns `true` if all children of `node` are clients (it sits at
+    /// the "bottom" of the internal tree). Used by the bottom-up
+    /// heuristics of the paper.
+    pub fn is_bottom_node(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].child_nodes.is_empty()
+            && !self.nodes[node.index()].child_clients.is_empty()
+    }
+
+    /// Iterator over all node ids, in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all client ids, in index order.
+    pub fn client_ids(&self) -> impl Iterator<Item = ClientId> + '_ {
+        (0..self.clients.len()).map(ClientId::from_index)
+    }
+
+    /// Iterator over every link of the tree (client links then node links).
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        let client_links = self.client_ids().map(LinkId::Client);
+        let node_links = self
+            .node_ids()
+            .filter(move |&n| !self.is_root(n))
+            .map(LinkId::Node);
+        client_links.chain(node_links)
+    }
+
+    /// Number of links in the tree: one per client plus one per non-root node.
+    pub fn num_links(&self) -> usize {
+        self.num_clients() + self.num_nodes() - 1
+    }
+
+    /// Upper endpoint (the parent side) of a link.
+    pub fn link_upper(&self, link: LinkId) -> NodeId {
+        match link {
+            LinkId::Client(c) => self.parent_of_client(c),
+            LinkId::Node(n) => self
+                .parent_of_node(n)
+                .expect("root has no upwards link; LinkId::Node(root) is invalid"),
+        }
+    }
+
+    /// Optional label attached to a node at build time.
+    pub fn node_label(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()].label.as_deref()
+    }
+
+    /// Optional label attached to a client at build time.
+    pub fn client_label(&self, client: ClientId) -> Option<&str> {
+        self.clients[client.index()].label.as_deref()
+    }
+}
+
+/// Handle returned by [`TreeBuilder::add_node`]; convertible to [`NodeId`]
+/// once the tree is built (the indices are identical).
+pub type NodeHandle = NodeId;
+/// Handle returned by [`TreeBuilder::add_client`].
+pub type ClientHandle = ClientId;
+
+/// Incremental builder for [`TreeNetwork`].
+///
+/// # Example
+///
+/// ```
+/// use rp_tree::TreeBuilder;
+///
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root();
+/// let child = b.add_node(root);
+/// let _leaf = b.add_client(child);
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.num_nodes(), 2);
+/// assert_eq!(tree.num_clients(), 1);
+/// assert_eq!(tree.root(), root);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<NodeData>,
+    clients: Vec<ClientData>,
+    root: Option<NodeId>,
+    duplicate_root: Option<(NodeId, NodeId)>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    /// Creates a builder with capacity reserved for `nodes` internal nodes
+    /// and `clients` leaves.
+    pub fn with_capacity(nodes: usize, clients: usize) -> Self {
+        TreeBuilder {
+            nodes: Vec::with_capacity(nodes),
+            clients: Vec::with_capacity(clients),
+            root: None,
+            duplicate_root: None,
+        }
+    }
+
+    /// Adds the root node. Calling this twice records a `MultipleRoots`
+    /// error that will be reported by [`build`](TreeBuilder::build).
+    pub fn add_root(&mut self) -> NodeHandle {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData {
+            parent: None,
+            child_nodes: Vec::new(),
+            child_clients: Vec::new(),
+            label: None,
+        });
+        match self.root {
+            None => self.root = Some(id),
+            Some(first) => {
+                if self.duplicate_root.is_none() {
+                    self.duplicate_root = Some((first, id));
+                }
+            }
+        }
+        id
+    }
+
+    /// Adds an internal node under `parent`.
+    pub fn add_node(&mut self, parent: NodeHandle) -> NodeHandle {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData {
+            parent: Some(parent),
+            child_nodes: Vec::new(),
+            child_clients: Vec::new(),
+            label: None,
+        });
+        // An out-of-range parent is tolerated here and reported by build().
+        if let Some(p) = self.nodes.get_mut(parent.index()) {
+            p.child_nodes.push(id);
+        }
+        id
+    }
+
+    /// Adds a chain of `length` internal nodes below `parent`, returning
+    /// the deepest one. A convenience used by several paper constructions
+    /// (e.g. the 3-PARTITION reduction of Figure 7).
+    pub fn add_node_chain(&mut self, parent: NodeHandle, length: usize) -> NodeHandle {
+        let mut current = parent;
+        for _ in 0..length {
+            current = self.add_node(current);
+        }
+        current
+    }
+
+    /// Adds a client leaf under `parent`.
+    pub fn add_client(&mut self, parent: NodeHandle) -> ClientHandle {
+        let id = ClientId::from_index(self.clients.len());
+        self.clients.push(ClientData {
+            parent,
+            label: None,
+        });
+        if let Some(p) = self.nodes.get_mut(parent.index()) {
+            p.child_clients.push(id);
+        }
+        id
+    }
+
+    /// Adds `count` client leaves under `parent`, returning their ids.
+    pub fn add_clients(&mut self, parent: NodeHandle, count: usize) -> Vec<ClientHandle> {
+        (0..count).map(|_| self.add_client(parent)).collect()
+    }
+
+    /// Attaches a human-readable label to a node.
+    pub fn set_node_label(&mut self, node: NodeHandle, label: impl Into<String>) {
+        if let Some(n) = self.nodes.get_mut(node.index()) {
+            n.label = Some(label.into());
+        }
+    }
+
+    /// Attaches a human-readable label to a client.
+    pub fn set_client_label(&mut self, client: ClientHandle, label: impl Into<String>) {
+        if let Some(c) = self.clients.get_mut(client.index()) {
+            c.label = Some(label.into());
+        }
+    }
+
+    /// Number of internal nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of clients added so far.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Finalises the tree, checking all structural invariants.
+    pub fn build(self) -> Result<TreeNetwork, TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::EmptyTree);
+        }
+        if let Some((first, second)) = self.duplicate_root {
+            return Err(TreeError::MultipleRoots { first, second });
+        }
+        let root = self.root.ok_or(TreeError::NoRoot)?;
+
+        // Parent references must exist.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Some(parent) = node.parent {
+                if parent.index() >= self.nodes.len() {
+                    return Err(TreeError::UnknownParent {
+                        index: parent.index(),
+                    });
+                }
+                if parent.index() == idx {
+                    return Err(TreeError::CycleDetected {
+                        node: NodeId::from_index(idx),
+                    });
+                }
+            }
+        }
+        for (idx, client) in self.clients.iter().enumerate() {
+            if client.parent.index() >= self.nodes.len() {
+                return Err(TreeError::UnknownClientParent {
+                    client: ClientId::from_index(idx),
+                    index: client.parent.index(),
+                });
+            }
+        }
+
+        let tree = TreeNetwork {
+            nodes: self.nodes,
+            clients: self.clients,
+            root,
+        };
+        crate::validate::validate(&tree)?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> TreeNetwork {
+        // root -> {a, b}; a -> {c0}; b -> {c1, c2}
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let bb = b.add_node(root);
+        b.add_client(a);
+        b.add_client(bb);
+        b.add_client(bb);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_problem_size() {
+        let t = small_tree();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_clients(), 3);
+        assert_eq!(t.problem_size(), 6);
+        assert_eq!(t.num_links(), 5);
+    }
+
+    #[test]
+    fn parent_child_relationships() {
+        let t = small_tree();
+        let root = t.root();
+        assert!(t.is_root(root));
+        assert_eq!(t.parent_of_node(root), None);
+        let a = NodeId::from_index(1);
+        let bb = NodeId::from_index(2);
+        assert_eq!(t.parent_of_node(a), Some(root));
+        assert_eq!(t.parent_of_node(bb), Some(root));
+        assert_eq!(t.child_nodes(root), &[a, bb]);
+        assert_eq!(t.child_clients(root), &[] as &[ClientId]);
+        assert_eq!(t.child_clients(a).len(), 1);
+        assert_eq!(t.child_clients(bb).len(), 2);
+        assert_eq!(t.parent_of_client(ClientId::from_index(0)), a);
+        assert_eq!(t.parent_of_client(ClientId::from_index(2)), bb);
+    }
+
+    #[test]
+    fn bottom_node_detection() {
+        let t = small_tree();
+        assert!(!t.is_bottom_node(t.root()));
+        assert!(t.is_bottom_node(NodeId::from_index(1)));
+        assert!(t.is_bottom_node(NodeId::from_index(2)));
+        assert!(!t.is_childless(t.root()));
+    }
+
+    #[test]
+    fn link_enumeration_and_upper_endpoints() {
+        let t = small_tree();
+        let links: Vec<LinkId> = t.link_ids().collect();
+        assert_eq!(links.len(), t.num_links());
+        // Client links point at their parents.
+        assert_eq!(
+            t.link_upper(LinkId::Client(ClientId::from_index(0))),
+            NodeId::from_index(1)
+        );
+        // Node links point at the node's parent.
+        assert_eq!(
+            t.link_upper(LinkId::Node(NodeId::from_index(1))),
+            t.root()
+        );
+        // The root appears in no link lower endpoint.
+        assert!(links.iter().all(|l| l.as_node() != Some(t.root())));
+    }
+
+    #[test]
+    #[should_panic(expected = "root has no upwards link")]
+    fn link_upper_of_root_panics() {
+        let t = small_tree();
+        let _ = t.link_upper(LinkId::Node(t.root()));
+    }
+
+    #[test]
+    fn empty_builder_is_rejected() {
+        assert_eq!(TreeBuilder::new().build().unwrap_err(), TreeError::EmptyTree);
+    }
+
+    #[test]
+    fn missing_root_is_rejected() {
+        // Simulate a malformed build: create a node whose parent is itself
+        // by using add_node with a forward reference. The public API makes
+        // this hard, so we test the two reachable failure modes: multiple
+        // roots and duplicate roots.
+        let mut b = TreeBuilder::new();
+        b.add_root();
+        b.add_root();
+        match b.build() {
+            Err(TreeError::MultipleRoots { .. }) => {}
+            other => panic!("expected MultipleRoots, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let c = b.add_client(root);
+        b.set_node_label(root, "root");
+        b.set_client_label(c, "leaf");
+        let t = b.build().unwrap();
+        assert_eq!(t.node_label(root), Some("root"));
+        assert_eq!(t.client_label(c), Some("leaf"));
+        assert_eq!(t.node_label(NodeId::from_index(0)), Some("root"));
+    }
+
+    #[test]
+    fn chains_and_bulk_clients() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let deep = b.add_node_chain(root, 4);
+        let clients = b.add_clients(deep, 3);
+        assert_eq!(clients.len(), 3);
+        let t = b.build().unwrap();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_clients(), 3);
+        assert_eq!(t.child_clients(deep).len(), 3);
+        // The chain is a path root -> ... -> deep.
+        let mut cur = deep;
+        let mut hops = 0;
+        while let Some(p) = t.parent_of_node(cur) {
+            cur = p;
+            hops += 1;
+        }
+        assert_eq!(hops, 4);
+    }
+}

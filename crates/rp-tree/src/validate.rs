@@ -1,0 +1,199 @@
+//! Structural validation of a distribution tree.
+//!
+//! [`TreeBuilder::build`](crate::TreeBuilder::build) calls [`validate`]
+//! before releasing a [`TreeNetwork`], so user code can rely on the
+//! invariants listed here holding for every tree it receives:
+//!
+//! 1. exactly one root (a node without parent);
+//! 2. parent pointers are acyclic;
+//! 3. every internal node is reachable from the root by following child
+//!    lists, and child lists are consistent with parent pointers;
+//! 4. every client's parent exists.
+
+use crate::error::TreeError;
+use crate::ids::NodeId;
+use crate::tree::TreeNetwork;
+
+/// Checks the structural invariants of a tree. Returns `Ok(())` when the
+/// tree is well formed.
+pub fn validate(tree: &TreeNetwork) -> Result<(), TreeError> {
+    if tree.nodes.is_empty() {
+        return Err(TreeError::EmptyTree);
+    }
+
+    // Exactly one node without parent, and it must be the recorded root.
+    let mut root_seen: Option<NodeId> = None;
+    for (idx, node) in tree.nodes.iter().enumerate() {
+        if node.parent.is_none() {
+            let id = NodeId::from_index(idx);
+            match root_seen {
+                None => root_seen = Some(id),
+                Some(first) => {
+                    return Err(TreeError::MultipleRoots { first, second: id });
+                }
+            }
+        }
+    }
+    let root = root_seen.ok_or(TreeError::NoRoot)?;
+    if root != tree.root {
+        return Err(TreeError::MultipleRoots {
+            first: tree.root,
+            second: root,
+        });
+    }
+
+    // Acyclicity: walking parents from any node must terminate within
+    // |N| steps.
+    let n = tree.nodes.len();
+    for start in tree.node_ids() {
+        let mut current = start;
+        let mut steps = 0usize;
+        while let Some(parent) = tree.parent_of_node(current) {
+            if parent.index() >= n {
+                return Err(TreeError::UnknownParent {
+                    index: parent.index(),
+                });
+            }
+            current = parent;
+            steps += 1;
+            if steps > n {
+                return Err(TreeError::CycleDetected { node: start });
+            }
+        }
+    }
+
+    // Reachability and parent/child consistency.
+    let mut reachable = vec![false; n];
+    let mut stack = vec![tree.root];
+    while let Some(node) = stack.pop() {
+        if reachable[node.index()] {
+            // A node listed twice as a child would be visited twice.
+            return Err(TreeError::CycleDetected { node });
+        }
+        reachable[node.index()] = true;
+        for &child in tree.child_nodes(node) {
+            if child.index() >= n {
+                return Err(TreeError::UnknownParent {
+                    index: child.index(),
+                });
+            }
+            if tree.parent_of_node(child) != Some(node) {
+                return Err(TreeError::UnreachableNode { node: child });
+            }
+            stack.push(child);
+        }
+    }
+    if let Some(idx) = reachable.iter().position(|&r| !r) {
+        return Err(TreeError::UnreachableNode {
+            node: NodeId::from_index(idx),
+        });
+    }
+
+    // Clients reference existing parents, and appear in their parent's
+    // child list exactly once.
+    for client in tree.client_ids() {
+        let parent = tree.parent_of_client(client);
+        if parent.index() >= n {
+            return Err(TreeError::UnknownClientParent {
+                client,
+                index: parent.index(),
+            });
+        }
+        let appearances = tree
+            .child_clients(parent)
+            .iter()
+            .filter(|&&c| c == client)
+            .count();
+        if appearances != 1 {
+            return Err(TreeError::UnknownClientParent {
+                client,
+                index: parent.index(),
+            });
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn well_formed_tree_passes() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        b.add_client(mid);
+        b.add_client(root);
+        let tree = b.build().unwrap();
+        assert!(validate(&tree).is_ok());
+    }
+
+    #[test]
+    fn single_root_only_tree_passes() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        b.add_client(root);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_double_root() {
+        let mut b = TreeBuilder::new();
+        b.add_root();
+        b.add_root();
+        assert!(matches!(b.build(), Err(TreeError::MultipleRoots { .. })));
+    }
+
+    #[test]
+    fn validate_detects_corrupted_parent_pointer() {
+        // Build a valid tree, then corrupt it through the crate-private
+        // fields to simulate an inconsistent structure.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let bb = b.add_node(root);
+        b.add_client(a);
+        b.add_client(bb);
+        let mut tree = b.build().unwrap();
+        // Point node b's parent at node a, but leave it in the root's
+        // child list: parent/child inconsistency.
+        tree.nodes[bb.index()].parent = Some(a);
+        assert!(validate(&tree).is_err());
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let c = b.add_node(a);
+        b.add_client(c);
+        let mut tree = b.build().unwrap();
+        // Create a parent cycle a -> c -> a (and fix child lists so the
+        // cycle is the only problem detected).
+        tree.nodes[a.index()].parent = Some(c);
+        match validate(&tree) {
+            Err(TreeError::CycleDetected { .. }) | Err(TreeError::MultipleRoots { .. })
+            | Err(TreeError::UnreachableNode { .. }) => {}
+            other => panic!("expected a structural error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_detects_client_not_in_parent_list() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        b.add_client(a);
+        let mut tree = b.build().unwrap();
+        // Re-point the client at the root without updating child lists.
+        tree.clients[0].parent = root;
+        assert!(matches!(
+            validate(&tree),
+            Err(TreeError::UnknownClientParent { .. })
+        ));
+    }
+}

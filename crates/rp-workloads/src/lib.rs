@@ -1,0 +1,38 @@
+//! # rp-workloads — workload and platform generators
+//!
+//! Everything needed to *populate* replica-placement experiments:
+//!
+//! * [`tree_gen`] — seeded random distribution trees in several shape
+//!   families (the paper only says "randomly generated trees with
+//!   15 ≤ s ≤ 400");
+//! * [`platform`] — homogeneous / heterogeneous server capacities and
+//!   client request loads targeting a given load factor λ (the paper's
+//!   experimental knob, Section 7.2);
+//! * [`paper_examples`] — the hand-crafted instances of Figures 1–5 and
+//!   the NP-completeness gadgets of Figures 7–8.
+//!
+//! ```
+//! use rp_workloads::tree_gen::{generate_tree, TreeGenConfig, TreeShape};
+//! use rp_workloads::platform::{generate_problem, PlatformKind, WorkloadConfig};
+//!
+//! let tree = generate_tree(
+//!     &TreeGenConfig::with_problem_size(40, TreeShape::RandomAttachment),
+//!     7,
+//! );
+//! let problem = generate_problem(
+//!     tree,
+//!     &WorkloadConfig::new(PlatformKind::default_homogeneous(), 0.3),
+//!     7,
+//! );
+//! assert!((problem.load_factor() - 0.3).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod paper_examples;
+pub mod platform;
+pub mod tree_gen;
+
+pub use platform::{generate_problem, PlatformKind, WorkloadConfig};
+pub use tree_gen::{generate_tree, TreeGenConfig, TreeShape};

@@ -1,0 +1,303 @@
+//! The hand-crafted instances used throughout the paper's Sections 3
+//! and 4: the policy-separation examples of Figures 1–5 and the
+//! NP-completeness reduction gadgets of Figures 7 and 8.
+//!
+//! Each constructor returns a ready-to-solve [`ProblemInstance`]; the
+//! integration tests and the `paper_gaps` benchmark replay the paper's
+//! claims on them (which policy admits a solution, and at what cost).
+
+use rp_core::ProblemInstance;
+use rp_tree::TreeBuilder;
+
+/// Figure 1: two stacked nodes `s2 (root) -> s1`, both with capacity 1,
+/// and `num_clients` clients below `s1`, each issuing
+/// `requests_per_client` requests.
+///
+/// * `(1, 1)` — all three policies have a solution with one replica;
+/// * `(2, 1)` — Closest has no solution, Upwards/Multiple use 2 replicas;
+/// * `(1, 2)` — only Multiple has a solution (2 replicas).
+pub fn figure1(num_clients: usize, requests_per_client: u64) -> ProblemInstance {
+    let mut b = TreeBuilder::new();
+    let s2 = b.add_root();
+    b.set_node_label(s2, "s2");
+    let s1 = b.add_node(s2);
+    b.set_node_label(s1, "s1");
+    for _ in 0..num_clients {
+        b.add_client(s1);
+    }
+    ProblemInstance::replica_counting(
+        b.build().expect("valid construction"),
+        vec![requests_per_client; num_clients],
+        1,
+    )
+}
+
+/// Figure 2: the instance on which Upwards is arbitrarily better than
+/// Closest. The root (`s_{2n+2}`) has one unit client and one child
+/// (`s_{2n+1}`), which in turn has `2n` child nodes each with a unit
+/// client; every node has capacity `n`.
+///
+/// Upwards needs 3 replicas; Closest needs `n + 2`.
+pub fn figure2(n: u64) -> ProblemInstance {
+    assert!(n >= 1);
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    b.set_node_label(root, format!("s{}", 2 * n + 2));
+    let mut requests = vec![1u64];
+    b.add_client(root);
+    let hub = b.add_node(root);
+    b.set_node_label(hub, format!("s{}", 2 * n + 1));
+    for i in 0..2 * n {
+        let s = b.add_node(hub);
+        b.set_node_label(s, format!("s{}", i + 1));
+        b.add_client(s);
+        requests.push(1);
+    }
+    ProblemInstance::replica_counting(b.build().expect("valid construction"), requests, n)
+}
+
+/// Figure 3: the homogeneous instance on which Multiple approaches a
+/// factor-2 advantage over Upwards. The root has a client with `n`
+/// requests and `n` child nodes `s_j`; each `s_j` has two child nodes
+/// `v_j` and `w_j`, with clients issuing `n` and `n + 1` requests
+/// respectively. Every node has capacity `2n`.
+///
+/// Multiple needs `n + 1` replicas; Upwards needs `2n`.
+pub fn figure3(n: u64) -> ProblemInstance {
+    assert!(n >= 1);
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    b.set_node_label(root, "r");
+    let mut requests = vec![n];
+    b.add_client(root);
+    for j in 0..n {
+        let s = b.add_node(root);
+        b.set_node_label(s, format!("s{}", j + 1));
+        let v = b.add_node(s);
+        b.set_node_label(v, format!("v{}", j + 1));
+        let w = b.add_node(s);
+        b.set_node_label(w, format!("w{}", j + 1));
+        b.add_client(v);
+        requests.push(n);
+        b.add_client(w);
+        requests.push(n + 1);
+    }
+    ProblemInstance::replica_counting(b.build().expect("valid construction"), requests, 2 * n)
+}
+
+/// Figure 4: the heterogeneous instance on which Multiple is arbitrarily
+/// better than Upwards. A chain `s3 (root) -> s2 -> s1`; `s1` and `s2`
+/// have capacity `n`, `s3` has capacity `K·n`. A client with `n + 1`
+/// requests hangs below `s1` and a client with `n - 1` requests below
+/// `s2`.
+///
+/// Multiple pays `2n` (replicas on `s1` and `s2`); Upwards is forced to
+/// buy `s3` and pays `(K + 1)·n`.
+pub fn figure4(n: u64, k: u64) -> ProblemInstance {
+    assert!(n >= 2 && k >= 1);
+    let mut b = TreeBuilder::new();
+    let s3 = b.add_root();
+    b.set_node_label(s3, "s3");
+    let s2 = b.add_node(s3);
+    b.set_node_label(s2, "s2");
+    let s1 = b.add_node(s2);
+    b.set_node_label(s1, "s1");
+    b.add_client(s1); // n + 1 requests
+    b.add_client(s2); // n - 1 requests
+    ProblemInstance::replica_cost(
+        b.build().expect("valid construction"),
+        vec![n + 1, n - 1],
+        vec![k * n, n, n],
+    )
+}
+
+/// Figure 5: the instance showing that the trivial lower bound
+/// `ceil(Σ r_i / W)` cannot be approached. The root has a client with
+/// `W` requests and `n` child nodes, each with a client issuing `W / n`
+/// requests (`W` must be divisible by `n`).
+///
+/// The lower bound is 2 but every policy needs `n + 1` replicas.
+pub fn figure5(n: u64, w: u64) -> ProblemInstance {
+    assert!(n >= 1 && w.is_multiple_of(n), "W must be divisible by n");
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    b.set_node_label(root, "r");
+    let mut requests = vec![w];
+    b.add_client(root);
+    for j in 0..n {
+        let s = b.add_node(root);
+        b.set_node_label(s, format!("s{}", j + 1));
+        b.add_client(s);
+        requests.push(w / n);
+    }
+    ProblemInstance::replica_counting(b.build().expect("valid construction"), requests, w)
+}
+
+/// Figure 7: the gadget of the 3-PARTITION reduction proving that
+/// Upwards/homogeneous is NP-complete (Theorem 2). Given the `3m`
+/// integers `a_i` (with `Σ a_i = m·B`), the tree is a chain of `m`
+/// nodes of capacity `B`, the deepest of which (`n_1`) has all `3m`
+/// clients below it.
+///
+/// An Upwards solution of cost `m` (every node a replica) exists iff the
+/// integers can be partitioned into `m` triples of sum `B`.
+pub fn figure7(values: &[u64], b_target: u64) -> ProblemInstance {
+    assert!(values.len().is_multiple_of(3), "3-PARTITION needs 3m integers");
+    let m = values.len() / 3;
+    assert!(m >= 1);
+    let mut builder = TreeBuilder::new();
+    // Chain: n_m (root) -> n_{m-1} -> ... -> n_1.
+    let root = builder.add_root();
+    builder.set_node_label(root, format!("n{m}"));
+    let mut deepest = root;
+    for j in (1..m).rev() {
+        deepest = builder.add_node(deepest);
+        builder.set_node_label(deepest, format!("n{j}"));
+    }
+    for _ in values {
+        builder.add_client(deepest);
+    }
+    ProblemInstance::replica_counting(
+        builder.build().expect("valid construction"),
+        values.to_vec(),
+        b_target,
+    )
+}
+
+/// Figure 8: the gadget of the 2-PARTITION reduction proving that
+/// Closest and Multiple are NP-complete on heterogeneous nodes
+/// (Theorem 3). Given the `m` integers `a_i` with sum `S`, the root has
+/// capacity `S/2 + 1` and one unit client; below it hang `m` nodes
+/// `n_j` of capacity `a_j`, each with a client issuing `a_j` requests.
+///
+/// A solution of cost `S + 1` exists iff a subset of the `a_i` sums to
+/// `S/2`.
+pub fn figure8(values: &[u64]) -> ProblemInstance {
+    let s: u64 = values.iter().sum();
+    assert!(s.is_multiple_of(2), "2-PARTITION gadget expects an even total");
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    b.set_node_label(root, "r");
+    let mut requests = Vec::new();
+    let mut capacities = vec![s / 2 + 1];
+    for (j, &a) in values.iter().enumerate() {
+        let node = b.add_node(root);
+        b.set_node_label(node, format!("n{}", j + 1));
+        b.add_client(node);
+        requests.push(a);
+        capacities.push(a);
+    }
+    // The extra unit client directly below the root.
+    b.add_client(root);
+    requests.push(1);
+    ProblemInstance::replica_cost(b.build().expect("valid construction"), requests, capacities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_core::bounds::replica_counting_lower_bound;
+    use rp_core::exact::optimal_cost;
+    use rp_core::Policy;
+
+    #[test]
+    fn figure1_feasibility_pattern() {
+        // (a): everyone succeeds with cost 1.
+        let a = figure1(1, 1);
+        for policy in Policy::ALL {
+            assert_eq!(optimal_cost(&a, policy), Some(1));
+        }
+        // (b): Closest fails, the others need 2 replicas.
+        let b = figure1(2, 1);
+        assert_eq!(optimal_cost(&b, Policy::Closest), None);
+        assert_eq!(optimal_cost(&b, Policy::Upwards), Some(2));
+        assert_eq!(optimal_cost(&b, Policy::Multiple), Some(2));
+        // (c): only Multiple succeeds.
+        let c = figure1(1, 2);
+        assert_eq!(optimal_cost(&c, Policy::Closest), None);
+        assert_eq!(optimal_cost(&c, Policy::Upwards), None);
+        assert_eq!(optimal_cost(&c, Policy::Multiple), Some(2));
+    }
+
+    #[test]
+    fn figure2_upwards_gap() {
+        let p = figure2(2);
+        assert_eq!(optimal_cost(&p, Policy::Upwards), Some(3));
+        assert_eq!(optimal_cost(&p, Policy::Closest), Some(4)); // n + 2
+    }
+
+    #[test]
+    fn figure3_multiple_gap() {
+        let n = 2;
+        let p = figure3(n);
+        assert_eq!(optimal_cost(&p, Policy::Multiple), Some(((n + 1))));
+        assert_eq!(optimal_cost(&p, Policy::Upwards), Some(2 * n));
+    }
+
+    #[test]
+    fn figure4_heterogeneous_gap() {
+        let (n, k) = (4, 10);
+        let p = figure4(n, k);
+        assert_eq!(optimal_cost(&p, Policy::Multiple), Some(2 * n));
+        // Under Upwards the (n+1)-request client fits no small server, so
+        // any solution must buy the expensive root: the optimum is K·n
+        // (the paper's narrative places an additional replica on s1 and
+        // quotes (K+1)·n, but the gap to Multiple is unbounded in K
+        // either way).
+        assert_eq!(optimal_cost(&p, Policy::Upwards), Some(k * n));
+        assert!(optimal_cost(&p, Policy::Upwards).unwrap() > 2 * n);
+    }
+
+    #[test]
+    fn figure5_lower_bound_gap() {
+        let (n, w) = (4, 8);
+        let p = figure5(n, w);
+        assert_eq!(replica_counting_lower_bound(&p), Some(2));
+        for policy in Policy::ALL {
+            assert_eq!(optimal_cost(&p, policy), Some(n + 1), "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn figure7_encodes_three_partition() {
+        // 3-PARTITION instance with a solution: (5,4,3), (5,4,3) — B = 12.
+        let yes = figure7(&[5, 4, 3, 5, 4, 3], 12);
+        assert_eq!(optimal_cost(&yes, Policy::Upwards), Some(2));
+        // A total of exactly m·B that cannot be split into two groups of
+        // sum B: Upwards (whole clients) is infeasible, while Multiple
+        // (splitting allowed) still fills both servers exactly.
+        let no = figure7(&[7, 7, 7, 1, 1, 1], 12);
+        assert_eq!(optimal_cost(&no, Policy::Upwards), None);
+        assert_eq!(optimal_cost(&no, Policy::Multiple), Some(2));
+    }
+
+    #[test]
+    fn figure8_encodes_two_partition() {
+        // {3, 5, 2} has a subset summing to 5 = S/2: cost S + 1 = 11.
+        let yes = figure8(&[3, 5, 2]);
+        assert_eq!(optimal_cost(&yes, Policy::Closest), Some(11));
+        assert_eq!(optimal_cost(&yes, Policy::Multiple), Some(11));
+        // {1, 1, 8} has no subset summing to 5, so the best achievable
+        // cost is strictly larger than S + 1 = 11.
+        let no = figure8(&[1, 1, 8]);
+        let closest = optimal_cost(&no, Policy::Closest).unwrap();
+        assert!(closest > 11);
+    }
+
+    #[test]
+    fn constructions_have_the_documented_shapes() {
+        let p = figure2(3);
+        assert_eq!(p.tree().num_nodes(), 2 * 3 + 2);
+        assert_eq!(p.tree().num_clients(), 2 * 3 + 1);
+        let p = figure3(3);
+        assert_eq!(p.tree().num_nodes(), (3 * 3 + 1) as usize);
+        let p = figure5(5, 10);
+        assert_eq!(p.tree().num_nodes(), 6);
+        let p = figure7(&[2, 2, 2, 3, 1, 2], 6);
+        assert_eq!(p.tree().num_nodes(), 2);
+        assert_eq!(p.tree().num_clients(), 6);
+        let p = figure8(&[2, 4, 6]);
+        assert_eq!(p.tree().num_nodes(), 4);
+        assert_eq!(p.tree().num_clients(), 4);
+    }
+}

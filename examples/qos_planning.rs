@@ -1,0 +1,69 @@
+//! QoS-aware planning (the Section 8 extension): how much does a
+//! response-time guarantee cost?
+//!
+//! The same tree is solved with progressively tighter QoS bounds
+//! (expressed as a maximum number of hops between a client and its
+//! server, the paper's *QoS = distance* simplification). Tighter bounds
+//! push replicas towards the leaves and raise the total cost — until the
+//! instance becomes infeasible.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example qos_planning
+//! ```
+
+use replica_placement::core::ilp::{lower_bound, BoundKind};
+use replica_placement::prelude::*;
+use replica_placement::workloads::{generate_problem, generate_tree};
+
+fn main() {
+    // One fixed tree, decorated with the same load at every QoS level.
+    let tree = generate_tree(
+        &TreeGenConfig::with_problem_size(60, TreeShape::BoundedDegree { max_children: 3 }),
+        424_242,
+    );
+    println!("planning tree: {}\n", TreeStats::compute(&tree));
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14}",
+        "QoS", "UBCF cost", "MG cost", "MB cost", "LP lower bound"
+    );
+
+    for qos in [None, Some(6u32), Some(4), Some(3), Some(2), Some(1)] {
+        let config = WorkloadConfig {
+            platform: PlatformKind::default_heterogeneous(),
+            lambda: 0.4,
+            qos_hops: qos,
+        };
+        // Same seed at every QoS level: only the bound changes.
+        let problem = generate_problem(tree.clone(), &config, 99);
+
+        let fmt_cost = |placement: Option<Placement>| match placement {
+            Some(p) => format!("{}", p.cost(&problem)),
+            None => "infeasible".to_string(),
+        };
+        let bound = match lower_bound(&problem, BoundKind::Rational) {
+            Some(b) => format!("{b:.0}"),
+            None => "infeasible".to_string(),
+        };
+        let qos_label = match qos {
+            None => "none".to_string(),
+            Some(h) => format!("{h} hops"),
+        };
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>14}",
+            qos_label,
+            fmt_cost(Heuristic::Ubcf.run(&problem)),
+            fmt_cost(Heuristic::Mg.run(&problem)),
+            fmt_cost(Heuristic::MixedBest.run(&problem)),
+            bound
+        );
+    }
+
+    println!(
+        "\nTighter QoS bounds restrict each client to servers near it, so the\n\
+         heuristics need more (and more expensive) replicas; at some point\n\
+         even placing a replica on every node cannot satisfy the bound."
+    );
+}

@@ -1,0 +1,106 @@
+//! Quickstart: build a small distribution tree, solve it under all three
+//! access policies, and print what each policy buys you.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use replica_placement::core::exact::solve_exhaustive;
+use replica_placement::prelude::*;
+
+fn main() {
+    // A small content-distribution tree:
+    //
+    //                     root
+    //                   /  |   \
+    //               east  west  c8 (the on-site client)
+    //              /    \     \
+    //          east1   east2   west1
+    //          clients under every hub
+    let mut builder = TreeBuilder::new();
+    let root = builder.add_root();
+    let east = builder.add_node(root);
+    let west = builder.add_node(root);
+    let east1 = builder.add_node(east);
+    let east2 = builder.add_node(east);
+    let west1 = builder.add_node(west);
+    builder.set_node_label(root, "root datacentre");
+    builder.set_node_label(east, "east hub");
+    builder.set_node_label(west, "west hub");
+
+    // Clients (leaves) with their request rates.
+    let mut requests = Vec::new();
+    for (hub, rate) in [
+        (east1, 30u64),
+        (east1, 25),
+        (east2, 40),
+        (west1, 35),
+        (west1, 20),
+        (west, 15),
+        (root, 10),
+    ] {
+        builder.add_client(hub);
+        requests.push(rate);
+    }
+    let tree = builder.build().expect("hand-built tree is well-formed");
+
+    println!("tree: {}", TreeStats::compute(&tree));
+
+    // Heterogeneous servers: the root is big, hubs are medium, edge nodes
+    // are small. Storage cost = capacity (the paper's Replica Cost model).
+    let capacities = vec![200, 90, 80, 45, 45, 45];
+    let problem = ProblemInstance::replica_cost(tree, requests, capacities);
+    println!(
+        "total requests = {}, total capacity = {}, load factor λ = {:.2}\n",
+        problem.total_requests(),
+        problem.total_capacity(),
+        problem.load_factor()
+    );
+
+    // Exact optimum under each access policy (the tree is small enough
+    // for the exhaustive oracle).
+    println!("== exact optima ==");
+    for policy in Policy::ALL {
+        match solve_exhaustive(&problem, policy) {
+            Some(placement) => println!(
+                "{policy:>8}: cost {:>4}  replicas {:?}",
+                placement.cost(&problem),
+                placement
+                    .replicas()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            None => println!("{policy:>8}: no valid solution"),
+        }
+    }
+
+    // The paper's polynomial heuristics.
+    println!("\n== heuristics ==");
+    for heuristic in Heuristic::ALL {
+        match heuristic.run(&problem) {
+            Some(placement) => println!(
+                "{:>28} ({}): cost {:>4}, {} replica(s)",
+                heuristic.full_name(),
+                heuristic.policy(),
+                placement.cost(&problem),
+                placement.num_replicas()
+            ),
+            None => println!(
+                "{:>28} ({}): failed to find a solution",
+                heuristic.full_name(),
+                heuristic.policy()
+            ),
+        }
+    }
+
+    // LP-based lower bound (Section 7.1 of the paper).
+    let bound = replica_placement::core::ilp::lower_bound(
+        &problem,
+        replica_placement::core::ilp::BoundKind::Mixed,
+    )
+    .expect("the instance is feasible");
+    println!("\nLP-based lower bound on the replica cost: {bound:.1}");
+}

@@ -1,0 +1,132 @@
+//! A video-on-demand (VOD) capacity-planning scenario — the kind of
+//! application the paper's introduction motivates.
+//!
+//! A national VOD operator distributes a catalogue from a root
+//! datacentre through regional and metro points of presence (PoPs) down
+//! to neighbourhood aggregation switches. Each neighbourhood issues a
+//! known number of concurrent streams (requests), and any PoP can be
+//! equipped with a streaming replica up to its machine-room capacity.
+//! The operator wants the cheapest set of replica sites, and wonders how
+//! much the access policy matters.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example vod_network
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use replica_placement::core::ilp::{lower_bound, BoundKind};
+use replica_placement::prelude::*;
+
+/// Builds a three-level PoP hierarchy: `regions` regional PoPs, each
+/// with `metros_per_region` metro PoPs, each with `neighbourhoods`
+/// client aggregation points.
+fn build_vod_tree(
+    regions: usize,
+    metros_per_region: usize,
+    neighbourhoods: usize,
+    rng: &mut StdRng,
+) -> (TreeNetwork, Vec<u64>, Vec<u64>) {
+    let mut builder = TreeBuilder::new();
+    let root = builder.add_root();
+    builder.set_node_label(root, "national datacentre");
+
+    let mut capacities = vec![12_000u64]; // the root can stream a lot
+    let mut requests = Vec::new();
+
+    for r in 0..regions {
+        let region = builder.add_node(root);
+        builder.set_node_label(region, format!("region {r}"));
+        capacities.push(rng.gen_range(2_500..=4_000));
+        for m in 0..metros_per_region {
+            let metro = builder.add_node(region);
+            builder.set_node_label(metro, format!("region {r} / metro {m}"));
+            capacities.push(rng.gen_range(600..=1_200));
+            for _ in 0..neighbourhoods {
+                builder.add_client(metro);
+                // Evening-peak concurrent streams per neighbourhood.
+                requests.push(rng.gen_range(40..=260));
+            }
+        }
+    }
+    (
+        builder.build().expect("generated tree is well-formed"),
+        requests,
+        capacities,
+    )
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2007);
+    let (tree, requests, capacities) = build_vod_tree(4, 3, 6, &mut rng);
+
+    println!("VOD distribution network: {}", TreeStats::compute(&tree));
+    let problem = ProblemInstance::replica_cost(tree, requests, capacities);
+    println!(
+        "peak streams = {}, total PoP capacity = {}, load factor λ = {:.2}\n",
+        problem.total_requests(),
+        problem.total_capacity(),
+        problem.load_factor()
+    );
+
+    // What does each policy cost us? (Cost = provisioned streaming
+    // capacity, the paper's s_j = W_j model.)
+    println!("{:<30} {:>10} {:>10} {:>9}", "heuristic", "policy", "cost", "replicas");
+    let mut best: Option<(Heuristic, u64)> = None;
+    for heuristic in Heuristic::ALL {
+        match heuristic.run(&problem) {
+            Some(placement) => {
+                let cost = placement.cost(&problem);
+                println!(
+                    "{:<30} {:>10} {:>10} {:>9}",
+                    heuristic.full_name(),
+                    heuristic.policy().name(),
+                    cost,
+                    placement.num_replicas()
+                );
+                if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                    best = Some((heuristic, cost));
+                }
+            }
+            None => println!(
+                "{:<30} {:>10} {:>10} {:>9}",
+                heuristic.full_name(),
+                heuristic.policy().name(),
+                "-",
+                "-"
+            ),
+        }
+    }
+
+    let bound = lower_bound(&problem, BoundKind::Rational).expect("instance is feasible");
+    println!("\nLP lower bound on provisioned capacity: {bound:.0}");
+    if let Some((heuristic, cost)) = best {
+        println!(
+            "best heuristic: {} at cost {} ({:.1}% above the lower bound)",
+            heuristic.full_name(),
+            cost,
+            (cost as f64 / bound - 1.0) * 100.0
+        );
+    }
+
+    // Show the winning placement in detail.
+    if let Some(placement) = Heuristic::MixedBest.run(&problem) {
+        println!("\nMixedBest placement ({} replica sites):", placement.num_replicas());
+        let loads = placement.server_loads();
+        for &node in placement.replicas() {
+            let label = problem
+                .tree()
+                .node_label(node)
+                .unwrap_or("unnamed PoP")
+                .to_string();
+            println!(
+                "  {label:<28} capacity {:>6}, serving {:>6} streams",
+                problem.capacity(node),
+                loads.get(&node).copied().unwrap_or(0)
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # replica-placement
+//!
+//! Umbrella crate for the reproduction of *"Strategies for Replica
+//! Placement in Tree Networks"* (Benoit, Rehn, Robert; IPPS 2007). It
+//! re-exports the public API of the workspace crates so applications can
+//! depend on a single crate:
+//!
+//! * [`tree`] — distribution trees (`rp-tree`);
+//! * [`lp`] — the LP/MILP substrate (`rp-lp`);
+//! * [`core`] — problems, policies, exact algorithms, heuristics and ILP
+//!   formulations (`rp-core`);
+//! * [`workloads`] — random tree/workload generators and the paper's
+//!   hand-crafted examples (`rp-workloads`);
+//! * [`experiments`] — the evaluation harness behind Figures 9–12
+//!   (`rp-experiments`).
+//!
+//! ```
+//! use replica_placement::prelude::*;
+//!
+//! let mut b = TreeBuilder::new();
+//! let root = b.add_root();
+//! let hub = b.add_node(root);
+//! b.add_clients(hub, 3);
+//! let tree = b.build().unwrap();
+//!
+//! let problem = ProblemInstance::replica_counting(tree, vec![4, 4, 4], 10);
+//! let placement = Heuristic::MixedBest.run(&problem).unwrap();
+//! assert!(placement.is_valid(&problem, Policy::Multiple));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rp_core as core;
+pub use rp_experiments as experiments;
+pub use rp_lp as lp;
+pub use rp_tree as tree;
+pub use rp_workloads as workloads;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use rp_core::{
+        Heuristic, Placement, Policy, ProblemBuilder, ProblemInstance, ProblemKind,
+    };
+    pub use rp_experiments::{ExperimentConfig, FigureId};
+    pub use rp_tree::{ClientId, NodeId, TreeBuilder, TreeNetwork, TreeStats};
+    pub use rp_workloads::{PlatformKind, TreeGenConfig, TreeShape, WorkloadConfig};
+}

@@ -1,0 +1,143 @@
+//! Cross-validation of every solver on randomized small instances:
+//! the exhaustive oracle, the exact ILP, the polynomial
+//! Multiple/homogeneous algorithm, the heuristics and the LP bounds must
+//! all tell a consistent story.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use replica_placement::core::exact::{optimal_cost, solve_multiple_homogeneous};
+use replica_placement::core::ilp::{exact_optimal_cost, lower_bound, BoundKind};
+use replica_placement::prelude::*;
+use replica_placement::workloads::{generate_problem, generate_tree};
+
+/// Draws a small random instance (at most ~8 internal nodes so the
+/// exhaustive oracle stays fast).
+fn small_instance(seed: u64, homogeneous: bool) -> ProblemInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_nodes = rng.gen_range(2..=7);
+    let num_clients = rng.gen_range(2..=8);
+    let tree = generate_tree(
+        &TreeGenConfig {
+            num_nodes,
+            num_clients,
+            shape: TreeShape::RandomAttachment,
+        },
+        seed,
+    );
+    let platform = if homogeneous {
+        PlatformKind::Homogeneous {
+            capacity: rng.gen_range(3..=12),
+        }
+    } else {
+        PlatformKind::HeterogeneousUniform { min: 2, max: 12 }
+    };
+    let lambda = rng.gen_range(0.2..=1.1);
+    generate_problem(tree, &WorkloadConfig::new(platform, lambda), seed ^ 0x5555)
+}
+
+#[test]
+fn ilp_and_exhaustive_agree_on_every_policy() {
+    for seed in 0..25u64 {
+        let p = small_instance(seed, seed % 2 == 0);
+        for policy in Policy::ALL {
+            let oracle = optimal_cost(&p, policy);
+            let ilp = exact_optimal_cost(&p, policy);
+            assert_eq!(oracle, ilp, "seed {seed}, policy {policy}");
+        }
+    }
+}
+
+#[test]
+fn policy_hierarchy_holds_on_random_instances() {
+    for seed in 0..40u64 {
+        let p = small_instance(seed, seed % 3 == 0);
+        let closest = optimal_cost(&p, Policy::Closest);
+        let upwards = optimal_cost(&p, Policy::Upwards);
+        let multiple = optimal_cost(&p, Policy::Multiple);
+        // Feasibility is monotone along the hierarchy.
+        if closest.is_some() {
+            assert!(upwards.is_some(), "seed {seed}");
+        }
+        if upwards.is_some() {
+            assert!(multiple.is_some(), "seed {seed}");
+        }
+        // Costs are monotone along the hierarchy.
+        if let (Some(c), Some(u)) = (closest, upwards) {
+            assert!(u <= c, "seed {seed}");
+        }
+        if let (Some(u), Some(m)) = (upwards, multiple) {
+            assert!(m <= u, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn polynomial_multiple_algorithm_is_optimal_on_homogeneous_instances() {
+    for seed in 100..140u64 {
+        let p = small_instance(seed, true);
+        let oracle = optimal_cost(&p, Policy::Multiple);
+        let algorithmic = solve_multiple_homogeneous(&p)
+            .into_placement()
+            .map(|placement| {
+                assert!(placement.is_valid(&p, Policy::Multiple), "seed {seed}");
+                placement.cost(&p)
+            });
+        assert_eq!(oracle, algorithmic, "seed {seed}");
+    }
+}
+
+#[test]
+fn heuristics_are_valid_and_never_beat_the_optimum() {
+    for seed in 200..230u64 {
+        let p = small_instance(seed, seed % 2 == 0);
+        for heuristic in Heuristic::ALL {
+            if let Some(placement) = heuristic.run(&p) {
+                assert!(
+                    placement.is_valid(&p, heuristic.policy()),
+                    "seed {seed}, {heuristic}"
+                );
+                let optimum = optimal_cost(&p, heuristic.policy())
+                    .expect("a heuristic solution implies feasibility");
+                assert!(
+                    placement.cost(&p) >= optimum,
+                    "seed {seed}: {heuristic} beat the optimum"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lp_bounds_sandwich_the_multiple_optimum() {
+    for seed in 300..330u64 {
+        let p = small_instance(seed, seed % 2 == 1);
+        let optimum = optimal_cost(&p, Policy::Multiple);
+        let rational = lower_bound(&p, BoundKind::Rational);
+        let mixed = lower_bound(&p, BoundKind::Mixed);
+        match optimum {
+            None => {
+                // The Multiple relaxation must also be infeasible.
+                assert!(rational.is_none(), "seed {seed}");
+                assert!(mixed.is_none(), "seed {seed}");
+            }
+            Some(optimum) => {
+                let rational = rational.expect("feasible instance has a rational bound");
+                let mixed = mixed.expect("feasible instance has a mixed bound");
+                assert!(rational <= optimum as f64 + 1e-6, "seed {seed}");
+                assert!(mixed <= optimum as f64 + 1e-6, "seed {seed}");
+                assert!(mixed + 1e-6 >= rational, "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mg_finds_a_solution_exactly_when_multiple_is_feasible() {
+    for seed in 400..460u64 {
+        let p = small_instance(seed, seed % 2 == 0);
+        let feasible = optimal_cost(&p, Policy::Multiple).is_some();
+        let greedy = Heuristic::Mg.run(&p).is_some();
+        assert_eq!(feasible, greedy, "seed {seed}");
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end checks of the experiment harness: a reduced sweep must
+//! reproduce the qualitative shape of the paper's Figures 9–12 — the
+//! policy hierarchy in both success rate and relative cost, the collapse
+//! of the Closest policy under load, and MixedBest tracking the LP
+//! bound.
+
+use replica_placement::core::Heuristic;
+use replica_placement::experiments::figures::{check_cost_shape, check_success_shape};
+use replica_placement::experiments::runner::{run_sweep, ExperimentConfig};
+use replica_placement::experiments::{relative_cost_table, success_table};
+use replica_placement::workloads::PlatformKind;
+
+/// A reduced but non-trivial sweep: 3 λ values spanning light to heavy
+/// load, 10 trees each, sizes 15–45.
+fn reduced_config(platform: PlatformKind) -> ExperimentConfig {
+    ExperimentConfig {
+        lambdas: vec![0.2, 0.5, 0.8],
+        trees_per_lambda: 10,
+        size_range: (15, 45),
+        platform,
+        ..ExperimentConfig::smoke_test()
+    }
+}
+
+#[test]
+fn homogeneous_sweep_reproduces_the_figure_9_and_10_shape() {
+    let config = reduced_config(PlatformKind::default_homogeneous());
+    let results = run_sweep(&config);
+
+    let success_violations = check_success_shape(&results);
+    assert!(
+        success_violations.is_empty(),
+        "success-shape violations: {success_violations:?}"
+    );
+    let cost_violations = check_cost_shape(&results);
+    assert!(
+        cost_violations.is_empty(),
+        "cost-shape violations: {cost_violations:?}"
+    );
+
+    // The policy hierarchy in success rates: the best Multiple heuristic
+    // (MG) succeeds at least as often as the best Closest heuristic, at
+    // every λ.
+    for batch in &results.batches {
+        let best_closest = [Heuristic::Ctda, Heuristic::Ctdlf, Heuristic::Cbu]
+            .iter()
+            .map(|&h| batch.success_rate(h))
+            .fold(0.0f64, f64::max);
+        assert!(
+            batch.success_rate(Heuristic::Mg) >= best_closest - 1e-9,
+            "λ = {}",
+            batch.lambda
+        );
+    }
+
+    // At heavy load the Closest policy must do strictly worse than MG on
+    // success rate (the Figure 9 collapse), unless everything failed.
+    let heavy = results.batches.last().unwrap();
+    if heavy.lp_success_rate() > 0.0 {
+        assert!(heavy.success_rate(Heuristic::Cbu) <= heavy.success_rate(Heuristic::Mg));
+    }
+
+    // Tables render with one row per λ.
+    assert_eq!(success_table(&results).num_rows(), config.lambdas.len());
+    assert_eq!(
+        relative_cost_table(&results).num_rows(),
+        config.lambdas.len()
+    );
+}
+
+#[test]
+fn heterogeneous_sweep_reproduces_the_figure_11_and_12_shape() {
+    let config = reduced_config(PlatformKind::default_heterogeneous());
+    let results = run_sweep(&config);
+
+    assert!(check_success_shape(&results).is_empty());
+    assert!(check_cost_shape(&results).is_empty());
+
+    // MixedBest's relative cost must stay reasonable on solvable batches
+    // (the paper reports >= 0.85 at full size; we allow slack for the
+    // reduced sweep but it must remain clearly above the weakest
+    // heuristic).
+    for batch in &results.batches {
+        if batch.lp_success_rate() == 0.0 {
+            continue;
+        }
+        let mb = batch.relative_cost(Heuristic::MixedBest);
+        assert!(mb > 0.5, "λ = {}: MixedBest relative cost {mb}", batch.lambda);
+        for h in Heuristic::BASE {
+            assert!(mb + 1e-9 >= batch.relative_cost(h), "λ = {}", batch.lambda);
+        }
+    }
+}
+
+#[test]
+fn light_load_is_almost_always_solvable() {
+    // At λ = 0.2 nearly every random tree admits a solution, and MG
+    // must find one for each solvable tree.
+    let config = ExperimentConfig {
+        lambdas: vec![0.2],
+        trees_per_lambda: 12,
+        ..reduced_config(PlatformKind::default_homogeneous())
+    };
+    let results = run_sweep(&config);
+    let batch = &results.batches[0];
+    assert!(batch.lp_success_rate() > 0.5);
+    assert!((batch.success_rate(Heuristic::Mg) - batch.lp_success_rate()).abs() < 1e-9);
+}

@@ -1,0 +1,134 @@
+//! Integration tests replaying the paper's worked examples (Sections 3
+//! and 4) through the public API of the umbrella crate: every claim made
+//! about Figures 1–5, 7 and 8 is checked end to end (exact solvers,
+//! heuristics and LP bounds together).
+
+use replica_placement::core::bounds::replica_counting_lower_bound;
+use replica_placement::core::exact::{optimal_cost, solve_multiple_homogeneous};
+use replica_placement::core::ilp::{exact_optimal_cost, integral_lower_bound, lower_bound, BoundKind};
+use replica_placement::prelude::*;
+use replica_placement::workloads::paper_examples::*;
+
+#[test]
+fn figure1_policy_feasibility_matrix() {
+    // (clients, requests) -> (Closest, Upwards, Multiple) optimal costs.
+    let cases: Vec<((usize, u64), (Option<u64>, Option<u64>, Option<u64>))> = vec![
+        ((1, 1), (Some(1), Some(1), Some(1))),
+        ((2, 1), (None, Some(2), Some(2))),
+        ((1, 2), (None, None, Some(2))),
+    ];
+    for ((clients, requests), (closest, upwards, multiple)) in cases {
+        let p = figure1(clients, requests);
+        assert_eq!(optimal_cost(&p, Policy::Closest), closest);
+        assert_eq!(optimal_cost(&p, Policy::Upwards), upwards);
+        assert_eq!(optimal_cost(&p, Policy::Multiple), multiple);
+        // The ILP agrees with the exhaustive oracle.
+        assert_eq!(exact_optimal_cost(&p, Policy::Closest), closest);
+        assert_eq!(exact_optimal_cost(&p, Policy::Upwards), upwards);
+        assert_eq!(exact_optimal_cost(&p, Policy::Multiple), multiple);
+    }
+}
+
+#[test]
+fn figure2_upwards_is_much_better_than_closest() {
+    for n in [2u64, 3] {
+        let p = figure2(n);
+        let closest = optimal_cost(&p, Policy::Closest).expect("Closest is feasible here");
+        let upwards = optimal_cost(&p, Policy::Upwards).expect("Upwards is feasible here");
+        assert_eq!(upwards, 3, "n = {n}");
+        assert_eq!(closest, n + 2, "n = {n}");
+        // The heuristics never beat the respective optima.
+        for heuristic in Heuristic::ALL {
+            if let Some(placement) = heuristic.run(&p) {
+                assert!(placement.is_valid(&p, heuristic.policy()));
+                let optimum = optimal_cost(&p, heuristic.policy()).unwrap();
+                assert!(placement.cost(&p) >= optimum, "{heuristic} on n = {n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn figure3_multiple_approaches_factor_two_over_upwards() {
+    for n in [2u64, 3] {
+        let p = figure3(n);
+        let multiple = optimal_cost(&p, Policy::Multiple).unwrap();
+        let upwards = optimal_cost(&p, Policy::Upwards).unwrap();
+        assert_eq!(multiple, n + 1);
+        assert_eq!(upwards, 2 * n);
+        // The polynomial algorithm achieves the Multiple optimum.
+        let algorithmic = solve_multiple_homogeneous(&p)
+            .into_placement()
+            .expect("feasible")
+            .num_replicas() as u64;
+        assert_eq!(algorithmic, multiple);
+    }
+}
+
+#[test]
+fn figure4_multiple_is_arbitrarily_better_than_upwards_on_heterogeneous_nodes() {
+    for k in [5u64, 20] {
+        let n = 3;
+        let p = figure4(n, k);
+        let multiple = optimal_cost(&p, Policy::Multiple).unwrap();
+        let upwards = optimal_cost(&p, Policy::Upwards).unwrap();
+        assert_eq!(multiple, 2 * n);
+        assert!(upwards >= k * n, "k = {k}");
+        // The ratio grows linearly in K.
+        assert!(upwards as f64 / multiple as f64 >= k as f64 / 2.0);
+    }
+}
+
+#[test]
+fn figure5_no_policy_approaches_the_trivial_bound() {
+    let (n, w) = (5u64, 10u64);
+    let p = figure5(n, w);
+    assert_eq!(replica_counting_lower_bound(&p), Some(2));
+    for policy in Policy::ALL {
+        assert_eq!(optimal_cost(&p, policy), Some(n + 1), "{policy}");
+    }
+    // The LP-based bound is also far below the integer optimum here —
+    // this is intrinsic to the instance, not a solver artefact.
+    let bound = lower_bound(&p, BoundKind::Rational).unwrap();
+    assert!(integral_lower_bound(bound) <= n + 1);
+}
+
+#[test]
+fn figure7_three_partition_gadget_behaves_as_in_theorem_2() {
+    // Solvable 3-PARTITION -> Upwards cost m; the Multiple policy always
+    // copes as long as the totals match (it may split clients).
+    let solvable = figure7(&[5, 4, 3, 5, 4, 3], 12);
+    assert_eq!(optimal_cost(&solvable, Policy::Upwards), Some(2));
+    assert_eq!(optimal_cost(&solvable, Policy::Multiple), Some(2));
+
+    let unsolvable = figure7(&[7, 7, 7, 1, 1, 1], 12);
+    assert_eq!(optimal_cost(&unsolvable, Policy::Upwards), None);
+    assert_eq!(optimal_cost(&unsolvable, Policy::Multiple), Some(2));
+}
+
+#[test]
+fn figure8_two_partition_gadget_behaves_as_in_theorem_3() {
+    let solvable = figure8(&[4, 2, 6]); // subset {4, 2} sums to S/2 = 6
+    let expected = 4 + 2 + 6 + 1; // S + 1
+    assert_eq!(optimal_cost(&solvable, Policy::Closest), Some(expected));
+    assert_eq!(optimal_cost(&solvable, Policy::Multiple), Some(expected));
+
+    let unsolvable = figure8(&[1, 1, 10]); // no subset sums to 6
+    assert!(optimal_cost(&unsolvable, Policy::Closest).unwrap() > expected);
+}
+
+#[test]
+fn mixed_best_matches_the_multiple_optimum_on_the_small_examples() {
+    // On these tiny instances MixedBest usually reaches the optimum; at
+    // the very least it must stay within the policy hierarchy bounds.
+    for p in [figure1(1, 1), figure2(2), figure3(2), figure5(4, 8)] {
+        let optimum = optimal_cost(&p, Policy::Multiple).unwrap();
+        let placement = Heuristic::MixedBest.run(&p).expect("feasible");
+        assert!(placement.is_valid(&p, Policy::Multiple));
+        assert!(placement.cost(&p) >= optimum);
+        let closest_optimum = optimal_cost(&p, Policy::Closest);
+        if let Some(closest_optimum) = closest_optimum {
+            assert!(placement.cost(&p) <= closest_optimum);
+        }
+    }
+}
