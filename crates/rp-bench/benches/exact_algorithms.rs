@@ -39,14 +39,16 @@ fn bench_small_exact_solvers(c: &mut Criterion) {
             &problem,
             |b, p| b.iter(|| solve_exhaustive(p, policy)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("ilp", policy.name()),
-            &problem,
-            |b, p| b.iter(|| solve_exact_ilp(p, policy)),
-        );
+        group.bench_with_input(BenchmarkId::new("ilp", policy.name()), &problem, |b, p| {
+            b.iter(|| solve_exact_ilp(p, policy))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_multiple_homogeneous, bench_small_exact_solvers);
+criterion_group!(
+    benches,
+    bench_multiple_homogeneous,
+    bench_small_exact_solvers
+);
 criterion_main!(benches);

@@ -5,8 +5,9 @@
 //! problem size `s = |C| + |N|`; these benchmarks make the constant
 //! factors and the actual scaling visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rp_bench::{bench_instance, MICRO_SIZES};
+use rp_core::heuristics::HeuristicState;
 use rp_core::Heuristic;
 use rp_workloads::platform::PlatformKind;
 
@@ -33,5 +34,88 @@ fn bench_heuristics(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_heuristics);
+/// The allocation-free steady-state path: one [`HeuristicState`] reused
+/// (via `reset`) across runs, exactly as MixedBest drives it. Comparing
+/// against the `heuristics_*` groups above shows what per-call state
+/// construction costs.
+fn bench_state_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics_state_reuse");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &size in &MICRO_SIZES {
+        let problem = bench_instance(
+            size,
+            0.5,
+            PlatformKind::default_homogeneous(),
+            1234 + size as u64,
+        );
+        let mut state = HeuristicState::new(&problem);
+        for heuristic in Heuristic::BASE {
+            group.bench_function(BenchmarkId::new(heuristic.full_name(), size), |b| {
+                b.iter(|| {
+                    state.reset();
+                    black_box(heuristic.run_with(&mut state))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The traversal primitives every inner loop leans on: lazy ancestor
+/// iteration, O(1) ancestor interval checks and zero-copy subtree
+/// slices.
+fn bench_traversal_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &size in &MICRO_SIZES {
+        let problem = bench_instance(size, 0.5, PlatformKind::default_homogeneous(), 99);
+        let tree = problem.tree();
+        group.bench_function(BenchmarkId::new("ancestors_all_clients", size), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for client in tree.client_ids() {
+                    for node in tree.ancestors_of_client(client) {
+                        acc += node.index();
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        let nodes: Vec<_> = tree.node_ids().collect();
+        group.bench_function(BenchmarkId::new("ancestor_check_all_pairs", size), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &a in &nodes {
+                    for &b in &nodes {
+                        hits += usize::from(tree.node_is_ancestor_or_self(a, b));
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(BenchmarkId::new("subtree_clients_all_nodes", size), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &node in &nodes {
+                    for &client in tree.subtree_clients(node) {
+                        total += problem.requests(client);
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics,
+    bench_state_reuse,
+    bench_traversal_primitives
+);
 criterion_main!(benches);

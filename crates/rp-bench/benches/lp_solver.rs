@@ -5,9 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rp_bench::bench_instance;
-use rp_core::ilp::{build_model, lower_bound, lower_bound_with, BoundKind, IlpOptions, Integrality};
+use rp_core::ilp::{
+    build_model, lower_bound, lower_bound_with, BoundKind, IlpOptions, Integrality,
+};
 use rp_core::Policy;
-use rp_lp::{solve_lp, BranchBoundOptions};
+use rp_lp::{solve_lp, solve_lp_reusing, BranchBoundOptions, SimplexOptions, SimplexWorkspace};
 use rp_workloads::platform::PlatformKind;
 
 fn bench_lower_bounds(c: &mut Criterion) {
@@ -49,6 +51,15 @@ fn bench_simplex_on_formulations(c: &mut Criterion) {
             BenchmarkId::new("solve_lp", size),
             &formulation.model,
             |b, model| b.iter(|| solve_lp(model)),
+        );
+        // The branch-and-bound inner loop path: tableau buffers reused
+        // across solves instead of reallocated per call.
+        let mut workspace = SimplexWorkspace::new();
+        let options = SimplexOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("solve_lp_reusing", size),
+            &formulation.model,
+            |b, model| b.iter(|| solve_lp_reusing(model, &options, &mut workspace)),
         );
     }
     group.finish();

@@ -63,11 +63,9 @@ fn bench_figure3(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for n in [2u64, 8, 32, 128] {
         let p = figure3(n);
-        group.bench_with_input(
-            BenchmarkId::new("optimal_multiple", n),
-            &p,
-            |b, p| b.iter(|| solve_multiple_homogeneous(p)),
-        );
+        group.bench_with_input(BenchmarkId::new("optimal_multiple", n), &p, |b, p| {
+            b.iter(|| solve_multiple_homogeneous(p))
+        });
         group.bench_with_input(BenchmarkId::new("mg", n), &p, |b, p| {
             b.iter(|| Heuristic::Mg.run(p))
         });

@@ -1,0 +1,331 @@
+//! Quick-mode performance baseline: times the hot paths the sweep
+//! exercises and writes a machine-readable `BENCH_baseline.json` so the
+//! perf trajectory can be tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p rp-bench --bin baseline -- [OUTPUT.json] [--compare OLD.json]
+//! ```
+//!
+//! Metrics (all medians over several samples):
+//!
+//! * `heuristic/<name>/<platform>/<size>` — ns per full heuristic run;
+//! * `full_sweep/<platform>/<size>` — ns for MixedBest (all eight
+//!   heuristics on one instance), the paper's per-tree unit of work;
+//! * `allocs/...` — heap allocations per run (counted by a wrapping
+//!   global allocator; warm caches, so steady-state numbers);
+//! * `ancestors_pass/<size>` — ns to walk every client's ancestor path;
+//! * `ancestor_check_pass/<size>` — ns for all-pairs `node_is_ancestor_or_self`;
+//! * `lp_rational_bound/<size>` — ns for the Section 7.1 LP lower bound;
+//! * `milp_mixed_bound/<size>` — ns for the capped mixed bound;
+//! * `sweep_smoke_ms` — wall-clock ms for the smoke-test sweep;
+//! * `sweep_trees_per_sec` — sweep throughput derived from it.
+//!
+//! With `--compare OLD.json` the output also contains a `speedup`
+//! section: `old / new` per metric shared with the old file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rp_bench::{bench_instance, MICRO_SIZES};
+use rp_core::heuristics::HeuristicState;
+use rp_core::ilp::{lower_bound, lower_bound_with, BoundKind, IlpOptions};
+use rp_core::Heuristic;
+use rp_experiments::runner::{run_sweep, ExperimentConfig};
+use rp_lp::BranchBoundOptions;
+use rp_workloads::platform::PlatformKind;
+
+/// Counts every heap allocation so the "allocation-free inner loop"
+/// claim is verified by measurement, not by inspection.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Median ns/op of `f`, sampled adaptively within a small time budget.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up and estimate.
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < Duration::from_millis(20) {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    let batch = ((8_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+    let mut samples = Vec::with_capacity(7);
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Allocations per call of `f` in the steady state (after warm-up).
+fn allocs_per_call<F: FnMut()>(mut f: F) -> f64 {
+    for _ in 0..3 {
+        f(); // warm any lazily grown buffers
+    }
+    const CALLS: u64 = 10;
+    let before = allocations();
+    for _ in 0..CALLS {
+        f();
+    }
+    (allocations() - before) as f64 / CALLS as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut output = String::from("BENCH_baseline.json");
+    let mut compare: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--compare" => {
+                compare = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                output = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
+    // ---- Heuristics and the full MixedBest sweep. ----
+    for (platform, platform_name) in [
+        (PlatformKind::default_homogeneous(), "homogeneous"),
+        (PlatformKind::default_heterogeneous(), "heterogeneous"),
+    ] {
+        for &size in &MICRO_SIZES {
+            let problem = bench_instance(size, 0.5, platform, 1234 + size as u64);
+            for heuristic in Heuristic::BASE {
+                let ns = time_ns(|| {
+                    black_box(heuristic.run(black_box(&problem)));
+                });
+                metrics.push((
+                    format!("heuristic/{}/{platform_name}/{size}", heuristic.acronym()),
+                    ns,
+                ));
+            }
+            let ns = time_ns(|| {
+                black_box(Heuristic::MixedBest.run(black_box(&problem)));
+            });
+            metrics.push((format!("full_sweep/{platform_name}/{size}"), ns));
+            let allocs = allocs_per_call(|| {
+                black_box(Heuristic::MixedBest.run(black_box(&problem)));
+            });
+            metrics.push((format!("allocs/full_sweep/{platform_name}/{size}"), allocs));
+
+            // Steady-state inner loops: one reused state, reset between
+            // runs. This is the path MixedBest drives; it must not
+            // allocate at all once the buffers are warm.
+            let mut state = HeuristicState::new(&problem);
+            for heuristic in Heuristic::BASE {
+                let allocs = allocs_per_call(|| {
+                    state.reset();
+                    black_box(heuristic.run_with(&mut state));
+                });
+                metrics.push((
+                    format!(
+                        "allocs/heuristic_steady/{}/{platform_name}/{size}",
+                        heuristic.acronym()
+                    ),
+                    allocs,
+                ));
+            }
+        }
+    }
+
+    // ---- Traversal primitives. ----
+    for &size in &MICRO_SIZES {
+        let problem = bench_instance(size, 0.5, PlatformKind::default_homogeneous(), 99);
+        let tree = problem.tree();
+        let ns = time_ns(|| {
+            let mut acc = 0usize;
+            for client in tree.client_ids() {
+                for node in tree.ancestors_of_client(client) {
+                    acc += node.index();
+                }
+            }
+            black_box(acc);
+        });
+        metrics.push((format!("ancestors_pass/{size}"), ns));
+        let allocs = allocs_per_call(|| {
+            let mut acc = 0usize;
+            for client in tree.client_ids() {
+                for node in tree.ancestors_of_client(client) {
+                    acc += node.index();
+                }
+            }
+            black_box(acc);
+        });
+        metrics.push((format!("allocs/ancestors_pass/{size}"), allocs));
+
+        let nodes: Vec<_> = tree.node_ids().collect();
+        let ns = time_ns(|| {
+            let mut hits = 0usize;
+            for &a in &nodes {
+                for &b in &nodes {
+                    hits += usize::from(tree.node_is_ancestor_or_self(a, b));
+                }
+            }
+            black_box(hits);
+        });
+        metrics.push((format!("ancestor_check_pass/{size}"), ns));
+    }
+
+    // ---- LP lower bounds. ----
+    for size in [20usize, 40] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_heterogeneous(), 31);
+        let ns = time_ns(|| {
+            black_box(lower_bound(black_box(&problem), BoundKind::Rational));
+        });
+        metrics.push((format!("lp_rational_bound/{size}"), ns));
+    }
+    {
+        let problem = bench_instance(20, 0.6, PlatformKind::default_heterogeneous(), 31);
+        let capped = IlpOptions {
+            branch_bound: BranchBoundOptions {
+                max_nodes: 100,
+                ..BranchBoundOptions::default()
+            },
+        };
+        let ns = time_ns(|| {
+            black_box(lower_bound_with(
+                black_box(&problem),
+                BoundKind::Mixed,
+                &capped,
+            ));
+        });
+        metrics.push(("milp_mixed_bound/20".to_string(), ns));
+    }
+
+    // ---- End-to-end sweep throughput. ----
+    {
+        let mut config = ExperimentConfig::smoke_test();
+        config.threads = Some(1);
+        let t = Instant::now();
+        let results = run_sweep(&config);
+        let elapsed = t.elapsed();
+        let trees: usize = config.lambdas.len() * config.trees_per_lambda;
+        black_box(&results);
+        metrics.push(("sweep_smoke_ms".to_string(), elapsed.as_secs_f64() * 1e3));
+        metrics.push((
+            "sweep_trees_per_sec".to_string(),
+            trees as f64 / elapsed.as_secs_f64(),
+        ));
+    }
+
+    let old_metrics = compare.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read comparison file {path}: {e}"));
+        parse_metrics(&text)
+    });
+
+    let json = render_json(&metrics, compare.as_deref(), old_metrics.as_deref());
+    std::fs::write(&output, &json).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {output}");
+}
+
+/// Extracts the flat `"name": value` pairs of a previous baseline file.
+/// Only understands the format written by `render_json` — fine, since we
+/// control both ends.
+fn parse_metrics(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(start) = text.find("\"metrics\": {") else {
+        return out;
+    };
+    let body = &text[start + "\"metrics\": {".len()..];
+    let Some(end) = body.find('}') else {
+        return out;
+    };
+    for line in body[..end].lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn render_json(
+    metrics: &[(String, f64)],
+    compare_path: Option<&str>,
+    old: Option<&[(String, f64)]>,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"units\": \"ns per op unless the metric name says otherwise\",\n");
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }");
+    if let (Some(path), Some(old)) = (compare_path, old) {
+        s.push_str(",\n  \"compare\": {\n");
+        s.push_str(&format!("    \"baseline_file\": \"{path}\",\n"));
+        s.push_str("    \"speedup\": {\n");
+        let shared: Vec<_> = metrics
+            .iter()
+            .filter_map(|(name, new_value)| {
+                old.iter()
+                    .find(|(old_name, _)| old_name == name)
+                    .map(|(_, old_value)| {
+                        // Most metrics are times (lower is better):
+                        // speedup = old / new. Throughput metrics are the
+                        // other way around.
+                        let ratio = if name.ends_with("per_sec") {
+                            new_value / old_value.max(1e-9)
+                        } else {
+                            old_value / new_value.max(1e-9)
+                        };
+                        (name, ratio)
+                    })
+            })
+            .collect();
+        for (i, (name, ratio)) in shared.iter().enumerate() {
+            let comma = if i + 1 == shared.len() { "" } else { "," };
+            s.push_str(&format!("      \"{name}\": {ratio:.2}{comma}\n"));
+        }
+        s.push_str("    }\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}

@@ -79,17 +79,14 @@ pub fn greedy_multiple_assignment(
     }
 
     // Remaining requests per client.
-    let mut remaining: Vec<u64> = tree
-        .client_ids()
-        .map(|c| problem.requests(c))
-        .collect();
+    let mut remaining: Vec<u64> = tree.client_ids().map(|c| problem.requests(c)).collect();
     // Pending clients per node: clients of the node's subtree that still
     // have unassigned requests, accumulated bottom-up.
     let mut pending: Vec<Vec<ClientId>> = vec![Vec::new(); tree.num_nodes()];
 
     let node_depth: Vec<u32> = tree.node_ids().map(|n| tree.node_depth(n)).collect();
 
-    for node in tree.postorder_nodes() {
+    for &node in tree.postorder_nodes() {
         // Gather pending clients from direct client children and child nodes.
         let mut clients: Vec<ClientId> = Vec::new();
         for &c in tree.child_clients(node) {
@@ -172,7 +169,9 @@ pub struct UpwardsSearchOptions {
 
 impl Default for UpwardsSearchOptions {
     fn default() -> Self {
-        UpwardsSearchOptions { max_steps: 2_000_000 }
+        UpwardsSearchOptions {
+            max_steps: 2_000_000,
+        }
     }
 }
 
@@ -202,7 +201,6 @@ pub fn upwards_assignment_backtracking(
         .map(|&c| {
             problem
                 .eligible_servers(c)
-                .into_iter()
                 .filter(|n| placement.has_replica(*n))
                 .collect()
         })
@@ -258,7 +256,14 @@ fn backtrack(
             remaining[server] -= requests;
             chosen[index] = Some(server);
             if backtrack(
-                problem, clients, candidates, remaining, chosen, index + 1, steps, max_steps,
+                problem,
+                clients,
+                candidates,
+                remaining,
+                chosen,
+                index + 1,
+                steps,
+                max_steps,
             ) {
                 return true;
             }
@@ -326,12 +331,10 @@ mod tests {
         let (p, s1, s2) = figure1(1, 2);
         // A single client with 2 requests cannot be served by a single
         // W = 1 server.
-        assert!(upwards_assignment_backtracking(
-            &p,
-            &[s1, s2],
-            &UpwardsSearchOptions::default()
-        )
-        .is_none());
+        assert!(
+            upwards_assignment_backtracking(&p, &[s1, s2], &UpwardsSearchOptions::default())
+                .is_none()
+        );
     }
 
     #[test]
@@ -429,11 +432,8 @@ mod tests {
     #[test]
     fn upwards_backtracking_respects_step_limit() {
         let (p, s1, s2) = figure1(2, 1);
-        let placement = upwards_assignment_backtracking(
-            &p,
-            &[s1, s2],
-            &UpwardsSearchOptions { max_steps: 0 },
-        );
+        let placement =
+            upwards_assignment_backtracking(&p, &[s1, s2], &UpwardsSearchOptions { max_steps: 0 });
         assert!(placement.is_none());
     }
 

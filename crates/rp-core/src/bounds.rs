@@ -40,7 +40,11 @@ pub fn replica_cost_lower_bound(problem: &ProblemInstance) -> f64 {
     if min_cost_per_capacity.is_infinite() {
         // No node has positive capacity: only the zero-request instance
         // is feasible, with cost 0.
-        return if total_requests == 0.0 { 0.0 } else { f64::INFINITY };
+        return if total_requests == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     total_requests * min_cost_per_capacity
 }
@@ -57,7 +61,6 @@ pub fn passes_basic_feasibility(problem: &ProblemInstance) -> bool {
     for client in problem.tree().client_ids() {
         let reachable: u64 = problem
             .eligible_servers(client)
-            .into_iter()
             .map(|n| problem.capacity(n))
             .sum();
         if problem.requests(client) > reachable {

@@ -129,8 +129,8 @@ mod tests {
         for _ in 0..2 * n {
             let s = b.add_node(hub);
             b.add_client(s);
-            reqs.push(1);
         }
+        reqs.extend(std::iter::repeat_n(1, 2 * n as usize));
         let tree = b.build().unwrap();
         ProblemInstance::replica_counting(tree, reqs, n)
     }
@@ -219,11 +219,7 @@ mod tests {
         b.add_client(a);
         b.add_client(c);
         b.add_client(root);
-        let p = ProblemInstance::replica_cost(
-            b.build().unwrap(),
-            vec![3, 2, 4, 1],
-            vec![6, 5, 4],
-        );
+        let p = ProblemInstance::replica_cost(b.build().unwrap(), vec![3, 2, 4, 1], vec![6, 5, 4]);
         let closest = optimal_cost(&p, Policy::Closest).unwrap();
         let upwards = optimal_cost(&p, Policy::Upwards).unwrap();
         let multiple = optimal_cost(&p, Policy::Multiple).unwrap();
@@ -239,8 +235,7 @@ mod tests {
         b.add_client(a);
         b.add_client(a);
         b.add_client(root);
-        let p =
-            ProblemInstance::replica_cost(b.build().unwrap(), vec![2, 3, 1], vec![4, 5]);
+        let p = ProblemInstance::replica_cost(b.build().unwrap(), vec![2, 3, 1], vec![4, 5]);
         for policy in Policy::ALL {
             if let Some(placement) = solve_exhaustive(&p, policy) {
                 assert!(placement.is_valid(&p, policy), "policy {policy}");

@@ -5,7 +5,5 @@
 pub mod exhaustive;
 pub mod multiple_homogeneous;
 
-pub use exhaustive::{
-    optimal_cost, solve_exhaustive, solve_exhaustive_with, ExhaustiveOptions,
-};
+pub use exhaustive::{optimal_cost, solve_exhaustive, solve_exhaustive_with, ExhaustiveOptions};
 pub use multiple_homogeneous::{solve_multiple_homogeneous, MultipleHomogeneousOutcome};

@@ -72,7 +72,7 @@ pub fn solve_multiple_homogeneous(problem: &ProblemInstance) -> MultipleHomogene
     // ---- Pass 1: saturate nodes bottom-up. ----
     let mut flow: Vec<u64> = vec![0; tree.num_nodes()];
     let mut replicas: Vec<bool> = vec![false; tree.num_nodes()];
-    for &node in &postorder {
+    for &node in postorder {
         let mut f: u64 = tree
             .child_clients(node)
             .iter()
@@ -106,10 +106,7 @@ pub fn solve_multiple_homogeneous(problem: &ProblemInstance) -> MultipleHomogene
     }
 
     // ---- Pass 3: build the explicit assignment. ----
-    let replica_nodes: Vec<NodeId> = tree
-        .node_ids()
-        .filter(|n| replicas[n.index()])
-        .collect();
+    let replica_nodes: Vec<NodeId> = tree.node_ids().filter(|n| replicas[n.index()]).collect();
     let placement = pass3(problem, capacity, &replica_nodes);
     MultipleHomogeneousOutcome::Optimal(placement)
 }
@@ -142,7 +139,7 @@ fn pass2(problem: &ProblemInstance, flow: &mut [u64], replicas: &mut [bool]) -> 
         // paper closely enough for optimality: any maximiser works).
         let mut best: Option<NodeId> = None;
         let mut best_uflow = 0u64;
-        for &node in &bfs {
+        for &node in bfs {
             if !replicas[node.index()] && uflow[node.index()] > best_uflow {
                 best_uflow = uflow[node.index()];
                 best = Some(node);
@@ -177,7 +174,7 @@ fn pass3(problem: &ProblemInstance, capacity: u64, replica_nodes: &[NodeId]) -> 
     // bottom-up.
     let mut pending: Vec<Vec<ClientId>> = vec![Vec::new(); tree.num_nodes()];
 
-    for node in tree.postorder_nodes() {
+    for &node in tree.postorder_nodes() {
         let mut clients: Vec<ClientId> = Vec::new();
         for &c in tree.child_clients(node) {
             if remaining[c.index()] > 0 {
@@ -276,10 +273,7 @@ mod tests {
         }
         let tree = b.build().unwrap();
         let p = counting(tree, reqs, 10);
-        (
-            p,
-            vec![n1, n2, n3, n4, n5, n6, n7, n8, n9, n10, n11],
-        )
+        (p, vec![n1, n2, n3, n4, n5, n6, n7, n8, n9, n10, n11])
     }
 
     #[test]
@@ -383,7 +377,7 @@ mod tests {
         assert!(placement.num_replicas() >= 6);
         assert!(placement.num_replicas() <= 7);
         // Every replica load stays within W.
-        for (_, load) in placement.server_loads() {
+        for (_, &load) in placement.server_loads(p.tree().num_nodes()).iter() {
             assert!(load <= 10);
         }
         let _ = nodes;
@@ -436,8 +430,8 @@ mod tests {
         for _ in 0..5 {
             let mid = b.add_node(root);
             b.add_client(mid);
-            reqs.push(3);
         }
+        reqs.extend(std::iter::repeat_n(3, 5));
         let p = counting(b.build().unwrap(), reqs, 10);
         let placement = solve_multiple_homogeneous(&p).into_placement().unwrap();
         assert!(placement.is_valid(&p, Policy::Multiple));

@@ -6,8 +6,6 @@
 //! its whole remaining subtree). They differ in the traversal order and
 //! in how eagerly servers are committed.
 
-use std::collections::VecDeque;
-
 use rp_tree::NodeId;
 
 use crate::heuristics::state::HeuristicState;
@@ -19,17 +17,24 @@ use crate::solution::Placement;
 /// server (and its subtree is not explored further). Traversals repeat
 /// until one of them adds no server.
 pub fn ctda(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
+    ctda_on(&mut state);
+    state.into_solution()
+}
+
+pub(crate) fn ctda_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
     loop {
         let mut added = false;
-        let mut fifo: VecDeque<NodeId> = VecDeque::new();
+        let mut fifo = std::mem::take(&mut state.scratch_fifo);
+        fifo.clear();
         fifo.push_back(tree.root());
         while let Some(node) = fifo.pop_front() {
             if state.has_replica(node) {
                 continue;
             }
-            if can_serve_whole_subtree(problem, &state, node) {
+            if can_serve_whole_subtree(problem, state, node) {
                 state.serve_whole_subtree(node);
                 added = true;
                 // The subtree is fully served: no need to explore it.
@@ -39,58 +44,78 @@ pub fn ctda(problem: &ProblemInstance) -> Option<Placement> {
                 }
             }
         }
+        state.scratch_fifo = fifo;
         if !added {
             break;
         }
     }
-    state.into_solution()
+    state.all_served()
 }
 
 /// *Closest Top Down Largest First* (CTDLF): like CTDA, but children are
 /// enqueued most-loaded subtree first and the traversal restarts from
 /// the root as soon as one server has been placed.
 pub fn ctdlf(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
+    ctdlf_on(&mut state);
+    state.into_solution()
+}
+
+pub(crate) fn ctdlf_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
     loop {
         let mut added = false;
-        let mut fifo: VecDeque<NodeId> = VecDeque::new();
+        let mut fifo = std::mem::take(&mut state.scratch_fifo);
+        let mut children = std::mem::take(&mut state.scratch_nodes);
+        fifo.clear();
         fifo.push_back(tree.root());
         while let Some(node) = fifo.pop_front() {
             if state.has_replica(node) {
                 continue;
             }
-            if can_serve_whole_subtree(problem, &state, node) {
+            if can_serve_whole_subtree(problem, state, node) {
                 state.serve_whole_subtree(node);
                 added = true;
                 break; // restart the traversal from the root
             }
-            let mut children: Vec<NodeId> = tree.child_nodes(node).to_vec();
             // Treat the subtree holding the most pending requests first.
-            children.sort_by_key(|&c| std::cmp::Reverse(state.inreq(c)));
-            for child in children {
+            children.clear();
+            children.extend_from_slice(tree.child_nodes(node));
+            // Child lists are in ascending-id insertion order, so the id
+            // tie-break reproduces a stable sort's equal-key order.
+            children.sort_unstable_by_key(|&c| (std::cmp::Reverse(state.inreq(c)), c));
+            for &child in &children {
                 fifo.push_back(child);
             }
         }
+        state.scratch_fifo = fifo;
+        state.scratch_nodes = children;
         if !added {
             break;
         }
     }
-    state.into_solution()
+    state.all_served()
 }
 
 /// *Closest Bottom Up* (CBU): a single post-order sweep; each node is
 /// turned into a server as soon as it can absorb the still-unserved
 /// requests of its subtree (children having been considered first).
 pub fn cbu(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
-    for node in tree.postorder_nodes() {
-        if can_serve_whole_subtree(problem, &state, node) {
+    cbu_on(&mut state);
+    state.into_solution()
+}
+
+pub(crate) fn cbu_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
+    for &node in tree.postorder_nodes() {
+        if can_serve_whole_subtree(problem, state, node) {
             state.serve_whole_subtree(node);
         }
     }
-    state.into_solution()
+    state.all_served()
 }
 
 /// A Closest replica can be placed at `node` only when every pending

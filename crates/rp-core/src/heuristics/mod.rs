@@ -123,15 +123,38 @@ impl Heuristic {
     /// Runs the heuristic on `problem`.
     pub fn run(self, problem: &ProblemInstance) -> Option<Placement> {
         match self {
-            Heuristic::Ctda => ctda(problem),
-            Heuristic::Ctdlf => ctdlf(problem),
-            Heuristic::Cbu => cbu(problem),
-            Heuristic::Utd => utd(problem),
-            Heuristic::Ubcf => ubcf(problem),
-            Heuristic::Mtd => mtd(problem),
-            Heuristic::Mbu => mbu(problem),
-            Heuristic::Mg => mg(problem),
             Heuristic::MixedBest => mixed_best(problem),
+            base => {
+                let mut state = HeuristicState::new(problem);
+                base.run_with(&mut state);
+                state.into_solution()
+            }
+        }
+    }
+
+    /// Runs one of the eight **base** heuristics on an existing (freshly
+    /// created or [`reset`](HeuristicState::reset)) state, reusing every
+    /// buffer the state owns; returns `true` when the heuristic served
+    /// all requests. This is the allocation-free path that MixedBest and
+    /// the sweep harness drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Heuristic::MixedBest`], which composes the base
+    /// heuristics and cannot run on a single shared state.
+    pub fn run_with(self, state: &mut HeuristicState<'_>) -> bool {
+        match self {
+            Heuristic::Ctda => closest::ctda_on(state),
+            Heuristic::Ctdlf => closest::ctdlf_on(state),
+            Heuristic::Cbu => closest::cbu_on(state),
+            Heuristic::Utd => upwards::utd_on(state),
+            Heuristic::Ubcf => upwards::ubcf_on(state),
+            Heuristic::Mtd => multiple::mtd_on(state),
+            Heuristic::Mbu => multiple::mbu_on(state),
+            Heuristic::Mg => multiple::mg_on(state),
+            Heuristic::MixedBest => {
+                panic!("MixedBest composes the base heuristics; use Heuristic::run")
+            }
         }
     }
 }
@@ -147,17 +170,30 @@ impl std::fmt::Display for Heuristic {
 /// also a Multiple solution, the result is always valid under Multiple;
 /// and because MG never misses a feasible instance, neither does
 /// MixedBest (Section 7.3).
+///
+/// All eight heuristics run on **one** [`HeuristicState`], reset between
+/// runs, so the whole sweep reuses a single set of `remaining` / `inreq`
+/// / scratch buffers; the only extra work is copying out a candidate
+/// placement when it improves on the incumbent.
 pub fn mixed_best(problem: &ProblemInstance) -> Option<Placement> {
+    let mut state = HeuristicState::new(problem);
     let mut best: Option<(u64, Placement)> = None;
+    let mut first = true;
     for heuristic in Heuristic::BASE {
-        if let Some(placement) = heuristic.run(problem) {
-            let cost = placement.cost(problem);
-            let replace = match &best {
-                None => true,
-                Some((best_cost, _)) => cost < *best_cost,
-            };
-            if replace {
-                best = Some((cost, placement));
+        if !first {
+            state.reset();
+        }
+        first = false;
+        if heuristic.run_with(&mut state) {
+            let cost = state.current_cost();
+            match &mut best {
+                Some((best_cost, placement)) if cost < *best_cost => {
+                    *best_cost = cost;
+                    // clone_from reuses the incumbent's buffers.
+                    placement.clone_from(state.placement());
+                }
+                Some(_) => {}
+                None => best = Some((cost, state.placement().clone())),
             }
         }
     }
@@ -276,7 +312,10 @@ mod tests {
             .qos(vec![Some(1)])
             .build();
         for h in Heuristic::ALL {
-            assert!(h.run(&p).is_none(), "{h} should fail on a QoS-infeasible instance");
+            assert!(
+                h.run(&p).is_none(),
+                "{h} should fail on a QoS-infeasible instance"
+            );
         }
     }
 

@@ -17,18 +17,23 @@ use crate::solution::Placement;
 /// from the root adding replicas on the highest nodes that still see
 /// unserved requests.
 pub fn mtd(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
+    mtd_on(&mut state);
+    state.into_solution()
+}
 
-    for node in tree.dfs_preorder_nodes() {
+pub(crate) fn mtd_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
+    for &node in tree.dfs_preorder_nodes() {
         let inreq = state.eligible_inreq(node);
         if inreq > 0 && inreq >= problem.capacity(node) {
             state.add_replica(node);
             state.delete_requests_multiple(node, problem.capacity(node), DeleteOrder::LargestFirst);
         }
     }
-    second_pass(problem, &mut state, tree.root(), DeleteOrder::LargestFirst);
-    state.into_solution()
+    second_pass(problem, state, tree.root(), DeleteOrder::LargestFirst);
+    state.all_served()
 }
 
 /// *Multiple Bottom Up* (MBU): the first pass sweeps the tree bottom-up
@@ -37,18 +42,27 @@ pub fn mtd(problem: &ProblemInstance) -> Option<Placement> {
 /// rather than fewer demanding ones"); the second pass is the same
 /// top-down mop-up as MTD's.
 pub fn mbu(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
+    mbu_on(&mut state);
+    state.into_solution()
+}
 
-    for node in tree.postorder_nodes() {
+pub(crate) fn mbu_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
+    for &node in tree.postorder_nodes() {
         let inreq = state.eligible_inreq(node);
         if inreq > 0 && problem.capacity(node) <= inreq {
             state.add_replica(node);
-            state.delete_requests_multiple(node, problem.capacity(node), DeleteOrder::SmallestFirst);
+            state.delete_requests_multiple(
+                node,
+                problem.capacity(node),
+                DeleteOrder::SmallestFirst,
+            );
         }
     }
-    second_pass(problem, &mut state, tree.root(), DeleteOrder::SmallestFirst);
-    state.into_solution()
+    second_pass(problem, state, tree.root(), DeleteOrder::SmallestFirst);
+    state.all_served()
 }
 
 /// *Multiple Greedy* (MG): a single bottom-up sweep in which every node
@@ -60,16 +74,22 @@ pub fn mbu(problem: &ProblemInstance) -> Option<Placement> {
 /// Multiple solution exists the greedy sweep finds one (possibly at a
 /// much higher cost than necessary on heterogeneous platforms).
 pub fn mg(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
-    for node in tree.postorder_nodes() {
+    mg_on(&mut state);
+    state.into_solution()
+}
+
+pub(crate) fn mg_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
+    for &node in tree.postorder_nodes() {
         let budget = state.eligible_inreq(node).min(problem.capacity(node));
         if budget > 0 {
             state.add_replica(node);
             state.delete_requests_multiple(node, budget, DeleteOrder::LargestFirst);
         }
     }
-    state.into_solution()
+    state.all_served()
 }
 
 /// Shared second pass of MTD and MBU: walking down from the root, add a
@@ -175,18 +195,18 @@ mod tests {
         b.add_client(a);
         b.add_client(c);
         b.add_client(root);
-        let p = ProblemInstance::replica_cost(
-            b.build().unwrap(),
-            vec![3, 2, 4, 1],
-            vec![6, 5, 4],
-        );
+        let p = ProblemInstance::replica_cost(b.build().unwrap(), vec![3, 2, 4, 1], vec![6, 5, 4]);
         let optimum = optimal_cost(&p, Policy::Multiple).unwrap();
         // MTD may fail on this instance (its first pass fills the root
         // with subtree requests and leaves the root's own client
         // stranded); MBU and MG must succeed, and any produced solution
         // must cost at least the optimum.
         for (name, heuristic, must_succeed) in [
-            ("mtd", mtd as fn(&ProblemInstance) -> Option<Placement>, false),
+            (
+                "mtd",
+                mtd as fn(&ProblemInstance) -> Option<Placement>,
+                false,
+            ),
             ("mbu", mbu, true),
             ("mg", mg, true),
         ] {
@@ -286,11 +306,7 @@ mod tests {
         b.add_client(c);
         b.add_client(a);
         b.add_client(root);
-        let p = ProblemInstance::replica_cost(
-            b.build().unwrap(),
-            vec![4, 3, 2],
-            vec![2, 3, 4],
-        );
+        let p = ProblemInstance::replica_cost(b.build().unwrap(), vec![4, 3, 2], vec![2, 3, 4]);
         // Total requests 9 == total capacity 9: the only solution uses all
         // three nodes, and it exists (c takes 4 from the deep client? c has
         // capacity 4 -> serves the deep client; a (3) serves its client;

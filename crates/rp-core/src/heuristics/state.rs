@@ -12,6 +12,19 @@
 //! [`HeuristicState`] owns this bookkeeping together with the
 //! [`Placement`] being built, and provides the `deleteRequests`
 //! procedures shared by the Upwards and Multiple heuristics.
+//!
+//! # Scratch-buffer conventions
+//!
+//! The state also owns every scratch buffer the heuristics need (client
+//! work lists, per-node capacities, the top-down FIFO), so a heuristic
+//! run performs **no steady-state heap allocation**: buffers are taken
+//! with `std::mem::take`, refilled, and put back so their capacity is
+//! reused by the next call. [`HeuristicState::reset`] rewinds the whole
+//! state to the freshly-initialised configuration without releasing any
+//! buffer, which lets *MixedBest* run all eight heuristics on a single
+//! allocation set (see [`crate::heuristics::mixed_best`]).
+
+use std::collections::VecDeque;
 
 use rp_tree::{ClientId, NodeId};
 
@@ -34,9 +47,15 @@ pub struct HeuristicState<'a> {
     problem: &'a ProblemInstance,
     remaining: Vec<u64>,
     inreq: Vec<u64>,
-    node_depth: Vec<u32>,
-    client_depth: Vec<u32>,
     placement: Placement,
+    /// Scratch list of clients for the delete procedures and UBCF.
+    pub(crate) scratch_clients: Vec<ClientId>,
+    /// Scratch per-node `u64` working set (UBCF's remaining capacities).
+    pub(crate) scratch_node_u64: Vec<u64>,
+    /// Scratch FIFO for the Closest top-down traversals.
+    pub(crate) scratch_fifo: VecDeque<NodeId>,
+    /// Scratch list of nodes (CTDLF's sorted child lists).
+    pub(crate) scratch_nodes: Vec<NodeId>,
 }
 
 impl<'a> HeuristicState<'a> {
@@ -44,9 +63,33 @@ impl<'a> HeuristicState<'a> {
     /// total requests of `subtree(j)`.
     pub fn new(problem: &'a ProblemInstance) -> Self {
         let tree = problem.tree();
-        let remaining: Vec<u64> = tree.client_ids().map(|c| problem.requests(c)).collect();
-        let mut inreq = vec![0u64; tree.num_nodes()];
-        for node in tree.postorder_nodes() {
+        let mut state = HeuristicState {
+            problem,
+            remaining: Vec::with_capacity(tree.num_clients()),
+            inreq: Vec::with_capacity(tree.num_nodes()),
+            placement: Placement::empty(tree.num_clients()),
+            scratch_clients: Vec::new(),
+            scratch_node_u64: Vec::new(),
+            scratch_fifo: VecDeque::new(),
+            scratch_nodes: Vec::new(),
+        };
+        state.reset();
+        state
+    }
+
+    /// Rewinds the state to the freshly-initialised configuration
+    /// (nothing served, empty placement) **without releasing any
+    /// buffer**, so repeated heuristic runs against the same problem
+    /// reuse one allocation set.
+    pub fn reset(&mut self) {
+        let problem = self.problem;
+        let tree = problem.tree();
+        self.remaining.clear();
+        self.remaining
+            .extend(tree.client_ids().map(|c| problem.requests(c)));
+        self.inreq.clear();
+        self.inreq.resize(tree.num_nodes(), 0);
+        for &node in tree.postorder_nodes() {
             let mut total: u64 = tree
                 .child_clients(node)
                 .iter()
@@ -55,20 +98,11 @@ impl<'a> HeuristicState<'a> {
             total += tree
                 .child_nodes(node)
                 .iter()
-                .map(|&child| inreq[child.index()])
+                .map(|&child| self.inreq[child.index()])
                 .sum::<u64>();
-            inreq[node.index()] = total;
+            self.inreq[node.index()] = total;
         }
-        let node_depth: Vec<u32> = tree.node_ids().map(|n| tree.node_depth(n)).collect();
-        let client_depth: Vec<u32> = tree.client_ids().map(|c| tree.client_depth(c)).collect();
-        HeuristicState {
-            problem,
-            remaining,
-            inreq,
-            node_depth,
-            client_depth,
-            placement: Placement::empty(tree.num_clients()),
-        }
+        self.placement.clear();
     }
 
     /// `true` when `server` (an ancestor of `client`) lies within the
@@ -77,8 +111,10 @@ impl<'a> HeuristicState<'a> {
         match self.problem.qos(client) {
             None => true,
             Some(q) => {
-                let distance = self.client_depth[client.index()]
-                    .saturating_sub(self.node_depth[server.index()]);
+                let tree = self.problem.tree();
+                let distance = tree
+                    .client_depth(client)
+                    .saturating_sub(tree.node_depth(server));
                 distance <= q
             }
         }
@@ -90,15 +126,16 @@ impl<'a> HeuristicState<'a> {
         match self.problem.qos(client) {
             None => i64::MAX,
             Some(q) => {
-                let distance = i64::from(self.client_depth[client.index()])
-                    - i64::from(self.node_depth[server.index()]);
+                let tree = self.problem.tree();
+                let distance =
+                    i64::from(tree.client_depth(client)) - i64::from(tree.node_depth(server));
                 i64::from(q) - distance
             }
         }
     }
 
     /// The problem being solved.
-    pub fn problem(&self) -> &ProblemInstance {
+    pub fn problem(&self) -> &'a ProblemInstance {
         self.problem
     }
 
@@ -128,7 +165,8 @@ impl<'a> HeuristicState<'a> {
     }
 
     /// Assigns `amount` requests of `client` to `server`, updating the
-    /// remaining counts and the `inreq` of every ancestor of the client.
+    /// remaining counts and the `inreq` of every ancestor of the client
+    /// (a lazy, allocation-free walk up the parent pointers).
     pub fn assign(&mut self, client: ClientId, server: NodeId, amount: u64) {
         if amount == 0 {
             return;
@@ -141,25 +179,49 @@ impl<'a> HeuristicState<'a> {
         }
     }
 
-    /// Clients of `subtree(node)` that still have unserved requests,
-    /// in depth-first order (the paper's `clients(s)` restricted to
-    /// pending clients).
-    pub fn pending_clients(&self, node: NodeId) -> Vec<ClientId> {
-        self.problem
-            .tree()
-            .subtree_clients(node)
-            .into_iter()
-            .filter(|&c| self.remaining[c.index()] > 0)
-            .collect()
+    /// Fills `out` with the clients of `subtree(node)` that still have
+    /// unserved requests, in subtree order (the paper's `clients(s)`
+    /// restricted to pending clients). `out` is cleared first; its
+    /// capacity is reused across calls.
+    pub fn pending_clients_into(&self, node: NodeId, out: &mut Vec<ClientId>) {
+        out.clear();
+        out.extend(
+            self.problem
+                .tree()
+                .subtree_clients(node)
+                .iter()
+                .copied()
+                .filter(|&c| self.remaining[c.index()] > 0),
+        );
     }
 
-    /// Pending clients of `subtree(node)` that may be served *at* `node`
-    /// without violating their QoS bound.
+    /// Collecting variant of [`pending_clients_into`](Self::pending_clients_into).
+    pub fn pending_clients(&self, node: NodeId) -> Vec<ClientId> {
+        let mut out = Vec::new();
+        self.pending_clients_into(node, &mut out);
+        out
+    }
+
+    /// Fills `out` with the pending clients of `subtree(node)` that may
+    /// be served *at* `node` without violating their QoS bound.
+    pub fn eligible_pending_clients_into(&self, node: NodeId, out: &mut Vec<ClientId>) {
+        out.clear();
+        out.extend(
+            self.problem
+                .tree()
+                .subtree_clients(node)
+                .iter()
+                .copied()
+                .filter(|&c| self.remaining[c.index()] > 0 && self.within_qos(c, node)),
+        );
+    }
+
+    /// Collecting variant of
+    /// [`eligible_pending_clients_into`](Self::eligible_pending_clients_into).
     pub fn eligible_pending_clients(&self, node: NodeId) -> Vec<ClientId> {
-        self.pending_clients(node)
-            .into_iter()
-            .filter(|&c| self.within_qos(c, node))
-            .collect()
+        let mut out = Vec::new();
+        self.eligible_pending_clients_into(node, &mut out);
+        out
     }
 
     /// Pending requests of `subtree(node)` that may be served at `node`
@@ -169,9 +231,12 @@ impl<'a> HeuristicState<'a> {
         if !self.problem.has_qos() {
             return self.inreq(node);
         }
-        self.eligible_pending_clients(node)
-            .into_iter()
-            .map(|c| self.remaining[c.index()])
+        self.problem
+            .tree()
+            .subtree_clients(node)
+            .iter()
+            .filter(|&&c| self.remaining[c.index()] > 0 && self.within_qos(c, node))
+            .map(|&c| self.remaining[c.index()])
             .sum()
     }
 
@@ -185,7 +250,10 @@ impl<'a> HeuristicState<'a> {
             return Some(self.inreq(node));
         }
         let mut total = 0u64;
-        for client in self.pending_clients(node) {
+        for &client in self.problem.tree().subtree_clients(node) {
+            if self.remaining[client.index()] == 0 {
+                continue;
+            }
             if !self.within_qos(client, node) {
                 return None;
             }
@@ -201,9 +269,15 @@ impl<'a> HeuristicState<'a> {
     pub fn serve_whole_subtree(&mut self, node: NodeId) {
         debug_assert!(self.inreq(node) <= self.problem.capacity(node));
         self.add_replica(node);
-        for client in self.pending_clients(node) {
-            debug_assert!(self.within_qos(client, node));
+        // The subtree client list borrows the problem's tree (lifetime
+        // 'a), not `self`, so assigning while iterating is fine.
+        let clients = self.problem.tree().subtree_clients(node);
+        for &client in clients {
             let amount = self.remaining[client.index()];
+            if amount == 0 {
+                continue;
+            }
+            debug_assert!(self.within_qos(client, node));
             self.assign(client, node, amount);
         }
     }
@@ -214,16 +288,22 @@ impl<'a> HeuristicState<'a> {
     /// `budget`. Clients whose QoS bound excludes `server` are skipped.
     /// Returns the number of requests actually assigned.
     pub fn delete_requests_single(&mut self, server: NodeId, budget: u64) -> u64 {
-        let mut clients = self.eligible_pending_clients(server);
-        // Most QoS-constrained first, then largest first.
-        clients.sort_by_key(|&c| {
+        let mut clients = std::mem::take(&mut self.scratch_clients);
+        self.eligible_pending_clients_into(server, &mut clients);
+        // Most QoS-constrained first, then largest first. In-place
+        // unstable sort: no allocation. The preorder rank makes the key
+        // total, so ties fall back to subtree-walk order — exactly what
+        // a stable sort over the subtree client list would produce.
+        let tree = self.problem.tree();
+        clients.sort_unstable_by_key(|&c| {
             (
                 self.qos_headroom(c, server),
                 std::cmp::Reverse(self.remaining[c.index()]),
+                tree.client_preorder_rank(c),
             )
         });
         let mut left = budget;
-        for client in clients {
+        for &client in &clients {
             if left == 0 {
                 break;
             }
@@ -233,6 +313,7 @@ impl<'a> HeuristicState<'a> {
                 left -= requests;
             }
         }
+        self.scratch_clients = clients;
         budget - left
     }
 
@@ -249,20 +330,21 @@ impl<'a> HeuristicState<'a> {
         budget: u64,
         order: DeleteOrder,
     ) -> u64 {
-        let mut clients = self.eligible_pending_clients(server);
+        let mut clients = std::mem::take(&mut self.scratch_clients);
+        self.eligible_pending_clients_into(server, &mut clients);
         match order {
-            DeleteOrder::LargestFirst => clients.sort_by_key(|&c| {
+            DeleteOrder::LargestFirst => clients.sort_unstable_by_key(|&c| {
                 (
                     self.qos_headroom(c, server),
                     std::cmp::Reverse(self.remaining[c.index()]),
                 )
             }),
-            DeleteOrder::SmallestFirst => {
-                clients.sort_by_key(|&c| (self.qos_headroom(c, server), self.remaining[c.index()]))
-            }
+            DeleteOrder::SmallestFirst => clients.sort_unstable_by_key(|&c| {
+                (self.qos_headroom(c, server), self.remaining[c.index()])
+            }),
         }
         let mut left = budget;
-        for client in clients {
+        for &client in &clients {
             if left == 0 {
                 break;
             }
@@ -276,14 +358,26 @@ impl<'a> HeuristicState<'a> {
                 left = 0;
             }
         }
+        self.scratch_clients = clients;
         budget - left
+    }
+
+    /// The placement built so far (read-only). Only meaningful as a
+    /// solution when [`all_served`](Self::all_served) is `true`.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Storage cost of the placement built so far.
+    pub fn current_cost(&self) -> u64 {
+        self.placement.cost(self.problem)
     }
 
     /// Consumes the state, returning the placement when every request
     /// has been served and `None` otherwise (the heuristic failed to
     /// find a valid solution).
     pub fn into_solution(self) -> Option<Placement> {
-        if self.inreq[self.problem.tree().root().index()] == 0 {
+        if self.all_served() {
             Some(self.placement)
         } else {
             None
@@ -334,6 +428,24 @@ mod tests {
         assert_eq!(state.remaining(c[0]), 1);
         assert_eq!(state.inreq(n[1]), 3);
         assert_eq!(state.inreq(n[0]), 6);
+    }
+
+    #[test]
+    fn reset_rewinds_to_the_initial_configuration() {
+        let (p, n, c) = sample();
+        let mut state = HeuristicState::new(&p);
+        state.serve_whole_subtree(n[1]);
+        state.assign(c[2], n[1], 0); // no-op
+        assert!(state.has_replica(n[1]));
+        state.reset();
+        assert_eq!(state.inreq(n[0]), 9);
+        assert_eq!(state.inreq(n[1]), 6);
+        assert_eq!(state.remaining(c[0]), 4);
+        assert!(!state.has_replica(n[1]));
+        assert_eq!(state.placement().num_replicas(), 0);
+        // The state is fully usable after a reset.
+        state.serve_whole_subtree(n[0]);
+        assert!(state.all_served());
     }
 
     #[test]
@@ -401,14 +513,59 @@ mod tests {
     }
 
     #[test]
+    fn delete_ties_resolve_in_subtree_order() {
+        // Four identical clients (same requests, no QoS): the sort keys
+        // tie, and the tie-break must fall back to subtree-walk order —
+        // the behaviour a stable sort over the subtree list gives.
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let a = b.add_node(root);
+        let clients: Vec<ClientId> = (0..4)
+            .map(|i| {
+                if i % 2 == 0 {
+                    b.add_client(a)
+                } else {
+                    b.add_client(root)
+                }
+            })
+            .collect();
+        let p = ProblemInstance::replica_counting(b.build().unwrap(), vec![2; 4], 10);
+        let mut state = HeuristicState::new(&p);
+        state.add_replica(root);
+        // Budget for exactly two whole clients: subtree order from the
+        // root lists the root's own clients first (the root is preorder
+        // position 0), so c1 and c3 are served before `a`'s c0 and c2.
+        let assigned = state.delete_requests_single(root, 4);
+        assert_eq!(assigned, 4);
+        assert_eq!(state.remaining(clients[1]), 0);
+        assert_eq!(state.remaining(clients[3]), 0);
+        assert_eq!(state.remaining(clients[0]), 2);
+        assert_eq!(state.remaining(clients[2]), 2);
+
+        let mut state = HeuristicState::new(&p);
+        state.add_replica(root);
+        let assigned = state.delete_requests_multiple(root, 5, DeleteOrder::LargestFirst);
+        assert_eq!(assigned, 5);
+        // Whole c1 and c3, then c0 (next in subtree order) split.
+        assert_eq!(state.remaining(clients[1]), 0);
+        assert_eq!(state.remaining(clients[3]), 0);
+        assert_eq!(state.remaining(clients[0]), 1);
+        assert_eq!(state.remaining(clients[2]), 2);
+    }
+
+    #[test]
     fn pending_clients_shrinks_as_requests_are_served() {
         let (p, n, c) = sample();
         let mut state = HeuristicState::new(&p);
         assert_eq!(state.pending_clients(n[0]).len(), 3);
         state.add_replica(n[0]);
         state.assign(c[2], n[0], 3);
-        let pending = state.pending_clients(n[0]);
+        let mut pending = Vec::new();
+        state.pending_clients_into(n[0], &mut pending);
         assert_eq!(pending.len(), 2);
         assert!(!pending.contains(&c[2]));
+        // The buffer variant clears before refilling.
+        state.pending_clients_into(n[1], &mut pending);
+        assert_eq!(pending.len(), 2);
     }
 }

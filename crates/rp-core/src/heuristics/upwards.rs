@@ -4,7 +4,7 @@
 //! that replica may sit anywhere on its path to the root, so a server no
 //! longer has to absorb its whole subtree.
 
-use rp_tree::{ClientId, NodeId};
+use rp_tree::NodeId;
 
 use crate::heuristics::state::HeuristicState;
 use crate::problem::ProblemInstance;
@@ -19,13 +19,19 @@ use crate::solution::Placement;
 /// and adds a replica on each highest node that still sees unserved
 /// requests, again affecting whole clients.
 pub fn utd(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
+    utd_on(&mut state);
+    state.into_solution()
+}
+
+pub(crate) fn utd_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
 
     // First pass: depth-first preorder, exhausted nodes become servers.
     // (With QoS bounds, only the requests that may legally be served at
     // the node count towards exhausting it.)
-    for node in tree.dfs_preorder_nodes() {
+    for &node in tree.dfs_preorder_nodes() {
         let inreq = state.eligible_inreq(node);
         if inreq > 0 && inreq >= problem.capacity(node) {
             state.add_replica(node);
@@ -35,8 +41,8 @@ pub fn utd(problem: &ProblemInstance) -> Option<Placement> {
 
     // Second pass: for each root-most node that still sees pending
     // requests and has no replica, add one.
-    utd_second_pass(problem, &mut state, tree.root());
-    state.into_solution()
+    utd_second_pass(problem, state, tree.root());
+    state.all_served()
 }
 
 fn utd_second_pass(problem: &ProblemInstance, state: &mut HeuristicState<'_>, node: NodeId) {
@@ -62,26 +68,42 @@ fn utd_second_pass(problem: &ProblemInstance, state: &mut HeuristicState<'_>, no
 /// of its requests (a best-fit rule). The heuristic fails as soon as
 /// some client fits nowhere.
 pub fn ubcf(problem: &ProblemInstance) -> Option<Placement> {
-    let tree = problem.tree();
     let mut state = HeuristicState::new(problem);
-    // Remaining capacity per node (capacities shrink as clients are placed).
-    let mut capacity_left: Vec<u64> = tree.node_ids().map(|n| problem.capacity(n)).collect();
+    if ubcf_on(&mut state) {
+        state.into_solution()
+    } else {
+        None
+    }
+}
 
-    let mut clients: Vec<ClientId> = tree
-        .client_ids()
-        .filter(|&c| problem.requests(c) > 0)
-        .collect();
-    clients.sort_by_key(|&c| std::cmp::Reverse(problem.requests(c)));
+pub(crate) fn ubcf_on(state: &mut HeuristicState<'_>) -> bool {
+    let problem = state.problem();
+    let tree = problem.tree();
+    // Remaining capacity per node (capacities shrink as clients are
+    // placed), in the state's reusable per-node scratch.
+    let mut capacity_left = std::mem::take(&mut state.scratch_node_u64);
+    capacity_left.clear();
+    capacity_left.extend(tree.node_ids().map(|n| problem.capacity(n)));
 
-    for client in clients {
+    let mut clients = std::mem::take(&mut state.scratch_clients);
+    clients.clear();
+    clients.extend(tree.client_ids().filter(|&c| problem.requests(c) > 0));
+    // Tie-break by client id: the list starts in id order, so this
+    // reproduces what a stable sort would do while staying in place.
+    clients.sort_unstable_by_key(|&c| (std::cmp::Reverse(problem.requests(c)), c));
+
+    let mut solved = true;
+    for &client in &clients {
         let requests = problem.requests(client);
         let best = problem
             .eligible_servers(client)
-            .into_iter()
             .filter(|&a| capacity_left[a.index()] >= requests)
             .min_by_key(|&a| capacity_left[a.index()]);
         match best {
-            None => return None,
+            None => {
+                solved = false;
+                break;
+            }
             Some(server) => {
                 capacity_left[server.index()] -= requests;
                 state.add_replica(server);
@@ -89,7 +111,9 @@ pub fn ubcf(problem: &ProblemInstance) -> Option<Placement> {
             }
         }
     }
-    state.into_solution()
+    state.scratch_node_u64 = capacity_left;
+    state.scratch_clients = clients;
+    solved && state.all_served()
 }
 
 #[cfg(test)]
@@ -208,11 +232,7 @@ mod tests {
         b.add_client(a);
         b.add_client(c);
         b.add_client(root);
-        let p = ProblemInstance::replica_cost(
-            b.build().unwrap(),
-            vec![3, 2, 4, 1],
-            vec![6, 5, 4],
-        );
+        let p = ProblemInstance::replica_cost(b.build().unwrap(), vec![3, 2, 4, 1], vec![6, 5, 4]);
         let optimum = optimal_cost(&p, Policy::Upwards).unwrap();
         for heuristic in [utd, ubcf] {
             if let Some(placement) = heuristic(&p) {

@@ -213,22 +213,12 @@ pub fn build_model(
                 match next {
                     Some(next_var) => {
                         expr.add_term(-1.0, next_var);
-                        model.add_constraint(
-                            format!("flow_{client}_{link}"),
-                            expr,
-                            Cmp::Eq,
-                            0.0,
-                        );
+                        model.add_constraint(format!("flow_{client}_{link}"), expr, Cmp::Eq, 0.0);
                     }
                     None => {
                         // Topmost link: whatever crosses it must be served
                         // by the root.
-                        model.add_constraint(
-                            format!("flow_{client}_{link}"),
-                            expr,
-                            Cmp::Eq,
-                            0.0,
-                        );
+                        model.add_constraint(format!("flow_{client}_{link}"), expr, Cmp::Eq, 0.0);
                     }
                 }
             }
@@ -239,8 +229,7 @@ pub fn build_model(
                 if let Some(bw) = problem.bandwidth(link) {
                     let mut expr = LinExpr::new();
                     for client in tree.client_ids() {
-                        if let Some(&(_, var)) =
-                            z[client.index()].iter().find(|(l, _)| *l == link)
+                        if let Some(&(_, var)) = z[client.index()].iter().find(|(l, _)| *l == link)
                         {
                             let coeff = match policy {
                                 Policy::Closest | Policy::Upwards => {
@@ -252,12 +241,7 @@ pub fn build_model(
                         }
                     }
                     if !expr.is_empty() {
-                        model.add_constraint(
-                            format!("bandwidth_{link}"),
-                            expr,
-                            Cmp::Le,
-                            bw as f64,
-                        );
+                        model.add_constraint(format!("bandwidth_{link}"), expr, Cmp::Le, bw as f64);
                     }
                 }
             }
@@ -278,13 +262,12 @@ pub fn build_model(
                     continue;
                 }
                 let blocking_link = LinkId::Node(server);
-                for other in tree.subtree_clients(server) {
+                for &other in tree.subtree_clients(server) {
                     if other == client || problem.requests(other) == 0 {
                         continue;
                     }
-                    if let Some(&(_, z_var)) = z[other.index()]
-                        .iter()
-                        .find(|(l, _)| *l == blocking_link)
+                    if let Some(&(_, z_var)) =
+                        z[other.index()].iter().find(|(l, _)| *l == blocking_link)
                     {
                         let expr = LinExpr::var(y_var).plus(1.0, z_var);
                         model.add_constraint(

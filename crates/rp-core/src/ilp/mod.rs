@@ -68,8 +68,15 @@ pub fn solve_exact_ilp_with(
     match outcome.status {
         Status::Infeasible => IlpOutcome::Infeasible,
         Status::Optimal => {
-            let incumbent = outcome.incumbent.expect("optimal status implies an incumbent");
-            IlpOutcome::Optimal(extract_placement(problem, policy, &formulation, &incumbent.values))
+            let incumbent = outcome
+                .incumbent
+                .expect("optimal status implies an incumbent");
+            IlpOutcome::Optimal(extract_placement(
+                problem,
+                policy,
+                &formulation,
+                &incumbent.values,
+            ))
         }
         _ => IlpOutcome::NodeLimit(
             outcome

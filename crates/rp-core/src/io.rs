@@ -99,7 +99,12 @@ pub fn parse_problem(input: &str) -> Result<ProblemInstance, TreeError> {
             kind = match line.as_str() {
                 "kind counting" => ProblemKind::ReplicaCounting,
                 "kind cost" => ProblemKind::ReplicaCost,
-                _ => return Err(parse_err(line_no, "expected `kind counting` or `kind cost`")),
+                _ => {
+                    return Err(parse_err(
+                        line_no,
+                        "expected `kind counting` or `kind cost`",
+                    ))
+                }
             };
             saw_kind = true;
             continue;
@@ -211,8 +216,11 @@ fn parse_attributes<'a>(
     tokens: &[&'a str],
     line_no: usize,
 ) -> Result<Vec<(&'a str, u64)>, TreeError> {
-    if tokens.len() % 2 != 0 {
-        return Err(parse_err(line_no, "attributes must come in `key value` pairs"));
+    if !tokens.len().is_multiple_of(2) {
+        return Err(parse_err(
+            line_no,
+            "attributes must come in `key value` pairs",
+        ));
     }
     let mut out = Vec::with_capacity(tokens.len() / 2);
     for pair in tokens.chunks(2) {
@@ -315,13 +323,15 @@ mod tests {
 
     #[test]
     fn missing_attributes_are_reported() {
-        let no_requests = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+        let no_requests =
+            "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
                            node 0 capacity 5\n";
         assert!(parse_problem(no_requests)
             .unwrap_err()
             .to_string()
             .contains("no `requests`"));
-        let no_capacity = "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
+        let no_capacity =
+            "problem v1\nkind cost\ntree v1\nnode 0 root\nclient 0 parent 0\nendtree\n\
                            client 0 requests 1\n";
         assert!(parse_problem(no_capacity)
             .unwrap_err()

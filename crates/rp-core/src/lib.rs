@@ -25,6 +25,33 @@
 //! * [`assignment`] — request-assignment procedures for a fixed replica
 //!   set, shared by the solvers above.
 //!
+//! ## Performance model
+//!
+//! The paper's experiments sweep thousands of random trees per load
+//! factor, so the per-tree hot paths are engineered to be
+//! allocation-free in the steady state:
+//!
+//! * **Dense accounting** — [`Placement::server_loads`] and
+//!   [`Placement::link_flows`] return dense `NodeMap` / `LinkMap`
+//!   tables indexed by id, not ordered maps; validation walks them
+//!   linearly. [`Placement::accumulate_server_loads`] adds into a
+//!   caller-provided buffer for zero-allocation aggregation.
+//! * **Reusable heuristic state** — [`heuristics::HeuristicState`] owns
+//!   every buffer a heuristic needs (`remaining`, `inreq`, scratch
+//!   client lists, the top-down FIFO) and exposes
+//!   [`reset`](heuristics::HeuristicState::reset);
+//!   [`Heuristic::run_with`] runs a base heuristic on such a state
+//!   without allocating, and [`mixed_best`] drives all eight heuristics
+//!   over one shared state. Scratch-buffer conventions are documented in
+//!   [`heuristics::HeuristicState`].
+//! * **Iterator traversal** — ancestor walks and path enumerations use
+//!   `rp-tree`'s lazy iterators and O(1) ancestor/distance checks; no
+//!   inner loop materialises a path `Vec`.
+//!
+//! `rp-bench`'s `heuristics_micro` bench and the `baseline` binary
+//! measure both the speedups and the zero-allocation property
+//! (`allocs/heuristic_steady/* == 0` in `BENCH_baseline.json`).
+//!
 //! ```
 //! use rp_core::{Heuristic, Policy, ProblemInstance};
 //! use rp_tree::TreeBuilder;

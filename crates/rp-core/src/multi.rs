@@ -186,13 +186,11 @@ impl MultiPlacement {
 
     /// Combined load (over all objects) on every node.
     pub fn node_loads(&self, problem: &MultiObjectProblem) -> Vec<u64> {
-        let mut loads = vec![0u64; problem.tree().num_nodes()];
+        let mut loads = rp_tree::NodeMap::filled(problem.tree().num_nodes(), 0u64);
         for placement in &self.per_object {
-            for (node, load) in placement.server_loads() {
-                loads[node.index()] += load;
-            }
+            placement.accumulate_server_loads(&mut loads);
         }
-        loads
+        loads.into_vec()
     }
 
     /// Validates the multi-object placement under `policy`:
@@ -276,7 +274,7 @@ pub fn solve_multi_greedy(
     for object in order {
         let single = problem.project(object, residual.clone());
         let placement = options.heuristic.run(&single)?;
-        for (node, load) in placement.server_loads() {
+        for (node, &load) in placement.server_loads(residual.len()).iter() {
             residual[node.index()] -= load;
         }
         per_object[object.index()] = Some(placement);
@@ -316,7 +314,6 @@ pub fn solve_multi_ilp(problem: &MultiObjectProblem) -> Option<MultiPlacement> {
             let requests = problem.requests(object, client) as f64;
             let row: Vec<(NodeId, VarId)> = tree
                 .ancestors_of_client(client)
-                .into_iter()
                 .map(|server| {
                     let var = model.add_int_var(
                         format!("y_{object}_{client}_{server}"),
@@ -371,12 +368,7 @@ pub fn solve_multi_ilp(problem: &MultiObjectProblem) -> Option<MultiPlacement> {
                 -(problem.capacity(node) as f64),
                 x[object.index()][node.index()],
             );
-            model.add_constraint(
-                format!("replica_{object}_{node}"),
-                per_object,
-                Cmp::Le,
-                0.0,
-            );
+            model.add_constraint(format!("replica_{object}_{node}"), per_object, Cmp::Le, 0.0);
         }
         model.add_constraint(
             format!("capacity_{node}"),
@@ -388,7 +380,10 @@ pub fn solve_multi_ilp(problem: &MultiObjectProblem) -> Option<MultiPlacement> {
 
     let outcome = rp_lp::solve_milp(&model);
     let incumbent = outcome.incumbent?;
-    if !matches!(outcome.status, rp_lp::Status::Optimal | rp_lp::Status::NodeLimit) {
+    if !matches!(
+        outcome.status,
+        rp_lp::Status::Optimal | rp_lp::Status::NodeLimit
+    ) {
         return None;
     }
 
@@ -522,12 +517,7 @@ mod tests {
     #[test]
     fn greedy_fails_gracefully_when_an_object_cannot_fit() {
         let tree = small_tree();
-        let p = MultiObjectProblem::new(
-            tree,
-            vec![vec![50, 0, 0]],
-            vec![10, 8],
-            vec![vec![1, 1]],
-        );
+        let p = MultiObjectProblem::new(tree, vec![vec![50, 0, 0]], vec![10, 8], vec![vec![1, 1]]);
         assert!(solve_multi_greedy(&p, &MultiGreedyOptions::default()).is_none());
         assert!(solve_multi_ilp(&p).is_none());
     }

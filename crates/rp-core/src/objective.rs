@@ -73,7 +73,7 @@ pub fn write_cost(problem: &ProblemInstance, placement: &Placement, updates: u64
         return 0;
     }
     let mut below = vec![0usize; tree.num_nodes()];
-    for node in tree.postorder_nodes() {
+    for &node in tree.postorder_nodes() {
         let mut count = usize::from(placement.has_replica(node));
         for &child in tree.child_nodes(node) {
             count += below[child.index()];

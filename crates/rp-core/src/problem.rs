@@ -157,8 +157,15 @@ impl ProblemInstance {
 
     /// `true` when at least one link carries a bandwidth bound.
     pub fn has_bandwidth_limits(&self) -> bool {
-        self.client_link_bandwidth.as_slice().iter().any(|b| b.is_some())
-            || self.node_link_bandwidth.as_slice().iter().any(|b| b.is_some())
+        self.client_link_bandwidth
+            .as_slice()
+            .iter()
+            .any(|b| b.is_some())
+            || self
+                .node_link_bandwidth
+                .as_slice()
+                .iter()
+                .any(|b| b.is_some())
     }
 
     /// Total number of requests issued in `subtree(node)` — the paper's
@@ -166,23 +173,21 @@ impl ProblemInstance {
     pub fn subtree_requests(&self, node: NodeId) -> u64 {
         self.tree
             .subtree_clients(node)
-            .into_iter()
-            .map(|c| self.requests(c))
+            .iter()
+            .map(|&c| self.requests(c))
             .sum()
     }
 
     /// Candidate servers for `client` under *any* policy: the nodes on
     /// its path to the root, filtered by the client's QoS bound when one
-    /// is present.
-    pub fn eligible_servers(&self, client: ClientId) -> Vec<NodeId> {
-        let ancestors = self.tree.ancestors_of_client(client);
-        match self.qos(client) {
-            None => ancestors,
-            Some(q) => ancestors
-                .into_iter()
-                .take(q as usize)
-                .collect(),
-        }
+    /// is present. Lazy and allocation-free; collect it if a `Vec` is
+    /// genuinely needed.
+    pub fn eligible_servers(&self, client: ClientId) -> impl Iterator<Item = NodeId> + '_ {
+        let limit = match self.qos(client) {
+            None => usize::MAX,
+            Some(q) => q as usize,
+        };
+        self.tree.ancestors_of_client(client).take(limit)
     }
 
     /// The homogeneous capacity `W`, if the instance is homogeneous.
@@ -388,11 +393,11 @@ mod tests {
         let clients: Vec<_> = p.tree().client_ids().collect();
         let nodes: Vec<_> = p.tree().node_ids().collect();
         // c0 with q=1 may only use its parent n1.
-        assert_eq!(p.eligible_servers(clients[0]), vec![nodes[1]]);
+        assert!(p.eligible_servers(clients[0]).eq([nodes[1]]));
         // c1 without QoS may use n1 and the root.
-        assert_eq!(p.eligible_servers(clients[1]), vec![nodes[1], nodes[0]]);
+        assert!(p.eligible_servers(clients[1]).eq([nodes[1], nodes[0]]));
         // c2 hangs off the root: q=1 still allows the root.
-        assert_eq!(p.eligible_servers(clients[2]), vec![nodes[0]]);
+        assert!(p.eligible_servers(clients[2]).eq([nodes[0]]));
         assert!(p.has_qos());
     }
 

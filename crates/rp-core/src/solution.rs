@@ -7,10 +7,9 @@
 //! coverage, path eligibility, the single-server / closest-server rules,
 //! server capacities, QoS bounds and link bandwidths.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
-use rp_tree::{ClientId, LinkId, NodeId};
+use rp_tree::{ClientId, LinkId, LinkMap, NodeId, NodeMap};
 
 use crate::policy::Policy;
 use crate::problem::ProblemInstance;
@@ -40,6 +39,16 @@ impl Placement {
         Placement {
             replicas: Vec::new(),
             assignments: vec![Vec::new(); num_clients],
+        }
+    }
+
+    /// Empties the placement (no replicas, no assignments) while keeping
+    /// every buffer's capacity, so a solver can rebuild into it without
+    /// reallocating. The client count is preserved.
+    pub fn clear(&mut self) {
+        self.replicas.clear();
+        for list in &mut self.assignments {
+            list.clear();
         }
     }
 
@@ -100,26 +109,37 @@ impl Placement {
         }
     }
 
-    /// Total load (requests served) of every replica.
-    pub fn server_loads(&self) -> BTreeMap<NodeId, u64> {
-        let mut loads: BTreeMap<NodeId, u64> = self.replicas.iter().map(|&n| (n, 0)).collect();
-        for list in &self.assignments {
-            for a in list {
-                *loads.entry(a.server).or_insert(0) += a.amount;
-            }
-        }
+    /// Total load (requests served) of every node, as a dense map over
+    /// all `num_nodes` internal nodes (nodes without a replica or an
+    /// assignment report load 0).
+    pub fn server_loads(&self, num_nodes: usize) -> NodeMap<u64> {
+        let mut loads: NodeMap<u64> = NodeMap::filled(num_nodes, 0);
+        self.accumulate_server_loads(&mut loads);
         loads
     }
 
-    /// Flow of requests through every link implied by the assignment.
-    pub fn link_flows(&self, problem: &ProblemInstance) -> BTreeMap<LinkId, u64> {
+    /// Adds this placement's per-server loads into a caller-provided
+    /// dense buffer (zero allocations; used by the validation and
+    /// multi-object hot paths).
+    pub fn accumulate_server_loads(&self, loads: &mut NodeMap<u64>) {
+        for list in &self.assignments {
+            for a in list {
+                loads[a.server] += a.amount;
+            }
+        }
+    }
+
+    /// Flow of requests through every link implied by the assignment, as
+    /// a dense map over all links (unused links report flow 0).
+    pub fn link_flows(&self, problem: &ProblemInstance) -> LinkMap<u64> {
         let tree = problem.tree();
-        let mut flows: BTreeMap<LinkId, u64> = BTreeMap::new();
+        let mut flows: LinkMap<u64> =
+            LinkMap::filled(tree.num_clients(), tree.num_nodes(), tree.root().index(), 0);
         for client in tree.client_ids() {
             for a in self.assignments(client) {
                 if let Some(links) = tree.client_path_links(client, a.server) {
                     for link in links {
-                        *flows.entry(link).or_insert(0) += a.amount;
+                        flows[link] += a.amount;
                     }
                 }
             }
@@ -129,10 +149,7 @@ impl Placement {
 
     /// Total storage cost `Σ s_j` of the replica set.
     pub fn cost(&self, problem: &ProblemInstance) -> u64 {
-        self.replicas
-            .iter()
-            .map(|&n| problem.storage_cost(n))
-            .sum()
+        self.replicas.iter().map(|&n| problem.storage_cost(n)).sum()
     }
 
     /// Validates the placement against `problem` under `policy`.
@@ -214,7 +231,7 @@ impl Placement {
         }
 
         // Server capacities.
-        for (server, load) in self.server_loads() {
+        for (server, &load) in self.server_loads(tree.num_nodes()).iter() {
             let capacity = problem.capacity(server);
             if load > capacity {
                 violations.push(Violation::CapacityExceeded {
@@ -227,10 +244,14 @@ impl Placement {
 
         // Link bandwidths.
         if problem.has_bandwidth_limits() {
-            for (link, flow) in self.link_flows(problem) {
+            for (link, &flow) in self.link_flows(problem).iter() {
                 if let Some(bw) = problem.bandwidth(link) {
                     if flow > bw {
-                        violations.push(Violation::BandwidthExceeded { link, flow, bandwidth: bw });
+                        violations.push(Violation::BandwidthExceeded {
+                            link,
+                            flow,
+                            bandwidth: bw,
+                        });
                     }
                 }
             }
@@ -333,7 +354,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::WrongClientCount { expected, actual } => {
-                write!(f, "placement covers {actual} clients, problem has {expected}")
+                write!(
+                    f,
+                    "placement covers {actual} clients, problem has {expected}"
+                )
             }
             Violation::RequestsNotCovered {
                 client,
@@ -352,7 +376,10 @@ impl fmt::Display for Violation {
                 write!(f, "client {client} served by {server} which has no replica")
             }
             Violation::ServerOffPath { client, server } => {
-                write!(f, "client {client} served by {server} which is not on its path to the root")
+                write!(
+                    f,
+                    "client {client} served by {server} which is not on its path to the root"
+                )
             }
             Violation::NotClosestReplica {
                 client,
@@ -453,13 +480,8 @@ mod tests {
     fn valid_closest_placement_passes_all_policies() {
         let (p, n, _) = sample();
         // Replica at n1 serves c0+c1 (8 <= 10); replica at root serves c2.
-        let placement = full_single_server_placement(&p, |c| {
-            if c.index() == 2 {
-                n[0]
-            } else {
-                n[1]
-            }
-        });
+        let placement =
+            full_single_server_placement(&p, |c| if c.index() == 2 { n[0] } else { n[1] });
         for policy in Policy::ALL {
             assert!(placement.is_valid(&p, policy), "policy {policy}");
         }
@@ -501,10 +523,9 @@ mod tests {
         assert!(placement.is_valid(&p, Policy::Multiple));
         for policy in [Policy::Closest, Policy::Upwards] {
             let err = placement.validate(&p, policy).unwrap_err();
-            assert!(err.iter().any(|v| matches!(
-                v,
-                Violation::MultipleServersUnderSingleServerPolicy { .. }
-            )));
+            assert!(err
+                .iter()
+                .any(|v| matches!(v, Violation::MultipleServersUnderSingleServerPolicy { .. })));
         }
     }
 
@@ -530,15 +551,16 @@ mod tests {
         // impossible (not on path) — instead overload the root with all 10.
         let placement = full_single_server_placement(&p, |_| n[0]);
         // Root load is 3 + 5 + 2 = 10 <= 10 => fine. Shrink capacity to 9.
-        let p_small = ProblemInstance::replica_cost(
-            p.tree_arc(),
-            vec![3, 5, 2],
-            vec![9, 10],
-        );
+        let p_small = ProblemInstance::replica_cost(p.tree_arc(), vec![3, 5, 2], vec![9, 10]);
         let err = placement.validate(&p_small, Policy::Upwards).unwrap_err();
-        assert!(err
-            .iter()
-            .any(|v| matches!(v, Violation::CapacityExceeded { load: 10, capacity: 9, .. })));
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::CapacityExceeded {
+                load: 10,
+                capacity: 9,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -571,7 +593,11 @@ mod tests {
         let err = placement.validate(&p, Policy::Upwards).unwrap_err();
         assert!(err.iter().any(|v| matches!(
             v,
-            Violation::QosExceeded { distance: 2, bound: 1, .. }
+            Violation::QosExceeded {
+                distance: 2,
+                bound: 1,
+                ..
+            }
         )));
     }
 
@@ -589,7 +615,11 @@ mod tests {
         let err = placement.validate(&p, Policy::Upwards).unwrap_err();
         assert!(err.iter().any(|v| matches!(
             v,
-            Violation::BandwidthExceeded { flow: 8, bandwidth: 4, .. }
+            Violation::BandwidthExceeded {
+                flow: 8,
+                bandwidth: 4,
+                ..
+            }
         )));
     }
 
@@ -603,13 +633,16 @@ mod tests {
         placement.assign(c[1], n[1], 2);
         placement.assign(c[1], n[0], 3);
         placement.assign(c[2], n[0], 2);
-        let loads = placement.server_loads();
-        assert_eq!(loads[&n[1]], 5);
-        assert_eq!(loads[&n[0]], 5);
+        let loads = placement.server_loads(p.tree().num_nodes());
+        assert_eq!(loads[n[1]], 5);
+        assert_eq!(loads[n[0]], 5);
         let flows = placement.link_flows(&p);
-        assert_eq!(flows[&LinkId::Client(c[1])], 5);
+        assert_eq!(flows[LinkId::Client(c[1])], 5);
         // Only c1's 3 root-bound requests cross the n1 -> root link.
-        assert_eq!(flows[&LinkId::Node(n[1])], 3);
+        assert_eq!(flows[LinkId::Node(n[1])], 3);
+        // The dense maps enumerate every link/server exactly once.
+        assert_eq!(flows.iter().count(), p.tree().num_links());
+        assert_eq!(loads.iter().count(), p.tree().num_nodes());
     }
 
     #[test]

@@ -21,10 +21,7 @@ use crate::runner::{generate_trial_problem, run_sweep, ExperimentConfig, SweepRe
 
 /// Best cost achieved by a set of heuristics on one trial, if any.
 fn best_cost(trial: &TrialResult, heuristics: &[Heuristic]) -> Option<u64> {
-    heuristics
-        .iter()
-        .filter_map(|&h| trial.cost_of(h))
-        .min()
+    heuristics.iter().filter_map(|&h| trial.cost_of(h)).min()
 }
 
 /// Relative cost of "the best heuristic of a family" per λ, mirroring the
@@ -113,8 +110,8 @@ pub fn bound_tightness_ablation(config: &ExperimentConfig, trees: usize) -> Seri
         let mut count = 0usize;
         for tree_index in 0..trees {
             let problem = generate_trial_problem(config, lambda, tree_index);
-            let rational = lower_bound(&problem, BoundKind::Rational)
-                .map(|b| integral_lower_bound(b) as f64);
+            let rational =
+                lower_bound(&problem, BoundKind::Rational).map(|b| integral_lower_bound(b) as f64);
             let mixed =
                 lower_bound(&problem, BoundKind::Mixed).map(|b| integral_lower_bound(b) as f64);
             if let (Some(rational), Some(mixed)) = (rational, mixed) {
@@ -153,7 +150,10 @@ pub fn tree_shape_ablation(base: &ExperimentConfig, lambda: f64) -> SeriesTable 
     use rp_workloads::tree_gen::TreeShape;
     let shapes: [(&str, TreeShape); 4] = [
         ("random_attachment", TreeShape::RandomAttachment),
-        ("bounded_degree_3", TreeShape::BoundedDegree { max_children: 3 }),
+        (
+            "bounded_degree_3",
+            TreeShape::BoundedDegree { max_children: 3 },
+        ),
         ("linear", TreeShape::Linear),
         ("balanced_binary", TreeShape::Balanced { arity: 2 }),
     ];
@@ -222,7 +222,10 @@ mod tests {
                 continue;
             }
             let ratio: f64 = row[4].parse().unwrap();
-            assert!(ratio <= 1.0 + 1e-9, "rational bound tighter than mixed? {row:?}");
+            assert!(
+                ratio <= 1.0 + 1e-9,
+                "rational bound tighter than mixed? {row:?}"
+            );
             assert!(ratio > 0.0);
         }
     }

@@ -56,7 +56,9 @@ impl FigureId {
     /// Human-readable title (matches the paper's captions).
     pub fn title(self) -> &'static str {
         match self {
-            FigureId::Fig9HomogeneousSuccess => "Figure 9: Homogeneous case - Percentage of success",
+            FigureId::Fig9HomogeneousSuccess => {
+                "Figure 9: Homogeneous case - Percentage of success"
+            }
             FigureId::Fig10HomogeneousCost => "Figure 10: Homogeneous case - Relative cost",
             FigureId::Fig11HeterogeneousSuccess => {
                 "Figure 11: Heterogeneous case - Percentage of success"

@@ -109,7 +109,11 @@ impl LambdaBatch {
         if self.trials.is_empty() {
             return 0.0;
         }
-        self.trials.iter().map(|t| t.problem_size as f64).sum::<f64>() / self.trials.len() as f64
+        self.trials
+            .iter()
+            .map(|t| t.problem_size as f64)
+            .sum::<f64>()
+            / self.trials.len() as f64
     }
 
     /// Total wall-clock seconds spent on this batch.

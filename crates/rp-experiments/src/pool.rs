@@ -77,7 +77,6 @@ mod tests {
         let items: Vec<u32> = (0..500).collect();
         let results = parallel_map(&items, 8, |_| {
             counter.fetch_add(1, Ordering::Relaxed);
-            
         });
         assert_eq!(results.len(), 500);
         assert_eq!(counter.load(Ordering::Relaxed), 500);

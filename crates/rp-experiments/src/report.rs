@@ -65,7 +65,10 @@ fn csv_row(fields: &[String]) -> String {
 }
 
 fn heuristic_columns(heuristics: &[Heuristic]) -> Vec<String> {
-    heuristics.iter().map(|h| h.full_name().to_string()).collect()
+    heuristics
+        .iter()
+        .map(|h| h.full_name().to_string())
+        .collect()
 }
 
 /// The "percentage of success" table (Figures 9 and 11): one row per λ,

@@ -14,7 +14,7 @@
 //! optimal integer objective.
 
 use crate::model::{Model, Sense, VarId};
-use crate::simplex::{solve_lp_with, SimplexOptions};
+use crate::simplex::{solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 use crate::solution::{Solution, Status};
 
 /// Options for the branch-and-bound search.
@@ -99,6 +99,13 @@ pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutco
     let mut stack: Vec<NodeBounds> = vec![NodeBounds { overrides: vec![] }];
     let mut incumbent: Option<Solution> = None;
     let mut explored = 0usize;
+    // One scratch model for the whole search: each node applies its
+    // bound overrides, solves, and restores — no per-node clone. The
+    // simplex workspace is likewise shared, so after the root solve the
+    // per-node work is allocation-free up to the returned solution.
+    let mut scratch = model.clone();
+    let mut workspace = SimplexWorkspace::new();
+    let mut saved_bounds: Vec<(VarId, f64, Option<f64>)> = Vec::new();
     // Relaxation values of *open* (pruned-by-limit) and explored leaves;
     // the global bound is the weakest relaxation among nodes that were
     // never fathomed by bound. We track it as the min (for minimisation)
@@ -119,23 +126,29 @@ pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutco
         }
         explored += 1;
 
-        // Apply bound overrides on a scratch copy of the model.
-        let mut scratch = model.clone();
-        let mut conflict = false;
-        for &(var, lower, upper) in &node.overrides {
-            if let Some(ub) = upper {
-                if ub < lower - 1e-12 {
-                    conflict = true;
-                    break;
-                }
-            }
-            scratch.set_bounds(var, lower, upper);
-        }
+        // Apply the node's bound overrides on the shared scratch model,
+        // remembering the previous bounds for restoration.
+        let conflict = node
+            .overrides
+            .iter()
+            .any(|&(_, lower, upper)| matches!(upper, Some(ub) if ub < lower - 1e-12));
         if conflict {
             continue;
         }
+        saved_bounds.clear();
+        for &(var, lower, upper) in &node.overrides {
+            let previous = scratch.variable(var);
+            saved_bounds.push((var, previous.lower, previous.upper));
+            scratch.set_bounds(var, lower, upper);
+        }
 
-        let relaxation = solve_lp_with(&scratch, &options.simplex);
+        let relaxation = solve_lp_reusing(&scratch, &options.simplex, &mut workspace);
+
+        // Restore in reverse, so repeated overrides of one variable
+        // unwind correctly.
+        for &(var, lower, upper) in saved_bounds.iter().rev() {
+            scratch.set_bounds(var, lower, upper);
+        }
         match relaxation.status {
             Status::Infeasible => continue,
             Status::Unbounded => {
@@ -253,7 +266,9 @@ pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutco
     // relaxation observed (or the root relaxation).
     let bound = if node_limit_hit {
         open_bound.or(root_relaxation)
-    } else { incumbent.as_ref().map(|inc| inc.objective) };
+    } else {
+        incumbent.as_ref().map(|inc| inc.objective)
+    };
 
     MilpOutcome {
         incumbent,
@@ -381,7 +396,9 @@ mod tests {
         // max_nodes = 1 the search stops after the root node but the
         // reported bound must still be a valid lower bound.
         let mut m = Model::minimize();
-        let vars: Vec<_> = (0..3).map(|i| m.add_binary_var(format!("x{i}"), 1.0)).collect();
+        let vars: Vec<_> = (0..3)
+            .map(|i| m.add_binary_var(format!("x{i}"), 1.0))
+            .collect();
         let edges = [(0, 1), (1, 2), (0, 2)];
         for (i, (a, b)) in edges.iter().enumerate() {
             m.add_constraint(
@@ -404,8 +421,14 @@ mod tests {
         );
         assert_eq!(limited.status, Status::NodeLimit);
         let bound = limited.bound.expect("root relaxation bound");
-        assert!(bound <= 2.0 + 1e-6, "bound {bound} must not exceed the optimum");
-        assert!(bound >= 1.0, "bound {bound} should be at least the trivial bound");
+        assert!(
+            bound <= 2.0 + 1e-6,
+            "bound {bound} must not exceed the optimum"
+        );
+        assert!(
+            bound >= 1.0,
+            "bound {bound} should be at least the trivial bound"
+        );
     }
 
     #[test]

@@ -56,5 +56,5 @@ mod solution;
 
 pub use branch_bound::{solve_milp, solve_milp_with, BranchBoundOptions, MilpOutcome};
 pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
-pub use simplex::{solve_lp, solve_lp_with, SimplexOptions};
+pub use simplex::{solve_lp, solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 pub use solution::{Solution, Status};

@@ -38,8 +38,7 @@ impl ConstraintId {
 }
 
 /// Whether the objective is minimised or maximised.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Sense {
     /// Minimise the objective (the default for replica cost).
     #[default]
@@ -189,7 +188,6 @@ pub struct Model {
     pub(crate) constraints: Vec<Constraint>,
     pub(crate) sense: Sense,
 }
-
 
 impl Model {
     /// Creates an empty minimisation model.

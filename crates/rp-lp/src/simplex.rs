@@ -18,6 +18,16 @@
 //! This is `O(m·n)` memory and `O(m·n)` work per pivot — ample for the
 //! replica-placement formulations used by the experiment harness, and
 //! entirely dependency-free.
+//!
+//! # Buffer reuse
+//!
+//! The tableau is stored row-major in one flat `Vec<f64>` inside a
+//! [`SimplexWorkspace`]. A workspace can be handed to
+//! [`solve_lp_reusing`] across many solves (branch-and-bound does this
+//! for every node), in which case the matrix and all per-phase vectors
+//! keep their capacity: after the first solve of a given shape, building
+//! and solving a tableau performs no heap allocation beyond the returned
+//! [`Solution`]'s value vector.
 
 use crate::model::{Cmp, Model, Sense};
 use crate::solution::{Solution, Status};
@@ -52,7 +62,19 @@ pub fn solve_lp(model: &Model) -> Solution {
 
 /// Solves the continuous relaxation of `model`.
 pub fn solve_lp_with(model: &Model, options: &SimplexOptions) -> Solution {
-    Tableau::build(model, options).solve(model)
+    let mut workspace = SimplexWorkspace::default();
+    solve_lp_reusing(model, options, &mut workspace)
+}
+
+/// Solves the continuous relaxation of `model`, reusing the buffers of
+/// `workspace`. Repeated solves of same-shaped models (e.g. the nodes of
+/// a branch-and-bound tree) allocate nothing after the first call.
+pub fn solve_lp_reusing(
+    model: &Model,
+    options: &SimplexOptions,
+    workspace: &mut SimplexWorkspace,
+) -> Solution {
+    Tableau::build(model, options, workspace).solve(model)
 }
 
 /// Column classification inside the tableau.
@@ -66,149 +88,179 @@ enum ColKind {
     Artificial,
 }
 
-struct Tableau {
-    /// `rows x (num_cols + 1)`; the last column is the right-hand side.
-    data: Vec<Vec<f64>>,
+/// Reusable buffers for the dense simplex. See [`solve_lp_reusing`].
+#[derive(Default)]
+pub struct SimplexWorkspace {
+    /// `rows x (num_cols + 1)`, row-major; the last column of every row
+    /// is the right-hand side.
+    data: Vec<f64>,
     /// Basis: for each row, the column currently basic in it.
     basis: Vec<usize>,
     /// Kind of every column.
     kinds: Vec<ColKind>,
-    /// Phase-2 cost of every column (structural columns carry the shifted
-    /// objective, slack/surplus are 0, artificials are irrelevant because
-    /// they are barred from entering in phase 2).
+    /// Phase-2 cost of every column.
     costs: Vec<f64>,
-    /// Constant added back to the objective after solving (from the lower
-    /// bound shift and the sense flip).
-    objective_shift: f64,
     /// Lower bounds of the original variables (for unshifting).
     lower_bounds: Vec<f64>,
-    /// `true` when the model maximises (we negate costs internally).
+    /// Per-iteration scratch: reduced costs, basic costs, the pivot row.
+    reduced: Vec<f64>,
+    basic_costs: Vec<f64>,
+    pivot_row: Vec<f64>,
+    phase1_costs: Vec<f64>,
+}
+
+impl SimplexWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        SimplexWorkspace::default()
+    }
+}
+
+struct Tableau<'w> {
+    ws: &'w mut SimplexWorkspace,
+    /// Number of rows.
+    m: usize,
+    /// Number of columns excluding the RHS; row stride is `cols + 1`.
+    cols: usize,
+    /// Constant added back to the objective after solving.
+    objective_shift: f64,
+    /// `true` when the model maximises (costs negated internally).
     maximise: bool,
     options: SimplexOptions,
-    /// Set when the constraint preprocessing already proved infeasibility
-    /// (e.g. a bound row with negative range).
+    /// Set when preprocessing already proved infeasibility.
     trivially_infeasible: bool,
 }
 
-impl Tableau {
-    fn build(model: &Model, options: &SimplexOptions) -> Self {
+impl<'w> Tableau<'w> {
+    fn build(model: &Model, options: &SimplexOptions, ws: &'w mut SimplexWorkspace) -> Self {
         let n = model.num_vars();
         let maximise = model.sense() == Sense::Maximize;
-        let lower_bounds: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+        ws.lower_bounds.clear();
+        ws.lower_bounds
+            .extend(model.variables.iter().map(|v| v.lower));
 
-        // Shifted objective: cost of x'_j is c_j (sign-flipped when
-        // maximising); the constant c^T l is restored afterwards.
-        let mut costs_structural: Vec<f64> = model
-            .variables
-            .iter()
-            .map(|v| if maximise { -v.objective } else { v.objective })
-            .collect();
-        let objective_shift: f64 = model
-            .variables
-            .iter()
-            .map(|v| v.objective * v.lower)
-            .sum();
+        let objective_shift: f64 = model.variables.iter().map(|v| v.objective * v.lower).sum();
 
-        // Collect rows: (terms over structural vars, cmp, rhs) with the
-        // lower-bound shift applied.
-        let mut rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+        // Row census: every constraint plus one bound row per finite
+        // upper bound. The RHS (after the lower-bound shift) decides
+        // whether a slack and/or an artificial column is needed.
         let mut trivially_infeasible = false;
-        for c in &model.constraints {
-            let mut rhs = c.rhs;
-            let mut terms = Vec::with_capacity(c.terms.len());
-            for &(var, coeff) in &c.terms {
-                rhs -= coeff * lower_bounds[var.index()];
-                terms.push((var.index(), coeff));
+        let num_bound_rows = model.variables.iter().filter(|v| v.upper.is_some()).count();
+        let m = model.constraints.len() + num_bound_rows;
+
+        let shifted_rhs = |terms: &[(crate::model::VarId, f64)], rhs: f64| -> f64 {
+            let mut shifted = rhs;
+            for &(var, coeff) in terms {
+                shifted -= coeff * ws.lower_bounds[var.index()];
             }
-            rows.push((terms, c.cmp, rhs));
+            shifted
+        };
+
+        let mut num_slack = 0usize;
+        let mut num_art = 0usize;
+        let mut census = |cmp: Cmp, rhs: f64| match effective_cmp(cmp, rhs < 0.0) {
+            Cmp::Le => num_slack += 1,
+            Cmp::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Cmp::Eq => num_art += 1,
+        };
+        for c in &model.constraints {
+            census(c.cmp, shifted_rhs(&c.terms, c.rhs));
         }
-        // Upper bounds become x'_j <= u_j - l_j.
-        for (j, v) in model.variables.iter().enumerate() {
+        for v in &model.variables {
             if let Some(ub) = v.upper {
                 let range = ub - v.lower;
                 if range < 0.0 {
                     trivially_infeasible = true;
                 }
-                rows.push((vec![(j, 1.0)], Cmp::Le, range));
+                census(Cmp::Le, range);
             }
         }
 
-        let m = rows.len();
-        // Column layout: structural | slack/surplus | artificial | rhs.
-        let mut kinds: Vec<ColKind> = (0..n).map(ColKind::Structural).collect();
-        let mut costs: Vec<f64> = std::mem::take(&mut costs_structural);
-
-        // First pass: count slack and artificial columns.
-        let mut num_slack = 0usize;
-        let mut num_art = 0usize;
-        for (_, cmp, rhs) in &rows {
-            let rhs_negative = *rhs < 0.0;
-            let effective = effective_cmp(*cmp, rhs_negative);
-            match effective {
-                Cmp::Le => num_slack += 1,
-                Cmp::Ge => {
-                    num_slack += 1;
-                    num_art += 1;
-                }
-                Cmp::Eq => num_art += 1,
+        let cols = n + num_slack + num_art;
+        let stride = cols + 1;
+        ws.data.clear();
+        ws.data.resize(m * stride, 0.0);
+        ws.basis.clear();
+        ws.basis.resize(m, usize::MAX);
+        ws.kinds.clear();
+        ws.kinds.extend((0..n).map(ColKind::Structural));
+        ws.kinds
+            .extend(std::iter::repeat_n(ColKind::Slack, num_slack));
+        ws.kinds
+            .extend(std::iter::repeat_n(ColKind::Artificial, num_art));
+        ws.costs.clear();
+        ws.costs.extend(model.variables.iter().map(|v| {
+            if maximise {
+                -v.objective
+            } else {
+                v.objective
             }
-        }
-        let total_cols = n + num_slack + num_art;
-        let mut data = vec![vec![0.0; total_cols + 1]; m];
-        let mut basis = vec![usize::MAX; m];
-        kinds.extend(std::iter::repeat_n(ColKind::Slack, num_slack));
-        kinds.extend(std::iter::repeat_n(ColKind::Artificial, num_art));
-        costs.extend(std::iter::repeat_n(0.0, num_slack + num_art));
+        }));
+        ws.costs
+            .extend(std::iter::repeat_n(0.0, num_slack + num_art));
 
+        // Fill pass.
         let mut next_slack = n;
         let mut next_art = n + num_slack;
-        for (i, (terms, cmp, rhs)) in rows.iter().enumerate() {
-            let flip = *rhs < 0.0;
-            let sign = if flip { -1.0 } else { 1.0 };
-            for &(j, coeff) in terms {
-                data[i][j] += sign * coeff;
-            }
-            data[i][total_cols] = sign * rhs;
-            match effective_cmp(*cmp, flip) {
-                Cmp::Le => {
-                    data[i][next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    next_slack += 1;
-                }
-                Cmp::Ge => {
-                    data[i][next_slack] = -1.0;
-                    next_slack += 1;
-                    data[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    next_art += 1;
-                }
-                Cmp::Eq => {
-                    data[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    next_art += 1;
-                }
+        let mut row = 0usize;
+        for c in &model.constraints {
+            let rhs = shifted_rhs(&c.terms, c.rhs);
+            fill_row(
+                &mut ws.data,
+                &mut ws.basis,
+                row,
+                stride,
+                cols,
+                &mut next_slack,
+                &mut next_art,
+                c.terms.iter().map(|&(var, coeff)| (var.index(), coeff)),
+                c.cmp,
+                rhs,
+            );
+            row += 1;
+        }
+        for (j, v) in model.variables.iter().enumerate() {
+            if let Some(ub) = v.upper {
+                let range = ub - v.lower;
+                fill_row(
+                    &mut ws.data,
+                    &mut ws.basis,
+                    row,
+                    stride,
+                    cols,
+                    &mut next_slack,
+                    &mut next_art,
+                    std::iter::once((j, 1.0)),
+                    Cmp::Le,
+                    range,
+                );
+                row += 1;
             }
         }
+        debug_assert_eq!(row, m);
 
         Tableau {
-            data,
-            basis,
-            kinds,
-            costs,
+            ws,
+            m,
+            cols,
             objective_shift,
-            lower_bounds,
             maximise,
             options: *options,
             trivially_infeasible,
         }
     }
 
-    fn num_cols(&self) -> usize {
-        self.kinds.len()
+    #[inline]
+    fn stride(&self) -> usize {
+        self.cols + 1
     }
 
-    fn rhs_col(&self) -> usize {
-        self.kinds.len()
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> f64 {
+        self.ws.data[row * self.stride() + col]
     }
 
     fn solve(mut self, model: &Model) -> Solution {
@@ -218,14 +270,22 @@ impl Tableau {
         let tol = self.options.tolerance;
 
         // ---- Phase 1: minimise the sum of artificial variables. ----
-        let has_artificials = self.kinds.contains(&ColKind::Artificial);
+        let has_artificials = self.ws.kinds.contains(&ColKind::Artificial);
         if has_artificials {
-            let phase1_costs: Vec<f64> = self
-                .kinds
-                .iter()
-                .map(|k| if *k == ColKind::Artificial { 1.0 } else { 0.0 })
-                .collect();
-            match self.run_phase(&phase1_costs, /* allow_artificial_entering = */ true) {
+            let mut phase1_costs = std::mem::take(&mut self.ws.phase1_costs);
+            phase1_costs.clear();
+            phase1_costs.extend(self.ws.kinds.iter().map(|k| {
+                if *k == ColKind::Artificial {
+                    1.0
+                } else {
+                    0.0
+                }
+            }));
+            let outcome =
+                self.run_phase(&phase1_costs, /* allow_artificial_entering = */ true);
+            let phase1_obj = self.objective_of(&phase1_costs);
+            self.ws.phase1_costs = phase1_costs;
+            match outcome {
                 PhaseOutcome::Optimal => {}
                 PhaseOutcome::Unbounded => {
                     // Phase 1 objective is bounded below by 0; this would be
@@ -236,7 +296,6 @@ impl Tableau {
                     return Solution::status_only(Status::IterationLimit);
                 }
             }
-            let phase1_obj = self.objective_of(&phase1_costs);
             if phase1_obj > tol * 10.0 {
                 return Solution::status_only(Status::Infeasible);
             }
@@ -244,21 +303,21 @@ impl Tableau {
         }
 
         // ---- Phase 2: minimise the shifted objective. ----
-        let phase2_costs = self.costs.clone();
-        match self.run_phase(&phase2_costs, /* allow_artificial_entering = */ false) {
+        let phase2_costs = std::mem::take(&mut self.ws.costs);
+        let outcome = self.run_phase(&phase2_costs, /* allow_artificial_entering = */ false);
+        self.ws.costs = phase2_costs;
+        match outcome {
             PhaseOutcome::Optimal => {}
             PhaseOutcome::Unbounded => return Solution::status_only(Status::Unbounded),
-            PhaseOutcome::IterationLimit => {
-                return Solution::status_only(Status::IterationLimit)
-            }
+            PhaseOutcome::IterationLimit => return Solution::status_only(Status::IterationLimit),
         }
 
         // Extract the solution, unshift, restore the sense.
-        let mut values = self.lower_bounds.clone();
-        let rhs_col = self.rhs_col();
-        for (row, &col) in self.basis.iter().enumerate() {
-            if let ColKind::Structural(j) = self.kinds[col] {
-                values[j] += self.data[row][rhs_col].max(0.0);
+        let mut values = self.ws.lower_bounds.clone();
+        let rhs_col = self.cols;
+        for (row, &col) in self.ws.basis.iter().enumerate() {
+            if let ColKind::Structural(j) = self.ws.kinds[col] {
+                values[j] += self.at(row, rhs_col).max(0.0);
             }
         }
         let mut objective = model.objective_value(&values);
@@ -277,57 +336,66 @@ impl Tableau {
 
     /// Value of `costs` at the current basic solution.
     fn objective_of(&self, costs: &[f64]) -> f64 {
-        let rhs = self.rhs_col();
-        self.basis
+        let rhs = self.cols;
+        self.ws
+            .basis
             .iter()
             .enumerate()
-            .map(|(row, &col)| costs[col] * self.data[row][rhs])
+            .map(|(row, &col)| costs[col] * self.at(row, rhs))
             .sum()
     }
 
     /// Runs pivots until optimality for the given cost vector.
     fn run_phase(&mut self, costs: &[f64], allow_artificial_entering: bool) -> PhaseOutcome {
         let tol = self.options.tolerance;
-        let m = self.data.len();
-        let n = self.num_cols();
+        let m = self.m;
+        let n = self.cols;
+        let stride = self.stride();
         let max_iter = self
             .options
             .max_iterations
             .unwrap_or_else(|| 200 + 50 * (m + n));
-        let mut reduced = vec![0.0; n];
 
         for iteration in 0..max_iter {
-            // Reduced costs: r_j = c_j - c_B^T (B^-1 A_j).
-            let basic_costs: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
-            for (j, r) in reduced.iter_mut().enumerate() {
-                let mut dot = 0.0;
-                for (row, bc) in basic_costs.iter().enumerate() {
-                    if *bc != 0.0 {
-                        dot += bc * self.data[row][j];
+            // Reduced costs: r_j = c_j - c_B^T (B^-1 A_j), accumulated
+            // row-major so the flat matrix is walked sequentially.
+            let mut reduced = std::mem::take(&mut self.ws.reduced);
+            let mut basic_costs = std::mem::take(&mut self.ws.basic_costs);
+            reduced.clear();
+            reduced.extend_from_slice(&costs[..n]);
+            basic_costs.clear();
+            basic_costs.extend(self.ws.basis.iter().map(|&c| costs[c]));
+            for (row, &bc) in basic_costs.iter().enumerate() {
+                if bc != 0.0 {
+                    let row_data = &self.ws.data[row * stride..row * stride + n];
+                    for (r, &a) in reduced.iter_mut().zip(row_data) {
+                        *r -= bc * a;
                     }
                 }
-                *r = costs[j] - dot;
             }
 
             let use_bland = iteration >= self.options.bland_after;
-            let entering = self.choose_entering(&reduced, tol, use_bland, allow_artificial_entering);
+            let entering =
+                self.choose_entering(&reduced, tol, use_bland, allow_artificial_entering);
+            self.ws.reduced = reduced;
+            self.ws.basic_costs = basic_costs;
             let entering = match entering {
                 Some(j) => j,
                 None => return PhaseOutcome::Optimal,
             };
 
             // Ratio test.
-            let rhs_col = self.rhs_col();
+            let rhs_col = self.cols;
             let mut leaving: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for row in 0..m {
-                let a = self.data[row][entering];
+                let a = self.at(row, entering);
                 if a > tol {
-                    let ratio = self.data[row][rhs_col] / a;
+                    let ratio = self.at(row, rhs_col) / a;
                     let better = ratio < best_ratio - tol
                         || (ratio < best_ratio + tol
                             && leaving
-                                .map(|l| self.basis[row] < self.basis[l])
+                                .map(|l| self.ws.basis[row] < self.ws.basis[l])
                                 .unwrap_or(true));
                     if better {
                         best_ratio = ratio;
@@ -354,7 +422,7 @@ impl Tableau {
     ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (j, &r) in reduced.iter().enumerate() {
-            if !allow_artificial && self.kinds[j] == ColKind::Artificial {
+            if !allow_artificial && self.ws.kinds[j] == ColKind::Artificial {
                 continue;
             }
             if r < -tol {
@@ -371,22 +439,30 @@ impl Tableau {
     }
 
     fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
-        let rhs = self.rhs_col();
-        let pivot_value = self.data[pivot_row][pivot_col];
+        let stride = self.stride();
+        let rhs = self.cols;
+        let base = pivot_row * stride;
+        let pivot_value = self.ws.data[base + pivot_col];
         debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
         let inv = 1.0 / pivot_value;
-        for value in self.data[pivot_row].iter_mut() {
+        for value in &mut self.ws.data[base..base + stride] {
             *value *= inv;
         }
-        let pivot_row_copy = self.data[pivot_row].clone();
-        for (row, row_data) in self.data.iter_mut().enumerate() {
+        // Stash the normalised pivot row in the reusable scratch so the
+        // elimination loop can read it while mutating other rows.
+        let mut pivot_copy = std::mem::take(&mut self.ws.pivot_row);
+        pivot_copy.clear();
+        pivot_copy.extend_from_slice(&self.ws.data[base..base + stride]);
+        for row in 0..self.m {
             if row == pivot_row {
                 continue;
             }
-            let factor = row_data[pivot_col];
+            let row_base = row * stride;
+            let factor = self.ws.data[row_base + pivot_col];
             if factor != 0.0 {
-                for (col, value) in row_data.iter_mut().enumerate() {
-                    *value -= factor * pivot_row_copy[col];
+                let row_data = &mut self.ws.data[row_base..row_base + stride];
+                for (value, &p) in row_data.iter_mut().zip(&pivot_copy) {
+                    *value -= factor * p;
                 }
                 // Clean up numerical dust in the pivot column and RHS.
                 row_data[pivot_col] = 0.0;
@@ -395,7 +471,8 @@ impl Tableau {
                 }
             }
         }
-        self.basis[pivot_row] = pivot_col;
+        self.ws.pivot_row = pivot_copy;
+        self.ws.basis[pivot_row] = pivot_col;
     }
 
     /// After phase 1, replace basic artificial variables (at value 0) by
@@ -403,19 +480,63 @@ impl Tableau {
     /// pivots on them.
     fn drive_out_artificials(&mut self) {
         let tol = self.options.tolerance;
-        for row in 0..self.data.len() {
-            if self.kinds[self.basis[row]] != ColKind::Artificial {
+        for row in 0..self.m {
+            if self.ws.kinds[self.ws.basis[row]] != ColKind::Artificial {
                 continue;
             }
             // Find any non-artificial column with a non-zero entry.
-            let replacement = (0..self.num_cols())
-                .find(|&j| self.kinds[j] != ColKind::Artificial && self.data[row][j].abs() > tol);
+            let replacement = (0..self.cols)
+                .find(|&j| self.ws.kinds[j] != ColKind::Artificial && self.at(row, j).abs() > tol);
             if let Some(col) = replacement {
                 self.pivot(row, col);
             }
             // If none exists the row is redundant; the artificial stays
             // basic at value zero, which is harmless because artificials
             // are barred from entering in phase 2.
+        }
+    }
+}
+
+/// Writes one normalised tableau row: applies the sign flip for negative
+/// right-hand sides and installs the slack / surplus / artificial
+/// columns, recording the initial basic column.
+#[allow(clippy::too_many_arguments)]
+fn fill_row(
+    data: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    stride: usize,
+    cols: usize,
+    next_slack: &mut usize,
+    next_art: &mut usize,
+    terms: impl Iterator<Item = (usize, f64)>,
+    cmp: Cmp,
+    rhs: f64,
+) {
+    let base = row * stride;
+    let flip = rhs < 0.0;
+    let sign = if flip { -1.0 } else { 1.0 };
+    for (j, coeff) in terms {
+        data[base + j] += sign * coeff;
+    }
+    data[base + cols] = sign * rhs;
+    match effective_cmp(cmp, flip) {
+        Cmp::Le => {
+            data[base + *next_slack] = 1.0;
+            basis[row] = *next_slack;
+            *next_slack += 1;
+        }
+        Cmp::Ge => {
+            data[base + *next_slack] = -1.0;
+            *next_slack += 1;
+            data[base + *next_art] = 1.0;
+            basis[row] = *next_art;
+            *next_art += 1;
+        }
+        Cmp::Eq => {
+            data[base + *next_art] = 1.0;
+            basis[row] = *next_art;
+            *next_art += 1;
         }
     }
 }
@@ -481,8 +602,7 @@ mod tests {
 
     #[test]
     fn equality_constraints_are_respected() {
-        // min x + y  s.t. x + 2y = 8, x <= 4  => y >= 2; best x=4,y=2 -> 6...
-        // check: objective x+y with x+2y=8 => x = 8-2y, obj = 8 - y, so
+        // min x + y  s.t. x + 2y = 8, x <= 4: x = 8-2y, obj = 8 - y, so
         // maximise y: y <= 4 (x >= 0). Best y=4, x=0, obj 4.
         let mut m = Model::minimize();
         let x = m.add_var("x", 0.0, Some(4.0), 1.0);
@@ -551,7 +671,7 @@ mod tests {
     #[test]
     fn degenerate_problem_terminates() {
         // A classic cycling-prone instance (Beale's example). Bland's rule
-        // fallback must terminate with the optimum -0.05 (maximisation form:
+        // fallback must terminate with the optimum (maximisation form:
         // max 0.75a - 150b + 0.02c - 6d).
         let mut m = Model::new(Sense::Maximize);
         let a = m.add_var("a", 0.0, None, 0.75);
@@ -628,15 +748,14 @@ mod tests {
         //   s2:   5  4  8
         // Optimal plan: s1 -> c3 (15 @ 1) + c1 (5 @ 2) = 25,
         //               s2 -> c1 (5 @ 5) + c2 (25 @ 4) = 125, total 150.
-        // (Any unit moved from s1's cheap cells to c2 costs a net +2.)
         let mut m = Model::minimize();
         let costs = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
         let caps = [20.0, 30.0];
         let demands = [10.0, 25.0, 15.0];
         let mut vars = vec![vec![]; 2];
-        for s in 0..2 {
-            for c in 0..3 {
-                vars[s].push(m.add_var(format!("x{s}{c}"), 0.0, None, costs[s][c]));
+        for (s, row) in costs.iter().enumerate() {
+            for (c, &cost) in row.iter().enumerate() {
+                vars[s].push(m.add_var(format!("x{s}{c}"), 0.0, None, cost));
             }
         }
         for s in 0..2 {
@@ -681,5 +800,37 @@ mod tests {
         };
         let sol = solve_lp_with(&m, &options);
         assert_eq!(sol.status, Status::IterationLimit);
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        // The same workspace must solve a sequence of differently shaped
+        // models and report the same answers as fresh solves.
+        let mut ws = SimplexWorkspace::new();
+        for trial in 0..3 {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_var("x", 0.0, Some(4.0 + trial as f64), 3.0);
+            let y = m.add_var("y", 0.0, None, 5.0);
+            m.add_constraint("c2", lin_sum([(2.0, y)]), Cmp::Le, 12.0);
+            m.add_constraint("c3", lin_sum([(3.0, x), (2.0, y)]), Cmp::Le, 18.0);
+            let fresh = solve_lp(&m);
+            let reused = solve_lp_reusing(&m, &SimplexOptions::default(), &mut ws);
+            assert_eq!(fresh.status, reused.status);
+            assert_close(fresh.objective, reused.objective);
+        }
+        // An infeasible solve must not poison the workspace.
+        let mut infeasible = Model::minimize();
+        let x = infeasible.add_var("x", 0.0, Some(1.0), 1.0);
+        infeasible.add_constraint("big", LinExpr::var(x), Cmp::Ge, 5.0);
+        assert_eq!(
+            solve_lp_reusing(&infeasible, &SimplexOptions::default(), &mut ws).status,
+            Status::Infeasible
+        );
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 2.0);
+        m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 2.5);
+        let sol = solve_lp_reusing(&m, &SimplexOptions::default(), &mut ws);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 5.0);
     }
 }

@@ -84,7 +84,10 @@ mod tests {
         assert!(Status::Optimal.is_optimal());
         assert!(!Status::Infeasible.is_optimal());
         assert_eq!(Status::Unbounded.to_string(), "unbounded");
-        assert_eq!(Status::IterationLimit.to_string(), "iteration limit reached");
+        assert_eq!(
+            Status::IterationLimit.to_string(),
+            "iteration limit reached"
+        );
         assert_eq!(Status::NodeLimit.to_string(), "node limit reached");
     }
 

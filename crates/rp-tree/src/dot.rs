@@ -79,11 +79,7 @@ where
     }
     for client in tree.client_ids() {
         let label = escape(&client_label(client));
-        let _ = writeln!(
-            out,
-            "  {} [shape=ellipse, label=\"{}\"];",
-            client, label
-        );
+        let _ = writeln!(out, "  {} [shape=ellipse, label=\"{}\"];", client, label);
     }
     // Edges are drawn parent -> child to match the usual depiction of
     // distribution trees (root on top).
@@ -103,7 +99,13 @@ where
 fn sanitize_name(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "tree".to_string()

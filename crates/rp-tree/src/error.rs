@@ -69,7 +69,10 @@ impl fmt::Display for TreeError {
                 write!(f, "node {node} is not reachable from the root")
             }
             TreeError::UnknownClientParent { client, index } => {
-                write!(f, "client {client} references unknown parent node index {index}")
+                write!(
+                    f,
+                    "client {client} references unknown parent node index {index}"
+                )
             }
             TreeError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

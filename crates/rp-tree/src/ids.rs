@@ -160,6 +160,11 @@ impl<T> ClientMap<T> {
     pub fn as_slice(&self) -> &[T] {
         &self.values
     }
+
+    /// Consumes the map, returning the values in client-index order.
+    pub fn into_vec(self) -> Vec<T> {
+        self.values
+    }
 }
 
 impl<T> NodeMap<T> {
@@ -199,6 +204,95 @@ impl<T> NodeMap<T> {
     /// Returns the underlying values in node-index order.
     pub fn as_slice(&self) -> &[T] {
         &self.values
+    }
+
+    /// Consumes the map, returning the values in node-index order.
+    pub fn into_vec(self) -> Vec<T> {
+        self.values
+    }
+}
+
+/// A dense map from [`LinkId`] to values of type `T`.
+///
+/// Links are identified by their lower endpoint, so the map is laid out
+/// as one slot per client link followed by one slot per node, indexed by
+/// the endpoint's dense id. The root's slot is dead weight (the root has
+/// no upwards link) — wasting one `T` buys branch-free O(1) indexing,
+/// which is what the flow-accounting hot paths need.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkMap<T> {
+    values: Vec<T>,
+    num_clients: usize,
+    root: usize,
+}
+
+impl<T> LinkMap<T> {
+    /// Builds a map over a tree with `num_clients` clients, `num_nodes`
+    /// internal nodes and the root at node index `root`, every entry
+    /// initialised to `value`.
+    pub fn filled(num_clients: usize, num_nodes: usize, root: usize, value: T) -> Self
+    where
+        T: Clone,
+    {
+        LinkMap {
+            values: vec![value; num_clients + num_nodes],
+            num_clients,
+            root,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, id: LinkId) -> usize {
+        match id {
+            LinkId::Client(c) => c.index(),
+            LinkId::Node(n) => {
+                debug_assert_ne!(n.index(), self.root, "the root has no upwards link");
+                self.num_clients + n.index()
+            }
+        }
+    }
+
+    /// Number of links covered (client links plus non-root node links).
+    pub fn len(&self) -> usize {
+        let num_nodes = self.values.len() - self.num_clients;
+        self.num_clients + num_nodes.saturating_sub(1)
+    }
+
+    /// Returns `true` when the map covers no links.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(LinkId, &T)` pairs: client links first, then the
+    /// node links (the root is skipped).
+    pub fn iter(&self) -> impl Iterator<Item = (LinkId, &T)> {
+        let clients = self.values[..self.num_clients]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (LinkId::Client(ClientId::from_index(i)), v));
+        let root = self.root;
+        let nodes = self.values[self.num_clients..]
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| *i != root)
+            .map(|(i, v)| (LinkId::Node(NodeId::from_index(i)), v));
+        clients.chain(nodes)
+    }
+}
+
+impl<T> std::ops::Index<LinkId> for LinkMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: LinkId) -> &T {
+        &self.values[self.slot(id)]
+    }
+}
+
+impl<T> std::ops::IndexMut<LinkId> for LinkMap<T> {
+    #[inline]
+    fn index_mut(&mut self, id: LinkId) -> &mut T {
+        let slot = self.slot(id);
+        &mut self.values[slot]
     }
 }
 

@@ -11,6 +11,31 @@
 //! storage costs, QoS bounds and link bandwidths live in `rp-core`'s
 //! problem instances and are keyed by the typed ids defined here.
 //!
+//! ## Performance model
+//!
+//! Trees are immutable arenas, so all traversal-shaped queries are
+//! precomputed at build time and served without allocating:
+//!
+//! * per-node **depth**, **preorder position** and **subtree size**
+//!   arrays make [`TreeNetwork::node_depth`],
+//!   [`TreeNetwork::client_depth`], [`TreeNetwork::client_distance`] and
+//!   [`TreeNetwork::node_is_ancestor_or_self`] O(1);
+//! * [`TreeNetwork::subtree_nodes`] / [`TreeNetwork::subtree_clients`]
+//!   return **slices** of preorder-sorted arenas (a subtree is always
+//!   one contiguous interval);
+//! * [`TreeNetwork::dfs_preorder_nodes`],
+//!   [`TreeNetwork::postorder_nodes`] and [`TreeNetwork::bfs_nodes`]
+//!   return precomputed order slices;
+//! * ancestor and path walks ([`TreeNetwork::ancestors_of_node`],
+//!   [`TreeNetwork::ancestors_of_client`],
+//!   [`TreeNetwork::self_and_ancestors`],
+//!   [`TreeNetwork::client_path_links`]) are lazy, exact-size iterators;
+//!   `*_vec` variants exist where a collected `Vec` is genuinely wanted.
+//!
+//! The extra build-time cost is three linear passes; the payoff is that
+//! the solver inner loops in `rp-core` run allocation-free (verified by
+//! `rp-bench`'s micro-benchmarks and `BENCH_baseline.json`).
+//!
 //! ```
 //! use rp_tree::{TreeBuilder, TreeStats};
 //!
@@ -24,8 +49,9 @@
 //! let tree = b.build().unwrap();
 //!
 //! assert_eq!(tree.problem_size(), 5);
-//! assert_eq!(tree.ancestors_of_client(tree.client_ids().next().unwrap()),
-//!            vec![n1, root]);
+//! let first_client = tree.client_ids().next().unwrap();
+//! // Ancestor walks are lazy, allocation-free iterators.
+//! assert!(tree.ancestors_of_client(first_client).eq([n1, root]));
 //! println!("{}", TreeStats::compute(&tree));
 //! ```
 
@@ -43,7 +69,8 @@ mod traverse;
 mod validate;
 
 pub use error::TreeError;
-pub use ids::{ClientId, ClientMap, LinkId, NodeId, NodeMap};
+pub use ids::{ClientId, ClientMap, LinkId, LinkMap, NodeId, NodeMap};
 pub use stats::TreeStats;
+pub use traverse::{Ancestors, PathLinks};
 pub use tree::{ClientHandle, NodeHandle, TreeBuilder, TreeNetwork};
 pub use validate::validate;

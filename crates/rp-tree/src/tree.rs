@@ -38,11 +38,57 @@ pub(crate) struct ClientData {
 /// Construct one with [`TreeBuilder`]; the builder checks the structural
 /// invariants (single root, acyclic parent pointers, every node reachable
 /// from the root) before handing out a `TreeNetwork`.
+///
+/// # Performance model
+///
+/// Because the tree is immutable, every traversal-shaped quantity is
+/// precomputed once at build time and answered from dense arrays:
+///
+/// * node depths (O(1) [`node_depth`](Self::node_depth) /
+///   [`client_depth`](Self::client_depth));
+/// * preorder positions and subtree sizes, which make
+///   [`node_is_ancestor_or_self`](Self::node_is_ancestor_or_self) an O(1)
+///   interval check and [`subtree_nodes`](Self::subtree_nodes) /
+///   [`subtree_clients`](Self::subtree_clients) zero-allocation slices of
+///   a preorder-sorted arena;
+/// * the preorder / postorder / breadth-first node sequences themselves.
+///
+/// Ancestor walks ([`ancestors_of_node`](Self::ancestors_of_node) and
+/// friends) are lazy iterators over the parent pointers, so none of the
+/// solver inner loops allocate while traversing the tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TreeNetwork {
     pub(crate) nodes: Vec<NodeData>,
     pub(crate) clients: Vec<ClientData>,
     pub(crate) root: NodeId,
+
+    // ---- Derived data, computed once by `finalize` after validation.
+    // All of it is a pure function of the fields above, so the derived
+    // `PartialEq` stays consistent.
+    /// Depth of every internal node (root = 0).
+    pub(crate) depth: Vec<u32>,
+    /// Preorder position of every node: `preorder[tin[n]] == n`.
+    pub(crate) tin: Vec<u32>,
+    /// Number of internal nodes in every node's subtree (self included).
+    /// `subtree(n)` occupies `preorder[tin[n] .. tin[n] + subtree_size[n]]`.
+    pub(crate) subtree_size: Vec<u32>,
+    /// Depth-first preorder over internal nodes.
+    pub(crate) preorder: Vec<NodeId>,
+    /// Post-order over internal nodes (children before parents).
+    pub(crate) postorder: Vec<NodeId>,
+    /// Breadth-first (level) order over internal nodes.
+    pub(crate) bfs: Vec<NodeId>,
+    /// All clients, sorted by the preorder position of their parent
+    /// (stable within a parent), so every subtree's clients form one
+    /// contiguous slice.
+    pub(crate) clients_preorder: Vec<ClientId>,
+    /// Prefix offsets into `clients_preorder`, indexed by preorder
+    /// position (length `num_nodes + 1`): the clients of `subtree(n)` are
+    /// `clients_preorder[client_offset[tin[n]] .. client_offset[tin[n] + subtree_size[n]]]`.
+    pub(crate) client_offset: Vec<u32>,
+    /// Inverse of `clients_preorder`: position of every client in the
+    /// preorder-grouped arena (its deterministic subtree-walk rank).
+    pub(crate) client_rank: Vec<u32>,
 }
 
 impl TreeNetwork {
@@ -325,13 +371,104 @@ impl TreeBuilder {
             }
         }
 
-        let tree = TreeNetwork {
+        let mut tree = TreeNetwork {
             nodes: self.nodes,
             clients: self.clients,
             root,
+            depth: Vec::new(),
+            tin: Vec::new(),
+            subtree_size: Vec::new(),
+            preorder: Vec::new(),
+            postorder: Vec::new(),
+            bfs: Vec::new(),
+            clients_preorder: Vec::new(),
+            client_offset: Vec::new(),
+            client_rank: Vec::new(),
         };
+        // Validation must come first: `finalize` assumes an acyclic,
+        // fully reachable structure.
         crate::validate::validate(&tree)?;
+        tree.finalize();
         Ok(tree)
+    }
+}
+
+impl TreeNetwork {
+    /// Computes the derived traversal data. Called exactly once, after
+    /// structural validation.
+    fn finalize(&mut self) {
+        let n = self.nodes.len();
+        let root = self.root;
+
+        // Preorder, depths and preorder positions in one iterative pass.
+        self.depth = vec![0; n];
+        self.tin = vec![0; n];
+        self.preorder = Vec::with_capacity(n);
+        let mut stack: Vec<NodeId> = vec![root];
+        while let Some(node) = stack.pop() {
+            self.tin[node.index()] = self.preorder.len() as u32;
+            self.preorder.push(node);
+            for &child in self.nodes[node.index()].child_nodes.iter().rev() {
+                self.depth[child.index()] = self.depth[node.index()] + 1;
+                stack.push(child);
+            }
+        }
+        debug_assert_eq!(self.preorder.len(), n);
+
+        // Subtree sizes: in reverse preorder every child is seen before
+        // its parent, so one accumulation pass suffices.
+        self.subtree_size = vec![1; n];
+        for &node in self.preorder.iter().rev() {
+            if let Some(parent) = self.nodes[node.index()].parent {
+                self.subtree_size[parent.index()] += self.subtree_size[node.index()];
+            }
+        }
+
+        // Post-order (children before parents): reuse the classic
+        // two-flag iterative walk.
+        self.postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                self.postorder.push(node);
+            } else {
+                stack.push((node, true));
+                for &child in self.nodes[node.index()].child_nodes.iter().rev() {
+                    stack.push((child, false));
+                }
+            }
+        }
+
+        // Breadth-first order.
+        self.bfs = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(root);
+        while let Some(node) = queue.pop_front() {
+            self.bfs.push(node);
+            for &child in &self.nodes[node.index()].child_nodes {
+                queue.push_back(child);
+            }
+        }
+
+        // Clients grouped by the preorder position of their parent, via a
+        // stable counting sort, plus prefix offsets per preorder slot.
+        let c = self.clients.len();
+        self.client_offset = vec![0u32; n + 1];
+        for client in &self.clients {
+            self.client_offset[self.tin[client.parent.index()] as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.client_offset[i + 1] += self.client_offset[i];
+        }
+        let mut cursor: Vec<u32> = self.client_offset[..n].to_vec();
+        self.clients_preorder = vec![ClientId::from_index(0); c];
+        self.client_rank = vec![0u32; c];
+        for (idx, client) in self.clients.iter().enumerate() {
+            let slot = &mut cursor[self.tin[client.parent.index()] as usize];
+            self.clients_preorder[*slot as usize] = ClientId::from_index(idx);
+            self.client_rank[idx] = *slot;
+            *slot += 1;
+        }
     }
 }
 
@@ -398,10 +535,7 @@ mod tests {
             NodeId::from_index(1)
         );
         // Node links point at the node's parent.
-        assert_eq!(
-            t.link_upper(LinkId::Node(NodeId::from_index(1))),
-            t.root()
-        );
+        assert_eq!(t.link_upper(LinkId::Node(NodeId::from_index(1))), t.root());
         // The root appears in no link lower endpoint.
         assert!(links.iter().all(|l| l.as_node() != Some(t.root())));
     }
@@ -415,7 +549,10 @@ mod tests {
 
     #[test]
     fn empty_builder_is_rejected() {
-        assert_eq!(TreeBuilder::new().build().unwrap_err(), TreeError::EmptyTree);
+        assert_eq!(
+            TreeBuilder::new().build().unwrap_err(),
+            TreeError::EmptyTree
+        );
     }
 
     #[test]

@@ -176,7 +176,8 @@ mod tests {
         // cycle is the only problem detected).
         tree.nodes[a.index()].parent = Some(c);
         match validate(&tree) {
-            Err(TreeError::CycleDetected { .. }) | Err(TreeError::MultipleRoots { .. })
+            Err(TreeError::CycleDetected { .. })
+            | Err(TreeError::MultipleRoots { .. })
             | Err(TreeError::UnreachableNode { .. }) => {}
             other => panic!("expected a structural error, got {other:?}"),
         }

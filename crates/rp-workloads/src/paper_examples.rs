@@ -142,7 +142,10 @@ pub fn figure5(n: u64, w: u64) -> ProblemInstance {
 /// An Upwards solution of cost `m` (every node a replica) exists iff the
 /// integers can be partitioned into `m` triples of sum `B`.
 pub fn figure7(values: &[u64], b_target: u64) -> ProblemInstance {
-    assert!(values.len().is_multiple_of(3), "3-PARTITION needs 3m integers");
+    assert!(
+        values.len().is_multiple_of(3),
+        "3-PARTITION needs 3m integers"
+    );
     let m = values.len() / 3;
     assert!(m >= 1);
     let mut builder = TreeBuilder::new();
@@ -174,7 +177,10 @@ pub fn figure7(values: &[u64], b_target: u64) -> ProblemInstance {
 /// `S/2`.
 pub fn figure8(values: &[u64]) -> ProblemInstance {
     let s: u64 = values.iter().sum();
-    assert!(s.is_multiple_of(2), "2-PARTITION gadget expects an even total");
+    assert!(
+        s.is_multiple_of(2),
+        "2-PARTITION gadget expects an even total"
+    );
     let mut b = TreeBuilder::new();
     let root = b.add_root();
     b.set_node_label(root, "r");
@@ -230,7 +236,7 @@ mod tests {
     fn figure3_multiple_gap() {
         let n = 2;
         let p = figure3(n);
-        assert_eq!(optimal_cost(&p, Policy::Multiple), Some(((n + 1))));
+        assert_eq!(optimal_cost(&p, Policy::Multiple), Some(n + 1));
         assert_eq!(optimal_cost(&p, Policy::Upwards), Some(2 * n));
     }
 

@@ -104,7 +104,9 @@ pub fn generate_problem_with_rng<R: Rng>(
     // allows (each client issues at least one request).
     let num_clients = tree.num_clients();
     let target_total = (config.lambda * total_capacity as f64).round().max(1.0);
-    let weights: Vec<f64> = (0..num_clients).map(|_| rng.gen_range(0.05..=1.0)).collect();
+    let weights: Vec<f64> = (0..num_clients)
+        .map(|_| rng.gen_range(0.05..=1.0))
+        .collect();
     let weight_sum: f64 = weights.iter().sum();
     let mut requests: Vec<u64> = weights
         .iter()

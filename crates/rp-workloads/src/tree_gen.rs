@@ -293,11 +293,7 @@ mod tests {
             shape: TreeShape::Balanced { arity: 2 },
         };
         let tree = generate_tree(&config, 5);
-        let max_node_depth = tree
-            .node_ids()
-            .map(|n| tree.node_depth(n))
-            .max()
-            .unwrap();
+        let max_node_depth = tree.node_ids().map(|n| tree.node_depth(n)).max().unwrap();
         // All clients hang from the deeper part of the tree.
         for client in tree.client_ids() {
             assert!(tree.client_depth(client) >= max_node_depth / 2);

@@ -37,9 +37,30 @@ fn main() {
     // storage only (the paper's objective), read-heavy, write-heavy.
     let updates = 20;
     let weightings = [
-        ("storage only", ObjectiveWeights { storage: 1.0, read: 0.0, write: 0.0 }),
-        ("read-heavy", ObjectiveWeights { storage: 1.0, read: 0.2, write: 0.05 }),
-        ("write-heavy", ObjectiveWeights { storage: 1.0, read: 0.02, write: 1.0 }),
+        (
+            "storage only",
+            ObjectiveWeights {
+                storage: 1.0,
+                read: 0.0,
+                write: 0.0,
+            },
+        ),
+        (
+            "read-heavy",
+            ObjectiveWeights {
+                storage: 1.0,
+                read: 0.2,
+                write: 0.05,
+            },
+        ),
+        (
+            "write-heavy",
+            ObjectiveWeights {
+                storage: 1.0,
+                read: 0.02,
+                write: 1.0,
+            },
+        ),
     ];
 
     println!(
@@ -77,7 +98,10 @@ fn main() {
     println!();
     for ((name, _), winner) in weightings.iter().zip(&best) {
         if let Some((value, heuristic)) = winner {
-            println!("best under `{name}`: {} ({value:.1})", heuristic.full_name());
+            println!(
+                "best under `{name}`: {} ({value:.1})",
+                heuristic.full_name()
+            );
         }
     }
     println!(

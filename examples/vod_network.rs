@@ -74,7 +74,10 @@ fn main() {
 
     // What does each policy cost us? (Cost = provisioned streaming
     // capacity, the paper's s_j = W_j model.)
-    println!("{:<30} {:>10} {:>10} {:>9}", "heuristic", "policy", "cost", "replicas");
+    println!(
+        "{:<30} {:>10} {:>10} {:>9}",
+        "heuristic", "policy", "cost", "replicas"
+    );
     let mut best: Option<(Heuristic, u64)> = None;
     for heuristic in Heuristic::ALL {
         match heuristic.run(&problem) {
@@ -114,8 +117,11 @@ fn main() {
 
     // Show the winning placement in detail.
     if let Some(placement) = Heuristic::MixedBest.run(&problem) {
-        println!("\nMixedBest placement ({} replica sites):", placement.num_replicas());
-        let loads = placement.server_loads();
+        println!(
+            "\nMixedBest placement ({} replica sites):",
+            placement.num_replicas()
+        );
+        let loads = placement.server_loads(problem.tree().num_nodes());
         for &node in placement.replicas() {
             let label = problem
                 .tree()
@@ -125,7 +131,7 @@ fn main() {
             println!(
                 "  {label:<28} capacity {:>6}, serving {:>6} streams",
                 problem.capacity(node),
-                loads.get(&node).copied().unwrap_or(0)
+                loads[node]
             );
         }
     }

@@ -38,9 +38,7 @@ pub use rp_workloads as workloads;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use rp_core::{
-        Heuristic, Placement, Policy, ProblemBuilder, ProblemInstance, ProblemKind,
-    };
+    pub use rp_core::{Heuristic, Placement, Policy, ProblemBuilder, ProblemInstance, ProblemKind};
     pub use rp_experiments::{ExperimentConfig, FigureId};
     pub use rp_tree::{ClientId, NodeId, TreeBuilder, TreeNetwork, TreeStats};
     pub use rp_workloads::{PlatformKind, TreeGenConfig, TreeShape, WorkloadConfig};

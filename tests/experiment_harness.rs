@@ -85,7 +85,11 @@ fn heterogeneous_sweep_reproduces_the_figure_11_and_12_shape() {
             continue;
         }
         let mb = batch.relative_cost(Heuristic::MixedBest);
-        assert!(mb > 0.5, "λ = {}: MixedBest relative cost {mb}", batch.lambda);
+        assert!(
+            mb > 0.5,
+            "λ = {}: MixedBest relative cost {mb}",
+            batch.lambda
+        );
         for h in Heuristic::BASE {
             assert!(mb + 1e-9 >= batch.relative_cost(h), "λ = {}", batch.lambda);
         }

@@ -5,14 +5,18 @@
 
 use replica_placement::core::bounds::replica_counting_lower_bound;
 use replica_placement::core::exact::{optimal_cost, solve_multiple_homogeneous};
-use replica_placement::core::ilp::{exact_optimal_cost, integral_lower_bound, lower_bound, BoundKind};
+use replica_placement::core::ilp::{
+    exact_optimal_cost, integral_lower_bound, lower_bound, BoundKind,
+};
 use replica_placement::prelude::*;
 use replica_placement::workloads::paper_examples::*;
+
+type PolicyCosts = (Option<u64>, Option<u64>, Option<u64>);
 
 #[test]
 fn figure1_policy_feasibility_matrix() {
     // (clients, requests) -> (Closest, Upwards, Multiple) optimal costs.
-    let cases: Vec<((usize, u64), (Option<u64>, Option<u64>, Option<u64>))> = vec![
+    let cases: Vec<((usize, u64), PolicyCosts)> = vec![
         ((1, 1), (Some(1), Some(1), Some(1))),
         ((2, 1), (None, Some(2), Some(2))),
         ((1, 2), (None, None, Some(2))),

@@ -67,9 +67,13 @@ proptest! {
     fn ancestors_always_end_at_the_root(tree in tree_strategy(12, 12)) {
         let root = tree.root();
         for client in tree.client_ids() {
-            let ancestors = tree.ancestors_of_client(client);
+            let ancestors = tree.ancestors_of_client_vec(client);
             prop_assert!(!ancestors.is_empty());
             prop_assert_eq!(*ancestors.last().unwrap(), root);
+            // The lazy iterator agrees with the collecting shim and
+            // reports its exact length.
+            prop_assert_eq!(tree.ancestors_of_client(client).len(), ancestors.len());
+            prop_assert!(tree.ancestors_of_client(client).eq(ancestors.iter().copied()));
             // Each consecutive pair is a parent link.
             for pair in ancestors.windows(2) {
                 prop_assert_eq!(tree.parent_of_node(pair[0]), Some(pair[1]));
@@ -142,7 +146,8 @@ proptest! {
     ) {
         for heuristic in Heuristic::ALL {
             if let Some(placement) = heuristic.run(&instance) {
-                for (server, load) in placement.server_loads() {
+                let loads = placement.server_loads(instance.tree().num_nodes());
+                for (server, &load) in loads.iter() {
                     prop_assert!(load <= instance.capacity(server));
                 }
                 for client in instance.tree().client_ids() {
