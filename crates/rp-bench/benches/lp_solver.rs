@@ -9,7 +9,10 @@ use rp_core::ilp::{
     build_model, lower_bound, lower_bound_with, BoundKind, IlpOptions, Integrality,
 };
 use rp_core::Policy;
-use rp_lp::{solve_lp, solve_lp_reusing, BranchBoundOptions, SimplexOptions, SimplexWorkspace};
+use rp_lp::{
+    solve_lp, solve_lp_reusing, solve_lp_revised_reusing, BranchBoundOptions, LpEngine,
+    RevisedWorkspace, SimplexOptions, SimplexWorkspace,
+};
 use rp_workloads::platform::PlatformKind;
 
 fn bench_lower_bounds(c: &mut Criterion) {
@@ -65,5 +68,53 @@ fn bench_simplex_on_formulations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lower_bounds, bench_simplex_on_formulations);
+/// The headline comparison: dense tableau vs revised simplex on the
+/// same Multiple-relaxation models, plus the warm-started revised
+/// branch-and-bound for the mixed bound. The `baseline` binary's
+/// `BENCH_revised.json` tracks the same ratios outside criterion.
+fn bench_lp_revised(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_revised");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [20usize, 40, 80, 120] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_heterogeneous(), 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let options = SimplexOptions::default();
+        let mut dense_ws = SimplexWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("dense_tableau", size),
+            &formulation.model,
+            |b, model| b.iter(|| solve_lp_reusing(model, &options, &mut dense_ws)),
+        );
+        let mut revised_ws = RevisedWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("revised", size),
+            &formulation.model,
+            |b, model| b.iter(|| solve_lp_revised_reusing(model, &options, &mut revised_ws)),
+        );
+    }
+    // Warm-started mixed bound (integral x_j) with the revised engine.
+    {
+        let problem = bench_instance(40, 0.6, PlatformKind::default_heterogeneous(), 31);
+        let capped = IlpOptions {
+            branch_bound: BranchBoundOptions {
+                max_nodes: 100,
+                engine: LpEngine::Revised,
+                ..BranchBoundOptions::default()
+            },
+        };
+        group.bench_function("mixed_warm_bb/40", |b| {
+            b.iter(|| lower_bound_with(&problem, BoundKind::Mixed, &capped))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lower_bounds,
+    bench_simplex_on_formulations,
+    bench_lp_revised
+);
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p rp-bench --bin baseline -- [OUTPUT.json] [--compare OLD.json]
+//! cargo run --release -p rp-bench --bin baseline -- --smoke-revised
 //! ```
 //!
 //! Metrics (all medians over several samples):
@@ -13,12 +14,24 @@
 //!   heuristics on one instance), the paper's per-tree unit of work;
 //! * `allocs/...` — heap allocations per run (counted by a wrapping
 //!   global allocator; warm caches, so steady-state numbers);
+//!   `allocs/full_sweep_pooled/*` measures the pooled
+//!   `MixedBest::full_sweep` driver the parallel sweep pins per worker;
 //! * `ancestors_pass/<size>` — ns to walk every client's ancestor path;
 //! * `ancestor_check_pass/<size>` — ns for all-pairs `node_is_ancestor_or_self`;
-//! * `lp_rational_bound/<size>` — ns for the Section 7.1 LP lower bound;
+//! * `lp_rational_bound/<size>` — ns for the Section 7.1 LP lower bound
+//!   (on the default — revised — engine);
 //! * `milp_mixed_bound/<size>` — ns for the capped mixed bound;
 //! * `sweep_smoke_ms` — wall-clock ms for the smoke-test sweep;
 //! * `sweep_trees_per_sec` — sweep throughput derived from it.
+//!
+//! The run **also** writes `BENCH_revised.json`: dense-tableau vs
+//! revised-simplex timings per LP-bound size with the speedup ratio,
+//! plus the paper-scale `s = 400` revised-engine bound time that the
+//! dense engine cannot reach in reasonable time.
+//!
+//! `--smoke-revised` is the CI mode: it solves one `s = 400`
+//! paper-scale LP bound with the revised engine, prints the timing and
+//! exits non-zero if the solve did not produce a bound.
 //!
 //! With `--compare OLD.json` the output also contains a `speedup`
 //! section: `old / new` per metric shared with the old file.
@@ -31,10 +44,10 @@ use std::time::{Duration, Instant};
 use rp_bench::{bench_instance, MICRO_SIZES};
 use rp_core::heuristics::HeuristicState;
 use rp_core::ilp::{lower_bound, lower_bound_with, BoundKind, IlpOptions};
-use rp_core::Heuristic;
+use rp_core::{Heuristic, MixedBest};
 use rp_experiments::runner::{run_sweep, ExperimentConfig};
-use rp_lp::BranchBoundOptions;
-use rp_workloads::platform::PlatformKind;
+use rp_lp::{BranchBoundOptions, LpEngine};
+use rp_workloads::platform::{paper_scale_instance, PlatformKind};
 
 /// Counts every heap allocation so the "allocation-free inner loop"
 /// claim is verified by measurement, not by inspection.
@@ -101,15 +114,213 @@ fn allocs_per_call<F: FnMut()>(mut f: F) -> f64 {
     (allocations() - before) as f64 / CALLS as f64
 }
 
+/// Times a **single** invocation of `f` (no sampling, no median —
+/// used for the long paper-scale solves), returning (ns, result).
+fn time_once<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed().as_nanos() as f64, result)
+}
+
+/// The CI smoke check: one paper-scale (`s = 400`) LP lower bound on
+/// the revised engine. Solves the relaxation directly and asserts
+/// `Status::Optimal` — going through `lower_bound_with` would mask an
+/// iteration-limited or failed solve as the always-valid bound `0.0`.
+fn smoke_revised() {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{solve_lp_revised, Status};
+
+    let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let (ns, solution) = time_once(|| solve_lp_revised(&formulation.model));
+    if solution.status != Status::Optimal || !solution.objective.is_finite() {
+        eprintln!(
+            "s=400 revised lp_rational_bound FAILED: status {}, objective {}",
+            solution.status, solution.objective
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "s=400 revised lp_rational_bound = {:.3} in {:.1} ms",
+        solution.objective,
+        ns / 1e6
+    );
+}
+
+/// Writes `BENCH_revised.json`: dense-tableau vs revised-simplex
+/// timings, at three levels —
+///
+/// * `lp_solve/*` — the pure solver on a prebuilt Multiple relaxation
+///   with a reused workspace (the `lp_solver` criterion bench's
+///   setting; this is the apples-to-apples engine comparison);
+/// * `lp_rational_bound/*` — the full Section 7.1 bound path
+///   (formulation build + solve), what the sweep actually pays;
+/// * `milp_mixed_bound/*` — the capped mixed bound, where the revised
+///   engine's warm-started branch-and-bound nodes pay off;
+///
+/// plus the paper-scale `s = 400` bound under **both** engines (one
+/// shot each — the dense tableau needs hundreds of milliseconds there,
+/// which is exactly why the revised engine exists).
+fn write_revised_report(path: &str) {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{
+        solve_lp_reusing, solve_lp_revised_reusing, RevisedWorkspace, SimplexOptions,
+        SimplexWorkspace,
+    };
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for size in [20usize, 40, 80, 120] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_heterogeneous(), 31);
+
+        // Solver-level comparison on the prebuilt relaxation.
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let options = SimplexOptions::default();
+        let mut dense_ws = SimplexWorkspace::new();
+        let dense_solve = time_ns(|| {
+            black_box(solve_lp_reusing(
+                black_box(&formulation.model),
+                &options,
+                &mut dense_ws,
+            ));
+        });
+        let mut revised_ws = RevisedWorkspace::new();
+        let revised_solve = time_ns(|| {
+            black_box(solve_lp_revised_reusing(
+                black_box(&formulation.model),
+                &options,
+                &mut revised_ws,
+            ));
+        });
+        entries.push((format!("lp_solve/dense/{size}"), dense_solve));
+        entries.push((format!("lp_solve/revised/{size}"), revised_solve));
+        entries.push((
+            format!("speedup/lp_solve/{size}"),
+            dense_solve / revised_solve,
+        ));
+
+        // Full bound path (build + solve).
+        let dense_opts = IlpOptions::with_engine(LpEngine::DenseTableau);
+        let revised_opts = IlpOptions::with_engine(LpEngine::Revised);
+        let dense = time_ns(|| {
+            black_box(lower_bound_with(
+                black_box(&problem),
+                BoundKind::Rational,
+                &dense_opts,
+            ));
+        });
+        let revised = time_ns(|| {
+            black_box(lower_bound_with(
+                black_box(&problem),
+                BoundKind::Rational,
+                &revised_opts,
+            ));
+        });
+        entries.push((format!("lp_rational_bound/dense/{size}"), dense));
+        entries.push((format!("lp_rational_bound/revised/{size}"), revised));
+        entries.push((format!("speedup/lp_rational_bound/{size}"), dense / revised));
+
+        // Warm-started mixed bound (capped) under both engines; the
+        // larger sizes explore enough nodes to show the warm-start win.
+        if size <= 40 {
+            let cap = |engine| IlpOptions {
+                branch_bound: BranchBoundOptions {
+                    max_nodes: 100,
+                    engine,
+                    ..BranchBoundOptions::default()
+                },
+            };
+            let dense_milp = time_ns(|| {
+                black_box(lower_bound_with(
+                    black_box(&problem),
+                    BoundKind::Mixed,
+                    &cap(LpEngine::DenseTableau),
+                ));
+            });
+            let revised_milp = time_ns(|| {
+                black_box(lower_bound_with(
+                    black_box(&problem),
+                    BoundKind::Mixed,
+                    &cap(LpEngine::Revised),
+                ));
+            });
+            entries.push((format!("milp_mixed_bound/dense/{size}"), dense_milp));
+            entries.push((format!("milp_mixed_bound/revised/{size}"), revised_milp));
+            entries.push((
+                format!("speedup/milp_mixed_bound/{size}"),
+                dense_milp / revised_milp,
+            ));
+        }
+    }
+    // Paper scale, one shot per engine.
+    {
+        let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+        let revised_opts = IlpOptions::with_engine(LpEngine::Revised);
+        let (revised_ns, bound) =
+            time_once(|| lower_bound_with(&problem, BoundKind::Rational, &revised_opts));
+        let dense_opts = IlpOptions::with_engine(LpEngine::DenseTableau);
+        let (dense_ns, _) =
+            time_once(|| lower_bound_with(&problem, BoundKind::Rational, &dense_opts));
+        entries.push(("lp_rational_bound/dense/400_ms".to_string(), dense_ns / 1e6));
+        entries.push((
+            "lp_rational_bound/revised/400_ms".to_string(),
+            revised_ns / 1e6,
+        ));
+        entries.push((
+            "speedup/lp_rational_bound/400".to_string(),
+            dense_ns / revised_ns,
+        ));
+        entries.push((
+            "lp_rational_bound/revised/400_value".to_string(),
+            bound.unwrap_or(f64::NAN),
+        ));
+    }
+
+    // A failed solve or a zero-duration timing would produce NaN/inf,
+    // which are not valid JSON literals — drop such entries instead of
+    // corrupting the whole report.
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str("  \"units\": \"ns per op unless the metric name says otherwise; speedup/* = dense over revised\",\n");
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut output = String::from("BENCH_baseline.json");
+    let mut revised_output = String::from("BENCH_revised.json");
     let mut compare: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--compare" => {
                 compare = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--smoke-revised" => {
+                smoke_revised();
+                return;
+            }
+            "--revised-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    revised_output = path.clone();
+                }
                 i += 2;
             }
             other => {
@@ -145,6 +356,18 @@ fn main() {
                 black_box(Heuristic::MixedBest.run(black_box(&problem)));
             });
             metrics.push((format!("allocs/full_sweep/{platform_name}/{size}"), allocs));
+
+            // The pooled driver the parallel sweep pins per worker: the
+            // incumbent and every heuristic buffer are reused, so the
+            // steady state must be allocation-free.
+            let mut pooled = MixedBest::new();
+            let allocs = allocs_per_call(|| {
+                black_box(pooled.full_sweep(black_box(&problem)));
+            });
+            metrics.push((
+                format!("allocs/full_sweep_pooled/{platform_name}/{size}"),
+                allocs,
+            ));
 
             // Steady-state inner loops: one reused state, reset between
             // runs. This is the path MixedBest drives; it must not
@@ -256,6 +479,8 @@ fn main() {
     std::fs::write(&output, &json).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     println!("{json}");
     eprintln!("wrote {output}");
+
+    write_revised_report(&revised_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

@@ -23,7 +23,7 @@ mod upwards;
 
 pub use closest::{cbu, ctda, ctdlf};
 pub use multiple::{mbu, mg, mtd};
-pub use state::{DeleteOrder, HeuristicState};
+pub use state::{DeleteOrder, HeuristicState, StateBuffers};
 pub use upwards::{ubcf, utd};
 
 use crate::policy::Policy;
@@ -165,39 +165,98 @@ impl std::fmt::Display for Heuristic {
     }
 }
 
+/// Pooled driver for the *MixedBest* (MB) meta-heuristic: runs all
+/// eight base heuristics and keeps the cheapest valid solution.
+///
+/// The struct owns two long-lived allocation sets — the
+/// [`StateBuffers`] the heuristics run on and the incumbent
+/// [`Placement`] — so [`full_sweep`](MixedBest::full_sweep) performs no
+/// steady-state heap allocation: buffers and assignment lists only grow
+/// on the first encounter with a larger problem, and the incumbent is
+/// updated in place with [`Placement::copy_from`] instead of being
+/// cloned per improvement. This is the per-worker unit the parallel
+/// sweep pins to each thread (`allocs/full_sweep_pooled/*` in
+/// `BENCH_baseline.json` measures the O(1) claim).
+#[derive(Default)]
+pub struct MixedBest {
+    buffers: StateBuffers,
+    incumbent: Placement,
+}
+
+impl MixedBest {
+    /// A fresh driver with empty pools.
+    pub fn new() -> Self {
+        MixedBest::default()
+    }
+
+    /// Runs all eight base heuristics on `problem` and returns the
+    /// cheapest valid placement (by reference into the pooled
+    /// incumbent), or `None` when every heuristic fails — which, since
+    /// MG never misses a feasible instance, means the instance is
+    /// infeasible under Multiple.
+    pub fn full_sweep(&mut self, problem: &ProblemInstance) -> Option<&Placement> {
+        let mut buffers = std::mem::take(&mut self.buffers);
+        let found = self.sweep_into(problem, &mut buffers);
+        self.buffers = buffers;
+        if found {
+            Some(&self.incumbent)
+        } else {
+            None
+        }
+    }
+
+    /// [`full_sweep`](MixedBest::full_sweep) on caller-provided
+    /// [`StateBuffers`], so a worker that also runs single heuristics
+    /// shares **one** allocation set between those runs and the
+    /// MixedBest sweep (the driver's own pool stays untouched).
+    pub fn full_sweep_reusing(
+        &mut self,
+        problem: &ProblemInstance,
+        buffers: &mut StateBuffers,
+    ) -> Option<&Placement> {
+        if self.sweep_into(problem, buffers) {
+            Some(&self.incumbent)
+        } else {
+            None
+        }
+    }
+
+    /// Shared sweep body: runs the eight heuristics on `buffers`,
+    /// leaving the cheapest placement in `self.incumbent`. Returns
+    /// `true` when at least one heuristic served every request.
+    fn sweep_into(&mut self, problem: &ProblemInstance, buffers: &mut StateBuffers) -> bool {
+        let mut state = HeuristicState::with_buffers(problem, std::mem::take(buffers));
+        let mut best_cost: Option<u64> = None;
+        let mut first = true;
+        for heuristic in Heuristic::BASE {
+            if !first {
+                state.reset();
+            }
+            first = false;
+            if heuristic.run_with(&mut state) {
+                let cost = state.current_cost();
+                if best_cost.map(|b| cost < b).unwrap_or(true) {
+                    best_cost = Some(cost);
+                    self.incumbent.copy_from(state.placement());
+                }
+            }
+        }
+        *buffers = state.into_buffers();
+        best_cost.is_some()
+    }
+}
+
 /// *MixedBest* (MB): runs all eight base heuristics and keeps the
 /// cheapest valid solution. Since any Closest or Upwards solution is
 /// also a Multiple solution, the result is always valid under Multiple;
 /// and because MG never misses a feasible instance, neither does
 /// MixedBest (Section 7.3).
 ///
-/// All eight heuristics run on **one** [`HeuristicState`], reset between
-/// runs, so the whole sweep reuses a single set of `remaining` / `inreq`
-/// / scratch buffers; the only extra work is copying out a candidate
-/// placement when it improves on the incumbent.
+/// One-shot convenience over the pooled [`MixedBest`] driver (which the
+/// sweep harness holds onto per worker thread to amortise every
+/// allocation across trials).
 pub fn mixed_best(problem: &ProblemInstance) -> Option<Placement> {
-    let mut state = HeuristicState::new(problem);
-    let mut best: Option<(u64, Placement)> = None;
-    let mut first = true;
-    for heuristic in Heuristic::BASE {
-        if !first {
-            state.reset();
-        }
-        first = false;
-        if heuristic.run_with(&mut state) {
-            let cost = state.current_cost();
-            match &mut best {
-                Some((best_cost, placement)) if cost < *best_cost => {
-                    *best_cost = cost;
-                    // clone_from reuses the incumbent's buffers.
-                    placement.clone_from(state.placement());
-                }
-                Some(_) => {}
-                None => best = Some((cost, state.placement().clone())),
-            }
-        }
-    }
-    best.map(|(_, placement)| placement)
+    MixedBest::new().full_sweep(problem).cloned()
 }
 
 #[cfg(test)]
@@ -261,6 +320,45 @@ mod tests {
     fn mixed_best_succeeds_whenever_mg_does() {
         let p = small_instance();
         assert_eq!(mg(&p).is_some(), mixed_best(&p).is_some());
+    }
+
+    #[test]
+    fn pooled_full_sweep_matches_the_one_shot_api_across_problems() {
+        // One pooled driver reused over differently sized problems must
+        // return exactly what fresh runs return — including after an
+        // infeasible instance.
+        let mut driver = MixedBest::new();
+        let p1 = small_instance();
+        let fresh = mixed_best(&p1);
+        let pooled = driver.full_sweep(&p1).cloned();
+        assert_eq!(
+            fresh.as_ref().map(|pl| pl.cost(&p1)),
+            pooled.as_ref().map(|pl| pl.cost(&p1))
+        );
+        assert_eq!(fresh, pooled);
+
+        // A larger tree next: buffers must regrow transparently.
+        let mut b = rp_tree::TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        let low = b.add_node(mid);
+        b.add_clients(low, 5);
+        b.add_clients(mid, 3);
+        b.add_client(root);
+        let p2 = ProblemInstance::replica_cost(
+            b.build().unwrap(),
+            vec![2, 3, 1, 4, 2, 5, 1, 3, 2],
+            vec![12, 9, 8],
+        );
+        assert_eq!(mixed_best(&p2), driver.full_sweep(&p2).cloned());
+
+        // Infeasible: pooled driver must report None and stay usable.
+        let mut b = rp_tree::TreeBuilder::new();
+        let root = b.add_root();
+        b.add_client(root);
+        let infeasible = ProblemInstance::replica_counting(b.build().unwrap(), vec![100], 2);
+        assert!(driver.full_sweep(&infeasible).is_none());
+        assert_eq!(mixed_best(&p1), driver.full_sweep(&p1).cloned());
     }
 
     #[test]

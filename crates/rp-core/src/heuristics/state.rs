@@ -42,6 +42,31 @@ pub enum DeleteOrder {
     SmallestFirst,
 }
 
+/// The owned buffers of a [`HeuristicState`], detached from any
+/// problem. Taking the buffers out ([`HeuristicState::into_buffers`])
+/// and reattaching them to the next problem
+/// ([`HeuristicState::with_buffers`]) lets a sweep pin **one**
+/// allocation set per worker thread across trials over different trees:
+/// each buffer keeps its capacity and only ever grows to the largest
+/// problem seen.
+#[derive(Default)]
+pub struct StateBuffers {
+    remaining: Vec<u64>,
+    inreq: Vec<u64>,
+    placement: Placement,
+    scratch_clients: Vec<ClientId>,
+    scratch_node_u64: Vec<u64>,
+    scratch_fifo: VecDeque<NodeId>,
+    scratch_nodes: Vec<NodeId>,
+}
+
+impl StateBuffers {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        StateBuffers::default()
+    }
+}
+
 /// Mutable working state shared by all heuristics.
 pub struct HeuristicState<'a> {
     problem: &'a ProblemInstance,
@@ -62,19 +87,50 @@ impl<'a> HeuristicState<'a> {
     /// Initialises the state: nothing is served, `inreq[j]` equals the
     /// total requests of `subtree(j)`.
     pub fn new(problem: &'a ProblemInstance) -> Self {
+        HeuristicState::with_buffers(problem, StateBuffers::default())
+    }
+
+    /// Initialises the state on recycled buffers: semantically identical
+    /// to [`HeuristicState::new`] but reuses every allocation `buffers`
+    /// brought along (possibly from a state over a *different* problem).
+    pub fn with_buffers(problem: &'a ProblemInstance, buffers: StateBuffers) -> Self {
         let tree = problem.tree();
+        let StateBuffers {
+            remaining,
+            inreq,
+            mut placement,
+            scratch_clients,
+            scratch_node_u64,
+            scratch_fifo,
+            scratch_nodes,
+        } = buffers;
+        placement.reset_for(tree.num_clients());
         let mut state = HeuristicState {
             problem,
-            remaining: Vec::with_capacity(tree.num_clients()),
-            inreq: Vec::with_capacity(tree.num_nodes()),
-            placement: Placement::empty(tree.num_clients()),
-            scratch_clients: Vec::new(),
-            scratch_node_u64: Vec::new(),
-            scratch_fifo: VecDeque::new(),
-            scratch_nodes: Vec::new(),
+            remaining,
+            inreq,
+            placement,
+            scratch_clients,
+            scratch_node_u64,
+            scratch_fifo,
+            scratch_nodes,
         };
         state.reset();
         state
+    }
+
+    /// Detaches the state's buffers so they can be reattached to the
+    /// next problem with [`HeuristicState::with_buffers`].
+    pub fn into_buffers(self) -> StateBuffers {
+        StateBuffers {
+            remaining: self.remaining,
+            inreq: self.inreq,
+            placement: self.placement,
+            scratch_clients: self.scratch_clients,
+            scratch_node_u64: self.scratch_node_u64,
+            scratch_fifo: self.scratch_fifo,
+            scratch_nodes: self.scratch_nodes,
+        }
     }
 
     /// Rewinds the state to the freshly-initialised configuration

@@ -4,7 +4,10 @@ mod formulation;
 
 pub use formulation::{build_model, IlpFormulation, Integrality};
 
-use rp_lp::{solve_lp_with, solve_milp_with, BranchBoundOptions, SimplexOptions, Status};
+use rp_lp::{
+    solve_lp_engine, solve_milp_reusing, solve_milp_with, BranchBoundOptions, LpEngine,
+    LpWorkspace, SimplexOptions, Status,
+};
 
 use crate::policy::Policy;
 use crate::problem::ProblemInstance;
@@ -13,7 +16,10 @@ use crate::solution::Placement;
 /// Options for the ILP solver.
 #[derive(Clone, Copy, Debug)]
 pub struct IlpOptions {
-    /// Options of the underlying branch-and-bound / simplex.
+    /// Options of the underlying branch-and-bound / simplex, including
+    /// the [`LpEngine`] that solves the relaxations (revised simplex by
+    /// default; the dense tableau remains available as the
+    /// differential-testing oracle).
     pub branch_bound: BranchBoundOptions,
 }
 
@@ -25,6 +31,15 @@ impl Default for IlpOptions {
                 ..BranchBoundOptions::default()
             },
         }
+    }
+}
+
+impl IlpOptions {
+    /// Default options running on the given LP engine.
+    pub fn with_engine(engine: LpEngine) -> Self {
+        let mut options = IlpOptions::default();
+        options.branch_bound.engine = engine;
+        options
     }
 }
 
@@ -116,10 +131,28 @@ pub fn lower_bound_with(
     kind: BoundKind,
     options: &IlpOptions,
 ) -> Option<f64> {
+    let mut workspace = LpWorkspace::new();
+    lower_bound_reusing(problem, kind, options, &mut workspace)
+}
+
+/// [`lower_bound`] reusing the LP buffers of `workspace` across calls —
+/// the path the sweep harness drives, with one workspace pinned per
+/// worker thread.
+pub fn lower_bound_reusing(
+    problem: &ProblemInstance,
+    kind: BoundKind,
+    options: &IlpOptions,
+    workspace: &mut LpWorkspace,
+) -> Option<f64> {
     match kind {
         BoundKind::Rational => {
             let formulation = build_model(problem, Policy::Multiple, Integrality::RationalBound);
-            let solution = solve_lp_with(&formulation.model, &options.branch_bound.simplex);
+            let solution = solve_lp_engine(
+                &formulation.model,
+                options.branch_bound.engine,
+                &options.branch_bound.simplex,
+                workspace,
+            );
             match solution.status {
                 Status::Optimal => Some(solution.objective),
                 Status::Infeasible => None,
@@ -130,7 +163,7 @@ pub fn lower_bound_with(
         }
         BoundKind::Mixed => {
             let formulation = build_model(problem, Policy::Multiple, Integrality::MixedBound);
-            let outcome = solve_milp_with(&formulation.model, &options.branch_bound);
+            let outcome = solve_milp_reusing(&formulation.model, &options.branch_bound, workspace);
             match outcome.status {
                 Status::Infeasible => None,
                 Status::Unbounded => Some(0.0),
@@ -281,6 +314,35 @@ mod tests {
         assert!(rational <= optimum + 1e-6);
         assert!(mixed <= optimum + 1e-6);
         assert!(mixed + 1e-6 >= rational);
+    }
+
+    #[test]
+    fn bounds_agree_between_the_revised_and_dense_engines() {
+        let p = small_instance();
+        for kind in [BoundKind::Rational, BoundKind::Mixed] {
+            let revised = lower_bound_with(&p, kind, &IlpOptions::with_engine(LpEngine::Revised));
+            let dense =
+                lower_bound_with(&p, kind, &IlpOptions::with_engine(LpEngine::DenseTableau));
+            match (revised, dense) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{kind:?}: {a} vs {b}"),
+                other => panic!("engine disagreement for {kind:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_reports_the_same_bounds() {
+        let p = small_instance();
+        let options = IlpOptions::default();
+        let mut workspace = LpWorkspace::new();
+        for kind in [BoundKind::Rational, BoundKind::Mixed, BoundKind::Rational] {
+            let reused = lower_bound_reusing(&p, kind, &options, &mut workspace);
+            let fresh = lower_bound_with(&p, kind, &options);
+            match (reused, fresh) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{kind:?}: {a} vs {b}"),
+                other => panic!("workspace reuse changed the bound for {kind:?}: {other:?}"),
+            }
+        }
     }
 
     #[test]

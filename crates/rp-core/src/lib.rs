@@ -91,7 +91,7 @@ mod policy;
 mod problem;
 mod solution;
 
-pub use heuristics::{mixed_best, Heuristic};
+pub use heuristics::{mixed_best, Heuristic, MixedBest, StateBuffers};
 pub use policy::Policy;
 pub use problem::{ProblemBuilder, ProblemInstance, ProblemKind};
 pub use solution::{Assignment, Placement, Violation, Violations};

@@ -52,6 +52,42 @@ impl Placement {
         }
     }
 
+    /// Re-targets the placement to a problem over `num_clients` clients,
+    /// clearing all replicas and assignments while keeping every
+    /// buffer's capacity (the pooled counterpart of [`Placement::empty`];
+    /// assignment lists only grow on the first encounter with a larger
+    /// client count).
+    pub fn reset_for(&mut self, num_clients: usize) {
+        self.replicas.clear();
+        for list in &mut self.assignments {
+            list.clear();
+        }
+        if self.assignments.len() > num_clients {
+            self.assignments.truncate(num_clients);
+        } else {
+            self.assignments.resize_with(num_clients, Vec::new);
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the replica list and every
+    /// per-client assignment list. Unlike the derived
+    /// `Clone::clone_from` (which falls back to a fresh `clone`), this
+    /// never allocates once the buffers have grown to the source's
+    /// shape — it is what lets `MixedBest` keep one pooled incumbent
+    /// across a whole sweep.
+    pub fn copy_from(&mut self, source: &Placement) {
+        self.replicas.clear();
+        self.replicas.extend_from_slice(&source.replicas);
+        self.assignments.truncate(source.assignments.len());
+        for (dst, src) in self.assignments.iter_mut().zip(&source.assignments) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        for src in &source.assignments[self.assignments.len()..] {
+            self.assignments.push(src.clone());
+        }
+    }
+
     /// Adds a replica to the set `R` (idempotent).
     pub fn add_replica(&mut self, node: NodeId) {
         if let Err(pos) = self.replicas.binary_search(&node) {

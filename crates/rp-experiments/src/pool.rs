@@ -4,6 +4,14 @@
 //! per generated tree), so a simple shared-counter work queue over
 //! scoped threads is all that is needed — no external thread-pool crate,
 //! no unsafe code, results returned in input order.
+//!
+//! [`parallel_map_with`] additionally pins **one worker-local state**
+//! per thread (created by a caller factory when the worker starts and
+//! dropped when the queue drains). The sweep harness uses it to give
+//! every worker its own `HeuristicState` buffers, LP workspace and
+//! recycled tree, so the allocation-free steady state of the solvers
+//! also holds under the parallel runner — λ shards and trees mix freely
+//! in one queue without any shared mutable solver state.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -28,9 +36,29 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, threads, || (), |item, ()| f(item))
+}
+
+/// [`parallel_map`] with a per-worker pinned state: `init` runs once on
+/// each worker thread (and once inline for the sequential fallback),
+/// and `f` receives a mutable reference to that worker's state for
+/// every item it processes.
+///
+/// The state lives as long as the worker, so buffers placed inside it
+/// (heuristic scratch, LP workspaces, recycled trees) are reused across
+/// every item the worker claims — the parallel counterpart of holding
+/// one workspace across a sequential loop.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> R + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(item, &mut state)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -38,13 +66,16 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    let value = f(&items[index], &mut state);
+                    *results[index].lock().expect("result slot poisoned") = Some(value);
                 }
-                let value = f(&items[index]);
-                *results[index].lock().expect("result slot poisoned") = Some(value);
             });
         }
     });
@@ -101,6 +132,44 @@ mod tests {
         assert!(default_threads(0) >= 1);
         assert!(default_threads(1) == 1);
         assert!(default_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn worker_state_is_pinned_per_thread_and_reused() {
+        // Each worker's state counts the items it processed; the total
+        // across workers must cover every item exactly once, and with a
+        // single thread the one state must see every item.
+        let items: Vec<u32> = (0..200).collect();
+        let processed = AtomicU64::new(0);
+        let results = parallel_map_with(
+            &items,
+            4,
+            || 0u64,
+            |&x, seen| {
+                *seen += 1;
+                processed.fetch_add(1, Ordering::Relaxed);
+                (x, *seen)
+            },
+        );
+        assert_eq!(results.len(), 200);
+        assert_eq!(processed.load(Ordering::Relaxed), 200);
+        // `seen` grows within a worker: at least one worker processed
+        // more than one item, proving the state persisted across items.
+        assert!(results.iter().any(|&(_, seen)| seen > 1));
+
+        let sequential = parallel_map_with(
+            &items,
+            1,
+            || 0u64,
+            |&x, seen| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        // Single worker: the running count is exactly the 1-based index.
+        for (i, &(_, seen)) in sequential.iter().enumerate() {
+            assert_eq!(seen, i as u64 + 1);
+        }
     }
 
     #[test]

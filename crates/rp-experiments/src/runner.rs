@@ -4,19 +4,34 @@
 //! This reproduces the experimental plan of Section 7.2: a set of load
 //! factors λ, a number of random trees per λ, and for each tree the
 //! per-heuristic cost plus an LP-based lower bound.
+//!
+//! # Parallel execution model
+//!
+//! The sweep is sharded across **all** (λ, tree) pairs at once — not
+//! per-λ batch — through one shared work queue, so slow λ values never
+//! leave workers idle. Every worker thread pins one [`WorkerScratch`]:
+//! the `HeuristicState` buffers and pooled `MixedBest` incumbent, the
+//! LP workspace of the selected [`LpEngine`], and the previous trial's
+//! retired tree (recycled into the next tree's derived arrays). The
+//! allocation-free steady state of the solvers therefore holds under
+//! the parallel runner as well: after warm-up, a worker's trial
+//! allocates only the tree/problem value vectors themselves.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rp_core::ilp::{integral_lower_bound, lower_bound_with, BoundKind, IlpOptions};
-use rp_core::{Heuristic, ProblemInstance};
+use rp_core::heuristics::{HeuristicState, StateBuffers};
+use rp_core::ilp::{integral_lower_bound, lower_bound_reusing, BoundKind, IlpOptions};
+use rp_core::{Heuristic, MixedBest, ProblemInstance};
+use rp_lp::{LpEngine, LpWorkspace};
+use rp_tree::TreeNetwork;
 use rp_workloads::platform::{generate_problem_with_rng, PlatformKind, WorkloadConfig};
-use rp_workloads::tree_gen::{generate_tree_with_rng, TreeGenConfig, TreeShape};
+use rp_workloads::tree_gen::{generate_tree_into_with_rng, TreeGenConfig, TreeShape};
 
 use crate::metrics::{LambdaBatch, TrialResult};
-use crate::pool::{default_threads, parallel_map};
+use crate::pool::{default_threads, parallel_map_with};
 
 /// Full description of a sweep.
 #[derive(Clone, Debug)]
@@ -35,6 +50,9 @@ pub struct ExperimentConfig {
     pub qos_hops: Option<u32>,
     /// Which LP relaxation provides the lower bound.
     pub bound: BoundKind,
+    /// Which LP engine solves it (revised simplex by default; the dense
+    /// tableau remains available as the differential oracle).
+    pub engine: LpEngine,
     /// Base RNG seed; every (λ, tree) pair derives its own sub-seed.
     pub seed: u64,
     /// Worker threads (`None` = automatic).
@@ -61,6 +79,7 @@ impl ExperimentConfig {
             platform: PlatformKind::default_homogeneous(),
             qos_hops: None,
             bound: BoundKind::Rational,
+            engine: LpEngine::default(),
             seed: 20070326, // IPPS 2007 kick-off date, for flavour
             threads: None,
             heuristics: Heuristic::ALL.to_vec(),
@@ -75,6 +94,18 @@ impl ExperimentConfig {
         }
     }
 
+    /// The full **paper-scale** sweep: problem sizes up to the paper's
+    /// `s = 400` (Section 7.2). Tractable only with the revised-simplex
+    /// engine — the dense tableau's bound rows make the `s = 400` LP
+    /// bound an order of magnitude slower.
+    pub fn paper_scale() -> Self {
+        ExperimentConfig {
+            size_range: (15, rp_workloads::PAPER_SCALE_S),
+            engine: LpEngine::Revised,
+            ..Self::homogeneous()
+        }
+    }
+
     /// A miniature configuration for unit tests and smoke benches.
     pub fn smoke_test() -> Self {
         ExperimentConfig {
@@ -85,6 +116,7 @@ impl ExperimentConfig {
             platform: PlatformKind::default_homogeneous(),
             qos_hops: None,
             bound: BoundKind::Rational,
+            engine: LpEngine::default(),
             seed: 7,
             threads: Some(2),
             heuristics: Heuristic::ALL.to_vec(),
@@ -101,13 +133,62 @@ pub struct SweepResults {
     pub batches: Vec<LambdaBatch>,
 }
 
-/// Runs the full sweep described by `config`.
+/// The per-worker pinned state of the sweep: one allocation set per
+/// thread, reused across every trial the worker claims (see the module
+/// docs). Create one with [`WorkerScratch::new`] for sequential use, or
+/// let [`run_sweep`] pin one per worker.
+#[derive(Default)]
+pub struct WorkerScratch {
+    /// The single shared heuristic buffer set: the base heuristics and
+    /// the MixedBest sweep all run on it.
+    buffers: StateBuffers,
+    /// Pooled MixedBest incumbent (its sweeps borrow `buffers`).
+    mixed_best: MixedBest,
+    /// LP workspaces of both engines (factorisation, tableau, scratch).
+    lp: LpWorkspace,
+    /// The previous trial's tree, recycled into the next generation.
+    recycled_tree: Option<TreeNetwork>,
+}
+
+impl WorkerScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        WorkerScratch::default()
+    }
+}
+
+/// Runs the full sweep described by `config`, sharding all (λ, tree)
+/// pairs across one worker pool.
 pub fn run_sweep(config: &ExperimentConfig) -> SweepResults {
-    let batches = config
+    // Flatten every (λ index, tree index) pair into one work list so
+    // the λ shards interleave; results are regrouped afterwards (the
+    // queue preserves input order in its output).
+    let pairs: Vec<(usize, usize)> = (0..config.lambdas.len())
+        .flat_map(|li| (0..config.trees_per_lambda).map(move |ti| (li, ti)))
+        .collect();
+    let threads = config
+        .threads
+        .unwrap_or_else(|| default_threads(pairs.len()));
+    let trials = parallel_map_with(
+        &pairs,
+        threads,
+        WorkerScratch::new,
+        |&(lambda_index, tree_index), scratch| {
+            run_single_trial_with(config, config.lambdas[lambda_index], tree_index, scratch)
+        },
+    );
+
+    let mut batches: Vec<LambdaBatch> = config
         .lambdas
         .iter()
-        .map(|&lambda| run_lambda_batch(config, lambda))
+        .map(|&lambda| LambdaBatch {
+            lambda,
+            trials: Vec::with_capacity(config.trees_per_lambda),
+        })
         .collect();
+    for (&(lambda_index, _), trial) in pairs.iter().zip(trials) {
+        batches[lambda_index].trials.push(trial);
+    }
     SweepResults {
         config: config.clone(),
         batches,
@@ -120,40 +201,77 @@ pub fn run_lambda_batch(config: &ExperimentConfig, lambda: f64) -> LambdaBatch {
     let threads = config
         .threads
         .unwrap_or_else(|| default_threads(indices.len()));
-    let trials = parallel_map(&indices, threads, |&tree_index| {
-        run_single_trial(config, lambda, tree_index)
-    });
+    let trials = parallel_map_with(
+        &indices,
+        threads,
+        WorkerScratch::new,
+        |&tree_index, scratch| run_single_trial_with(config, lambda, tree_index, scratch),
+    );
     LambdaBatch { lambda, trials }
 }
 
-/// Generates and evaluates one tree.
+/// Generates and evaluates one tree with throwaway scratch state.
 pub fn run_single_trial(config: &ExperimentConfig, lambda: f64, tree_index: usize) -> TrialResult {
-    let problem = generate_trial_problem(config, lambda, tree_index);
+    run_single_trial_with(config, lambda, tree_index, &mut WorkerScratch::new())
+}
+
+/// Generates and evaluates one tree on a worker's pinned scratch state.
+pub fn run_single_trial_with(
+    config: &ExperimentConfig,
+    lambda: f64,
+    tree_index: usize,
+    scratch: &mut WorkerScratch,
+) -> TrialResult {
+    let problem =
+        generate_trial_problem_reusing(config, lambda, tree_index, scratch.recycled_tree.take());
 
     let heuristics_start = Instant::now();
     let heuristic_costs: Vec<(Heuristic, Option<u64>)> = config
         .heuristics
         .iter()
         .map(|&h| {
-            let cost = h.run(&problem).map(|placement| {
-                debug_assert!(placement.is_valid(&problem, h.policy()));
-                placement.cost(&problem)
-            });
+            let cost = match h {
+                // The MixedBest sweep borrows the same buffer set the
+                // single heuristics use: one allocation pool per worker.
+                Heuristic::MixedBest => scratch
+                    .mixed_best
+                    .full_sweep_reusing(&problem, &mut scratch.buffers)
+                    .map(|placement| {
+                        debug_assert!(placement.is_valid(&problem, h.policy()));
+                        placement.cost(&problem)
+                    }),
+                base => {
+                    let mut state = HeuristicState::with_buffers(
+                        &problem,
+                        std::mem::take(&mut scratch.buffers),
+                    );
+                    let served = base.run_with(&mut state);
+                    let cost = if served {
+                        debug_assert!(state.placement().is_valid(&problem, h.policy()));
+                        Some(state.current_cost())
+                    } else {
+                        None
+                    };
+                    scratch.buffers = state.into_buffers();
+                    cost
+                }
+            };
             (h, cost)
         })
         .collect();
     let heuristics_seconds = heuristics_start.elapsed().as_secs_f64();
 
     let lp_start = Instant::now();
-    let ilp_options = IlpOptions::default();
+    let mut ilp_options = IlpOptions::default();
+    ilp_options.branch_bound.engine = config.engine;
     // Storage costs are integral, so the bound can always be rounded up
     // to the next integer; this markedly tightens the fully rational
     // relaxation on Replica Counting instances.
-    let lp_bound = lower_bound_with(&problem, config.bound, &ilp_options)
+    let lp_bound = lower_bound_reusing(&problem, config.bound, &ilp_options, &mut scratch.lp)
         .map(|raw| integral_lower_bound(raw) as f64);
     let lp_seconds = lp_start.elapsed().as_secs_f64();
 
-    TrialResult {
+    let result = TrialResult {
         tree_index,
         problem_size: problem.tree().problem_size(),
         achieved_lambda: problem.load_factor(),
@@ -161,7 +279,15 @@ pub fn run_single_trial(config: &ExperimentConfig, lambda: f64, tree_index: usiz
         heuristic_costs,
         lp_seconds,
         heuristics_seconds,
-    }
+    };
+
+    // Retire the tree into the scratch so the next trial's generation
+    // reuses its derived arrays (only possible once the problem — the
+    // other Arc holder — is dropped).
+    let tree = problem.tree_arc();
+    drop(problem);
+    scratch.recycled_tree = std::sync::Arc::try_unwrap(tree).ok();
+    result
 }
 
 /// Generates the problem instance for one (λ, tree index) pair. Exposed
@@ -172,12 +298,24 @@ pub fn generate_trial_problem(
     lambda: f64,
     tree_index: usize,
 ) -> ProblemInstance {
+    generate_trial_problem_reusing(config, lambda, tree_index, None)
+}
+
+/// [`generate_trial_problem`], recycling a previous tree's derived
+/// arrays into the generated tree.
+pub fn generate_trial_problem_reusing(
+    config: &ExperimentConfig,
+    lambda: f64,
+    tree_index: usize,
+    recycled: Option<TreeNetwork>,
+) -> ProblemInstance {
     let seed = trial_seed(config.seed, lambda, tree_index);
     let mut rng = StdRng::seed_from_u64(seed);
     let size = rng.gen_range(config.size_range.0..=config.size_range.1);
-    let tree = generate_tree_with_rng(
+    let tree = generate_tree_into_with_rng(
         &TreeGenConfig::with_problem_size(size, config.shape),
         &mut rng,
+        recycled,
     );
     let workload = WorkloadConfig {
         platform: config.platform,
@@ -237,6 +375,49 @@ mod tests {
     }
 
     #[test]
+    fn sharded_sweep_matches_per_batch_and_per_trial_runs() {
+        // The λ-sharded pool with pinned worker state must agree with
+        // the one-λ-at-a-time path and with isolated per-trial runs.
+        let config = ExperimentConfig {
+            threads: Some(3),
+            ..ExperimentConfig::smoke_test()
+        };
+        let sharded = run_sweep(&config);
+        for (batch, &lambda) in sharded.batches.iter().zip(&config.lambdas) {
+            let solo_batch = run_lambda_batch(&config, lambda);
+            for (trial, solo) in batch.trials.iter().zip(&solo_batch.trials) {
+                assert_eq!(trial.heuristic_costs, solo.heuristic_costs);
+                assert_eq!(trial.lp_bound, solo.lp_bound);
+                let isolated = run_single_trial(&config, lambda, trial.tree_index);
+                assert_eq!(trial.heuristic_costs, isolated.heuristic_costs);
+                assert_eq!(trial.lp_bound, isolated.lp_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_revised_engines_agree_on_the_smoke_sweep() {
+        let revised = run_sweep(&ExperimentConfig {
+            engine: LpEngine::Revised,
+            ..ExperimentConfig::smoke_test()
+        });
+        let dense = run_sweep(&ExperimentConfig {
+            engine: LpEngine::DenseTableau,
+            ..ExperimentConfig::smoke_test()
+        });
+        for (br, bd) in revised.batches.iter().zip(&dense.batches) {
+            for (tr, td) in br.trials.iter().zip(&bd.trials) {
+                assert_eq!(
+                    tr.lp_bound, td.lp_bound,
+                    "λ={} tree {}",
+                    br.lambda, tr.tree_index
+                );
+                assert_eq!(tr.heuristic_costs, td.heuristic_costs);
+            }
+        }
+    }
+
+    #[test]
     fn lower_bound_never_exceeds_any_heuristic_cost() {
         let config = ExperimentConfig::smoke_test();
         let results = run_sweep(&config);
@@ -287,6 +468,13 @@ mod tests {
         if let Some(placement) = placement {
             assert!(placement.is_valid(&p, Policy::Multiple));
         }
+    }
+
+    #[test]
+    fn paper_scale_config_reaches_s_400() {
+        let config = ExperimentConfig::paper_scale();
+        assert_eq!(config.size_range.1, 400);
+        assert_eq!(config.engine, LpEngine::Revised);
     }
 
     #[test]

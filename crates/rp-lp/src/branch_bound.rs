@@ -3,9 +3,19 @@
 //! The replica-placement formulations only declare a modest number of
 //! integer variables (the replica indicators `x_j`, one per internal
 //! node), so a straightforward LP-based branch-and-bound is sufficient:
-//! solve the continuous relaxation with the dense simplex, branch on the
-//! most fractional integer variable, and explore the resulting subtree
-//! depth-first while pruning with the incumbent.
+//! solve the continuous relaxation, branch on the most fractional
+//! integer variable, and explore the resulting subtree depth-first
+//! while pruning with the incumbent.
+//!
+//! Two relaxation engines are available (see [`crate::engine`]):
+//!
+//! * with [`LpEngine::Revised`] (the default) every node after the root
+//!   **warm-starts from the previously solved node's basis**: a bound
+//!   change keeps the basis dual feasible, so a short dual-simplex
+//!   cleanup replaces the full two-phase solve — usually a handful of
+//!   pivots per node;
+//! * with [`LpEngine::DenseTableau`] every node re-runs the dense
+//!   two-phase simplex (the slower differential oracle).
 //!
 //! The solver reports both the best incumbent and the best proven bound,
 //! which is exactly what the paper's "mixed" lower bound (Section 7.1)
@@ -13,8 +23,9 @@
 //! open-node relaxation value is still a valid lower bound on the
 //! optimal integer objective.
 
+use crate::engine::{solve_lp_engine, LpEngine, LpWorkspace};
 use crate::model::{Model, Sense, VarId};
-use crate::simplex::{solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
+use crate::simplex::SimplexOptions;
 use crate::solution::{Solution, Status};
 
 /// Options for the branch-and-bound search.
@@ -22,6 +33,8 @@ use crate::solution::{Solution, Status};
 pub struct BranchBoundOptions {
     /// LP sub-solver options.
     pub simplex: SimplexOptions,
+    /// Which LP engine solves the node relaxations.
+    pub engine: LpEngine,
     /// Maximum number of explored nodes before giving up.
     pub max_nodes: usize,
     /// Integrality tolerance: a value within this distance of an integer
@@ -33,6 +46,7 @@ impl Default for BranchBoundOptions {
     fn default() -> Self {
         BranchBoundOptions {
             simplex: SimplexOptions::default(),
+            engine: LpEngine::default(),
             max_nodes: 10_000,
             integrality_tolerance: 1e-6,
         }
@@ -69,9 +83,22 @@ pub fn solve_milp(model: &Model) -> MilpOutcome {
 
 /// Solves `model` as a mixed-integer program.
 pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutcome {
+    let mut workspace = LpWorkspace::new();
+    solve_milp_reusing(model, options, &mut workspace)
+}
+
+/// [`solve_milp_with`] reusing the LP buffers of `workspace` (the warm
+/// branch-and-bound path holds its basis there, so reusing the
+/// workspace across many searches also reuses the factorisation
+/// buffers).
+pub fn solve_milp_reusing(
+    model: &Model,
+    options: &BranchBoundOptions,
+    workspace: &mut LpWorkspace,
+) -> MilpOutcome {
     let integer_vars = model.integer_vars();
     if integer_vars.is_empty() {
-        let sol = solve_lp_with(model, &options.simplex);
+        let sol = solve_lp_engine(model, options.engine, &options.simplex, workspace);
         let bound = if sol.status == Status::Optimal {
             Some(sol.objective)
         } else {
@@ -101,17 +128,13 @@ pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutco
     let mut explored = 0usize;
     // One scratch model for the whole search: each node applies its
     // bound overrides, solves, and restores — no per-node clone. The
-    // simplex workspace is likewise shared, so after the root solve the
-    // per-node work is allocation-free up to the returned solution.
+    // LP workspace is likewise shared; under the revised engine it
+    // carries the basis of the previously solved node, so each node's
+    // relaxation is a warm dual-simplex cleanup rather than a cold
+    // two-phase solve.
     let mut scratch = model.clone();
-    let mut workspace = SimplexWorkspace::new();
+    workspace.revised.invalidate();
     let mut saved_bounds: Vec<(VarId, f64, Option<f64>)> = Vec::new();
-    // Relaxation values of *open* (pruned-by-limit) and explored leaves;
-    // the global bound is the weakest relaxation among nodes that were
-    // never fathomed by bound. We track it as the min (for minimisation)
-    // over nodes we abandoned plus the root relaxation chain; a simpler
-    // sound choice: the root relaxation value, improved only when the
-    // search completes (then the incumbent is optimal).
     let mut root_relaxation: Option<f64> = None;
     let mut node_limit_hit = false;
     let mut open_bound: Option<f64> = None;
@@ -142,7 +165,15 @@ pub fn solve_milp_with(model: &Model, options: &BranchBoundOptions) -> MilpOutco
             scratch.set_bounds(var, lower, upper);
         }
 
-        let relaxation = solve_lp_reusing(&scratch, &options.simplex, &mut workspace);
+        let relaxation = match options.engine {
+            // Warm start: the bound overrides are the only difference
+            // from the previously solved node, so the stored basis is
+            // dual feasible and a dual-simplex cleanup suffices.
+            LpEngine::Revised => workspace.revised.solve_warm(&scratch, &options.simplex),
+            LpEngine::DenseTableau => {
+                solve_lp_engine(&scratch, options.engine, &options.simplex, workspace)
+            }
+        };
 
         // Restore in reverse, so repeated overrides of one variable
         // unwind correctly.
@@ -305,23 +336,36 @@ mod tests {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
     }
 
+    /// Every MILP test runs under both engines; the revised path also
+    /// exercises the warm-started dual-simplex node solves.
+    fn solve_both(m: &Model) -> [MilpOutcome; 2] {
+        [LpEngine::DenseTableau, LpEngine::Revised].map(|engine| {
+            solve_milp_with(
+                m,
+                &BranchBoundOptions {
+                    engine,
+                    ..BranchBoundOptions::default()
+                },
+            )
+        })
+    }
+
     #[test]
     fn pure_lp_passes_through() {
         let mut m = Model::minimize();
         let x = m.add_var("x", 0.0, None, 1.0);
         m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 2.5);
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Optimal);
-        assert_close(out.objective().unwrap(), 2.5);
-        assert_close(out.bound.unwrap(), 2.5);
-        assert_eq!(out.explored_nodes, 1);
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Optimal);
+            assert_close(out.objective().unwrap(), 2.5);
+            assert_close(out.bound.unwrap(), 2.5);
+            assert_eq!(out.explored_nodes, 1);
+        }
     }
 
     #[test]
     fn knapsack_is_solved_exactly() {
-        // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary. Optimum: a+c=17?
-        // options: {a,b}: weight 7 no; {b,c}: 6 -> 20; {a,c}: 5 -> 17.
-        // So best is 20.
+        // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary. Best: {b,c} = 20.
         let mut m = Model::new(Sense::Maximize);
         let a = m.add_binary_var("a", 10.0);
         let b = m.add_binary_var("b", 13.0);
@@ -332,13 +376,14 @@ mod tests {
             Cmp::Le,
             6.0,
         );
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Optimal);
-        assert_close(out.objective().unwrap(), 20.0);
-        let sol = out.incumbent.unwrap();
-        assert_close(sol.value(a), 0.0);
-        assert_close(sol.value(b), 1.0);
-        assert_close(sol.value(c), 1.0);
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Optimal);
+            assert_close(out.objective().unwrap(), 20.0);
+            let sol = out.incumbent.unwrap();
+            assert_close(sol.value(a), 0.0);
+            assert_close(sol.value(b), 1.0);
+            assert_close(sol.value(c), 1.0);
+        }
     }
 
     #[test]
@@ -347,10 +392,11 @@ mod tests {
         let mut m = Model::minimize();
         let x = m.add_int_var("x", 0.0, None, 1.0);
         m.add_constraint("c", lin_sum([(2.0, x)]), Cmp::Ge, 7.0);
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Optimal);
-        assert_close(out.objective().unwrap(), 4.0);
-        assert_close(out.bound.unwrap(), 4.0);
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Optimal);
+            assert_close(out.objective().unwrap(), 4.0);
+            assert_close(out.bound.unwrap(), 4.0);
+        }
     }
 
     #[test]
@@ -358,23 +404,24 @@ mod tests {
         let mut m = Model::minimize();
         let x = m.add_binary_var("x", 1.0);
         m.add_constraint("impossible", LinExpr::var(x), Cmp::Ge, 2.0);
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Infeasible);
-        assert!(out.incumbent.is_none());
-        assert!(out.bound.is_none());
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Infeasible);
+            assert!(out.incumbent.is_none());
+            assert!(out.bound.is_none());
+        }
     }
 
     #[test]
     fn mixed_integer_and_continuous() {
-        // min 5y + x  st  x >= 3.3 - 3y,  y binary, x >= 0.
-        // y=0 -> x=3.3, cost 3.3 ; y=1 -> x=0.3, cost 5.3. Optimum 3.3.
+        // min 5y + x  st  x >= 3.3 - 3y,  y binary, x >= 0. Optimum 3.3.
         let mut m = Model::minimize();
         let x = m.add_var("x", 0.0, None, 1.0);
         let y = m.add_binary_var("y", 5.0);
         m.add_constraint("c", lin_sum([(1.0, x), (3.0, y)]), Cmp::Ge, 3.3);
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Optimal);
-        assert_close(out.objective().unwrap(), 3.3);
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Optimal);
+            assert_close(out.objective().unwrap(), 3.3);
+        }
     }
 
     #[test]
@@ -384,17 +431,15 @@ mod tests {
         let x = m.add_int_var("x", 0.0, None, 3.0);
         let y = m.add_int_var("y", 0.0, None, 2.0);
         m.add_constraint("sum", lin_sum([(1.0, x), (1.0, y)]), Cmp::Eq, 5.0);
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Optimal);
-        assert_close(out.objective().unwrap(), 10.0);
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Optimal);
+            assert_close(out.objective().unwrap(), 10.0);
+        }
     }
 
     #[test]
     fn node_limit_still_reports_a_valid_bound() {
-        // Vertex cover of a triangle: the LP relaxation is fractional
-        // (all 0.5, value 1.5) while the integer optimum is 2. With
-        // max_nodes = 1 the search stops after the root node but the
-        // reported bound must still be a valid lower bound.
+        // Vertex cover of a triangle: LP relaxation 1.5, integer optimum 2.
         let mut m = Model::minimize();
         let vars: Vec<_> = (0..3)
             .map(|i| m.add_binary_var(format!("x{i}"), 1.0))
@@ -408,27 +453,36 @@ mod tests {
                 1.0,
             );
         }
-        let exact = solve_milp(&m);
-        assert_eq!(exact.status, Status::Optimal);
-        assert_close(exact.objective().unwrap(), 2.0);
+        for engine in [LpEngine::DenseTableau, LpEngine::Revised] {
+            let exact = solve_milp_with(
+                &m,
+                &BranchBoundOptions {
+                    engine,
+                    ..BranchBoundOptions::default()
+                },
+            );
+            assert_eq!(exact.status, Status::Optimal);
+            assert_close(exact.objective().unwrap(), 2.0);
 
-        let limited = solve_milp_with(
-            &m,
-            &BranchBoundOptions {
-                max_nodes: 1,
-                ..BranchBoundOptions::default()
-            },
-        );
-        assert_eq!(limited.status, Status::NodeLimit);
-        let bound = limited.bound.expect("root relaxation bound");
-        assert!(
-            bound <= 2.0 + 1e-6,
-            "bound {bound} must not exceed the optimum"
-        );
-        assert!(
-            bound >= 1.0,
-            "bound {bound} should be at least the trivial bound"
-        );
+            let limited = solve_milp_with(
+                &m,
+                &BranchBoundOptions {
+                    engine,
+                    max_nodes: 1,
+                    ..BranchBoundOptions::default()
+                },
+            );
+            assert_eq!(limited.status, Status::NodeLimit);
+            let bound = limited.bound.expect("root relaxation bound");
+            assert!(
+                bound <= 2.0 + 1e-6,
+                "bound {bound} must not exceed the optimum"
+            );
+            assert!(
+                bound >= 1.0,
+                "bound {bound} should be at least the trivial bound"
+            );
+        }
     }
 
     #[test]
@@ -438,9 +492,10 @@ mod tests {
         let x = m.add_int_var("x", 0.0, Some(2.2), 4.0);
         let y = m.add_int_var("y", 0.0, None, 3.0);
         m.add_constraint("c", lin_sum([(1.0, x), (1.0, y)]), Cmp::Le, 3.5);
-        let out = solve_milp(&m);
-        assert_eq!(out.status, Status::Optimal);
-        assert_close(out.objective().unwrap(), 11.0);
+        for out in solve_both(&m) {
+            assert_eq!(out.status, Status::Optimal);
+            assert_close(out.objective().unwrap(), 11.0);
+        }
     }
 
     #[test]
@@ -450,5 +505,43 @@ mod tests {
         m.add_constraint("c", lin_sum([(2.0, x)]), Cmp::Ge, 7.0);
         let out = solve_milp(&m);
         assert!(out.explored_nodes >= 1);
+    }
+
+    #[test]
+    fn warm_and_cold_searches_agree_on_a_batch_of_milps() {
+        // A family of knapsack-ish MILPs solved with both engines and
+        // one shared workspace (warm basis carried across searches).
+        let mut ws = LpWorkspace::new();
+        for trial in 0..6u32 {
+            let mut m = Model::new(Sense::Maximize);
+            let weights = [3.0 + f64::from(trial % 3), 4.0, 2.0, 5.0];
+            let profits = [10.0, 13.0 - f64::from(trial % 2), 7.0, 9.0];
+            let vars: Vec<_> = (0..4)
+                .map(|i| m.add_binary_var(format!("v{i}"), profits[i]))
+                .collect();
+            let expr = lin_sum(vars.iter().zip(weights).map(|(&v, w)| (w, v)));
+            m.add_constraint("w", expr, Cmp::Le, 8.0 + f64::from(trial));
+            let dense = solve_milp_with(
+                &m,
+                &BranchBoundOptions {
+                    engine: LpEngine::DenseTableau,
+                    ..BranchBoundOptions::default()
+                },
+            );
+            let revised = solve_milp_reusing(
+                &m,
+                &BranchBoundOptions {
+                    engine: LpEngine::Revised,
+                    ..BranchBoundOptions::default()
+                },
+                &mut ws,
+            );
+            assert_eq!(dense.status, revised.status, "trial {trial}");
+            match (dense.objective(), revised.objective()) {
+                (Some(a), Some(b)) => assert_close(a, b),
+                (None, None) => {}
+                other => panic!("incumbent mismatch on trial {trial}: {other:?}"),
+            }
+        }
     }
 }

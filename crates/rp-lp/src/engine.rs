@@ -1,0 +1,100 @@
+//! Solver-engine selection.
+//!
+//! Two LP engines coexist in this crate:
+//!
+//! * [`LpEngine::DenseTableau`] — the original full-tableau two-phase
+//!   simplex ([`crate::simplex`]). `O(m·n)` per pivot with upper bounds
+//!   materialised as extra rows; simple, battle-tested, and kept as the
+//!   **differential-testing oracle** for the revised engine.
+//! * [`LpEngine::Revised`] — the bounded-variable revised simplex with
+//!   an LU-factorised basis ([`crate::revised`]). The default: it keeps
+//!   `m` at the constraint count (no bound rows) and supports
+//!   warm-started branch-and-bound.
+//!
+//! [`LpWorkspace`] bundles one reusable workspace per engine so callers
+//! that sweep over many models (the experiment harness, benchmarks) can
+//! switch engines without reallocating.
+
+use crate::model::Model;
+use crate::revised::{solve_lp_revised_reusing, RevisedWorkspace};
+use crate::simplex::{solve_lp_reusing, SimplexOptions, SimplexWorkspace};
+use crate::solution::Solution;
+
+/// Which LP engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LpEngine {
+    /// Dense full-tableau two-phase simplex (the differential oracle).
+    DenseTableau,
+    /// Bounded-variable revised simplex with a factorised basis.
+    #[default]
+    Revised,
+}
+
+impl std::fmt::Display for LpEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpEngine::DenseTableau => write!(f, "dense-tableau"),
+            LpEngine::Revised => write!(f, "revised"),
+        }
+    }
+}
+
+/// Reusable buffers for both engines. Only the engine actually used
+/// allocates anything.
+#[derive(Default)]
+pub struct LpWorkspace {
+    /// The dense tableau workspace.
+    pub dense: SimplexWorkspace,
+    /// The revised-simplex workspace (factorisation, basis, scratch).
+    pub revised: RevisedWorkspace,
+}
+
+impl LpWorkspace {
+    /// A fresh workspace for either engine.
+    pub fn new() -> Self {
+        LpWorkspace::default()
+    }
+}
+
+/// Solves the continuous relaxation of `model` with the selected engine,
+/// reusing `workspace`'s buffers.
+pub fn solve_lp_engine(
+    model: &Model,
+    engine: LpEngine,
+    options: &SimplexOptions,
+    workspace: &mut LpWorkspace,
+) -> Solution {
+    match engine {
+        LpEngine::DenseTableau => solve_lp_reusing(model, options, &mut workspace.dense),
+        LpEngine::Revised => solve_lp_revised_reusing(model, options, &mut workspace.revised),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin_sum, Cmp, Model};
+    use crate::solution::Status;
+
+    #[test]
+    fn both_engines_agree_through_the_facade() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(4.0), 2.0);
+        let y = m.add_var("y", 0.0, None, 3.0);
+        m.add_constraint("c", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 6.0);
+        let mut ws = LpWorkspace::new();
+        let options = SimplexOptions::default();
+        let dense = solve_lp_engine(&m, LpEngine::DenseTableau, &options, &mut ws);
+        let revised = solve_lp_engine(&m, LpEngine::Revised, &options, &mut ws);
+        assert_eq!(dense.status, Status::Optimal);
+        assert_eq!(revised.status, Status::Optimal);
+        assert!((dense.objective - revised.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn engine_metadata() {
+        assert_eq!(LpEngine::default(), LpEngine::Revised);
+        assert_eq!(LpEngine::Revised.to_string(), "revised");
+        assert_eq!(LpEngine::DenseTableau.to_string(), "dense-tableau");
+    }
+}

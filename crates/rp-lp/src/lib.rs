@@ -8,14 +8,72 @@
 //! * [`Model`] — variables (continuous or integer, bounded), linear
 //!   constraints, linear objective.
 //! * [`solve_lp`] — dense two-phase primal simplex for the continuous
-//!   relaxation.
+//!   relaxation (the original engine, kept as a differential oracle).
+//! * [`solve_lp_revised`] — bounded-variable **revised simplex** with a
+//!   factorised basis: the default engine, an order of magnitude faster
+//!   on the replica formulations (see below).
+//! * [`LpEngine`] / [`solve_lp_engine`] — explicit engine selection with
+//!   shared, reusable workspaces.
 //! * [`solve_milp`] — LP-based branch-and-bound over the declared
 //!   integer variables, reporting both the best incumbent and a proven
-//!   bound.
+//!   bound; under the revised engine every node warm-starts from the
+//!   previous node's basis.
 //!
 //! The paper used off-the-shelf solvers (GLPK / Maple); this crate is a
 //! from-scratch replacement sized for the formulations at hand, so the
 //! whole reproduction remains self-contained (see DESIGN.md).
+//!
+//! # The revised simplex, and when to pick each engine
+//!
+//! The dense tableau ([`solve_lp`]) keeps the whole `m × n` eliminated
+//! matrix and rewrites it on every pivot (`O(m·n)` work and memory),
+//! with every finite variable upper bound materialised as an extra
+//! `x_j ≤ u_j` row. The replica-placement relaxations bound *every*
+//! variable (`x_j ≤ 1`, `y_{i,j} ≤ r_i`), so those rows **double** `m`
+//! and the per-pivot cost — which is what kept paper-scale (`s = 400`)
+//! instances out of reach.
+//!
+//! The revised engine ([`solve_lp_revised`], [`RevisedWorkspace`])
+//! removes both costs:
+//!
+//! * **Implicit bounds** — variables live in `l ≤ x ≤ u` boxes and the
+//!   bounded ratio test lets a nonbasic variable *flip* from one bound
+//!   to the other without any basis change, so `m` equals the
+//!   constraint count alone (half the dense row count on these LPs).
+//! * **Factorised basis** — instead of the eliminated tableau the
+//!   engine keeps an LU factorisation `P·B = L·U` of the basis plus a
+//!   product-form **eta file**: each pivot appends one eta vector
+//!   (`O(m)`) rather than rewriting `O(m·n)` entries. FTRAN/BTRAN
+//!   solves cost `O(m² + k·m)` for `k` etas.
+//! * **Hyper-sparse solves** — the LU factors are stored as sparse
+//!   column lists and the forward/backward scatter solves skip
+//!   positions whose running value is exactly zero, so an FTRAN with a
+//!   sparse right-hand side (an entering column, a unit vector) costs
+//!   close to the nonzeros it touches. The tree-structured replica
+//!   bases barely fill in, which is where the order-of-magnitude win
+//!   over the (zero-skipping, but `O(m·n)`-per-pivot) tableau comes
+//!   from.
+//! * **Crash basis** — instead of one artificial per infeasible row,
+//!   the cold start makes a structural column basic in every coverage
+//!   equality whose value fits its bounds (block-triangularly, so the
+//!   start basis is trivially nonsingular). Phase 1 shrinks from one
+//!   artificial per client to a handful of residual rows.
+//! * **Refactorisation cadence** — every 64 eta updates the basis is
+//!   refactorised from its columns and the basic values are recomputed
+//!   from the right-hand side, bounding both the eta-file length and
+//!   the accumulated floating-point drift.
+//! * **Warm starts** — a bound change (the only thing branch-and-bound
+//!   does between nodes) leaves the reduced costs untouched, so the
+//!   parent basis stays dual feasible and a short **dual simplex**
+//!   cleanup re-optimises the child node; see
+//!   [`RevisedWorkspace::solve_warm`].
+//!
+//! Pick [`LpEngine::Revised`] (the default) for anything but tiny
+//! models; pick [`LpEngine::DenseTableau`] when you want a second,
+//! independently implemented opinion — the property tests in
+//! `tests/proptest_revised_equivalence.rs` pin the two engines to each
+//! other on random bounded LPs, and `rp-bench`'s `BENCH_revised.json`
+//! tracks the speedup.
 //!
 //! ```
 //! use rp_lp::{Model, LinExpr, Cmp, Sense, solve_milp};
@@ -50,11 +108,19 @@
 #![forbid(unsafe_code)]
 
 mod branch_bound;
+mod engine;
 mod model;
+mod revised;
 mod simplex;
 mod solution;
 
-pub use branch_bound::{solve_milp, solve_milp_with, BranchBoundOptions, MilpOutcome};
+pub use branch_bound::{
+    solve_milp, solve_milp_reusing, solve_milp_with, BranchBoundOptions, MilpOutcome,
+};
+pub use engine::{solve_lp_engine, LpEngine, LpWorkspace};
 pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
+pub use revised::{
+    solve_lp_revised, solve_lp_revised_reusing, solve_lp_revised_with, RevisedWorkspace,
+};
 pub use simplex::{solve_lp, solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 pub use solution::{Solution, Status};

@@ -1,0 +1,297 @@
+//! Standard-form matrix and basis bookkeeping for the revised simplex.
+//!
+//! [`StandardForm`] turns a [`Model`](crate::Model) into the equality
+//! form `A·x = b`, `l ≤ x ≤ u` the revised simplex works on:
+//!
+//! * one row per model constraint — variable upper bounds are **not**
+//!   materialised as rows (they live in the column bounds and are
+//!   enforced by the bounded ratio test), which halves `m` versus the
+//!   dense tableau for the replica-placement LPs;
+//! * one slack column per row with bounds that encode the comparison
+//!   direction: `[0, ∞)` for `≤`, `(-∞, 0]` for `≥`, `[0, 0]` for `=`.
+//!   With a `+1` coefficient everywhere the all-slack basis is the
+//!   identity;
+//! * artificial columns are appended per solve, only for rows whose
+//!   initial slack value violates the slack bounds.
+//!
+//! [`BasisState`] tracks which column is basic in which row, the
+//! at-lower/at-upper status of every nonbasic column, and the values of
+//! the basic variables.
+
+use crate::model::{Cmp, Model, Sense};
+
+/// Dense column index ranges: `0..n_struct` structural,
+/// `n_struct..n_struct + m` slacks, the rest artificials.
+#[derive(Default)]
+pub(crate) struct StandardForm {
+    /// Rows (model constraints).
+    pub(crate) m: usize,
+    /// Structural columns (model variables).
+    pub(crate) n_struct: usize,
+    /// CSC of the structural columns.
+    pub(crate) col_ptr: Vec<usize>,
+    pub(crate) col_rows: Vec<u32>,
+    pub(crate) col_vals: Vec<f64>,
+    /// CSR mirror (structural columns only), used by the crash basis.
+    pub(crate) row_ptr: Vec<usize>,
+    pub(crate) row_cols: Vec<u32>,
+    pub(crate) row_vals: Vec<f64>,
+    /// Per-column bounds, including slacks and artificials.
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    /// Phase-2 cost per column (sense-normalised to minimisation;
+    /// slacks and artificials cost 0).
+    pub(crate) cost: Vec<f64>,
+    /// Right-hand sides.
+    pub(crate) rhs: Vec<f64>,
+    /// Rows of the artificial columns (one row each, coefficient
+    /// `art_sign`), appended per solve.
+    pub(crate) art_rows: Vec<usize>,
+    pub(crate) art_signs: Vec<f64>,
+    /// Set when a variable's bounds are inverted (`ub < lb`): the LP is
+    /// trivially infeasible.
+    pub(crate) trivially_infeasible: bool,
+}
+
+impl StandardForm {
+    /// Total number of columns currently defined.
+    pub(crate) fn num_cols(&self) -> usize {
+        self.n_struct + self.m + self.art_rows.len()
+    }
+
+    /// First artificial column index.
+    pub(crate) fn art_base(&self) -> usize {
+        self.n_struct + self.m
+    }
+
+    /// `true` for slack or structural columns whose bounds pin them
+    /// (`ub − lb ≤ 0`): they can never usefully enter the basis.
+    pub(crate) fn is_fixed(&self, col: usize) -> bool {
+        self.upper[col] - self.lower[col] <= 0.0
+    }
+
+    /// Rebuilds the standard form from `model`, reusing every buffer.
+    pub(crate) fn build(&mut self, model: &Model) {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        self.m = m;
+        self.n_struct = n;
+        self.art_rows.clear();
+        self.art_signs.clear();
+        self.trivially_infeasible = false;
+
+        // CSC from the row-wise constraints: count, prefix, fill.
+        self.col_ptr.clear();
+        self.col_ptr.resize(n + 1, 0);
+        for c in &model.constraints {
+            for &(var, _) in &c.terms {
+                self.col_ptr[var.index() + 1] += 1;
+            }
+        }
+        for j in 0..n {
+            self.col_ptr[j + 1] += self.col_ptr[j];
+        }
+        let nnz = self.col_ptr[n];
+        self.col_rows.clear();
+        self.col_rows.resize(nnz, 0);
+        self.col_vals.clear();
+        self.col_vals.resize(nnz, 0.0);
+        // `col_ptr[j]` doubles as the fill cursor for column j; restore
+        // it afterwards by shifting back.
+        for (row, c) in model.constraints.iter().enumerate() {
+            for &(var, coeff) in &c.terms {
+                let slot = self.col_ptr[var.index()];
+                self.col_rows[slot] = row as u32;
+                self.col_vals[slot] = coeff;
+                self.col_ptr[var.index()] += 1;
+            }
+        }
+        for j in (1..=n).rev() {
+            self.col_ptr[j] = self.col_ptr[j - 1];
+        }
+        self.col_ptr[0] = 0;
+
+        // CSR mirror for row-wise scans (the crash basis). The
+        // constraints are already row-ordered, so one pass suffices.
+        self.row_ptr.clear();
+        self.row_cols.clear();
+        self.row_vals.clear();
+        self.row_ptr.push(0);
+        for c in &model.constraints {
+            for &(var, coeff) in &c.terms {
+                self.row_cols.push(var.index() as u32);
+                self.row_vals.push(coeff);
+            }
+            self.row_ptr.push(self.row_cols.len());
+        }
+
+        // Bounds and costs: structural then slack columns.
+        let maximise = model.sense() == Sense::Maximize;
+        self.lower.clear();
+        self.upper.clear();
+        self.cost.clear();
+        for v in &model.variables {
+            let ub = v.upper.unwrap_or(f64::INFINITY);
+            if ub < v.lower {
+                self.trivially_infeasible = true;
+            }
+            self.lower.push(v.lower);
+            self.upper.push(ub);
+            self.cost
+                .push(if maximise { -v.objective } else { v.objective });
+        }
+        self.rhs.clear();
+        for c in &model.constraints {
+            let (slo, shi) = match c.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            self.lower.push(slo);
+            self.upper.push(shi);
+            self.cost.push(0.0);
+            self.rhs.push(c.rhs);
+        }
+    }
+
+    /// Refreshes the structural bounds, objective and right-hand sides
+    /// from `model` (used by the warm-started branch-and-bound path;
+    /// the stored basis stays valid because none of these enter the
+    /// basis matrix).
+    pub(crate) fn refresh_bounds(&mut self, model: &Model) {
+        self.trivially_infeasible = false;
+        let maximise = model.sense() == Sense::Maximize;
+        for (j, v) in model.variables.iter().enumerate() {
+            let ub = v.upper.unwrap_or(f64::INFINITY);
+            if ub < v.lower {
+                self.trivially_infeasible = true;
+            }
+            self.lower[j] = v.lower;
+            self.upper[j] = ub;
+            self.cost[j] = if maximise { -v.objective } else { v.objective };
+        }
+        for (row, c) in model.constraints.iter().enumerate() {
+            self.rhs[row] = c.rhs;
+        }
+    }
+
+    /// `true` when `model` has the same shape as the standard form was
+    /// built for (variable and constraint counts).
+    pub(crate) fn shape_matches(&self, model: &Model) -> bool {
+        self.n_struct == model.num_vars() && self.m == model.num_constraints()
+    }
+
+    /// `true` when `model`'s constraint matrix is entry-for-entry the
+    /// one this standard form was built from (compared against the CSR
+    /// mirror, which preserves the original row-major term order).
+    /// `O(nnz)` — cheap next to a solve, and what lets `solve_warm`
+    /// keep its documented promise of falling back to a cold solve
+    /// whenever anything but bounds, costs or right-hand sides changed.
+    pub(crate) fn matrix_matches(&self, model: &Model) -> bool {
+        for (row, c) in model.constraints.iter().enumerate() {
+            let range = self.row_ptr[row]..self.row_ptr[row + 1];
+            if range.len() != c.terms.len() {
+                return false;
+            }
+            for (t, &(var, coeff)) in range.zip(&c.terms) {
+                if self.row_cols[t] as usize != var.index() || self.row_vals[t] != coeff {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies `f(row, value)` to every entry of column `col`.
+    #[inline]
+    pub(crate) fn for_each_entry(&self, col: usize, mut f: impl FnMut(usize, f64)) {
+        if col < self.n_struct {
+            for k in self.col_ptr[col]..self.col_ptr[col + 1] {
+                f(self.col_rows[k] as usize, self.col_vals[k]);
+            }
+        } else if col < self.art_base() {
+            f(col - self.n_struct, 1.0);
+        } else {
+            let a = col - self.art_base();
+            f(self.art_rows[a], self.art_signs[a]);
+        }
+    }
+
+    /// Dot product of column `col` with a dense row-indexed vector.
+    #[inline]
+    pub(crate) fn col_dot(&self, col: usize, v: &[f64]) -> f64 {
+        if col < self.n_struct {
+            let mut sum = 0.0;
+            for k in self.col_ptr[col]..self.col_ptr[col + 1] {
+                sum += self.col_vals[k] * v[self.col_rows[k] as usize];
+            }
+            sum
+        } else if col < self.art_base() {
+            v[col - self.n_struct]
+        } else {
+            let a = col - self.art_base();
+            self.art_signs[a] * v[self.art_rows[a]]
+        }
+    }
+}
+
+/// Where a column currently sits.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) enum ColStatus {
+    /// Basic in the given row.
+    Basic(u32),
+    /// Nonbasic at its lower bound.
+    Lower,
+    /// Nonbasic at its upper bound.
+    Upper,
+}
+
+/// The basis: row → column map, column statuses, basic values.
+#[derive(Default)]
+pub(crate) struct BasisState {
+    pub(crate) status: Vec<ColStatus>,
+    /// `basic[row]` = column basic in that row.
+    pub(crate) basic: Vec<usize>,
+    /// Values of the basic variables, by row.
+    pub(crate) x_basic: Vec<f64>,
+}
+
+impl BasisState {
+    /// Value of a nonbasic column under its current status.
+    #[inline]
+    pub(crate) fn nonbasic_value(&self, form: &StandardForm, col: usize) -> f64 {
+        match self.status[col] {
+            ColStatus::Basic(row) => self.x_basic[row as usize],
+            ColStatus::Lower => form.lower[col],
+            ColStatus::Upper => form.upper[col],
+        }
+    }
+
+    /// Writes the dense solution (structural columns only) into `out`.
+    pub(crate) fn extract_values(&self, form: &StandardForm, out: &mut Vec<f64>) {
+        out.clear();
+        for j in 0..form.n_struct {
+            out.push(self.nonbasic_value(form, j));
+        }
+    }
+
+    /// Computes `b − Σ_nonbasic a_j·x_j` into `out` (the right-hand side
+    /// the basic variables must cover). `O(nnz)`.
+    pub(crate) fn residual_rhs(&self, form: &StandardForm, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&form.rhs);
+        for col in 0..form.num_cols() {
+            match self.status[col] {
+                ColStatus::Basic(_) => {}
+                ColStatus::Lower | ColStatus::Upper => {
+                    let value = self.nonbasic_value(form, col);
+                    if value != 0.0 {
+                        form.for_each_entry(col, |row, coeff| {
+                            out[row] -= coeff * value;
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

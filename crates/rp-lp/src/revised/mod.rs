@@ -1,0 +1,864 @@
+//! Bounded-variable revised simplex with a factorised basis.
+//!
+//! This is the scalable counterpart of the dense tableau in
+//! [`crate::simplex`]. The method keeps the constraint matrix fixed and
+//! sparse (see [`basis::StandardForm`]) and represents the basis inverse
+//! as an LU factorisation plus a product-form eta file
+//! ([`factor::Factorization`]), so one iteration costs
+//! `O(m² + nnz)` instead of the tableau's `O(m·n)` full-matrix
+//! elimination — with `m` equal to the *constraint* count only, because
+//! variable bounds are handled implicitly by the ratio test
+//! ([`ratio`]) rather than materialised as rows.
+//!
+//! Solving runs the textbook two phases, both as bounded primal simplex
+//! ([`solve_lp_revised`] and friends), from a **crash basis** that
+//! covers infeasible rows with structural columns wherever possible so
+//! phase 1 starts with only a handful of artificials. For branch-and-bound, the
+//! workspace additionally supports **warm starts**
+//! ([`RevisedWorkspace::solve_warm`]): after a node changes variable
+//! bounds, the parent's optimal basis is still dual feasible (bounds do
+//! not enter the reduced costs), so a few dual-simplex pivots restore
+//! primal feasibility instead of re-running both phases from scratch.
+//! The basis is refactorised every [`REFACTOR_EVERY`] updates — and the
+//! basic values recomputed from the right-hand side — to keep the
+//! product form numerically honest.
+
+mod basis;
+mod factor;
+mod pricing;
+mod ratio;
+
+use crate::model::Model;
+use crate::simplex::SimplexOptions;
+use crate::solution::{Solution, Status};
+
+use basis::{BasisState, ColStatus, StandardForm};
+use factor::Factorization;
+use pricing::{choose_dual_entering, choose_entering, choose_leaving_row, Entering};
+use ratio::{primal_ratio_test, Ratio};
+
+/// Eta updates tolerated before the basis is refactorised and the basic
+/// values recomputed from scratch.
+const REFACTOR_EVERY: usize = 64;
+
+/// Pivot-magnitude tolerance of the ratio tests.
+const PIVOT_TOL: f64 = 1e-9;
+
+/// Reusable state of the revised simplex: standard form, basis,
+/// factorisation and every scratch vector. A workspace can be reused
+/// across solves ([`solve_lp_revised_reusing`]) and carries the optimal
+/// basis forward for warm starts ([`RevisedWorkspace::solve_warm`]).
+#[derive(Default)]
+pub struct RevisedWorkspace {
+    form: StandardForm,
+    basis: BasisState,
+    factor: Factorization,
+    /// Dual values / BTRAN buffer.
+    y: Vec<f64>,
+    /// Pivot column / FTRAN buffer.
+    w: Vec<f64>,
+    /// Dual pivot row buffer.
+    rho: Vec<f64>,
+    /// Residual right-hand-side buffer.
+    residual: Vec<f64>,
+    /// Per-row flags used by the crash-basis construction.
+    row_flags: Vec<bool>,
+    /// Phase-1 cost buffer.
+    phase_costs: Vec<f64>,
+    /// Set once a solve left behind a basis usable for warm starts.
+    warm_ready: bool,
+}
+
+impl RevisedWorkspace {
+    /// A fresh workspace.
+    pub fn new() -> Self {
+        RevisedWorkspace::default()
+    }
+
+    /// Discards any stored basis, forcing the next solve to start cold.
+    pub fn invalidate(&mut self) {
+        self.warm_ready = false;
+    }
+
+    /// Solves `model`, reusing the previous optimal basis when the
+    /// constraint *matrix* is unchanged (verified entry-for-entry in
+    /// `O(nnz)`); bounds, objective and right-hand sides may all differ
+    /// — branch-and-bound only changes bounds, which additionally keeps
+    /// the basis dual feasible so the dual cleanup is short. Falls back
+    /// to a cold two-phase solve on any structural change, or when the
+    /// dual-simplex cleanup fails.
+    pub fn solve_warm(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        if !self.warm_ready || !self.form.shape_matches(model) || !self.form.matrix_matches(model) {
+            return self.solve_cold(model, options);
+        }
+        self.form.refresh_bounds(model);
+        if self.form.trivially_infeasible {
+            return Solution::status_only(Status::Infeasible);
+        }
+        // Nonbasic columns whose bound vanished must be re-anchored.
+        for col in 0..self.form.num_cols() {
+            match self.basis.status[col] {
+                ColStatus::Upper if self.form.upper[col] == f64::INFINITY => {
+                    self.basis.status[col] = ColStatus::Lower;
+                }
+                ColStatus::Lower if self.form.lower[col] == f64::NEG_INFINITY => {
+                    self.basis.status[col] = ColStatus::Upper;
+                }
+                _ => {}
+            }
+        }
+        if !self.refactor_and_recompute() {
+            return self.solve_cold(model, options);
+        }
+        match self.dual_loop(options) {
+            DualOutcome::PrimalFeasible => {}
+            DualOutcome::Infeasible => {
+                // Dual unbounded ⇒ primal infeasible. The basis stays
+                // warm for the next sibling node.
+                return Solution::status_only(Status::Infeasible);
+            }
+            DualOutcome::IterationLimit => return self.solve_cold(model, options),
+        }
+        // Polish with primal phase 2: exits immediately when the dual
+        // cleanup already reached optimality, and absorbs any residual
+        // dual infeasibility (e.g. a bound that loosened back) otherwise.
+        self.load_phase2_costs();
+        let costs = std::mem::take(&mut self.phase_costs);
+        let outcome = self.primal_loop(&costs, options, false);
+        self.phase_costs = costs;
+        match outcome {
+            PhaseOutcome::Optimal => self.extract(model, options),
+            PhaseOutcome::Unbounded => Solution::status_only(Status::Unbounded),
+            PhaseOutcome::IterationLimit => Solution::status_only(Status::IterationLimit),
+        }
+    }
+
+    /// Cold two-phase solve, ignoring any stored basis.
+    pub fn solve_cold(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        self.warm_ready = false;
+        self.form.build(model);
+        if self.form.trivially_infeasible {
+            return Solution::status_only(Status::Infeasible);
+        }
+        let m = self.form.m;
+        let n = self.form.n_struct;
+
+        // Initial point: structural columns at their (finite) lower
+        // bounds; the residual decides, row by row, whether the slack
+        // can be basic or an artificial is needed.
+        self.basis.status.clear();
+        self.basis
+            .status
+            .extend(std::iter::repeat_n(ColStatus::Lower, n + m));
+        self.basis.basic.clear();
+        self.basis.basic.resize(m, usize::MAX);
+        self.basis.x_basic.clear();
+        self.basis.x_basic.resize(m, 0.0);
+
+        self.residual.clear();
+        self.residual.extend_from_slice(&self.form.rhs);
+        for j in 0..n {
+            let lb = self.form.lower[j];
+            if lb != 0.0 {
+                let (col_rows, col_vals, range) = (
+                    &self.form.col_rows,
+                    &self.form.col_vals,
+                    self.form.col_ptr[j]..self.form.col_ptr[j + 1],
+                );
+                for k in range {
+                    self.residual[col_rows[k] as usize] -= col_vals[k] * lb;
+                }
+            }
+        }
+        // Crash pass: a row whose initial slack value violates the
+        // slack bounds would need an artificial — and every artificial
+        // costs phase-1 pivots to drive out again. Instead, try to make
+        // a *structural* column basic in the row, at the value that
+        // closes the residual exactly. The column must not touch any
+        // other deficient row (so the crash columns + slacks stay block
+        // triangular and trivially nonsingular) and the value must lie
+        // within its bounds. On the replica formulations this covers
+        // every `cover` equality with one of its `y` variables, cutting
+        // phase 1 from one artificial per client to a handful.
+        self.row_flags.clear();
+        for row in 0..m {
+            let slack = n + row;
+            let r = self.residual[row];
+            self.row_flags
+                .push(r < self.form.lower[slack] || r > self.form.upper[slack]);
+        }
+        for row in 0..m {
+            // `row_flags` stays set for rows that received a crash
+            // column: a later candidate may not touch *any* deficient
+            // row (crashed or not), which keeps every crash row's basic
+            // value decoupled — the recompute below then reproduces the
+            // hand-checked in-bounds values exactly.
+            if !self.row_flags[row] || self.basis.basic[row] != usize::MAX {
+                continue;
+            }
+            let r = self.residual[row];
+            let mut chosen: Option<(usize, f64)> = None;
+            for k in self.form.row_ptr[row]..self.form.row_ptr[row + 1] {
+                let col = self.form.row_cols[k] as usize;
+                let coeff = self.form.row_vals[k];
+                if coeff.abs() < 1e-7 || self.basis.status[col] != ColStatus::Lower {
+                    continue;
+                }
+                let value = self.form.lower[col] + r / coeff;
+                if value < self.form.lower[col] || value > self.form.upper[col] {
+                    continue;
+                }
+                let touches_deficient_row = (self.form.col_ptr[col]..self.form.col_ptr[col + 1])
+                    .any(|t| {
+                        let other = self.form.col_rows[t] as usize;
+                        other != row && self.row_flags[other]
+                    });
+                if touches_deficient_row {
+                    continue;
+                }
+                match chosen {
+                    Some((_, best_coeff)) if coeff.abs() <= best_coeff => {}
+                    _ => chosen = Some((col, coeff.abs())),
+                }
+            }
+            if let Some((col, _)) = chosen {
+                // The column leaves its lower bound: remove the lower
+                //-bound contribution already folded into the residual
+                // and install the basic value.
+                let value = {
+                    let coeff = (self.form.col_ptr[col]..self.form.col_ptr[col + 1])
+                        .find(|&t| self.form.col_rows[t] as usize == row)
+                        .map(|t| self.form.col_vals[t])
+                        .expect("crash column has an entry in its row");
+                    self.form.lower[col] + r / coeff
+                };
+                let delta = value - self.form.lower[col];
+                for t in self.form.col_ptr[col]..self.form.col_ptr[col + 1] {
+                    let other = self.form.col_rows[t] as usize;
+                    if other != row {
+                        self.residual[other] -= self.form.col_vals[t] * delta;
+                    }
+                }
+                self.basis.status[col] = ColStatus::Basic(row as u32);
+                self.basis.basic[row] = col;
+                self.basis.x_basic[row] = value;
+                // The row's slack stays nonbasic: park it at its finite
+                // bound (a `>=` slack is unbounded below, so "lower"
+                // would be -inf).
+                let slack = n + row;
+                self.basis.status[slack] = if self.form.lower[slack].is_finite() {
+                    ColStatus::Lower
+                } else {
+                    ColStatus::Upper
+                };
+            }
+        }
+
+        for row in 0..m {
+            if self.basis.basic[row] != usize::MAX {
+                continue; // crash column already basic here
+            }
+            let slack = n + row;
+            let r = self.residual[row];
+            let (slo, shi) = (self.form.lower[slack], self.form.upper[slack]);
+            if r >= slo && r <= shi {
+                self.basis.status[slack] = ColStatus::Basic(row as u32);
+                self.basis.basic[row] = slack;
+                self.basis.x_basic[row] = r;
+            } else {
+                // Park the slack at its nearest bound and cover the
+                // deficit with a signed artificial.
+                let (bound_status, bound_value) = if r > shi {
+                    (ColStatus::Upper, shi)
+                } else {
+                    (ColStatus::Lower, slo)
+                };
+                self.basis.status[slack] = bound_status;
+                let deficit = r - bound_value;
+                let art_col = self.form.num_cols();
+                self.form.art_rows.push(row);
+                self.form.art_signs.push(deficit.signum());
+                self.form.lower.push(0.0);
+                self.form.upper.push(f64::INFINITY);
+                self.form.cost.push(0.0);
+                self.basis.status.push(ColStatus::Basic(row as u32));
+                self.basis.basic[row] = art_col;
+                self.basis.x_basic[row] = deficit.abs();
+            }
+        }
+
+        // The crash may leave tiny inconsistencies (clamped values);
+        // recomputing `x_B = B⁻¹(b − N·x_N)` makes the start exact.
+        if !self.refactor_and_recompute() {
+            return Solution::status_only(Status::IterationLimit);
+        }
+
+        // ---- Phase 1: minimise the sum of artificials. ----
+        if !self.form.art_rows.is_empty() {
+            let art_base = self.form.art_base();
+            self.phase_costs.clear();
+            self.phase_costs
+                .extend((0..self.form.num_cols()).map(|c| f64::from(u8::from(c >= art_base))));
+            let costs = std::mem::take(&mut self.phase_costs);
+            let outcome = self.primal_loop(&costs, options, true);
+            self.phase_costs = costs;
+            match outcome {
+                PhaseOutcome::Optimal => {}
+                // Phase 1 is bounded below by 0; "unbounded" means a
+                // numerical failure. Report conservatively, like the
+                // dense solver.
+                PhaseOutcome::Unbounded | PhaseOutcome::IterationLimit => {
+                    return Solution::status_only(Status::IterationLimit);
+                }
+            }
+            let infeasibility: f64 = self
+                .basis
+                .basic
+                .iter()
+                .enumerate()
+                .filter(|&(_, &col)| col >= art_base)
+                .map(|(row, _)| self.basis.x_basic[row].abs())
+                .sum();
+            if infeasibility > options.tolerance * 10.0 {
+                return Solution::status_only(Status::Infeasible);
+            }
+            // Pin the artificials to zero for phase 2: basic ones stay
+            // (at value 0, their bounds block any move away), nonbasic
+            // ones are fixed and never priced again.
+            for a in 0..self.form.art_rows.len() {
+                let col = art_base + a;
+                self.form.upper[col] = 0.0;
+                if let ColStatus::Basic(row) = self.basis.status[col] {
+                    self.basis.x_basic[row as usize] = 0.0;
+                }
+            }
+        }
+
+        // ---- Phase 2: minimise the true objective. ----
+        self.load_phase2_costs();
+        let costs = std::mem::take(&mut self.phase_costs);
+        let outcome = self.primal_loop(&costs, options, false);
+        self.phase_costs = costs;
+        match outcome {
+            PhaseOutcome::Optimal => self.extract(model, options),
+            PhaseOutcome::Unbounded => Solution::status_only(Status::Unbounded),
+            PhaseOutcome::IterationLimit => Solution::status_only(Status::IterationLimit),
+        }
+    }
+
+    fn load_phase2_costs(&mut self) {
+        self.phase_costs.clear();
+        self.phase_costs.extend_from_slice(&self.form.cost);
+    }
+
+    /// Extracts the solution and marks the workspace warm.
+    fn extract(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        let mut values = Vec::new();
+        self.basis.extract_values(&self.form, &mut values);
+        // Clamp numerical dust onto the box so downstream feasibility
+        // checks (and MILP integrality tests) see clean values.
+        for (j, v) in values.iter_mut().enumerate() {
+            *v = v.max(self.form.lower[j]).min(self.form.upper[j]);
+        }
+        let mut objective = model.objective_value(&values);
+        if objective.abs() < options.tolerance {
+            objective = 0.0;
+        }
+        self.warm_ready = true;
+        Solution {
+            status: Status::Optimal,
+            objective,
+            values,
+        }
+    }
+
+    /// Refactorises the basis from its column set.
+    fn refactor(&mut self) -> bool {
+        let form = &self.form;
+        let basic = &self.basis.basic;
+        self.factor.refactor(form.m, |k, buf| {
+            form.for_each_entry(basic[k], |row, val| buf[row] += val);
+        })
+    }
+
+    /// Refactorises and recomputes the basic values from the residual
+    /// right-hand side (squashing accumulated product-form drift).
+    fn refactor_and_recompute(&mut self) -> bool {
+        if !self.refactor() {
+            return false;
+        }
+        self.basis.residual_rhs(&self.form, &mut self.residual);
+        self.factor.ftran(&mut self.residual);
+        self.basis.x_basic.clear();
+        self.basis.x_basic.extend_from_slice(&self.residual);
+        true
+    }
+
+    /// Loads `B⁻¹ a_col` into `self.w`.
+    fn ftran_column(&mut self, col: usize) {
+        self.w.clear();
+        self.w.resize(self.form.m, 0.0);
+        let w = &mut self.w;
+        self.form.for_each_entry(col, |row, val| w[row] += val);
+        self.factor.ftran(w);
+    }
+
+    /// Runs primal pivots until the given cost vector is optimal.
+    fn primal_loop(
+        &mut self,
+        costs: &[f64],
+        options: &SimplexOptions,
+        allow_artificial: bool,
+    ) -> PhaseOutcome {
+        let tol = options.tolerance;
+        let max_iter = options
+            .max_iterations
+            .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
+        for iteration in 0..max_iter {
+            // Duals y = B⁻ᵀ c_B.
+            self.y.clear();
+            self.y
+                .extend(self.basis.basic.iter().map(|&col| costs[col]));
+            self.factor.btran(&mut self.y);
+
+            let use_bland = iteration >= options.bland_after;
+            let entering = match choose_entering(
+                &self.form,
+                &self.basis,
+                costs,
+                &self.y,
+                tol,
+                use_bland,
+                allow_artificial,
+            ) {
+                Some(e) => e,
+                None => return PhaseOutcome::Optimal,
+            };
+
+            self.ftran_column(entering.col);
+            match primal_ratio_test(
+                &self.form,
+                &self.basis,
+                &entering,
+                &self.w,
+                PIVOT_TOL,
+                use_bland,
+            ) {
+                Ratio::Unbounded => return PhaseOutcome::Unbounded,
+                Ratio::Flip { step } => {
+                    self.apply_step(&entering, step);
+                    self.basis.status[entering.col] = match self.basis.status[entering.col] {
+                        ColStatus::Lower => ColStatus::Upper,
+                        ColStatus::Upper => ColStatus::Lower,
+                        ColStatus::Basic(_) => unreachable!("entering column is nonbasic"),
+                    };
+                }
+                Ratio::Pivot {
+                    row,
+                    step,
+                    to_upper,
+                } => {
+                    let entering_value =
+                        self.basis.nonbasic_value(&self.form, entering.col) + entering.sigma * step;
+                    self.apply_step(&entering, step);
+                    let leaving = self.basis.basic[row];
+                    self.basis.status[leaving] = if to_upper {
+                        ColStatus::Upper
+                    } else {
+                        ColStatus::Lower
+                    };
+                    self.basis.status[entering.col] = ColStatus::Basic(row as u32);
+                    self.basis.basic[row] = entering.col;
+                    self.basis.x_basic[row] = entering_value;
+                    self.factor.push_eta(row, &self.w);
+                    if self.factor.eta_count() >= REFACTOR_EVERY && !self.refactor_and_recompute() {
+                        return PhaseOutcome::IterationLimit;
+                    }
+                }
+            }
+        }
+        PhaseOutcome::IterationLimit
+    }
+
+    /// Moves every basic variable along the pivot column: the entering
+    /// variable advances by `sigma·step`, so row `i` changes by
+    /// `−sigma·step·w_i`.
+    fn apply_step(&mut self, entering: &Entering, step: f64) {
+        if step == 0.0 {
+            return;
+        }
+        let scale = entering.sigma * step;
+        for (x, &wi) in self.basis.x_basic.iter_mut().zip(&self.w) {
+            *x -= scale * wi;
+        }
+    }
+
+    /// Dual simplex: restores primal feasibility while keeping the
+    /// reduced costs sign-feasible. Assumes the factorisation is fresh.
+    fn dual_loop(&mut self, options: &SimplexOptions) -> DualOutcome {
+        let tol = options.tolerance;
+        let max_iter = options
+            .max_iterations
+            .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
+        // Dual pricing needs the phase-2 reduced costs.
+        self.load_phase2_costs();
+        let costs = std::mem::take(&mut self.phase_costs);
+        let outcome = 'search: {
+            for _ in 0..max_iter {
+                let leaving = match choose_leaving_row(&self.form, &self.basis, tol) {
+                    Some(l) => l,
+                    None => break 'search DualOutcome::PrimalFeasible,
+                };
+                // Pivot row rho = B⁻ᵀ e_r and duals y = B⁻ᵀ c_B.
+                self.rho.clear();
+                self.rho.resize(self.form.m, 0.0);
+                self.rho[leaving.row] = 1.0;
+                self.factor.btran(&mut self.rho);
+                self.y.clear();
+                self.y
+                    .extend(self.basis.basic.iter().map(|&col| costs[col]));
+                self.factor.btran(&mut self.y);
+
+                let entering = match choose_dual_entering(
+                    &self.form,
+                    &self.basis,
+                    &costs,
+                    &self.y,
+                    &self.rho,
+                    leaving.above,
+                    PIVOT_TOL,
+                ) {
+                    Some(col) => col,
+                    None => break 'search DualOutcome::Infeasible,
+                };
+
+                self.ftran_column(entering);
+                let row = leaving.row;
+                let alpha = self.w[row];
+                if alpha.abs() <= PIVOT_TOL {
+                    // The FTRAN disagrees with the BTRAN row — numerical
+                    // trouble; let the caller fall back to a cold solve.
+                    break 'search DualOutcome::IterationLimit;
+                }
+                let leaving_col = self.basis.basic[row];
+                let target = if leaving.above {
+                    self.form.upper[leaving_col]
+                } else {
+                    self.form.lower[leaving_col]
+                };
+                let dxq = (self.basis.x_basic[row] - target) / alpha;
+                let entering_value = self.basis.nonbasic_value(&self.form, entering) + dxq;
+                if dxq != 0.0 {
+                    for (x, &wi) in self.basis.x_basic.iter_mut().zip(&self.w) {
+                        *x -= dxq * wi;
+                    }
+                }
+                self.basis.status[leaving_col] = if leaving.above {
+                    ColStatus::Upper
+                } else {
+                    ColStatus::Lower
+                };
+                self.basis.status[entering] = ColStatus::Basic(row as u32);
+                self.basis.basic[row] = entering;
+                self.basis.x_basic[row] = entering_value;
+                self.factor.push_eta(row, &self.w);
+                if self.factor.eta_count() >= REFACTOR_EVERY && !self.refactor_and_recompute() {
+                    break 'search DualOutcome::IterationLimit;
+                }
+            }
+            DualOutcome::IterationLimit
+        };
+        self.phase_costs = costs;
+        outcome
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+enum DualOutcome {
+    PrimalFeasible,
+    Infeasible,
+    IterationLimit,
+}
+
+/// Solves the continuous relaxation of `model` with the revised simplex
+/// and default options.
+pub fn solve_lp_revised(model: &Model) -> Solution {
+    solve_lp_revised_with(model, &SimplexOptions::default())
+}
+
+/// [`solve_lp_revised`] with explicit options.
+pub fn solve_lp_revised_with(model: &Model, options: &SimplexOptions) -> Solution {
+    let mut workspace = RevisedWorkspace::new();
+    solve_lp_revised_reusing(model, options, &mut workspace)
+}
+
+/// [`solve_lp_revised`] reusing the buffers (and, afterwards, offering
+/// the basis for warm starts) of `workspace`.
+pub fn solve_lp_revised_reusing(
+    model: &Model,
+    options: &SimplexOptions,
+    workspace: &mut RevisedWorkspace,
+) -> Solution {
+    workspace.solve_cold(model, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lin_sum, Cmp, LinExpr, Model, Sense};
+    use crate::simplex::solve_lp;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximisation_with_two_variables() {
+        // Same instance as the dense test: optimum 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None, 3.0);
+        let y = m.add_var("y", 0.0, None, 5.0);
+        m.add_constraint("c1", LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_constraint("c2", lin_sum([(2.0, y)]), Cmp::Le, 12.0);
+        m.add_constraint("c3", lin_sum([(3.0, x), (2.0, y)]), Cmp::Le, 18.0);
+        let sol = solve_lp_revised(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn ge_constraints_run_phase_one() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 2.0);
+        let y = m.add_var("y", 0.0, None, 3.0);
+        m.add_constraint("sum", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 10.0);
+        m.add_constraint("xmin", LinExpr::var(x), Cmp::Ge, 2.0);
+        m.add_constraint("ymin", LinExpr::var(y), Cmp::Ge, 3.0);
+        let sol = solve_lp_revised(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 23.0);
+    }
+
+    #[test]
+    fn equality_and_upper_bounds_without_extra_rows() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(4.0), 1.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("eq", lin_sum([(1.0, x), (2.0, y)]), Cmp::Eq, 8.0);
+        let sol = solve_lp_revised(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 4.0);
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.value(y), 4.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_are_detected() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(1.0), 1.0);
+        m.add_constraint("too_big", LinExpr::var(x), Cmp::Ge, 5.0);
+        assert_eq!(solve_lp_revised(&m).status, Status::Infeasible);
+
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None, 1.0);
+        m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 1.0);
+        assert_eq!(solve_lp_revised(&m).status, Status::Unbounded);
+    }
+
+    #[test]
+    fn bound_only_model_flips_to_the_cheap_bound() {
+        // Maximise over a box with no constraints: pure bound flips.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 1.5, Some(9.0), 2.0);
+        let y = m.add_var("y", 0.0, Some(3.0), 1.0);
+        let sol = solve_lp_revised(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.value(x), 9.0);
+        assert_close(sol.value(y), 3.0);
+        assert_close(sol.objective, 21.0);
+    }
+
+    #[test]
+    fn degenerate_beale_instance_terminates() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, None, 0.75);
+        let b = m.add_var("b", 0.0, None, -150.0);
+        let c = m.add_var("c", 0.0, None, 0.02);
+        let d = m.add_var("d", 0.0, None, -6.0);
+        m.add_constraint(
+            "r1",
+            lin_sum([(0.25, a), (-60.0, b), (-0.04, c), (9.0, d)]),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            "r2",
+            lin_sum([(0.5, a), (-90.0, b), (-0.02, c), (3.0, d)]),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint("r3", LinExpr::var(c), Cmp::Le, 1.0);
+        let options = SimplexOptions {
+            bland_after: 20,
+            ..SimplexOptions::default()
+        };
+        let sol = solve_lp_revised_with(&m, &options);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 0.05);
+    }
+
+    #[test]
+    fn agrees_with_the_dense_tableau_on_a_transportation_problem() {
+        let mut m = Model::minimize();
+        let costs = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
+        let caps = [20.0, 30.0];
+        let demands = [10.0, 25.0, 15.0];
+        let mut vars = vec![vec![]; 2];
+        for (s, row) in costs.iter().enumerate() {
+            for (c, &cost) in row.iter().enumerate() {
+                vars[s].push(m.add_var(format!("x{s}{c}"), 0.0, Some(40.0), cost));
+            }
+        }
+        for s in 0..2 {
+            let expr = lin_sum(vars[s].iter().map(|&v| (1.0, v)));
+            m.add_constraint(format!("cap{s}"), expr, Cmp::Le, caps[s]);
+        }
+        for c in 0..3 {
+            let expr = lin_sum((0..2).map(|s| (1.0, vars[s][c])));
+            m.add_constraint(format!("dem{c}"), expr, Cmp::Ge, demands[c]);
+        }
+        let dense = solve_lp(&m);
+        let revised = solve_lp_revised(&m);
+        assert_eq!(dense.status, revised.status);
+        assert_close(revised.objective, dense.objective);
+        assert!(m.is_feasible(&revised.values, 1e-6));
+    }
+
+    #[test]
+    fn warm_start_after_a_bound_change_matches_a_cold_solve() {
+        // min x + 2y  s.t.  x + y >= 4, x <= 3 — then tighten x <= 1.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(3.0), 1.0);
+        let y = m.add_var("y", 0.0, None, 2.0);
+        m.add_constraint("cover", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 4.0);
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+        let first = ws.solve_cold(&m, &options);
+        assert_eq!(first.status, Status::Optimal);
+        assert_close(first.objective, 5.0); // x = 3, y = 1
+
+        m.set_bounds(x, 0.0, Some(1.0));
+        let warm = ws.solve_warm(&m, &options);
+        let cold = solve_lp_revised(&m);
+        assert_eq!(warm.status, Status::Optimal);
+        assert_close(warm.objective, cold.objective); // x = 1, y = 3 -> 7
+        assert_close(warm.objective, 7.0);
+
+        // Loosen the bound back: the warm path must also handle bounds
+        // that *relax* (residual dual infeasibility cleaned up by the
+        // primal polish).
+        m.set_bounds(x, 0.0, None);
+        let warm = ws.solve_warm(&m, &options);
+        assert_eq!(warm.status, Status::Optimal);
+        assert_close(warm.objective, 4.0); // x = 4, y = 0
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_children() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(5.0), 1.0);
+        m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 2.0);
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+        assert_eq!(ws.solve_cold(&m, &options).status, Status::Optimal);
+        m.set_bounds(x, 0.0, Some(1.0));
+        assert_eq!(ws.solve_warm(&m, &options).status, Status::Infeasible);
+        // And a sibling that is feasible again still solves warm.
+        m.set_bounds(x, 3.0, Some(5.0));
+        let sol = ws.solve_warm(&m, &options);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn warm_start_honours_model_edits_beyond_bounds() {
+        // The warm path's contract: bounds, objective and rhs edits are
+        // absorbed; a changed constraint coefficient (same shape!) must
+        // trigger the cold fallback. Every answer is cross-checked
+        // against a fresh cold solve.
+        let build = |coeff: f64, obj: f64, rhs: f64| {
+            let mut m = Model::minimize();
+            let x = m.add_var("x", 0.0, Some(10.0), obj);
+            let y = m.add_var("y", 0.0, None, 3.0);
+            m.add_constraint("cover", lin_sum([(coeff, x), (1.0, y)]), Cmp::Ge, rhs);
+            m
+        };
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+        assert_eq!(
+            ws.solve_cold(&build(1.0, 1.0, 6.0), &options).status,
+            Status::Optimal
+        );
+        // Objective change: x becomes expensive, y wins.
+        let m = build(1.0, 5.0, 6.0);
+        let warm = ws.solve_warm(&m, &options);
+        assert_close(warm.objective, solve_lp_revised(&m).objective);
+        // Right-hand-side change.
+        let m = build(1.0, 5.0, 9.0);
+        let warm = ws.solve_warm(&m, &options);
+        assert_close(warm.objective, solve_lp_revised(&m).objective);
+        // Coefficient change (same shape): must cold-fall-back and
+        // still be exact.
+        let m = build(2.0, 5.0, 9.0);
+        let warm = ws.solve_warm(&m, &options);
+        assert_close(warm.objective, solve_lp_revised(&m).objective);
+        assert!(m.is_feasible(&warm.values, 1e-6));
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_is_transparent() {
+        let mut ws = RevisedWorkspace::new();
+        for trial in 0..3 {
+            let mut m = Model::new(Sense::Maximize);
+            let x = m.add_var("x", 0.0, Some(4.0 + trial as f64), 3.0);
+            let y = m.add_var("y", 0.0, None, 5.0);
+            m.add_constraint("c2", lin_sum([(2.0, y)]), Cmp::Le, 12.0);
+            m.add_constraint("c3", lin_sum([(3.0, x), (2.0, y)]), Cmp::Le, 18.0);
+            let dense = solve_lp(&m);
+            let revised = solve_lp_revised_reusing(&m, &SimplexOptions::default(), &mut ws);
+            assert_eq!(dense.status, revised.status);
+            assert_close(revised.objective, dense.objective);
+        }
+    }
+
+    #[test]
+    fn negative_rhs_rows_need_no_normalisation() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 0.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("neg", lin_sum([(1.0, x), (-1.0, y)]), Cmp::Le, -2.0);
+        let sol = solve_lp_revised(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase_two() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        let y = m.add_var("y", 0.0, None, 2.0);
+        m.add_constraint("e1", lin_sum([(1.0, x), (1.0, y)]), Cmp::Eq, 5.0);
+        m.add_constraint("e2", lin_sum([(2.0, x), (2.0, y)]), Cmp::Eq, 10.0);
+        let sol = solve_lp_revised(&m);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_close(sol.objective, 5.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Column pricing for the revised simplex.
+//!
+//! Primal side: dense Dantzig pricing over the reduced costs
+//! `d_j = c_j − yᵀ a_j` (computed column-wise against the sparse
+//! standard form, so a full pricing pass is `O(nnz)`), with Bland's
+//! smallest-index rule as the anti-cycling fallback. A nonbasic column
+//! is attractive when it sits at its lower bound with `d_j < −tol`
+//! (increase it) or at its upper bound with `d_j > tol` (decrease it).
+//!
+//! Dual side: the leaving row is the basic variable with the largest
+//! bound violation; [`choose_dual_entering`] runs the dual ratio test
+//! over the pivot row to keep the reduced costs sign-feasible.
+
+use super::basis::{BasisState, ColStatus, StandardForm};
+
+/// An entering candidate: the column and the direction it moves in
+/// (`+1.0` away from its lower bound, `−1.0` away from its upper).
+pub(crate) struct Entering {
+    pub(crate) col: usize,
+    pub(crate) sigma: f64,
+}
+
+/// Picks the entering column for a primal iteration, or `None` at
+/// optimality. Artificial columns may be barred (phase 2).
+pub(crate) fn choose_entering(
+    form: &StandardForm,
+    basis: &BasisState,
+    costs: &[f64],
+    y: &[f64],
+    tol: f64,
+    use_bland: bool,
+    allow_artificial: bool,
+) -> Option<Entering> {
+    let art_base = form.art_base();
+    let mut best: Option<(usize, f64, f64)> = None; // (col, sigma, score)
+    debug_assert_eq!(costs.len(), form.num_cols());
+    for (col, &cost) in costs.iter().enumerate() {
+        let sigma = match basis.status[col] {
+            ColStatus::Basic(_) => continue,
+            ColStatus::Lower => 1.0,
+            ColStatus::Upper => -1.0,
+        };
+        if form.is_fixed(col) {
+            continue;
+        }
+        if !allow_artificial && col >= art_base {
+            continue;
+        }
+        let reduced = cost - form.col_dot(col, y);
+        // Attractive iff moving in `sigma` direction lowers the cost.
+        let score = -sigma * reduced;
+        if score > tol {
+            if use_bland {
+                return Some(Entering { col, sigma });
+            }
+            match best {
+                Some((_, _, best_score)) if score <= best_score => {}
+                _ => best = Some((col, sigma, score)),
+            }
+        }
+    }
+    best.map(|(col, sigma, _)| Entering { col, sigma })
+}
+
+/// A leaving candidate for the dual simplex: the row whose basic
+/// variable violates a bound, and on which side.
+pub(crate) struct Leaving {
+    pub(crate) row: usize,
+    /// `true` when the basic value exceeds its upper bound, `false`
+    /// when it undershoots its lower bound.
+    pub(crate) above: bool,
+}
+
+/// Picks the most-violated basic variable, or `None` when the basis is
+/// primal feasible.
+pub(crate) fn choose_leaving_row(
+    form: &StandardForm,
+    basis: &BasisState,
+    tol: f64,
+) -> Option<Leaving> {
+    let mut best: Option<(Leaving, f64)> = None;
+    for (row, &col) in basis.basic.iter().enumerate() {
+        let value = basis.x_basic[row];
+        let below = form.lower[col] - value;
+        let above = value - form.upper[col];
+        let (violation, is_above) = if above > below {
+            (above, true)
+        } else {
+            (below, false)
+        };
+        if violation > tol {
+            match best {
+                Some((_, best_violation)) if violation <= best_violation => {}
+                _ => {
+                    best = Some((
+                        Leaving {
+                            row,
+                            above: is_above,
+                        },
+                        violation,
+                    ))
+                }
+            }
+        }
+    }
+    best.map(|(leaving, _)| leaving)
+}
+
+/// Dual ratio test: given the pivot row `rho = B⁻ᵀ e_r` and the duals
+/// `y`, picks the nonbasic column that limits the dual step, keeping
+/// every reduced cost on its feasible side. Returns `None` when no
+/// column is eligible — the primal is infeasible.
+pub(crate) fn choose_dual_entering(
+    form: &StandardForm,
+    basis: &BasisState,
+    costs: &[f64],
+    y: &[f64],
+    rho: &[f64],
+    above: bool,
+    pivot_tol: f64,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+    debug_assert_eq!(costs.len(), form.num_cols());
+    for (col, &cost) in costs.iter().enumerate() {
+        let at_lower = match basis.status[col] {
+            ColStatus::Basic(_) => continue,
+            ColStatus::Lower => true,
+            ColStatus::Upper => false,
+        };
+        if form.is_fixed(col) {
+            continue;
+        }
+        let alpha = form.col_dot(col, rho);
+        if alpha.abs() <= pivot_tol {
+            continue;
+        }
+        // The leaving basic must move back towards its violated bound:
+        //   below lower (above = false): needs Δx_B[r] > 0, i.e. α·Δx_j < 0;
+        //   above upper (above = true):  needs Δx_B[r] < 0, i.e. α·Δx_j > 0.
+        // At-lower columns can only increase, at-upper only decrease.
+        let eligible = if above {
+            (at_lower && alpha > 0.0) || (!at_lower && alpha < 0.0)
+        } else {
+            (at_lower && alpha < 0.0) || (!at_lower && alpha > 0.0)
+        };
+        if !eligible {
+            continue;
+        }
+        let reduced = cost - form.col_dot(col, y);
+        let ratio = reduced.abs() / alpha.abs();
+        let better = match best {
+            None => true,
+            Some((_, best_ratio, best_alpha)) => {
+                ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12 && alpha.abs() > best_alpha)
+            }
+        };
+        if better {
+            best = Some((col, ratio, alpha.abs()));
+        }
+    }
+    best.map(|(col, _, _)| col)
+}

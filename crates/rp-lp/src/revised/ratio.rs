@@ -1,0 +1,108 @@
+//! The bounded-variable primal ratio test.
+//!
+//! This is where variable upper bounds are enforced **implicitly**: the
+//! entering column may be blocked not only by a basic variable hitting
+//! one of its bounds, but also by the entering variable itself reaching
+//! its opposite bound — a **bound flip**, which changes no basis column
+//! at all (and therefore needs no factorisation update). The dense
+//! tableau, by contrast, materialises every finite upper bound as an
+//! extra `x_j ≤ u_j` row, doubling the row count of the replica
+//! formulations; tracking bounds here is what halves `m`.
+
+use super::basis::{BasisState, StandardForm};
+use super::pricing::Entering;
+
+/// Outcome of the primal ratio test.
+pub(crate) enum Ratio {
+    /// No bound limits the entering direction: the LP is unbounded.
+    Unbounded,
+    /// The entering variable reaches its opposite bound first: toggle
+    /// its status, no pivot.
+    Flip { step: f64 },
+    /// The basic variable of `row` reaches a bound first; it leaves the
+    /// basis at its upper bound when `to_upper`, else at its lower.
+    Pivot {
+        row: usize,
+        step: f64,
+        to_upper: bool,
+    },
+}
+
+/// Runs the ratio test for `entering` with pivot column `w = B⁻¹ a_q`.
+///
+/// The entering variable moves by `sigma · t` (`t ≥ 0`); every basic
+/// variable moves by `−sigma · t · w_i`. The step is capped by the
+/// first basic variable to hit a bound and by the entering variable's
+/// own range `u_q − l_q`.
+pub(crate) fn primal_ratio_test(
+    form: &StandardForm,
+    basis: &BasisState,
+    entering: &Entering,
+    w: &[f64],
+    pivot_tol: f64,
+    use_bland: bool,
+) -> Ratio {
+    let sigma = entering.sigma;
+    let mut best_step = f64::INFINITY;
+    let mut best_row: Option<(usize, bool)> = None; // (row, leaves at upper)
+
+    for (row, &wi) in w.iter().enumerate() {
+        let delta = sigma * wi;
+        let col = basis.basic[row];
+        let value = basis.x_basic[row];
+        // delta > 0: the basic variable decreases towards its lower
+        // bound; delta < 0: it increases towards its upper bound.
+        let (limit, to_upper) = if delta > pivot_tol {
+            let lb = form.lower[col];
+            if lb == f64::NEG_INFINITY {
+                continue;
+            }
+            (((value - lb) / delta).max(0.0), false)
+        } else if delta < -pivot_tol {
+            let ub = form.upper[col];
+            if ub == f64::INFINITY {
+                continue;
+            }
+            (((value - ub) / delta).max(0.0), true)
+        } else {
+            continue;
+        };
+        let better = match best_row {
+            None => limit < best_step,
+            Some((current, _)) => {
+                if use_bland {
+                    // Bland: smallest basic column index among the
+                    // minimum-ratio rows.
+                    limit < best_step - 1e-12
+                        || (limit < best_step + 1e-12 && col < basis.basic[current])
+                } else {
+                    // Stability: among near-ties prefer the largest
+                    // pivot magnitude.
+                    limit < best_step - 1e-9
+                        || (limit < best_step + 1e-9 && wi.abs() > w[current].abs())
+                }
+            }
+        };
+        if better {
+            best_step = limit;
+            best_row = Some((row, to_upper));
+        }
+    }
+
+    // The entering variable's own range caps the step too.
+    let range = form.upper[entering.col] - form.lower[entering.col];
+    match best_row {
+        Some((row, to_upper)) if best_step <= range => Ratio::Pivot {
+            row,
+            step: best_step,
+            to_upper,
+        },
+        _ if range.is_finite() => Ratio::Flip { step: range },
+        Some((row, to_upper)) => Ratio::Pivot {
+            row,
+            step: best_step,
+            to_upper,
+        },
+        None => Ratio::Unbounded,
+    }
+}

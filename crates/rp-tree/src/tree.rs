@@ -339,6 +339,21 @@ impl TreeBuilder {
 
     /// Finalises the tree, checking all structural invariants.
     pub fn build(self) -> Result<TreeNetwork, TreeError> {
+        self.finish(DerivedBuffers::default())
+    }
+
+    /// Finalises the tree like [`build`](TreeBuilder::build), recycling
+    /// the **derived arrays** (depths, preorder/postorder/BFS sequences,
+    /// subtree intervals, the client arenas) of a previous
+    /// [`TreeNetwork`]. Sweeps that generate one tree per trial use this
+    /// to keep tree construction allocation-light: every derived buffer
+    /// keeps its capacity and only grows on the first encounter with a
+    /// larger tree.
+    pub fn build_into(self, recycled: TreeNetwork) -> Result<TreeNetwork, TreeError> {
+        self.finish(DerivedBuffers::from(recycled))
+    }
+
+    fn finish(self, derived: DerivedBuffers) -> Result<TreeNetwork, TreeError> {
         if self.nodes.is_empty() {
             return Err(TreeError::EmptyTree);
         }
@@ -371,19 +386,30 @@ impl TreeBuilder {
             }
         }
 
+        let DerivedBuffers {
+            depth,
+            tin,
+            subtree_size,
+            preorder,
+            postorder,
+            bfs,
+            clients_preorder,
+            client_offset,
+            client_rank,
+        } = derived;
         let mut tree = TreeNetwork {
             nodes: self.nodes,
             clients: self.clients,
             root,
-            depth: Vec::new(),
-            tin: Vec::new(),
-            subtree_size: Vec::new(),
-            preorder: Vec::new(),
-            postorder: Vec::new(),
-            bfs: Vec::new(),
-            clients_preorder: Vec::new(),
-            client_offset: Vec::new(),
-            client_rank: Vec::new(),
+            depth,
+            tin,
+            subtree_size,
+            preorder,
+            postorder,
+            bfs,
+            clients_preorder,
+            client_offset,
+            client_rank,
         };
         // Validation must come first: `finalize` assumes an acyclic,
         // fully reachable structure.
@@ -393,18 +419,60 @@ impl TreeBuilder {
     }
 }
 
+/// The derived arrays of a [`TreeNetwork`], detached for recycling by
+/// [`TreeBuilder::build_into`]. Contents are irrelevant — `finalize`
+/// overwrites everything — only the capacities matter.
+#[derive(Default)]
+struct DerivedBuffers {
+    depth: Vec<u32>,
+    tin: Vec<u32>,
+    subtree_size: Vec<u32>,
+    preorder: Vec<NodeId>,
+    postorder: Vec<NodeId>,
+    bfs: Vec<NodeId>,
+    clients_preorder: Vec<ClientId>,
+    client_offset: Vec<u32>,
+    client_rank: Vec<u32>,
+}
+
+impl From<TreeNetwork> for DerivedBuffers {
+    fn from(tree: TreeNetwork) -> Self {
+        DerivedBuffers {
+            depth: tree.depth,
+            tin: tree.tin,
+            subtree_size: tree.subtree_size,
+            preorder: tree.preorder,
+            postorder: tree.postorder,
+            bfs: tree.bfs,
+            clients_preorder: tree.clients_preorder,
+            client_offset: tree.client_offset,
+            client_rank: tree.client_rank,
+        }
+    }
+}
+
 impl TreeNetwork {
-    /// Computes the derived traversal data. Called exactly once, after
-    /// structural validation.
+    /// Computes the derived traversal data. Called exactly once per
+    /// build, after structural validation. Every derived array is
+    /// cleared and refilled in place, so a recycled tree
+    /// ([`TreeBuilder::build_into`]) recomputes everything without
+    /// reallocating.
     fn finalize(&mut self) {
         let n = self.nodes.len();
         let root = self.root;
 
         // Preorder, depths and preorder positions in one iterative pass.
-        self.depth = vec![0; n];
-        self.tin = vec![0; n];
-        self.preorder = Vec::with_capacity(n);
-        let mut stack: Vec<NodeId> = vec![root];
+        // `bfs` doubles as the DFS stack — it is rebuilt from scratch
+        // below anyway, and borrowing it avoids a per-build allocation.
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        self.tin.clear();
+        self.tin.resize(n, 0);
+        self.preorder.clear();
+        self.preorder.reserve(n);
+        let mut stack = std::mem::take(&mut self.bfs);
+        stack.clear();
+        stack.push(root);
         while let Some(node) = stack.pop() {
             self.tin[node.index()] = self.preorder.len() as u32;
             self.preorder.push(node);
@@ -417,58 +485,76 @@ impl TreeNetwork {
 
         // Subtree sizes: in reverse preorder every child is seen before
         // its parent, so one accumulation pass suffices.
-        self.subtree_size = vec![1; n];
+        self.subtree_size.clear();
+        self.subtree_size.resize(n, 1);
         for &node in self.preorder.iter().rev() {
             if let Some(parent) = self.nodes[node.index()].parent {
                 self.subtree_size[parent.index()] += self.subtree_size[node.index()];
             }
         }
 
-        // Post-order (children before parents): reuse the classic
-        // two-flag iterative walk.
-        self.postorder = Vec::with_capacity(n);
-        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
-        while let Some((node, expanded)) = stack.pop() {
-            if expanded {
-                self.postorder.push(node);
-            } else {
-                stack.push((node, true));
-                for &child in self.nodes[node.index()].child_nodes.iter().rev() {
-                    stack.push((child, false));
-                }
+        // Post-order (children before parents): descend along the
+        // preorder, emit on the way back — equivalently, reverse
+        // preorder with children visited first-to-last gives reverse
+        // postorder; reuse the borrowed stack for the two-flag walk via
+        // an explicit revisit marker encoded as a second push.
+        self.postorder.clear();
+        self.postorder.reserve(n);
+        stack.clear();
+        stack.push(root);
+        // Reverse-postorder trick: preorder with children pushed in
+        // *forward* order yields, when reversed, a valid postorder.
+        while let Some(node) = stack.pop() {
+            self.postorder.push(node);
+            for &child in self.nodes[node.index()].child_nodes.iter() {
+                stack.push(child);
             }
         }
+        self.postorder.reverse();
 
-        // Breadth-first order.
-        self.bfs = Vec::with_capacity(n);
-        let mut queue = std::collections::VecDeque::with_capacity(n);
-        queue.push_back(root);
-        while let Some(node) = queue.pop_front() {
-            self.bfs.push(node);
+        // Breadth-first order, reclaiming the stack buffer as the queue
+        // storage (index-based scan: the vector itself is the queue).
+        self.bfs = stack;
+        self.bfs.clear();
+        self.bfs.push(root);
+        let mut head = 0usize;
+        while head < self.bfs.len() {
+            let node = self.bfs[head];
+            head += 1;
             for &child in &self.nodes[node.index()].child_nodes {
-                queue.push_back(child);
+                self.bfs.push(child);
             }
         }
 
         // Clients grouped by the preorder position of their parent, via a
         // stable counting sort, plus prefix offsets per preorder slot.
         let c = self.clients.len();
-        self.client_offset = vec![0u32; n + 1];
+        self.client_offset.clear();
+        self.client_offset.resize(n + 1, 0);
         for client in &self.clients {
             self.client_offset[self.tin[client.parent.index()] as usize + 1] += 1;
         }
         for i in 0..n {
             self.client_offset[i + 1] += self.client_offset[i];
         }
-        let mut cursor: Vec<u32> = self.client_offset[..n].to_vec();
-        self.clients_preorder = vec![ClientId::from_index(0); c];
-        self.client_rank = vec![0u32; c];
+        self.clients_preorder.clear();
+        self.clients_preorder.resize(c, ClientId::from_index(0));
+        self.client_rank.clear();
+        self.client_rank.resize(c, 0);
+        // `client_offset[t]` doubles as the live fill cursor of bucket
+        // `t`; afterwards each slot holds its bucket's *end*, which is
+        // the next bucket's start, so one shift restores the offsets —
+        // no scratch cursor array, no per-build allocation.
         for (idx, client) in self.clients.iter().enumerate() {
-            let slot = &mut cursor[self.tin[client.parent.index()] as usize];
+            let slot = &mut self.client_offset[self.tin[client.parent.index()] as usize];
             self.clients_preorder[*slot as usize] = ClientId::from_index(idx);
             self.client_rank[idx] = *slot;
             *slot += 1;
         }
+        for t in (1..=n).rev() {
+            self.client_offset[t] = self.client_offset[t - 1];
+        }
+        self.client_offset[0] = 0;
     }
 }
 
@@ -581,6 +667,52 @@ mod tests {
         assert_eq!(t.node_label(root), Some("root"));
         assert_eq!(t.client_label(c), Some("leaf"));
         assert_eq!(t.node_label(NodeId::from_index(0)), Some("root"));
+    }
+
+    #[test]
+    fn build_into_recycles_without_changing_the_result() {
+        // Build a tree, recycle it into a *different* shape, and check
+        // the recycled build equals a fresh build of the same shape.
+        let make_wide = || {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root();
+            for _ in 0..4 {
+                let mid = b.add_node(root);
+                b.add_client(mid);
+            }
+            b
+        };
+        let make_deep = || {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root();
+            let deep = b.add_node_chain(root, 6);
+            b.add_clients(deep, 3);
+            b.add_client(root);
+            b
+        };
+        let first = make_wide().build().unwrap();
+        let recycled_deep = make_deep().build_into(first).unwrap();
+        assert_eq!(recycled_deep, make_deep().build().unwrap());
+        // And recycle back into the wide shape (shrinking arrays).
+        let recycled_wide = make_wide().build_into(recycled_deep).unwrap();
+        assert_eq!(recycled_wide, make_wide().build().unwrap());
+    }
+
+    #[test]
+    fn build_into_still_validates() {
+        let mut bad = TreeBuilder::new();
+        bad.add_root();
+        bad.add_root();
+        let spare = {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root();
+            b.add_client(root);
+            b.build().unwrap()
+        };
+        assert!(matches!(
+            bad.build_into(spare),
+            Err(TreeError::MultipleRoots { .. })
+        ));
     }
 
     #[test]

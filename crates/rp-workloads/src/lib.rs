@@ -34,5 +34,8 @@ pub mod paper_examples;
 pub mod platform;
 pub mod tree_gen;
 
-pub use platform::{generate_problem, PlatformKind, WorkloadConfig};
+pub use platform::{
+    generate_problem, paper_scale_instance, paper_scale_instance_sized, PlatformKind,
+    WorkloadConfig, PAPER_SCALE_S,
+};
 pub use tree_gen::{generate_tree, TreeGenConfig, TreeShape};

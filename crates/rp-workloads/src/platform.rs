@@ -67,6 +67,36 @@ impl WorkloadConfig {
     }
 }
 
+/// The paper's largest problem size: `s = |C| + |N| = 400` (Section 7.2
+/// sweeps 15 ≤ s ≤ 400). The revised-simplex LP engine is what makes
+/// the LP lower bound tractable at this scale.
+pub const PAPER_SCALE_S: usize = 400;
+
+/// Generates a full **paper-scale** instance: a random-attachment tree
+/// of problem size [`PAPER_SCALE_S`] decorated with the given platform
+/// at load factor `lambda`, deterministically in `seed`. This is the
+/// instance family the `s = 400` sweep scenario and the
+/// `BENCH_revised.json` timings use.
+pub fn paper_scale_instance(platform: PlatformKind, lambda: f64, seed: u64) -> ProblemInstance {
+    paper_scale_instance_sized(PAPER_SCALE_S, platform, lambda, seed)
+}
+
+/// [`paper_scale_instance`] with an explicit problem size (useful for
+/// scaling studies below and beyond `s = 400`).
+pub fn paper_scale_instance_sized(
+    problem_size: usize,
+    platform: PlatformKind,
+    lambda: f64,
+    seed: u64,
+) -> ProblemInstance {
+    use crate::tree_gen::{generate_tree, TreeGenConfig, TreeShape};
+    let tree = generate_tree(
+        &TreeGenConfig::with_problem_size(problem_size, TreeShape::RandomAttachment),
+        seed,
+    );
+    generate_problem(tree, &WorkloadConfig::new(platform, lambda), seed ^ 0x5CA1E)
+}
+
 /// Decorates `tree` with capacities and requests matching `config`,
 /// deterministically in `seed`.
 pub fn generate_problem(
@@ -252,6 +282,15 @@ mod tests {
         for client in p.tree().client_ids().collect::<Vec<_>>() {
             assert_eq!(p.qos(client), Some(3));
         }
+    }
+
+    #[test]
+    fn paper_scale_instances_have_the_paper_size() {
+        let p = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.5, 42);
+        assert_eq!(p.tree().problem_size(), PAPER_SCALE_S);
+        assert!((p.load_factor() - 0.5).abs() < 0.05);
+        let small = paper_scale_instance_sized(60, PlatformKind::default_homogeneous(), 0.3, 7);
+        assert_eq!(small.tree().problem_size(), 60);
     }
 
     #[test]

@@ -71,23 +71,41 @@ pub fn generate_tree(config: &TreeGenConfig, seed: u64) -> TreeNetwork {
 
 /// [`generate_tree`] with an externally managed RNG.
 pub fn generate_tree_with_rng<R: Rng>(config: &TreeGenConfig, rng: &mut R) -> TreeNetwork {
+    generate_tree_into_with_rng(config, rng, None)
+}
+
+/// [`generate_tree_with_rng`] recycling a previous tree's derived-array
+/// allocations (see [`rp_tree::TreeBuilder::build_into`]): the sweep
+/// harness passes each trial's retired tree back in, so per-trial tree
+/// construction stays allocation-light. Passing `None` is equivalent to
+/// [`generate_tree_with_rng`].
+pub fn generate_tree_into_with_rng<R: Rng>(
+    config: &TreeGenConfig,
+    rng: &mut R,
+    recycled: Option<TreeNetwork>,
+) -> TreeNetwork {
     assert!(config.num_nodes >= 1, "a tree needs at least a root");
     assert!(config.num_clients >= 1, "a tree needs at least one client");
-    match config.shape {
+    let builder = match config.shape {
         TreeShape::RandomAttachment => random_attachment(config, rng, usize::MAX),
         TreeShape::BoundedDegree { max_children } => {
             random_attachment(config, rng, max_children.max(1))
         }
         TreeShape::Linear => linear(config, rng),
         TreeShape::Balanced { arity } => balanced(config, rng, arity.max(2)),
+    };
+    match recycled {
+        Some(tree) => builder.build_into(tree),
+        None => builder.build(),
     }
+    .expect("generated trees are well-formed")
 }
 
 fn random_attachment<R: Rng>(
     config: &TreeGenConfig,
     rng: &mut R,
     max_children: usize,
-) -> TreeNetwork {
+) -> TreeBuilder {
     let mut builder = TreeBuilder::with_capacity(config.num_nodes, config.num_clients);
     let root = builder.add_root();
     let mut nodes = vec![root];
@@ -129,7 +147,7 @@ fn random_attachment<R: Rng>(
         builder.add_client(parent);
         child_count[parent.index()] += 1;
     }
-    builder.build().expect("generated trees are well-formed")
+    builder
 }
 
 fn pick_parent<R: Rng>(
@@ -153,7 +171,7 @@ fn pick_parent<R: Rng>(
     }
 }
 
-fn linear<R: Rng>(config: &TreeGenConfig, rng: &mut R) -> TreeNetwork {
+fn linear<R: Rng>(config: &TreeGenConfig, rng: &mut R) -> TreeBuilder {
     let mut builder = TreeBuilder::with_capacity(config.num_nodes, config.num_clients);
     let root = builder.add_root();
     let mut chain = vec![root];
@@ -166,10 +184,10 @@ fn linear<R: Rng>(config: &TreeGenConfig, rng: &mut R) -> TreeNetwork {
         let parent = chain[rng.gen_range(0..chain.len())];
         builder.add_client(parent);
     }
-    builder.build().expect("generated trees are well-formed")
+    builder
 }
 
-fn balanced<R: Rng>(config: &TreeGenConfig, rng: &mut R, arity: usize) -> TreeNetwork {
+fn balanced<R: Rng>(config: &TreeGenConfig, rng: &mut R, arity: usize) -> TreeBuilder {
     let mut builder = TreeBuilder::with_capacity(config.num_nodes, config.num_clients);
     let root = builder.add_root();
     let mut nodes = vec![root];
@@ -191,7 +209,7 @@ fn balanced<R: Rng>(config: &TreeGenConfig, rng: &mut R, arity: usize) -> TreeNe
         let parent = candidates[rng.gen_range(0..candidates.len())];
         builder.add_client(parent);
     }
-    builder.build().expect("generated trees are well-formed")
+    builder
 }
 
 #[cfg(test)]
@@ -242,6 +260,25 @@ mod tests {
                 // broken RNG plumbing is noticed.
                 panic!("seeds 7 and 8 produced identical trees for {shape:?}");
             }
+        }
+    }
+
+    #[test]
+    fn recycled_generation_matches_fresh_generation() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut recycled: Option<TreeNetwork> = None;
+        for (i, shape) in all_shapes().into_iter().enumerate() {
+            let config = TreeGenConfig {
+                num_nodes: 8 + i,
+                num_clients: 14 + 2 * i,
+                shape,
+            };
+            let fresh = generate_tree(&config, 77);
+            let mut rng = StdRng::seed_from_u64(77);
+            let reused = generate_tree_into_with_rng(&config, &mut rng, recycled.take());
+            assert_eq!(fresh, reused, "{shape:?}");
+            recycled = Some(reused);
         }
     }
 

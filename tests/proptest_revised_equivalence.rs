@@ -1,0 +1,170 @@
+//! Differential property tests pinning the **revised simplex** to the
+//! **dense tableau** oracle.
+//!
+//! The two LP engines are independent implementations of the same
+//! mathematics: the dense tableau materialises upper bounds as rows and
+//! eliminates the full matrix per pivot, while the revised engine keeps
+//! an LU-factorised basis with implicit bounds. On every random bounded
+//! LP they must agree on feasibility, boundedness and the optimal
+//! objective (within tolerance); on every random MILP the warm-started
+//! revised branch-and-bound must agree with the cold dense search.
+//!
+//! (Values are generated as small unsigned integers and decoded into
+//! signed coefficients/bounds — the vendored proptest stand-in only
+//! implements unsigned range strategies.)
+
+use proptest::prelude::*;
+
+use replica_placement::lp::{
+    solve_lp, solve_lp_revised, solve_milp_with, BranchBoundOptions, Cmp, LinExpr, LpEngine, Model,
+    Sense, Status,
+};
+
+/// One encoded variable: (bounded?, lower, range-above-lower, packed).
+/// `packed` carries the objective coefficient (−5..=5) and the integer
+/// marker: `obj = packed % 11 − 5`, `integer = (packed / 11) % 2 == 1`.
+type RawVar = (u32, u32, u32, u32);
+/// One encoded constraint: (coefficients 0..=6 → −3..=3, cmp, rhs 0..=18 → −6..=12).
+type RawCon = (Vec<u32>, u32, u32);
+
+fn model_strategy(
+    max_vars: usize,
+    max_cons: usize,
+) -> impl Strategy<Value = (Vec<RawVar>, Vec<RawCon>, u32)> {
+    (1..=max_vars, 0..=max_cons).prop_flat_map(move |(n, m)| {
+        let var = (0u32..=2, 0u32..=3, 1u32..=6, 0u32..=21);
+        let con = (collection::vec(0u32..=6, n), 0u32..=2, 0u32..=18);
+        (
+            collection::vec(var, n),
+            collection::vec(con, m),
+            0u32..=1, // maximise?
+        )
+    })
+}
+
+/// Decodes a generated spec into a [`Model`]. When `integers` is false
+/// every variable stays continuous (pure LP differential testing); when
+/// true the packed integer markers apply (MILP differential testing).
+fn build_model(spec: &(Vec<RawVar>, Vec<RawCon>, u32), integers: bool) -> Model {
+    let (vars, cons, maximise) = spec;
+    let mut model = Model::new(if *maximise == 1 {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    });
+    let ids: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(bounded, lower, range, packed))| {
+            let lower = f64::from(lower);
+            let upper = if bounded == 0 {
+                None
+            } else {
+                Some(lower + f64::from(range))
+            };
+            let objective = f64::from(packed % 11) - 5.0;
+            let integer = integers && (packed / 11) % 2 == 1;
+            if integer {
+                // Integer variables need a finite range so the search
+                // tree stays small; fall back to [lower, lower+range].
+                let upper = upper.unwrap_or(lower + f64::from(range));
+                model.add_int_var(format!("x{i}"), lower, Some(upper), objective)
+            } else {
+                model.add_var(format!("x{i}"), lower, upper, objective)
+            }
+        })
+        .collect();
+    for (c, (coeffs, cmp, rhs)) in cons.iter().enumerate() {
+        let mut expr = LinExpr::new();
+        for (&var, &coeff) in ids.iter().zip(coeffs) {
+            let coeff = f64::from(coeff) - 3.0;
+            if coeff != 0.0 {
+                expr.add_term(coeff, var);
+            }
+        }
+        if expr.is_empty() {
+            continue;
+        }
+        let cmp = match cmp % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        let rhs = f64::from(*rhs) - 6.0;
+        model.add_constraint(format!("c{c}"), expr, cmp, rhs);
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Same status and, when optimal, the same objective within 1e-6 —
+    /// and both engines' points must satisfy the model.
+    #[test]
+    fn revised_simplex_matches_the_dense_tableau(spec in model_strategy(6, 5)) {
+        let model = build_model(&spec, false);
+        let dense = solve_lp(&model);
+        let revised = solve_lp_revised(&model);
+        // Both solvers are exact on these tame instances; an iteration
+        // limit would indicate a bug, not hard numerics.
+        prop_assert_ne!(dense.status, Status::IterationLimit);
+        prop_assert_ne!(revised.status, Status::IterationLimit);
+        prop_assert_eq!(dense.status, revised.status);
+        if dense.status == Status::Optimal {
+            prop_assert!(
+                (dense.objective - revised.objective).abs() < 1e-6,
+                "dense {} vs revised {} on\n{}",
+                dense.objective,
+                revised.objective,
+                model
+            );
+            prop_assert!(
+                model.is_feasible(&revised.values, 1e-6),
+                "revised returned an infeasible point for\n{}",
+                model
+            );
+            prop_assert!(
+                model.is_feasible(&dense.values, 1e-6),
+                "dense returned an infeasible point for\n{}",
+                model
+            );
+        }
+    }
+
+    /// Warm-started revised branch-and-bound ≡ cold dense branch-and-bound:
+    /// same status, same optimal objective, same proven bound.
+    #[test]
+    fn warm_revised_bb_matches_cold_dense_bb(spec in model_strategy(5, 4)) {
+        let model = build_model(&spec, true);
+        let dense = solve_milp_with(&model, &BranchBoundOptions {
+            engine: LpEngine::DenseTableau,
+            ..BranchBoundOptions::default()
+        });
+        let revised = solve_milp_with(&model, &BranchBoundOptions {
+            engine: LpEngine::Revised,
+            ..BranchBoundOptions::default()
+        });
+        // Skip the rare instance either search could not finish.
+        if dense.status != Status::NodeLimit && revised.status != Status::NodeLimit {
+            prop_assert_eq!(dense.status, revised.status);
+            match (dense.objective(), revised.objective()) {
+                (Some(a), Some(b)) => {
+                    prop_assert!((a - b).abs() < 1e-6, "incumbents differ: {} vs {} on\n{}", a, b, model);
+                    let incumbent = revised.incumbent.as_ref().unwrap();
+                    prop_assert!(model.is_feasible(&incumbent.values, 1e-6));
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "incumbent presence differs: {:?}", other),
+            }
+            match (dense.bound, revised.bound) {
+                (Some(a), Some(b)) => prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "bounds differ: {} vs {} on\n{}", a, b, model
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "bound presence differs: {:?}", other),
+            }
+        }
+    }
+}
