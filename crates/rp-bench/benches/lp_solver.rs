@@ -111,10 +111,74 @@ fn bench_lp_revised(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sparse-factorisation subsystem: cold solves under devex vs
+/// Dantzig pricing, the warm sibling re-solve fast path, and the
+/// hyper-sparse unit FTRAN/BTRAN plus one Markowitz refactorisation on
+/// a solved paper-scale basis. `BENCH_sparse.json` (baseline binary)
+/// tracks the same quantities outside criterion.
+fn bench_sparse_lu(c: &mut Criterion) {
+    use rp_lp::Pricing;
+
+    let mut group = c.benchmark_group("lp_sparse_lu");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let devex = SimplexOptions::default();
+    let dantzig = SimplexOptions {
+        pricing: Pricing::Dantzig,
+        ..SimplexOptions::default()
+    };
+    for size in [40usize, 120] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_heterogeneous(), 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let mut ws = RevisedWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("solve_devex", size),
+            &formulation.model,
+            |b, model| b.iter(|| ws.solve_cold(model, &devex)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("solve_dantzig", size),
+            &formulation.model,
+            |b, model| b.iter(|| ws.solve_cold(model, &dantzig)),
+        );
+        // Sibling fast path: the matrix is unchanged, so the warm solve
+        // is a refactorisation plus a handful of cleanup pivots.
+        ws.solve_cold(&formulation.model, &devex);
+        group.bench_with_input(
+            BenchmarkId::new("resolve_warm", size),
+            &formulation.model,
+            |b, model| b.iter(|| ws.solve_warm(model, &devex)),
+        );
+    }
+    {
+        let problem = bench_instance(400, 0.4, PlatformKind::default_heterogeneous(), 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let mut ws = RevisedWorkspace::new();
+        ws.solve_cold(&formulation.model, &devex);
+        let mut unit = 0usize;
+        group.bench_function("ftran_unit/400", |b| {
+            b.iter(|| {
+                ws.bench_ftran_unit(unit);
+                unit = unit.wrapping_add(1);
+            })
+        });
+        group.bench_function("btran_unit/400", |b| {
+            b.iter(|| {
+                ws.bench_btran_unit(unit);
+                unit = unit.wrapping_add(1);
+            })
+        });
+        group.bench_function("markowitz_refactor/400", |b| b.iter(|| ws.bench_refactor()));
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lower_bounds,
     bench_simplex_on_formulations,
-    bench_lp_revised
+    bench_lp_revised,
+    bench_sparse_lu
 );
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p rp-bench --bin baseline -- [OUTPUT.json] [--compare OLD.json]
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-revised
+//! cargo run --release -p rp-bench --bin baseline -- [--sparse-out OUT.json] --sparse-only
 //! ```
 //!
 //! Metrics (all medians over several samples):
@@ -27,7 +28,12 @@
 //! The run **also** writes `BENCH_revised.json`: dense-tableau vs
 //! revised-simplex timings per LP-bound size with the speedup ratio,
 //! plus the paper-scale `s = 400` revised-engine bound time that the
-//! dense engine cannot reach in reasonable time.
+//! dense engine cannot reach in reasonable time — and
+//! `BENCH_sparse.json`: the sparse-LU / Forrest–Tomlin / devex
+//! trajectory (factor nnz scaling, FTRAN/BTRAN and refactorisation
+//! timings, devex vs Dantzig iteration counts, warm sibling re-solves,
+//! and the `s = 2000` multi-thousand-row scenario; see
+//! [`write_sparse_report`]).
 //!
 //! `--smoke-revised` is the CI mode: it solves one `s = 400`
 //! paper-scale LP bound with the revised engine, prints the timing and
@@ -126,10 +132,14 @@ fn time_once<R>(mut f: impl FnMut() -> R) -> (f64, R) {
 /// the revised engine. Solves the relaxation directly and asserts
 /// `Status::Optimal` — going through `lower_bound_with` would mask an
 /// iteration-limited or failed solve as the always-valid bound `0.0`.
+/// The sparse-LU engine must also stay within the `RP_SMOKE_MS` wall
+/// budget (default 25 ms — generous against the ~5 ms it takes on a
+/// quiet machine, tight against the ~250 ms the dense tableau needs)
+/// and agree with the dense oracle's objective.
 fn smoke_revised() {
     use rp_core::ilp::{build_model, Integrality};
     use rp_core::Policy;
-    use rp_lp::{solve_lp_revised, Status};
+    use rp_lp::{solve_lp, solve_lp_revised, Status};
 
     let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
     let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
@@ -141,10 +151,32 @@ fn smoke_revised() {
         );
         std::process::exit(1);
     }
+    let budget_ms: f64 = std::env::var("RP_SMOKE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    if ns / 1e6 > budget_ms {
+        eprintln!(
+            "s=400 revised lp_rational_bound REGRESSED: {:.1} ms exceeds the {budget_ms} ms budget",
+            ns / 1e6
+        );
+        std::process::exit(1);
+    }
+    let dense = solve_lp(&formulation.model);
+    if dense.status != Status::Optimal
+        || (dense.objective - solution.objective).abs() > 1e-4 * solution.objective.abs().max(1.0)
+    {
+        eprintln!(
+            "s=400 engines disagree: revised {} vs dense oracle {} ({})",
+            solution.objective, dense.objective, dense.status
+        );
+        std::process::exit(1);
+    }
     println!(
-        "s=400 revised lp_rational_bound = {:.3} in {:.1} ms",
+        "s=400 revised lp_rational_bound = {:.3} in {:.1} ms (dense oracle agrees: {:.3})",
         solution.objective,
-        ns / 1e6
+        ns / 1e6,
+        dense.objective
     );
 }
 
@@ -301,11 +333,297 @@ fn write_revised_report(path: &str) {
     eprintln!("wrote {path}");
 }
 
+/// A deterministic ill-scaled LP family (dense-ish `≤` rows whose
+/// coefficients span four orders of magnitude): the setting where devex
+/// reference weights separate from Dantzig pricing.
+fn ill_scaled_model(n: usize, m: usize, seed: u64) -> rp_lp::Model {
+    use rp_lp::{lin_sum, Cmp, Model, Sense};
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut model = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let scale = 10f64.powi((next() % 5) as i32 - 2);
+            let objective = ((next() % 1000) as f64 / 100.0 + 0.1) * scale;
+            model.add_var(
+                format!("x{j}"),
+                0.0,
+                Some(((next() % 90) + 10) as f64),
+                objective,
+            )
+        })
+        .collect();
+    for i in 0..m {
+        let mut terms = vec![];
+        for &v in &vars {
+            if (next() % 100) < 30 {
+                let scale = 10f64.powi((next() % 5) as i32 - 2);
+                terms.push((((next() % 1000) as f64 / 100.0 + 0.05) * scale, v));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs = ((next() % 5000) + 500) as f64 / 10.0;
+        model.add_constraint(format!("c{i}"), lin_sum(terms), Cmp::Le, rhs);
+    }
+    model
+}
+
+/// Writes `BENCH_sparse.json`: the sparse-LU / Forrest–Tomlin / devex
+/// trajectory of the revised engine —
+///
+/// * `lp_solve/{dense,revised}/<s>` — cold engine-to-engine solve
+///   comparison on prebuilt Multiple relaxations (the apples-to-apples
+///   setting `BENCH_revised.json` used, so
+///   `speedup_vs_dense_lu/lp_solve/<s>` can be computed against the
+///   recorded dense-LU numbers when that file is present);
+/// * `lp_resolve_warm/<s>` — the sibling fast path: re-solving the same
+///   matrix after an objective/rhs refresh (refactorisation + cleanup
+///   pivots only), what the λ-sharded sweep pays per sibling trial;
+/// * `iters/{devex,dantzig}/<s>` — simplex iteration counts per pricing
+///   rule at `s = 80..400`, the devex payoff on the degenerate replica
+///   LPs;
+/// * `factor/{m,nnz_l,nnz_u}/<s>`, `factor/refactor_ns/<s>`,
+///   `ftran_ns/<s>`, `btran_ns/<s>` — factor sparsity and the
+///   nnz-scaling of one Markowitz refactorisation and of hyper-sparse
+///   unit solves;
+/// * `lp_rational_bound/revised/{400,2000}_ms` — one-shot paper-scale
+///   and multi-thousand-row bound solves (the dense tableau is not run
+///   at these sizes; the s = 400 reference lives in
+///   `BENCH_revised.json`).
+fn write_sparse_report(path: &str) {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{Pricing, RevisedWorkspace, SimplexOptions, SimplexWorkspace, Status};
+    use rp_workloads::platform::paper_scale_instance_sized;
+
+    let reference = std::fs::read_to_string("BENCH_revised.json")
+        .map(|text| parse_metrics(&text))
+        .unwrap_or_default();
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    let devex = SimplexOptions::default();
+    let dantzig = SimplexOptions {
+        pricing: Pricing::Dantzig,
+        ..SimplexOptions::default()
+    };
+
+    for size in [20usize, 40, 80, 120] {
+        let problem = bench_instance(size, 0.6, PlatformKind::default_heterogeneous(), 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let model = &formulation.model;
+
+        let mut dense_ws = SimplexWorkspace::new();
+        let dense_solve = time_ns(|| {
+            black_box(rp_lp::solve_lp_reusing(
+                black_box(model),
+                &devex,
+                &mut dense_ws,
+            ));
+        });
+        let mut ws = RevisedWorkspace::new();
+        let revised_solve = time_ns(|| {
+            black_box(ws.solve_cold(black_box(model), &devex));
+        });
+        entries.push((format!("lp_solve/dense/{size}"), dense_solve));
+        entries.push((format!("lp_solve/revised/{size}"), revised_solve));
+        entries.push((
+            format!("speedup/lp_solve/{size}"),
+            dense_solve / revised_solve,
+        ));
+        if let Some((_, old)) = reference
+            .iter()
+            .find(|(name, _)| name == &format!("lp_solve/revised/{size}"))
+        {
+            entries.push((
+                format!("speedup_vs_dense_lu/lp_solve/{size}"),
+                old / revised_solve,
+            ));
+        }
+        // The sibling fast path: same matrix, refreshed data.
+        let warm_solve = time_ns(|| {
+            black_box(ws.solve_warm(black_box(model), &devex));
+        });
+        entries.push((format!("lp_resolve_warm/{size}"), warm_solve));
+
+        if size >= 80 {
+            ws.solve_cold(model, &devex);
+            let devex_iters = ws.last_stats().iterations();
+            entries.push((format!("iters/devex/{size}"), devex_iters as f64));
+            let (lnnz, unnz) = ws.factor_nnz();
+            entries.push((format!("factor/m/{size}"), model.num_constraints() as f64));
+            entries.push((format!("factor/nnz_l/{size}"), lnnz as f64));
+            entries.push((format!("factor/nnz_u/{size}"), unnz as f64));
+            let refactor_ns = time_ns(|| {
+                black_box(ws.bench_refactor());
+            });
+            entries.push((format!("factor/refactor_ns/{size}"), refactor_ns));
+            let mut unit = 0usize;
+            let ftran_ns = time_ns(|| {
+                ws.bench_ftran_unit(black_box(unit));
+                unit = unit.wrapping_add(1);
+            });
+            entries.push((format!("ftran_ns/{size}"), ftran_ns));
+            let btran_ns = time_ns(|| {
+                ws.bench_btran_unit(black_box(unit));
+                unit = unit.wrapping_add(1);
+            });
+            entries.push((format!("btran_ns/{size}"), btran_ns));
+            ws.invalidate();
+            ws.solve_cold(model, &dantzig);
+            let dantzig_iters = ws.last_stats().iterations();
+            entries.push((format!("iters/dantzig/{size}"), dantzig_iters as f64));
+        }
+    }
+
+    // Paper scale (s = 400) and a multi-thousand-row scenario — only
+    // the sparse-LU engine is run at these sizes. The `_ms` metric is a
+    // one-shot `lower_bound` (formulation build + solve), matching how
+    // `BENCH_revised.json` recorded the dense-LU engine; `_solve_ms` is
+    // the warm-cache median of the solve alone.
+    for (s, label) in [(400usize, "400"), (2000usize, "2000")] {
+        let problem = paper_scale_instance_sized(s, PlatformKind::default_heterogeneous(), 0.4, 31);
+        let revised_opts = IlpOptions::with_engine(LpEngine::Revised);
+        let (bound_ns, bound) =
+            time_once(|| lower_bound_with(&problem, BoundKind::Rational, &revised_opts));
+        if let Some(bound) = bound {
+            entries.push((
+                format!("lp_rational_bound/revised/{label}_ms"),
+                bound_ns / 1e6,
+            ));
+            entries.push((format!("lp_rational_bound/revised/{label}_bound"), bound));
+        }
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let model = &formulation.model;
+        let mut ws = RevisedWorkspace::new();
+        let (_, solution) = time_once(|| ws.solve_cold(model, &devex));
+        if solution.status != Status::Optimal {
+            eprintln!("s={s} revised solve failed: {}", solution.status);
+            continue;
+        }
+        let devex_iters = ws.last_stats().iterations();
+        let solve_ns = time_ns(|| {
+            black_box(ws.solve_cold(black_box(model), &devex));
+        });
+        entries.push((format!("lp_solve_ms/revised/{label}"), solve_ns / 1e6));
+        // The sibling fast path the λ-sharded sweep pays: re-solving
+        // the same matrix after a data refresh.
+        ws.solve_cold(model, &devex);
+        let warm_ns = time_ns(|| {
+            black_box(ws.solve_warm(black_box(model), &devex));
+        });
+        entries.push((format!("lp_resolve_warm_ms/{label}"), warm_ns / 1e6));
+        entries.push((format!("speedup/sibling_warm/{label}"), solve_ns / warm_ns));
+        entries.push((
+            format!("lp_rational_bound/revised/{label}_value"),
+            solution.objective,
+        ));
+        entries.push((format!("iters/devex/{label}"), devex_iters as f64));
+        let (lnnz, unnz) = ws.factor_nnz();
+        entries.push((format!("factor/m/{label}"), model.num_constraints() as f64));
+        entries.push((format!("factor/nnz_l/{label}"), lnnz as f64));
+        entries.push((format!("factor/nnz_u/{label}"), unnz as f64));
+        let refactor_ns = time_ns(|| {
+            black_box(ws.bench_refactor());
+        });
+        entries.push((format!("factor/refactor_ns/{label}"), refactor_ns));
+        let mut unit = 0usize;
+        let ftran_ns = time_ns(|| {
+            ws.bench_ftran_unit(black_box(unit));
+            unit = unit.wrapping_add(1);
+        });
+        entries.push((format!("ftran_ns/{label}"), ftran_ns));
+        let btran_ns = time_ns(|| {
+            ws.bench_btran_unit(black_box(unit));
+            unit = unit.wrapping_add(1);
+        });
+        entries.push((format!("btran_ns/{label}"), btran_ns));
+        let (_, dantzig_sol) = time_once(|| ws.solve_cold(model, &dantzig));
+        if dantzig_sol.status == Status::Optimal {
+            entries.push((
+                format!("iters/dantzig/{label}"),
+                ws.last_stats().iterations() as f64,
+            ));
+        }
+        if s == 400 {
+            // Like-for-like against the recorded dense-LU engine: both
+            // sides are one-shot `lower_bound` runs (build + solve).
+            if let Some((_, old_ms)) = reference
+                .iter()
+                .find(|(name, _)| name == "lp_rational_bound/revised/400_ms")
+            {
+                entries.push((
+                    "speedup_vs_dense_lu/lp_rational_bound/400".to_string(),
+                    old_ms / (bound_ns / 1e6),
+                ));
+            }
+        }
+    }
+
+    // Devex vs Dantzig where column norms actually differ: a
+    // deterministic ill-scaled LP family (coefficients spanning four
+    // orders of magnitude). On the near-unimodular replica relaxations
+    // the two rules provably coincide (every tableau entry is ±1, so
+    // the reference weights never leave 1 — see the `iters/*` pairs
+    // above); here devex needs fewer iterations.
+    {
+        let mut devex_total = 0usize;
+        let mut dantzig_total = 0usize;
+        for seed in 1..=8u64 {
+            let model = ill_scaled_model(120, 60, seed * 7919);
+            for (pricing, total) in [
+                (Pricing::Devex, &mut devex_total),
+                (Pricing::Dantzig, &mut dantzig_total),
+            ] {
+                let opts = SimplexOptions {
+                    pricing,
+                    ..SimplexOptions::default()
+                };
+                let mut ws = RevisedWorkspace::new();
+                let solution = ws.solve_cold(&model, &opts);
+                if solution.status == Status::Optimal {
+                    *total += ws.last_stats().iterations();
+                }
+            }
+        }
+        entries.push(("iters/devex/illscaled".to_string(), devex_total as f64));
+        entries.push(("iters/dantzig/illscaled".to_string(), dantzig_total as f64));
+    }
+
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str("  \"units\": \"ns per op unless the metric name says otherwise; speedup_vs_dense_lu/* = PR2 dense-LU revised engine over this sparse-LU engine\",\n");
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut output = String::from("BENCH_baseline.json");
     let mut revised_output = String::from("BENCH_revised.json");
+    let mut sparse_output = String::from("BENCH_sparse.json");
     let mut compare: Option<String> = None;
+    let mut sparse_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -317,9 +635,19 @@ fn main() {
                 smoke_revised();
                 return;
             }
+            "--sparse-only" => {
+                sparse_only = true;
+                i += 1;
+            }
             "--revised-out" => {
                 if let Some(path) = args.get(i + 1) {
                     revised_output = path.clone();
+                }
+                i += 2;
+            }
+            "--sparse-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    sparse_output = path.clone();
                 }
                 i += 2;
             }
@@ -328,6 +656,10 @@ fn main() {
                 i += 1;
             }
         }
+    }
+    if sparse_only {
+        write_sparse_report(&sparse_output);
+        return;
     }
 
     let mut metrics: Vec<(String, f64)> = Vec::new();
@@ -481,6 +813,7 @@ fn main() {
     eprintln!("wrote {output}");
 
     write_revised_report(&revised_output);
+    write_sparse_report(&sparse_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

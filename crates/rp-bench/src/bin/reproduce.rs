@@ -5,6 +5,9 @@
 //! # the full default sweeps (30 trees per λ, sizes 15..=100):
 //! cargo run --release -p rp-bench --bin reproduce -- all
 //!
+//! # the paper-scale sweeps (sizes 15..=400, sparse-LU revised engine):
+//! cargo run --release -p rp-bench --bin reproduce -- paper
+//!
 //! # one figure, smaller and faster:
 //! cargo run --release -p rp-bench --bin reproduce -- fig9 --quick
 //!
@@ -45,7 +48,8 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "all" => figures.extend(FigureId::ALL),
+            "all" => figures.extend(FigureId::STANDARD),
+            "paper" => figures.extend(FigureId::PAPER_SCALE),
             "--quick" => quick = true,
             "--check-shape" => check_shape = true,
             "--trees" => {
@@ -75,7 +79,7 @@ fn parse_args() -> Result<CliOptions, String> {
         }
     }
     if figures.is_empty() {
-        figures.extend(FigureId::ALL);
+        figures.extend(FigureId::STANDARD);
     }
     figures.dedup();
     Ok(CliOptions {
@@ -113,7 +117,7 @@ fn main() {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: reproduce [all|fig9|fig10|fig11|fig12|qos]... \
+                "usage: reproduce [all|paper|fig9|fig10|fig11|fig12|qos|paper-success|paper-cost]... \
                  [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
                  [--out DIR] [--check-shape]"
             );
@@ -158,10 +162,11 @@ fn main() {
             let violations = match figure {
                 FigureId::Fig9HomogeneousSuccess
                 | FigureId::Fig11HeterogeneousSuccess
-                | FigureId::QosSweep => check_success_shape(&results),
-                FigureId::Fig10HomogeneousCost | FigureId::Fig12HeterogeneousCost => {
-                    check_cost_shape(&results)
-                }
+                | FigureId::QosSweep
+                | FigureId::PaperScaleSuccess => check_success_shape(&results),
+                FigureId::Fig10HomogeneousCost
+                | FigureId::Fig12HeterogeneousCost
+                | FigureId::PaperScaleCost => check_cost_shape(&results),
             };
             if violations.is_empty() {
                 eprintln!("  shape check: OK");

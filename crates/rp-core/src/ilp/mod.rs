@@ -235,6 +235,7 @@ pub fn sweep_simplex_options() -> SimplexOptions {
         tolerance: 1e-6,
         max_iterations: Some(200_000),
         bland_after: 20_000,
+        ..SimplexOptions::default()
     }
 }
 

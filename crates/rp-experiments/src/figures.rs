@@ -12,7 +12,9 @@ use crate::report::{relative_cost_table, runtime_table, success_table, SeriesTab
 use crate::runner::{run_sweep, ExperimentConfig, SweepResults};
 
 /// The figures of the paper's evaluation section (plus the QoS
-/// extension sweep described in Section 8 / the trailing arXiv plots).
+/// extension sweep described in Section 8 / the trailing arXiv plots,
+/// plus the full paper-scale `15 ≤ s ≤ 400` variants the sparse-LU
+/// revised engine makes tractable).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FigureId {
     /// Figure 9 — homogeneous platforms, percentage of success.
@@ -25,17 +27,38 @@ pub enum FigureId {
     Fig12HeterogeneousCost,
     /// Extension — homogeneous platforms with a uniform QoS bound.
     QosSweep,
+    /// Paper-scale sweep (sizes up to `s = 400`), percentage of success.
+    PaperScaleSuccess,
+    /// Paper-scale sweep (sizes up to `s = 400`), relative cost.
+    PaperScaleCost,
 }
 
 impl FigureId {
     /// All reproduced figures.
-    pub const ALL: [FigureId; 5] = [
+    pub const ALL: [FigureId; 7] = [
+        FigureId::Fig9HomogeneousSuccess,
+        FigureId::Fig10HomogeneousCost,
+        FigureId::Fig11HeterogeneousSuccess,
+        FigureId::Fig12HeterogeneousCost,
+        FigureId::QosSweep,
+        FigureId::PaperScaleSuccess,
+        FigureId::PaperScaleCost,
+    ];
+
+    /// The standard (scaled-down) figures the `reproduce all` run
+    /// regenerates.
+    pub const STANDARD: [FigureId; 5] = [
         FigureId::Fig9HomogeneousSuccess,
         FigureId::Fig10HomogeneousCost,
         FigureId::Fig11HeterogeneousSuccess,
         FigureId::Fig12HeterogeneousCost,
         FigureId::QosSweep,
     ];
+
+    /// The full paper-scale variants (`reproduce paper`): the same
+    /// success/relative-cost curves, with problem sizes drawn from the
+    /// paper's full `15 ≤ s ≤ 400` range on the revised engine.
+    pub const PAPER_SCALE: [FigureId; 2] = [FigureId::PaperScaleSuccess, FigureId::PaperScaleCost];
 
     /// Short identifier used on the command line (`fig9`, `fig10`, …).
     pub fn key(self) -> &'static str {
@@ -45,6 +68,8 @@ impl FigureId {
             FigureId::Fig11HeterogeneousSuccess => "fig11",
             FigureId::Fig12HeterogeneousCost => "fig12",
             FigureId::QosSweep => "qos",
+            FigureId::PaperScaleSuccess => "paper-success",
+            FigureId::PaperScaleCost => "paper-cost",
         }
     }
 
@@ -65,6 +90,8 @@ impl FigureId {
             }
             FigureId::Fig12HeterogeneousCost => "Figure 12: Heterogeneous case - Relative cost",
             FigureId::QosSweep => "Extension: Homogeneous case with QoS=distance bound",
+            FigureId::PaperScaleSuccess => "Paper scale (15 <= s <= 400): Percentage of success",
+            FigureId::PaperScaleCost => "Paper scale (15 <= s <= 400): Relative cost",
         }
     }
 
@@ -81,6 +108,9 @@ impl FigureId {
                 qos_hops: Some(3),
                 ..ExperimentConfig::homogeneous()
             },
+            FigureId::PaperScaleSuccess | FigureId::PaperScaleCost => {
+                ExperimentConfig::paper_scale()
+            }
         }
     }
 
@@ -89,10 +119,11 @@ impl FigureId {
         match self {
             FigureId::Fig9HomogeneousSuccess
             | FigureId::Fig11HeterogeneousSuccess
-            | FigureId::QosSweep => success_table(results),
-            FigureId::Fig10HomogeneousCost | FigureId::Fig12HeterogeneousCost => {
-                relative_cost_table(results)
-            }
+            | FigureId::QosSweep
+            | FigureId::PaperScaleSuccess => success_table(results),
+            FigureId::Fig10HomogeneousCost
+            | FigureId::Fig12HeterogeneousCost
+            | FigureId::PaperScaleCost => relative_cost_table(results),
         }
     }
 }

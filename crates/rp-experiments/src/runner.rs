@@ -27,7 +27,7 @@ use rp_core::ilp::{integral_lower_bound, lower_bound_reusing, BoundKind, IlpOpti
 use rp_core::{Heuristic, MixedBest, ProblemInstance};
 use rp_lp::{LpEngine, LpWorkspace};
 use rp_tree::TreeNetwork;
-use rp_workloads::platform::{generate_problem_with_rng, PlatformKind, WorkloadConfig};
+use rp_workloads::platform::{generate_problem_split_rng, PlatformKind, WorkloadConfig};
 use rp_workloads::tree_gen::{generate_tree_into_with_rng, TreeGenConfig, TreeShape};
 
 use crate::metrics::{LambdaBatch, TrialResult};
@@ -162,9 +162,13 @@ impl WorkerScratch {
 pub fn run_sweep(config: &ExperimentConfig) -> SweepResults {
     // Flatten every (λ index, tree index) pair into one work list so
     // the λ shards interleave; results are regrouped afterwards (the
-    // queue preserves input order in its output).
-    let pairs: Vec<(usize, usize)> = (0..config.lambdas.len())
-        .flat_map(|li| (0..config.trees_per_lambda).map(move |ti| (li, ti)))
+    // queue preserves input order in its output). The list is
+    // tree-major: all λ values of one tree are adjacent, so a worker
+    // claiming consecutive items re-solves the same constraint matrix
+    // under different load factors — exactly the sibling pattern the LP
+    // workspace warm-starts across (see `generate_trial_problem`).
+    let pairs: Vec<(usize, usize)> = (0..config.trees_per_lambda)
+        .flat_map(|ti| (0..config.lambdas.len()).map(move |li| (li, ti)))
         .collect();
     let threads = config
         .threads
@@ -303,18 +307,26 @@ pub fn generate_trial_problem(
 
 /// [`generate_trial_problem`], recycling a previous tree's derived
 /// arrays into the generated tree.
+///
+/// The generation is **λ-independent in structure**: the tree, its
+/// size and the platform capacities are drawn from a stream keyed to
+/// `tree_index` alone, while the request distribution comes from a
+/// stream keyed to the (λ, `tree_index`) pair. Sibling trials — one
+/// tree under several load factors — therefore share their entire ILP
+/// constraint matrix (only right-hand sides, variable bounds and the
+/// load-dependent data differ), which is what lets the pinned worker's
+/// LP workspace warm-start across them instead of re-solving cold.
 pub fn generate_trial_problem_reusing(
     config: &ExperimentConfig,
     lambda: f64,
     tree_index: usize,
     recycled: Option<TreeNetwork>,
 ) -> ProblemInstance {
-    let seed = trial_seed(config.seed, lambda, tree_index);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let size = rng.gen_range(config.size_range.0..=config.size_range.1);
+    let mut structure_rng = StdRng::seed_from_u64(trial_seed(config.seed, 0.0, tree_index));
+    let size = structure_rng.gen_range(config.size_range.0..=config.size_range.1);
     let tree = generate_tree_into_with_rng(
         &TreeGenConfig::with_problem_size(size, config.shape),
-        &mut rng,
+        &mut structure_rng,
         recycled,
     );
     let workload = WorkloadConfig {
@@ -322,7 +334,8 @@ pub fn generate_trial_problem_reusing(
         lambda,
         qos_hops: config.qos_hops,
     };
-    generate_problem_with_rng(tree, &workload, &mut rng)
+    let mut demand_rng = StdRng::seed_from_u64(trial_seed(config.seed, lambda, tree_index));
+    generate_problem_split_rng(tree, &workload, &mut structure_rng, &mut demand_rng)
 }
 
 /// Derives a deterministic sub-seed for one trial.
@@ -468,6 +481,32 @@ mod tests {
         if let Some(placement) = placement {
             assert!(placement.is_valid(&p, Policy::Multiple));
         }
+    }
+
+    #[test]
+    fn sibling_trials_share_structure_but_not_demand() {
+        // One tree index under two load factors: same tree, same
+        // capacities, same storage costs — the constraint matrix the LP
+        // warm start relies on — but a λ-dependent request vector.
+        let config = ExperimentConfig {
+            platform: PlatformKind::default_heterogeneous(),
+            ..ExperimentConfig::smoke_test()
+        };
+        let low = generate_trial_problem(&config, 0.2, 3);
+        let high = generate_trial_problem(&config, 0.6, 3);
+        assert_eq!(low.tree().problem_size(), high.tree().problem_size());
+        assert_eq!(low.tree().num_nodes(), high.tree().num_nodes());
+        let nodes: Vec<_> = low.tree().node_ids().collect();
+        for &node in &nodes {
+            assert_eq!(low.capacity(node), high.capacity(node), "{node}");
+            assert_eq!(low.storage_cost(node), high.storage_cost(node), "{node}");
+        }
+        let low_total: u64 = low.tree().client_ids().map(|c| low.requests(c)).sum();
+        let high_total: u64 = high.tree().client_ids().map(|c| high.requests(c)).sum();
+        assert!(
+            high_total > low_total,
+            "λ=0.6 should demand more than λ=0.2 ({high_total} vs {low_total})"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::solution::{Solution, Status};
 /// Options for the branch-and-bound search.
 #[derive(Clone, Copy, Debug)]
 pub struct BranchBoundOptions {
-    /// LP sub-solver options.
+    /// LP sub-solver options. Presolve is always disabled for the node
+    /// relaxations (per-node bound changes would invalidate the
+    /// reductions); the flag still applies to pure-LP pass-throughs.
     pub simplex: SimplexOptions,
     /// Which LP engine solves the node relaxations.
     pub engine: LpEngine,
@@ -40,6 +42,15 @@ pub struct BranchBoundOptions {
     /// Integrality tolerance: a value within this distance of an integer
     /// is considered integral.
     pub integrality_tolerance: f64,
+    /// Keep the basis stored in the workspace across **sibling
+    /// searches** ([`solve_milp_reusing`] called repeatedly on models
+    /// of the same shape): when only the objective, right-hand sides or
+    /// bounds changed since the previous search — the λ-sharded sweep
+    /// re-solving one tree under a different load factor — the root
+    /// relaxation warm-starts with a refactorisation and a short dual
+    /// cleanup instead of a cold two-phase solve. Structural changes
+    /// are detected (`O(nnz)`) and fall back to a cold root solve.
+    pub warm_across_searches: bool,
 }
 
 impl Default for BranchBoundOptions {
@@ -49,6 +60,7 @@ impl Default for BranchBoundOptions {
             engine: LpEngine::default(),
             max_nodes: 10_000,
             integrality_tolerance: 1e-6,
+            warm_across_searches: true,
         }
     }
 }
@@ -131,9 +143,19 @@ pub fn solve_milp_reusing(
     // LP workspace is likewise shared; under the revised engine it
     // carries the basis of the previously solved node, so each node's
     // relaxation is a warm dual-simplex cleanup rather than a cold
-    // two-phase solve.
+    // two-phase solve. With `warm_across_searches` the basis even
+    // survives from the *previous search* of the same shape, making the
+    // root relaxation of a sibling search (only objective/rhs/bounds
+    // changed) a refactorisation-only fast path.
     let mut scratch = model.clone();
-    workspace.revised.invalidate();
+    if !options.warm_across_searches {
+        workspace.revised.invalidate();
+    }
+    // Node relaxations must see the full constraint system: presolve
+    // reductions derived from the root bounds would not survive the
+    // per-node bound overrides.
+    let mut node_simplex = options.simplex;
+    node_simplex.presolve = false;
     let mut saved_bounds: Vec<(VarId, f64, Option<f64>)> = Vec::new();
     let mut root_relaxation: Option<f64> = None;
     let mut node_limit_hit = false;
@@ -169,9 +191,9 @@ pub fn solve_milp_reusing(
             // Warm start: the bound overrides are the only difference
             // from the previously solved node, so the stored basis is
             // dual feasible and a dual-simplex cleanup suffices.
-            LpEngine::Revised => workspace.revised.solve_warm(&scratch, &options.simplex),
+            LpEngine::Revised => workspace.revised.solve_warm(&scratch, &node_simplex),
             LpEngine::DenseTableau => {
-                solve_lp_engine(&scratch, options.engine, &options.simplex, workspace)
+                solve_lp_engine(&scratch, options.engine, &node_simplex, workspace)
             }
         };
 
@@ -505,6 +527,42 @@ mod tests {
         m.add_constraint("c", lin_sum([(2.0, x)]), Cmp::Ge, 7.0);
         let out = solve_milp(&m);
         assert!(out.explored_nodes >= 1);
+    }
+
+    #[test]
+    fn sibling_searches_reuse_the_basis_and_agree_with_cold_runs() {
+        // The same constraint matrix under shifting objective/rhs: the
+        // warm-across-searches fast path must agree with fresh cold
+        // searches, and disabling it must change nothing but the work.
+        let build = |profit: f64, budget: f64| {
+            let mut m = Model::new(Sense::Maximize);
+            let a = m.add_binary_var("a", profit);
+            let b = m.add_binary_var("b", 13.0);
+            let c = m.add_binary_var("c", 7.0);
+            m.add_constraint(
+                "w",
+                lin_sum([(3.0, a), (4.0, b), (2.0, c)]),
+                Cmp::Le,
+                budget,
+            );
+            m
+        };
+        let mut warm_ws = LpWorkspace::new();
+        let cold_opts = BranchBoundOptions {
+            warm_across_searches: false,
+            ..BranchBoundOptions::default()
+        };
+        for (profit, budget) in [(10.0, 6.0), (2.0, 6.0), (10.0, 9.0), (1.0, 4.0)] {
+            let m = build(profit, budget);
+            let warm = solve_milp_reusing(&m, &BranchBoundOptions::default(), &mut warm_ws);
+            let cold = solve_milp_with(&m, &cold_opts);
+            assert_eq!(warm.status, cold.status, "profit={profit} budget={budget}");
+            match (warm.objective(), cold.objective()) {
+                (Some(a), Some(b)) => assert_close(a, b),
+                (None, None) => {}
+                other => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

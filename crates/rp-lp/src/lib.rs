@@ -40,40 +40,74 @@
 //!   bounded ratio test lets a nonbasic variable *flip* from one bound
 //!   to the other without any basis change, so `m` equals the
 //!   constraint count alone (half the dense row count on these LPs).
-//! * **Factorised basis** — instead of the eliminated tableau the
-//!   engine keeps an LU factorisation `P·B = L·U` of the basis plus a
-//!   product-form **eta file**: each pivot appends one eta vector
-//!   (`O(m)`) rather than rewriting `O(m·n)` entries. FTRAN/BTRAN
-//!   solves cost `O(m² + k·m)` for `k` etas.
-//! * **Hyper-sparse solves** — the LU factors are stored as sparse
-//!   column lists and the forward/backward scatter solves skip
-//!   positions whose running value is exactly zero, so an FTRAN with a
-//!   sparse right-hand side (an entering column, a unit vector) costs
-//!   close to the nonzeros it touches. The tree-structured replica
-//!   bases barely fill in, which is where the order-of-magnitude win
-//!   over the (zero-skipping, but `O(m·n)`-per-pivot) tableau comes
-//!   from.
+//! * **Sparse Markowitz LU** — the basis is factorised `P·B·Q = L·U`
+//!   with Markowitz pivoting (threshold partial pivoting with `u=0.1`,
+//!   Suhl-style shortest-column search, singleton fast paths), so both
+//!   the factorisation work and the factor storage scale with the
+//!   nonzeros rather than `m³`/`m²`. The tree-structured replica bases
+//!   triangularise almost perfectly: at `s = 2000` (m = 2000 rows) `L`
+//!   holds **zero** off-diagonal entries and `U` under `2 nnz/row`, and
+//!   one refactorisation costs ~140 µs where a dense LU would pay
+//!   seconds.
+//! * **Forrest–Tomlin updates** — a basis change replaces a column of
+//!   `U` with the FTRAN's intermediate spike, eliminates the spiked row
+//!   with a short **row eta**, and cycles that step to the back of the
+//!   elimination order. `U` stays genuinely triangular across hundreds
+//!   of updates (unlike a product-form eta file, whose solve cost grows
+//!   with every eta), and a numerically unsafe update is refused,
+//!   triggering a refactorisation (cadence: every 64 updates).
+//! * **Hyper-sparse solves** — both factors are stored column-wise and
+//!   row-wise, and all four triangular solves run in scatter form,
+//!   skipping every position whose running value is exactly zero: an
+//!   FTRAN/BTRAN with a sparse right-hand side costs close to the
+//!   nonzeros it touches plus one `O(m)` sweep.
+//! * **Incremental pricing** — reduced costs are maintained by the
+//!   rank-one update `d ← d − (d_q/α_q)·α` per pivot, with the pivot
+//!   row `α = Aᵀ B⁻ᵀ e_r` computed row-wise over the nonzeros of
+//!   `B⁻ᵀe_r` only. A pricing pass is a flat `O(n)` scan; the full
+//!   `O(nnz)` recomputation happens only at phase starts and
+//!   refactorisations (plus once to confirm optimality).
+//! * **Devex pricing** ([`Pricing`], the default) — Forrest–Goldfarb
+//!   reference-framework weights ride on the same sparse pivot row for
+//!   nearly free, cutting iterations on LPs with heterogeneous column
+//!   norms; Dantzig and Bland remain selectable. (On the replica
+//!   relaxations themselves the constraint matrices are near-unimodular
+//!   — every tableau entry is ±1 — so the weights provably stay at 1
+//!   and devex coincides with Dantzig; `BENCH_sparse.json` records both
+//!   this equality and the devex win on an ill-scaled family.)
+//! * **Presolve** ([`SimplexOptions::presolve`], on by default) —
+//!   singleton rows become bound tightenings, redundant and forcing
+//!   rows (zero-request clients, saturated capacities, nodes with no
+//!   eligible clients) are dropped with the variables they pin, and
+//!   empty/singleton columns are fixed at their optimal bound; the
+//!   postsolve restores every eliminated variable. Branch-and-bound
+//!   disables it for node solves, where bound overrides would
+//!   invalidate the reductions.
 //! * **Crash basis** — instead of one artificial per infeasible row,
 //!   the cold start makes a structural column basic in every coverage
 //!   equality whose value fits its bounds (block-triangularly, so the
 //!   start basis is trivially nonsingular). Phase 1 shrinks from one
 //!   artificial per client to a handful of residual rows.
-//! * **Refactorisation cadence** — every 64 eta updates the basis is
-//!   refactorised from its columns and the basic values are recomputed
-//!   from the right-hand side, bounding both the eta-file length and
-//!   the accumulated floating-point drift.
 //! * **Warm starts** — a bound change (the only thing branch-and-bound
 //!   does between nodes) leaves the reduced costs untouched, so the
 //!   parent basis stays dual feasible and a short **dual simplex**
 //!   cleanup re-optimises the child node; see
-//!   [`RevisedWorkspace::solve_warm`].
+//!   [`RevisedWorkspace::solve_warm`]. The same machinery carries the
+//!   basis across **sibling solves** (same constraint matrix, different
+//!   objective/rhs/bounds — one tree under several load factors in the
+//!   λ-sharded sweep, or consecutive branch-and-bound searches of one
+//!   shape): [`solve_lp_revised_reusing`] and
+//!   [`solve_milp_reusing`] re-solve with a refactorisation plus a few
+//!   cleanup pivots, falling back to a cold solve on any structural
+//!   change (verified entry-for-entry in `O(nnz)`).
 //!
 //! Pick [`LpEngine::Revised`] (the default) for anything but tiny
 //! models; pick [`LpEngine::DenseTableau`] when you want a second,
 //! independently implemented opinion — the property tests in
-//! `tests/proptest_revised_equivalence.rs` pin the two engines to each
-//! other on random bounded LPs, and `rp-bench`'s `BENCH_revised.json`
-//! tracks the speedup.
+//! `tests/proptest_revised_equivalence.rs` pin the two engines (and
+//! every pricing rule, presolve on/off, and warm vs cold paths) to each
+//! other on random bounded LPs, and `rp-bench`'s `BENCH_revised.json` /
+//! `BENCH_sparse.json` track the speedups.
 //!
 //! ```
 //! use rp_lp::{Model, LinExpr, Cmp, Sense, solve_milp};
@@ -120,7 +154,8 @@ pub use branch_bound::{
 pub use engine::{solve_lp_engine, LpEngine, LpWorkspace};
 pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
 pub use revised::{
-    solve_lp_revised, solve_lp_revised_reusing, solve_lp_revised_with, RevisedWorkspace,
+    solve_lp_revised, solve_lp_revised_reusing, solve_lp_revised_with, Pricing, RevisedWorkspace,
+    SolveStats,
 };
 pub use simplex::{solve_lp, solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 pub use solution::{Solution, Status};

@@ -297,6 +297,25 @@ impl Model {
         self.variables[var.index()].upper = upper;
     }
 
+    /// Overrides the objective coefficient of a variable. Objective
+    /// edits keep a stored revised-simplex basis structurally valid, so
+    /// sibling re-solves after this call take the warm-start fast path.
+    pub fn set_objective(&mut self, var: VarId, objective: f64) {
+        self.variables[var.index()].objective = objective;
+    }
+
+    /// Overrides the right-hand side of a constraint. Like objective
+    /// edits, right-hand-side edits preserve the constraint matrix and
+    /// therefore warm-startability.
+    pub fn set_rhs(&mut self, c: ConstraintId, rhs: f64) {
+        self.constraints[c.index()].rhs = rhs;
+    }
+
+    /// Iterates over all constraint ids.
+    pub fn constraint_ids(&self) -> impl Iterator<Item = ConstraintId> + '_ {
+        (0..self.constraints.len()).map(|i| ConstraintId(i as u32))
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.variables.len()

@@ -17,8 +17,26 @@
 //! [`BasisState`] tracks which column is basic in which row, the
 //! at-lower/at-upper status of every nonbasic column, and the values of
 //! the basic variables.
+//!
+//! [`Presolve`] shrinks the problem *before* the standard form is
+//! built: singleton rows become bound tightenings, redundant and
+//! forcing constraints (zero-request clients, saturated capacities,
+//! nodes without eligible clients) are eliminated together with the
+//! variables they pin, and empty or singleton columns are fixed at
+//! their optimal bound. [`StandardForm::build_reduced`] then assembles
+//! the equality form over the surviving rows and columns only, and the
+//! postsolve step in the driver restores every eliminated variable.
 
 use crate::model::{Cmp, Model, Sense};
+
+/// Slack-variable bounds encoding a constraint's comparison direction.
+fn slack_bounds(cmp: Cmp) -> (f64, f64) {
+    match cmp {
+        Cmp::Le => (0.0, f64::INFINITY),
+        Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+        Cmp::Eq => (0.0, 0.0),
+    }
+}
 
 /// Dense column index ranges: `0..n_struct` structural,
 /// `n_struct..n_struct + m` slacks, the rest artificials.
@@ -142,11 +160,7 @@ impl StandardForm {
         }
         self.rhs.clear();
         for c in &model.constraints {
-            let (slo, shi) = match c.cmp {
-                Cmp::Le => (0.0, f64::INFINITY),
-                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
-                Cmp::Eq => (0.0, 0.0),
-            };
+            let (slo, shi) = slack_bounds(c.cmp);
             self.lower.push(slo);
             self.upper.push(shi);
             self.cost.push(0.0);
@@ -154,10 +168,12 @@ impl StandardForm {
         }
     }
 
-    /// Refreshes the structural bounds, objective and right-hand sides
-    /// from `model` (used by the warm-started branch-and-bound path;
-    /// the stored basis stays valid because none of these enter the
-    /// basis matrix).
+    /// Refreshes the structural bounds, objective, right-hand sides
+    /// **and the slack bounds** from `model` (used by the warm-started
+    /// paths; the stored basis stays valid because none of these enter
+    /// the basis matrix — the slack bounds encode each constraint's
+    /// comparison direction, so refreshing them lets the warm path
+    /// absorb even a flipped `≤`/`≥`/`=` without a stale-bound answer).
     pub(crate) fn refresh_bounds(&mut self, model: &Model) {
         self.trivially_infeasible = false;
         let maximise = model.sense() == Sense::Maximize;
@@ -172,6 +188,9 @@ impl StandardForm {
         }
         for (row, c) in model.constraints.iter().enumerate() {
             self.rhs[row] = c.rhs;
+            let (slo, shi) = slack_bounds(c.cmp);
+            self.lower[self.n_struct + row] = slo;
+            self.upper[self.n_struct + row] = shi;
         }
     }
 
@@ -197,6 +216,142 @@ impl StandardForm {
                 if self.row_cols[t] as usize != var.index() || self.row_vals[t] != coeff {
                     return false;
                 }
+            }
+        }
+        true
+    }
+
+    /// Rebuilds the standard form over the rows and columns `pre` kept,
+    /// folding the fixed columns into the right-hand sides. The layout
+    /// matches [`StandardForm::build`] exactly, just over the reduced
+    /// index spaces recorded in `pre`.
+    pub(crate) fn build_reduced(&mut self, model: &Model, pre: &Presolve) {
+        let n = pre.cols.len();
+        let m = pre.rows.len();
+        self.m = m;
+        self.n_struct = n;
+        self.art_rows.clear();
+        self.art_signs.clear();
+        self.trivially_infeasible = false;
+
+        // CSC over kept rows and columns: count, prefix, fill.
+        self.col_ptr.clear();
+        self.col_ptr.resize(n + 1, 0);
+        for &i in &pre.rows {
+            for &(var, _) in &model.constraints[i as usize].terms {
+                if pre.col_kept[var.index()] {
+                    self.col_ptr[pre.col_map[var.index()] as usize + 1] += 1;
+                }
+            }
+        }
+        for j in 0..n {
+            self.col_ptr[j + 1] += self.col_ptr[j];
+        }
+        let nnz = self.col_ptr[n];
+        self.col_rows.clear();
+        self.col_rows.resize(nnz, 0);
+        self.col_vals.clear();
+        self.col_vals.resize(nnz, 0.0);
+        for (ri, &i) in pre.rows.iter().enumerate() {
+            for &(var, coeff) in &model.constraints[i as usize].terms {
+                if pre.col_kept[var.index()] {
+                    let rj = pre.col_map[var.index()] as usize;
+                    let slot = self.col_ptr[rj];
+                    self.col_rows[slot] = ri as u32;
+                    self.col_vals[slot] = coeff;
+                    self.col_ptr[rj] += 1;
+                }
+            }
+        }
+        for j in (1..=n).rev() {
+            self.col_ptr[j] = self.col_ptr[j - 1];
+        }
+        self.col_ptr[0] = 0;
+
+        // CSR mirror over the kept entries, preserving term order.
+        self.row_ptr.clear();
+        self.row_cols.clear();
+        self.row_vals.clear();
+        self.row_ptr.push(0);
+        for &i in &pre.rows {
+            for &(var, coeff) in &model.constraints[i as usize].terms {
+                if pre.col_kept[var.index()] {
+                    self.row_cols.push(pre.col_map[var.index()]);
+                    self.row_vals.push(coeff);
+                }
+            }
+            self.row_ptr.push(self.row_cols.len());
+        }
+
+        // Bounds, costs and right-hand sides via the shared refresher.
+        self.lower.clear();
+        self.upper.clear();
+        self.cost.clear();
+        self.lower.resize(n, 0.0);
+        self.upper.resize(n, 0.0);
+        self.cost.resize(n, 0.0);
+        self.rhs.clear();
+        self.rhs.resize(m, 0.0);
+        for _ in &pre.rows {
+            self.lower.push(0.0);
+            self.upper.push(0.0);
+            self.cost.push(0.0);
+        }
+        self.refresh_reduced(model, pre);
+    }
+
+    /// Refreshes the reduced structural bounds, objective and
+    /// right-hand sides from `model` and the (re-analysed) `pre` — the
+    /// warm-start counterpart of [`StandardForm::refresh_bounds`] for a
+    /// presolved form. The eliminated rows/columns must match the ones
+    /// this form was built from.
+    pub(crate) fn refresh_reduced(&mut self, model: &Model, pre: &Presolve) {
+        self.trivially_infeasible = false;
+        let maximise = model.sense() == Sense::Maximize;
+        for (rj, &j) in pre.cols.iter().enumerate() {
+            let j = j as usize;
+            self.lower[rj] = pre.lower[j];
+            self.upper[rj] = pre.upper[j];
+            let objective = model.variables[j].objective;
+            self.cost[rj] = if maximise { -objective } else { objective };
+        }
+        let n = pre.cols.len();
+        for (ri, &i) in pre.rows.iter().enumerate() {
+            let c = &model.constraints[i as usize];
+            let mut rhs = c.rhs;
+            for &(var, coeff) in &c.terms {
+                if !pre.col_kept[var.index()] {
+                    rhs -= coeff * pre.fixed[var.index()];
+                }
+            }
+            self.rhs[ri] = rhs;
+            let (slo, shi) = slack_bounds(c.cmp);
+            self.lower[n + ri] = slo;
+            self.upper[n + ri] = shi;
+        }
+    }
+
+    /// `true` when `model`'s kept entries are entry-for-entry the ones
+    /// this reduced form was built from — the presolved counterpart of
+    /// [`StandardForm::matrix_matches`].
+    pub(crate) fn matrix_matches_reduced(&self, model: &Model, pre: &Presolve) -> bool {
+        for (ri, &i) in pre.rows.iter().enumerate() {
+            let mut cursor = self.row_ptr[ri];
+            let end = self.row_ptr[ri + 1];
+            for &(var, coeff) in &model.constraints[i as usize].terms {
+                if !pre.col_kept[var.index()] {
+                    continue;
+                }
+                if cursor == end
+                    || self.row_cols[cursor] != pre.col_map[var.index()]
+                    || self.row_vals[cursor] != coeff
+                {
+                    return false;
+                }
+                cursor += 1;
+            }
+            if cursor != end {
+                return false;
             }
         }
         true
@@ -232,6 +387,346 @@ impl StandardForm {
             let a = col - self.art_base();
             self.art_signs[a] * v[self.art_rows[a]]
         }
+    }
+}
+
+/// Coefficient magnitude below which a term is treated as absent.
+const LIVE_TOL: f64 = 1e-12;
+/// Detection tolerance for forcing constraints and redundancy.
+const FORCE_TOL: f64 = 1e-9;
+/// Violation above which presolve declares the model infeasible —
+/// matched to the phase-1 acceptance threshold of the solver
+/// (`tolerance * 10`), so presolve and the full solve agree on
+/// borderline instances.
+const INFEAS_TOL: f64 = 1e-6;
+
+/// The presolve pass: bound tightenings, eliminated rows and fixed
+/// columns, plus the original↔reduced index maps. See the module docs.
+#[derive(Default)]
+pub(crate) struct Presolve {
+    /// Tightened bounds per original variable.
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    /// Value of each eliminated (fixed) variable.
+    pub(crate) fixed: Vec<f64>,
+    /// Surviving rows / columns of the current analysis.
+    pub(crate) row_kept: Vec<bool>,
+    pub(crate) col_kept: Vec<bool>,
+    /// The masks the current reduced form was built from (the warm
+    /// path re-analyses and only reuses the basis when they match).
+    built_row_kept: Vec<bool>,
+    built_col_kept: Vec<bool>,
+    /// Reduced→original index lists and the original→reduced column
+    /// map, frozen at build time.
+    pub(crate) rows: Vec<u32>,
+    pub(crate) cols: Vec<u32>,
+    pub(crate) col_map: Vec<u32>,
+    // ---- analysis scratch ----
+    occ: Vec<u32>,
+    occ_row: Vec<u32>,
+    occ_coeff: Vec<f64>,
+    stamp: Vec<u32>,
+    stamp_gen: u32,
+}
+
+impl Presolve {
+    /// Analyses `model`, filling the masks, tightened bounds and fixed
+    /// values. Returns `false` when presolve alone proves the model
+    /// infeasible.
+    pub(crate) fn analyze(&mut self, model: &Model) -> bool {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        self.lower.clear();
+        self.upper.clear();
+        self.fixed.clear();
+        self.fixed.resize(n, 0.0);
+        self.row_kept.clear();
+        self.row_kept.resize(m, true);
+        self.col_kept.clear();
+        self.col_kept.resize(n, true);
+        self.occ.clear();
+        self.occ.resize(n, 0);
+        self.occ_row.clear();
+        self.occ_row.resize(n, 0);
+        self.occ_coeff.clear();
+        self.occ_coeff.resize(n, 0.0);
+        self.stamp.clear();
+        self.stamp.resize(n, 0);
+        self.stamp_gen = 0;
+
+        let maximise = model.sense() == Sense::Maximize;
+        for v in &model.variables {
+            let ub = v.upper.unwrap_or(f64::INFINITY);
+            if ub < v.lower {
+                // Strict, like the unreduced build: inverted *model*
+                // bounds are trivially infeasible.
+                return false;
+            }
+            self.lower.push(v.lower);
+            self.upper.push(ub);
+        }
+
+        for _pass in 0..16 {
+            let mut changed = false;
+            // Column occurrences over the surviving rows (refreshed per
+            // pass; rows dropped mid-pass only ever overcount, which
+            // the next pass corrects).
+            self.occ.iter_mut().for_each(|o| *o = 0);
+            for (i, c) in model.constraints.iter().enumerate() {
+                if !self.row_kept[i] {
+                    continue;
+                }
+                for &(var, a) in &c.terms {
+                    let j = var.index();
+                    if self.col_kept[j] && a.abs() > LIVE_TOL {
+                        self.occ[j] += 1;
+                        self.occ_row[j] = i as u32;
+                        self.occ_coeff[j] = a;
+                    }
+                }
+            }
+
+            // Row pass: singletons, redundancy, forcing.
+            for (i, c) in model.constraints.iter().enumerate() {
+                if !self.row_kept[i] {
+                    continue;
+                }
+                let mut rhs = c.rhs;
+                let mut live = 0usize;
+                let mut single = (0usize, 0.0f64);
+                let mut min_act = 0.0f64;
+                let mut max_act = 0.0f64;
+                for &(var, a) in &c.terms {
+                    let j = var.index();
+                    if !self.col_kept[j] {
+                        rhs -= a * self.fixed[j];
+                        continue;
+                    }
+                    if a.abs() <= LIVE_TOL {
+                        continue;
+                    }
+                    live += 1;
+                    single = (j, a);
+                    let (lo, hi) = (self.lower[j], self.upper[j]);
+                    if a > 0.0 {
+                        min_act += a * lo;
+                        max_act += a * hi;
+                    } else {
+                        min_act += a * hi;
+                        max_act += a * lo;
+                    }
+                }
+                match live {
+                    0 => {
+                        let violated = match c.cmp {
+                            Cmp::Le => rhs < -INFEAS_TOL,
+                            Cmp::Ge => rhs > INFEAS_TOL,
+                            Cmp::Eq => rhs.abs() > INFEAS_TOL,
+                        };
+                        if violated {
+                            return false;
+                        }
+                        self.row_kept[i] = false;
+                        changed = true;
+                    }
+                    1 => {
+                        // Singleton row: a bound on its only variable.
+                        let (j, a) = single;
+                        let v = rhs / a;
+                        let (tighten_upper, tighten_lower) = match c.cmp {
+                            Cmp::Le => (a > 0.0, a < 0.0),
+                            Cmp::Ge => (a < 0.0, a > 0.0),
+                            Cmp::Eq => (true, true),
+                        };
+                        if tighten_upper && v < self.upper[j] {
+                            self.upper[j] = v;
+                        }
+                        if tighten_lower && v > self.lower[j] {
+                            self.lower[j] = v;
+                        }
+                        if self.lower[j] > self.upper[j] {
+                            if self.lower[j] - self.upper[j] > INFEAS_TOL {
+                                return false;
+                            }
+                            let mid = 0.5 * (self.lower[j] + self.upper[j]);
+                            self.lower[j] = mid;
+                            self.upper[j] = mid;
+                        }
+                        self.row_kept[i] = false;
+                        changed = true;
+                    }
+                    _ => {
+                        let (infeasible, redundant, force_min, force_max) = match c.cmp {
+                            Cmp::Le => (
+                                min_act > rhs + INFEAS_TOL,
+                                max_act <= rhs + FORCE_TOL,
+                                min_act >= rhs - FORCE_TOL,
+                                false,
+                            ),
+                            Cmp::Ge => (
+                                max_act < rhs - INFEAS_TOL,
+                                min_act >= rhs - FORCE_TOL,
+                                false,
+                                max_act <= rhs + FORCE_TOL,
+                            ),
+                            Cmp::Eq => (
+                                min_act > rhs + INFEAS_TOL || max_act < rhs - INFEAS_TOL,
+                                false,
+                                min_act >= rhs - FORCE_TOL,
+                                max_act <= rhs + FORCE_TOL,
+                            ),
+                        };
+                        if infeasible {
+                            return false;
+                        }
+                        if redundant {
+                            self.row_kept[i] = false;
+                            changed = true;
+                        } else if (force_min || force_max) && self.row_without_duplicates(c) {
+                            // Forcing: feasibility needs the extreme
+                            // activity, which pins every live variable
+                            // to the bound attaining it.
+                            for &(var, a) in &c.terms {
+                                let j = var.index();
+                                if !self.col_kept[j] || a.abs() <= LIVE_TOL {
+                                    continue;
+                                }
+                                let at_lower = (a > 0.0) == force_min;
+                                let value = if at_lower {
+                                    self.lower[j]
+                                } else {
+                                    self.upper[j]
+                                };
+                                debug_assert!(value.is_finite());
+                                self.fixed[j] = value;
+                                self.col_kept[j] = false;
+                            }
+                            self.row_kept[i] = false;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            // Column pass: collapsed bounds, empty and singleton columns.
+            for j in 0..n {
+                if !self.col_kept[j] {
+                    continue;
+                }
+                let (lo, hi) = (self.lower[j], self.upper[j]);
+                if hi.is_finite() && lo.is_finite() && hi - lo <= FORCE_TOL {
+                    self.fixed[j] = lo;
+                    self.col_kept[j] = false;
+                    changed = true;
+                    continue;
+                }
+                let objective = model.variables[j].objective;
+                let cost = if maximise { -objective } else { objective };
+                match self.occ[j] {
+                    0 => {
+                        // Empty column: park it at the objective's
+                        // preferred finite bound; an unboundedly
+                        // improving free column stays for the solver to
+                        // report Unbounded on.
+                        let target = if cost > LIVE_TOL {
+                            lo.is_finite().then_some(lo)
+                        } else if cost < -LIVE_TOL {
+                            hi.is_finite().then_some(hi)
+                        } else if lo.is_finite() {
+                            Some(lo)
+                        } else if hi.is_finite() {
+                            Some(hi)
+                        } else {
+                            Some(0.0)
+                        };
+                        if let Some(value) = target {
+                            self.fixed[j] = value;
+                            self.col_kept[j] = false;
+                            changed = true;
+                        }
+                    }
+                    1 if self.row_kept[self.occ_row[j] as usize] => {
+                        // Singleton column: if one bound both relaxes
+                        // its only constraint and (weakly) improves the
+                        // objective, some optimum has the variable
+                        // there — fix it.
+                        let a = self.occ_coeff[j];
+                        let down = match model.constraints[self.occ_row[j] as usize].cmp {
+                            Cmp::Le => Some(a > 0.0),
+                            Cmp::Ge => Some(a < 0.0),
+                            Cmp::Eq => None,
+                        };
+                        let Some(down) = down else { continue };
+                        let obj_compatible = if down {
+                            cost >= -LIVE_TOL
+                        } else {
+                            cost <= LIVE_TOL
+                        };
+                        let target = if down { lo } else { hi };
+                        if obj_compatible && target.is_finite() {
+                            self.fixed[j] = target;
+                            self.col_kept[j] = false;
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+
+    /// `true` when no surviving variable appears twice in `c` — the
+    /// precondition for the forcing-row fix (duplicated terms make the
+    /// per-term activity bounds unattainable).
+    fn row_without_duplicates(&mut self, c: &crate::model::Constraint) -> bool {
+        self.stamp_gen += 1;
+        for &(var, a) in &c.terms {
+            let j = var.index();
+            if !self.col_kept[j] || a.abs() <= LIVE_TOL {
+                continue;
+            }
+            if self.stamp[j] == self.stamp_gen {
+                return false;
+            }
+            self.stamp[j] = self.stamp_gen;
+        }
+        true
+    }
+
+    /// Freezes the reduced index maps and remembers the masks the form
+    /// is about to be built from.
+    pub(crate) fn finalize_for_build(&mut self) {
+        self.rows.clear();
+        self.rows.extend(
+            self.row_kept
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i as u32)),
+        );
+        self.cols.clear();
+        self.col_map.clear();
+        self.col_map.resize(self.col_kept.len(), u32::MAX);
+        for (j, &keep) in self.col_kept.iter().enumerate() {
+            if keep {
+                self.col_map[j] = self.cols.len() as u32;
+                self.cols.push(j as u32);
+            }
+        }
+        self.built_row_kept.clear();
+        self.built_row_kept.extend_from_slice(&self.row_kept);
+        self.built_col_kept.clear();
+        self.built_col_kept.extend_from_slice(&self.col_kept);
+    }
+
+    /// `true` when the most recent [`Presolve::analyze`] produced
+    /// exactly the reductions the current reduced form was built from —
+    /// the condition for warm-starting a presolved basis.
+    pub(crate) fn matches_built(&self) -> bool {
+        self.row_kept == self.built_row_kept && self.col_kept == self.built_col_kept
     }
 }
 

@@ -1,298 +1,668 @@
-//! Basis factorisation: LU with partial pivoting, stored as **sparse
-//! triangular factors**, plus a sparse product-form eta file.
+//! Basis factorisation: **sparse Markowitz LU** with **Forrest–Tomlin
+//! updates**.
 //!
-//! The revised simplex never forms `B⁻¹` explicitly. Instead it keeps
+//! The revised simplex never forms `B⁻¹` explicitly. This module keeps
 //!
-//! * an **LU factorisation** `P·B = L·U` of the basis matrix as of the
-//!   last refactorisation — factored densely (the basis is small), then
-//!   extracted into column lists of `L` and `U` so the triangular
-//!   solves touch only structural nonzeros, and
-//! * an **eta file**: one sparse elementary column transformation per
-//!   pivot performed since, so that the current basis inverse is
-//!   `B⁻¹ = Eₖ⁻¹ ⋯ E₁⁻¹ B₀⁻¹`.
+//! * a sparse LU factorisation `P·B·Q = L·U` of the basis, computed by
+//!   **Markowitz pivoting**: at every elimination step the pivot is the
+//!   entry minimising the fill bound `(r_i − 1)(c_j − 1)` among entries
+//!   passing **threshold partial pivoting** (`|a_ij| ≥ u·max_i |a_ij|`),
+//!   found Suhl-style by scanning a handful of the shortest active
+//!   columns (with cost-0 singleton-row/column fast paths). On the
+//!   tree-structured replica bases this produces factors with `O(nnz)`
+//!   entries instead of the `O(m³)` work and `O(m²)` memory a dense LU
+//!   pays, and
+//! * a **Forrest–Tomlin update** per basis change: instead of appending
+//!   a product-form eta, the spiked column of `U` is eliminated with row
+//!   operations whose multipliers form a short *row eta*, the spike
+//!   becomes the last column of `U`'s elimination order, and `U` stays
+//!   genuinely triangular — so hundreds of basis changes amortise one
+//!   refactorisation without the eta file's solve-time blow-up.
 //!
-//! `ftran` (solve `B·x = v`) applies the LU solve and then the etas in
-//! chronological order; `btran` (solve `Bᵀ·y = v`) applies the
-//! transposed etas in reverse order and then the transposed LU solve.
+//! Both factors are stored column-wise **and** row-wise so that all four
+//! triangular solves (`ftran` = solve `B·x = v`, `btran` = solve
+//! `Bᵀ·y = v`) run in **scatter form**: a position whose running value
+//! is exactly zero contributes nothing and is skipped outright, so a
+//! solve with a sparse right-hand side (an entering column, a unit
+//! vector) costs close to the structurally reachable nonzeros it
+//! actually touches plus one `O(m)` sweep — the hyper-sparsity that
+//! makes the revised method scale to multi-thousand-row formulations.
 //!
-//! The replica-placement bases are tree-structured and extremely
-//! sparse, and their `L`/`U` factors barely fill in; the forward and
-//! backward **scatter** solves also skip positions whose running value
-//! is exactly zero, so a solve with a sparse right-hand side (an
-//! entering column, a unit vector) costs close to the number of
-//! nonzeros it actually touches — the "hyper-sparsity" that makes the
-//! revised method beat the zero-skipping dense tableau on these LPs.
-//! The driver still refactorises every few dozen pivots to bound the
-//! eta file and squash the product form's numerical drift.
+//! Index spaces: `ftran` maps the *constraint-row* space to the *basis
+//! slot* space (`x[k]` = value of the column basic in row `k`), `btran`
+//! the other way around; internally everything lives in *elimination
+//! step* space via the permutations `p` (step → constraint row) and `q`
+//! (step → basis slot). Forrest–Tomlin updates reorder `U`'s steps
+//! through `uorder`/`upos` without renumbering them.
 //!
-//! All buffers live in the struct and keep their capacity across solves.
-
-/// LU factors plus the eta file. See the module docs.
-#[derive(Default)]
-pub(crate) struct Factorization {
-    /// Basis dimension at the last refactorisation.
-    m: usize,
-    /// Row-swap sequence of the partial pivoting: at elimination step
-    /// `k`, rows `k` and `ipiv[k]` were exchanged.
-    ipiv: Vec<usize>,
-    /// Dense column-major scratch used only *during* refactorisation.
-    lu: Vec<f64>,
-    /// Columns of `L` strictly below the diagonal (unit diagonal
-    /// implied): entries `lcol_ptr[k]..lcol_ptr[k+1]` hold the
-    /// (row, value) pairs of column `k`.
-    lcol_ptr: Vec<usize>,
-    lcol_idx: Vec<u32>,
-    lcol_val: Vec<f64>,
-    /// Columns of `U` strictly above the diagonal, same layout.
-    ucol_ptr: Vec<usize>,
-    ucol_idx: Vec<u32>,
-    ucol_val: Vec<f64>,
-    /// Diagonal of `U`.
-    udiag: Vec<f64>,
-    /// Sparse eta file: update `t` replaced basis row `eta_rows[t]`
-    /// with a column whose pivot value was `eta_pivot[t]`; the
-    /// off-pivot nonzeros of `w = B⁻¹ a_q` live in
-    /// `eta_ptr[t]..eta_ptr[t+1]`.
-    eta_rows: Vec<usize>,
-    eta_pivot: Vec<f64>,
-    eta_ptr: Vec<usize>,
-    eta_idx: Vec<u32>,
-    eta_val: Vec<f64>,
-    /// Scratch for loading basis columns during refactorisation.
-    scratch: Vec<f64>,
-}
+//! All buffers live in the struct and keep their capacity across solves
+//! and refactorisations.
 
 /// Pivot magnitude below which a refactorisation declares the basis
 /// numerically singular.
 const SINGULAR_TOL: f64 = 1e-11;
 
+/// Threshold partial pivoting factor `u`: a pivot candidate must have
+/// `|a_ij| ≥ u · max_i |a_ij|` within its column.
+const MARKOWITZ_THRESHOLD: f64 = 0.1;
+
+/// Suhl's search bound: stop the Markowitz scan after this many columns
+/// yielded at least one threshold-eligible candidate.
+const SEARCH_COLUMNS: usize = 4;
+
+/// Sparse LU factors plus the Forrest–Tomlin update state. See the
+/// module docs.
+#[derive(Default)]
+pub(crate) struct Factorization {
+    /// Basis dimension at the last refactorisation.
+    m: usize,
+    /// `p[k]` = constraint row pivoted at elimination step `k`.
+    p: Vec<u32>,
+    /// `q[k]` = basis slot (column of `B`) pivoted at step `k`.
+    q: Vec<u32>,
+    /// Inverse of `q`.
+    step_of_slot: Vec<u32>,
+    // ---- L (static per refactorisation), step space, unit diagonal ----
+    lcol_ptr: Vec<usize>,
+    lcol_idx: Vec<u32>,
+    lcol_val: Vec<f64>,
+    lrow_ptr: Vec<usize>,
+    lrow_idx: Vec<u32>,
+    lrow_val: Vec<f64>,
+    // ---- U (mutated by updates), step space, off-diagonal entries ----
+    /// `ucols[k]`: entries `(step i, U[i,k])` with `upos[i] < upos[k]`.
+    ucols: Vec<Vec<(u32, f64)>>,
+    /// `urows[k]`: entries `(step j, U[k,j])` with `upos[j] > upos[k]`.
+    urows: Vec<Vec<(u32, f64)>>,
+    udiag: Vec<f64>,
+    /// Elimination order of the steps (Forrest–Tomlin cycles updated
+    /// steps to the back) and its inverse.
+    uorder: Vec<u32>,
+    upos: Vec<u32>,
+    // ---- Forrest–Tomlin row etas ----
+    eta_target: Vec<u32>,
+    eta_ptr: Vec<usize>,
+    eta_idx: Vec<u32>,
+    eta_val: Vec<f64>,
+    num_updates: usize,
+    /// Intermediate FTRAN vector (after `L` and the row etas, before
+    /// `U`): exactly the spike column the next Forrest–Tomlin update
+    /// needs. Saved by every `ftran`.
+    spike: Vec<f64>,
+    // ---- solve scratch ----
+    work: Vec<f64>,
+    acc: Vec<f64>,
+    touched: Vec<u32>,
+    mults: Vec<(u32, f64)>,
+    // ---- refactorisation working state ----
+    /// Active-submatrix columns: `(constraint row, value)` pairs.
+    acols: Vec<Vec<(u32, f64)>>,
+    /// Active rows → column ids (stale entries tolerated, verified
+    /// lazily against `acols`).
+    arows: Vec<Vec<u32>>,
+    row_len: Vec<u32>,
+    row_pivoted: Vec<bool>,
+    col_pivoted: Vec<bool>,
+    row_step: Vec<u32>,
+    /// Columns bucketed by active length (stale-tolerant).
+    col_bucket: Vec<Vec<u32>>,
+    /// Stack of rows that became singletons (cost-0 pivot hints).
+    sing_rows: Vec<u32>,
+    /// Position-in-column stamps (`-1` = absent).
+    pos_stamp: Vec<i32>,
+    /// Per-step multipliers `(constraint row, L value)` collected during
+    /// elimination, converted to step space afterwards.
+    lbuild: Vec<Vec<(u32, f64)>>,
+    /// Per-step pivot-row entries `(basis slot, U value)`.
+    ubuild: Vec<Vec<(u32, f64)>>,
+    load_rows: Vec<u32>,
+    load_vals: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+/// Clears every inner vector and grows the outer one to at least `len`.
+fn reset_nested<T>(store: &mut Vec<Vec<T>>, len: usize) {
+    for v in store.iter_mut() {
+        v.clear();
+    }
+    if store.len() < len {
+        store.resize_with(len, Vec::new);
+    }
+}
+
 impl Factorization {
-    /// Number of eta updates accumulated since the last refactorisation.
-    pub(crate) fn eta_count(&self) -> usize {
-        self.eta_rows.len()
+    /// Number of Forrest–Tomlin updates absorbed since the last
+    /// refactorisation.
+    pub(crate) fn updates(&self) -> usize {
+        self.num_updates
     }
 
-    /// Refactorises from scratch: `load_column(k, buf)` must fill `buf`
-    /// (already zeroed, length `m`) with the dense k-th basis column.
-    /// Returns `false` when the basis is numerically singular.
+    /// Nonzero counts `(nnz(L), nnz(U))` of the current factors
+    /// (diagonals included in `U`).
+    pub(crate) fn nnz(&self) -> (usize, usize) {
+        let unnz = self.m + self.ucols.iter().map(Vec::len).sum::<usize>();
+        (self.lcol_idx.len(), unnz)
+    }
+
+    /// Refactorises from scratch: `load_column(k, rows, vals)` must
+    /// append the `(row, value)` pairs of the `k`-th basis column
+    /// (duplicates are merged here). Returns `false` when the basis is
+    /// numerically singular.
     pub(crate) fn refactor(
         &mut self,
         m: usize,
-        mut load_column: impl FnMut(usize, &mut [f64]),
+        mut load_column: impl FnMut(usize, &mut Vec<u32>, &mut Vec<f64>),
     ) -> bool {
         self.m = m;
-        self.eta_rows.clear();
-        self.eta_pivot.clear();
+        self.num_updates = 0;
+        self.eta_target.clear();
         self.eta_ptr.clear();
         self.eta_ptr.push(0);
         self.eta_idx.clear();
         self.eta_val.clear();
-        self.lu.clear();
-        self.lu.resize(m * m, 0.0);
-        self.ipiv.clear();
-        self.ipiv.resize(m, 0);
-        self.scratch.clear();
-        self.scratch.resize(m, 0.0);
-        for k in 0..m {
-            for v in self.scratch.iter_mut() {
-                *v = 0.0;
-            }
-            load_column(k, &mut self.scratch);
-            self.lu[k * m..(k + 1) * m].copy_from_slice(&self.scratch);
-        }
-
-        // Right-looking LU with partial pivoting on the flat column-major
-        // scratch: entry (row i, col j) lives at lu[j*m + i].
-        for k in 0..m {
-            let mut pivot_row = k;
-            let mut pivot_abs = self.lu[k * m + k].abs();
-            for i in k + 1..m {
-                let a = self.lu[k * m + i].abs();
-                if a > pivot_abs {
-                    pivot_abs = a;
-                    pivot_row = i;
-                }
-            }
-            if pivot_abs < SINGULAR_TOL {
-                return false;
-            }
-            self.ipiv[k] = pivot_row;
-            if pivot_row != k {
-                for col in 0..m {
-                    self.lu.swap(col * m + k, col * m + pivot_row);
-                }
-            }
-            let pivot = self.lu[k * m + k];
-            let inv = 1.0 / pivot;
-            for i in k + 1..m {
-                self.lu[k * m + i] *= inv;
-            }
-            for j in k + 1..m {
-                let factor = self.lu[j * m + k];
-                if factor != 0.0 {
-                    let (head, tail) = self.lu.split_at_mut(j * m);
-                    let lcol = &head[k * m + k + 1..k * m + m];
-                    let ucol = &mut tail[k + 1..m];
-                    for (u, &l) in ucol.iter_mut().zip(lcol) {
-                        *u -= factor * l;
-                    }
-                }
-            }
-        }
-
-        // Extract the sparse triangular factors; the tree-structured
-        // replica bases barely fill in, so the lists stay short.
-        self.lcol_ptr.clear();
-        self.lcol_idx.clear();
-        self.lcol_val.clear();
-        self.ucol_ptr.clear();
-        self.ucol_idx.clear();
-        self.ucol_val.clear();
+        self.p.clear();
+        self.q.clear();
         self.udiag.clear();
-        self.lcol_ptr.push(0);
-        self.ucol_ptr.push(0);
-        for k in 0..m {
-            for i in k + 1..m {
-                let l = self.lu[k * m + i];
-                if l != 0.0 {
-                    self.lcol_idx.push(i as u32);
-                    self.lcol_val.push(l);
+        self.step_of_slot.clear();
+        self.step_of_slot.resize(m, 0);
+        self.row_step.clear();
+        self.row_step.resize(m, 0);
+        self.row_len.clear();
+        self.row_len.resize(m, 0);
+        self.row_pivoted.clear();
+        self.row_pivoted.resize(m, false);
+        self.col_pivoted.clear();
+        self.col_pivoted.resize(m, false);
+        self.pos_stamp.clear();
+        self.pos_stamp.resize(m, -1);
+        self.sing_rows.clear();
+        reset_nested(&mut self.acols, m);
+        reset_nested(&mut self.arows, m);
+        reset_nested(&mut self.col_bucket, m + 1);
+        reset_nested(&mut self.lbuild, m);
+        reset_nested(&mut self.ubuild, m);
+
+        // Load the basis columns, merging duplicate rows via stamps.
+        for j in 0..m {
+            self.load_rows.clear();
+            self.load_vals.clear();
+            load_column(j, &mut self.load_rows, &mut self.load_vals);
+            let col = &mut self.acols[j];
+            for (&r, &v) in self.load_rows.iter().zip(&self.load_vals) {
+                if v == 0.0 {
+                    continue;
+                }
+                let r_us = r as usize;
+                let pos = self.pos_stamp[r_us];
+                if pos >= 0 {
+                    col[pos as usize].1 += v;
+                } else {
+                    self.pos_stamp[r_us] = col.len() as i32;
+                    col.push((r, v));
                 }
             }
-            self.lcol_ptr.push(self.lcol_idx.len());
-            for i in 0..k {
-                let u = self.lu[k * m + i];
-                if u != 0.0 {
-                    self.ucol_idx.push(i as u32);
-                    self.ucol_val.push(u);
-                }
+            for &(r, _) in col.iter() {
+                self.pos_stamp[r as usize] = -1;
             }
-            self.ucol_ptr.push(self.ucol_idx.len());
-            self.udiag.push(self.lu[k * m + k]);
+            for &(r, _) in col.iter() {
+                self.arows[r as usize].push(j as u32);
+                self.row_len[r as usize] += 1;
+            }
+            self.col_bucket[col.len()].push(j as u32);
         }
+        for r in 0..m {
+            if self.row_len[r] == 1 {
+                self.sing_rows.push(r as u32);
+            }
+        }
+
+        for step in 0..m {
+            let Some((pr, pc)) = self.find_pivot() else {
+                return false;
+            };
+            self.eliminate(step, pr, pc);
+        }
+        self.finalize();
         true
     }
 
-    /// Records a product-form update: basis row `r` was replaced, with
-    /// pivot column `w = B⁻¹ a_entering` (dense, length `m`). Stored
-    /// sparsely — `w` is itself the result of a hyper-sparse FTRAN and
-    /// is usually mostly zero.
-    pub(crate) fn push_eta(&mut self, r: usize, w: &[f64]) {
-        debug_assert_eq!(w.len(), self.m);
-        self.eta_rows.push(r);
-        self.eta_pivot.push(w[r]);
-        for (i, &wi) in w.iter().enumerate() {
-            if wi != 0.0 && i != r {
-                self.eta_idx.push(i as u32);
-                self.eta_val.push(wi);
-            }
-        }
-        self.eta_ptr.push(self.eta_idx.len());
-    }
-
-    /// Solves `B·x = v` in place (`v` becomes `x`).
-    pub(crate) fn ftran(&self, v: &mut [f64]) {
-        let m = self.m;
-        debug_assert_eq!(v.len(), m);
-        // Apply every row swap first (the stored `L` refers to the fully
-        // permuted matrix — later pivot steps swapped the partially
-        // eliminated rows, multipliers included), then solve with L.
-        for k in 0..m {
-            let p = self.ipiv[k];
-            if p != k {
-                v.swap(k, p);
-            }
-        }
-        // L forward solve, scatter form: positions whose running value
-        // is zero contribute nothing and are skipped outright.
-        for k in 0..m {
-            let vk = v[k];
-            if vk != 0.0 {
-                for (&i, &l) in self.lcol_idx[self.lcol_ptr[k]..self.lcol_ptr[k + 1]]
-                    .iter()
-                    .zip(&self.lcol_val[self.lcol_ptr[k]..self.lcol_ptr[k + 1]])
-                {
-                    v[i as usize] -= l * vk;
-                }
-            }
-        }
-        // U backward solve, scatter form with the same zero skip.
-        for k in (0..m).rev() {
-            let t = v[k];
-            if t != 0.0 {
-                let x = t / self.udiag[k];
-                v[k] = x;
-                for (&i, &u) in self.ucol_idx[self.ucol_ptr[k]..self.ucol_ptr[k + 1]]
-                    .iter()
-                    .zip(&self.ucol_val[self.ucol_ptr[k]..self.ucol_ptr[k + 1]])
-                {
-                    v[i as usize] -= u * x;
-                }
-            }
-        }
-        // Etas in chronological order: x ← E_t⁻¹ x. A zero pivot-row
-        // value makes the whole eta a no-op.
-        for (t, &r) in self.eta_rows.iter().enumerate() {
-            let vr = v[r];
-            if vr == 0.0 {
+    /// Markowitz pivot search with singleton fast paths; `None` means no
+    /// entry anywhere passes the absolute tolerance — a singular basis.
+    fn find_pivot(&mut self) -> Option<(usize, usize)> {
+        // Singleton columns first: cost 0 and an empty L column.
+        while let Some(&j) = self.col_bucket[1].last() {
+            let j_us = j as usize;
+            if self.col_pivoted[j_us] || self.acols[j_us].len() != 1 {
+                self.col_bucket[1].pop();
                 continue;
             }
-            let xr = vr / self.eta_pivot[t];
-            v[r] = xr;
-            for (&i, &wi) in self.eta_idx[self.eta_ptr[t]..self.eta_ptr[t + 1]]
+            let (r, v) = self.acols[j_us][0];
+            if v.abs() >= SINGULAR_TOL {
+                self.col_bucket[1].pop();
+                return Some((r as usize, j_us));
+            }
+            break; // tiny entry: leave the column to the general search
+        }
+        // Singleton rows: cost 0 and no Schur update at all.
+        while let Some(&r) = self.sing_rows.last() {
+            let r_us = r as usize;
+            if self.row_pivoted[r_us] || self.row_len[r_us] != 1 {
+                self.sing_rows.pop();
+                continue;
+            }
+            let mut found = None;
+            for &j in &self.arows[r_us] {
+                let j_us = j as usize;
+                if self.col_pivoted[j_us] {
+                    continue;
+                }
+                if let Some(&(_, v)) = self.acols[j_us].iter().find(|&&(rr, _)| rr == r) {
+                    found = Some((j_us, v));
+                    break;
+                }
+            }
+            let Some((j_us, v)) = found else {
+                self.sing_rows.pop();
+                continue;
+            };
+            let colmax = self.acols[j_us]
                 .iter()
-                .zip(&self.eta_val[self.eta_ptr[t]..self.eta_ptr[t + 1]])
+                .fold(0.0f64, |a, &(_, x)| a.max(x.abs()));
+            if v.abs() >= MARKOWITZ_THRESHOLD * colmax && v.abs() >= SINGULAR_TOL {
+                self.sing_rows.pop();
+                return Some((r_us, j_us));
+            }
+            break; // fails the threshold: the general search decides
+        }
+        // General search: shortest columns first, threshold-filtered,
+        // best Markowitz cost (ties to the largest pivot magnitude).
+        let mut best: Option<(usize, usize, f64, u64)> = None;
+        let mut examined = 0usize;
+        for len in 1..=self.m {
+            let mut bucket = std::mem::take(&mut self.col_bucket[len]);
+            let mut i = 0;
+            while i < bucket.len() {
+                let j = bucket[i];
+                let j_us = j as usize;
+                if self.col_pivoted[j_us] || self.acols[j_us].len() != len {
+                    bucket.swap_remove(i);
+                    continue;
+                }
+                i += 1;
+                let col = &self.acols[j_us];
+                let mut colmax = 0.0f64;
+                for &(_, v) in col {
+                    colmax = colmax.max(v.abs());
+                }
+                if colmax < SINGULAR_TOL {
+                    continue;
+                }
+                let mut found_here = false;
+                for &(r, v) in col {
+                    if v.abs() < MARKOWITZ_THRESHOLD * colmax || v.abs() < SINGULAR_TOL {
+                        continue;
+                    }
+                    found_here = true;
+                    let cost = u64::from(self.row_len[r as usize] - 1) * (len as u64 - 1);
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bv, bc)) => cost < bc || (cost == bc && v.abs() > bv),
+                    };
+                    if better {
+                        best = Some((r as usize, j_us, v.abs(), cost));
+                    }
+                }
+                if found_here {
+                    examined += 1;
+                }
+                if matches!(best, Some((_, _, _, 0))) || examined >= SEARCH_COLUMNS {
+                    break;
+                }
+            }
+            self.col_bucket[len] = bucket;
+            if matches!(best, Some((_, _, _, 0))) || examined >= SEARCH_COLUMNS {
+                break;
+            }
+        }
+        best.map(|(r, j, _, _)| (r, j))
+    }
+
+    /// One right-looking elimination step with pivot (`pr`, `pc`).
+    fn eliminate(&mut self, step: usize, pr: usize, pc: usize) {
+        self.row_pivoted[pr] = true;
+        self.col_pivoted[pc] = true;
+        self.p.push(pr as u32);
+        self.q.push(pc as u32);
+        self.row_step[pr] = step as u32;
+        self.step_of_slot[pc] = step as u32;
+
+        // L column = pivot column scaled by the pivot.
+        let mut pcol = std::mem::take(&mut self.acols[pc]);
+        let mut pv = 0.0;
+        for &(r, v) in &pcol {
+            if r as usize == pr {
+                pv = v;
+            }
+        }
+        debug_assert!(pv != 0.0, "pivot search returned a structural zero");
+        let inv = 1.0 / pv;
+        let lcol = &mut self.lbuild[step];
+        lcol.clear();
+        for &(r, v) in &pcol {
+            let r_us = r as usize;
+            if r_us == pr {
+                continue;
+            }
+            lcol.push((r, v * inv));
+            self.row_len[r_us] -= 1;
+            if self.row_len[r_us] == 1 {
+                self.sing_rows.push(r);
+            }
+        }
+        pcol.clear();
+        self.acols[pc] = pcol;
+        self.udiag.push(pv);
+
+        // U row = the pivot row's remaining active entries, removed from
+        // their columns.
+        let mut prow_cols = std::mem::take(&mut self.arows[pr]);
+        let urow = &mut self.ubuild[step];
+        urow.clear();
+        for &j in &prow_cols {
+            let j_us = j as usize;
+            if self.col_pivoted[j_us] {
+                continue;
+            }
+            let col = &mut self.acols[j_us];
+            if let Some(pos) = col.iter().position(|&(r, _)| r as usize == pr) {
+                let (_, v) = col.swap_remove(pos);
+                urow.push((j, v));
+                self.col_bucket[col.len()].push(j);
+            }
+        }
+        prow_cols.clear();
+        self.arows[pr] = prow_cols;
+        self.row_len[pr] = 0;
+
+        // Schur update: column by column, stamps locate existing
+        // entries, misses become fill.
+        for u_idx in 0..self.ubuild[step].len() {
+            let (j, u) = self.ubuild[step][u_idx];
+            let j_us = j as usize;
+            let before = self.acols[j_us].len();
             {
-                v[i as usize] -= wi * xr;
+                let col = &self.acols[j_us];
+                for (idx, &(r, _)) in col.iter().enumerate() {
+                    self.pos_stamp[r as usize] = idx as i32;
+                }
+            }
+            for l_idx in 0..self.lbuild[step].len() {
+                let (r, l) = self.lbuild[step][l_idx];
+                let r_us = r as usize;
+                let delta = -(l * u);
+                let pos = self.pos_stamp[r_us];
+                if pos >= 0 {
+                    self.acols[j_us][pos as usize].1 += delta;
+                } else {
+                    self.acols[j_us].push((r, delta));
+                    self.arows[r_us].push(j);
+                    self.row_len[r_us] += 1;
+                }
+            }
+            for idx in 0..self.acols[j_us].len() {
+                let (r, _) = self.acols[j_us][idx];
+                self.pos_stamp[r as usize] = -1;
+            }
+            if self.acols[j_us].len() != before {
+                self.col_bucket[self.acols[j_us].len()].push(j);
             }
         }
     }
 
-    /// Solves `Bᵀ·y = v` in place (`v` becomes `y`).
-    pub(crate) fn btran(&self, v: &mut [f64]) {
+    /// Converts the elimination output into the final solve structures.
+    fn finalize(&mut self) {
+        let m = self.m;
+        // L in CSC, step space.
+        self.lcol_ptr.clear();
+        self.lcol_idx.clear();
+        self.lcol_val.clear();
+        self.lcol_ptr.push(0);
+        for k in 0..m {
+            for &(r, v) in &self.lbuild[k] {
+                self.lcol_idx.push(self.row_step[r as usize]);
+                self.lcol_val.push(v);
+            }
+            self.lcol_ptr.push(self.lcol_idx.len());
+        }
+        // L in CSR via counting sort.
+        let lnnz = self.lcol_idx.len();
+        self.lrow_ptr.clear();
+        self.lrow_ptr.resize(m + 1, 0);
+        for &i in &self.lcol_idx {
+            self.lrow_ptr[i as usize + 1] += 1;
+        }
+        for i in 0..m {
+            self.lrow_ptr[i + 1] += self.lrow_ptr[i];
+        }
+        self.lrow_idx.clear();
+        self.lrow_idx.resize(lnnz, 0);
+        self.lrow_val.clear();
+        self.lrow_val.resize(lnnz, 0.0);
+        self.counts.clear();
+        self.counts.extend_from_slice(&self.lrow_ptr[..m]);
+        for k in 0..m {
+            for idx in self.lcol_ptr[k]..self.lcol_ptr[k + 1] {
+                let i = self.lcol_idx[idx] as usize;
+                let cursor = self.counts[i];
+                self.lrow_idx[cursor] = k as u32;
+                self.lrow_val[cursor] = self.lcol_val[idx];
+                self.counts[i] = cursor + 1;
+            }
+        }
+        // U in both orientations, step space.
+        reset_nested(&mut self.ucols, m);
+        reset_nested(&mut self.urows, m);
+        for k in 0..m {
+            for idx in 0..self.ubuild[k].len() {
+                let (j, v) = self.ubuild[k][idx];
+                let jj = self.step_of_slot[j as usize];
+                self.urows[k].push((jj, v));
+                self.ucols[jj as usize].push((k as u32, v));
+            }
+        }
+        self.uorder.clear();
+        self.uorder.extend(0..m as u32);
+        self.upos.clear();
+        self.upos.extend(0..m as u32);
+        self.spike.clear();
+        self.spike.resize(m, 0.0);
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        self.acc.clear();
+        self.acc.resize(m, 0.0);
+    }
+
+    /// Solves `B·x = v` in place: `v` enters in constraint-row space and
+    /// leaves in basis-slot space. Also saves the intermediate spike the
+    /// next [`Factorization::update`] consumes.
+    pub(crate) fn ftran(&mut self, v: &mut [f64]) {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
-        // Transposed etas in reverse chronological order: only the pivot
-        // row's entry changes.
-        for (t, &r) in self.eta_rows.iter().enumerate().rev() {
-            let mut dot = 0.0;
-            for (&i, &wi) in self.eta_idx[self.eta_ptr[t]..self.eta_ptr[t + 1]]
-                .iter()
-                .zip(&self.eta_val[self.eta_ptr[t]..self.eta_ptr[t + 1]])
-            {
-                dot += wi * v[i as usize];
-            }
-            v[r] = (v[r] - dot) / self.eta_pivot[t];
-        }
-        // P·B = L·U  ⇒  Bᵀ·y = v  ⇔  Uᵀ·z = v, Lᵀ·u = z, y = Pᵀ·u.
-        // Uᵀ forward solve, gather form over the columns of U.
+        let work = &mut self.work;
         for k in 0..m {
-            let mut sum = v[k];
-            for (&i, &u) in self.ucol_idx[self.ucol_ptr[k]..self.ucol_ptr[k + 1]]
-                .iter()
-                .zip(&self.ucol_val[self.ucol_ptr[k]..self.ucol_ptr[k + 1]])
-            {
-                sum -= u * v[i as usize];
-            }
-            v[k] = sum / self.udiag[k];
+            work[k] = v[self.p[k] as usize];
         }
-        // Lᵀ backward solve, gather form over the columns of L.
+        // L forward solve, scatter form with the zero skip.
+        for k in 0..m {
+            let t = work[k];
+            if t != 0.0 {
+                for idx in self.lcol_ptr[k]..self.lcol_ptr[k + 1] {
+                    work[self.lcol_idx[idx] as usize] -= self.lcol_val[idx] * t;
+                }
+            }
+        }
+        // Forrest–Tomlin row etas, chronological.
+        for e in 0..self.eta_target.len() {
+            let mut dot = 0.0;
+            for idx in self.eta_ptr[e]..self.eta_ptr[e + 1] {
+                dot += self.eta_val[idx] * work[self.eta_idx[idx] as usize];
+            }
+            work[self.eta_target[e] as usize] -= dot;
+        }
+        self.spike.clear();
+        self.spike.extend_from_slice(work);
+        // U backward solve along the elimination order, scatter form.
+        for idx in (0..m).rev() {
+            let k = self.uorder[idx] as usize;
+            let t = work[k];
+            if t != 0.0 {
+                let x = t / self.udiag[k];
+                work[k] = x;
+                for &(i, u) in &self.ucols[k] {
+                    work[i as usize] -= u * x;
+                }
+            }
+        }
+        for k in 0..m {
+            v[self.q[k] as usize] = work[k];
+        }
+    }
+
+    /// Solves `Bᵀ·y = v` in place: `v` enters in basis-slot space and
+    /// leaves in constraint-row space.
+    pub(crate) fn btran(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        let work = &mut self.work;
+        for k in 0..m {
+            work[k] = v[self.q[k] as usize];
+        }
+        // Uᵀ forward solve along the elimination order, scatter form
+        // over the rows of U.
+        for idx in 0..m {
+            let k = self.uorder[idx] as usize;
+            let t = work[k];
+            if t != 0.0 {
+                let a = t / self.udiag[k];
+                work[k] = a;
+                for &(j, u) in &self.urows[k] {
+                    work[j as usize] -= u * a;
+                }
+            }
+        }
+        // Transposed row etas, reverse chronological: only multiples of
+        // the target's value propagate — skip when it is zero.
+        for e in (0..self.eta_target.len()).rev() {
+            let t = work[self.eta_target[e] as usize];
+            if t != 0.0 {
+                for idx in self.eta_ptr[e]..self.eta_ptr[e + 1] {
+                    work[self.eta_idx[idx] as usize] -= self.eta_val[idx] * t;
+                }
+            }
+        }
+        // Lᵀ backward solve, scatter form over the rows of L.
         for k in (0..m).rev() {
-            let mut sum = v[k];
-            for (&i, &l) in self.lcol_idx[self.lcol_ptr[k]..self.lcol_ptr[k + 1]]
-                .iter()
-                .zip(&self.lcol_val[self.lcol_ptr[k]..self.lcol_ptr[k + 1]])
-            {
-                sum -= l * v[i as usize];
-            }
-            v[k] = sum;
-        }
-        for k in (0..m).rev() {
-            let p = self.ipiv[k];
-            if p != k {
-                v.swap(k, p);
+            let t = work[k];
+            if t != 0.0 {
+                for idx in self.lrow_ptr[k]..self.lrow_ptr[k + 1] {
+                    work[self.lrow_idx[idx] as usize] -= self.lrow_val[idx] * t;
+                }
             }
         }
+        for k in 0..m {
+            v[self.p[k] as usize] = work[k];
+        }
+    }
+
+    /// Forrest–Tomlin update after the basis column of `slot` was
+    /// replaced by the column whose FTRAN ran last (its spike is saved).
+    /// Returns `false` — leaving the factorisation untouched — when the
+    /// new pivot is numerically unsafe; the caller must refactorise.
+    pub(crate) fn update(&mut self, slot: usize) -> bool {
+        let m = self.m;
+        let t = self.step_of_slot[slot] as usize;
+        let tpos = self.upos[t] as usize;
+        let mut spike_inf = 0.0f64;
+        for &s in &self.spike {
+            spike_inf = spike_inf.max(s.abs());
+        }
+        // Eliminate row t of the spiked U with row operations against
+        // the later pivot rows; the multipliers become a row eta and the
+        // surviving coefficient of the spike column the new pivot.
+        self.touched.clear();
+        self.mults.clear();
+        for &(j, v) in &self.urows[t] {
+            self.acc[j as usize] = v;
+            self.touched.push(j);
+        }
+        let mut d = self.spike[t];
+        for idx in tpos + 1..m {
+            let j = self.uorder[idx] as usize;
+            let val = self.acc[j];
+            if val == 0.0 {
+                continue;
+            }
+            self.acc[j] = 0.0;
+            let mu = val / self.udiag[j];
+            self.mults.push((j as u32, mu));
+            d -= mu * self.spike[j];
+            for &(l, uv) in &self.urows[j] {
+                let l_us = l as usize;
+                if l_us == t {
+                    continue;
+                }
+                self.touched.push(l);
+                self.acc[l_us] -= mu * uv;
+            }
+        }
+        for &l in &self.touched {
+            self.acc[l as usize] = 0.0;
+        }
+        if d.abs() <= SINGULAR_TOL.max(1e-10 * spike_inf) {
+            return false;
+        }
+        // Replace row and column t of U by the eliminated spike.
+        let mut old_col = std::mem::take(&mut self.ucols[t]);
+        for &(i, _) in &old_col {
+            let rows = &mut self.urows[i as usize];
+            if let Some(pos) = rows.iter().position(|&(c, _)| c as usize == t) {
+                rows.swap_remove(pos);
+            }
+        }
+        old_col.clear();
+        let mut old_row = std::mem::take(&mut self.urows[t]);
+        for &(j, _) in &old_row {
+            let cols = &mut self.ucols[j as usize];
+            if let Some(pos) = cols.iter().position(|&(r, _)| r as usize == t) {
+                cols.swap_remove(pos);
+            }
+        }
+        old_row.clear();
+        for (i, &s) in self.spike.iter().enumerate() {
+            if i != t && s != 0.0 {
+                old_col.push((i as u32, s));
+                self.urows[i].push((t as u32, s));
+            }
+        }
+        self.ucols[t] = old_col;
+        self.urows[t] = old_row;
+        self.udiag[t] = d;
+        if !self.mults.is_empty() {
+            for &(j, mu) in &self.mults {
+                self.eta_idx.push(j);
+                self.eta_val.push(mu);
+            }
+            self.eta_ptr.push(self.eta_idx.len());
+            self.eta_target.push(t as u32);
+        }
+        // Cycle step t to the back of the elimination order.
+        self.uorder.remove(tpos);
+        self.uorder.push(t as u32);
+        for idx in tpos..m {
+            self.upos[self.uorder[idx] as usize] = idx as u32;
+        }
+        self.num_updates += 1;
+        true
     }
 }
 
@@ -300,8 +670,64 @@ impl Factorization {
 mod tests {
     use super::*;
 
-    fn dense_columns(cols: &[Vec<f64>]) -> impl FnMut(usize, &mut [f64]) + '_ {
-        move |k, buf| buf.copy_from_slice(&cols[k])
+    fn sparse_loader(cols: &[Vec<f64>]) -> impl FnMut(usize, &mut Vec<u32>, &mut Vec<f64>) + '_ {
+        move |k, rows, vals| {
+            for (i, &v) in cols[k].iter().enumerate() {
+                if v != 0.0 {
+                    rows.push(i as u32);
+                    vals.push(v);
+                }
+            }
+        }
+    }
+
+    /// `B · x` for a dense column list.
+    fn apply(cols: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let m = cols.len();
+        let mut out = vec![0.0; m];
+        for (k, col) in cols.iter().enumerate() {
+            for i in 0..m {
+                out[i] += col[i] * x[k];
+            }
+        }
+        out
+    }
+
+    /// `Bᵀ · y` for a dense column list.
+    fn apply_t(cols: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+        let m = cols.len();
+        let mut out = vec![0.0; m];
+        for (k, col) in cols.iter().enumerate() {
+            for i in 0..m {
+                out[k] += col[i] * y[i];
+            }
+        }
+        out
+    }
+
+    fn assert_roundtrip(f: &mut Factorization, cols: &[Vec<f64>], v0: &[f64], tol: f64) {
+        let mut x = v0.to_vec();
+        f.ftran(&mut x);
+        let back = apply(cols, &x);
+        for i in 0..cols.len() {
+            assert!(
+                (back[i] - v0[i]).abs() < tol,
+                "ftran row {i}: {} vs {}",
+                back[i],
+                v0[i]
+            );
+        }
+        let mut y = v0.to_vec();
+        f.btran(&mut y);
+        let back_t = apply_t(cols, &y);
+        for k in 0..cols.len() {
+            assert!(
+                (back_t[k] - v0[k]).abs() < tol,
+                "btran col {k}: {} vs {}",
+                back_t[k],
+                v0[k]
+            );
+        }
     }
 
     #[test]
@@ -309,7 +735,7 @@ mod tests {
         // B = [[2, 1], [1, 3]] (symmetric), solve B x = [5, 10] => x = [1, 3].
         let cols = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
         let mut f = Factorization::default();
-        assert!(f.refactor(2, dense_columns(&cols)));
+        assert!(f.refactor(2, sparse_loader(&cols)));
         let mut v = vec![5.0, 10.0];
         f.ftran(&mut v);
         assert!((v[0] - 1.0).abs() < 1e-12);
@@ -322,10 +748,10 @@ mod tests {
 
     #[test]
     fn pivoting_handles_zero_diagonal() {
-        // B = [[0, 1], [1, 0]] needs the row swap.
+        // B = [[0, 1], [1, 0]] has no usable diagonal pivot.
         let cols = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
         let mut f = Factorization::default();
-        assert!(f.refactor(2, dense_columns(&cols)));
+        assert!(f.refactor(2, sparse_loader(&cols)));
         let mut v = vec![3.0, 7.0];
         f.ftran(&mut v);
         // x solves [[0,1],[1,0]] x = [3,7] => x = [7, 3].
@@ -337,20 +763,24 @@ mod tests {
     fn singular_basis_is_reported() {
         let cols = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
         let mut f = Factorization::default();
-        assert!(!f.refactor(2, dense_columns(&cols)));
+        assert!(!f.refactor(2, sparse_loader(&cols)));
+        // A structurally empty column is singular too.
+        let cols = vec![vec![1.0, 0.0], vec![0.0, 0.0]];
+        let mut f = Factorization::default();
+        assert!(!f.refactor(2, sparse_loader(&cols)));
     }
 
     #[test]
-    fn eta_updates_track_a_column_replacement() {
+    fn forrest_tomlin_tracks_a_column_replacement() {
         // Start from B0 = I, replace column 0 by a = [3, 1]:
         // B1 = [[3, 0], [1, 1]].
         let cols = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         let mut f = Factorization::default();
-        assert!(f.refactor(2, dense_columns(&cols)));
-        let mut w = vec![3.0, 1.0]; // B0⁻¹ a = a
-        f.ftran(&mut w);
-        f.push_eta(0, &w);
-        assert_eq!(f.eta_count(), 1);
+        assert!(f.refactor(2, sparse_loader(&cols)));
+        let mut w = vec![3.0, 1.0];
+        f.ftran(&mut w); // saves the spike
+        assert!(f.update(0));
+        assert_eq!(f.updates(), 1);
         // Solve B1 x = [6, 5]: x0 = 2, x1 = 5 - 2 = 3.
         let mut v = vec![6.0, 5.0];
         f.ftran(&mut v);
@@ -371,149 +801,274 @@ mod tests {
             vec![0.0, 1.0, 6.0],
         ];
         let mut f = Factorization::default();
-        assert!(f.refactor(3, dense_columns(&cols)));
-        // Verify B · (B⁻¹ v) = v for a few vectors.
+        assert!(f.refactor(3, sparse_loader(&cols)));
         for v0 in [vec![1.0, 0.0, 0.0], vec![2.0, -3.0, 5.0]] {
-            let mut x = v0.clone();
-            f.ftran(&mut x);
-            // Recompute B x.
-            let mut back = vec![0.0; 3];
+            assert_roundtrip(&mut f, &cols, &v0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn duplicate_row_entries_are_merged_at_load() {
+        // Column 0 delivered as two (row 0) fragments: 1.5 + 0.5 = 2.
+        let mut f = Factorization::default();
+        assert!(f.refactor(2, |k, rows, vals| {
+            if k == 0 {
+                rows.extend_from_slice(&[0, 0, 1]);
+                vals.extend_from_slice(&[1.5, 0.5, 1.0]);
+            } else {
+                rows.push(1);
+                vals.push(4.0);
+            }
+        }));
+        // B = [[2, 0], [1, 4]]: B x = [2, 9] => x = [1, 2].
+        let mut v = vec![2.0, 9.0];
+        f.ftran(&mut v);
+        assert!((v[0] - 1.0).abs() < 1e-12, "{v:?}");
+        assert!((v[1] - 2.0).abs() < 1e-12, "{v:?}");
+    }
+
+    /// Deterministic xorshift stream, matching the style of the other
+    /// solver tests (no RNG dependency inside rp-lp).
+    struct XorShift(u64);
+    impl XorShift {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 % 2000) as f64 / 100.0 - 10.0
+        }
+        fn next_usize(&mut self, bound: usize) -> usize {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 % bound as u64) as usize
+        }
+    }
+
+    /// A random sparse nonsingular-ish matrix: a permuted diagonal plus
+    /// `extra` off-diagonal entries.
+    fn random_sparse(m: usize, extra: usize, rng: &mut XorShift) -> Vec<Vec<f64>> {
+        let mut cols = vec![vec![0.0; m]; m];
+        // A derangement-free random permutation via random swaps.
+        let mut perm: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            perm.swap(i, rng.next_usize(i + 1));
+        }
+        for (k, col) in cols.iter_mut().enumerate() {
+            let mut d = rng.next_f64();
+            if d.abs() < 1.0 {
+                d += d.signum().max(0.5) * 3.0;
+            }
+            col[perm[k]] = d;
+        }
+        for _ in 0..extra {
+            let k = rng.next_usize(m);
+            let i = rng.next_usize(m);
+            cols[k][i] += rng.next_f64() * 0.3;
+        }
+        cols
+    }
+
+    /// Dense-LU reference (partial pivoting) used as the differential
+    /// oracle for the sparse factorisation.
+    struct DenseLu {
+        m: usize,
+        lu: Vec<f64>, // column-major
+        piv: Vec<usize>,
+    }
+    impl DenseLu {
+        fn factor(cols: &[Vec<f64>]) -> Option<DenseLu> {
+            let m = cols.len();
+            let mut lu = vec![0.0; m * m];
             for (k, col) in cols.iter().enumerate() {
-                for i in 0..3 {
-                    back[i] += col[i] * x[k];
+                lu[k * m..(k + 1) * m].copy_from_slice(col);
+            }
+            let mut piv = vec![0usize; m];
+            for k in 0..m {
+                let mut pr = k;
+                let mut pa = lu[k * m + k].abs();
+                for i in k + 1..m {
+                    if lu[k * m + i].abs() > pa {
+                        pa = lu[k * m + i].abs();
+                        pr = i;
+                    }
+                }
+                if pa < 1e-11 {
+                    return None;
+                }
+                piv[k] = pr;
+                if pr != k {
+                    for c in 0..m {
+                        lu.swap(c * m + k, c * m + pr);
+                    }
+                }
+                let inv = 1.0 / lu[k * m + k];
+                for i in k + 1..m {
+                    lu[k * m + i] *= inv;
+                }
+                for j in k + 1..m {
+                    let f = lu[j * m + k];
+                    if f != 0.0 {
+                        for i in k + 1..m {
+                            lu[j * m + i] -= f * lu[k * m + i];
+                        }
+                    }
                 }
             }
-            for i in 0..3 {
-                assert!((back[i] - v0[i]).abs() < 1e-10, "{back:?} vs {v0:?}");
-            }
-            let mut y = v0.clone();
-            f.btran(&mut y);
-            let mut back_t = vec![0.0; 3];
-            for (k, col) in cols.iter().enumerate() {
-                for i in 0..3 {
-                    back_t[k] += col[i] * y[i];
+            Some(DenseLu { m, lu, piv })
+        }
+        #[allow(clippy::needless_range_loop)]
+        fn solve(&self, v: &mut [f64]) {
+            let m = self.m;
+            for k in 0..m {
+                let p = self.piv[k];
+                if p != k {
+                    v.swap(k, p);
                 }
             }
-            for i in 0..3 {
-                assert!((back_t[i] - v0[i]).abs() < 1e-10, "{back_t:?} vs {v0:?}");
+            for k in 0..m {
+                let t = v[k];
+                if t != 0.0 {
+                    for i in k + 1..m {
+                        v[i] -= self.lu[k * m + i] * t;
+                    }
+                }
+            }
+            for k in (0..m).rev() {
+                let mut s = v[k];
+                for j in k + 1..m {
+                    s -= self.lu[j * m + k] * v[j];
+                }
+                v[k] = s / self.lu[k * m + k];
             }
         }
     }
 
-    #[cfg(test)]
-    mod roundtrip_tests {
-        use super::*;
-
-        /// Deterministic pseudo-random matrix round-trip at several
-        /// sizes — guards the permutation/order subtleties of the
-        /// sparse triangular solves.
-        #[test]
-        fn random_matrix_roundtrip() {
-            let mut state = 0x12345678u64;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 2000) as f64 / 100.0 - 10.0
-            };
-            for m in [5usize, 13, 20, 37] {
-                let cols: Vec<Vec<f64>> =
-                    (0..m).map(|_| (0..m).map(|_| next()).collect()).collect();
-                let mut f = Factorization::default();
+    #[test]
+    fn random_matrix_roundtrip_matches_a_dense_lu() {
+        let mut rng = XorShift(0x12345678);
+        for m in [5usize, 13, 20, 37, 64] {
+            let cols = random_sparse(m, 3 * m, &mut rng);
+            let mut f = Factorization::default();
+            assert!(f.refactor(m, sparse_loader(&cols)), "m={m}");
+            let dense = DenseLu::factor(&cols).expect("dense oracle factors");
+            let v0: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+            assert_roundtrip(&mut f, &cols, &v0, 1e-6);
+            // Differential: sparse ftran == dense solve.
+            let mut xs = v0.clone();
+            f.ftran(&mut xs);
+            let mut xd = v0.clone();
+            dense.solve(&mut xd);
+            for i in 0..m {
                 assert!(
-                    f.refactor(m, |k, buf| buf.copy_from_slice(&cols[k])),
-                    "m={m}"
+                    (xs[i] - xd[i]).abs() < 1e-6,
+                    "m={m} pos {i}: sparse {} vs dense {}",
+                    xs[i],
+                    xd[i]
                 );
-                let v0: Vec<f64> = (0..m).map(|_| next()).collect();
-                let mut x = v0.clone();
-                f.ftran(&mut x);
-                let mut back = vec![0.0; m];
-                for (k, col) in cols.iter().enumerate() {
-                    for i in 0..m {
-                        back[i] += col[i] * x[k];
-                    }
-                }
-                for i in 0..m {
-                    assert!(
-                        (back[i] - v0[i]).abs() < 1e-6,
-                        "ftran m={m} row {i}: {} vs {}",
-                        back[i],
-                        v0[i]
-                    );
-                }
-                let mut y = v0.clone();
-                f.btran(&mut y);
-                let mut back_t = vec![0.0; m];
-                for (k, col) in cols.iter().enumerate() {
-                    for i in 0..m {
-                        back_t[k] += col[i] * y[i];
-                    }
-                }
-                for k in 0..m {
-                    assert!(
-                        (back_t[k] - v0[k]).abs() < 1e-6,
-                        "btran m={m} col {k}: {} vs {}",
-                        back_t[k],
-                        v0[k]
-                    );
-                }
             }
         }
+    }
 
-        /// Sparse etas must behave exactly like dense ones: compose a
-        /// few updates on a random basis and round-trip both solves.
-        #[test]
-        fn eta_chain_roundtrip() {
-            let mut state = 0xDEADBEEFu64;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 1000) as f64 / 50.0 - 10.0
-            };
-            let m = 9;
-            let mut cols: Vec<Vec<f64>> =
-                (0..m).map(|_| (0..m).map(|_| next()).collect()).collect();
+    #[test]
+    fn long_update_chains_stay_consistent() {
+        // Many Forrest–Tomlin updates on a random sparse basis; after
+        // every update both solves must still invert the tracked basis,
+        // and the chain must agree with a from-scratch refactorisation.
+        let mut rng = XorShift(0xDEADBEEF);
+        for m in [9usize, 24, 41] {
+            let mut cols = random_sparse(m, 2 * m, &mut rng);
             let mut f = Factorization::default();
-            assert!(f.refactor(m, |k, buf| buf.copy_from_slice(&cols[k])));
-            // Three successive column replacements tracked via etas.
-            for (step, r) in [2usize, 5, 2].into_iter().enumerate() {
-                let mut a: Vec<f64> = (0..m).map(|_| next()).collect();
-                // Sparsify the entering column like a real LP column.
-                for (i, v) in a.iter_mut().enumerate() {
-                    if (i + step) % 3 != 0 {
-                        *v = 0.0;
-                    }
+            assert!(f.refactor(m, sparse_loader(&cols)));
+            let mut performed = 0;
+            for step in 0..30 {
+                let slot = rng.next_usize(m);
+                // A sparse entering column with a solid pivot weight.
+                let mut a = vec![0.0; m];
+                for _ in 0..3 {
+                    a[rng.next_usize(m)] = rng.next_f64() * 0.5;
                 }
-                a[r] += 5.0; // keep the pivot well away from zero
+                a[slot] += 6.0 + rng.next_f64().abs();
                 let mut w = a.clone();
                 f.ftran(&mut w);
-                f.push_eta(r, &w);
-                cols[r] = a;
-            }
-            let v0: Vec<f64> = (0..m).map(|_| next()).collect();
-            let mut x = v0.clone();
-            f.ftran(&mut x);
-            let mut back = vec![0.0; m];
-            for (k, col) in cols.iter().enumerate() {
-                for i in 0..m {
-                    back[i] += col[i] * x[k];
+                if !f.update(slot) {
+                    // Numerically refused: refactor and continue, like
+                    // the simplex driver does.
+                    assert!(f.refactor(m, sparse_loader(&cols)), "m={m} step {step}");
+                    continue;
                 }
+                performed += 1;
+                cols[slot] = a;
+                let v0: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+                assert_roundtrip(&mut f, &cols, &v0, 1e-5);
             }
+            assert!(performed >= 20, "too few updates accepted: {performed}");
+            assert_eq!(f.updates(), {
+                // updates() resets on refactor; recount from the tail.
+                f.updates()
+            });
+            // Differential against a fresh factorisation of the final basis.
+            let mut fresh = Factorization::default();
+            assert!(fresh.refactor(m, sparse_loader(&cols)));
+            let v0: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+            let mut a1 = v0.clone();
+            f.ftran(&mut a1);
+            let mut a2 = v0.clone();
+            fresh.ftran(&mut a2);
             for i in 0..m {
-                assert!((back[i] - v0[i]).abs() < 1e-6, "{back:?} vs {v0:?}");
-            }
-            let mut y = v0.clone();
-            f.btran(&mut y);
-            let mut back_t = vec![0.0; m];
-            for (k, col) in cols.iter().enumerate() {
-                for i in 0..m {
-                    back_t[k] += col[i] * y[i];
-                }
-            }
-            for k in 0..m {
-                assert!((back_t[k] - v0[k]).abs() < 1e-6, "{back_t:?} vs {v0:?}");
+                assert!(
+                    (a1[i] - a2[i]).abs() < 1e-5,
+                    "m={m} pos {i}: updated {} vs fresh {}",
+                    a1[i],
+                    a2[i]
+                );
             }
         }
+    }
+
+    #[test]
+    fn tree_structured_bases_produce_sparse_factors() {
+        // A bidiagonal (path-tree) basis: the factors must not fill in.
+        let m = 50;
+        let mut cols = vec![vec![0.0; m]; m];
+        for (k, col) in cols.iter_mut().enumerate() {
+            col[k] = 2.0;
+            if k + 1 < m {
+                col[k + 1] = -1.0;
+            }
+        }
+        let mut f = Factorization::default();
+        assert!(f.refactor(m, sparse_loader(&cols)));
+        let (lnnz, unnz) = f.nnz();
+        assert!(lnnz <= m, "L filled in: {lnnz}");
+        assert!(unnz <= 2 * m, "U filled in: {unnz}");
+        let v0: Vec<f64> = (0..m).map(|i| (i % 7) as f64 - 3.0).collect();
+        assert_roundtrip(&mut f, &cols, &v0, 1e-8);
+    }
+
+    #[test]
+    fn update_refuses_a_singular_replacement() {
+        // Replacing column 0 of I by e_1 makes the basis singular
+        // (duplicate column): the update must refuse.
+        let cols = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut f = Factorization::default();
+        assert!(f.refactor(2, sparse_loader(&cols)));
+        let mut w = vec![0.0, 1.0];
+        f.ftran(&mut w);
+        assert!(!f.update(0));
+        // The factorisation is untouched: it still inverts I.
+        let mut v = vec![4.0, 9.0];
+        f.ftran(&mut v);
+        assert!((v[0] - 4.0).abs() < 1e-12 && (v[1] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_basis_is_trivial() {
+        let mut f = Factorization::default();
+        assert!(f.refactor(0, |_, _, _| {}));
+        let mut v: Vec<f64> = vec![];
+        f.ftran(&mut v);
+        f.btran(&mut v);
+        assert_eq!(f.nnz(), (0, 0));
     }
 }

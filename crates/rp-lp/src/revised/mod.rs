@@ -32,10 +32,15 @@ use crate::model::Model;
 use crate::simplex::SimplexOptions;
 use crate::solution::{Solution, Status};
 
-use basis::{BasisState, ColStatus, StandardForm};
+use basis::{BasisState, ColStatus, Presolve, StandardForm};
 use factor::Factorization;
-use pricing::{choose_dual_entering, choose_entering, choose_leaving_row, Entering};
+use pricing::{
+    choose_dual_entering, choose_entering, choose_leaving_row, devex_update, pivot_row_alphas,
+    Entering,
+};
 use ratio::{primal_ratio_test, Ratio};
+
+pub use pricing::Pricing;
 
 /// Eta updates tolerated before the basis is refactorised and the basic
 /// values recomputed from scratch.
@@ -53,6 +58,9 @@ pub struct RevisedWorkspace {
     form: StandardForm,
     basis: BasisState,
     factor: Factorization,
+    presolve: Presolve,
+    /// Whether `form` is the presolved reduction of the last model.
+    presolved: bool,
     /// Dual values / BTRAN buffer.
     y: Vec<f64>,
     /// Pivot column / FTRAN buffer.
@@ -65,8 +73,42 @@ pub struct RevisedWorkspace {
     row_flags: Vec<bool>,
     /// Phase-1 cost buffer.
     phase_costs: Vec<f64>,
+    /// Devex reference-framework weights (one per column).
+    devex_weights: Vec<f64>,
+    /// Incrementally maintained reduced costs (one per column).
+    d: Vec<f64>,
+    /// Sparse pivot row: dense accumulator plus the gathered
+    /// column/value lists (see [`pricing::pivot_row_alphas`]).
+    alpha_acc: Vec<f64>,
+    alpha_cols: Vec<u32>,
+    alpha_vals: Vec<f64>,
+    /// Pivot counters of the most recent solve.
+    stats: SolveStats,
     /// Set once a solve left behind a basis usable for warm starts.
     warm_ready: bool,
+}
+
+/// Counters describing the most recent solve of a
+/// [`RevisedWorkspace`] — what the iteration-count benchmarks (devex vs
+/// Dantzig) and the `BENCH_sparse.json` report read out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Primal simplex basis changes (phases 1 and 2 combined).
+    pub primal_pivots: usize,
+    /// Bound flips (nonbasic variable jumps to its opposite bound; no
+    /// basis change).
+    pub bound_flips: usize,
+    /// Dual simplex basis changes (warm starts only).
+    pub dual_pivots: usize,
+    /// Refactorisations performed, the initial one included.
+    pub refactorisations: usize,
+}
+
+impl SolveStats {
+    /// Total simplex iterations: pivots of both kinds plus bound flips.
+    pub fn iterations(&self) -> usize {
+        self.primal_pivots + self.bound_flips + self.dual_pivots
+    }
 }
 
 impl RevisedWorkspace {
@@ -88,10 +130,29 @@ impl RevisedWorkspace {
     /// to a cold two-phase solve on any structural change, or when the
     /// dual-simplex cleanup fails.
     pub fn solve_warm(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
-        if !self.warm_ready || !self.form.shape_matches(model) || !self.form.matrix_matches(model) {
+        self.stats = SolveStats::default();
+        if !self.warm_ready || self.presolved != options.presolve {
             return self.solve_cold(model, options);
         }
-        self.form.refresh_bounds(model);
+        if self.presolved {
+            // Re-run the (cheap, O(nnz)) analysis: the stored reduced
+            // basis is only reusable when the new model eliminates
+            // exactly the same rows and columns.
+            if !self.presolve.analyze(model) {
+                return Solution::status_only(Status::Infeasible);
+            }
+            if !self.presolve.matches_built()
+                || !self.form.matrix_matches_reduced(model, &self.presolve)
+            {
+                return self.solve_cold(model, options);
+            }
+            self.form.refresh_reduced(model, &self.presolve);
+        } else {
+            if !self.form.shape_matches(model) || !self.form.matrix_matches(model) {
+                return self.solve_cold(model, options);
+            }
+            self.form.refresh_bounds(model);
+        }
         if self.form.trivially_infeasible {
             return Solution::status_only(Status::Infeasible);
         }
@@ -135,8 +196,18 @@ impl RevisedWorkspace {
 
     /// Cold two-phase solve, ignoring any stored basis.
     pub fn solve_cold(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        self.stats = SolveStats::default();
         self.warm_ready = false;
-        self.form.build(model);
+        self.presolved = options.presolve;
+        if options.presolve {
+            if !self.presolve.analyze(model) {
+                return Solution::status_only(Status::Infeasible);
+            }
+            self.presolve.finalize_for_build();
+            self.form.build_reduced(model, &self.presolve);
+        } else {
+            self.form.build(model);
+        }
         if self.form.trivially_infeasible {
             return Solution::status_only(Status::Infeasible);
         }
@@ -351,7 +422,8 @@ impl RevisedWorkspace {
         self.phase_costs.extend_from_slice(&self.form.cost);
     }
 
-    /// Extracts the solution and marks the workspace warm.
+    /// Extracts the solution (postsolving any presolve reductions) and
+    /// marks the workspace warm.
     fn extract(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         let mut values = Vec::new();
         self.basis.extract_values(&self.form, &mut values);
@@ -359,6 +431,22 @@ impl RevisedWorkspace {
         // checks (and MILP integrality tests) see clean values.
         for (j, v) in values.iter_mut().enumerate() {
             *v = v.max(self.form.lower[j]).min(self.form.upper[j]);
+        }
+        if self.presolved {
+            // Postsolve: expand the reduced solution back over the
+            // original variables (in place, back to front — a kept
+            // column's reduced index never exceeds its original one).
+            let n = model.num_vars();
+            let mut reduced = self.presolve.cols.len();
+            values.resize(n, 0.0);
+            for j in (0..n).rev() {
+                values[j] = if self.presolve.col_kept[j] {
+                    reduced -= 1;
+                    values[reduced]
+                } else {
+                    self.presolve.fixed[j]
+                };
+            }
         }
         let mut objective = model.objective_value(&values);
         if objective.abs() < options.tolerance {
@@ -372,12 +460,63 @@ impl RevisedWorkspace {
         }
     }
 
+    /// Pivot/refactorisation counters of the most recent solve.
+    pub fn last_stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Nonzero counts `(nnz(L), nnz(U))` of the current basis
+    /// factorisation (meaningful after a solve).
+    pub fn factor_nnz(&self) -> (usize, usize) {
+        self.factor.nnz()
+    }
+
+    /// Benchmark hook: one hyper-sparse FTRAN on the unit vector `e_i`.
+    #[doc(hidden)]
+    pub fn bench_ftran_unit(&mut self, i: usize) {
+        let m = self.form.m;
+        if m == 0 {
+            return;
+        }
+        self.w.clear();
+        self.w.resize(m, 0.0);
+        self.w[i % m] = 1.0;
+        self.factor.ftran(&mut self.w);
+    }
+
+    /// Benchmark hook: one hyper-sparse BTRAN on the unit vector `e_i`.
+    #[doc(hidden)]
+    pub fn bench_btran_unit(&mut self, i: usize) {
+        let m = self.form.m;
+        if m == 0 {
+            return;
+        }
+        self.rho.clear();
+        self.rho.resize(m, 0.0);
+        self.rho[i % m] = 1.0;
+        self.factor.btran(&mut self.rho);
+    }
+
+    /// Benchmark hook: one sparse Markowitz refactorisation of the
+    /// current basis.
+    #[doc(hidden)]
+    pub fn bench_refactor(&mut self) -> bool {
+        if self.basis.basic.len() != self.form.m {
+            return false;
+        }
+        self.refactor()
+    }
+
     /// Refactorises the basis from its column set.
     fn refactor(&mut self) -> bool {
+        self.stats.refactorisations += 1;
         let form = &self.form;
         let basic = &self.basis.basic;
-        self.factor.refactor(form.m, |k, buf| {
-            form.for_each_entry(basic[k], |row, val| buf[row] += val);
+        self.factor.refactor(form.m, |k, rows, vals| {
+            form.for_each_entry(basic[k], |row, val| {
+                rows.push(row as u32);
+                vals.push(val);
+            });
         })
     }
 
@@ -403,6 +542,60 @@ impl RevisedWorkspace {
         self.factor.ftran(w);
     }
 
+    /// Recomputes the duals `y = B⁻ᵀ c_B` and every reduced cost
+    /// `d_j = c_j − yᵀa_j` from scratch (`O(nnz)`). Called at phase
+    /// starts and after refactorisations; between those, `d` is kept
+    /// current by rank-one pivot-row updates.
+    fn compute_reduced_costs(&mut self, costs: &[f64]) {
+        self.y.clear();
+        self.y
+            .extend(self.basis.basic.iter().map(|&col| costs[col]));
+        self.factor.btran(&mut self.y);
+        self.d.clear();
+        let form = &self.form;
+        let y = &self.y;
+        self.d.extend(
+            costs
+                .iter()
+                .enumerate()
+                .map(|(col, &c)| c - form.col_dot(col, y)),
+        );
+        if self.alpha_acc.len() != costs.len() {
+            self.alpha_acc.clear();
+            self.alpha_acc.resize(costs.len(), 0.0);
+        }
+    }
+
+    /// Computes the sparse pivot row `α = Aᵀ B⁻ᵀ e_row` into
+    /// `self.alpha_cols` / `self.alpha_vals` (must run on the
+    /// *pre-pivot* factorisation).
+    fn compute_pivot_row(&mut self, row: usize) {
+        self.rho.clear();
+        self.rho.resize(self.form.m, 0.0);
+        self.rho[row] = 1.0;
+        self.factor.btran(&mut self.rho);
+        pivot_row_alphas(
+            &self.form,
+            &self.rho,
+            &mut self.alpha_acc,
+            &mut self.alpha_cols,
+            &mut self.alpha_vals,
+        );
+    }
+
+    /// Applies the rank-one reduced-cost update
+    /// `d ← d − θ_d·α` over the sparse pivot row, pinning the entering
+    /// column's reduced cost to an exact zero.
+    fn update_reduced_costs(&mut self, theta_d: f64, entering: usize) {
+        if theta_d != 0.0 {
+            for k in 0..self.alpha_cols.len() {
+                let col = self.alpha_cols[k] as usize;
+                self.d[col] -= theta_d * self.alpha_vals[k];
+            }
+        }
+        self.d[entering] = 0.0;
+    }
+
     /// Runs primal pivots until the given cost vector is optimal.
     fn primal_loop(
         &mut self,
@@ -414,25 +607,38 @@ impl RevisedWorkspace {
         let max_iter = options
             .max_iterations
             .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
+        // Each phase starts a fresh devex reference framework: the
+        // current nonbasic set with unit weights.
+        let devex_mode = options.pricing == Pricing::Devex;
+        if devex_mode {
+            self.devex_weights.clear();
+            self.devex_weights.resize(self.form.num_cols(), 1.0);
+        }
+        self.compute_reduced_costs(costs);
+        // Pivots since `d` was last computed from scratch: an
+        // incrementally updated `d` may only declare optimality after a
+        // fresh recomputation confirms it.
+        let mut stale_pivots = 0usize;
         for iteration in 0..max_iter {
-            // Duals y = B⁻ᵀ c_B.
-            self.y.clear();
-            self.y
-                .extend(self.basis.basic.iter().map(|&col| costs[col]));
-            self.factor.btran(&mut self.y);
-
-            let use_bland = iteration >= options.bland_after;
+            let use_bland = iteration >= options.bland_after || options.pricing == Pricing::Bland;
             let entering = match choose_entering(
                 &self.form,
                 &self.basis,
-                costs,
-                &self.y,
+                &self.d,
                 tol,
                 use_bland,
                 allow_artificial,
+                (devex_mode && !use_bland).then_some(self.devex_weights.as_slice()),
             ) {
                 Some(e) => e,
-                None => return PhaseOutcome::Optimal,
+                None => {
+                    if stale_pivots == 0 {
+                        return PhaseOutcome::Optimal;
+                    }
+                    self.compute_reduced_costs(costs);
+                    stale_pivots = 0;
+                    continue;
+                }
             };
 
             self.ftran_column(entering.col);
@@ -446,6 +652,8 @@ impl RevisedWorkspace {
             ) {
                 Ratio::Unbounded => return PhaseOutcome::Unbounded,
                 Ratio::Flip { step } => {
+                    // No basis change: the reduced costs are untouched.
+                    self.stats.bound_flips += 1;
                     self.apply_step(&entering, step);
                     self.basis.status[entering.col] = match self.basis.status[entering.col] {
                         ColStatus::Lower => ColStatus::Upper,
@@ -458,6 +666,13 @@ impl RevisedWorkspace {
                     step,
                     to_upper,
                 } => {
+                    self.stats.primal_pivots += 1;
+                    // Sparse pivot row on the pre-pivot basis: it
+                    // drives the rank-one reduced-cost update and the
+                    // devex weights.
+                    self.compute_pivot_row(row);
+                    let alpha_q = self.w[row];
+                    let theta_d = self.d[entering.col] / alpha_q;
                     let entering_value =
                         self.basis.nonbasic_value(&self.form, entering.col) + entering.sigma * step;
                     self.apply_step(&entering, step);
@@ -470,9 +685,34 @@ impl RevisedWorkspace {
                     self.basis.status[entering.col] = ColStatus::Basic(row as u32);
                     self.basis.basic[row] = entering.col;
                     self.basis.x_basic[row] = entering_value;
-                    self.factor.push_eta(row, &self.w);
-                    if self.factor.eta_count() >= REFACTOR_EVERY && !self.refactor_and_recompute() {
-                        return PhaseOutcome::IterationLimit;
+                    if devex_mode {
+                        let wq = self.devex_weights[entering.col].max(1.0);
+                        let overflow = devex_update(
+                            &self.form,
+                            &self.basis,
+                            &mut self.devex_weights,
+                            &self.alpha_cols,
+                            &self.alpha_vals,
+                            alpha_q,
+                            wq,
+                            leaving,
+                        );
+                        if overflow {
+                            self.devex_weights.iter_mut().for_each(|w| *w = 1.0);
+                        }
+                    }
+                    self.update_reduced_costs(theta_d, entering.col);
+                    // Forrest–Tomlin update from the spike the FTRAN
+                    // saved; a refused (numerically unsafe) update or a
+                    // full update budget forces a refactorisation.
+                    if !self.factor.update(row) || self.factor.updates() >= REFACTOR_EVERY {
+                        if !self.refactor_and_recompute() {
+                            return PhaseOutcome::IterationLimit;
+                        }
+                        self.compute_reduced_costs(costs);
+                        stale_pivots = 0;
+                    } else {
+                        stale_pivots += 1;
                     }
                 }
             }
@@ -500,31 +740,27 @@ impl RevisedWorkspace {
         let max_iter = options
             .max_iterations
             .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
-        // Dual pricing needs the phase-2 reduced costs.
+        // Dual pricing needs the phase-2 reduced costs; they are kept
+        // current by the same rank-one pivot-row updates the primal
+        // loop uses.
         self.load_phase2_costs();
         let costs = std::mem::take(&mut self.phase_costs);
+        self.compute_reduced_costs(&costs);
         let outcome = 'search: {
             for _ in 0..max_iter {
                 let leaving = match choose_leaving_row(&self.form, &self.basis, tol) {
                     Some(l) => l,
                     None => break 'search DualOutcome::PrimalFeasible,
                 };
-                // Pivot row rho = B⁻ᵀ e_r and duals y = B⁻ᵀ c_B.
-                self.rho.clear();
-                self.rho.resize(self.form.m, 0.0);
-                self.rho[leaving.row] = 1.0;
-                self.factor.btran(&mut self.rho);
-                self.y.clear();
-                self.y
-                    .extend(self.basis.basic.iter().map(|&col| costs[col]));
-                self.factor.btran(&mut self.y);
+                // Sparse pivot row α = Aᵀ B⁻ᵀ e_r.
+                self.compute_pivot_row(leaving.row);
 
                 let entering = match choose_dual_entering(
                     &self.form,
                     &self.basis,
-                    &costs,
-                    &self.y,
-                    &self.rho,
+                    &self.d,
+                    &self.alpha_cols,
+                    &self.alpha_vals,
                     leaving.above,
                     PIVOT_TOL,
                 ) {
@@ -546,6 +782,8 @@ impl RevisedWorkspace {
                 } else {
                     self.form.lower[leaving_col]
                 };
+                self.stats.dual_pivots += 1;
+                let theta_d = self.d[entering] / alpha;
                 let dxq = (self.basis.x_basic[row] - target) / alpha;
                 let entering_value = self.basis.nonbasic_value(&self.form, entering) + dxq;
                 if dxq != 0.0 {
@@ -561,9 +799,12 @@ impl RevisedWorkspace {
                 self.basis.status[entering] = ColStatus::Basic(row as u32);
                 self.basis.basic[row] = entering;
                 self.basis.x_basic[row] = entering_value;
-                self.factor.push_eta(row, &self.w);
-                if self.factor.eta_count() >= REFACTOR_EVERY && !self.refactor_and_recompute() {
-                    break 'search DualOutcome::IterationLimit;
+                self.update_reduced_costs(theta_d, entering);
+                if !self.factor.update(row) || self.factor.updates() >= REFACTOR_EVERY {
+                    if !self.refactor_and_recompute() {
+                        break 'search DualOutcome::IterationLimit;
+                    }
+                    self.compute_reduced_costs(&costs);
                 }
             }
             DualOutcome::IterationLimit
@@ -597,14 +838,19 @@ pub fn solve_lp_revised_with(model: &Model, options: &SimplexOptions) -> Solutio
     solve_lp_revised_reusing(model, options, &mut workspace)
 }
 
-/// [`solve_lp_revised`] reusing the buffers (and, afterwards, offering
-/// the basis for warm starts) of `workspace`.
+/// [`solve_lp_revised`] reusing the buffers of `workspace` — including
+/// its stored basis: when the constraint matrix is unchanged since the
+/// previous solve (the λ-sharded sweep solving the same tree under a
+/// different load factor, sibling branch-and-bound searches), the solve
+/// is a refactorisation plus a short dual/primal cleanup instead of a
+/// cold two-phase run. Any structural change falls back to a cold solve
+/// transparently; call [`RevisedWorkspace::invalidate`] to force one.
 pub fn solve_lp_revised_reusing(
     model: &Model,
     options: &SimplexOptions,
     workspace: &mut RevisedWorkspace,
 ) -> Solution {
-    workspace.solve_cold(model, options)
+    workspace.solve_warm(model, options)
 }
 
 #[cfg(test)]
@@ -821,6 +1067,39 @@ mod tests {
         let warm = ws.solve_warm(&m, &options);
         assert_close(warm.objective, solve_lp_revised(&m).objective);
         assert!(m.is_feasible(&warm.values, 1e-6));
+    }
+
+    #[test]
+    fn warm_start_absorbs_comparison_flips() {
+        // Same matrix, same rhs — only the comparison direction flips
+        // between solves. The slack bounds encode the direction, so a
+        // warm start must refresh them rather than answer the old
+        // model's question (the regression this test pins down).
+        let build = |cmp| {
+            let mut m = Model::minimize();
+            let x = m.add_var("x", 0.0, Some(10.0), 1.0);
+            let y = m.add_var("y", 0.0, Some(10.0), 2.0);
+            m.add_constraint("c", lin_sum([(1.0, x), (1.0, y)]), cmp, 4.0);
+            m
+        };
+        for presolve in [true, false] {
+            let options = SimplexOptions {
+                presolve,
+                ..SimplexOptions::default()
+            };
+            let mut ws = RevisedWorkspace::new();
+            let le = solve_lp_revised_reusing(&build(Cmp::Le), &options, &mut ws);
+            assert_eq!(le.status, Status::Optimal);
+            assert_close(le.objective, 0.0); // x = y = 0
+            for cmp in [Cmp::Ge, Cmp::Eq, Cmp::Le, Cmp::Eq, Cmp::Ge] {
+                let model = build(cmp);
+                let warm = solve_lp_revised_reusing(&model, &options, &mut ws);
+                let cold = solve_lp_revised_with(&model, &options);
+                assert_eq!(warm.status, cold.status, "{cmp:?} presolve={presolve}");
+                assert_close(warm.objective, cold.objective);
+                assert!(model.is_feasible(&warm.values, 1e-6), "{cmp:?}");
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! [`Solution`]'s value vector.
 
 use crate::model::{Cmp, Model, Sense};
+use crate::revised::Pricing;
 use crate::solution::{Solution, Status};
 
 /// Tunable solver parameters.
@@ -40,9 +41,17 @@ pub struct SimplexOptions {
     /// Hard cap on pivot iterations per phase. `None` picks a bound that
     /// scales with the problem size.
     pub max_iterations: Option<usize>,
-    /// Number of Dantzig-pricing iterations before switching to Bland's
-    /// rule (anti-cycling).
+    /// Number of pricing iterations before switching to Bland's rule
+    /// (anti-cycling).
     pub bland_after: usize,
+    /// Primal pricing rule of the **revised** engine (the dense tableau
+    /// keeps its built-in Dantzig/Bland pricing).
+    pub pricing: Pricing,
+    /// Run the presolve pass (singleton rows/columns, forcing and
+    /// redundant constraints) before a cold solve. **Revised engine
+    /// only**; branch-and-bound disables it for its node solves, where
+    /// per-node bound changes would invalidate the reductions.
+    pub presolve: bool,
 }
 
 impl Default for SimplexOptions {
@@ -51,6 +60,8 @@ impl Default for SimplexOptions {
             tolerance: 1e-7,
             max_iterations: None,
             bland_after: 10_000,
+            pricing: Pricing::default(),
+            presolve: true,
         }
     }
 }

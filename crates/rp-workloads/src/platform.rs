@@ -115,10 +115,32 @@ pub fn generate_problem_with_rng<R: Rng>(
     rng: &mut R,
 ) -> ProblemInstance {
     let tree: Arc<TreeNetwork> = tree.into();
-    assert!(config.lambda > 0.0, "the load factor must be positive");
+    let capacities = draw_capacities(&tree, config, rng);
+    finish_problem(tree, config, capacities, rng)
+}
 
-    // Capacities.
-    let capacities: Vec<u64> = match config.platform {
+/// [`generate_problem_with_rng`] with **split RNG streams**: the
+/// platform capacities (and therefore the storage costs) come from
+/// `platform_rng` while the λ-dependent request distribution comes from
+/// `demand_rng`. The sweep runner keys the first stream to the tree and
+/// the second to the (tree, λ) pair, so sibling trials of one tree
+/// under different load factors share their **entire constraint
+/// matrix** — only right-hand sides and bounds differ — which is what
+/// lets the LP workspace warm-start across them.
+pub fn generate_problem_split_rng<R1: Rng, R2: Rng>(
+    tree: impl Into<Arc<TreeNetwork>>,
+    config: &WorkloadConfig,
+    platform_rng: &mut R1,
+    demand_rng: &mut R2,
+) -> ProblemInstance {
+    let tree: Arc<TreeNetwork> = tree.into();
+    let capacities = draw_capacities(&tree, config, platform_rng);
+    finish_problem(tree, config, capacities, demand_rng)
+}
+
+/// Draws the per-node capacities of the platform.
+fn draw_capacities<R: Rng>(tree: &TreeNetwork, config: &WorkloadConfig, rng: &mut R) -> Vec<u64> {
+    match config.platform {
         PlatformKind::Homogeneous { capacity } => vec![capacity; tree.num_nodes()],
         PlatformKind::HeterogeneousUniform { min, max } => {
             assert!(min <= max, "capacity range must be ordered");
@@ -126,7 +148,17 @@ pub fn generate_problem_with_rng<R: Rng>(
                 .map(|_| rng.gen_range(min..=max))
                 .collect()
         }
-    };
+    }
+}
+
+/// Draws the request distribution and assembles the instance.
+fn finish_problem<R: Rng>(
+    tree: Arc<TreeNetwork>,
+    config: &WorkloadConfig,
+    capacities: Vec<u64>,
+    rng: &mut R,
+) -> ProblemInstance {
+    assert!(config.lambda > 0.0, "the load factor must be positive");
     let total_capacity: u64 = capacities.iter().sum();
 
     // Requests: draw each client's share uniformly in (0, 2], then scale

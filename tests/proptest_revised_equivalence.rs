@@ -4,10 +4,16 @@
 //! The two LP engines are independent implementations of the same
 //! mathematics: the dense tableau materialises upper bounds as rows and
 //! eliminates the full matrix per pivot, while the revised engine keeps
-//! an LU-factorised basis with implicit bounds. On every random bounded
-//! LP they must agree on feasibility, boundedness and the optimal
-//! objective (within tolerance); on every random MILP the warm-started
-//! revised branch-and-bound must agree with the cold dense search.
+//! a sparse Markowitz-LU-factorised basis with Forrest–Tomlin updates
+//! and implicit bounds. On every random bounded LP they must agree on
+//! feasibility, boundedness and the optimal objective (within
+//! tolerance); on every random MILP the warm-started revised
+//! branch-and-bound must agree with the cold dense search. Further
+//! properties pin the solver's internal degrees of freedom to the same
+//! answers: every pricing rule (devex / Dantzig / Bland) reaches the
+//! same objective, presolve+postsolve round-trips against the
+//! unreduced solve, and warm sibling re-solves (same matrix, shifted
+//! objective/rhs) match cold solves.
 //!
 //! (Values are generated as small unsigned integers and decoded into
 //! signed coefficients/bounds — the vendored proptest stand-in only
@@ -16,8 +22,9 @@
 use proptest::prelude::*;
 
 use replica_placement::lp::{
-    solve_lp, solve_lp_revised, solve_milp_with, BranchBoundOptions, Cmp, LinExpr, LpEngine, Model,
-    Sense, Status,
+    solve_lp, solve_lp_revised, solve_lp_revised_reusing, solve_lp_revised_with, solve_milp_with,
+    BranchBoundOptions, Cmp, LinExpr, LpEngine, Model, Pricing, RevisedWorkspace, Sense,
+    SimplexOptions, Status,
 };
 
 /// One encoded variable: (bounded?, lower, range-above-lower, packed).
@@ -129,6 +136,97 @@ proptest! {
                 "dense returned an infeasible point for\n{}",
                 model
             );
+        }
+    }
+
+    /// Devex, Dantzig and Bland pricing are different *routes* to the
+    /// same optimum: identical status and, when optimal, identical
+    /// objective (each point feasible for the model).
+    #[test]
+    fn pricing_rules_agree_on_the_objective(spec in model_strategy(6, 5)) {
+        let model = build_model(&spec, false);
+        let solve = |pricing| {
+            solve_lp_revised_with(&model, &SimplexOptions { pricing, ..SimplexOptions::default() })
+        };
+        let devex = solve(Pricing::Devex);
+        let dantzig = solve(Pricing::Dantzig);
+        let bland = solve(Pricing::Bland);
+        prop_assert_eq!(devex.status, dantzig.status);
+        prop_assert_eq!(devex.status, bland.status);
+        if devex.status == Status::Optimal {
+            prop_assert!(
+                (devex.objective - dantzig.objective).abs() < 1e-6,
+                "devex {} vs dantzig {} on\n{}", devex.objective, dantzig.objective, model
+            );
+            prop_assert!(
+                (devex.objective - bland.objective).abs() < 1e-6,
+                "devex {} vs bland {} on\n{}", devex.objective, bland.objective, model
+            );
+            prop_assert!(model.is_feasible(&devex.values, 1e-6));
+        }
+    }
+
+    /// Presolve round-trip: solving the reduced problem and postsolving
+    /// must give the same status and objective as solving the full
+    /// problem, and the postsolved point must satisfy the *original*
+    /// model (eliminated rows and fixed columns included).
+    #[test]
+    fn presolve_round_trips_against_the_unreduced_solve(spec in model_strategy(6, 5)) {
+        let model = build_model(&spec, false);
+        let with = solve_lp_revised_with(&model, &SimplexOptions::default());
+        let without = solve_lp_revised_with(
+            &model,
+            &SimplexOptions { presolve: false, ..SimplexOptions::default() },
+        );
+        prop_assert_eq!(with.status, without.status, "presolve changed the status on\n{}", model);
+        if with.status == Status::Optimal {
+            prop_assert!(
+                (with.objective - without.objective).abs() < 1e-6,
+                "presolved {} vs unreduced {} on\n{}", with.objective, without.objective, model
+            );
+            prop_assert!(
+                model.is_feasible(&with.values, 1e-6),
+                "postsolved point violates the original model\n{}", model
+            );
+        }
+    }
+
+    /// Sibling warm starts: re-solving models that share a constraint
+    /// matrix but differ in objective, bounds and right-hand sides
+    /// through one workspace must match fresh cold solves every time.
+    #[test]
+    fn warm_sibling_solves_match_cold_solves(spec in model_strategy(5, 4), shifts in collection::vec((0u32..=6, 0u32..=12), 3)) {
+        let base = build_model(&spec, false);
+        let mut ws = RevisedWorkspace::new();
+        let options = SimplexOptions::default();
+        solve_lp_revised_reusing(&base, &options, &mut ws);
+        for (obj_shift, rhs_shift) in shifts {
+            let mut sibling = build_model(&spec, false);
+            // Shift every objective coefficient and right-hand side;
+            // the matrix (and thus the warm path's validity check)
+            // stays identical.
+            let delta_obj = f64::from(obj_shift) - 3.0;
+            let delta_rhs = f64::from(rhs_shift) - 6.0;
+            let vars: Vec<_> = sibling.var_ids().collect();
+            for id in vars {
+                let objective = sibling.variable(id).objective + delta_obj;
+                sibling.set_objective(id, objective);
+            }
+            let cons: Vec<_> = sibling.constraint_ids().collect();
+            for id in cons {
+                let rhs = sibling.constraint(id).rhs + delta_rhs;
+                sibling.set_rhs(id, rhs);
+            }
+            let warm = solve_lp_revised_reusing(&sibling, &options, &mut ws);
+            let cold = solve_lp_revised(&sibling);
+            prop_assert_eq!(warm.status, cold.status, "on\n{}", sibling);
+            if warm.status == Status::Optimal {
+                prop_assert!(
+                    (warm.objective - cold.objective).abs() < 1e-6,
+                    "warm {} vs cold {} on\n{}", warm.objective, cold.objective, sibling
+                );
+                prop_assert!(sibling.is_feasible(&warm.values, 1e-6));
+            }
         }
     }
 
