@@ -180,6 +180,240 @@ fn smoke_revised() {
     );
 }
 
+/// The ill-scaled bandwidth CI smoke: two checks back to back.
+///
+/// 1. A small (`s = 120`) **ill-scaled bandwidth-constrained** LP —
+///    wide-range capacities spanning five decades plus per-link
+///    bandwidth rows — must solve on the revised engine (equilibration
+///    on auto) *and* agree with the dense-tableau oracle's objective.
+/// 2. The `s = 2000`-class bandwidth instance (multi-thousand rows once
+///    the flow recurrences materialise) must solve with the revised
+///    engine inside the `RP_SMOKE_BW_MS` wall budget; the dense oracle
+///    is structurally unable to reach this scale, which is the point of
+///    the sparse core.
+fn smoke_bandwidth() {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{solve_lp, solve_lp_revised_reusing, RevisedWorkspace, SimplexOptions, Status};
+    use rp_workloads::scenarios::{bandwidth_scale_instance, ill_scaled_bandwidth_instance};
+
+    let mut workspace = RevisedWorkspace::new();
+    let options = SimplexOptions::default();
+
+    // --- Dense-oracle agreement on the small ill-scaled instance. ---
+    let small = ill_scaled_bandwidth_instance(120, 0.4, 31);
+    let formulation = build_model(&small, Policy::Multiple, Integrality::RationalBound);
+    let revised = solve_lp_revised_reusing(&formulation.model, &options, &mut workspace);
+    if revised.status != Status::Optimal || !revised.objective.is_finite() {
+        eprintln!(
+            "s=120 ill-scaled bandwidth bound FAILED: status {}, objective {}",
+            revised.status, revised.objective
+        );
+        std::process::exit(1);
+    }
+    let spread = workspace.scaling_spread();
+    if spread.is_none() {
+        eprintln!("s=120 ill-scaled bandwidth bound did not trigger the equilibration pass");
+        std::process::exit(1);
+    }
+    let dense = solve_lp(&formulation.model);
+    if dense.status != Status::Optimal
+        || (dense.objective - revised.objective).abs() > 1e-4 * revised.objective.abs().max(1.0)
+    {
+        eprintln!(
+            "s=120 ill-scaled engines disagree: revised {} vs dense oracle {} ({})",
+            revised.objective, dense.objective, dense.status
+        );
+        std::process::exit(1);
+    }
+    let (before, after) = spread.unwrap();
+    println!(
+        "s=120 ill-scaled bandwidth bound = {:.3} (dense oracle agrees: {:.3}; entry spread {:.1e} -> {:.1e})",
+        revised.objective, dense.objective, before, after
+    );
+
+    // --- The s = 2000 class within the wall budget. ---
+    let problem = bandwidth_scale_instance(0.2, 31);
+    workspace.invalidate();
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let (ns, solution) =
+        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+    if solution.status != Status::Optimal || !solution.objective.is_finite() {
+        eprintln!(
+            "s=2000 bandwidth bound FAILED: status {}, objective {}",
+            solution.status, solution.objective
+        );
+        std::process::exit(1);
+    }
+    let budget_ms: f64 = std::env::var("RP_SMOKE_BW_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000.0);
+    if ns / 1e6 > budget_ms {
+        eprintln!(
+            "s=2000 bandwidth bound REGRESSED: {:.1} ms exceeds the {budget_ms} ms budget",
+            ns / 1e6
+        );
+        std::process::exit(1);
+    }
+    let stats = workspace.last_stats();
+    println!(
+        "s=2000 bandwidth bound = {:.3} in {:.1} ms ({} rows x {} cols, {} iterations)",
+        solution.objective,
+        ns / 1e6,
+        formulation.model.num_constraints(),
+        formulation.model.num_vars(),
+        stats.iterations()
+    );
+}
+
+/// Writes `BENCH_scenarios.json`: the bandwidth-constrained and
+/// multi-object formulation trajectory — solve times and iteration
+/// counts per family and scale, the equilibration's entry-spread
+/// reduction and its iteration effect on the ill-scaled family, and a
+/// revised-vs-dense agreement probe at a size the dense oracle still
+/// reaches.
+fn write_scenarios_report(path: &str) {
+    use rp_core::ilp::{build_model, build_multi_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{solve_lp_revised_reusing, RevisedWorkspace, Scaling, SimplexOptions, Status};
+    use rp_workloads::scenarios::{
+        bandwidth_scale_instance, feasible_bandwidth_instance, ill_scaled_bandwidth_instance,
+        multi_object_bandwidth_instance, multi_object_instance,
+    };
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let options = SimplexOptions::default();
+    let mut workspace = RevisedWorkspace::new();
+
+    // Bandwidth-constrained LP bound across scales, on the
+    // guaranteed-feasible headroom family so the timings always
+    // describe a completed solve.
+    for size in [120usize, 400] {
+        let problem = feasible_bandwidth_instance(size, 0.4, 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        workspace.invalidate();
+        let (ns, solution) =
+            time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+        if solution.status == Status::Optimal {
+            entries.push((format!("bandwidth_lp/s{size}_ms"), ns / 1e6));
+            entries.push((
+                format!("bandwidth_lp/s{size}_iters"),
+                workspace.last_stats().iterations() as f64,
+            ));
+            entries.push((
+                format!("bandwidth_lp/s{size}_rows"),
+                formulation.model.num_constraints() as f64,
+            ));
+        }
+    }
+
+    // The s = 2000 class (ill-scaled wide-range platform).
+    let problem = bandwidth_scale_instance(0.2, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    workspace.invalidate();
+    let (ns, solution) =
+        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+    if solution.status == Status::Optimal {
+        entries.push(("bandwidth_lp/s2000_ms".to_string(), ns / 1e6));
+        entries.push((
+            "bandwidth_lp/s2000_iters".to_string(),
+            workspace.last_stats().iterations() as f64,
+        ));
+        entries.push((
+            "bandwidth_lp/s2000_rows".to_string(),
+            formulation.model.num_constraints() as f64,
+        ));
+        entries.push((
+            "bandwidth_lp/s2000_cols".to_string(),
+            formulation.model.num_vars() as f64,
+        ));
+        if let Some((before, after)) = workspace.scaling_spread() {
+            entries.push(("scaling/s2000_spread_before".to_string(), before));
+            entries.push(("scaling/s2000_spread_after".to_string(), after));
+        }
+    }
+
+    // Equilibration effect on the ill-scaled family: iteration counts
+    // and spreads with the pass on vs off.
+    let problem = ill_scaled_bandwidth_instance(200, 0.4, 7);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    for (scaling, label) in [(Scaling::Geometric, "scaled"), (Scaling::Off, "unscaled")] {
+        let scaled_options = SimplexOptions {
+            scaling,
+            ..SimplexOptions::default()
+        };
+        workspace.invalidate();
+        let (ns, solution) = time_once(|| {
+            solve_lp_revised_reusing(&formulation.model, &scaled_options, &mut workspace)
+        });
+        if solution.status == Status::Optimal {
+            entries.push((format!("scaling/illscaled_s200_{label}_ms"), ns / 1e6));
+            entries.push((
+                format!("scaling/illscaled_s200_{label}_iters"),
+                workspace.last_stats().iterations() as f64,
+            ));
+            // The spread diagnostics belong to the scaled run; read
+            // them before the unscaled run resets the form.
+            if let Some((before, after)) = workspace.scaling_spread() {
+                entries.push(("scaling/illscaled_s200_spread_before".to_string(), before));
+                entries.push(("scaling/illscaled_s200_spread_after".to_string(), after));
+            }
+        }
+    }
+
+    // Multi-object bounds: shared capacities, then shared links too.
+    for (objects, size) in [(2usize, 120usize), (4, 120), (4, 400)] {
+        let problem = multi_object_instance(size, objects, 0.4, 11);
+        let formulation = build_multi_model(&problem, Integrality::RationalBound);
+        workspace.invalidate();
+        let (ns, solution) =
+            time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+        if solution.status == Status::Optimal {
+            entries.push((format!("multi_lp/{objects}obj_s{size}_ms"), ns / 1e6));
+            entries.push((
+                format!("multi_lp/{objects}obj_s{size}_iters"),
+                workspace.last_stats().iterations() as f64,
+            ));
+        }
+    }
+    let problem = multi_object_bandwidth_instance(120, 3, 0.4, 11);
+    let formulation = build_multi_model(&problem, Integrality::RationalBound);
+    workspace.invalidate();
+    let (ns, solution) =
+        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+    if solution.status == Status::Optimal {
+        entries.push(("multi_lp/3obj_s120_bandwidth_ms".to_string(), ns / 1e6));
+        entries.push((
+            "multi_lp/3obj_s120_bandwidth_rows".to_string(),
+            formulation.model.num_constraints() as f64,
+        ));
+    }
+
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str(
+        "  \"units\": \"*_ms = wall-clock ms (one shot), *_iters = simplex iterations, \
+         spread_* = max|a|/min|a| of the constraint matrix\",\n",
+    );
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
+}
+
 /// Writes `BENCH_revised.json`: dense-tableau vs revised-simplex
 /// timings, at three levels —
 ///
@@ -622,8 +856,10 @@ fn main() {
     let mut output = String::from("BENCH_baseline.json");
     let mut revised_output = String::from("BENCH_revised.json");
     let mut sparse_output = String::from("BENCH_sparse.json");
+    let mut scenarios_output = String::from("BENCH_scenarios.json");
     let mut compare: Option<String> = None;
     let mut sparse_only = false;
+    let mut scenarios_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -635,8 +871,16 @@ fn main() {
                 smoke_revised();
                 return;
             }
+            "--smoke-bandwidth" => {
+                smoke_bandwidth();
+                return;
+            }
             "--sparse-only" => {
                 sparse_only = true;
+                i += 1;
+            }
+            "--scenarios-only" => {
+                scenarios_only = true;
                 i += 1;
             }
             "--revised-out" => {
@@ -651,6 +895,12 @@ fn main() {
                 }
                 i += 2;
             }
+            "--scenarios-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    scenarios_output = path.clone();
+                }
+                i += 2;
+            }
             other => {
                 output = other.to_string();
                 i += 1;
@@ -659,6 +909,10 @@ fn main() {
     }
     if sparse_only {
         write_sparse_report(&sparse_output);
+        return;
+    }
+    if scenarios_only {
+        write_scenarios_report(&scenarios_output);
         return;
     }
 
@@ -814,6 +1068,7 @@ fn main() {
 
     write_revised_report(&revised_output);
     write_sparse_report(&sparse_output);
+    write_scenarios_report(&scenarios_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

@@ -1,5 +1,7 @@
 //! Regenerates the data series behind every reproduced figure of the
-//! paper (Figures 9–12 plus the QoS extension sweep).
+//! paper (Figures 9–12 plus the QoS extension sweep) and the
+//! problem-variant scenario sweeps (bandwidth-constrained and
+//! multi-object LP bounds).
 //!
 //! ```text
 //! # the full default sweeps (30 trees per λ, sizes 15..=100):
@@ -7,6 +9,10 @@
 //!
 //! # the paper-scale sweeps (sizes 15..=400, sparse-LU revised engine):
 //! cargo run --release -p rp-bench --bin reproduce -- paper
+//!
+//! # the bandwidth-constrained / multi-object scenario sweeps:
+//! cargo run --release -p rp-bench --bin reproduce -- bandwidth
+//! cargo run --release -p rp-bench --bin reproduce -- multi
 //!
 //! # one figure, smaller and faster:
 //! cargo run --release -p rp-bench --bin reproduce -- fig9 --quick
@@ -16,7 +22,8 @@
 //! ```
 //!
 //! The printed tables have one row per load factor λ and one column per
-//! heuristic — the same series as the paper's plots.
+//! heuristic (figures) or per bound metric (scenarios) — the same
+//! series as the paper's plots.
 
 use std::path::PathBuf;
 
@@ -24,9 +31,13 @@ use rp_experiments::figures::{
     check_cost_shape, check_success_shape, reproduce_figure_with, FigureId,
 };
 use rp_experiments::runner::{run_sweep, ExperimentConfig};
+use rp_experiments::scenarios::{
+    run_scenario, scenario_markdown, scenario_table, ScenarioConfig, ScenarioFamily,
+};
 
 struct CliOptions {
     figures: Vec<FigureId>,
+    scenarios: Vec<ScenarioFamily>,
     quick: bool,
     trees: Option<usize>,
     size_max: Option<usize>,
@@ -37,6 +48,7 @@ struct CliOptions {
 
 fn parse_args() -> Result<CliOptions, String> {
     let mut figures = Vec::new();
+    let mut scenarios = Vec::new();
     let mut quick = false;
     let mut trees = None;
     let mut size_max = None;
@@ -50,6 +62,14 @@ fn parse_args() -> Result<CliOptions, String> {
         match arg.as_str() {
             "all" => figures.extend(FigureId::STANDARD),
             "paper" => figures.extend(FigureId::PAPER_SCALE),
+            "bandwidth" => scenarios.extend([
+                ScenarioFamily::Bandwidth,
+                ScenarioFamily::BandwidthIllScaled,
+            ]),
+            "multi" => scenarios.extend([
+                ScenarioFamily::MultiObject,
+                ScenarioFamily::MultiObjectBandwidth,
+            ]),
             "--quick" => quick = true,
             "--check-shape" => check_shape = true,
             "--trees" => {
@@ -72,18 +92,21 @@ fn parse_args() -> Result<CliOptions, String> {
                     other => return Err(format!("unknown bound kind `{other}`")),
                 });
             }
-            key => match FigureId::from_key(key) {
-                Some(figure) => figures.push(figure),
-                None => return Err(format!("unknown argument `{key}`")),
+            key => match (FigureId::from_key(key), ScenarioFamily::from_key(key)) {
+                (Some(figure), _) => figures.push(figure),
+                (None, Some(family)) => scenarios.push(family),
+                (None, None) => return Err(format!("unknown argument `{key}`")),
             },
         }
     }
-    if figures.is_empty() {
+    if figures.is_empty() && scenarios.is_empty() {
         figures.extend(FigureId::STANDARD);
     }
     figures.dedup();
+    scenarios.dedup();
     Ok(CliOptions {
         figures,
+        scenarios,
         quick,
         trees,
         size_max,
@@ -117,7 +140,8 @@ fn main() {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: reproduce [all|paper|fig9|fig10|fig11|fig12|qos|paper-success|paper-cost]... \
+                "usage: reproduce [all|paper|bandwidth|multi|fig9|fig10|fig11|fig12|qos\
+                 |paper-success|paper-cost|bandwidth-ill|multi-bandwidth]... \
                  [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
                  [--out DIR] [--check-shape]"
             );
@@ -176,6 +200,40 @@ fn main() {
                     eprintln!("  shape check FAILED: {violation}");
                 }
             }
+        }
+    }
+
+    for &family in &options.scenarios {
+        let mut config = ScenarioConfig::new(family);
+        if options.quick {
+            config.trees_per_lambda = 4;
+            config.problem_size = 60;
+        }
+        if let Some(trees) = options.trees {
+            config.trees_per_lambda = trees;
+        }
+        if let Some(size_max) = options.size_max {
+            config.problem_size = size_max;
+        }
+        eprintln!(
+            "running scenario {} ({} trees per λ, s = {}) ...",
+            family.key(),
+            config.trees_per_lambda,
+            config.problem_size
+        );
+        let started = std::time::Instant::now();
+        let results = run_scenario(&config);
+        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+
+        println!("{}", scenario_markdown(&results));
+
+        if let Some(dir) = &options.out_dir {
+            let path = dir.join(format!("{}.csv", family.key()));
+            if let Err(error) = std::fs::write(&path, scenario_table(&results).to_csv()) {
+                eprintln!("error: cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("  wrote {}", path.display());
         }
     }
 

@@ -223,24 +223,30 @@ pub fn build_model(
                 }
             }
         }
-        // Bandwidths.
+        // Bandwidths: bucket every z variable by its link in one pass
+        // (a per-link scan over all client paths would cost
+        // O(links · clients · depth) on everything-bounded instances).
         if problem.has_bandwidth_limits() {
+            let mut per_link: rp_tree::LinkMap<Vec<(f64, VarId)>> = rp_tree::LinkMap::filled(
+                tree.num_clients(),
+                tree.num_nodes(),
+                tree.root().index(),
+                Vec::new(),
+            );
+            for client in tree.client_ids() {
+                let coeff = match policy {
+                    Policy::Closest | Policy::Upwards => problem.requests(client) as f64,
+                    Policy::Multiple => 1.0,
+                };
+                for &(link, var) in &z[client.index()] {
+                    per_link[link].push((coeff, var));
+                }
+            }
             for link in tree.link_ids() {
                 if let Some(bw) = problem.bandwidth(link) {
-                    let mut expr = LinExpr::new();
-                    for client in tree.client_ids() {
-                        if let Some(&(_, var)) = z[client.index()].iter().find(|(l, _)| *l == link)
-                        {
-                            let coeff = match policy {
-                                Policy::Closest | Policy::Upwards => {
-                                    problem.requests(client) as f64
-                                }
-                                Policy::Multiple => 1.0,
-                            };
-                            expr.add_term(coeff, var);
-                        }
-                    }
-                    if !expr.is_empty() {
+                    let terms = &per_link[link];
+                    if !terms.is_empty() {
+                        let expr = rp_lp::lin_sum(terms.iter().copied());
                         model.add_constraint(format!("bandwidth_{link}"), expr, Cmp::Le, bw as f64);
                     }
                 }

@@ -1,14 +1,20 @@
-//! ILP-based exact solves and LP-based lower bounds (Sections 5 and 7.1).
+//! ILP-based exact solves and LP-based lower bounds (Sections 5 and
+//! 7.1), for the single-object formulations — bandwidth-constrained
+//! variants included — and the multi-object extension of Section 8.1
+//! ([`build_multi_model`], [`multi_lower_bound`]).
 
 mod formulation;
+mod multi_formulation;
 
 pub use formulation::{build_model, IlpFormulation, Integrality};
+pub use multi_formulation::{build_multi_model, MultiIlpFormulation};
 
 use rp_lp::{
     solve_lp_engine, solve_milp_reusing, solve_milp_with, BranchBoundOptions, LpEngine,
     LpWorkspace, SimplexOptions, Status,
 };
 
+use crate::multi::MultiObjectProblem;
 use crate::policy::Policy;
 use crate::problem::ProblemInstance;
 use crate::solution::Placement;
@@ -163,6 +169,61 @@ pub fn lower_bound_reusing(
         }
         BoundKind::Mixed => {
             let formulation = build_model(problem, Policy::Multiple, Integrality::MixedBound);
+            let outcome = solve_milp_reusing(&formulation.model, &options.branch_bound, workspace);
+            match outcome.status {
+                Status::Infeasible => None,
+                Status::Unbounded => Some(0.0),
+                _ => outcome.bound.or(Some(0.0)),
+            }
+        }
+    }
+}
+
+/// An LP-based lower bound on the optimal **multi-object** replica cost
+/// (the Section 8.1 extension): the relaxation of
+/// [`build_multi_model`]'s Multiple-policy formulation, shared link
+/// bandwidths included when the instance bounds its links. Returns
+/// `None` when even the relaxation is infeasible.
+pub fn multi_lower_bound(problem: &MultiObjectProblem, kind: BoundKind) -> Option<f64> {
+    multi_lower_bound_with(problem, kind, &IlpOptions::default())
+}
+
+/// [`multi_lower_bound`] with explicit options.
+pub fn multi_lower_bound_with(
+    problem: &MultiObjectProblem,
+    kind: BoundKind,
+    options: &IlpOptions,
+) -> Option<f64> {
+    let mut workspace = LpWorkspace::new();
+    multi_lower_bound_reusing(problem, kind, options, &mut workspace)
+}
+
+/// [`multi_lower_bound`] reusing the LP buffers of `workspace` — the
+/// path the multi-object scenario sweep drives, one workspace per
+/// worker.
+pub fn multi_lower_bound_reusing(
+    problem: &MultiObjectProblem,
+    kind: BoundKind,
+    options: &IlpOptions,
+    workspace: &mut LpWorkspace,
+) -> Option<f64> {
+    match kind {
+        BoundKind::Rational => {
+            let formulation = build_multi_model(problem, Integrality::RationalBound);
+            let solution = solve_lp_engine(
+                &formulation.model,
+                options.branch_bound.engine,
+                &options.branch_bound.simplex,
+                workspace,
+            );
+            match solution.status {
+                Status::Optimal => Some(solution.objective),
+                Status::Infeasible => None,
+                _ => Some(0.0),
+            }
+        }
+        BoundKind::Mixed => {
+            let formulation = build_multi_model(problem, Integrality::MixedBound);
             let outcome = solve_milp_reusing(&formulation.model, &options.branch_bound, workspace);
             match outcome.status {
                 Status::Infeasible => None,
@@ -388,6 +449,65 @@ mod tests {
         for policy in Policy::ALL {
             assert_eq!(exact_optimal_cost(&p, policy), Some(6), "policy {policy}");
         }
+    }
+
+    #[test]
+    fn multi_object_bounds_never_exceed_the_exact_optimum() {
+        use crate::multi::{solve_multi_ilp, MultiObjectProblem};
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let hub = b.add_node(root);
+        b.add_client(hub);
+        b.add_client(hub);
+        b.add_client(root);
+        let p = MultiObjectProblem::new(
+            b.build().unwrap(),
+            vec![vec![3, 2, 1], vec![1, 4, 2]],
+            vec![10, 8],
+            vec![vec![5, 4], vec![6, 3]],
+        );
+        let optimum = solve_multi_ilp(&p).expect("feasible").cost(&p) as f64;
+        let rational = multi_lower_bound(&p, BoundKind::Rational).unwrap();
+        let mixed = multi_lower_bound(&p, BoundKind::Mixed).unwrap();
+        assert!(rational <= optimum + 1e-6);
+        assert!(mixed <= optimum + 1e-6);
+        assert!(mixed + 1e-6 >= rational);
+        // Both engines agree on the multi-object relaxation.
+        for kind in [BoundKind::Rational, BoundKind::Mixed] {
+            let revised =
+                multi_lower_bound_with(&p, kind, &IlpOptions::with_engine(LpEngine::Revised));
+            let dense =
+                multi_lower_bound_with(&p, kind, &IlpOptions::with_engine(LpEngine::DenseTableau));
+            match (revised, dense) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "{kind:?}: {a} vs {b}"),
+                other => panic!("engine disagreement for {kind:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_object_bandwidth_bound_detects_link_starvation() {
+        use crate::multi::MultiObjectProblem;
+        // Two objects of 4 requests each under the hub (capacity 4): at
+        // most 4 served locally, the rest crosses hub -> root. Link
+        // bandwidth 4 leaves exactly enough; 3 starves the uplink.
+        let build = |uplink: u64| {
+            let mut b = TreeBuilder::new();
+            let root = b.add_root();
+            let hub = b.add_node(root);
+            b.add_client(hub);
+            b.add_client(hub);
+            MultiObjectProblem::new(
+                b.build().unwrap(),
+                vec![vec![4, 0], vec![0, 4]],
+                vec![10, 4],
+                vec![vec![10, 1], vec![6, 5]],
+            )
+            .with_link_bandwidths(vec![None, None], vec![None, Some(uplink)])
+        };
+        assert!(multi_lower_bound(&build(4), BoundKind::Rational).is_some());
+        assert_eq!(multi_lower_bound(&build(3), BoundKind::Rational), None);
+        assert_eq!(multi_lower_bound(&build(3), BoundKind::Mixed), None);
     }
 
     #[test]

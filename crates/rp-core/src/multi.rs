@@ -18,8 +18,7 @@
 
 use std::sync::Arc;
 
-use rp_lp::{lin_sum, Cmp, LinExpr, Model, VarId};
-use rp_tree::{ClientId, NodeId, TreeNetwork};
+use rp_tree::{ClientId, LinkId, NodeId, TreeNetwork};
 
 use crate::heuristics::Heuristic;
 use crate::policy::Policy;
@@ -53,6 +52,12 @@ pub struct MultiObjectProblem {
     capacities: Vec<u64>,
     /// `storage_costs[k][j]` = cost of a replica of object `k` at node `j`.
     storage_costs: Vec<Vec<u64>>,
+    /// Bandwidth of the link above every client (`None` = unbounded).
+    /// Like the node capacities, link bandwidths are **shared across
+    /// the objects**: the flows of every object traverse the same wire.
+    client_link_bandwidth: Vec<Option<u64>>,
+    /// Bandwidth of the link above every node (root entry unused).
+    node_link_bandwidth: Vec<Option<u64>>,
 }
 
 impl MultiObjectProblem {
@@ -88,12 +93,44 @@ impl MultiObjectProblem {
             );
         }
         assert_eq!(capacities.len(), tree.num_nodes());
+        let (num_clients, num_nodes) = (tree.num_clients(), tree.num_nodes());
         MultiObjectProblem {
             tree,
             requests,
             capacities,
             storage_costs,
+            client_link_bandwidth: vec![None; num_clients],
+            node_link_bandwidth: vec![None; num_nodes],
         }
+    }
+
+    /// Bounds the links of the tree (shared across all the objects):
+    /// one entry per client link and one per node link, in index order
+    /// (`None` = unbounded; the root's node entry is ignored).
+    pub fn with_link_bandwidths(
+        mut self,
+        client_links: Vec<Option<u64>>,
+        node_links: Vec<Option<u64>>,
+    ) -> Self {
+        assert_eq!(client_links.len(), self.tree.num_clients());
+        assert_eq!(node_links.len(), self.tree.num_nodes());
+        self.client_link_bandwidth = client_links;
+        self.node_link_bandwidth = node_links;
+        self
+    }
+
+    /// Bandwidth of a link, if bounded (`BW_l`).
+    pub fn bandwidth(&self, link: LinkId) -> Option<u64> {
+        match link {
+            LinkId::Client(c) => self.client_link_bandwidth[c.index()],
+            LinkId::Node(n) => self.node_link_bandwidth[n.index()],
+        }
+    }
+
+    /// `true` when at least one link carries a bandwidth bound.
+    pub fn has_bandwidth_limits(&self) -> bool {
+        self.client_link_bandwidth.iter().any(|b| b.is_some())
+            || self.node_link_bandwidth.iter().any(|b| b.is_some())
     }
 
     /// The underlying tree.
@@ -207,13 +244,29 @@ impl MultiPlacement {
         }
         // Per-object structural rules: validate against an instance with
         // unbounded per-node capacity (the shared capacity is checked
-        // globally below).
-        let relaxed_capacity: Vec<u64> = vec![u64::MAX / 4; problem.tree().num_nodes()];
+        // globally below). The same projection also yields the
+        // per-object link flows for the shared-bandwidth check, so each
+        // object is projected exactly once.
+        let tree = problem.tree();
+        let relaxed_capacity: Vec<u64> = vec![u64::MAX / 4; tree.num_nodes()];
+        let mut combined_flows = problem.has_bandwidth_limits().then(|| {
+            rp_tree::LinkMap::filled(
+                tree.num_clients(),
+                tree.num_nodes(),
+                tree.root().index(),
+                0u64,
+            )
+        });
         for object in problem.object_ids() {
             let single = problem.project(object, relaxed_capacity.clone());
             self.placement(object)
                 .validate(&single, policy)
                 .map_err(|violations| format!("{object}: {violations}"))?;
+            if let Some(combined) = combined_flows.as_mut() {
+                for (link, &flow) in self.placement(object).link_flows(&single).iter() {
+                    combined[link] += flow;
+                }
+            }
         }
         // Shared capacities.
         for (index, &load) in self.node_loads(problem).iter().enumerate() {
@@ -223,6 +276,19 @@ impl MultiPlacement {
                     "node {node}: combined load {load} exceeds shared capacity {}",
                     problem.capacity(node)
                 ));
+            }
+        }
+        // Shared link bandwidths: the flows of every object traverse
+        // the same wire, so their per-link sums must fit.
+        if let Some(combined) = combined_flows {
+            for (link, &flow) in combined.iter() {
+                if let Some(bw) = problem.bandwidth(link) {
+                    if flow > bw {
+                        return Err(format!(
+                            "link {link}: combined flow {flow} exceeds bandwidth {bw}"
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -289,96 +355,27 @@ pub fn solve_multi_greedy(
 
 /// Exact ILP for the multi-object problem under the **Multiple** policy
 /// (the natural extension of Section 5.2): per-object replica indicators
-/// and request variables, per-object coverage, and a shared capacity row
-/// per node. Returns `None` when the instance is infeasible or the
-/// branch-and-bound node limit is reached without an incumbent.
+/// and request variables, per-object coverage, a shared capacity row per
+/// node, and — when the instance bounds its links — per-object `z` flow
+/// variables feeding shared bandwidth rows (see
+/// [`crate::ilp::build_multi_model`]). Returns `None` when the instance
+/// is infeasible or the branch-and-bound node limit is reached without
+/// an incumbent.
 pub fn solve_multi_ilp(problem: &MultiObjectProblem) -> Option<MultiPlacement> {
+    solve_multi_ilp_with(problem, &crate::ilp::IlpOptions::default())
+}
+
+/// [`solve_multi_ilp`] with explicit branch-and-bound / simplex options
+/// (engine selection included).
+pub fn solve_multi_ilp_with(
+    problem: &MultiObjectProblem,
+    options: &crate::ilp::IlpOptions,
+) -> Option<MultiPlacement> {
+    use crate::ilp::{build_multi_model, Integrality};
+
     let tree = problem.tree();
-    let mut model = Model::minimize();
-
-    // x[k][j], y[k][i] -> (server, var).
-    let mut x: Vec<Vec<VarId>> = Vec::with_capacity(problem.num_objects());
-    let mut y: Vec<Vec<Vec<(NodeId, VarId)>>> = Vec::with_capacity(problem.num_objects());
-    for object in problem.object_ids() {
-        let x_row: Vec<VarId> = tree
-            .node_ids()
-            .map(|node| {
-                model.add_binary_var(
-                    format!("x_{object}_{node}"),
-                    problem.storage_cost(object, node) as f64,
-                )
-            })
-            .collect();
-        let mut y_rows = Vec::with_capacity(tree.num_clients());
-        for client in tree.client_ids() {
-            let requests = problem.requests(object, client) as f64;
-            let row: Vec<(NodeId, VarId)> = tree
-                .ancestors_of_client(client)
-                .map(|server| {
-                    let var = model.add_int_var(
-                        format!("y_{object}_{client}_{server}"),
-                        0.0,
-                        Some(requests),
-                        0.0,
-                    );
-                    (server, var)
-                })
-                .collect();
-            y_rows.push(row);
-        }
-        x.push(x_row);
-        y.push(y_rows);
-    }
-
-    // Coverage per object and client.
-    for object in problem.object_ids() {
-        for client in tree.client_ids() {
-            let requests = problem.requests(object, client);
-            let expr = lin_sum(
-                y[object.index()][client.index()]
-                    .iter()
-                    .map(|&(_, var)| (1.0, var)),
-            );
-            model.add_constraint(
-                format!("cover_{object}_{client}"),
-                expr,
-                Cmp::Eq,
-                requests as f64,
-            );
-        }
-    }
-
-    for node in tree.node_ids() {
-        // Shared capacity: the node serves at most W_j requests in total.
-        let mut shared = LinExpr::new();
-        for object in problem.object_ids() {
-            let mut per_object = LinExpr::new();
-            for client in tree.client_ids() {
-                if let Some(&(_, var)) = y[object.index()][client.index()]
-                    .iter()
-                    .find(|(server, _)| *server == node)
-                {
-                    shared.add_term(1.0, var);
-                    per_object.add_term(1.0, var);
-                }
-            }
-            // A replica of the object must be bought before serving any
-            // of its requests at this node.
-            per_object.add_term(
-                -(problem.capacity(node) as f64),
-                x[object.index()][node.index()],
-            );
-            model.add_constraint(format!("replica_{object}_{node}"), per_object, Cmp::Le, 0.0);
-        }
-        model.add_constraint(
-            format!("capacity_{node}"),
-            shared,
-            Cmp::Le,
-            problem.capacity(node) as f64,
-        );
-    }
-
-    let outcome = rp_lp::solve_milp(&model);
+    let formulation = build_multi_model(problem, Integrality::Exact);
+    let outcome = rp_lp::solve_milp_with(&formulation.model, &options.branch_bound);
     let incumbent = outcome.incumbent?;
     if !matches!(
         outcome.status,
@@ -392,12 +389,12 @@ pub fn solve_multi_ilp(problem: &MultiObjectProblem) -> Option<MultiPlacement> {
     for object in problem.object_ids() {
         let mut placement = Placement::empty(tree.num_clients());
         for node in tree.node_ids() {
-            if incumbent.value(x[object.index()][node.index()]) > 0.5 {
+            if incumbent.value(formulation.x[object.index()][node.index()]) > 0.5 {
                 placement.add_replica(node);
             }
         }
         for client in tree.client_ids() {
-            for &(server, var) in &y[object.index()][client.index()] {
+            for &(server, var) in &formulation.y[object.index()][client.index()] {
                 let amount = incumbent.value(var).round().max(0.0) as u64;
                 if amount > 0 {
                     placement.assign(client, server, amount);

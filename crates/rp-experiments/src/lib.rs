@@ -32,8 +32,13 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 
 pub use figures::{reproduce_figure, reproduce_figure_with, FigureId, FigureReport};
 pub use metrics::{LambdaBatch, TrialResult};
 pub use report::{relative_cost_table, success_table, SeriesTable};
 pub use runner::{run_sweep, ExperimentConfig, SweepResults};
+pub use scenarios::{
+    run_scenario, scenario_markdown, scenario_table, ScenarioConfig, ScenarioFamily,
+    ScenarioResults,
+};

@@ -1,0 +1,509 @@
+//! The scenario sweep: λ-parameterised LP lower bounds over the
+//! bandwidth-constrained and multi-object workload families.
+//!
+//! The classic figure sweeps ([`crate::runner`]) evaluate heuristics
+//! against the LP bound on the base formulation; the problem-variant
+//! families have no heuristic counterparts yet (the paper leaves
+//! multi-object heuristics open, and the bandwidth constraints are
+//! invisible to the Section 4 heuristics), so a scenario sweep measures
+//! what the extended formulations *cost to bound*: per (λ, tree) the
+//! rational LP bound, its wall-clock, the simplex iteration count and —
+//! on the ill-scaled families — the equilibration's entry-spread
+//! reduction. One `LpWorkspace` is pinned per worker and the work list
+//! is tree-major, so sibling λ trials of one tree re-solve the same
+//! constraint matrix through the warm-start path, exactly like the main
+//! sweep.
+//!
+//! `reproduce bandwidth` / `reproduce multi` render these sweeps as
+//! markdown tables; the baseline binary records the same numbers in
+//! `BENCH_scenarios.json`.
+
+use std::time::Instant;
+
+use rp_core::ilp::{build_model, build_multi_model, Integrality};
+use rp_core::Policy;
+use rp_lp::{solve_lp_engine, LpEngine, LpWorkspace, SimplexOptions, Status};
+use rp_workloads::scenarios::{
+    bandwidth_instance, ill_scaled_bandwidth_instance, multi_object_bandwidth_instance,
+    multi_object_instance,
+};
+
+use crate::pool::{default_threads, parallel_map_with};
+use crate::report::SeriesTable;
+
+/// Which problem-variant family a scenario sweep draws from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScenarioFamily {
+    /// Single-object instances with per-link bandwidth bounds at mixed
+    /// headroom (some links bind; feasibility is λ-dependent).
+    Bandwidth,
+    /// Bandwidth bounds over the wide-range (five-decade) platform: the
+    /// ill-scaled regime that triggers the LP equilibration pass.
+    BandwidthIllScaled,
+    /// Multi-object instances sharing node capacities.
+    MultiObject,
+    /// Multi-object instances sharing node capacities **and** links
+    /// (per-object `z` variables, shared bandwidth rows).
+    MultiObjectBandwidth,
+}
+
+impl ScenarioFamily {
+    /// Command-line key (`reproduce <key>` accepts the family keys).
+    pub fn key(self) -> &'static str {
+        match self {
+            ScenarioFamily::Bandwidth => "bandwidth",
+            ScenarioFamily::BandwidthIllScaled => "bandwidth-ill",
+            ScenarioFamily::MultiObject => "multi",
+            ScenarioFamily::MultiObjectBandwidth => "multi-bandwidth",
+        }
+    }
+
+    /// Parses a command-line key.
+    pub fn from_key(key: &str) -> Option<ScenarioFamily> {
+        [
+            ScenarioFamily::Bandwidth,
+            ScenarioFamily::BandwidthIllScaled,
+            ScenarioFamily::MultiObject,
+            ScenarioFamily::MultiObjectBandwidth,
+        ]
+        .into_iter()
+        .find(|f| f.key() == key)
+    }
+
+    /// Human-readable title for the rendered report.
+    pub fn title(self) -> &'static str {
+        match self {
+            ScenarioFamily::Bandwidth => "Bandwidth-constrained LP bound (mixed headroom links)",
+            ScenarioFamily::BandwidthIllScaled => {
+                "Ill-scaled bandwidth LP bound (wide-range platform, equilibrated)"
+            }
+            ScenarioFamily::MultiObject => "Multi-object LP bound (shared capacities)",
+            ScenarioFamily::MultiObjectBandwidth => {
+                "Multi-object LP bound (shared capacities and links)"
+            }
+        }
+    }
+}
+
+/// Full description of a scenario sweep.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// The workload family.
+    pub family: ScenarioFamily,
+    /// Load factors to evaluate.
+    pub lambdas: Vec<f64>,
+    /// Random trees per load factor.
+    pub trees_per_lambda: usize,
+    /// Problem size `s = |C| + |N|` of every instance.
+    pub problem_size: usize,
+    /// Object types (multi-object families only).
+    pub num_objects: usize,
+    /// The LP engine solving the relaxations.
+    pub engine: LpEngine,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads (`None` = automatic).
+    pub threads: Option<usize>,
+}
+
+impl ScenarioConfig {
+    /// The default sweep of a family: the paper's λ grid at a size the
+    /// revised engine bounds in milliseconds.
+    pub fn new(family: ScenarioFamily) -> Self {
+        ScenarioConfig {
+            family,
+            lambdas: crate::runner::ExperimentConfig::paper_lambdas(),
+            trees_per_lambda: 8,
+            problem_size: 150,
+            num_objects: 3,
+            engine: LpEngine::Revised,
+            seed: 20070326,
+            threads: None,
+        }
+    }
+
+    /// A miniature configuration for unit tests.
+    pub fn smoke_test(family: ScenarioFamily) -> Self {
+        ScenarioConfig {
+            lambdas: vec![0.3, 0.7],
+            trees_per_lambda: 3,
+            problem_size: 30,
+            num_objects: 2,
+            threads: Some(2),
+            ..ScenarioConfig::new(family)
+        }
+    }
+}
+
+/// One (λ, tree) trial of a scenario sweep.
+#[derive(Clone, Debug)]
+pub struct ScenarioTrial {
+    /// Index of the tree within its λ batch.
+    pub tree_index: usize,
+    /// Solver status of the relaxation. Distinguishes a genuinely
+    /// infeasible instance from a truncated (`IterationLimit`) solve —
+    /// the latter would otherwise masquerade as infeasibility in the
+    /// tables.
+    pub status: Status,
+    /// The rational LP bound, `None` unless the solve reached
+    /// optimality (see `status` for why).
+    pub bound: Option<f64>,
+    /// Wall-clock of the bound solve (model build excluded).
+    pub solve_seconds: f64,
+    /// Simplex iterations of the solve (revised engine only; 0 on the
+    /// dense oracle).
+    pub iterations: usize,
+    /// Rows (constraints) of the solved model.
+    pub rows: usize,
+    /// Columns of the solved model.
+    pub cols: usize,
+    /// Entry-spread before/after equilibration, when the pass ran.
+    pub scaling_spread: Option<(f64, f64)>,
+}
+
+/// All trials of one load factor.
+#[derive(Clone, Debug)]
+pub struct ScenarioBatch {
+    /// The load factor.
+    pub lambda: f64,
+    /// One entry per tree.
+    pub trials: Vec<ScenarioTrial>,
+}
+
+impl ScenarioBatch {
+    /// Fraction of trees whose relaxation solved to optimality (check
+    /// [`ScenarioBatch::truncated_count`] to tell genuine
+    /// infeasibility apart from solver truncation).
+    pub fn feasible_rate(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| t.bound.is_some()).count() as f64 / self.trials.len() as f64
+    }
+
+    /// Number of trials that ended without a definitive verdict
+    /// (iteration limit or another non-optimal, non-infeasible status).
+    pub fn truncated_count(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| !matches!(t.status, Status::Optimal | Status::Infeasible))
+            .count()
+    }
+
+    /// Mean bound over the feasible trees.
+    pub fn mean_bound(&self) -> Option<f64> {
+        let feasible: Vec<f64> = self.trials.iter().filter_map(|t| t.bound).collect();
+        if feasible.is_empty() {
+            None
+        } else {
+            Some(feasible.iter().sum::<f64>() / feasible.len() as f64)
+        }
+    }
+
+    /// Mean solve wall-clock in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        1e3 * self.trials.iter().map(|t| t.solve_seconds).sum::<f64>() / self.trials.len() as f64
+    }
+
+    /// Mean simplex iterations.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(|t| t.iterations).sum::<usize>() as f64 / self.trials.len() as f64
+    }
+
+    /// Mean rows × columns of the batch's models (the random trees of
+    /// one batch differ in path lengths, so their flow-row counts —
+    /// and therefore model sizes — differ too).
+    pub fn mean_shape(&self) -> (f64, f64) {
+        if self.trials.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.trials.len() as f64;
+        (
+            self.trials.iter().map(|t| t.rows).sum::<usize>() as f64 / n,
+            self.trials.iter().map(|t| t.cols).sum::<usize>() as f64 / n,
+        )
+    }
+
+    /// Fraction of trials the equilibration pass scaled.
+    pub fn scaled_rate(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials
+            .iter()
+            .filter(|t| t.scaling_spread.is_some())
+            .count() as f64
+            / self.trials.len() as f64
+    }
+}
+
+/// Results of a scenario sweep: one batch per load factor.
+#[derive(Clone, Debug)]
+pub struct ScenarioResults {
+    /// The configuration that produced these results.
+    pub config: ScenarioConfig,
+    /// One batch per λ, in the order of `config.lambdas`.
+    pub batches: Vec<ScenarioBatch>,
+}
+
+/// Runs the scenario sweep described by `config`, sharding the
+/// **trees** across one worker pool with a pinned LP workspace per
+/// worker. A work item is one tree with *all* its λ values: the worker
+/// that claims a tree solves its sibling trials back to back on one
+/// workspace, so every λ after the first re-solves the same constraint
+/// matrix through the warm-start path (an interleaved (λ, tree) queue
+/// would scatter the siblings across workers and quietly cold-solve
+/// them all).
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResults {
+    let trees: Vec<usize> = (0..config.trees_per_lambda).collect();
+    let threads = config
+        .threads
+        .unwrap_or_else(|| default_threads(trees.len()));
+    let per_tree: Vec<Vec<ScenarioTrial>> = parallel_map_with(
+        &trees,
+        threads,
+        LpWorkspace::new,
+        |&tree_index, workspace| {
+            config
+                .lambdas
+                .iter()
+                .map(|&lambda| run_scenario_trial(config, lambda, tree_index, workspace))
+                .collect()
+        },
+    );
+    let mut batches: Vec<ScenarioBatch> = config
+        .lambdas
+        .iter()
+        .map(|&lambda| ScenarioBatch {
+            lambda,
+            trials: Vec::with_capacity(config.trees_per_lambda),
+        })
+        .collect();
+    for tree_trials in per_tree {
+        for (lambda_index, trial) in tree_trials.into_iter().enumerate() {
+            batches[lambda_index].trials.push(trial);
+        }
+    }
+    ScenarioResults {
+        config: config.clone(),
+        batches,
+    }
+}
+
+/// Runs one (λ, tree) trial on a caller-provided LP workspace.
+pub fn run_scenario_trial(
+    config: &ScenarioConfig,
+    lambda: f64,
+    tree_index: usize,
+    workspace: &mut LpWorkspace,
+) -> ScenarioTrial {
+    let seed = trial_seed(config.seed, tree_index);
+    let model = match config.family {
+        ScenarioFamily::Bandwidth => {
+            let problem = bandwidth_instance(config.problem_size, lambda, seed);
+            build_model(&problem, Policy::Multiple, Integrality::RationalBound).model
+        }
+        ScenarioFamily::BandwidthIllScaled => {
+            let problem = ill_scaled_bandwidth_instance(config.problem_size, lambda, seed);
+            build_model(&problem, Policy::Multiple, Integrality::RationalBound).model
+        }
+        ScenarioFamily::MultiObject => {
+            let problem =
+                multi_object_instance(config.problem_size, config.num_objects, lambda, seed);
+            build_multi_model(&problem, Integrality::RationalBound).model
+        }
+        ScenarioFamily::MultiObjectBandwidth => {
+            let problem = multi_object_bandwidth_instance(
+                config.problem_size,
+                config.num_objects,
+                lambda,
+                seed,
+            );
+            build_multi_model(&problem, Integrality::RationalBound).model
+        }
+    };
+    let options = SimplexOptions::default();
+    let start = Instant::now();
+    let solution = solve_lp_engine(&model, config.engine, &options, workspace);
+    let solve_seconds = start.elapsed().as_secs_f64();
+    let (iterations, scaling_spread) = match config.engine {
+        LpEngine::Revised => (
+            workspace.revised.last_stats().iterations(),
+            workspace.revised.scaling_spread(),
+        ),
+        LpEngine::DenseTableau => (0, None),
+    };
+    ScenarioTrial {
+        tree_index,
+        status: solution.status,
+        bound: (solution.status == Status::Optimal).then_some(solution.objective),
+        solve_seconds,
+        iterations,
+        rows: model.num_constraints(),
+        cols: model.num_vars(),
+        scaling_spread,
+    }
+}
+
+/// Derives a deterministic per-tree sub-seed. λ is deliberately *not*
+/// mixed in: sibling λ trials of one tree share their tree, platform
+/// and link-headroom draws (only the demand scales with λ), which keeps
+/// their constraint matrices identical and the warm-start path hot.
+fn trial_seed(base: u64, tree_index: usize) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((tree_index as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+}
+
+/// Renders a scenario sweep as a table: one row per λ.
+pub fn scenario_table(results: &ScenarioResults) -> SeriesTable {
+    let headers = vec![
+        "lambda".to_string(),
+        "feasible".to_string(),
+        "mean_bound".to_string(),
+        "mean_ms".to_string(),
+        "mean_iters".to_string(),
+        "mean_rows".to_string(),
+        "mean_cols".to_string(),
+        "scaled".to_string(),
+    ];
+    let rows = results
+        .batches
+        .iter()
+        .map(|batch| {
+            let (rows, cols) = batch.mean_shape();
+            vec![
+                format!("{:.1}", batch.lambda),
+                format!("{:.2}", batch.feasible_rate()),
+                batch
+                    .mean_bound()
+                    .map(|b| format!("{b:.1}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                format!("{:.2}", batch.mean_ms()),
+                format!("{:.0}", batch.mean_iterations()),
+                format!("{rows:.0}"),
+                format!("{cols:.0}"),
+                format!("{:.2}", batch.scaled_rate()),
+            ]
+        })
+        .collect();
+    SeriesTable { headers, rows }
+}
+
+/// Renders the full report (title + table) for `reproduce`.
+pub fn scenario_markdown(results: &ScenarioResults) -> String {
+    format!(
+        "## {}\n\n{}",
+        results.config.family.title(),
+        scenario_table(results).to_markdown()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_keys_round_trip() {
+        for family in [
+            ScenarioFamily::Bandwidth,
+            ScenarioFamily::BandwidthIllScaled,
+            ScenarioFamily::MultiObject,
+            ScenarioFamily::MultiObjectBandwidth,
+        ] {
+            assert_eq!(ScenarioFamily::from_key(family.key()), Some(family));
+            assert!(!family.title().is_empty());
+        }
+        assert_eq!(ScenarioFamily::from_key("nope"), None);
+    }
+
+    #[test]
+    fn smoke_scenario_sweeps_produce_consistent_batches() {
+        for family in [
+            ScenarioFamily::Bandwidth,
+            ScenarioFamily::MultiObject,
+            ScenarioFamily::MultiObjectBandwidth,
+        ] {
+            let config = ScenarioConfig::smoke_test(family);
+            let results = run_scenario(&config);
+            assert_eq!(results.batches.len(), config.lambdas.len());
+            for batch in &results.batches {
+                assert_eq!(batch.trials.len(), config.trees_per_lambda);
+                assert_eq!(batch.truncated_count(), 0, "{family:?}");
+                for trial in &batch.trials {
+                    assert!(trial.rows > 0, "{family:?}");
+                    assert!(trial.cols > 0, "{family:?}");
+                    assert!(
+                        matches!(trial.status, Status::Optimal | Status::Infeasible),
+                        "{family:?}: {:?}",
+                        trial.status
+                    );
+                    if let Some(bound) = trial.bound {
+                        assert!(bound.is_finite() && bound >= 0.0, "{family:?}");
+                    }
+                }
+            }
+            let table = scenario_table(&results);
+            assert_eq!(table.num_rows(), config.lambdas.len());
+            assert!(scenario_markdown(&results).contains(family.title()));
+        }
+    }
+
+    #[test]
+    fn scenario_sweeps_are_deterministic_and_engine_independent() {
+        let config = ScenarioConfig::smoke_test(ScenarioFamily::Bandwidth);
+        let a = run_scenario(&config);
+        let b = run_scenario(&config);
+        let dense = run_scenario(&ScenarioConfig {
+            engine: LpEngine::DenseTableau,
+            ..config.clone()
+        });
+        for ((ba, bb), bd) in a.batches.iter().zip(&b.batches).zip(&dense.batches) {
+            for ((ta, tb), td) in ba.trials.iter().zip(&bb.trials).zip(&bd.trials) {
+                assert_eq!(ta.bound.is_some(), tb.bound.is_some());
+                if let (Some(x), Some(y)) = (ta.bound, tb.bound) {
+                    assert!((x - y).abs() < 1e-9);
+                }
+                // The dense oracle agrees on feasibility and objective.
+                assert_eq!(ta.bound.is_some(), td.bound.is_some(), "λ={}", ba.lambda);
+                if let (Some(x), Some(y)) = (ta.bound, td.bound) {
+                    assert!((x - y).abs() < 1e-5 * x.abs().max(1.0), "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ill_scaled_scenarios_trigger_the_equilibration() {
+        let config = ScenarioConfig {
+            lambdas: vec![0.4],
+            trees_per_lambda: 2,
+            problem_size: 40,
+            ..ScenarioConfig::smoke_test(ScenarioFamily::BandwidthIllScaled)
+        };
+        let results = run_scenario(&config);
+        let batch = &results.batches[0];
+        assert!(
+            batch.scaled_rate() > 0.0,
+            "wide-range platform should scale"
+        );
+        for trial in &batch.trials {
+            if let Some((before, after)) = trial.scaling_spread {
+                assert!(after < before, "spread {before} -> {after}");
+            }
+        }
+        // The well-scaled bandwidth family must *not* scale.
+        let tame = run_scenario(&ScenarioConfig {
+            lambdas: vec![0.4],
+            trees_per_lambda: 2,
+            problem_size: 40,
+            ..ScenarioConfig::smoke_test(ScenarioFamily::Bandwidth)
+        });
+        assert_eq!(tame.batches[0].scaled_rate(), 0.0);
+    }
+}

@@ -88,6 +88,24 @@
 //!   equality whose value fits its bounds (block-triangularly, so the
 //!   start basis is trivially nonsingular). Phase 1 shrinks from one
 //!   artificial per client to a handful of residual rows.
+//! * **Geometric-mean equilibration** ([`SimplexOptions::scaling`],
+//!   [`Scaling::Auto`] by default) — the bandwidth-constrained and
+//!   multi-object formulations over wide-range platforms mix unit
+//!   link/cover coefficients with capacities spanning five decades,
+//!   so the absolute simplex tolerances stop meaning the same thing in
+//!   every row. The scaling pass picks power-of-two row and column
+//!   scales by the alternating geometric-mean iteration and solves
+//!   `R·A·C`; the solution is unscaled on extraction **exactly**
+//!   (powers of two commute with IEEE rounding), which the
+//!   equilibration round-trip property test pins. `Auto` only fires
+//!   above an entry-spread threshold, so the near-unimodular classic
+//!   formulations keep their historical pivot paths bit for bit.
+//! * **Micro-size fast path** — below ~50 rows the presolve analysis
+//!   and the devex weight machinery cost more than they save (the
+//!   documented 10–20% cold-solve overhead at `s ≤ 40`); such solves
+//!   skip presolve and price with plain Dantzig automatically, and a
+//!   regression test pins the micro-size iteration counts to the
+//!   explicit fast-path configuration.
 //! * **Warm starts** — a bound change (the only thing branch-and-bound
 //!   does between nodes) leaves the reduced costs untouched, so the
 //!   parent basis stays dual feasible and a short **dual simplex**
@@ -155,7 +173,7 @@ pub use engine::{solve_lp_engine, LpEngine, LpWorkspace};
 pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
 pub use revised::{
     solve_lp_revised, solve_lp_revised_reusing, solve_lp_revised_with, Pricing, RevisedWorkspace,
-    SolveStats,
+    Scaling, SolveStats,
 };
 pub use simplex::{solve_lp, solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 pub use solution::{Solution, Status};

@@ -27,6 +27,7 @@ mod basis;
 mod factor;
 mod pricing;
 mod ratio;
+mod scaling;
 
 use crate::model::Model;
 use crate::simplex::SimplexOptions;
@@ -41,6 +42,7 @@ use pricing::{
 use ratio::{primal_ratio_test, Ratio};
 
 pub use pricing::Pricing;
+pub use scaling::Scaling;
 
 /// Eta updates tolerated before the basis is refactorised and the basic
 /// values recomputed from scratch.
@@ -48,6 +50,29 @@ const REFACTOR_EVERY: usize = 64;
 
 /// Pivot-magnitude tolerance of the ratio tests.
 const PIVOT_TOL: f64 = 1e-9;
+
+/// Constraint count below which the cold-solve fixed costs — the
+/// presolve analysis passes and the devex weight machinery — outweigh
+/// what they save (the documented ~10–20% overhead at `s ≤ 40`). Below
+/// this threshold a solve skips presolve and prices with plain Dantzig;
+/// the sweep's sibling warm starts are unaffected.
+const MICRO_LP_ROWS: usize = 50;
+
+/// Whether a solve of `model` should actually run the presolve pass.
+fn effective_presolve(model: &Model, options: &SimplexOptions) -> bool {
+    options.presolve && model.num_constraints() >= MICRO_LP_ROWS
+}
+
+/// The pricing rule a solve of `model` should actually use: devex
+/// downgrades to Dantzig on micro models (where the two rules pivot
+/// near-identically but devex pays for its weight updates).
+fn effective_pricing(model: &Model, options: &SimplexOptions) -> Pricing {
+    if options.pricing == Pricing::Devex && model.num_constraints() < MICRO_LP_ROWS {
+        Pricing::Dantzig
+    } else {
+        options.pricing
+    }
+}
 
 /// Reusable state of the revised simplex: standard form, basis,
 /// factorisation and every scratch vector. A workspace can be reused
@@ -61,6 +86,12 @@ pub struct RevisedWorkspace {
     presolve: Presolve,
     /// Whether `form` is the presolved reduction of the last model.
     presolved: bool,
+    /// The scaling mode `form` was built under (a changed mode forces a
+    /// cold rebuild on the next solve).
+    scaling_mode: Scaling,
+    /// The pricing rule of the current solve (the options' rule after
+    /// the micro-size downgrade).
+    pricing: Pricing,
     /// Dual values / BTRAN buffer.
     y: Vec<f64>,
     /// Pivot column / FTRAN buffer.
@@ -131,7 +162,11 @@ impl RevisedWorkspace {
     /// dual-simplex cleanup fails.
     pub fn solve_warm(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         self.stats = SolveStats::default();
-        if !self.warm_ready || self.presolved != options.presolve {
+        self.pricing = effective_pricing(model, options);
+        if !self.warm_ready
+            || self.presolved != effective_presolve(model, options)
+            || self.scaling_mode != options.scaling
+        {
             return self.solve_cold(model, options);
         }
         if self.presolved {
@@ -198,8 +233,14 @@ impl RevisedWorkspace {
     pub fn solve_cold(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         self.stats = SolveStats::default();
         self.warm_ready = false;
-        self.presolved = options.presolve;
-        if options.presolve {
+        self.pricing = effective_pricing(model, options);
+        self.presolved = effective_presolve(model, options);
+        self.scaling_mode = options.scaling;
+        // Clear any previous model's scaling state up front: presolve
+        // may prove infeasibility and return before the build runs, and
+        // `scaling_spread` must not report the previous solve's data.
+        self.form.reset_scaling();
+        if self.presolved {
             if !self.presolve.analyze(model) {
                 return Solution::status_only(Status::Infeasible);
             }
@@ -211,6 +252,7 @@ impl RevisedWorkspace {
         if self.form.trivially_infeasible {
             return Solution::status_only(Status::Infeasible);
         }
+        self.form.apply_scaling(options.scaling);
         let m = self.form.m;
         let n = self.form.n_struct;
 
@@ -432,6 +474,13 @@ impl RevisedWorkspace {
         for (j, v) in values.iter_mut().enumerate() {
             *v = v.max(self.form.lower[j]).min(self.form.upper[j]);
         }
+        if self.form.scaled {
+            // Unscale: `x_j = c_j·x'_j`, exact because the scales are
+            // powers of two.
+            for (v, &c) in values.iter_mut().zip(&self.form.col_scale) {
+                *v *= c;
+            }
+        }
         if self.presolved {
             // Postsolve: expand the reduced solution back over the
             // original variables (in place, back to front — a kept
@@ -463,6 +512,28 @@ impl RevisedWorkspace {
     /// Pivot/refactorisation counters of the most recent solve.
     pub fn last_stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Entry-spread diagnostics `(before, after)` of the equilibration
+    /// pass, or `None` when the last solve ran unscaled (mode `Off`, or
+    /// `Auto` on a well-scaled matrix).
+    pub fn scaling_spread(&self) -> Option<(f64, f64)> {
+        self.form
+            .scaled
+            .then_some((self.form.spread_before, self.form.spread_after))
+    }
+
+    /// Whether the last solve actually ran the presolve pass — `false`
+    /// on micro models even when [`SimplexOptions::presolve`] is set
+    /// (the size-threshold fast path).
+    pub fn last_solve_used_presolve(&self) -> bool {
+        self.presolved
+    }
+
+    /// The pricing rule the last solve actually used (devex downgrades
+    /// to Dantzig below the micro-size threshold).
+    pub fn last_solve_pricing(&self) -> Pricing {
+        self.pricing
     }
 
     /// Nonzero counts `(nnz(L), nnz(U))` of the current basis
@@ -609,7 +680,7 @@ impl RevisedWorkspace {
             .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
         // Each phase starts a fresh devex reference framework: the
         // current nonbasic set with unit weights.
-        let devex_mode = options.pricing == Pricing::Devex;
+        let devex_mode = self.pricing == Pricing::Devex;
         if devex_mode {
             self.devex_weights.clear();
             self.devex_weights.resize(self.form.num_cols(), 1.0);
@@ -620,7 +691,7 @@ impl RevisedWorkspace {
         // fresh recomputation confirms it.
         let mut stale_pivots = 0usize;
         for iteration in 0..max_iter {
-            let use_bland = iteration >= options.bland_after || options.pricing == Pricing::Bland;
+            let use_bland = iteration >= options.bland_after || self.pricing == Pricing::Bland;
             let entering = match choose_entering(
                 &self.form,
                 &self.basis,
@@ -1127,6 +1198,193 @@ mod tests {
         let sol = solve_lp_revised(&m);
         assert_eq!(sol.status, Status::Optimal);
         assert_close(sol.objective, 2.0);
+    }
+
+    /// A deterministic ill-scaled LP: every coefficient is a row
+    /// magnitude times a column magnitude spanning ~12 decades in
+    /// total, the separable shape equilibration is built to fix (a
+    /// bandwidth row of huge capacities next to unit cover rows).
+    fn ill_scaled_model(n: usize) -> Model {
+        let row_mag = |i: usize| [1e-3, 1.0, 30.0, 1e3][i % 4];
+        let col_mag = |j: usize| [1.0, 2e-3, 40.0, 1e3][j % 4];
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_var(format!("x{j}"), 0.0, None, col_mag(j)))
+            .collect();
+        for i in 0..n {
+            let mut expr = LinExpr::new();
+            for (j, &v) in vars.iter().enumerate() {
+                if (i + 3 * j) % 3 != 0 {
+                    expr.add_term(row_mag(i) * col_mag(j), v);
+                }
+            }
+            if !expr.is_empty() {
+                m.add_constraint(format!("c{i}"), expr, Cmp::Ge, 10.0 + i as f64);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn equilibrated_solves_match_unscaled_solves_exactly_after_unscaling() {
+        for n in [4usize, 7, 12] {
+            let model = ill_scaled_model(n);
+            let solve = |scaling| {
+                solve_lp_revised_with(
+                    &model,
+                    &SimplexOptions {
+                        scaling,
+                        ..SimplexOptions::default()
+                    },
+                )
+            };
+            let scaled = solve(Scaling::Geometric);
+            let unscaled = solve(Scaling::Off);
+            assert_eq!(scaled.status, unscaled.status, "n={n}");
+            if scaled.status == Status::Optimal {
+                let tol = 1e-6 * unscaled.objective.abs().max(1.0);
+                assert!(
+                    (scaled.objective - unscaled.objective).abs() < tol,
+                    "n={n}: scaled {} vs unscaled {}",
+                    scaled.objective,
+                    unscaled.objective
+                );
+                assert!(model.is_feasible(&scaled.values, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_scaling_triggers_only_on_ill_scaled_matrices() {
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+        // Well-scaled: Auto must not scale (historical pivot paths).
+        let mut tame = Model::minimize();
+        let x = tame.add_var("x", 0.0, Some(4.0), 2.0);
+        let y = tame.add_var("y", 0.0, None, 3.0);
+        tame.add_constraint("c", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 6.0);
+        assert_eq!(ws.solve_cold(&tame, &options).status, Status::Optimal);
+        assert_eq!(ws.scaling_spread(), None);
+        // Ill-scaled: Auto scales and the spread shrinks by orders of
+        // magnitude.
+        let wild = ill_scaled_model(8);
+        let solution = ws.solve_cold(&wild, &options);
+        assert_eq!(solution.status, Status::Optimal);
+        let (before, after) = ws.scaling_spread().expect("auto scaling should trigger");
+        assert!(before > 1e4, "spread before = {before}");
+        assert!(after < before / 1e3, "spread {before} -> {after}");
+        assert!(wild.is_feasible(&solution.values, 1e-6));
+    }
+
+    #[test]
+    fn warm_starts_survive_scaling_and_absorb_mode_changes() {
+        // Warm re-solves of a scaled form (rhs/objective edits) must
+        // match cold solves, and switching the scaling mode between
+        // solves must transparently fall back to a cold rebuild.
+        let mut model = ill_scaled_model(9);
+        let geometric = SimplexOptions {
+            scaling: Scaling::Geometric,
+            ..SimplexOptions::default()
+        };
+        let mut ws = RevisedWorkspace::new();
+        assert_eq!(ws.solve_cold(&model, &geometric).status, Status::Optimal);
+        let cons: Vec<_> = model.constraint_ids().collect();
+        for id in cons {
+            let rhs = model.constraint(id).rhs * 1.5;
+            model.set_rhs(id, rhs);
+        }
+        let warm = ws.solve_warm(&model, &geometric);
+        let cold = solve_lp_revised_with(&model, &geometric);
+        assert_eq!(warm.status, cold.status);
+        let tol = 1e-6 * cold.objective.abs().max(1.0);
+        assert!((warm.objective - cold.objective).abs() < tol);
+        // Mode change: Off after Geometric must not reuse scaled data.
+        let off = SimplexOptions {
+            scaling: Scaling::Off,
+            ..SimplexOptions::default()
+        };
+        let refreshed = ws.solve_warm(&model, &off);
+        assert_eq!(refreshed.status, Status::Optimal);
+        assert!((refreshed.objective - cold.objective).abs() < tol);
+        assert_eq!(ws.scaling_spread(), None);
+    }
+
+    #[test]
+    fn scaling_diagnostics_do_not_leak_across_solves() {
+        // A scaled solve followed by a solve that exits early (presolve
+        // proves infeasibility before any build) must not report the
+        // previous model's spread.
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+        let wild = ill_scaled_model(8);
+        assert_eq!(ws.solve_cold(&wild, &options).status, Status::Optimal);
+        assert!(ws.scaling_spread().is_some());
+        let mut infeasible = Model::minimize();
+        let x = infeasible.add_var("x", 0.0, Some(1.0), 1.0);
+        infeasible.add_constraint("impossible", LinExpr::var(x), Cmp::Ge, 5.0);
+        assert_eq!(
+            ws.solve_cold(&infeasible, &options).status,
+            Status::Infeasible
+        );
+        assert_eq!(ws.scaling_spread(), None);
+    }
+
+    /// A replica-cover-shaped LP with `rows` cover rows and one shared
+    /// capacity row — small enough to exercise the micro fast path.
+    fn cover_model(rows: usize) -> Model {
+        let mut m = Model::minimize();
+        let vars: Vec<_> = (0..2 * rows)
+            .map(|j| m.add_var(format!("y{j}"), 0.0, Some(5.0), 1.0 + (j % 3) as f64))
+            .collect();
+        for i in 0..rows {
+            m.add_constraint(
+                format!("cover{i}"),
+                lin_sum([(1.0, vars[2 * i]), (1.0, vars[2 * i + 1])]),
+                Cmp::Ge,
+                2.0,
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn micro_models_skip_presolve_and_devex() {
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+        let micro = cover_model(MICRO_LP_ROWS - 10);
+        assert_eq!(ws.solve_cold(&micro, &options).status, Status::Optimal);
+        assert!(!ws.last_solve_used_presolve());
+        assert_eq!(ws.last_solve_pricing(), Pricing::Dantzig);
+        let large = cover_model(MICRO_LP_ROWS + 10);
+        assert_eq!(ws.solve_cold(&large, &options).status, Status::Optimal);
+        assert!(ws.last_solve_used_presolve());
+        assert_eq!(ws.last_solve_pricing(), Pricing::Devex);
+    }
+
+    #[test]
+    fn micro_size_iteration_counts_match_the_explicit_fast_path() {
+        // Regression pin for the micro-size fast path: a default-options
+        // solve of a micro model must replay the exact pivot trajectory
+        // of an explicit presolve-off / Dantzig solve — identical
+        // iteration and refactorisation counts, not just the objective.
+        for rows in [5usize, 20, MICRO_LP_ROWS - 1] {
+            let model = cover_model(rows);
+            let mut default_ws = RevisedWorkspace::new();
+            let defaulted = default_ws.solve_cold(&model, &SimplexOptions::default());
+            let explicit_options = SimplexOptions {
+                presolve: false,
+                pricing: Pricing::Dantzig,
+                ..SimplexOptions::default()
+            };
+            let mut explicit_ws = RevisedWorkspace::new();
+            let explicit = explicit_ws.solve_cold(&model, &explicit_options);
+            assert_eq!(defaulted.status, explicit.status, "rows={rows}");
+            assert_eq!(defaulted.objective, explicit.objective, "rows={rows}");
+            let d = default_ws.last_stats();
+            let e = explicit_ws.last_stats();
+            assert_eq!(d.iterations(), e.iterations(), "rows={rows}");
+            assert_eq!(d.refactorisations, e.refactorisations, "rows={rows}");
+        }
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Geometric-mean equilibration of the standard form.
+//!
+//! The replica-placement extensions (bandwidth-constrained link rows,
+//! multi-object formulations over wide-range platforms) produce
+//! constraint matrices whose entries span many orders of magnitude —
+//! request coefficients of a few units next to capacity coefficients in
+//! the hundreds of thousands. The simplex tolerances are absolute, so
+//! on such matrices a "small" pivot in one row is a rounding artefact
+//! while the same magnitude in another row is load-bearing.
+//!
+//! The classic cure is **equilibration**: pick positive row scales
+//! `r_i` and column scales `c_j` and solve the scaled problem
+//! `(R·A·C)·x' = R·b`, `x' = C⁻¹x`. This module computes the scales by
+//! the standard geometric-mean iteration — each pass sets a row's scale
+//! to `1/√(min|a|·max|a|)` over its scaled entries, then the columns
+//! likewise — which provably drives the per-row/column spread towards
+//! its fixed point. Scales are then **rounded to powers of two**, so
+//! applying and undoing them is *exact* in floating point: the
+//! postsolve unscaling reproduces the unscaled solution bit for bit
+//! (up to the different pivot path), which is what the equilibration
+//! round-trip property test pins.
+//!
+//! Slack columns are deliberately excluded: their coefficient is folded
+//! to stay `+1` (the slack simply absorbs `r_i` into its own units), so
+//! the all-slack basis remains the identity and the crash/warm-start
+//! machinery is untouched.
+
+/// Whether (and when) the revised engine equilibrates the matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scaling {
+    /// Never scale.
+    Off,
+    /// Always run the geometric-mean pass.
+    Geometric,
+    /// Scale only when the matrix is genuinely ill-scaled (entry spread
+    /// above [`AUTO_SPREAD`]). The near-unimodular replica LPs stay
+    /// bit-for-bit on their historical pivot paths; the wide-range
+    /// bandwidth/multi-object families get equilibrated.
+    #[default]
+    Auto,
+}
+
+/// Entry spread `max|a| / min|a|` above which [`Scaling::Auto`] turns
+/// the pass on. The classic replica formulations stay well below this
+/// (coefficients are requests and capacities within ~3 decades); the
+/// ill-scaled bandwidth families exceed it by construction.
+pub(crate) const AUTO_SPREAD: f64 = 1e4;
+
+/// Passes of the alternating row/column geometric-mean iteration. The
+/// iteration converges quickly (each pass at least halves the log-scale
+/// imbalance); four passes match common LP-solver practice.
+const PASSES: usize = 4;
+
+/// Spread `max|a| / min|a|` over the nonzero structural entries
+/// (`1.0` for an empty matrix).
+pub(crate) fn entry_spread(vals: &[f64]) -> f64 {
+    let mut min_a = f64::INFINITY;
+    let mut max_a = 0.0f64;
+    for &v in vals {
+        let a = v.abs();
+        if a > 0.0 {
+            min_a = min_a.min(a);
+            max_a = max_a.max(a);
+        }
+    }
+    if max_a == 0.0 {
+        1.0
+    } else {
+        max_a / min_a
+    }
+}
+
+/// Rounds a positive scale to the nearest power of two, making its
+/// application (and the postsolve inverse) exact in floating point.
+fn pow2_round(scale: f64) -> f64 {
+    if !scale.is_finite() || scale <= 0.0 {
+        return 1.0;
+    }
+    (scale.log2().round()).exp2()
+}
+
+/// Computes geometric-mean row and column scales for the `m × n` CSC
+/// matrix `(col_ptr, col_rows, col_vals)`. Returns power-of-two scales;
+/// rows or columns without entries keep scale `1`.
+pub(crate) fn geometric_mean_scales(
+    m: usize,
+    n: usize,
+    col_ptr: &[usize],
+    col_rows: &[u32],
+    col_vals: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let mut row_scale = vec![1.0f64; m];
+    let mut col_scale = vec![1.0f64; n];
+    let mut row_min = vec![0.0f64; m];
+    let mut row_max = vec![0.0f64; m];
+    for _ in 0..PASSES {
+        // Row pass: geometric mean of the currently scaled entries.
+        row_min.iter_mut().for_each(|v| *v = f64::INFINITY);
+        row_max.iter_mut().for_each(|v| *v = 0.0);
+        for j in 0..n {
+            for k in col_ptr[j]..col_ptr[j + 1] {
+                let a = (col_vals[k] * col_scale[j]).abs();
+                if a > 0.0 {
+                    let i = col_rows[k] as usize;
+                    row_min[i] = row_min[i].min(a);
+                    row_max[i] = row_max[i].max(a);
+                }
+            }
+        }
+        for i in 0..m {
+            if row_max[i] > 0.0 {
+                row_scale[i] = 1.0 / (row_min[i] * row_max[i]).sqrt();
+            }
+        }
+        // Column pass over the row-scaled entries.
+        for j in 0..n {
+            let mut cmin = f64::INFINITY;
+            let mut cmax = 0.0f64;
+            for k in col_ptr[j]..col_ptr[j + 1] {
+                let a = (col_vals[k] * row_scale[col_rows[k] as usize]).abs();
+                if a > 0.0 {
+                    cmin = cmin.min(a);
+                    cmax = cmax.max(a);
+                }
+            }
+            if cmax > 0.0 {
+                col_scale[j] = 1.0 / (cmin * cmax).sqrt();
+            }
+        }
+    }
+    row_scale.iter_mut().for_each(|s| *s = pow2_round(*s));
+    col_scale.iter_mut().for_each(|s| *s = pow2_round(*s));
+    (row_scale, col_scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_powers_of_two() {
+        // 2x2 matrix [[1e6, 0], [3, 4e-3]] in CSC.
+        let col_ptr = vec![0, 2, 3];
+        let col_rows = vec![0u32, 1, 1];
+        let col_vals = vec![1e6, 3.0, 4e-3];
+        let (rs, cs) = geometric_mean_scales(2, 2, &col_ptr, &col_rows, &col_vals);
+        for &s in rs.iter().chain(cs.iter()) {
+            assert!(s > 0.0);
+            assert_eq!(s.log2().fract(), 0.0, "scale {s} is not a power of two");
+        }
+    }
+
+    #[test]
+    fn scaling_reduces_the_spread_of_an_ill_scaled_matrix() {
+        // Diagonal-ish matrix with entries spanning 9 decades.
+        let col_ptr = vec![0, 1, 2, 3];
+        let col_rows = vec![0u32, 1, 2];
+        let col_vals = vec![1e-4, 1.0, 1e5];
+        let before = entry_spread(&col_vals);
+        let (rs, cs) = geometric_mean_scales(3, 3, &col_ptr, &col_rows, &col_vals);
+        let scaled: Vec<f64> = (0..3)
+            .map(|j| col_vals[j] * rs[col_rows[j] as usize] * cs[j])
+            .collect();
+        let after = entry_spread(&scaled);
+        assert!(after < before / 1e6, "spread {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_rows_and_columns_keep_unit_scales() {
+        let col_ptr = vec![0, 1, 1];
+        let col_rows = vec![0u32];
+        let col_vals = vec![256.0];
+        let (rs, cs) = geometric_mean_scales(2, 2, &col_ptr, &col_rows, &col_vals);
+        assert_eq!(rs[1], 1.0);
+        assert_eq!(cs[1], 1.0);
+        // The lone entry is driven towards magnitude 1.
+        assert!((256.0f64 * rs[0] * cs[0]).abs().log2().abs() <= 1.0);
+    }
+
+    #[test]
+    fn well_scaled_spread_is_small() {
+        assert_eq!(entry_spread(&[1.0, -2.0, 1.0]), 2.0);
+        assert_eq!(entry_spread(&[]), 1.0);
+        assert!(entry_spread(&[1.0, 1e6]) > AUTO_SPREAD);
+    }
+}

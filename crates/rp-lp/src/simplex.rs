@@ -30,7 +30,7 @@
 //! [`Solution`]'s value vector.
 
 use crate::model::{Cmp, Model, Sense};
-use crate::revised::Pricing;
+use crate::revised::{Pricing, Scaling};
 use crate::solution::{Solution, Status};
 
 /// Tunable solver parameters.
@@ -50,8 +50,18 @@ pub struct SimplexOptions {
     /// Run the presolve pass (singleton rows/columns, forcing and
     /// redundant constraints) before a cold solve. **Revised engine
     /// only**; branch-and-bound disables it for its node solves, where
-    /// per-node bound changes would invalidate the reductions.
+    /// per-node bound changes would invalidate the reductions. Models
+    /// below the micro-size threshold skip the pass regardless (the
+    /// analysis there costs more than it saves).
     pub presolve: bool,
+    /// Geometric-mean equilibration of the constraint matrix before the
+    /// solve (**revised engine only**; the dense tableau ignores it).
+    /// The default `Auto` scales only genuinely ill-scaled matrices —
+    /// the bandwidth-constrained and wide-range multi-object replica
+    /// formulations — and leaves the near-unimodular classic
+    /// formulations on their historical pivot paths. The solution is
+    /// unscaled on extraction (exactly: scales are powers of two).
+    pub scaling: Scaling,
 }
 
 impl Default for SimplexOptions {
@@ -62,6 +72,7 @@ impl Default for SimplexOptions {
             bland_after: 10_000,
             pricing: Pricing::default(),
             presolve: true,
+            scaling: Scaling::default(),
         }
     }
 }

@@ -9,7 +9,11 @@
 //!   client request loads targeting a given load factor λ (the paper's
 //!   experimental knob, Section 7.2);
 //! * [`paper_examples`] — the hand-crafted instances of Figures 1–5 and
-//!   the NP-completeness gadgets of Figures 7–8.
+//!   the NP-completeness gadgets of Figures 7–8;
+//! * [`scenarios`] — the problem-variant families: bandwidth-constrained
+//!   links (heterogeneous and deliberately ill-scaled, up to the
+//!   `s = 2000` class) and multi-object workloads with shared
+//!   capacities and links.
 //!
 //! ```
 //! use rp_workloads::tree_gen::{generate_tree, TreeGenConfig, TreeShape};
@@ -32,10 +36,16 @@
 
 pub mod paper_examples;
 pub mod platform;
+pub mod scenarios;
 pub mod tree_gen;
 
 pub use platform::{
     generate_problem, paper_scale_instance, paper_scale_instance_sized, PlatformKind,
     WorkloadConfig, PAPER_SCALE_S,
+};
+pub use scenarios::{
+    bandwidth_instance, bandwidth_scale_instance, feasible_bandwidth_instance,
+    ill_scaled_bandwidth_instance, multi_object_bandwidth_instance, multi_object_instance,
+    BANDWIDTH_SCALE_S,
 };
 pub use tree_gen::{generate_tree, TreeGenConfig, TreeShape};

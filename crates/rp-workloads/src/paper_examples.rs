@@ -1,11 +1,17 @@
 //! The hand-crafted instances used throughout the paper's Sections 3
 //! and 4: the policy-separation examples of Figures 1–5 and the
-//! NP-completeness reduction gadgets of Figures 7 and 8.
+//! NP-completeness reduction gadgets of Figures 7 and 8 — plus small
+//! hand-checkable instances of the problem *variants*: link-bandwidth
+//! bounds (Section 2.2) and multiple object types (Section 8.1), with
+//! their exact optima worked out in the constructor docs so the golden
+//! tests can pin them.
 //!
-//! Each constructor returns a ready-to-solve [`ProblemInstance`]; the
-//! integration tests and the `paper_gaps` benchmark replay the paper's
-//! claims on them (which policy admits a solution, and at what cost).
+//! Each constructor returns a ready-to-solve [`ProblemInstance`] (or
+//! [`MultiObjectProblem`]); the integration tests and the `paper_gaps`
+//! benchmark replay the paper's claims on them (which policy admits a
+//! solution, and at what cost).
 
+use rp_core::multi::MultiObjectProblem;
 use rp_core::ProblemInstance;
 use rp_tree::TreeBuilder;
 
@@ -197,6 +203,114 @@ pub fn figure8(values: &[u64]) -> ProblemInstance {
     b.add_client(root);
     requests.push(1);
     ProblemInstance::replica_cost(b.build().expect("valid construction"), requests, capacities)
+}
+
+/// [`figure1`] with the link `s1 → s2` bounded at `uplink_bw` requests.
+///
+/// Hand-checkable optima under **Multiple** (capacity 1 per node,
+/// unit storage costs):
+///
+/// * `(1, 1)` clients/requests: one replica suffices wherever the
+///   single request is served — cost 1 for any `uplink_bw` (with
+///   `uplink_bw = 0` the replica is *forced* onto `s1`).
+/// * `(2, 1)`: the two requests need both nodes (cost 2), and one of
+///   them must cross the link — so `uplink_bw = 0` is infeasible while
+///   `uplink_bw >= 1` keeps cost 2.
+pub fn figure1_bandwidth(
+    num_clients: usize,
+    requests_per_client: u64,
+    uplink_bw: u64,
+) -> ProblemInstance {
+    let base = figure1(num_clients, requests_per_client);
+    let tree = base.tree_arc();
+    let requests: Vec<u64> = tree.client_ids().map(|c| base.requests(c)).collect();
+    // Node index 1 is s1 (the deeper node); its uplink is the bounded one.
+    ProblemInstance::builder(tree)
+        .requests(requests)
+        .capacities(vec![1, 1])
+        .storage_costs(vec![1, 1])
+        .node_link_bandwidths(vec![None, Some(uplink_bw)])
+        .kind(base.kind())
+        .build()
+}
+
+/// The bandwidth bottleneck example implied by Section 2.2's remark: a
+/// chain `root (W = 10, s = 10) → mid (W = 3, s = 3)` with one client
+/// of 4 requests below `mid`, and the link `mid → root` bounded at
+/// `uplink_bw`.
+///
+/// Exact **Multiple** optima, by hand:
+///
+/// * `uplink_bw >= 4`: everything can flow up — serve all 4 at the
+///   root, cost **10** (3 at mid + 1 at root would cost 13);
+/// * `1 <= uplink_bw <= 3`: at least `4 − uplink_bw >= 1` requests must
+///   stay at mid, so both replicas are bought: cost **13**;
+/// * `uplink_bw = 0`: all 4 requests must be served at mid, whose
+///   capacity is 3 — **infeasible**.
+///
+/// Under **Upwards**/**Closest** the client is served by a single
+/// server, so `uplink_bw >= 4` gives cost 10 and any smaller bound is
+/// infeasible (mid alone cannot hold 4).
+///
+/// The *rational* LP bound is `4` for every feasible `uplink_bw` (serve
+/// at unit cost-per-request either way), exhibiting the integrality gap
+/// the mixed bound closes.
+pub fn bandwidth_bottleneck(uplink_bw: u64) -> ProblemInstance {
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    b.set_node_label(root, "root");
+    let mid = b.add_node(root);
+    b.set_node_label(mid, "mid");
+    b.add_client(mid);
+    ProblemInstance::builder(b.build().expect("valid construction"))
+        .requests(vec![4])
+        .capacities(vec![10, 3])
+        .storage_costs(vec![10, 3])
+        .node_link_bandwidths(vec![None, Some(uplink_bw)])
+        .build()
+}
+
+/// The two-object coupling example (Section 8.1): `root (W = 10)` →
+/// `hub (W = 4)`, one client per object below the hub, each issuing 4
+/// requests. Replica prices: object 0 costs 10 at the root and **1** at
+/// the hub; object 1 costs **6** at the root and 5 at the hub.
+///
+/// Alone, each object would sit at its cheaper node. Together the hub's
+/// shared capacity 4 only fits one of them, and the cheapest split
+/// serves object 0 at the hub and object 1 at the root:
+/// exact optimum **1 + 6 = 7** (the alternatives: both split across
+/// root+hub ≥ 11, object 1 at hub + object 0 at root = 15).
+///
+/// The rational relaxation prices requests at `cost/W` per unit —
+/// object 0: ¼ at hub, 1 at root; object 1: 5⁄4 at hub, 6⁄10 at root —
+/// so the LP bound is `4·¼ + 4·0.6 = 3.4`.
+pub fn multi_object_coupling() -> MultiObjectProblem {
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    b.set_node_label(root, "root");
+    let hub = b.add_node(root);
+    b.set_node_label(hub, "hub");
+    b.add_client(hub); // client 0: object 0
+    b.add_client(hub); // client 1: object 1
+    MultiObjectProblem::new(
+        b.build().expect("valid construction"),
+        vec![vec![4, 0], vec![0, 4]],
+        vec![10, 4],
+        vec![vec![10, 1], vec![6, 5]],
+    )
+}
+
+/// [`multi_object_coupling`] with the shared link `hub → root` bounded
+/// at `uplink_bw`. Of the 8 requests, at most 4 are served at the hub,
+/// so at least 4 must cross the link:
+///
+/// * `uplink_bw >= 4`: the optimum of [`multi_object_coupling`] (serve
+///   object 0 at the hub, send object 1 up) survives — cost **7**;
+/// * `uplink_bw <= 3`: at most `4 + uplink_bw < 8` requests can be
+///   served anywhere — **infeasible**, for the exact model and the
+///   rational relaxation alike.
+pub fn multi_object_shared_link(uplink_bw: u64) -> MultiObjectProblem {
+    multi_object_coupling().with_link_bandwidths(vec![None, None], vec![None, Some(uplink_bw)])
 }
 
 #[cfg(test)]

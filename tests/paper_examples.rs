@@ -6,8 +6,9 @@
 use replica_placement::core::bounds::replica_counting_lower_bound;
 use replica_placement::core::exact::{optimal_cost, solve_multiple_homogeneous};
 use replica_placement::core::ilp::{
-    exact_optimal_cost, integral_lower_bound, lower_bound, BoundKind,
+    exact_optimal_cost, integral_lower_bound, lower_bound, multi_lower_bound, BoundKind,
 };
+use replica_placement::core::multi::solve_multi_ilp;
 use replica_placement::prelude::*;
 use replica_placement::workloads::paper_examples::*;
 
@@ -119,6 +120,100 @@ fn figure8_two_partition_gadget_behaves_as_in_theorem_3() {
 
     let unsolvable = figure8(&[1, 1, 10]); // no subset sums to 6
     assert!(optimal_cost(&unsolvable, Policy::Closest).unwrap() > expected);
+}
+
+#[test]
+fn figure1_bandwidth_golden_optima() {
+    // (1, 1): one replica regardless of the uplink bound — a dead link
+    // only forces the replica onto s1.
+    for bw in [0u64, 1, 5] {
+        let p = figure1_bandwidth(1, 1, bw);
+        assert_eq!(exact_optimal_cost(&p, Policy::Multiple), Some(1), "bw={bw}");
+    }
+    // (2, 1): both nodes are needed and one request must cross the
+    // link: bw = 0 starves it, bw >= 1 restores the unconstrained cost.
+    let starved = figure1_bandwidth(2, 1, 0);
+    assert_eq!(exact_optimal_cost(&starved, Policy::Multiple), None);
+    assert_eq!(lower_bound(&starved, BoundKind::Rational), None);
+    for bw in [1u64, 3] {
+        let p = figure1_bandwidth(2, 1, bw);
+        assert_eq!(exact_optimal_cost(&p, Policy::Multiple), Some(2), "bw={bw}");
+        assert_eq!(exact_optimal_cost(&p, Policy::Upwards), Some(2), "bw={bw}");
+    }
+}
+
+#[test]
+fn bandwidth_bottleneck_golden_optima() {
+    // The hand-computed table from the constructor docs:
+    // bw >= 4 -> 10 (all at the root), 1..=3 -> 13 (both replicas),
+    // 0 -> infeasible.
+    for bw in [4u64, 10] {
+        let p = bandwidth_bottleneck(bw);
+        assert_eq!(
+            exact_optimal_cost(&p, Policy::Multiple),
+            Some(10),
+            "bw={bw}"
+        );
+        // Single-server policies can still send the whole client up.
+        assert_eq!(exact_optimal_cost(&p, Policy::Upwards), Some(10), "bw={bw}");
+        assert_eq!(exact_optimal_cost(&p, Policy::Closest), Some(10), "bw={bw}");
+    }
+    for bw in [1u64, 2, 3] {
+        let p = bandwidth_bottleneck(bw);
+        assert_eq!(
+            exact_optimal_cost(&p, Policy::Multiple),
+            Some(13),
+            "bw={bw}"
+        );
+        // Upwards/Closest cannot split the client: mid alone is too
+        // small and the link blocks the root.
+        assert_eq!(exact_optimal_cost(&p, Policy::Upwards), None, "bw={bw}");
+        assert_eq!(exact_optimal_cost(&p, Policy::Closest), None, "bw={bw}");
+    }
+    let dead = bandwidth_bottleneck(0);
+    assert_eq!(exact_optimal_cost(&dead, Policy::Multiple), None);
+
+    // The rational bound is 4 for every feasible uplink (unit
+    // cost-per-request at both nodes): the integrality gap is intrinsic.
+    for bw in [2u64, 4] {
+        let p = bandwidth_bottleneck(bw);
+        let bound = lower_bound(&p, BoundKind::Rational).expect("feasible relaxation");
+        assert!((bound - 4.0).abs() < 1e-6, "bw={bw}: bound {bound}");
+        assert_eq!(integral_lower_bound(bound), 4);
+    }
+}
+
+#[test]
+fn multi_object_coupling_golden_optimum() {
+    let p = multi_object_coupling();
+    let exact = solve_multi_ilp(&p).expect("feasible instance");
+    exact.validate(&p, Policy::Multiple).expect("valid");
+    // Hand-computed: object 0 at the hub (1) + object 1 at the root (6).
+    assert_eq!(exact.cost(&p), 7);
+    // The hand-computed rational bound: 4·(1/4) + 4·(6/10) = 3.4.
+    let bound = multi_lower_bound(&p, BoundKind::Rational).expect("feasible relaxation");
+    assert!((bound - 3.4).abs() < 1e-6, "bound {bound}");
+    // The mixed bound sandwiches between the two.
+    let mixed = multi_lower_bound(&p, BoundKind::Mixed).expect("feasible relaxation");
+    assert!(
+        mixed + 1e-6 >= bound && mixed <= 7.0 + 1e-6,
+        "mixed {mixed}"
+    );
+}
+
+#[test]
+fn multi_object_shared_link_golden_feasibility() {
+    // At most 4 of the 8 requests fit the hub; the rest must cross the
+    // shared uplink: bw = 4 keeps the optimum, bw = 3 starves the tree.
+    let ok = multi_object_shared_link(4);
+    let exact = solve_multi_ilp(&ok).expect("feasible instance");
+    exact.validate(&ok, Policy::Multiple).expect("valid");
+    assert_eq!(exact.cost(&ok), 7);
+
+    let starved = multi_object_shared_link(3);
+    assert!(solve_multi_ilp(&starved).is_none());
+    assert_eq!(multi_lower_bound(&starved, BoundKind::Rational), None);
+    assert_eq!(multi_lower_bound(&starved, BoundKind::Mixed), None);
 }
 
 #[test]

@@ -1,0 +1,265 @@
+//! Differential property tests pinning the **problem-variant
+//! formulations** — bandwidth-constrained links and multi-object
+//! workloads — to the dense-tableau oracle, plus the equilibration
+//! round-trip property.
+//!
+//! The bandwidth and multi-object models are exactly where the sparse
+//! revised engine leaves the near-unimodular comfort zone: link-flow
+//! recurrences, shared capacity/bandwidth rows and wide-range
+//! coefficients. Every random instance must still produce the same
+//! feasibility verdict and objective from both engines, and the
+//! geometric-mean equilibration pass must be a pure change of units:
+//! scaled solve + exact (power-of-two) unscaling ≡ unscaled solve, on
+//! well- and ill-scaled families alike.
+//!
+//! (Values are generated as small unsigned integers — the vendored
+//! proptest stand-in only implements unsigned range strategies.)
+
+use proptest::prelude::*;
+
+use replica_placement::core::ilp::{
+    build_model, build_multi_model, multi_lower_bound, BoundKind, Integrality,
+};
+use replica_placement::core::multi::{solve_multi_ilp, MultiObjectProblem};
+use replica_placement::core::{Policy, ProblemInstance};
+use replica_placement::lp::{
+    solve_lp, solve_lp_revised, solve_lp_revised_with, Scaling, SimplexOptions, Status,
+};
+use replica_placement::tree::{TreeBuilder, TreeNetwork};
+
+/// Encoded tree + platform: node parent choices, per-client
+/// (parent choice, requests), per-node (capacity, decade code), per-node
+/// uplink bandwidth code (`>= 10` → unbounded).
+type ScenarioSpec = (Vec<u32>, Vec<(u32, u32)>, Vec<(u32, u32)>, Vec<u32>);
+
+fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (2usize..=5, 1usize..=6).prop_flat_map(|(nodes, clients)| {
+        (
+            collection::vec(0u32..=10, nodes - 1),
+            collection::vec((0u32..=10, 0u32..=5), clients),
+            collection::vec((1u32..=8, 0u32..=2), nodes),
+            collection::vec(0u32..=15, nodes),
+        )
+    })
+}
+
+fn build_tree(parents: &[u32], clients: &[(u32, u32)]) -> TreeNetwork {
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    let mut nodes = vec![root];
+    for (i, &choice) in parents.iter().enumerate() {
+        let parent = nodes[(choice as usize) % (i + 1)];
+        nodes.push(b.add_node(parent));
+    }
+    for &(choice, _) in clients {
+        b.add_client(nodes[(choice as usize) % nodes.len()]);
+    }
+    b.build().expect("generated trees are well-formed")
+}
+
+/// Decodes a spec into a bandwidth-constrained instance. With `wide`
+/// the capacities (and costs) pick up per-node decade factors, which
+/// makes the capacity rows ill-scaled exactly like the wide-range
+/// scenario family.
+fn build_bandwidth_problem(spec: &ScenarioSpec, wide: bool) -> ProblemInstance {
+    let (parents, clients, platform, bw_codes) = spec;
+    let tree = build_tree(parents, clients);
+    let requests: Vec<u64> = clients.iter().map(|&(_, r)| u64::from(r)).collect();
+    let capacities: Vec<u64> = platform
+        .iter()
+        .map(|&(cap, decade)| {
+            let scale = if wide { 100u64.pow(decade) } else { 1 };
+            u64::from(cap) * scale
+        })
+        .collect();
+    let node_links: Vec<Option<u64>> = bw_codes
+        .iter()
+        .enumerate()
+        .map(|(index, &code)| {
+            // The root (index 0) has no uplink; its entry is ignored.
+            (index > 0 && code < 10).then_some(u64::from(code))
+        })
+        .collect();
+    ProblemInstance::builder(tree)
+        .requests(requests)
+        .capacities(capacities.clone())
+        .storage_costs(capacities)
+        .node_link_bandwidths(node_links)
+        .build()
+}
+
+/// Encoded multi-object extension: per-client per-object requests.
+type MultiSpec = (ScenarioSpec, Vec<Vec<u32>>);
+
+fn multi_strategy() -> impl Strategy<Value = MultiSpec> {
+    (scenario_strategy(), 1usize..=3).prop_flat_map(|(spec, objects)| {
+        let clients = spec.1.len();
+        (
+            Just(spec),
+            collection::vec(collection::vec(0u32..=4, clients), objects),
+        )
+    })
+}
+
+fn build_multi_problem(spec: &MultiSpec) -> MultiObjectProblem {
+    let ((parents, clients, platform, bw_codes), object_requests) = spec;
+    let tree = build_tree(parents, clients);
+    let capacities: Vec<u64> = platform
+        .iter()
+        .map(|&(cap, _)| u64::from(cap) * 2)
+        .collect();
+    let requests: Vec<Vec<u64>> = object_requests
+        .iter()
+        .map(|object| object.iter().map(|&r| u64::from(r)).collect())
+        .collect();
+    // Per-object costs: capacity plus an object-dependent twist so the
+    // objects disagree about the cheap nodes.
+    let storage_costs: Vec<Vec<u64>> = (0..requests.len())
+        .map(|k| {
+            capacities
+                .iter()
+                .enumerate()
+                .map(|(j, &w)| w + ((j + k) % 3) as u64)
+                .collect()
+        })
+        .collect();
+    let node_links: Vec<Option<u64>> = bw_codes
+        .iter()
+        .enumerate()
+        .map(|(index, &code)| (index > 0 && code < 10).then_some(u64::from(code)))
+        .collect();
+    let num_clients = clients.len();
+    MultiObjectProblem::new(tree, requests, capacities, storage_costs)
+        .with_link_bandwidths(vec![None; num_clients], node_links)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Bandwidth-constrained LPs: the revised engine and the dense
+    /// tableau must agree on feasibility and objective, under every
+    /// policy's formulation, on well- and ill-scaled platforms.
+    #[test]
+    fn bandwidth_lps_agree_between_revised_and_dense(spec in scenario_strategy()) {
+        for wide in [false, true] {
+            let problem = build_bandwidth_problem(&spec, wide);
+            for policy in [Policy::Multiple, Policy::Upwards, Policy::Closest] {
+                let formulation = build_model(&problem, policy, Integrality::RationalBound);
+                let dense = solve_lp(&formulation.model);
+                let revised = solve_lp_revised(&formulation.model);
+                prop_assert_ne!(dense.status, Status::IterationLimit);
+                prop_assert_ne!(revised.status, Status::IterationLimit);
+                prop_assert_eq!(dense.status, revised.status, "{policy} wide={}", wide);
+                if dense.status == Status::Optimal {
+                    let tol = 1e-6 * dense.objective.abs().max(1.0);
+                    prop_assert!(
+                        (dense.objective - revised.objective).abs() < tol,
+                        "{}: dense {} vs revised {} on\n{}",
+                        policy, dense.objective, revised.objective, formulation.model
+                    );
+                    prop_assert!(
+                        formulation.model.is_feasible(&revised.values, 1e-6),
+                        "revised returned an infeasible point for {policy}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Multi-object LPs (shared capacities and links, per-object z
+    /// variables): revised ≡ dense on the rational relaxation.
+    #[test]
+    fn multi_object_lps_agree_between_revised_and_dense(spec in multi_strategy()) {
+        let problem = build_multi_problem(&spec);
+        let formulation = build_multi_model(&problem, Integrality::RationalBound);
+        let dense = solve_lp(&formulation.model);
+        let revised = solve_lp_revised(&formulation.model);
+        prop_assert_ne!(dense.status, Status::IterationLimit);
+        prop_assert_ne!(revised.status, Status::IterationLimit);
+        prop_assert_eq!(dense.status, revised.status);
+        if dense.status == Status::Optimal {
+            let tol = 1e-6 * dense.objective.abs().max(1.0);
+            prop_assert!(
+                (dense.objective - revised.objective).abs() < tol,
+                "dense {} vs revised {} on\n{}",
+                dense.objective, revised.objective, formulation.model
+            );
+            prop_assert!(formulation.model.is_feasible(&revised.values, 1e-6));
+        }
+    }
+
+    /// Equilibration round-trip: a scaled solve followed by the exact
+    /// postsolve unscaling must reproduce the unscaled solve's status
+    /// and objective, and its point must satisfy the *original*
+    /// (unscaled) model — on both the well-scaled and the wide-range
+    /// ill-scaled family.
+    #[test]
+    fn equilibration_round_trips_on_scenario_lps(spec in scenario_strategy()) {
+        for wide in [false, true] {
+            let problem = build_bandwidth_problem(&spec, wide);
+            let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+            let solve = |scaling| {
+                solve_lp_revised_with(
+                    &formulation.model,
+                    &SimplexOptions { scaling, ..SimplexOptions::default() },
+                )
+            };
+            let scaled = solve(Scaling::Geometric);
+            let unscaled = solve(Scaling::Off);
+            prop_assert_eq!(
+                scaled.status, unscaled.status,
+                "scaling changed the status (wide={}) on\n{}", wide, formulation.model
+            );
+            if scaled.status == Status::Optimal {
+                let tol = 1e-6 * unscaled.objective.abs().max(1.0);
+                prop_assert!(
+                    (scaled.objective - unscaled.objective).abs() < tol,
+                    "scaled {} vs unscaled {} (wide={}) on\n{}",
+                    scaled.objective, unscaled.objective, wide, formulation.model
+                );
+                prop_assert!(
+                    formulation.model.is_feasible(&scaled.values, 1e-6),
+                    "postsolved scaled point violates the original model"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // MILP searches are costlier; fewer cases keep the suite quick.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The multi-object bounds sandwich the exact optimum:
+    /// rational ≤ mixed ≤ exact cost, and an infeasible relaxation
+    /// implies an infeasible exact search.
+    #[test]
+    fn multi_object_bounds_sandwich_the_exact_optimum(spec in multi_strategy()) {
+        let problem = build_multi_problem(&spec);
+        let rational = multi_lower_bound(&problem, BoundKind::Rational);
+        let exact = solve_multi_ilp(&problem);
+        match (&rational, &exact) {
+            (None, Some(placement)) => {
+                prop_assert!(
+                    false,
+                    "relaxation infeasible but exact found cost {}",
+                    placement.cost(&problem)
+                );
+            }
+            (Some(bound), Some(placement)) => {
+                let cost = placement.cost(&problem) as f64;
+                prop_assert!(
+                    *bound <= cost + 1e-6,
+                    "rational bound {} exceeds exact cost {}", bound, cost
+                );
+                let mixed = multi_lower_bound(&problem, BoundKind::Mixed)
+                    .expect("mixed relaxation of a feasible instance");
+                prop_assert!(mixed <= cost + 1e-6, "mixed bound {} exceeds {}", mixed, cost);
+                prop_assert!(mixed + 1e-6 >= *bound, "mixed {} below rational {}", mixed, bound);
+            }
+            // Exact may fail on a feasible relaxation only via the node
+            // limit; both-None is plain infeasibility.
+            _ => {}
+        }
+    }
+}
