@@ -5,7 +5,9 @@
 //! ```text
 //! cargo run --release -p rp-bench --bin baseline -- [OUTPUT.json] [--compare OLD.json]
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-revised
+//! cargo run --release -p rp-bench --bin baseline -- --smoke-heuristics
 //! cargo run --release -p rp-bench --bin baseline -- [--sparse-out OUT.json] --sparse-only
+//! cargo run --release -p rp-bench --bin baseline -- [--heuristics-out OUT.json] --heuristics-only
 //! ```
 //!
 //! Metrics (all medians over several samples):
@@ -265,6 +267,236 @@ fn smoke_bandwidth() {
         formulation.model.num_vars(),
         stats.iterations()
     );
+}
+
+/// The LP-guided heuristics CI smoke: one `s = 120`
+/// bandwidth-constrained instance and one 2-object instance must round
+/// to a **feasible** placement within a `RP_SMOKE_GAP_PCT` (default
+/// 25%) cost gap, inside the `RP_SMOKE_HEUR_MS` wall budget (default
+/// 2000 ms, covering the LP solve *and* the rounding/repair pipeline).
+///
+/// The yardstick differs per family, deliberately:
+///
+/// * **bandwidth (single-object)** — gap against the rational LP
+///   bound, which is tight on these formulations;
+/// * **2-object** — gap against the **exact multi-object ILP optimum**
+///   (solved in-process on a replica-counting 2-object instance). The
+///   rational bound is *not* a usable yardstick for multi-object
+///   families: `K` objects sharing a node pay fractional per-object
+///   replicas in the relaxation, so even the exact optimum sits far
+///   above it (the golden `multi_object_coupling` instance pins
+///   exact = 7 vs LP = 3.4 — a 106% gap at the optimum).
+fn smoke_heuristics() {
+    use rp_core::heuristics::lp_guided::{lp_guided_multi_with, lp_guided_with};
+    use rp_core::multi::solve_multi_ilp_with;
+    use rp_core::Policy;
+    use rp_workloads::scenarios::{feasible_bandwidth_instance, multi_object_counting_instance};
+
+    let gap_budget_pct: f64 = std::env::var("RP_SMOKE_GAP_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let ms_budget: f64 = std::env::var("RP_SMOKE_HEUR_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000.0);
+    let options = IlpOptions::with_engine(LpEngine::Revised);
+
+    // --- s = 120 bandwidth-constrained rounding. ---
+    let problem = feasible_bandwidth_instance(120, 0.4, 31);
+    let bound = lower_bound(&problem, BoundKind::Rational).unwrap_or(0.0);
+    let (ns, placement) = time_once(|| lp_guided_with(&problem, &options));
+    let Some(placement) = placement else {
+        eprintln!("s=120 bandwidth LP-guided rounding FAILED to place");
+        std::process::exit(1);
+    };
+    if !placement.is_valid(&problem, Policy::Multiple) {
+        eprintln!("s=120 bandwidth LP-guided placement is INVALID");
+        std::process::exit(1);
+    }
+    let gap_pct = 100.0 * (placement.cost(&problem) as f64 / bound.max(1e-9) - 1.0);
+    if gap_pct > gap_budget_pct {
+        eprintln!(
+            "s=120 bandwidth LP-guided gap REGRESSED: {gap_pct:.1}% exceeds {gap_budget_pct}%"
+        );
+        std::process::exit(1);
+    }
+    if ns / 1e6 > ms_budget {
+        eprintln!(
+            "s=120 bandwidth LP-guided rounding REGRESSED: {:.1} ms exceeds {ms_budget} ms",
+            ns / 1e6
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "s=120 bandwidth LP-guided cost = {} (bound {bound:.1}, gap {gap_pct:.1}%) in {:.1} ms",
+        placement.cost(&problem),
+        ns / 1e6
+    );
+
+    // --- 2-object rounding vs the exact multi-object optimum. ---
+    let problem = multi_object_counting_instance(40, 2, 0.4, 11);
+    let mut exact_options = options;
+    exact_options.branch_bound.max_nodes = 500_000;
+    let exact = solve_multi_ilp_with(&problem, &exact_options)
+        .map(|p| p.cost(&problem))
+        .unwrap_or_else(|| {
+            eprintln!("2-object exact reference solve FAILED");
+            std::process::exit(1);
+        });
+    let (ns, placement) = time_once(|| lp_guided_multi_with(&problem, &options));
+    let Some(placement) = placement else {
+        eprintln!("2-object LP-guided rounding FAILED to place");
+        std::process::exit(1);
+    };
+    if let Err(error) = placement.validate(&problem, Policy::Multiple) {
+        eprintln!("2-object LP-guided placement is INVALID: {error}");
+        std::process::exit(1);
+    }
+    let gap_pct = 100.0 * (placement.cost(&problem) as f64 / exact as f64 - 1.0);
+    if gap_pct > gap_budget_pct {
+        eprintln!("2-object LP-guided gap REGRESSED: {gap_pct:.1}% over the exact optimum {exact} exceeds {gap_budget_pct}%");
+        std::process::exit(1);
+    }
+    if ns / 1e6 > ms_budget {
+        eprintln!(
+            "2-object LP-guided rounding REGRESSED: {:.1} ms exceeds {ms_budget} ms",
+            ns / 1e6
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "2-object LP-guided cost = {} (exact {exact}, gap {gap_pct:.1}%) in {:.1} ms",
+        placement.cost(&problem),
+        ns / 1e6
+    );
+}
+
+/// Writes `BENCH_heuristics.json`: the LP-guided rounding trajectory —
+/// per family the cost-vs-LP gap (percent) and the end-to-end wall
+/// clock (LP solve + rounding + repair + pruning), next to the classic
+/// ensemble (bandwidth-repaired Section 6 heuristics / validated
+/// sequential greedy) for the same instances.
+fn write_heuristics_report(path: &str) {
+    use rp_core::heuristics::lp_guided::{lp_guided_multi_with, lp_guided_with, BandwidthRepair};
+    use rp_core::ilp::{multi_lower_bound, BoundKind};
+    use rp_core::multi::{solve_multi_greedy, MultiGreedyOptions};
+    use rp_core::Policy;
+    use rp_workloads::scenarios::{
+        feasible_bandwidth_instance, ill_scaled_bandwidth_instance, multi_object_counting_instance,
+        multi_object_instance,
+    };
+
+    let options = IlpOptions::with_engine(LpEngine::Revised);
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let gap_pct = |cost: u64, bound: f64| 100.0 * (cost as f64 / bound.max(1e-9) - 1.0);
+
+    for (size, family, problem) in [
+        (
+            120usize,
+            "bandwidth",
+            feasible_bandwidth_instance(120, 0.4, 31),
+        ),
+        (400, "bandwidth", feasible_bandwidth_instance(400, 0.4, 31)),
+        (
+            200,
+            "bandwidth_ill",
+            ill_scaled_bandwidth_instance(200, 0.4, 7),
+        ),
+    ] {
+        let Some(bound) = lower_bound(&problem, BoundKind::Rational) else {
+            continue;
+        };
+        let (ns, rounded) = time_once(|| lp_guided_with(&problem, &options));
+        if let Some(placement) = rounded {
+            entries.push((
+                format!("lp_guided/{family}/s{size}_gap_pct"),
+                gap_pct(placement.cost(&problem), bound),
+            ));
+            entries.push((format!("lp_guided/{family}/s{size}_ms"), ns / 1e6));
+        }
+        let (ns, classic) = time_once(|| {
+            rp_core::Heuristic::BASE
+                .iter()
+                .filter_map(|&h| BandwidthRepair(h).run(&problem).map(|p| p.cost(&problem)))
+                .min()
+        });
+        if let Some(cost) = classic {
+            entries.push((
+                format!("classic_repair/{family}/s{size}_gap_pct"),
+                gap_pct(cost, bound),
+            ));
+            entries.push((format!("classic_repair/{family}/s{size}_ms"), ns / 1e6));
+        }
+    }
+
+    // The counting 2-object family, where the rational bound gap is
+    // dominated by heuristic quality rather than the intrinsic
+    // multi-object integrality gap of the jittered-cost family.
+    for size in [120usize, 200] {
+        let problem = multi_object_counting_instance(size, 2, 0.4, 11);
+        let Some(bound) = multi_lower_bound(&problem, BoundKind::Rational) else {
+            continue;
+        };
+        let (ns, rounded) = time_once(|| lp_guided_multi_with(&problem, &options));
+        if let Some(placement) = rounded {
+            entries.push((
+                format!("lp_guided/multi_counting/s{size}_gap_pct"),
+                gap_pct(placement.cost(&problem), bound),
+            ));
+            entries.push((format!("lp_guided/multi_counting/s{size}_ms"), ns / 1e6));
+        }
+    }
+
+    for (objects, size) in [(2usize, 120usize), (4, 120), (2, 400)] {
+        let problem = multi_object_instance(size, objects, 0.4, 11);
+        let Some(bound) = multi_lower_bound(&problem, BoundKind::Rational) else {
+            continue;
+        };
+        let (ns, rounded) = time_once(|| lp_guided_multi_with(&problem, &options));
+        if let Some(placement) = rounded {
+            entries.push((
+                format!("lp_guided/multi_{objects}obj/s{size}_gap_pct"),
+                gap_pct(placement.cost(&problem), bound),
+            ));
+            entries.push((format!("lp_guided/multi_{objects}obj/s{size}_ms"), ns / 1e6));
+        }
+        let (ns, greedy) = time_once(|| {
+            solve_multi_greedy(&problem, &MultiGreedyOptions::default())
+                .filter(|p| p.is_valid(&problem, Policy::Multiple))
+                .map(|p| p.cost(&problem))
+        });
+        if let Some(cost) = greedy {
+            entries.push((
+                format!("greedy/multi_{objects}obj/s{size}_gap_pct"),
+                gap_pct(cost, bound),
+            ));
+            entries.push((format!("greedy/multi_{objects}obj/s{size}_ms"), ns / 1e6));
+        }
+    }
+
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str(
+        "  \"units\": \"*_gap_pct = 100*(cost/LP bound - 1), *_ms = wall-clock ms for the \
+         whole candidate (LP solve + rounding where applicable)\",\n",
+    );
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
 }
 
 /// Writes `BENCH_scenarios.json`: the bandwidth-constrained and
@@ -857,9 +1089,11 @@ fn main() {
     let mut revised_output = String::from("BENCH_revised.json");
     let mut sparse_output = String::from("BENCH_sparse.json");
     let mut scenarios_output = String::from("BENCH_scenarios.json");
+    let mut heuristics_output = String::from("BENCH_heuristics.json");
     let mut compare: Option<String> = None;
     let mut sparse_only = false;
     let mut scenarios_only = false;
+    let mut heuristics_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -875,12 +1109,20 @@ fn main() {
                 smoke_bandwidth();
                 return;
             }
+            "--smoke-heuristics" => {
+                smoke_heuristics();
+                return;
+            }
             "--sparse-only" => {
                 sparse_only = true;
                 i += 1;
             }
             "--scenarios-only" => {
                 scenarios_only = true;
+                i += 1;
+            }
+            "--heuristics-only" => {
+                heuristics_only = true;
                 i += 1;
             }
             "--revised-out" => {
@@ -901,6 +1143,12 @@ fn main() {
                 }
                 i += 2;
             }
+            "--heuristics-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    heuristics_output = path.clone();
+                }
+                i += 2;
+            }
             other => {
                 output = other.to_string();
                 i += 1;
@@ -913,6 +1161,10 @@ fn main() {
     }
     if scenarios_only {
         write_scenarios_report(&scenarios_output);
+        return;
+    }
+    if heuristics_only {
+        write_heuristics_report(&heuristics_output);
         return;
     }
 
@@ -1069,6 +1321,7 @@ fn main() {
     write_revised_report(&revised_output);
     write_sparse_report(&sparse_output);
     write_scenarios_report(&scenarios_output);
+    write_heuristics_report(&heuristics_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

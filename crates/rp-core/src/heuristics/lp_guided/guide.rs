@@ -1,0 +1,118 @@
+//! Turning a fractional optimum into rounding guidance: which servers
+//! to visit, in what order, and which request splits the LP suggested
+//! at each of them.
+//!
+//! The ordering heuristic is *mass first*: a node whose `x_j` is close
+//! to 1 is one the relaxation genuinely wants open (on the replica
+//! LPs, capacity rows force `x_j ≥ load_j / W_j`, so mass is load in
+//! disguise). Ties break towards the cheaper node, then the lower
+//! index — making the whole pipeline deterministic.
+
+use rp_tree::{ClientId, NodeId};
+
+/// Fractional mass below this is treated as "the LP does not want this
+/// node".
+pub const MASS_TOLERANCE: f64 = 1e-6;
+
+/// Mass at or above this marks a node the LP is *committed* to: the
+/// rounding opens it eagerly (and saturates it). Nodes below the
+/// threshold are the LP's thin tail — cost-shaving fractions that an
+/// integral solution should consolidate, not copy — and are only
+/// opened by the escalation phase when the committed set cannot absorb
+/// the demand.
+pub const COMMIT_THRESHOLD: f64 = 0.5;
+
+/// The rounding guidance extracted from one fractional optimum.
+pub struct MassGuide {
+    /// Nodes with positive fractional mass, in visit order (decreasing
+    /// mass, then increasing storage cost, then index).
+    pub order: Vec<NodeId>,
+    /// Per node index: the clients whose fractional `y` is positive at
+    /// that node, sorted by decreasing `y` (ties by client index), with
+    /// the suggested fractional amount.
+    pub per_server: Vec<Vec<(ClientId, f64)>>,
+}
+
+/// Builds the guidance for one (object's) fractional optimum.
+///
+/// `mass[j]` is the fractional `x_j` per node index; `assignment[i]`
+/// lists the positive fractional `y_{i,j}` per client; `cost(j)` is the
+/// storage cost used to break mass ties.
+pub fn mass_guide(
+    mass: &[f64],
+    assignment: &[Vec<(NodeId, f64)>],
+    cost: impl Fn(NodeId) -> u64,
+) -> MassGuide {
+    let mut order: Vec<NodeId> = (0..mass.len())
+        .filter(|&j| mass[j] > MASS_TOLERANCE)
+        .map(NodeId::from_index)
+        .collect();
+    order.sort_by(|&a, &b| {
+        mass[b.index()]
+            .partial_cmp(&mass[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| cost(a).cmp(&cost(b)))
+            .then_with(|| a.index().cmp(&b.index()))
+    });
+    let mut per_server: Vec<Vec<(ClientId, f64)>> = vec![Vec::new(); mass.len()];
+    for (client_index, row) in assignment.iter().enumerate() {
+        let client = ClientId::from_index(client_index);
+        for &(server, y) in row {
+            per_server[server.index()].push((client, y));
+        }
+    }
+    for list in &mut per_server {
+        list.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.index().cmp(&b.0.index()))
+        });
+    }
+    MassGuide { order, per_server }
+}
+
+/// The integral amount a fractional `y` suggests assigning: its
+/// ceiling, with a guard against floating-point fuzz just above an
+/// integer (so `3.0000001` rounds to 3, not 4).
+pub fn guided_amount(y: f64) -> u64 {
+    (y - 1e-6).ceil().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_mass_major_with_cost_tiebreak() {
+        let mass = vec![0.4, 1.0, 0.0, 0.4];
+        let assignment: Vec<Vec<(NodeId, f64)>> = vec![];
+        let costs = [10u64, 5, 1, 2];
+        let guide = mass_guide(&mass, &assignment, |n| costs[n.index()]);
+        let order: Vec<usize> = guide.order.iter().map(|n| n.index()).collect();
+        // Node 1 (mass 1) first; nodes 0 and 3 tie on mass, node 3 is
+        // cheaper; node 2 (zero mass) is absent.
+        assert_eq!(order, vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn per_server_lists_sort_by_decreasing_y() {
+        let mass = vec![1.0, 1.0];
+        let n0 = NodeId::from_index(0);
+        let assignment: Vec<Vec<(NodeId, f64)>> =
+            vec![vec![(n0, 1.5)], vec![(n0, 3.0)], vec![(n0, 1.5)]];
+        let guide = mass_guide(&mass, &assignment, |_| 1);
+        let at0: Vec<(usize, f64)> = guide.per_server[0]
+            .iter()
+            .map(|&(c, y)| (c.index(), y))
+            .collect();
+        assert_eq!(at0, vec![(1, 3.0), (0, 1.5), (2, 1.5)]);
+    }
+
+    #[test]
+    fn guided_amounts_round_up_but_absorb_fuzz() {
+        assert_eq!(guided_amount(2.5), 3);
+        assert_eq!(guided_amount(3.0000001), 3);
+        assert_eq!(guided_amount(0.2), 1);
+        assert_eq!(guided_amount(0.0), 0);
+    }
+}

@@ -179,6 +179,151 @@ pub fn lower_bound_reusing(
     }
 }
 
+/// The fractional optimum of the rational Multiple relaxation — the
+/// part of an LP solve that [`lower_bound`] used to discard.
+///
+/// This is the raw material of the LP-guided rounding heuristics
+/// ([`crate::heuristics::lp_guided`]): besides the bound itself it
+/// carries the per-node replica mass `x_j ∈ [0, 1]` and, per client,
+/// the fractional request split `y_{i,j}` over its eligible servers
+/// (entries below the extraction tolerance are dropped — on the
+/// near-degenerate replica LPs most `y` values are exactly zero).
+#[derive(Clone, Debug)]
+pub struct FractionalLp {
+    /// The rational LP bound (the objective of the relaxation).
+    pub bound: f64,
+    /// `replica_mass[j]` = the fractional `x_j`, indexed by node index.
+    pub replica_mass: Vec<f64>,
+    /// `assignment[i]` = the servers with positive fractional
+    /// `y_{i,j}`, in path order (closest ancestor first).
+    pub assignment: Vec<Vec<(rp_tree::NodeId, f64)>>,
+}
+
+/// Extraction tolerance: fractional values at or below this are treated
+/// as structural zeros.
+const FRACTIONAL_TOLERANCE: f64 = 1e-7;
+
+/// Solves the rational Multiple relaxation and surfaces the full
+/// fractional optimum (bound, per-node `x`, per-client `y`). Returns
+/// `None` when the relaxation is infeasible **or** did not reach
+/// optimality — unlike [`lower_bound`], a truncated solve yields no
+/// usable fractional point, so no fallback bound is reported.
+pub fn lower_bound_fractional(
+    problem: &ProblemInstance,
+    options: &IlpOptions,
+) -> Option<FractionalLp> {
+    let mut workspace = LpWorkspace::new();
+    lower_bound_fractional_reusing(problem, options, &mut workspace)
+}
+
+/// [`lower_bound_fractional`] reusing the LP buffers of `workspace` —
+/// the path the scenario sweep drives, one workspace per worker.
+pub fn lower_bound_fractional_reusing(
+    problem: &ProblemInstance,
+    options: &IlpOptions,
+    workspace: &mut LpWorkspace,
+) -> Option<FractionalLp> {
+    let formulation = build_model(problem, Policy::Multiple, Integrality::RationalBound);
+    let solution = solve_lp_engine(
+        &formulation.model,
+        options.branch_bound.engine,
+        &options.branch_bound.simplex,
+        workspace,
+    );
+    if solution.status != Status::Optimal {
+        return None;
+    }
+    let replica_mass = formulation
+        .x
+        .iter()
+        .map(|&var| solution.value(var).clamp(0.0, 1.0))
+        .collect();
+    let assignment = formulation
+        .y
+        .iter()
+        .map(|row| {
+            solution
+                .fractional_assignment(row, FRACTIONAL_TOLERANCE)
+                .collect()
+        })
+        .collect();
+    Some(FractionalLp {
+        bound: solution.objective,
+        replica_mass,
+        assignment,
+    })
+}
+
+/// The multi-object counterpart of [`FractionalLp`]: everything is
+/// object-major, mirroring [`MultiIlpFormulation`].
+#[derive(Clone, Debug)]
+pub struct MultiFractionalLp {
+    /// The rational LP bound of the shared relaxation.
+    pub bound: f64,
+    /// `replica_mass[k][j]` = the fractional `x_{k,j}`.
+    pub replica_mass: Vec<Vec<f64>>,
+    /// `assignment[k][i]` = servers with positive fractional
+    /// `y_{k,i,j}`, in path order.
+    pub assignment: Vec<Vec<Vec<(rp_tree::NodeId, f64)>>>,
+}
+
+/// Solves the rational multi-object relaxation and surfaces the full
+/// fractional optimum. Same contract as [`lower_bound_fractional`].
+pub fn multi_lower_bound_fractional(
+    problem: &MultiObjectProblem,
+    options: &IlpOptions,
+) -> Option<MultiFractionalLp> {
+    let mut workspace = LpWorkspace::new();
+    multi_lower_bound_fractional_reusing(problem, options, &mut workspace)
+}
+
+/// [`multi_lower_bound_fractional`] reusing the LP buffers of
+/// `workspace`.
+pub fn multi_lower_bound_fractional_reusing(
+    problem: &MultiObjectProblem,
+    options: &IlpOptions,
+    workspace: &mut LpWorkspace,
+) -> Option<MultiFractionalLp> {
+    let formulation = build_multi_model(problem, Integrality::RationalBound);
+    let solution = solve_lp_engine(
+        &formulation.model,
+        options.branch_bound.engine,
+        &options.branch_bound.simplex,
+        workspace,
+    );
+    if solution.status != Status::Optimal {
+        return None;
+    }
+    let replica_mass = formulation
+        .x
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&var| solution.value(var).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    let assignment = formulation
+        .y
+        .iter()
+        .map(|object_rows| {
+            object_rows
+                .iter()
+                .map(|row| {
+                    solution
+                        .fractional_assignment(row, FRACTIONAL_TOLERANCE)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    Some(MultiFractionalLp {
+        bound: solution.objective,
+        replica_mass,
+        assignment,
+    })
+}
+
 /// An LP-based lower bound on the optimal **multi-object** replica cost
 /// (the Section 8.1 extension): the relaxation of
 /// [`build_multi_model`]'s Multiple-policy formulation, shared link

@@ -15,7 +15,9 @@
 //!   Multiple/homogeneous instances (Section 4.1) and an exhaustive
 //!   oracle for small instances;
 //! * [`heuristics`] — the eight polynomial heuristics of Section 6 plus
-//!   MixedBest;
+//!   MixedBest, and the [`heuristics::lp_guided`] rounding & repair
+//!   subsystem that extends heuristic coverage to the
+//!   bandwidth-constrained and multi-object families;
 //! * [`ilp`] — the integer-linear-program formulations of Section 5 and
 //!   the LP-based lower bounds of Section 7.1;
 //! * [`bounds`] — the closed-form bounds of Section 3.4;
@@ -91,7 +93,7 @@ mod policy;
 mod problem;
 mod solution;
 
-pub use heuristics::{mixed_best, Heuristic, MixedBest, StateBuffers};
+pub use heuristics::{mixed_best, BandwidthRepair, Heuristic, MixedBest, StateBuffers};
 pub use policy::Policy;
 pub use problem::{ProblemBuilder, ProblemInstance, ProblemKind};
 pub use solution::{Assignment, Placement, Violation, Violations};

@@ -124,6 +124,33 @@ impl Placement {
         }
     }
 
+    /// Removes up to `amount` requests of `client` from `server`,
+    /// dropping the entry entirely when it reaches zero. Returns the
+    /// number of requests actually removed (0 when no such assignment
+    /// exists). The repair passes use this together with
+    /// [`Placement::assign`] to re-home requests.
+    pub fn unassign(&mut self, client: ClientId, server: NodeId, amount: u64) -> u64 {
+        let list = &mut self.assignments[client.index()];
+        let Some(position) = list.iter().position(|a| a.server == server) else {
+            return 0;
+        };
+        let removed = list[position].amount.min(amount);
+        list[position].amount -= removed;
+        if list[position].amount == 0 {
+            list.swap_remove(position);
+        }
+        removed
+    }
+
+    /// Removes `node` from the replica set (idempotent). The caller is
+    /// responsible for having re-homed any assignments served there —
+    /// validation reports [`Violation::ServerWithoutReplica`] otherwise.
+    pub fn remove_replica(&mut self, node: NodeId) {
+        if let Ok(position) = self.replicas.binary_search(&node) {
+            self.replicas.remove(position);
+        }
+    }
+
     /// The assignments of a client.
     pub fn assignments(&self, client: ClientId) -> &[Assignment] {
         &self.assignments[client.index()]
@@ -692,6 +719,33 @@ mod tests {
         assert_eq!(placement.assignments(c[0]).len(), 1);
         assert_eq!(placement.assigned_requests(c[0]), 5);
         assert_eq!(placement.single_server(c[0]), Some(n[0]));
+    }
+
+    #[test]
+    fn unassign_and_remove_replica_undo_assignments() {
+        let (p, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        placement.assign(c[0], n[1], 3);
+        placement.assign(c[1], n[1], 5);
+        // Partial removal keeps the entry; removing the rest drops it.
+        assert_eq!(placement.unassign(c[1], n[1], 2), 2);
+        assert_eq!(placement.assigned_requests(c[1]), 3);
+        assert_eq!(placement.unassign(c[1], n[1], 99), 3);
+        assert!(placement.assignments(c[1]).is_empty());
+        // Unassigning a non-existent pair is a no-op.
+        assert_eq!(placement.unassign(c[1], n[0], 1), 0);
+        // Re-homing the requests restores validity for the other client.
+        placement.assign(c[1], n[0], 5);
+        placement.remove_replica(n[1]);
+        placement.remove_replica(n[1]); // idempotent
+        assert!(!placement.has_replica(n[1]));
+        // c0 is still pointed at the dropped replica: validation flags it.
+        let err = placement.validate(&p, Policy::Multiple).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::ServerWithoutReplica { .. })));
     }
 
     #[test]

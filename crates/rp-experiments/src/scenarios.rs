@@ -1,27 +1,42 @@
-//! The scenario sweep: λ-parameterised LP lower bounds over the
-//! bandwidth-constrained and multi-object workload families.
+//! The scenario sweep: λ-parameterised LP lower bounds **and heuristic
+//! success/cost series** over the bandwidth-constrained and
+//! multi-object workload families.
 //!
 //! The classic figure sweeps ([`crate::runner`]) evaluate heuristics
-//! against the LP bound on the base formulation; the problem-variant
-//! families have no heuristic counterparts yet (the paper leaves
-//! multi-object heuristics open, and the bandwidth constraints are
-//! invisible to the Section 4 heuristics), so a scenario sweep measures
-//! what the extended formulations *cost to bound*: per (λ, tree) the
-//! rational LP bound, its wall-clock, the simplex iteration count and —
-//! on the ill-scaled families — the equilibration's entry-spread
-//! reduction. One `LpWorkspace` is pinned per worker and the work list
-//! is tree-major, so sibling λ trials of one tree re-solve the same
-//! constraint matrix through the warm-start path, exactly like the main
-//! sweep.
+//! against the LP bound on the base formulation. The problem-variant
+//! families are covered here: per (λ, tree) the sweep records the
+//! rational LP bound (wall-clock, iteration count and — on the
+//! ill-scaled families — the equilibration's entry-spread reduction)
+//! **plus two heuristic candidates**:
+//!
+//! * the **LP-guided rounding** ([`rp_core::heuristics::lp_guided`]) —
+//!   the subsystem built for exactly these families (bandwidth-aware,
+//!   multi-object-aware);
+//! * the **classic ensemble** — on single-object families the best of
+//!   the paper's eight heuristics behind the [`BandwidthRepair`]
+//!   retrofit; on multi-object families the sequential greedy
+//!   ([`rp_core::multi::solve_multi_greedy`]), validated against the
+//!   shared capacities *and* links.
+//!
+//! The rendered tables therefore carry real success-rate and
+//! cost-vs-LP-gap columns for every family (a `-` appears only when a
+//! metric is inapplicable — e.g. the gap of a λ batch in which no
+//! relaxation was feasible). One `LpWorkspace` is pinned per worker and
+//! the work list is tree-major, so sibling λ trials of one tree
+//! re-solve the same constraint matrix through the warm-start path,
+//! exactly like the main sweep — and the LP-guided rounding's own
+//! solve rides the same warm workspace.
 //!
 //! `reproduce bandwidth` / `reproduce multi` render these sweeps as
 //! markdown tables; the baseline binary records the same numbers in
-//! `BENCH_scenarios.json`.
+//! `BENCH_scenarios.json` / `BENCH_heuristics.json`.
 
 use std::time::Instant;
 
-use rp_core::ilp::{build_model, build_multi_model, Integrality};
-use rp_core::Policy;
+use rp_core::heuristics::lp_guided::{lp_guided_multi_reusing, lp_guided_reusing, BandwidthRepair};
+use rp_core::ilp::{build_model, build_multi_model, IlpOptions, Integrality};
+use rp_core::multi::{solve_multi_greedy, MultiGreedyOptions, MultiObjectProblem};
+use rp_core::{Heuristic, Policy, ProblemInstance};
 use rp_lp::{solve_lp_engine, LpEngine, LpWorkspace, SimplexOptions, Status};
 use rp_workloads::scenarios::{
     bandwidth_instance, ill_scaled_bandwidth_instance, multi_object_bandwidth_instance,
@@ -159,6 +174,15 @@ pub struct ScenarioTrial {
     pub cols: usize,
     /// Entry-spread before/after equilibration, when the pass ran.
     pub scaling_spread: Option<(f64, f64)>,
+    /// Cost of the LP-guided rounding (`None` = no feasible placement
+    /// found — always the case when the relaxation is infeasible).
+    pub lp_guided_cost: Option<u64>,
+    /// Cost of the classic ensemble: best bandwidth-repaired Section 6
+    /// heuristic on single-object families, the validated sequential
+    /// greedy on multi-object families.
+    pub classic_cost: Option<u64>,
+    /// Wall-clock of both heuristic runs together.
+    pub heuristics_seconds: f64,
 }
 
 /// All trials of one load factor.
@@ -241,6 +265,66 @@ impl ScenarioBatch {
             .count() as f64
             / self.trials.len() as f64
     }
+
+    /// Success rate of the LP-guided rounding over **all** trials of
+    /// the batch (matching the classic figures, where the LP curve
+    /// itself shows what was solvable at all).
+    pub fn lp_guided_success_rate(&self) -> f64 {
+        self.success_rate_of(|t| t.lp_guided_cost)
+    }
+
+    /// Success rate of the classic ensemble over all trials.
+    pub fn classic_success_rate(&self) -> f64 {
+        self.success_rate_of(|t| t.classic_cost)
+    }
+
+    /// Mean cost-vs-LP gap of the LP-guided rounding, as a fraction
+    /// (`cost / bound − 1`, averaged over the trials where both exist).
+    /// `None` when no trial has both a bound and a rounded cost.
+    pub fn lp_guided_gap(&self) -> Option<f64> {
+        self.mean_gap_of(|t| t.lp_guided_cost)
+    }
+
+    /// Mean cost-vs-LP gap of the classic ensemble.
+    pub fn classic_gap(&self) -> Option<f64> {
+        self.mean_gap_of(|t| t.classic_cost)
+    }
+
+    /// Mean heuristic wall-clock in milliseconds.
+    pub fn mean_heuristics_ms(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        1e3 * self
+            .trials
+            .iter()
+            .map(|t| t.heuristics_seconds)
+            .sum::<f64>()
+            / self.trials.len() as f64
+    }
+
+    fn success_rate_of(&self, cost: impl Fn(&ScenarioTrial) -> Option<u64>) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| cost(t).is_some()).count() as f64 / self.trials.len() as f64
+    }
+
+    fn mean_gap_of(&self, cost: impl Fn(&ScenarioTrial) -> Option<u64>) -> Option<f64> {
+        let gaps: Vec<f64> = self
+            .trials
+            .iter()
+            .filter_map(|t| match (t.bound, cost(t)) {
+                (Some(bound), Some(cost)) if bound > 0.0 => Some(cost as f64 / bound - 1.0),
+                _ => None,
+            })
+            .collect();
+        if gaps.is_empty() {
+            None
+        } else {
+            Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+        }
+    }
 }
 
 /// Results of a scenario sweep: one batch per load factor.
@@ -296,7 +380,9 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResults {
     }
 }
 
-/// Runs one (λ, tree) trial on a caller-provided LP workspace.
+/// Runs one (λ, tree) trial on a caller-provided LP workspace: the LP
+/// bound first (the warm sibling path), then the two heuristic
+/// candidates on the same workspace.
 pub fn run_scenario_trial(
     config: &ScenarioConfig,
     lambda: f64,
@@ -304,19 +390,19 @@ pub fn run_scenario_trial(
     workspace: &mut LpWorkspace,
 ) -> ScenarioTrial {
     let seed = trial_seed(config.seed, tree_index);
-    let model = match config.family {
+    match config.family {
         ScenarioFamily::Bandwidth => {
             let problem = bandwidth_instance(config.problem_size, lambda, seed);
-            build_model(&problem, Policy::Multiple, Integrality::RationalBound).model
+            single_object_trial(config, &problem, tree_index, workspace)
         }
         ScenarioFamily::BandwidthIllScaled => {
             let problem = ill_scaled_bandwidth_instance(config.problem_size, lambda, seed);
-            build_model(&problem, Policy::Multiple, Integrality::RationalBound).model
+            single_object_trial(config, &problem, tree_index, workspace)
         }
         ScenarioFamily::MultiObject => {
             let problem =
                 multi_object_instance(config.problem_size, config.num_objects, lambda, seed);
-            build_multi_model(&problem, Integrality::RationalBound).model
+            multi_object_trial(config, &problem, tree_index, workspace)
         }
         ScenarioFamily::MultiObjectBandwidth => {
             let problem = multi_object_bandwidth_instance(
@@ -325,12 +411,21 @@ pub fn run_scenario_trial(
                 lambda,
                 seed,
             );
-            build_multi_model(&problem, Integrality::RationalBound).model
+            multi_object_trial(config, &problem, tree_index, workspace)
         }
-    };
+    }
+}
+
+/// The bound solve shared by both trial shapes.
+fn solve_bound(
+    model: &rp_lp::Model,
+    config: &ScenarioConfig,
+    tree_index: usize,
+    workspace: &mut LpWorkspace,
+) -> ScenarioTrial {
     let options = SimplexOptions::default();
     let start = Instant::now();
-    let solution = solve_lp_engine(&model, config.engine, &options, workspace);
+    let solution = solve_lp_engine(model, config.engine, &options, workspace);
     let solve_seconds = start.elapsed().as_secs_f64();
     let (iterations, scaling_spread) = match config.engine {
         LpEngine::Revised => (
@@ -348,7 +443,56 @@ pub fn run_scenario_trial(
         rows: model.num_constraints(),
         cols: model.num_vars(),
         scaling_spread,
+        lp_guided_cost: None,
+        classic_cost: None,
+        heuristics_seconds: 0.0,
     }
+}
+
+fn single_object_trial(
+    config: &ScenarioConfig,
+    problem: &ProblemInstance,
+    tree_index: usize,
+    workspace: &mut LpWorkspace,
+) -> ScenarioTrial {
+    let model = build_model(problem, Policy::Multiple, Integrality::RationalBound).model;
+    let mut trial = solve_bound(&model, config, tree_index, workspace);
+
+    let ilp_options = IlpOptions::with_engine(config.engine);
+    let start = Instant::now();
+    // Classic ensemble: best of the eight, bandwidth-repaired.
+    trial.classic_cost = Heuristic::BASE
+        .iter()
+        .filter_map(|&h| BandwidthRepair(h).run(problem).map(|p| p.cost(problem)))
+        .min();
+    // LP-guided rounding (re-solves the same matrix on the warm path).
+    trial.lp_guided_cost =
+        lp_guided_reusing(problem, &ilp_options, workspace).map(|p| p.cost(problem));
+    trial.heuristics_seconds = start.elapsed().as_secs_f64();
+    trial
+}
+
+fn multi_object_trial(
+    config: &ScenarioConfig,
+    problem: &MultiObjectProblem,
+    tree_index: usize,
+    workspace: &mut LpWorkspace,
+) -> ScenarioTrial {
+    let model = build_multi_model(problem, Integrality::RationalBound).model;
+    let mut trial = solve_bound(&model, config, tree_index, workspace);
+
+    let ilp_options = IlpOptions::with_engine(config.engine);
+    let start = Instant::now();
+    // Classic ensemble: the sequential greedy, kept only when its
+    // placement also fits the shared links (the greedy itself is
+    // capacity-only).
+    trial.classic_cost = solve_multi_greedy(problem, &MultiGreedyOptions::default())
+        .filter(|p| p.is_valid(problem, Policy::Multiple))
+        .map(|p| p.cost(problem));
+    trial.lp_guided_cost =
+        lp_guided_multi_reusing(problem, &ilp_options, workspace).map(|p| p.cost(problem));
+    trial.heuristics_seconds = start.elapsed().as_secs_f64();
+    trial
 }
 
 /// Derives a deterministic per-tree sub-seed. λ is deliberately *not*
@@ -360,18 +504,31 @@ fn trial_seed(base: u64, tree_index: usize) -> u64 {
         .wrapping_add((tree_index as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
 }
 
-/// Renders a scenario sweep as a table: one row per λ.
+/// Renders a scenario sweep as a table: one row per λ, with real
+/// success-rate and cost-vs-LP-gap columns for both heuristic
+/// candidates (`lpg_*` = LP-guided rounding, `cls_*` = classic
+/// ensemble). A `-` appears only where a metric is inapplicable — the
+/// gap of a batch in which no trial produced both a bound and a cost.
 pub fn scenario_table(results: &ScenarioResults) -> SeriesTable {
     let headers = vec![
         "lambda".to_string(),
         "feasible".to_string(),
         "mean_bound".to_string(),
+        "lpg_success".to_string(),
+        "lpg_gap_pct".to_string(),
+        "cls_success".to_string(),
+        "cls_gap_pct".to_string(),
         "mean_ms".to_string(),
+        "heur_ms".to_string(),
         "mean_iters".to_string(),
         "mean_rows".to_string(),
         "mean_cols".to_string(),
         "scaled".to_string(),
     ];
+    let gap_cell = |gap: Option<f64>| {
+        gap.map(|g| format!("{:.1}", 100.0 * g))
+            .unwrap_or_else(|| "-".to_string())
+    };
     let rows = results
         .batches
         .iter()
@@ -384,7 +541,12 @@ pub fn scenario_table(results: &ScenarioResults) -> SeriesTable {
                     .mean_bound()
                     .map(|b| format!("{b:.1}"))
                     .unwrap_or_else(|| "-".to_string()),
+                format!("{:.2}", batch.lp_guided_success_rate()),
+                gap_cell(batch.lp_guided_gap()),
+                format!("{:.2}", batch.classic_success_rate()),
+                gap_cell(batch.classic_gap()),
                 format!("{:.2}", batch.mean_ms()),
+                format!("{:.2}", batch.mean_heuristics_ms()),
                 format!("{:.0}", batch.mean_iterations()),
                 format!("{rows:.0}"),
                 format!("{cols:.0}"),
@@ -445,11 +607,34 @@ mod tests {
                     );
                     if let Some(bound) = trial.bound {
                         assert!(bound.is_finite() && bound >= 0.0, "{family:?}");
+                        // Every heuristic cost respects the LP bound.
+                        for cost in [trial.lp_guided_cost, trial.classic_cost]
+                            .into_iter()
+                            .flatten()
+                        {
+                            assert!(
+                                cost as f64 + 1e-6 >= bound,
+                                "{family:?}: cost {cost} below bound {bound}"
+                            );
+                        }
+                    } else {
+                        // No relaxation, no placements.
+                        assert_eq!(trial.lp_guided_cost, None, "{family:?}");
                     }
                 }
             }
+            // The heuristic columns are genuinely populated: at least
+            // one feasible trial must have been rounded successfully.
+            let rounded: usize = results
+                .batches
+                .iter()
+                .flat_map(|b| &b.trials)
+                .filter(|t| t.lp_guided_cost.is_some())
+                .count();
+            assert!(rounded > 0, "{family:?}: no LP-guided placements at all");
             let table = scenario_table(&results);
             assert_eq!(table.num_rows(), config.lambdas.len());
+            assert!(table.headers.contains(&"lpg_success".to_string()));
             assert!(scenario_markdown(&results).contains(family.title()));
         }
     }

@@ -73,6 +73,26 @@ impl Solution {
     pub fn has_point(&self) -> bool {
         !self.values.is_empty()
     }
+
+    /// Pairs every tagged variable with its fractional value, skipping
+    /// entries whose value does not exceed `tolerance`.
+    ///
+    /// This is the extraction primitive for LP-guided rounding: a caller
+    /// that tagged its variables with domain keys (a node, a
+    /// client/server pair, a link) recovers the *fractional assignment*
+    /// of the relaxation — the part of an optimum that a pure
+    /// objective-value API would discard — without re-deriving variable
+    /// indices.
+    pub fn fractional_assignment<'a, K: Copy>(
+        &'a self,
+        vars: &'a [(K, VarId)],
+        tolerance: f64,
+    ) -> impl Iterator<Item = (K, f64)> + 'a {
+        vars.iter().filter_map(move |&(key, var)| {
+            let value = self.values[var.index()];
+            (value > tolerance).then_some((key, value))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +116,17 @@ mod tests {
         let s = Solution::status_only(Status::Infeasible);
         assert!(!s.has_point());
         assert!(s.objective.is_nan());
+    }
+
+    #[test]
+    fn fractional_assignment_filters_by_tolerance() {
+        let s = Solution {
+            status: Status::Optimal,
+            objective: 1.0,
+            values: vec![0.75, 0.0, 1e-9, 0.25],
+        };
+        let tagged: Vec<(u32, VarId)> = (0..4u32).map(|i| (i, VarId(i))).collect();
+        let picked: Vec<(u32, f64)> = s.fractional_assignment(&tagged, 1e-6).collect();
+        assert_eq!(picked, vec![(0, 0.75), (3, 0.25)]);
     }
 }

@@ -235,6 +235,55 @@ pub fn multi_object_bandwidth_instance(
     problem.with_link_bandwidths(vec![None; num_clients], node_links)
 }
 
+/// A multi-object **Replica Counting** instance: homogeneous node
+/// capacity, unit storage cost per (object, node) — the Section 8.1
+/// extension of the paper's counting flavour. On this family the
+/// rational relaxation is *tight* (a saturated replica's fractional
+/// `x_{k,j}` is exactly 1, so the bound essentially counts
+/// `total demand / W`), which makes it the right yardstick for
+/// measuring rounding quality: a cost-vs-LP gap here is genuine
+/// heuristic slack, not the intrinsic integrality gap of the
+/// jittered-cost family (where `K` objects sharing a node make even
+/// the exact optimum sit far above the rational bound).
+pub fn multi_object_counting_instance(
+    problem_size: usize,
+    num_objects: usize,
+    lambda: f64,
+    seed: u64,
+) -> MultiObjectProblem {
+    assert!(num_objects >= 1);
+    assert!(lambda > 0.0, "the load factor must be positive");
+    let tree = generate_tree(
+        &TreeGenConfig::with_problem_size(problem_size, TreeShape::RandomAttachment),
+        seed,
+    );
+    let tree: Arc<TreeNetwork> = Arc::new(tree);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0047);
+    const CAPACITY: u64 = 12;
+    let num_nodes = tree.num_nodes();
+    let num_clients = tree.num_clients();
+    let total_capacity = CAPACITY * num_nodes as u64;
+    let target_total = (lambda * total_capacity as f64).max(1.0);
+    let mut requests = Vec::with_capacity(num_objects);
+    for _ in 0..num_objects {
+        let object_total = target_total / num_objects as f64;
+        let weights: Vec<f64> = (0..num_clients).map(|_| rng.gen_range(0.1..=1.0)).collect();
+        let weight_sum: f64 = weights.iter().sum::<f64>().max(1e-9);
+        requests.push(
+            weights
+                .iter()
+                .map(|w| ((w / weight_sum) * object_total).round() as u64)
+                .collect::<Vec<u64>>(),
+        );
+    }
+    MultiObjectProblem::new(
+        tree,
+        requests,
+        vec![CAPACITY; num_nodes],
+        vec![vec![1; num_nodes]; num_objects],
+    )
+}
+
 fn multi_object_over(
     tree: TreeNetwork,
     num_objects: usize,
@@ -384,6 +433,28 @@ mod tests {
         }
         // Deterministic.
         let q = multi_object_instance(60, 3, 0.5, 11);
+        let clients: Vec<_> = p.tree().client_ids().collect();
+        for object in p.object_ids().collect::<Vec<_>>() {
+            for &c in &clients {
+                assert_eq!(p.requests(object, c), q.requests(object, c));
+            }
+        }
+    }
+
+    #[test]
+    fn counting_instances_are_homogeneous_with_unit_costs() {
+        let p = multi_object_counting_instance(60, 2, 0.4, 11);
+        assert_eq!(p.num_objects(), 2);
+        let tree = p.tree();
+        for node in tree.node_ids().collect::<Vec<_>>() {
+            assert_eq!(p.capacity(node), 12);
+            for object in p.object_ids().collect::<Vec<_>>() {
+                assert_eq!(p.storage_cost(object, node), 1);
+            }
+        }
+        assert!((p.load_factor() - 0.4).abs() < 0.1);
+        // Deterministic in the seed.
+        let q = multi_object_counting_instance(60, 2, 0.4, 11);
         let clients: Vec<_> = p.tree().client_ids().collect();
         for object in p.object_ids().collect::<Vec<_>>() {
             for &c in &clients {

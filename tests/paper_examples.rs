@@ -5,6 +5,7 @@
 
 use replica_placement::core::bounds::replica_counting_lower_bound;
 use replica_placement::core::exact::{optimal_cost, solve_multiple_homogeneous};
+use replica_placement::core::heuristics::lp_guided::{lp_guided, lp_guided_multi};
 use replica_placement::core::ilp::{
     exact_optimal_cost, integral_lower_bound, lower_bound, multi_lower_bound, BoundKind,
 };
@@ -214,6 +215,80 @@ fn multi_object_shared_link_golden_feasibility() {
     assert!(solve_multi_ilp(&starved).is_none());
     assert_eq!(multi_lower_bound(&starved, BoundKind::Rational), None);
     assert_eq!(multi_lower_bound(&starved, BoundKind::Mixed), None);
+}
+
+#[test]
+fn lp_guided_rounding_golden_figure1_bandwidth() {
+    // (1, 1): one replica, any uplink bound — with bw = 0 the rounding
+    // is forced onto s1, with slack links either node works; the cost
+    // is the hand-computed optimum 1 in every case.
+    for bw in [0u64, 1, 5] {
+        let p = figure1_bandwidth(1, 1, bw);
+        let placement = lp_guided(&p).expect("feasible");
+        assert!(placement.is_valid(&p, Policy::Multiple), "bw={bw}");
+        assert_eq!(placement.cost(&p), 1, "bw={bw}");
+    }
+    // (2, 1): a dead uplink starves the second request — the rounding
+    // reports the infeasibility; any positive bound restores cost 2.
+    assert!(lp_guided(&figure1_bandwidth(2, 1, 0)).is_none());
+    for bw in [1u64, 3] {
+        let p = figure1_bandwidth(2, 1, bw);
+        let placement = lp_guided(&p).expect("feasible");
+        assert!(placement.is_valid(&p, Policy::Multiple), "bw={bw}");
+        assert_eq!(placement.cost(&p), 2, "bw={bw}");
+    }
+}
+
+#[test]
+fn lp_guided_rounding_golden_bandwidth_bottleneck() {
+    // bw >= 4: all four requests flow up — the pruning pass must find
+    // the all-at-the-root optimum (cost 10), not the 13 of buying both.
+    for bw in [4u64, 10] {
+        let p = bandwidth_bottleneck(bw);
+        let placement = lp_guided(&p).expect("feasible");
+        assert!(placement.is_valid(&p, Policy::Multiple), "bw={bw}");
+        assert_eq!(placement.cost(&p), 10, "bw={bw}");
+        // The rounded cost sits inside the rational-bound/exact sandwich.
+        let bound = lower_bound(&p, BoundKind::Rational).unwrap();
+        assert!(bound <= placement.cost(&p) as f64 + 1e-6, "bw={bw}");
+        assert_eq!(
+            exact_optimal_cost(&p, Policy::Multiple),
+            Some(placement.cost(&p)),
+            "bw={bw}"
+        );
+    }
+    // 1 <= bw <= 3: the split is forced, both replicas are bought.
+    for bw in [1u64, 2, 3] {
+        let p = bandwidth_bottleneck(bw);
+        let placement = lp_guided(&p).expect("feasible");
+        assert!(placement.is_valid(&p, Policy::Multiple), "bw={bw}");
+        assert_eq!(placement.cost(&p), 13, "bw={bw}");
+    }
+    // bw = 0: mid alone cannot hold the client — the repair correctly
+    // reports infeasibility.
+    assert!(lp_guided(&bandwidth_bottleneck(0)).is_none());
+}
+
+#[test]
+fn lp_guided_multi_golden_coupling() {
+    // The rounded multi-object cost lands inside the exact-7 / LP-3.4
+    // sandwich — and on this instance exactly on the optimum.
+    let p = multi_object_coupling();
+    let rounded = lp_guided_multi(&p).expect("feasible");
+    rounded.validate(&p, Policy::Multiple).expect("valid");
+    let bound = multi_lower_bound(&p, BoundKind::Rational).unwrap();
+    assert!((bound - 3.4).abs() < 1e-6);
+    let cost = rounded.cost(&p);
+    assert!(bound <= cost as f64 + 1e-6);
+    assert_eq!(cost, 7, "rounding should reach the exact optimum");
+
+    // Shared uplink: bw = 4 keeps the optimum, bw = 3 starves the tree
+    // and the rounding mirrors the relaxation's infeasibility.
+    let ok = multi_object_shared_link(4);
+    let rounded = lp_guided_multi(&ok).expect("feasible");
+    rounded.validate(&ok, Policy::Multiple).expect("valid");
+    assert_eq!(rounded.cost(&ok), 7);
+    assert!(lp_guided_multi(&multi_object_shared_link(3)).is_none());
 }
 
 #[test]
