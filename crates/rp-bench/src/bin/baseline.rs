@@ -6,8 +6,10 @@
 //! cargo run --release -p rp-bench --bin baseline -- [OUTPUT.json] [--compare OLD.json]
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-revised
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-heuristics
+//! cargo run --release -p rp-bench --bin baseline -- --smoke-failures
 //! cargo run --release -p rp-bench --bin baseline -- [--sparse-out OUT.json] --sparse-only
 //! cargo run --release -p rp-bench --bin baseline -- [--heuristics-out OUT.json] --heuristics-only
+//! cargo run --release -p rp-bench --bin baseline -- [--failures-out OUT.json] --failures-only
 //! ```
 //!
 //! Metrics (all medians over several samples):
@@ -40,6 +42,12 @@
 //! `--smoke-revised` is the CI mode: it solves one `s = 400`
 //! paper-scale LP bound with the revised engine, prints the timing and
 //! exits non-zero if the solve did not produce a bound.
+//! `--smoke-failures` is its fault-tolerance sibling: one seeded node
+//! failure and one seeded link failure on a paper-scale placement, each
+//! repaired within `RP_SMOKE_FAIL_MS` with a machine-checked outcome.
+//! The full run also writes `BENCH_failures.json`: the 200-trial
+//! resilience sweep (survival / degradation / repair latency per
+//! heuristic; see [`write_failures_report`]).
 //!
 //! With `--compare OLD.json` the output also contains a `speedup`
 //! section: `old / new` per metric shared with the old file.
@@ -370,6 +378,124 @@ fn smoke_heuristics() {
         placement.cost(&problem),
         ns / 1e6
     );
+}
+
+/// The fault-tolerance CI smoke: one paper-scale (`s = 400`) instance,
+/// one seeded node failure and one seeded link failure, each injected
+/// into the MixedBest placement and repaired within the
+/// `RP_SMOKE_FAIL_MS` wall budget (default 250 ms per repair). Either
+/// outcome — full recovery or a degraded report — must pass its
+/// machine check; a check failure or a budget overrun exits non-zero.
+fn smoke_failures() {
+    use rp_core::{inject_and_repair, Policy};
+    use rp_workloads::failures::{sample_link_failure, sample_node_failure};
+
+    let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+    let Some(placement) = Heuristic::MixedBest.run(&problem) else {
+        eprintln!("s=400 smoke-failures: MixedBest FAILED on the healthy instance");
+        std::process::exit(1);
+    };
+    let budget_ms: f64 = std::env::var("RP_SMOKE_FAIL_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250.0);
+    for (label, failure) in [
+        ("node", sample_node_failure(&problem, 31)),
+        ("link", sample_link_failure(&problem, 31)),
+    ] {
+        let (ns, (platform, outcome)) =
+            time_once(|| inject_and_repair(&problem, &placement, Policy::Multiple, &[failure]));
+        if !outcome.verify(&platform, Policy::Multiple) {
+            eprintln!("s=400 {label}-failure repair FAILED its machine check ({failure})");
+            std::process::exit(1);
+        }
+        if ns / 1e6 > budget_ms {
+            eprintln!(
+                "s=400 {label}-failure repair REGRESSED: {:.2} ms exceeds the {budget_ms} ms budget",
+                ns / 1e6
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "s=400 {label} failure ({failure}) repaired in {:.2} ms: {} ({:.1}% of requests served)",
+            ns / 1e6,
+            if outcome.is_full() {
+                "full recovery"
+            } else {
+                "degraded"
+            },
+            100.0 * outcome.served_fraction()
+        );
+    }
+}
+
+/// Writes `BENCH_failures.json`: the resilience trajectory — per
+/// heuristic candidate the survival rate, mean served fraction, cost
+/// delta of surviving repairs, and mean/p99 repair latency under the
+/// default 200-trial single-failure chaos sweep. The sweep's base seed
+/// is recorded in the file, so every number is reproducible from it.
+/// Any outcome failing its machine check aborts the report non-zero.
+fn write_failures_report(path: &str) {
+    use rp_experiments::{run_resilience, ResilienceConfig};
+
+    let config = ResilienceConfig::new();
+    let results = run_resilience(&config);
+    let unverified = results.total_unverified();
+    if unverified > 0 {
+        eprintln!("resilience sweep produced {unverified} UNVERIFIED repair outcome(s)");
+        std::process::exit(1);
+    }
+    let mut entries: Vec<(String, f64)> = vec![
+        ("config/seed".to_string(), config.seed as f64),
+        ("config/trials".to_string(), config.trials as f64),
+        (
+            "config/problem_size".to_string(),
+            config.problem_size as f64,
+        ),
+    ];
+    for summary in results.summaries() {
+        let name = summary.heuristic.acronym();
+        entries.push((
+            format!("survival_pct/{name}"),
+            100.0 * summary.survival_rate,
+        ));
+        entries.push((
+            format!("served_pct/{name}"),
+            100.0 * summary.mean_served_fraction,
+        ));
+        if let Some(delta) = summary.mean_cost_delta_pct {
+            entries.push((format!("cost_delta_pct/{name}"), delta));
+        }
+        entries.push((format!("repair_mean_ms/{name}"), summary.mean_repair_ms));
+        entries.push((format!("repair_p99_ms/{name}"), summary.p99_repair_ms));
+        entries.push((
+            format!("base_fail/{name}"),
+            summary.baseline_failures as f64,
+        ));
+    }
+
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str(
+        "  \"units\": \"*_pct = percent, *_ms = wall-clock ms per repair; config/seed \
+         reproduces the whole sweep\",\n",
+    );
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
 }
 
 /// Writes `BENCH_heuristics.json`: the LP-guided rounding trajectory —
@@ -1090,10 +1216,12 @@ fn main() {
     let mut sparse_output = String::from("BENCH_sparse.json");
     let mut scenarios_output = String::from("BENCH_scenarios.json");
     let mut heuristics_output = String::from("BENCH_heuristics.json");
+    let mut failures_output = String::from("BENCH_failures.json");
     let mut compare: Option<String> = None;
     let mut sparse_only = false;
     let mut scenarios_only = false;
     let mut heuristics_only = false;
+    let mut failures_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1113,6 +1241,10 @@ fn main() {
                 smoke_heuristics();
                 return;
             }
+            "--smoke-failures" => {
+                smoke_failures();
+                return;
+            }
             "--sparse-only" => {
                 sparse_only = true;
                 i += 1;
@@ -1123,6 +1255,10 @@ fn main() {
             }
             "--heuristics-only" => {
                 heuristics_only = true;
+                i += 1;
+            }
+            "--failures-only" => {
+                failures_only = true;
                 i += 1;
             }
             "--revised-out" => {
@@ -1149,6 +1285,12 @@ fn main() {
                 }
                 i += 2;
             }
+            "--failures-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    failures_output = path.clone();
+                }
+                i += 2;
+            }
             other => {
                 output = other.to_string();
                 i += 1;
@@ -1165,6 +1307,10 @@ fn main() {
     }
     if heuristics_only {
         write_heuristics_report(&heuristics_output);
+        return;
+    }
+    if failures_only {
+        write_failures_report(&failures_output);
         return;
     }
 
@@ -1322,6 +1468,7 @@ fn main() {
     write_sparse_report(&sparse_output);
     write_scenarios_report(&scenarios_output);
     write_heuristics_report(&heuristics_output);
+    write_failures_report(&failures_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

@@ -14,6 +14,9 @@
 //! cargo run --release -p rp-bench --bin reproduce -- bandwidth
 //! cargo run --release -p rp-bench --bin reproduce -- multi
 //!
+//! # the resilience sweep (single failures, survival/degradation table):
+//! cargo run --release -p rp-bench --bin reproduce -- failures
+//!
 //! # one figure, smaller and faster:
 //! cargo run --release -p rp-bench --bin reproduce -- fig9 --quick
 //!
@@ -27,6 +30,9 @@
 
 use std::path::PathBuf;
 
+use rp_experiments::failures::{
+    resilience_markdown, resilience_table, run_resilience, ResilienceConfig,
+};
 use rp_experiments::figures::{
     check_cost_shape, check_success_shape, reproduce_figure_with, FigureId,
 };
@@ -38,6 +44,7 @@ use rp_experiments::scenarios::{
 struct CliOptions {
     figures: Vec<FigureId>,
     scenarios: Vec<ScenarioFamily>,
+    resilience: bool,
     quick: bool,
     trees: Option<usize>,
     size_max: Option<usize>,
@@ -49,6 +56,7 @@ struct CliOptions {
 fn parse_args() -> Result<CliOptions, String> {
     let mut figures = Vec::new();
     let mut scenarios = Vec::new();
+    let mut resilience = false;
     let mut quick = false;
     let mut trees = None;
     let mut size_max = None;
@@ -70,6 +78,7 @@ fn parse_args() -> Result<CliOptions, String> {
                 ScenarioFamily::MultiObject,
                 ScenarioFamily::MultiObjectBandwidth,
             ]),
+            "failures" => resilience = true,
             "--quick" => quick = true,
             "--check-shape" => check_shape = true,
             "--trees" => {
@@ -99,7 +108,7 @@ fn parse_args() -> Result<CliOptions, String> {
             },
         }
     }
-    if figures.is_empty() && scenarios.is_empty() {
+    if figures.is_empty() && scenarios.is_empty() && !resilience {
         figures.extend(FigureId::STANDARD);
     }
     figures.dedup();
@@ -107,6 +116,7 @@ fn parse_args() -> Result<CliOptions, String> {
     Ok(CliOptions {
         figures,
         scenarios,
+        resilience,
         quick,
         trees,
         size_max,
@@ -140,7 +150,7 @@ fn main() {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: reproduce [all|paper|bandwidth|multi|fig9|fig10|fig11|fig12|qos\
+                "usage: reproduce [all|paper|bandwidth|multi|failures|fig9|fig10|fig11|fig12|qos\
                  |paper-success|paper-cost|bandwidth-ill|multi-bandwidth]... \
                  [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
                  [--out DIR] [--check-shape]"
@@ -230,6 +240,43 @@ fn main() {
         if let Some(dir) = &options.out_dir {
             let path = dir.join(format!("{}.csv", family.key()));
             if let Err(error) = std::fs::write(&path, scenario_table(&results).to_csv()) {
+                eprintln!("error: cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("  wrote {}", path.display());
+        }
+    }
+
+    if options.resilience {
+        let mut config = ResilienceConfig::new();
+        if options.quick {
+            config.trials = 40;
+            config.problem_size = 100;
+        }
+        if let Some(trees) = options.trees {
+            config.trials = trees;
+        }
+        if let Some(size_max) = options.size_max {
+            config.problem_size = size_max;
+        }
+        eprintln!(
+            "running resilience sweep ({} trials, s = {}, seed = {}) ...",
+            config.trials, config.problem_size, config.seed
+        );
+        let started = std::time::Instant::now();
+        let results = run_resilience(&config);
+        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+
+        println!("{}", resilience_markdown(&results));
+
+        let unverified = results.total_unverified();
+        if unverified > 0 {
+            eprintln!("{unverified} repair outcome(s) failed their machine check");
+            std::process::exit(1);
+        }
+        if let Some(dir) = &options.out_dir {
+            let path = dir.join("failures.csv");
+            if let Err(error) = std::fs::write(&path, resilience_table(&results).to_csv()) {
                 eprintln!("error: cannot write {}: {error}", path.display());
                 std::process::exit(1);
             }

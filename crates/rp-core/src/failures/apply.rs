@@ -1,0 +1,327 @@
+//! Applying failure events to a healthy instance.
+
+use std::sync::Arc;
+
+use rp_tree::{ClientId, LinkId, NodeId, TreeNetwork};
+
+use crate::failures::event::FailureEvent;
+use crate::problem::ProblemInstance;
+
+/// A [`ProblemInstance`] after a failure trace: the surviving platform.
+///
+/// The degraded instance encodes every failure through the ordinary
+/// problem parameters — crashed servers have capacity 0, dead links
+/// have bandwidth 0 — so *all* existing machinery (heuristics,
+/// validation, the exact accounting) works on it unchanged. The dead
+/// flags are kept alongside because a zero-capacity server and a
+/// crashed one differ for repair: a replica may not survive on either,
+/// but only a dead *link* severs routes.
+pub struct DegradedPlatform {
+    problem: ProblemInstance,
+    dead_servers: Vec<bool>,
+    dead_client_links: Vec<bool>,
+    dead_node_links: Vec<bool>,
+}
+
+/// Applies `events` (left to right, worst effect wins) to `problem`,
+/// producing the surviving platform.
+pub fn apply_failures(problem: &ProblemInstance, events: &[FailureEvent]) -> DegradedPlatform {
+    let tree = problem.tree();
+    let mut capacities: Vec<u64> = tree.node_ids().map(|n| problem.capacity(n)).collect();
+    let mut dead_servers = vec![false; tree.num_nodes()];
+    let mut dead_client_links = vec![false; tree.num_clients()];
+    let mut dead_node_links = vec![false; tree.num_nodes()];
+
+    fn kill_server(capacities: &mut [u64], dead: &mut [bool], node: NodeId) {
+        capacities[node.index()] = 0;
+        dead[node.index()] = true;
+    }
+
+    for &event in events {
+        match event {
+            FailureEvent::ServerCrash(node) => {
+                kill_server(&mut capacities, &mut dead_servers, node);
+            }
+            FailureEvent::UplinkDown(LinkId::Client(client)) => {
+                dead_client_links[client.index()] = true;
+            }
+            FailureEvent::UplinkDown(LinkId::Node(node)) => {
+                // The root has no uplink: nothing to sever.
+                if !tree.is_root(node) {
+                    dead_node_links[node.index()] = true;
+                }
+            }
+            FailureEvent::CapacityLoss { node, remaining } => {
+                let slot = &mut capacities[node.index()];
+                *slot = (*slot).min(remaining);
+            }
+            FailureEvent::SubtreeFailure(node) => {
+                for &member in tree.subtree_nodes(node) {
+                    kill_server(&mut capacities, &mut dead_servers, member);
+                    if !tree.is_root(member) {
+                        dead_node_links[member.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let problem = rebuild_with(
+        problem,
+        capacities,
+        |c| dead_client_links[c.index()],
+        |n| dead_node_links[n.index()],
+        |c| problem.requests(c),
+    );
+    DegradedPlatform {
+        problem,
+        dead_servers,
+        dead_client_links,
+        dead_node_links,
+    }
+}
+
+/// Rebuilds an instance with new capacities, zeroed bandwidth on dead
+/// links, and (for the report path) possibly reduced requests. Every
+/// other parameter — tree, storage costs, QoS bounds, objective kind —
+/// carries over unchanged.
+fn rebuild_with(
+    problem: &ProblemInstance,
+    capacities: Vec<u64>,
+    client_link_dead: impl Fn(ClientId) -> bool,
+    node_link_dead: impl Fn(NodeId) -> bool,
+    requests: impl Fn(ClientId) -> u64,
+) -> ProblemInstance {
+    let tree: Arc<TreeNetwork> = problem.tree_arc();
+    let requests: Vec<u64> = tree.client_ids().map(requests).collect();
+    let storage_costs: Vec<u64> = tree.node_ids().map(|n| problem.storage_cost(n)).collect();
+    let qos: Vec<Option<u32>> = tree.client_ids().map(|c| problem.qos(c)).collect();
+    let client_bw: Vec<Option<u64>> = tree
+        .client_ids()
+        .map(|c| {
+            if client_link_dead(c) {
+                Some(0)
+            } else {
+                problem.bandwidth(LinkId::Client(c))
+            }
+        })
+        .collect();
+    let node_bw: Vec<Option<u64>> = tree
+        .node_ids()
+        .map(|n| {
+            if !tree.is_root(n) && node_link_dead(n) {
+                Some(0)
+            } else {
+                problem.bandwidth(LinkId::Node(n))
+            }
+        })
+        .collect();
+    let kind = problem.kind();
+    ProblemInstance::builder(tree)
+        .requests(requests)
+        .capacities(capacities)
+        .storage_costs(storage_costs)
+        .qos(qos)
+        .client_link_bandwidths(client_bw)
+        .node_link_bandwidths(node_bw)
+        .kind(kind)
+        .build()
+}
+
+impl DegradedPlatform {
+    /// The surviving instance (degraded capacities and bandwidths).
+    pub fn problem(&self) -> &ProblemInstance {
+        &self.problem
+    }
+
+    /// Whether the server at `node` crashed (capacity-degraded but
+    /// surviving servers report `false`).
+    pub fn is_server_dead(&self, node: NodeId) -> bool {
+        self.dead_servers[node.index()]
+    }
+
+    /// Whether `link` went down.
+    pub fn is_link_dead(&self, link: LinkId) -> bool {
+        match link {
+            LinkId::Client(c) => self.dead_client_links[c.index()],
+            LinkId::Node(n) => self.dead_node_links[n.index()],
+        }
+    }
+
+    /// Whether `client` can still physically reach `server`: the server
+    /// is on the client's path, survives, and no link between them is
+    /// down. (Capacity and bandwidth headroom are a separate question,
+    /// answered by the exact accounting.)
+    pub fn path_is_alive(&self, client: ClientId, server: NodeId) -> bool {
+        if self.is_server_dead(server) {
+            return false;
+        }
+        let Some(links) = self.problem.tree().client_path_links(client, server) else {
+            return false;
+        };
+        for link in links {
+            if self.is_link_dead(link) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of crashed servers.
+    pub fn num_dead_servers(&self) -> usize {
+        self.dead_servers.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of severed links.
+    pub fn num_dead_links(&self) -> usize {
+        self.dead_client_links.iter().filter(|&&d| d).count()
+            + self.dead_node_links.iter().filter(|&&d| d).count()
+    }
+
+    /// A copy of the surviving instance with the requests of `unserved`
+    /// clients zeroed — the instance a degraded placement is validated
+    /// against (a zero-request client passes validation unassigned).
+    pub fn problem_with_unserved_dropped(&self, unserved: &[ClientId]) -> ProblemInstance {
+        let mut dropped = vec![false; self.problem.tree().num_clients()];
+        for &client in unserved {
+            dropped[client.index()] = true;
+        }
+        let capacities: Vec<u64> = self
+            .problem
+            .tree()
+            .node_ids()
+            .map(|n| self.problem.capacity(n))
+            .collect();
+        rebuild_with(
+            &self.problem,
+            capacities,
+            |c| self.dead_client_links[c.index()],
+            |n| self.dead_node_links[n.index()],
+            |c| {
+                if dropped[c.index()] {
+                    0
+                } else {
+                    self.problem.requests(c)
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::TreeBuilder;
+
+    /// root -> mid -> low -> {c0}; mid -> c1; root -> c2.
+    fn sample() -> (ProblemInstance, Vec<NodeId>, Vec<ClientId>) {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        let low = b.add_node(mid);
+        let c0 = b.add_client(low);
+        let c1 = b.add_client(mid);
+        let c2 = b.add_client(root);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![3, 5, 2], vec![10, 8, 6]);
+        (p, vec![root, mid, low], vec![c0, c1, c2])
+    }
+
+    #[test]
+    fn server_crash_zeroes_capacity_but_keeps_routes() {
+        let (p, n, c) = sample();
+        let platform = apply_failures(&p, &[FailureEvent::ServerCrash(n[1])]);
+        assert!(platform.is_server_dead(n[1]));
+        assert_eq!(platform.problem().capacity(n[1]), 0);
+        assert_eq!(platform.num_dead_servers(), 1);
+        assert_eq!(platform.num_dead_links(), 0);
+        // c0 can still reach the root *through* the crashed mid.
+        assert!(platform.path_is_alive(c[0], n[0]));
+        assert!(!platform.path_is_alive(c[0], n[1]));
+        // Everything else carries over.
+        assert_eq!(platform.problem().requests(c[0]), 3);
+        assert_eq!(platform.problem().storage_cost(n[1]), 8);
+        assert_eq!(platform.problem().kind(), p.kind());
+    }
+
+    #[test]
+    fn uplink_down_severs_everything_above() {
+        let (p, n, c) = sample();
+        let platform = apply_failures(&p, &[FailureEvent::UplinkDown(LinkId::Node(n[2]))]);
+        assert!(platform.is_link_dead(LinkId::Node(n[2])));
+        assert_eq!(platform.problem().bandwidth(LinkId::Node(n[2])), Some(0));
+        // c0 keeps its subtree server but loses everything above low.
+        assert!(platform.path_is_alive(c[0], n[2]));
+        assert!(!platform.path_is_alive(c[0], n[1]));
+        assert!(!platform.path_is_alive(c[0], n[0]));
+        // c1 and c2 are untouched.
+        assert!(platform.path_is_alive(c[1], n[0]));
+        assert!(platform.path_is_alive(c[2], n[0]));
+    }
+
+    #[test]
+    fn client_uplink_down_cuts_the_client_off() {
+        let (p, n, c) = sample();
+        let platform = apply_failures(&p, &[FailureEvent::UplinkDown(LinkId::Client(c[1]))]);
+        for &server in &n {
+            assert!(!platform.path_is_alive(c[1], server));
+        }
+        assert!(platform.path_is_alive(c[0], n[0]));
+    }
+
+    #[test]
+    fn root_uplink_failure_is_ignored() {
+        let (p, n, _) = sample();
+        let platform = apply_failures(&p, &[FailureEvent::UplinkDown(LinkId::Node(n[0]))]);
+        assert_eq!(platform.num_dead_links(), 0);
+        assert_eq!(platform.problem().bandwidth(LinkId::Node(n[0])), None);
+    }
+
+    #[test]
+    fn capacity_loss_keeps_the_worst_of_overlapping_events() {
+        let (p, n, _) = sample();
+        let platform = apply_failures(
+            &p,
+            &[
+                FailureEvent::CapacityLoss {
+                    node: n[0],
+                    remaining: 6,
+                },
+                FailureEvent::CapacityLoss {
+                    node: n[0],
+                    remaining: 9,
+                },
+            ],
+        );
+        assert_eq!(platform.problem().capacity(n[0]), 6);
+        assert!(!platform.is_server_dead(n[0]));
+    }
+
+    #[test]
+    fn subtree_failure_kills_servers_and_links_together() {
+        let (p, n, c) = sample();
+        let platform = apply_failures(&p, &[FailureEvent::SubtreeFailure(n[1])]);
+        assert!(platform.is_server_dead(n[1]));
+        assert!(platform.is_server_dead(n[2]));
+        assert!(!platform.is_server_dead(n[0]));
+        assert!(platform.is_link_dead(LinkId::Node(n[1])));
+        assert!(platform.is_link_dead(LinkId::Node(n[2])));
+        // Both subtree clients are completely cut off; c2 survives.
+        for &server in &n {
+            assert!(!platform.path_is_alive(c[0], server));
+            assert!(!platform.path_is_alive(c[1], server));
+        }
+        assert!(platform.path_is_alive(c[2], n[0]));
+    }
+
+    #[test]
+    fn dropping_unserved_clients_zeroes_their_requests_only() {
+        let (p, _, c) = sample();
+        let platform = apply_failures(&p, &[FailureEvent::UplinkDown(LinkId::Client(c[0]))]);
+        let check = platform.problem_with_unserved_dropped(&[c[0]]);
+        assert_eq!(check.requests(c[0]), 0);
+        assert_eq!(check.requests(c[1]), 5);
+        assert_eq!(check.requests(c[2]), 2);
+        assert_eq!(check.bandwidth(LinkId::Client(c[0])), Some(0));
+    }
+}

@@ -1,0 +1,97 @@
+//! The failure events the fault-injection subsystem understands.
+
+use std::fmt;
+
+use rp_tree::{LinkId, NodeId};
+
+/// One platform failure, applied on top of a healthy
+/// [`ProblemInstance`](crate::ProblemInstance).
+///
+/// Failures compose: a trace (a slice of events) is applied left to
+/// right, and overlapping events degrade to the *worst* of their
+/// effects — two capacity losses on one node keep the smaller
+/// remainder, a crash on an already-degraded node still zeroes it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureEvent {
+    /// The server at `node` crashes: its processing capacity drops to
+    /// zero and any replica stored there is lost. Requests may still
+    /// *route through* the node — crashing a server does not sever its
+    /// links (contrast [`FailureEvent::UplinkDown`]).
+    ServerCrash(NodeId),
+    /// The named link goes down: no request may cross it any more
+    /// (its bandwidth drops to zero). Taking down a client's own
+    /// uplink makes that client unservable. The root has no uplink;
+    /// `UplinkDown(LinkId::Node(root))` is ignored.
+    UplinkDown(LinkId),
+    /// The server at `node` survives but loses part of its processing
+    /// capacity (an overheating host sheds load, a disk array loses a
+    /// shelf). The new capacity is `min(current, remaining)`.
+    CapacityLoss {
+        /// The degraded server.
+        node: NodeId,
+        /// Capacity left after the event.
+        remaining: u64,
+    },
+    /// Correlated failure of a whole subtree (a rack or site loses
+    /// power): every server in `subtree(node)` crashes **and** every
+    /// uplink inside the subtree — including `node`'s own — goes down,
+    /// so the subtree's clients are cut off entirely.
+    SubtreeFailure(NodeId),
+}
+
+impl FailureEvent {
+    /// Short machine-readable tag used in reports and JSON output.
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            FailureEvent::ServerCrash(_) => "server-crash",
+            FailureEvent::UplinkDown(_) => "uplink-down",
+            FailureEvent::CapacityLoss { .. } => "capacity-loss",
+            FailureEvent::SubtreeFailure(_) => "subtree-failure",
+        }
+    }
+}
+
+impl fmt::Display for FailureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureEvent::ServerCrash(node) => write!(f, "server {node} crashed"),
+            FailureEvent::UplinkDown(link) => write!(f, "{link} down"),
+            FailureEvent::CapacityLoss { node, remaining } => {
+                write!(f, "server {node} degraded to capacity {remaining}")
+            }
+            FailureEvent::SubtreeFailure(node) => {
+                write!(f, "subtree of {node} failed")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_names_are_informative() {
+        let node = NodeId::from_index(3);
+        let events = [
+            FailureEvent::ServerCrash(node),
+            FailureEvent::UplinkDown(LinkId::Node(node)),
+            FailureEvent::CapacityLoss { node, remaining: 7 },
+            FailureEvent::SubtreeFailure(node),
+        ];
+        let kinds: Vec<_> = events.iter().map(|e| e.kind_name()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "server-crash",
+                "uplink-down",
+                "capacity-loss",
+                "subtree-failure"
+            ]
+        );
+        for event in events {
+            assert!(!event.to_string().is_empty());
+        }
+        assert!(events[2].to_string().contains("capacity 7"));
+    }
+}

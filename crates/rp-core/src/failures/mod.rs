@@ -1,0 +1,56 @@
+//! Fault injection and survivor repair (the resilience subsystem).
+//!
+//! The paper's model assumes a healthy platform; this module asks what
+//! happens to a deployed placement when the platform degrades. The
+//! pipeline has three stages, each usable on its own:
+//!
+//! * **Failure model** — [`FailureEvent`] enumerates server crashes,
+//!   severed links, partial capacity loss, and correlated subtree
+//!   failures (racks, sites). Failures compose left to right with the
+//!   worst effect winning.
+//! * **Application** — [`apply_failures`] turns a healthy
+//!   [`ProblemInstance`](crate::ProblemInstance) plus a failure trace
+//!   into a [`DegradedPlatform`]: a *bona fide* instance whose crashed
+//!   servers have capacity 0 and whose dead links have bandwidth 0, so
+//!   the entire existing stack (heuristics, validation, the exact
+//!   accounting, the LP machinery) runs on it unchanged; the dead
+//!   flags ride alongside for route-aliveness queries.
+//! * **Repair** — [`repair_after_failure`] adapts the pre-failure
+//!   placement: strip what died, shed what no longer fits, re-home the
+//!   orphans through the LP-guided repair stack's exact accounting,
+//!   fall back to re-running the policy's heuristics, and — when full
+//!   service is genuinely infeasible — degrade *gracefully* to a
+//!   [`DegradedPlacement`] report (served fraction, unserved clients,
+//!   cost) whose correctness is machine-checkable via
+//!   [`DegradedPlacement::verify`]. There is no panicking path and no
+//!   bare `None`: every failure has a well-defined [`RepairOutcome`].
+//!
+//! ```
+//! use rp_core::{inject_and_repair, FailureEvent, Heuristic, Policy, ProblemInstance};
+//! use rp_tree::TreeBuilder;
+//!
+//! let mut b = TreeBuilder::new();
+//! let root = b.add_root();
+//! let mid = b.add_node(root);
+//! b.add_client(mid);
+//! let problem = ProblemInstance::replica_cost(b.build().unwrap(), vec![3], vec![10, 5]);
+//! let placement = Heuristic::Mg.run(&problem).unwrap();
+//! let mid_id = problem.tree().node_ids().nth(1).unwrap();
+//! let (platform, outcome) = inject_and_repair(
+//!     &problem,
+//!     &placement,
+//!     Policy::Multiple,
+//!     &[FailureEvent::ServerCrash(mid_id)],
+//! );
+//! assert!(outcome.verify(&platform, Policy::Multiple));
+//! ```
+
+mod apply;
+mod event;
+mod repair;
+mod report;
+
+pub use apply::{apply_failures, DegradedPlatform};
+pub use event::FailureEvent;
+pub use repair::{inject_and_repair, repair_after_failure};
+pub use report::{DegradedPlacement, RepairOutcome};

@@ -1,0 +1,702 @@
+//! Survivor repair: re-homing orphaned clients after a failure.
+//!
+//! [`repair_after_failure`] takes a placement that was valid on the
+//! healthy instance and adapts it to the surviving platform produced by
+//! [`apply_failures`](crate::failures::apply_failures). The pass reuses
+//! the LP-guided repair stack's exact accounting
+//! ([`FeasAccounting`]) so every move is feasible by construction:
+//!
+//! 1. **strip** — replicas on crashed servers are removed, and every
+//!    assignment whose server died or whose route crosses a dead link
+//!    is torn down; the affected request volume becomes *orphaned*;
+//! 2. **shed** — capacity-degraded servers drop load until they fit
+//!    their new capacity (whole clients under the single-server
+//!    policies, exact amounts under Multiple), orphaning the excess;
+//! 3. **re-home** — orphans move onto surviving replicas closest-first,
+//!    then onto the cheapest newly opened replica on their eligible
+//!    path (under Closest, only positions that keep every affected
+//!    client's first-replica rule intact are considered);
+//! 4. **fallback** — if the surgical repair cannot restore full
+//!    service, the policy's own heuristics (bandwidth-repaired) re-run
+//!    from scratch on the surviving instance;
+//! 5. **degrade** — when full service is infeasible or not found, a
+//!    best-effort placement is grown from empty and shrunk by a
+//!    validate-and-drop loop until it is provably correct, yielding a
+//!    [`DegradedPlacement`] report instead of a panic or a bare `None`.
+//!
+//! The last step is total: it always terminates (each round drops at
+//! least one client, and the empty placement over zeroed requests is
+//! vacuously valid), so **every** failure has a well-defined outcome.
+
+use rp_tree::{ClientId, NodeId};
+
+use crate::failures::apply::{apply_failures, DegradedPlatform};
+use crate::failures::event::FailureEvent;
+use crate::failures::report::{DegradedPlacement, RepairOutcome};
+use crate::heuristics::lp_guided::accounting::FeasAccounting;
+use crate::heuristics::{BandwidthRepair, Heuristic};
+use crate::policy::Policy;
+use crate::problem::ProblemInstance;
+use crate::solution::{Placement, Violation};
+
+/// Applies `events` to `problem` and repairs `placement` over the
+/// survivors. Convenience wrapper bundling
+/// [`apply_failures`](crate::failures::apply_failures) and
+/// [`repair_after_failure`].
+pub fn inject_and_repair(
+    problem: &ProblemInstance,
+    placement: &Placement,
+    policy: Policy,
+    events: &[FailureEvent],
+) -> (DegradedPlatform, RepairOutcome) {
+    let platform = apply_failures(problem, events);
+    let outcome = repair_after_failure(&platform, placement, policy);
+    (platform, outcome)
+}
+
+/// Repairs `placement` (valid on the healthy instance) over the
+/// surviving platform. Never panics and never returns an unusable
+/// answer: the result is either a placement fully valid on
+/// [`DegradedPlatform::problem`] or a verified [`DegradedPlacement`]
+/// report (see the module docs for the escalation ladder).
+pub fn repair_after_failure(
+    platform: &DegradedPlatform,
+    placement: &Placement,
+    policy: Policy,
+) -> RepairOutcome {
+    if let Some(repaired) = surgical_repair(platform, placement, policy) {
+        return RepairOutcome::Full(repaired);
+    }
+    if let Some(rebuilt) = heuristic_fallback(platform, policy) {
+        return RepairOutcome::Full(rebuilt);
+    }
+    RepairOutcome::Degraded(degraded_best_effort(platform, policy))
+}
+
+/// Steps 1–3: strip, shed, re-home. Returns a fully valid placement or
+/// `None` when some orphan cannot be re-homed.
+fn surgical_repair(
+    platform: &DegradedPlatform,
+    placement: &Placement,
+    policy: Policy,
+) -> Option<Placement> {
+    let problem = platform.problem();
+    let tree = problem.tree();
+    let mut survivor = placement.clone();
+
+    // Strip replicas lost to crashes.
+    let dead_replicas: Vec<NodeId> = survivor
+        .replicas()
+        .iter()
+        .copied()
+        .filter(|&n| platform.is_server_dead(n))
+        .collect();
+    for node in dead_replicas {
+        survivor.remove_replica(node);
+    }
+
+    // Tear down assignments whose server died or whose route crosses a
+    // dead link; the volume becomes orphaned.
+    let mut orphans: Vec<(ClientId, u64)> = Vec::new();
+    for client in tree.client_ids() {
+        let broken: Vec<(NodeId, u64)> = survivor
+            .assignments(client)
+            .iter()
+            .filter(|a| !platform.path_is_alive(client, a.server))
+            .map(|a| (a.server, a.amount))
+            .collect();
+        let mut lost = 0;
+        for (server, amount) in broken {
+            lost += survivor.unassign(client, server, amount);
+        }
+        if lost > 0 {
+            orphans.push((client, lost));
+        }
+    }
+
+    // Charge the survivors into the exact accounting of the *degraded*
+    // instance; capacity-lost servers may now show negative residuals.
+    let mut accounting = FeasAccounting::for_problem(problem);
+    for client in tree.client_ids() {
+        let current: Vec<(NodeId, u64)> = survivor
+            .assignments(client)
+            .iter()
+            .map(|a| (a.server, a.amount))
+            .collect();
+        for (server, amount) in current {
+            accounting.assign(tree, client, server, amount);
+        }
+    }
+
+    // Shed overload on capacity-degraded servers. Smallest assignments
+    // go first so the orphaned volume stays close to the deficit;
+    // single-server policies must shed whole clients.
+    for node in tree.node_ids() {
+        if accounting.node_residual(node) >= 0 {
+            continue;
+        }
+        let mut carried: Vec<(ClientId, u64)> = tree
+            .client_ids()
+            .flat_map(|c| {
+                survivor
+                    .assignments(c)
+                    .iter()
+                    .filter(|a| a.server == node)
+                    .map(|a| (c, a.amount))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        carried.sort_by_key(|&(c, amount)| (amount, c.index()));
+        for (client, amount) in carried {
+            let deficit = -accounting.node_residual(node);
+            if deficit <= 0 {
+                break;
+            }
+            let shed = if policy.is_single_server() {
+                amount
+            } else {
+                amount.min(deficit as u64)
+            };
+            let removed = survivor.unassign(client, node, shed);
+            accounting.unassign(tree, client, node, removed);
+            if removed > 0 {
+                match orphans.iter_mut().find(|(c, _)| *c == client) {
+                    Some(entry) => entry.1 += removed,
+                    None => orphans.push((client, removed)),
+                }
+            }
+        }
+        if accounting.node_residual(node) < 0 {
+            return None;
+        }
+    }
+
+    // Re-home the orphans, hardest (largest) first.
+    orphans.sort_by_key(|&(c, amount)| (std::cmp::Reverse(amount), c.index()));
+    for (client, amount) in orphans {
+        if !rehome(
+            problem,
+            platform,
+            &mut survivor,
+            &mut accounting,
+            client,
+            amount,
+            policy,
+        ) {
+            return None;
+        }
+    }
+
+    prune_idle_replicas(&mut survivor, tree.num_nodes());
+    survivor.is_valid(problem, policy).then_some(survivor)
+}
+
+/// Places `amount` orphaned requests of `client` onto surviving
+/// servers; returns whether the whole amount found a home. Dead servers
+/// and dead links are excluded automatically — their residuals are zero
+/// in the degraded accounting.
+fn rehome(
+    problem: &ProblemInstance,
+    platform: &DegradedPlatform,
+    survivor: &mut Placement,
+    accounting: &mut FeasAccounting,
+    client: ClientId,
+    amount: u64,
+    policy: Policy,
+) -> bool {
+    let tree = problem.tree();
+    if amount == 0 {
+        return true;
+    }
+    match policy {
+        Policy::Closest => {
+            let Some(target) = closest_target(problem, survivor, accounting, client, amount) else {
+                return false;
+            };
+            survivor.add_replica(target);
+            accounting.assign(tree, client, target, amount);
+            survivor.assign(client, target, amount);
+            true
+        }
+        Policy::Upwards => {
+            let eligible: Vec<NodeId> = problem.eligible_servers(client).collect();
+            let target = eligible
+                .iter()
+                .copied()
+                .find(|&v| {
+                    survivor.has_replica(v) && accounting.max_assignable(tree, client, v) >= amount
+                })
+                .or_else(|| {
+                    eligible
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            !survivor.has_replica(v)
+                                && !platform.is_server_dead(v)
+                                && accounting.max_assignable(tree, client, v) >= amount
+                        })
+                        .min_by_key(|&v| (problem.storage_cost(v), v.index()))
+                });
+            let Some(v) = target else {
+                return false;
+            };
+            survivor.add_replica(v);
+            accounting.assign(tree, client, v, amount);
+            survivor.assign(client, v, amount);
+            true
+        }
+        Policy::Multiple => {
+            let eligible: Vec<NodeId> = problem.eligible_servers(client).collect();
+            let mut moved: Vec<(NodeId, u64)> = Vec::new();
+            let mut left = amount;
+            // Drain open replicas closest-first (free), then open the
+            // cheapest helpful nodes.
+            for &v in &eligible {
+                if left == 0 {
+                    break;
+                }
+                if !survivor.has_replica(v) {
+                    continue;
+                }
+                let take = left.min(accounting.max_assignable(tree, client, v));
+                if take > 0 {
+                    accounting.assign(tree, client, v, take);
+                    survivor.assign(client, v, take);
+                    moved.push((v, take));
+                    left -= take;
+                }
+            }
+            while left > 0 {
+                let best = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&v| !survivor.has_replica(v) && !platform.is_server_dead(v))
+                    .map(|v| (v, accounting.max_assignable(tree, client, v)))
+                    .filter(|&(_, headroom)| headroom > 0)
+                    .min_by_key(|&(v, _)| (problem.storage_cost(v), v.index()));
+                let Some((v, headroom)) = best else {
+                    break;
+                };
+                let take = left.min(headroom);
+                survivor.add_replica(v);
+                accounting.assign(tree, client, v, take);
+                survivor.assign(client, v, take);
+                moved.push((v, take));
+                left -= take;
+            }
+            if left > 0 {
+                for &(v, take) in &moved {
+                    accounting.unassign(tree, client, v, take);
+                    survivor.unassign(client, v, take);
+                }
+                return false;
+            }
+            true
+        }
+    }
+}
+
+/// The one server `client` may use under Closest: the first surviving
+/// replica on its eligible path if it has headroom for the whole
+/// client, else the cheapest node strictly *below* the first replica
+/// whose opening does not break any other client's first-replica rule.
+fn closest_target(
+    problem: &ProblemInstance,
+    survivor: &Placement,
+    accounting: &FeasAccounting,
+    client: ClientId,
+    amount: u64,
+) -> Option<NodeId> {
+    let tree = problem.tree();
+    let mut openable: Vec<NodeId> = Vec::new();
+    for v in problem.eligible_servers(client) {
+        if survivor.has_replica(v) {
+            // The first replica on the path: Closest forbids serving
+            // past it, so it either takes the whole client or the
+            // client must be re-homed below it.
+            if accounting.max_assignable(tree, client, v) >= amount {
+                return Some(v);
+            }
+            break;
+        }
+        openable.push(v);
+    }
+    openable
+        .into_iter()
+        .filter(|&v| {
+            accounting.max_assignable(tree, client, v) >= amount
+                && closest_safe_to_open(tree, survivor, v)
+        })
+        .min_by_key(|&v| (problem.storage_cost(v), v.index()))
+}
+
+/// Whether opening a replica at `v` keeps the Closest rule intact for
+/// every already-assigned client: no client inside `subtree(v)` may be
+/// served by a server strictly above `v` (a new replica at `v` would
+/// shadow it).
+fn closest_safe_to_open(tree: &rp_tree::TreeNetwork, survivor: &Placement, v: NodeId) -> bool {
+    tree.subtree_clients(v).iter().all(|&k| {
+        survivor
+            .assignments(k)
+            .iter()
+            .all(|a| a.server == v || !tree.node_is_ancestor_or_self(v, a.server))
+    })
+}
+
+/// Step 4: rebuild from scratch with the policy's own heuristics
+/// (bandwidth-repaired, since dead links surface as zero-bandwidth
+/// limits) and keep the cheapest valid placement.
+fn heuristic_fallback(platform: &DegradedPlatform, policy: Policy) -> Option<Placement> {
+    let problem = platform.problem();
+    let mut best: Option<(u64, Placement)> = None;
+    for heuristic in Heuristic::BASE {
+        if heuristic.policy() != policy {
+            continue;
+        }
+        if let Some(candidate) = BandwidthRepair(heuristic).run(problem) {
+            let cost = candidate.cost(problem);
+            if best.as_ref().map(|(b, _)| cost < *b).unwrap_or(true) {
+                best = Some((cost, candidate));
+            }
+        }
+    }
+    best.map(|(_, placement)| placement)
+}
+
+/// Step 5: grow a best-effort partial placement from empty and shrink
+/// it by validate-and-drop until provably correct.
+fn degraded_best_effort(platform: &DegradedPlatform, policy: Policy) -> DegradedPlacement {
+    let problem = platform.problem();
+    let tree = problem.tree();
+    let mut placement = Placement::empty(tree.num_clients());
+    let mut accounting = FeasAccounting::for_problem(problem);
+    let mut unserved: Vec<ClientId> = Vec::new();
+
+    // Serve the heavy clients while the surviving capacity lasts.
+    let mut clients: Vec<ClientId> = tree.client_ids().collect();
+    clients.sort_by_key(|&c| (std::cmp::Reverse(problem.requests(c)), c.index()));
+    for client in clients {
+        let requests = problem.requests(client);
+        if requests == 0 {
+            continue;
+        }
+        if !rehome(
+            problem,
+            platform,
+            &mut placement,
+            &mut accounting,
+            client,
+            requests,
+            policy,
+        ) {
+            unserved.push(client);
+        }
+    }
+    prune_idle_replicas(&mut placement, tree.num_nodes());
+
+    // Validate-and-drop: every round either converges or drops one more
+    // client, and with everything dropped the placement is vacuously
+    // valid — the loop is total.
+    let mut rounds = tree.num_clients() + 2;
+    loop {
+        let check = platform.problem_with_unserved_dropped(&unserved);
+        let Err(violations) = placement.validate(&check, policy) else {
+            break;
+        };
+        let victim = violations
+            .iter()
+            .find_map(|v| violating_client(v, &placement, tree))
+            .filter(|c| !unserved.contains(c));
+        match victim {
+            Some(client) if rounds > 0 => {
+                rounds -= 1;
+                let current: Vec<(NodeId, u64)> = placement
+                    .assignments(client)
+                    .iter()
+                    .map(|a| (a.server, a.amount))
+                    .collect();
+                for (server, amount) in current {
+                    placement.unassign(client, server, amount);
+                }
+                unserved.push(client);
+                prune_idle_replicas(&mut placement, tree.num_nodes());
+            }
+            _ => {
+                // Cannot attribute the violation (or ran out of rounds):
+                // fall back to the vacuously valid empty report.
+                placement = Placement::empty(tree.num_clients());
+                unserved = tree
+                    .client_ids()
+                    .filter(|&c| problem.requests(c) > 0)
+                    .collect();
+                break;
+            }
+        }
+    }
+
+    unserved.sort();
+    unserved.dedup();
+    let served_requests: u64 = tree
+        .client_ids()
+        .filter(|c| !unserved.contains(c))
+        .map(|c| problem.requests(c))
+        .sum();
+    let total_requests: u64 = tree.client_ids().map(|c| problem.requests(c)).sum();
+    let cost = placement.cost(problem);
+    DegradedPlacement {
+        placement,
+        unserved,
+        served_requests,
+        total_requests,
+        cost,
+    }
+}
+
+/// Maps a violation to a client whose removal resolves it.
+fn violating_client(
+    violation: &Violation,
+    placement: &Placement,
+    tree: &rp_tree::TreeNetwork,
+) -> Option<ClientId> {
+    match violation {
+        Violation::RequestsNotCovered { client, .. }
+        | Violation::MultipleServersUnderSingleServerPolicy { client, .. }
+        | Violation::ServerWithoutReplica { client, .. }
+        | Violation::ServerOffPath { client, .. }
+        | Violation::NotClosestReplica { client, .. }
+        | Violation::QosExceeded { client, .. } => Some(*client),
+        Violation::CapacityExceeded { server, .. } => tree
+            .client_ids()
+            .find(|&c| placement.assignments(c).iter().any(|a| a.server == *server)),
+        Violation::BandwidthExceeded { link, .. } => tree.client_ids().find(|&c| {
+            placement.assignments(c).iter().any(|a| {
+                tree.client_path_links(c, a.server)
+                    .map(|mut links| links.any(|l| l == *link))
+                    .unwrap_or(false)
+            })
+        }),
+        Violation::WrongClientCount { .. } => None,
+    }
+}
+
+/// Drops replicas that no longer serve anything (they cost money and,
+/// under Closest, can shadow the real server).
+fn prune_idle_replicas(placement: &mut Placement, num_nodes: usize) {
+    let mut loads = rp_tree::NodeMap::filled(num_nodes, 0u64);
+    placement.accumulate_server_loads(&mut loads);
+    let idle: Vec<NodeId> = placement
+        .replicas()
+        .iter()
+        .copied()
+        .filter(|&n| loads[n] == 0)
+        .collect();
+    for node in idle {
+        placement.remove_replica(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_tree::{LinkId, TreeBuilder};
+
+    /// root(W=10,s=10) -> mid(W=5,s=5) -> {c0: 4}; mid -> c1: 2;
+    /// root -> c2: 3.
+    fn sample() -> (ProblemInstance, Vec<NodeId>, Vec<ClientId>) {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        let c0 = b.add_client(mid);
+        let c1 = b.add_client(mid);
+        let c2 = b.add_client(root);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![4, 2, 3], vec![10, 5]);
+        (p, vec![root, mid], vec![c0, c1, c2])
+    }
+
+    fn serve_all_at(p: &ProblemInstance, server: NodeId) -> Placement {
+        let mut placement = Placement::empty(p.tree().num_clients());
+        placement.add_replica(server);
+        for c in p.tree().client_ids() {
+            placement.assign(c, server, p.requests(c));
+        }
+        placement
+    }
+
+    #[test]
+    fn crash_of_the_only_replica_is_repaired_onto_survivors() {
+        let (p, n, _) = sample();
+        // Everything at mid is invalid (c2 off-path); serve at root.
+        let placement = serve_all_at(&p, n[0]);
+        assert!(placement.is_valid(&p, Policy::Upwards));
+        for policy in Policy::ALL {
+            let (platform, outcome) =
+                inject_and_repair(&p, &placement, policy, &[FailureEvent::ServerCrash(n[0])]);
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            // Root dead: c2 (3 requests) is unservable, c0+c1 (6) fit
+            // on mid only if W allows — 6 > 5, so some shortfall under
+            // every policy.
+            assert!(!outcome.is_full(), "{policy}");
+            assert!(outcome.served_fraction() < 1.0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn single_server_crash_with_room_elsewhere_restores_full_service() {
+        let (p, n, c) = {
+            // Same shape as `sample`, but mid holds its full subtree
+            // (W = 6) so the starting placement is Closest-valid.
+            let mut b = TreeBuilder::new();
+            let root = b.add_root();
+            let mid = b.add_node(root);
+            let c0 = b.add_client(mid);
+            let c1 = b.add_client(mid);
+            let c2 = b.add_client(root);
+            let tree = b.build().unwrap();
+            let p = ProblemInstance::replica_cost(tree, vec![4, 2, 3], vec![10, 6]);
+            let nodes: Vec<NodeId> = p.tree().node_ids().collect();
+            (p, nodes, vec![c0, c1, c2])
+        };
+        // Serve c0+c1 at mid, c2 at root.
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        placement.assign(c[0], n[1], 4);
+        placement.assign(c[1], n[1], 2);
+        placement.assign(c[2], n[0], 3);
+        assert!(placement.is_valid(&p, Policy::Closest));
+        // Mid crashes: its 6 requests re-home to the root (3+6 ≤ 10).
+        for policy in Policy::ALL {
+            let (platform, outcome) =
+                inject_and_repair(&p, &placement, policy, &[FailureEvent::ServerCrash(n[1])]);
+            assert!(outcome.is_full(), "{policy}");
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            assert!(outcome.placement().has_replica(n[0]), "{policy}");
+        }
+    }
+
+    #[test]
+    fn capacity_loss_sheds_and_rehomes_the_excess() {
+        let (p, n, c) = sample();
+        let mut placement = Placement::empty(3);
+        placement.add_replica(n[0]);
+        placement.add_replica(n[1]);
+        placement.assign(c[0], n[1], 4);
+        placement.assign(c[1], n[1], 2);
+        placement.assign(c[2], n[0], 3);
+        // Mid degrades to capacity 3: 3 of its 6 requests must move up.
+        let events = [FailureEvent::CapacityLoss {
+            node: n[1],
+            remaining: 3,
+        }];
+        for policy in Policy::ALL {
+            let (platform, outcome) = inject_and_repair(&p, &placement, policy, &events);
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            assert!(outcome.is_full(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn dead_client_uplink_degrades_to_a_correct_partial_report() {
+        let (p, _, c) = sample();
+        let placement = serve_all_at(&p, p.tree().root());
+        let events = [FailureEvent::UplinkDown(LinkId::Client(c[0]))];
+        for policy in Policy::ALL {
+            let (platform, outcome) = inject_and_repair(&p, &placement, policy, &events);
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            match outcome {
+                RepairOutcome::Degraded(report) => {
+                    assert_eq!(report.unserved, vec![c[0]]);
+                    assert_eq!(report.served_requests, 5);
+                    assert_eq!(report.total_requests, 9);
+                }
+                RepairOutcome::Full(_) => panic!("{policy}: c0 is unreachable"),
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_failure_cuts_off_the_subtree_but_serves_the_rest() {
+        let (p, n, c) = sample();
+        let placement = serve_all_at(&p, p.tree().root());
+        let events = [FailureEvent::SubtreeFailure(n[1])];
+        for policy in Policy::ALL {
+            let (platform, outcome) = inject_and_repair(&p, &placement, policy, &events);
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            match outcome {
+                RepairOutcome::Degraded(report) => {
+                    assert_eq!(report.unserved, vec![c[0], c[1]]);
+                    assert_eq!(report.served_requests, 3);
+                }
+                RepairOutcome::Full(_) => panic!("{policy}: the subtree is gone"),
+            }
+        }
+    }
+
+    #[test]
+    fn closest_repair_respects_the_first_replica_rule() {
+        // root -> a -> {c0: 2}; a -> b -> {c1: 2}. Replicas at root and
+        // b; root crashes. c0 must re-home below: opening at `a` would
+        // be cheapest, but b already shields c1 — opening `a` is safe
+        // for c1 (b is *below* a, so b keeps shielding); the repaired
+        // placement must satisfy Closest exactly.
+        let mut bld = TreeBuilder::new();
+        let root = bld.add_root();
+        let a = bld.add_node(root);
+        let c0 = bld.add_client(a);
+        let b = bld.add_node(a);
+        let c1 = bld.add_client(b);
+        let tree = bld.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![2, 2], vec![10, 4, 4]);
+        let nodes: Vec<NodeId> = p.tree().node_ids().collect();
+        let (root_id, a_id, b_id) = (nodes[0], nodes[1], nodes[2]);
+        let mut placement = Placement::empty(2);
+        placement.add_replica(root_id);
+        placement.add_replica(b_id);
+        placement.assign(c0, root_id, 2);
+        placement.assign(c1, b_id, 2);
+        assert!(placement.is_valid(&p, Policy::Closest));
+        let (platform, outcome) = inject_and_repair(
+            &p,
+            &placement,
+            Policy::Closest,
+            &[FailureEvent::ServerCrash(root_id)],
+        );
+        assert!(outcome.is_full());
+        assert!(outcome.verify(&platform, Policy::Closest));
+        assert!(outcome.placement().has_replica(a_id));
+        let _ = c1;
+    }
+
+    #[test]
+    fn no_failures_is_a_no_op_repair() {
+        let (p, n, _) = sample();
+        let placement = serve_all_at(&p, n[0]);
+        for policy in [Policy::Upwards, Policy::Multiple] {
+            let (platform, outcome) = inject_and_repair(&p, &placement, policy, &[]);
+            assert!(outcome.is_full(), "{policy}");
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            assert_eq!(outcome.placement().cost(platform.problem()), 10);
+        }
+    }
+
+    #[test]
+    fn total_platform_loss_yields_the_empty_report() {
+        let (p, n, _) = sample();
+        let placement = serve_all_at(&p, n[0]);
+        let events = [FailureEvent::SubtreeFailure(n[0])];
+        for policy in Policy::ALL {
+            let (platform, outcome) = inject_and_repair(&p, &placement, policy, &events);
+            assert!(outcome.verify(&platform, policy), "{policy}");
+            match outcome {
+                RepairOutcome::Degraded(report) => {
+                    assert_eq!(report.served_requests, 0);
+                    assert_eq!(report.served_fraction(), 0.0);
+                    assert_eq!(report.unserved.len(), 3);
+                    assert_eq!(report.placement.num_replicas(), 0);
+                }
+                RepairOutcome::Full(_) => panic!("{policy}: nothing survives"),
+            }
+        }
+    }
+}

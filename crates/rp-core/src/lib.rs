@@ -84,6 +84,7 @@
 pub mod assignment;
 pub mod bounds;
 pub mod exact;
+pub mod failures;
 pub mod heuristics;
 pub mod ilp;
 pub mod io;
@@ -93,6 +94,10 @@ mod policy;
 mod problem;
 mod solution;
 
+pub use failures::{
+    apply_failures, inject_and_repair, repair_after_failure, DegradedPlacement, DegradedPlatform,
+    FailureEvent, RepairOutcome,
+};
 pub use heuristics::{mixed_best, BandwidthRepair, Heuristic, MixedBest, StateBuffers};
 pub use policy::Policy;
 pub use problem::{ProblemBuilder, ProblemInstance, ProblemKind};

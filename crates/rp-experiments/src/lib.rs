@@ -10,6 +10,9 @@
 //! * [`report`] — CSV / markdown rendering of the per-λ series;
 //! * [`figures`] — one driver per reproduced figure (9–12 plus the QoS
 //!   extension), with shape checks for the paper's qualitative claims;
+//! * [`failures`] — the resilience sweep: survival, degradation and
+//!   repair-latency statistics of every heuristic candidate under
+//!   sampled single-node / single-link failures;
 //! * [`pool`] — a minimal scoped-thread fork-join helper.
 //!
 //! ```
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod failures;
 pub mod figures;
 pub mod metrics;
 pub mod pool;
@@ -34,6 +38,10 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 
+pub use failures::{
+    resilience_markdown, resilience_table, run_resilience, HeuristicSummary, ResilienceConfig,
+    ResilienceResults,
+};
 pub use figures::{reproduce_figure, reproduce_figure_with, FigureId, FigureReport};
 pub use metrics::{LambdaBatch, TrialResult};
 pub use report::{relative_cost_table, success_table, SeriesTable};

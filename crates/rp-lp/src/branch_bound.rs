@@ -212,7 +212,7 @@ pub fn solve_milp_reusing(
                     explored_nodes: explored,
                 };
             }
-            Status::IterationLimit | Status::NodeLimit => {
+            Status::IterationLimit | Status::DeadlineExceeded | Status::NodeLimit => {
                 // Treat as an open node we could not fathom.
                 node_limit_hit = true;
                 continue;

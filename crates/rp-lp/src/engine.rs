@@ -15,10 +15,11 @@
 //! that sweep over many models (the experiment harness, benchmarks) can
 //! switch engines without reallocating.
 
+use crate::error::LpError;
 use crate::model::Model;
 use crate::revised::{solve_lp_revised_reusing, RevisedWorkspace};
 use crate::simplex::{solve_lp_reusing, SimplexOptions, SimplexWorkspace};
-use crate::solution::Solution;
+use crate::solution::{Solution, Status};
 
 /// Which LP engine to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -70,6 +71,50 @@ pub fn solve_lp_engine(
     }
 }
 
+/// Hardened solve: revised simplex first, dense-tableau oracle as the
+/// safety net.
+///
+/// The escalation ladder for a failing solve is
+///
+/// 1. **refactor and retry** — a refused Forrest–Tomlin update already
+///    triggers a refactorisation *inside* the revised engine;
+/// 2. **dense-oracle fallback** — if the revised engine still stops
+///    with a solver-internal failure ([`LpError::SingularBasis`] or
+///    [`LpError::NumericalLoss`]), the model is re-solved on the
+///    independently implemented dense tableau, whose full elimination
+///    does not share the factorisation's failure mode;
+/// 3. **typed error** — only when both engines fail does the caller see
+///    an `Err`.
+///
+/// Budget stops ([`LpError::IterationLimit`] /
+/// [`LpError::DeadlineExceeded`]) are *intentional* and never retried —
+/// the best primal point found is returned when one exists, the typed
+/// error otherwise.
+pub fn solve_lp_hardened(
+    model: &Model,
+    options: &SimplexOptions,
+    workspace: &mut LpWorkspace,
+) -> Result<Solution, LpError> {
+    let solution = solve_lp_revised_reusing(model, options, &mut workspace.revised);
+    match workspace.revised.last_error() {
+        None => Ok(solution),
+        Some(err @ (LpError::SingularBasis | LpError::NumericalLoss)) => {
+            let oracle = solve_lp_reusing(model, options, &mut workspace.dense);
+            match oracle.status {
+                Status::Optimal | Status::Infeasible | Status::Unbounded => Ok(oracle),
+                _ => Err(err),
+            }
+        }
+        Some(err) => {
+            if solution.has_point() {
+                Ok(solution)
+            } else {
+                Err(err)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +134,41 @@ mod tests {
         assert_eq!(dense.status, Status::Optimal);
         assert_eq!(revised.status, Status::Optimal);
         assert!((dense.objective - revised.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hardened_solves_agree_with_the_plain_engine_when_healthy() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(4.0), 2.0);
+        let y = m.add_var("y", 0.0, None, 3.0);
+        m.add_constraint("c", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 6.0);
+        let mut ws = LpWorkspace::new();
+        let options = SimplexOptions::default();
+        let hardened = solve_lp_hardened(&m, &options, &mut ws).expect("healthy solve");
+        assert_eq!(hardened.status, Status::Optimal);
+        let plain = solve_lp_engine(&m, LpEngine::Revised, &options, &mut ws);
+        assert!((hardened.objective - plain.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hardened_solves_surface_budget_stops_as_typed_errors() {
+        use crate::error::SolveBudget;
+        use std::time::Duration;
+        // Two overlapping >= rows force real phase-1 pivots (the crash
+        // pass cannot cover either row), so the zero deadline expires
+        // before any feasible point exists.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("c1", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 4.0);
+        m.add_constraint("c2", lin_sum([(1.0, x), (2.0, y)]), Cmp::Ge, 6.0);
+        let options = SimplexOptions {
+            budget: SolveBudget::with_deadline(Duration::ZERO),
+            ..SimplexOptions::default()
+        };
+        let mut ws = LpWorkspace::new();
+        let err = solve_lp_hardened(&m, &options, &mut ws).unwrap_err();
+        assert_eq!(err, LpError::DeadlineExceeded);
     }
 
     #[test]

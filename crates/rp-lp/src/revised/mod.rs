@@ -29,6 +29,9 @@ mod pricing;
 mod ratio;
 mod scaling;
 
+use std::time::Instant;
+
+use crate::error::LpError;
 use crate::model::Model;
 use crate::simplex::SimplexOptions;
 use crate::solution::{Solution, Status};
@@ -117,6 +120,15 @@ pub struct RevisedWorkspace {
     stats: SolveStats,
     /// Set once a solve left behind a basis usable for warm starts.
     warm_ready: bool,
+    /// Wall-clock deadline of the current solve (from the options'
+    /// [`crate::SolveBudget`]), fixed at solve entry so warm-to-cold
+    /// fallbacks do not restart the clock.
+    deadline: Option<Instant>,
+    /// Whole-solve iterations still allowed under the budget.
+    budget_iters: Option<usize>,
+    /// Typed reason the most recent solve stopped abnormally, if it
+    /// did. See [`RevisedWorkspace::last_error`].
+    last_error: Option<LpError>,
 }
 
 /// Counters describing the most recent solve of a
@@ -161,13 +173,14 @@ impl RevisedWorkspace {
     /// to a cold two-phase solve on any structural change, or when the
     /// dual-simplex cleanup fails.
     pub fn solve_warm(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        self.begin_solve(options);
         self.stats = SolveStats::default();
         self.pricing = effective_pricing(model, options);
         if !self.warm_ready
             || self.presolved != effective_presolve(model, options)
             || self.scaling_mode != options.scaling
         {
-            return self.solve_cold(model, options);
+            return self.solve_cold_inner(model, options);
         }
         if self.presolved {
             // Re-run the (cheap, O(nnz)) analysis: the stored reduced
@@ -179,12 +192,12 @@ impl RevisedWorkspace {
             if !self.presolve.matches_built()
                 || !self.form.matrix_matches_reduced(model, &self.presolve)
             {
-                return self.solve_cold(model, options);
+                return self.solve_cold_inner(model, options);
             }
             self.form.refresh_reduced(model, &self.presolve);
         } else {
             if !self.form.shape_matches(model) || !self.form.matrix_matches(model) {
-                return self.solve_cold(model, options);
+                return self.solve_cold_inner(model, options);
             }
             self.form.refresh_bounds(model);
         }
@@ -204,7 +217,7 @@ impl RevisedWorkspace {
             }
         }
         if !self.refactor_and_recompute() {
-            return self.solve_cold(model, options);
+            return self.solve_cold_inner(model, options);
         }
         match self.dual_loop(options) {
             DualOutcome::PrimalFeasible => {}
@@ -213,7 +226,13 @@ impl RevisedWorkspace {
                 // warm for the next sibling node.
                 return Solution::status_only(Status::Infeasible);
             }
-            DualOutcome::IterationLimit => return self.solve_cold(model, options),
+            // A deadline stop must not restart from scratch — that
+            // would spend even longer. Everything else falls back to a
+            // cold solve, which historically recovers these cases.
+            DualOutcome::Stopped(LpError::DeadlineExceeded) => {
+                return self.fail(LpError::DeadlineExceeded);
+            }
+            DualOutcome::Stopped(_) => return self.solve_cold_inner(model, options),
         }
         // Polish with primal phase 2: exits immediately when the dual
         // cleanup already reached optimality, and absorbs any residual
@@ -223,14 +242,28 @@ impl RevisedWorkspace {
         let outcome = self.primal_loop(&costs, options, false);
         self.phase_costs = costs;
         match outcome {
-            PhaseOutcome::Optimal => self.extract(model, options),
+            PhaseOutcome::Optimal => self.extract(model, options, Status::Optimal),
             PhaseOutcome::Unbounded => Solution::status_only(Status::Unbounded),
-            PhaseOutcome::IterationLimit => Solution::status_only(Status::IterationLimit),
+            PhaseOutcome::Stopped(err) => {
+                // The dual cleanup reached primal feasibility and the
+                // primal polish preserves it: extract the best point
+                // found so far instead of discarding the work.
+                self.last_error = Some(err);
+                self.extract(model, options, err.status())
+            }
         }
     }
 
     /// Cold two-phase solve, ignoring any stored basis.
     pub fn solve_cold(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        self.begin_solve(options);
+        self.solve_cold_inner(model, options)
+    }
+
+    /// [`RevisedWorkspace::solve_cold`] without resetting the solve
+    /// budget — the warm path falls back here mid-solve, and the clock
+    /// must keep running across the fallback.
+    fn solve_cold_inner(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         self.stats = SolveStats::default();
         self.warm_ready = false;
         self.pricing = effective_pricing(model, options);
@@ -310,6 +343,9 @@ impl RevisedWorkspace {
                 continue;
             }
             let r = self.residual[row];
+            // (column, its coefficient in this row) of the best
+            // candidate so far — carrying the coefficient avoids having
+            // to re-find the entry after the scan.
             let mut chosen: Option<(usize, f64)> = None;
             for k in self.form.row_ptr[row]..self.form.row_ptr[row + 1] {
                 let col = self.form.row_cols[k] as usize;
@@ -330,21 +366,15 @@ impl RevisedWorkspace {
                     continue;
                 }
                 match chosen {
-                    Some((_, best_coeff)) if coeff.abs() <= best_coeff => {}
-                    _ => chosen = Some((col, coeff.abs())),
+                    Some((_, best)) if coeff.abs() <= best.abs() => {}
+                    _ => chosen = Some((col, coeff)),
                 }
             }
-            if let Some((col, _)) = chosen {
+            if let Some((col, coeff)) = chosen {
                 // The column leaves its lower bound: remove the lower
                 //-bound contribution already folded into the residual
                 // and install the basic value.
-                let value = {
-                    let coeff = (self.form.col_ptr[col]..self.form.col_ptr[col + 1])
-                        .find(|&t| self.form.col_rows[t] as usize == row)
-                        .map(|t| self.form.col_vals[t])
-                        .expect("crash column has an entry in its row");
-                    self.form.lower[col] + r / coeff
-                };
+                let value = self.form.lower[col] + r / coeff;
                 let delta = value - self.form.lower[col];
                 for t in self.form.col_ptr[col]..self.form.col_ptr[col + 1] {
                     let other = self.form.col_rows[t] as usize;
@@ -402,8 +432,10 @@ impl RevisedWorkspace {
 
         // The crash may leave tiny inconsistencies (clamped values);
         // recomputing `x_B = B⁻¹(b − N·x_N)` makes the start exact.
+        // The crash basis is block triangular by construction, so a
+        // failure here means genuinely degenerate input data.
         if !self.refactor_and_recompute() {
-            return Solution::status_only(Status::IterationLimit);
+            return self.fail(LpError::SingularBasis);
         }
 
         // ---- Phase 1: minimise the sum of artificials. ----
@@ -418,11 +450,13 @@ impl RevisedWorkspace {
             match outcome {
                 PhaseOutcome::Optimal => {}
                 // Phase 1 is bounded below by 0; "unbounded" means a
-                // numerical failure. Report conservatively, like the
-                // dense solver.
-                PhaseOutcome::Unbounded | PhaseOutcome::IterationLimit => {
-                    return Solution::status_only(Status::IterationLimit);
-                }
+                // numerical failure. The status stays the conservative
+                // `IterationLimit` (like the dense solver), with the
+                // precise reason recorded on the workspace.
+                PhaseOutcome::Unbounded => return self.fail(LpError::NumericalLoss),
+                // No feasible point exists yet mid-phase-1, so a budget
+                // or solver stop here has nothing to extract.
+                PhaseOutcome::Stopped(err) => return self.fail(err),
             }
             let infeasibility: f64 = self
                 .basis
@@ -453,10 +487,59 @@ impl RevisedWorkspace {
         let outcome = self.primal_loop(&costs, options, false);
         self.phase_costs = costs;
         match outcome {
-            PhaseOutcome::Optimal => self.extract(model, options),
+            PhaseOutcome::Optimal => self.extract(model, options, Status::Optimal),
             PhaseOutcome::Unbounded => Solution::status_only(Status::Unbounded),
-            PhaseOutcome::IterationLimit => Solution::status_only(Status::IterationLimit),
+            PhaseOutcome::Stopped(err) => {
+                // Phase 2 iterates over primal-feasible bases only, so
+                // the current point is feasible — return it as the best
+                // bound so far rather than discarding the work.
+                self.last_error = Some(err);
+                self.extract(model, options, err.status())
+            }
         }
+    }
+
+    /// Records the typed stop reason and returns its conservative
+    /// status-only solution.
+    fn fail(&mut self, err: LpError) -> Solution {
+        self.last_error = Some(err);
+        Solution::status_only(err.status())
+    }
+
+    /// Resets the per-solve budget state from the options. Runs once
+    /// per public solve entry; internal warm-to-cold fallbacks keep the
+    /// running clock.
+    fn begin_solve(&mut self, options: &SimplexOptions) {
+        self.last_error = None;
+        self.deadline = options
+            .budget
+            .deadline
+            .map(|allowance| Instant::now() + allowance);
+        self.budget_iters = options.budget.max_iterations;
+    }
+
+    /// Charges one iteration against the whole-solve budget, returning
+    /// the typed reason to stop if either limit is exhausted.
+    fn budget_step(&mut self) -> Option<LpError> {
+        if let Some(left) = self.budget_iters.as_mut() {
+            if *left == 0 {
+                return Some(LpError::IterationLimit);
+            }
+            *left -= 1;
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(LpError::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// The typed reason the most recent solve stopped abnormally —
+    /// `None` after a conclusive solve (optimal, infeasible or
+    /// unbounded). Set *in addition to* the returned status: a budget
+    /// stop that still extracted a feasible point reports the error
+    /// here while the solution carries the point.
+    pub fn last_error(&self) -> Option<LpError> {
+        self.last_error
     }
 
     fn load_phase2_costs(&mut self) {
@@ -464,9 +547,12 @@ impl RevisedWorkspace {
         self.phase_costs.extend_from_slice(&self.form.cost);
     }
 
-    /// Extracts the solution (postsolving any presolve reductions) and
-    /// marks the workspace warm.
-    fn extract(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+    /// Extracts the current basic solution (postsolving any presolve
+    /// reductions) under the given status and marks the workspace warm.
+    /// Besides `Status::Optimal`, this also serves budget stops at a
+    /// primal-feasible basis, where the point is feasible but not
+    /// proven optimal.
+    fn extract(&mut self, model: &Model, options: &SimplexOptions, status: Status) -> Solution {
         let mut values = Vec::new();
         self.basis.extract_values(&self.form, &mut values);
         // Clamp numerical dust onto the box so downstream feasibility
@@ -503,7 +589,7 @@ impl RevisedWorkspace {
         }
         self.warm_ready = true;
         Solution {
-            status: Status::Optimal,
+            status,
             objective,
             values,
         }
@@ -712,6 +798,13 @@ impl RevisedWorkspace {
                 }
             };
 
+            // Charge the budget only once a pivot is actually about to
+            // run: an already-optimal basis still reports `Optimal`
+            // even under an expired budget.
+            if let Some(err) = self.budget_step() {
+                return PhaseOutcome::Stopped(err);
+            }
+
             self.ftran_column(entering.col);
             match primal_ratio_test(
                 &self.form,
@@ -729,7 +822,14 @@ impl RevisedWorkspace {
                     self.basis.status[entering.col] = match self.basis.status[entering.col] {
                         ColStatus::Lower => ColStatus::Upper,
                         ColStatus::Upper => ColStatus::Lower,
-                        ColStatus::Basic(_) => unreachable!("entering column is nonbasic"),
+                        // The pricing only proposes nonbasic columns; a
+                        // basic status here means the pricing state and
+                        // the basis desynchronised. Stop with a typed
+                        // error instead of corrupting the basis.
+                        ColStatus::Basic(_) => {
+                            debug_assert!(false, "entering column must be nonbasic");
+                            return PhaseOutcome::Stopped(LpError::NumericalLoss);
+                        }
                     };
                 }
                 Ratio::Pivot {
@@ -778,7 +878,7 @@ impl RevisedWorkspace {
                     // full update budget forces a refactorisation.
                     if !self.factor.update(row) || self.factor.updates() >= REFACTOR_EVERY {
                         if !self.refactor_and_recompute() {
-                            return PhaseOutcome::IterationLimit;
+                            return PhaseOutcome::Stopped(LpError::SingularBasis);
                         }
                         self.compute_reduced_costs(costs);
                         stale_pivots = 0;
@@ -788,7 +888,7 @@ impl RevisedWorkspace {
                 }
             }
         }
-        PhaseOutcome::IterationLimit
+        PhaseOutcome::Stopped(LpError::IterationLimit)
     }
 
     /// Moves every basic variable along the pivot column: the entering
@@ -823,6 +923,10 @@ impl RevisedWorkspace {
                     Some(l) => l,
                     None => break 'search DualOutcome::PrimalFeasible,
                 };
+                // Budget charged per attempted pivot (see primal_loop).
+                if let Some(err) = self.budget_step() {
+                    break 'search DualOutcome::Stopped(err);
+                }
                 // Sparse pivot row α = Aᵀ B⁻ᵀ e_r.
                 self.compute_pivot_row(leaving.row);
 
@@ -845,7 +949,7 @@ impl RevisedWorkspace {
                 if alpha.abs() <= PIVOT_TOL {
                     // The FTRAN disagrees with the BTRAN row — numerical
                     // trouble; let the caller fall back to a cold solve.
-                    break 'search DualOutcome::IterationLimit;
+                    break 'search DualOutcome::Stopped(LpError::NumericalLoss);
                 }
                 let leaving_col = self.basis.basic[row];
                 let target = if leaving.above {
@@ -873,28 +977,32 @@ impl RevisedWorkspace {
                 self.update_reduced_costs(theta_d, entering);
                 if !self.factor.update(row) || self.factor.updates() >= REFACTOR_EVERY {
                     if !self.refactor_and_recompute() {
-                        break 'search DualOutcome::IterationLimit;
+                        break 'search DualOutcome::Stopped(LpError::SingularBasis);
                     }
                     self.compute_reduced_costs(&costs);
                 }
             }
-            DualOutcome::IterationLimit
+            DualOutcome::Stopped(LpError::IterationLimit)
         };
         self.phase_costs = costs;
         outcome
     }
 }
 
+/// How a primal phase ended: converged, proved the LP unbounded, or
+/// stopped for the typed reason (budget, singular basis, lost
+/// accuracy).
 enum PhaseOutcome {
     Optimal,
     Unbounded,
-    IterationLimit,
+    Stopped(LpError),
 }
 
+/// How the dual warm-start cleanup ended.
 enum DualOutcome {
     PrimalFeasible,
     Infeasible,
-    IterationLimit,
+    Stopped(LpError),
 }
 
 /// Solves the continuous relaxation of `model` with the revised simplex
@@ -922,6 +1030,29 @@ pub fn solve_lp_revised_reusing(
     workspace: &mut RevisedWorkspace,
 ) -> Solution {
     workspace.solve_warm(model, options)
+}
+
+/// [`solve_lp_revised_reusing`] with the abnormal-stop reason surfaced
+/// as a typed error instead of a status code.
+///
+/// * `Ok(solution)` — the solve concluded (optimal, infeasible or
+///   unbounded), **or** it was stopped by the [`crate::SolveBudget`]
+///   after reaching primal feasibility, in which case the solution
+///   carries the best point found so far and
+///   [`RevisedWorkspace::last_error`] names the budget limit that hit.
+/// * `Err(error)` — the solve stopped without any usable point:
+///   singular basis, numerical loss, or a budget that expired before a
+///   feasible point existed.
+pub fn solve_lp_revised_checked(
+    model: &Model,
+    options: &SimplexOptions,
+    workspace: &mut RevisedWorkspace,
+) -> Result<Solution, LpError> {
+    let solution = workspace.solve_warm(model, options);
+    match workspace.last_error() {
+        Some(err) if !solution.has_point() => Err(err),
+        _ => Ok(solution),
+    }
 }
 
 #[cfg(test)]
@@ -1385,6 +1516,123 @@ mod tests {
             assert_eq!(d.iterations(), e.iterations(), "rows={rows}");
             assert_eq!(d.refactorisations, e.refactorisations, "rows={rows}");
         }
+    }
+
+    /// Two overlapping `>=` rows: every structural column touches both
+    /// deficient rows, so the crash pass cannot cover either and phase 1
+    /// genuinely needs pivots — which is what lets a zero budget expire
+    /// *before* any feasible point exists.
+    fn needs_phase_one_pivots() -> Model {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 1.0);
+        let y = m.add_var("y", 0.0, None, 1.0);
+        m.add_constraint("c1", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 4.0);
+        m.add_constraint("c2", lin_sum([(1.0, x), (2.0, y)]), Cmp::Ge, 6.0);
+        m
+    }
+
+    #[test]
+    fn expired_deadline_stops_without_panicking() {
+        use crate::error::SolveBudget;
+        use std::time::Duration;
+        // A zero allowance expires before the first pivot: phase 1 has
+        // no feasible point yet, so the stop is status-only with the
+        // typed reason recorded.
+        let m = needs_phase_one_pivots();
+        let options = SimplexOptions {
+            budget: SolveBudget::with_deadline(Duration::ZERO),
+            ..SimplexOptions::default()
+        };
+        let mut ws = RevisedWorkspace::new();
+        let sol = ws.solve_cold(&m, &options);
+        assert_eq!(sol.status, Status::DeadlineExceeded);
+        assert!(!sol.has_point());
+        assert_eq!(ws.last_error(), Some(LpError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn unlimited_budget_leaves_solves_untouched_and_clears_errors() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, None, 2.0);
+        m.add_constraint("ge", LinExpr::var(x), Cmp::Ge, 4.0);
+        let mut ws = RevisedWorkspace::new();
+        let sol = ws.solve_cold(&m, &SimplexOptions::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(ws.last_error(), None);
+    }
+
+    #[test]
+    fn iteration_budget_returns_the_best_feasible_point_so_far() {
+        use crate::error::SolveBudget;
+        // All-`<=` model: the origin is feasible, phase 1 is empty, and
+        // reaching the optimum needs several phase-2 pivots — so a
+        // budget of one iteration must stop mid-phase-2 *with* a
+        // feasible point whose objective is a valid bound.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, None, 3.0);
+        let y = m.add_var("y", 0.0, None, 5.0);
+        m.add_constraint("c1", LinExpr::var(x), Cmp::Le, 4.0);
+        m.add_constraint("c2", lin_sum([(2.0, y)]), Cmp::Le, 12.0);
+        m.add_constraint("c3", lin_sum([(3.0, x), (2.0, y)]), Cmp::Le, 18.0);
+        let optimal = solve_lp_revised(&m);
+        assert_eq!(optimal.status, Status::Optimal);
+        assert_close(optimal.objective, 36.0);
+
+        let mut ws = RevisedWorkspace::new();
+        let stopped = ws.solve_cold(
+            &m,
+            &SimplexOptions {
+                budget: SolveBudget::with_iterations(1),
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(stopped.status, Status::IterationLimit);
+        assert_eq!(ws.last_error(), Some(LpError::IterationLimit));
+        assert!(stopped.has_point(), "phase-2 stop must carry a point");
+        assert!(m.is_feasible(&stopped.values, 1e-6));
+        // Maximisation: any feasible point's objective lower-bounds the
+        // optimum and cannot exceed it.
+        assert!(stopped.objective <= optimal.objective + 1e-6);
+
+        // A generous budget reaches the same optimum and clears the
+        // error.
+        let mut ws = RevisedWorkspace::new();
+        let full = ws.solve_cold(
+            &m,
+            &SimplexOptions {
+                budget: SolveBudget::with_iterations(10_000),
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(full.status, Status::Optimal);
+        assert_eq!(ws.last_error(), None);
+        assert_close(full.objective, optimal.objective);
+    }
+
+    #[test]
+    fn checked_solve_distinguishes_usable_and_unusable_stops() {
+        use crate::error::SolveBudget;
+        use std::time::Duration;
+        let m = needs_phase_one_pivots();
+        let mut ws = RevisedWorkspace::new();
+        // Conclusive solve: Ok with an optimal point.
+        let ok = solve_lp_revised_checked(&m, &SimplexOptions::default(), &mut ws);
+        assert_eq!(ok.unwrap().status, Status::Optimal);
+        // Expired deadline before any feasible point: typed Err.
+        let options = SimplexOptions {
+            budget: SolveBudget::with_deadline(Duration::ZERO),
+            ..SimplexOptions::default()
+        };
+        ws.invalidate();
+        let err = solve_lp_revised_checked(&m, &options, &mut ws);
+        assert_eq!(err.unwrap_err(), LpError::DeadlineExceeded);
+        // Infeasible models are a conclusive answer, not an error.
+        let mut inf = Model::minimize();
+        let z = inf.add_var("z", 0.0, Some(1.0), 1.0);
+        inf.add_constraint("imp", LinExpr::var(z), Cmp::Ge, 5.0);
+        ws.invalidate();
+        let sol = solve_lp_revised_checked(&inf, &SimplexOptions::default(), &mut ws);
+        assert_eq!(sol.unwrap().status, Status::Infeasible);
     }
 
     #[test]

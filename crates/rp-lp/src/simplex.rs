@@ -29,6 +29,7 @@
 //! and solving a tableau performs no heap allocation beyond the returned
 //! [`Solution`]'s value vector.
 
+use crate::error::SolveBudget;
 use crate::model::{Cmp, Model, Sense};
 use crate::revised::{Pricing, Scaling};
 use crate::solution::{Solution, Status};
@@ -62,6 +63,12 @@ pub struct SimplexOptions {
     /// formulations on their historical pivot paths. The solution is
     /// unscaled on extraction (exactly: scales are powers of two).
     pub scaling: Scaling,
+    /// Whole-solve resource budget: wall-clock deadline and/or a total
+    /// iteration cap, both unlimited by default. A budget stop returns
+    /// the best primal-feasible point found so far (see
+    /// [`crate::error`]). **Revised engine only**; the dense tableau
+    /// ignores it.
+    pub budget: SolveBudget,
 }
 
 impl Default for SimplexOptions {
@@ -73,6 +80,7 @@ impl Default for SimplexOptions {
             pricing: Pricing::default(),
             presolve: true,
             scaling: Scaling::default(),
+            budget: SolveBudget::UNLIMITED,
         }
     }
 }

@@ -15,6 +15,11 @@ pub enum Status {
     Unbounded,
     /// The iteration limit was reached before convergence.
     IterationLimit,
+    /// The wall-clock deadline of a
+    /// [`SolveBudget`](crate::SolveBudget) passed before convergence.
+    /// The reported solution (if any) is the best primal-feasible point
+    /// found so far, not a proven optimum.
+    DeadlineExceeded,
     /// The branch-and-bound node limit was reached; the reported solution
     /// (if any) is the best incumbent and the bound may not be proven
     /// optimal.
@@ -35,6 +40,7 @@ impl fmt::Display for Status {
             Status::Infeasible => "infeasible",
             Status::Unbounded => "unbounded",
             Status::IterationLimit => "iteration limit reached",
+            Status::DeadlineExceeded => "deadline exceeded",
             Status::NodeLimit => "node limit reached",
         };
         write!(f, "{s}")
@@ -108,6 +114,7 @@ mod tests {
             Status::IterationLimit.to_string(),
             "iteration limit reached"
         );
+        assert_eq!(Status::DeadlineExceeded.to_string(), "deadline exceeded");
         assert_eq!(Status::NodeLimit.to_string(), "node limit reached");
     }
 

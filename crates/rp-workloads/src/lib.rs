@@ -13,7 +13,9 @@
 //! * [`scenarios`] — the problem-variant families: bandwidth-constrained
 //!   links (heterogeneous and deliberately ill-scaled, up to the
 //!   `s = 2000` class) and multi-object workloads with shared
-//!   capacities and links.
+//!   capacities and links;
+//! * [`failures`] — seeded failure-trace generators (single crashes,
+//!   link cuts, mixed traces) for the chaos and resilience sweeps.
 //!
 //! ```
 //! use rp_workloads::tree_gen::{generate_tree, TreeGenConfig, TreeShape};
@@ -34,11 +36,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod failures;
 pub mod paper_examples;
 pub mod platform;
 pub mod scenarios;
 pub mod tree_gen;
 
+pub use failures::{failure_trace, sample_link_failure, sample_node_failure};
 pub use platform::{
     generate_problem, paper_scale_instance, paper_scale_instance_sized, PlatformKind,
     WorkloadConfig, PAPER_SCALE_S,

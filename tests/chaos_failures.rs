@@ -1,0 +1,81 @@
+//! The chaos harness: 200 seeded random single-node / single-link
+//! failures against a paper-scale (`s = 400`) deployment. Every run
+//! must end in a machine-verified outcome — a placement fully valid
+//! over the survivors or a correct degraded report — with no panic
+//! reachable from the public solve/repair APIs.
+
+use replica_placement::core::{inject_and_repair, Heuristic, Policy};
+use replica_placement::workloads::failures::{sample_link_failure, sample_node_failure};
+use replica_placement::workloads::platform::paper_scale_instance_sized;
+use replica_placement::workloads::{paper_scale_instance, PlatformKind};
+
+#[test]
+fn two_hundred_single_failures_all_yield_verified_outcomes() {
+    let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+    let placement = Heuristic::MixedBest
+        .run(&problem)
+        .expect("the healthy paper-scale instance must place");
+
+    let mut full = 0usize;
+    let mut degraded = 0usize;
+    for trial in 0..200u64 {
+        // Even trials crash a server, odd trials sever a link; every
+        // draw is reproducible from the trial number alone.
+        let failure = if trial.is_multiple_of(2) {
+            sample_node_failure(&problem, 0xC4A05 ^ trial)
+        } else {
+            sample_link_failure(&problem, 0xC4A05 ^ trial)
+        };
+        let (platform, outcome) =
+            inject_and_repair(&problem, &placement, Policy::Multiple, &[failure]);
+        assert!(
+            outcome.verify(&platform, Policy::Multiple),
+            "trial {trial}: {failure} produced an unverifiable outcome"
+        );
+        let fraction = outcome.served_fraction();
+        assert!((0.0..=1.0).contains(&fraction), "trial {trial}");
+        if outcome.is_full() {
+            assert_eq!(fraction, 1.0, "trial {trial}");
+            full += 1;
+        } else {
+            degraded += 1;
+        }
+    }
+    assert_eq!(full + degraded, 200);
+    // Single server crashes are usually absorbable at this load...
+    assert!(full > 0, "no failure was ever fully repaired");
+    // ...while severed client uplinks can only degrade.
+    assert!(degraded > 0, "no failure ever forced a degraded report");
+}
+
+#[test]
+fn chaos_covers_every_policy_on_a_lighter_platform() {
+    // A tamer regime (s = 60, homogeneous, λ = 0.3) where the Closest
+    // and Upwards heuristics also place, so their repair paths are
+    // exercised under the same seeded single failures.
+    let problem = paper_scale_instance_sized(60, PlatformKind::default_homogeneous(), 0.3, 7);
+    let mut policies_exercised = std::collections::HashSet::new();
+    for heuristic in Heuristic::ALL {
+        let Some(placement) = heuristic.run(&problem) else {
+            continue;
+        };
+        let policy = heuristic.policy();
+        for trial in 0..40u64 {
+            let failure = if trial.is_multiple_of(2) {
+                sample_node_failure(&problem, 0xD1CE ^ trial)
+            } else {
+                sample_link_failure(&problem, 0xD1CE ^ trial)
+            };
+            let (platform, outcome) = inject_and_repair(&problem, &placement, policy, &[failure]);
+            assert!(
+                outcome.verify(&platform, policy),
+                "{heuristic:?} trial {trial}: {failure}"
+            );
+        }
+        policies_exercised.insert(policy);
+    }
+    assert!(
+        policies_exercised.contains(&Policy::Multiple),
+        "MG must place the light instance"
+    );
+}
