@@ -7,6 +7,9 @@
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-revised
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-heuristics
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-failures
+//! cargo run --release -p rp-bench --bin baseline -- --smoke-obs
+//! cargo run --release -p rp-bench --bin baseline -- --check-budget [perf-budget.toml]
+//! cargo run --release -p rp-bench --bin baseline -- [--obs-out OUT.json] --obs-only
 //! cargo run --release -p rp-bench --bin baseline -- [--sparse-out OUT.json] --sparse-only
 //! cargo run --release -p rp-bench --bin baseline -- [--heuristics-out OUT.json] --heuristics-only
 //! cargo run --release -p rp-bench --bin baseline -- [--failures-out OUT.json] --failures-only
@@ -47,7 +50,11 @@
 //! repaired within `RP_SMOKE_FAIL_MS` with a machine-checked outcome.
 //! The full run also writes `BENCH_failures.json`: the 200-trial
 //! resilience sweep (survival / degradation / repair latency per
-//! heuristic; see [`write_failures_report`]).
+//! heuristic; see [`write_failures_report`]) — and `BENCH_obs.json`:
+//! the full metrics-registry snapshot of an instrumented representative
+//! workload (see [`write_obs_report`]). `--smoke-obs` gates the
+//! telemetry layer itself and `--check-budget` enforces the pinned
+//! ceilings of `perf-budget.toml` (see [`smoke_obs`] / [`check_budget`]).
 //!
 //! With `--compare OLD.json` the output also contains a `speedup`
 //! section: `old / new` per metric shared with the old file.
@@ -427,6 +434,368 @@ fn smoke_failures() {
             100.0 * outcome.served_fraction()
         );
     }
+}
+
+/// Solves the model cold `n` times on one workspace (invalidated
+/// between solves) and returns the median wall time in ms, exiting
+/// non-zero if any solve fails.
+fn median_cold_solve_ms(model: &rp_lp::Model, n: usize, what: &str) -> f64 {
+    use rp_lp::{solve_lp_revised_reusing, RevisedWorkspace, SimplexOptions, Status};
+
+    let mut workspace = RevisedWorkspace::new();
+    let options = SimplexOptions::default();
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        workspace.invalidate();
+        let (ns, solution) =
+            time_once(|| solve_lp_revised_reusing(model, &options, &mut workspace));
+        if solution.status != Status::Optimal {
+            eprintln!("{what} FAILED: status {}", solution.status);
+            std::process::exit(1);
+        }
+        samples.push(ns / 1e6);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Minimal structural JSON check for the emitted trace/metrics files:
+/// braces and brackets balance outside strings, and the document is one
+/// object. Not a full parser — enough to catch a truncated or
+/// mis-escaped export without pulling in a JSON dependency.
+fn json_is_well_formed(text: &str) -> bool {
+    let text = text.trim();
+    if !text.starts_with('{') || !text.ends_with('}') {
+        return false;
+    }
+    let (mut depth, mut in_string, mut escaped) = (0i64, false, false);
+    for c in text.chars() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
+}
+
+/// The observability CI smoke: three checks back to back.
+///
+/// 1. **Key counters are live** — one instrumented (`ObsMode::Full`)
+///    `s = 400` paper-scale solve must leave the solve counter, the
+///    FTRAN counter, the iteration gauge, the solve histogram and a
+///    warm-start classification nonzero in the global registry.
+/// 2. **Exports round-trip** — the chrome trace and the metrics JSON
+///    written from that run must be structurally well-formed and
+///    contain the expected top-level keys.
+/// 3. **Disabled means free** — with `ObsMode::Off` the median cold
+///    solve must stay within 2% of the pinned pre-instrumentation
+///    timing budget (`RP_SMOKE_OBS_MS`, default 25 ms — the same
+///    ceiling `--smoke-revised` enforced before the telemetry layer
+///    existed), so the mode-gated sites cost nothing when off.
+fn smoke_obs() {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{solve_lp_revised_reusing, RevisedWorkspace, SimplexOptions, Status};
+    use rp_obs::{Counter, Gauge, HistId};
+
+    let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+
+    // --- 1. Instrumented solve: key counters nonzero. ---
+    rp_obs::set_mode(rp_obs::ObsMode::Full);
+    rp_obs::reset_all();
+    rp_obs::clear_trace();
+    let mut workspace = RevisedWorkspace::new();
+    let options = SimplexOptions::default();
+    let solution = solve_lp_revised_reusing(&formulation.model, &options, &mut workspace);
+    if solution.status != Status::Optimal {
+        eprintln!(
+            "s=400 instrumented solve FAILED: status {}",
+            solution.status
+        );
+        std::process::exit(1);
+    }
+    let registry = rp_obs::global();
+    let warm_classified = registry.counter(Counter::LpWarmCold)
+        + registry.counter(Counter::LpWarmHit)
+        + registry.counter(Counter::LpWarmRefactor)
+        + registry.counter(Counter::LpWarmModeChangeCold);
+    let key_counters = [
+        ("lp.solves", registry.counter(Counter::LpSolves)),
+        ("lp.ftran.calls", registry.counter(Counter::LpFtranCalls)),
+        ("lp.btran.calls", registry.counter(Counter::LpBtranCalls)),
+        (
+            "lp.iterations (gauge)",
+            registry.gauge(Gauge::LpLastIterations),
+        ),
+        // L's off-diagonal count can legitimately be zero (tree bases
+        // factor near-triangularly); U always carries the diagonal.
+        (
+            "lp.factor.nnz_u (gauge)",
+            registry.gauge(Gauge::LpFactorNnzU),
+        ),
+        (
+            "lp.solve_us (hist count)",
+            registry.histogram(HistId::LpSolveUs).count(),
+        ),
+        ("lp.warm.* (classified)", warm_classified),
+    ];
+    for (name, value) in key_counters {
+        if value == 0 {
+            eprintln!("smoke-obs FAILED: {name} is zero after an instrumented s=400 solve");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "s=400 instrumented solve: {} iterations, {} FTRANs, ftran skip ratio {:.3}",
+        registry.gauge(Gauge::LpLastIterations),
+        registry.counter(Counter::LpFtranCalls),
+        1.0 - registry.counter(Counter::LpFtranInNnz) as f64
+            / registry.counter(Counter::LpFtranDim).max(1) as f64,
+    );
+
+    // --- 2. Trace and metrics exports parse back. ---
+    let trace = rp_obs::chrome_trace_json();
+    let metrics = rp_obs::metrics_json();
+    for (what, text, key) in [
+        ("trace", &trace, "\"traceEvents\""),
+        ("metrics", &metrics, "\"counters\""),
+    ] {
+        if !json_is_well_formed(text) || !text.contains(key) {
+            eprintln!("smoke-obs FAILED: emitted {what} JSON is malformed or missing {key}");
+            std::process::exit(1);
+        }
+    }
+    if rp_obs::trace_event_count() == 0 {
+        eprintln!("smoke-obs FAILED: the instrumented solve produced no trace events");
+        std::process::exit(1);
+    }
+    println!(
+        "exports round-trip: {} trace events, {} bytes of metrics JSON",
+        rp_obs::trace_event_count(),
+        metrics.len()
+    );
+
+    // --- 3. Off-mode overhead under the pinned budget. ---
+    rp_obs::set_mode(rp_obs::ObsMode::Off);
+    let off_ms = median_cold_solve_ms(&formulation.model, 7, "s=400 off-mode solve");
+    let pinned_ms: f64 = std::env::var("RP_SMOKE_OBS_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let ceiling_ms = pinned_ms * 1.02;
+    if off_ms > ceiling_ms {
+        eprintln!(
+            "smoke-obs FAILED: Off-mode s=400 solve took {off_ms:.2} ms, over the pinned \
+             uninstrumented budget {pinned_ms} ms + 2% ({ceiling_ms:.2} ms)"
+        );
+        std::process::exit(1);
+    }
+    println!("Off-mode s=400 median {off_ms:.2} ms, within the pinned {pinned_ms} ms + 2% ceiling");
+}
+
+/// Writes `BENCH_obs.json`: the metrics-registry snapshot of one fully
+/// instrumented representative workload (the smoke sweep plus the
+/// bandwidth scenario sweep) — every counter, gauge and histogram in
+/// the catalogue, so the telemetry trajectory is tracked across PRs
+/// alongside the timing baselines.
+fn write_obs_report(path: &str) {
+    use rp_experiments::scenarios::{ScenarioConfig, ScenarioFamily};
+
+    let previous = rp_obs::mode();
+    rp_obs::set_mode(rp_obs::ObsMode::Full);
+    rp_obs::reset_all();
+    rp_obs::clear_trace();
+    let sweep = run_sweep(&ExperimentConfig::smoke_test());
+    black_box(&sweep);
+    let scenario = rp_experiments::scenarios::run_scenario(&ScenarioConfig::smoke_test(
+        ScenarioFamily::Bandwidth,
+    ));
+    black_box(&scenario);
+    let json = rp_obs::metrics_json();
+    rp_obs::set_mode(previous);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// Parses the flat `key = value` numeric entries of `perf-budget.toml`
+/// (section headers group, comments explain — only the key names
+/// matter). Hand-rolled on purpose: the workspace is dependency-free
+/// and the format we control is a strict subset of TOML.
+fn parse_budget(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('[') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.trim().to_string(), v));
+        }
+    }
+    out
+}
+
+fn budget_value(budget: &[(String, f64)], key: &str) -> f64 {
+    budget
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|&(_, v)| v)
+        .unwrap_or_else(|| {
+            eprintln!("perf-budget.toml is missing the `{key}` ceiling");
+            std::process::exit(1);
+        })
+}
+
+/// The perf-regression gate (CI): measures the ceilings pinned in
+/// `perf-budget.toml` and fails the build on any breach.
+///
+/// * `s400_bound_ms` — median cold `s = 400` rational-bound solve;
+/// * `s2000_bound_ms` / `s2000_iterations_max` — the multi-thousand-row
+///   bandwidth bound's wall time and simplex iteration count;
+/// * `warm_hit_rate_min` — sibling re-solves (same matrix, shifted
+///   right-hand sides) must ride the warm path, not fall back cold;
+/// * `hardened_dense_fallbacks_max` — a healthy instance must be
+///   answered by the checked revised rung, never the dense oracle.
+fn check_budget(budget_path: &str) {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{
+        solve_lp_hardened, solve_lp_revised_reusing, LpWorkspace, RevisedWorkspace, SimplexOptions,
+        Status,
+    };
+    use rp_obs::Counter;
+    use rp_workloads::scenarios::{bandwidth_scale_instance, feasible_bandwidth_instance};
+
+    let text = std::fs::read_to_string(budget_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {budget_path}: {e}");
+        std::process::exit(1);
+    });
+    let budget = parse_budget(&text);
+    rp_obs::set_mode(rp_obs::ObsMode::Counters);
+    rp_obs::reset_all();
+    let mut failures = 0usize;
+    let mut check = |name: &str, value: f64, ceiling: f64, higher_is_better: bool| {
+        let ok = if higher_is_better {
+            value >= ceiling
+        } else {
+            value <= ceiling
+        };
+        let verdict = if ok { "ok" } else { "BREACH" };
+        let bound = if higher_is_better { "floor" } else { "ceiling" };
+        println!("{verdict:>7}  {name} = {value:.2} ({bound} {ceiling})");
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // --- s = 400 paper-scale bound wall time. ---
+    let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let ms = median_cold_solve_ms(&formulation.model, 5, "s=400 budget solve");
+    check(
+        "s400_bound_ms",
+        ms,
+        budget_value(&budget, "s400_bound_ms"),
+        false,
+    );
+
+    // --- s = 2000 bandwidth bound: wall time and iterations. ---
+    let problem = bandwidth_scale_instance(0.2, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let mut workspace = RevisedWorkspace::new();
+    let options = SimplexOptions::default();
+    let (ns, solution) =
+        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+    if solution.status != Status::Optimal {
+        eprintln!("s=2000 budget solve FAILED: status {}", solution.status);
+        std::process::exit(1);
+    }
+    check(
+        "s2000_bound_ms",
+        ns / 1e6,
+        budget_value(&budget, "s2000_bound_ms"),
+        false,
+    );
+    check(
+        "s2000_iterations_max",
+        workspace.last_stats().iterations() as f64,
+        budget_value(&budget, "s2000_iterations_max"),
+        false,
+    );
+
+    // --- Warm-start hit rate over sibling re-solves. ---
+    rp_obs::reset_all();
+    let problem = feasible_bandwidth_instance(120, 0.4, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let mut model = formulation.model;
+    let mut workspace = RevisedWorkspace::new();
+    solve_lp_revised_reusing(&model, &options, &mut workspace);
+    let constraints: Vec<_> = model.constraint_ids().collect();
+    for step in 1..=9 {
+        // Perturb one right-hand side per sibling: the matrix — and so
+        // the warm path's validity check — stays identical.
+        let id = constraints[step % constraints.len()];
+        let rhs = model.constraint(id).rhs;
+        model.set_rhs(id, rhs + 1.0);
+        solve_lp_revised_reusing(&model, &options, &mut workspace);
+    }
+    check(
+        "warm_hit_rate_min",
+        rp_obs::global().warm_start_rate(),
+        budget_value(&budget, "warm_hit_rate_min"),
+        true,
+    );
+
+    // --- Hardened ladder on a healthy instance. ---
+    let problem = feasible_bandwidth_instance(120, 0.4, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let mut engine_workspace = LpWorkspace::default();
+    match solve_lp_hardened(&formulation.model, &options, &mut engine_workspace) {
+        Ok(hardened) => {
+            println!(
+                "         (healthy s=120 answered by the {} rung)",
+                hardened.rung
+            );
+        }
+        Err(error) => {
+            eprintln!("hardened budget solve FAILED: {error}");
+            std::process::exit(1);
+        }
+    }
+    let registry = rp_obs::global();
+    check(
+        "hardened_dense_fallbacks_max",
+        (registry.counter(Counter::LpHardenedDenseFallback)
+            + registry.counter(Counter::LpHardenedError)) as f64,
+        budget_value(&budget, "hardened_dense_fallbacks_max"),
+        false,
+    );
+
+    if failures > 0 {
+        eprintln!("{failures} perf-budget ceiling(s) breached (see {budget_path})");
+        std::process::exit(1);
+    }
+    println!("all perf-budget ceilings hold ({budget_path})");
 }
 
 /// Writes `BENCH_failures.json`: the resilience trajectory — per
@@ -1217,11 +1586,13 @@ fn main() {
     let mut scenarios_output = String::from("BENCH_scenarios.json");
     let mut heuristics_output = String::from("BENCH_heuristics.json");
     let mut failures_output = String::from("BENCH_failures.json");
+    let mut obs_output = String::from("BENCH_obs.json");
     let mut compare: Option<String> = None;
     let mut sparse_only = false;
     let mut scenarios_only = false;
     let mut heuristics_only = false;
     let mut failures_only = false;
+    let mut obs_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1245,6 +1616,19 @@ fn main() {
                 smoke_failures();
                 return;
             }
+            "--smoke-obs" => {
+                smoke_obs();
+                return;
+            }
+            "--check-budget" => {
+                let path = args
+                    .get(i + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .cloned()
+                    .unwrap_or_else(|| "perf-budget.toml".to_string());
+                check_budget(&path);
+                return;
+            }
             "--sparse-only" => {
                 sparse_only = true;
                 i += 1;
@@ -1260,6 +1644,16 @@ fn main() {
             "--failures-only" => {
                 failures_only = true;
                 i += 1;
+            }
+            "--obs-only" => {
+                obs_only = true;
+                i += 1;
+            }
+            "--obs-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    obs_output = path.clone();
+                }
+                i += 2;
             }
             "--revised-out" => {
                 if let Some(path) = args.get(i + 1) {
@@ -1311,6 +1705,10 @@ fn main() {
     }
     if failures_only {
         write_failures_report(&failures_output);
+        return;
+    }
+    if obs_only {
+        write_obs_report(&obs_output);
         return;
     }
 
@@ -1469,6 +1867,7 @@ fn main() {
     write_scenarios_report(&scenarios_output);
     write_heuristics_report(&heuristics_output);
     write_failures_report(&failures_output);
+    write_obs_report(&obs_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

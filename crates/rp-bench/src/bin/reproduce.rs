@@ -22,6 +22,11 @@
 //!
 //! # write CSV files next to the printed markdown:
 //! cargo run --release -p rp-bench --bin reproduce -- all --out results/
+//!
+//! # capture a chrome://tracing timeline and the metrics snapshot
+//! # (both flags switch observability to `full` for the run):
+//! cargo run --release -p rp-bench --bin reproduce -- bandwidth \
+//!     --trace out.trace.json --metrics out.metrics.json
 //! ```
 //!
 //! The printed tables have one row per load factor λ and one column per
@@ -51,6 +56,8 @@ struct CliOptions {
     out_dir: Option<PathBuf>,
     check_shape: bool,
     bound: Option<rp_core::ilp::BoundKind>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<CliOptions, String> {
@@ -63,6 +70,8 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut out_dir = None;
     let mut check_shape = false;
     let mut bound = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter().peekable();
@@ -92,6 +101,14 @@ fn parse_args() -> Result<CliOptions, String> {
             "--out" => {
                 let value = iter.next().ok_or("--out needs a directory")?;
                 out_dir = Some(PathBuf::from(value));
+            }
+            "--trace" => {
+                let value = iter.next().ok_or("--trace needs a file path")?;
+                trace_out = Some(PathBuf::from(value));
+            }
+            "--metrics" => {
+                let value = iter.next().ok_or("--metrics needs a file path")?;
+                metrics_out = Some(PathBuf::from(value));
             }
             "--bound" => {
                 let value = iter.next().ok_or("--bound needs `rational` or `mixed`")?;
@@ -123,7 +140,30 @@ fn parse_args() -> Result<CliOptions, String> {
         out_dir,
         check_shape,
         bound,
+        trace_out,
+        metrics_out,
     })
+}
+
+/// Writes the trace/metrics exports requested on the command line.
+/// Called once, after every sweep has completed and the λ-sharded
+/// worker pools have joined (their thread-local trace buffers flush on
+/// join; the exporter flushes the main thread itself).
+fn export_observability(options: &CliOptions) {
+    if let Some(path) = &options.trace_out {
+        if let Err(error) = rp_obs::write_chrome_trace(path) {
+            eprintln!("error: cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("  wrote {}", path.display());
+    }
+    if let Some(path) = &options.metrics_out {
+        if let Err(error) = rp_obs::write_metrics_json(path) {
+            eprintln!("error: cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("  wrote {}", path.display());
+    }
 }
 
 fn configure(figure: FigureId, options: &CliOptions) -> ExperimentConfig {
@@ -153,11 +193,18 @@ fn main() {
                 "usage: reproduce [all|paper|bandwidth|multi|failures|fig9|fig10|fig11|fig12|qos\
                  |paper-success|paper-cost|bandwidth-ill|multi-bandwidth]... \
                  [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
-                 [--out DIR] [--check-shape]"
+                 [--out DIR] [--check-shape] [--trace FILE] [--metrics FILE]"
             );
             std::process::exit(2);
         }
     };
+
+    // `RP_OBS` can select any mode; asking for an export implies `full`
+    // (a trace of an uninstrumented run would be empty).
+    rp_obs::init_from_env();
+    if options.trace_out.is_some() || options.metrics_out.is_some() {
+        rp_obs::set_mode(rp_obs::ObsMode::Full);
+    }
 
     if let Some(dir) = &options.out_dir {
         if let Err(error) = std::fs::create_dir_all(dir) {
@@ -167,6 +214,7 @@ fn main() {
     }
 
     let mut shape_failures = 0usize;
+    let mut unverified_repairs = 0usize;
     for &figure in &options.figures {
         let config = configure(figure, &options);
         eprintln!(
@@ -269,11 +317,7 @@ fn main() {
 
         println!("{}", resilience_markdown(&results));
 
-        let unverified = results.total_unverified();
-        if unverified > 0 {
-            eprintln!("{unverified} repair outcome(s) failed their machine check");
-            std::process::exit(1);
-        }
+        unverified_repairs = results.total_unverified();
         if let Some(dir) = &options.out_dir {
             let path = dir.join("failures.csv");
             if let Err(error) = std::fs::write(&path, resilience_table(&results).to_csv()) {
@@ -284,6 +328,12 @@ fn main() {
         }
     }
 
+    export_observability(&options);
+
+    if unverified_repairs > 0 {
+        eprintln!("{unverified_repairs} repair outcome(s) failed their machine check");
+        std::process::exit(1);
+    }
     if shape_failures > 0 {
         eprintln!("{shape_failures} shape expectation(s) violated");
         std::process::exit(1);

@@ -4,9 +4,53 @@
 //!   reproduced figure (`cargo run --release -p rp-bench --bin reproduce -- all`);
 //! * `benches/` — criterion benchmarks: one scaled-down sweep per figure
 //!   plus micro-benchmarks of the heuristics, the exact algorithms and
-//!   the LP solver.
+//!   the LP solver;
+//! * `src/bin/baseline.rs` — the machine-readable perf snapshots
+//!   (`BENCH_*.json`), the CI smoke gates (`--smoke-revised`,
+//!   `--smoke-bandwidth`, `--smoke-heuristics`, `--smoke-failures`,
+//!   `--smoke-obs`) and the `perf-budget.toml` regression gate
+//!   (`--check-budget`).
 //!
 //! This crate contains shared helpers for the benchmarks.
+//!
+//! # Reading a trace
+//!
+//! Every layer of the workspace is instrumented through `rp-obs`
+//! (metric catalogue: `crates/rp-obs/src/catalogue.md`). To capture a
+//! timeline of a real solve, ask `reproduce` for one — the flags imply
+//! `ObsMode::Full`:
+//!
+//! ```text
+//! cargo run --release -p rp-bench --bin reproduce -- bandwidth \
+//!     --trace out.trace.json --metrics out.metrics.json
+//! ```
+//!
+//! Open `out.trace.json` in `chrome://tracing` (or <https://ui.perfetto.dev>).
+//! The file is the Chrome trace-event JSON array format; what you see:
+//!
+//! * **One row per worker thread** of the λ-sharded pool (`tid 0` is
+//!   the main thread; workers flush their buffered events when the
+//!   pool joins).
+//! * **`exp.trial` blocks** — one per (λ, tree) pair. Inside each
+//!   trial the nesting mirrors the harness: an `exp.lp_bound` span for
+//!   the LP bound, an `exp.heuristics` span for the candidate
+//!   placements, and — on the scenario sweeps — `core.lpg.round` for
+//!   the LP-guided rounding/repair pipeline.
+//! * **`lp.solve` spans** under them: every entry into the revised
+//!   simplex, warm or cold. In the `bandwidth` sweep above, the first
+//!   solve of an instance is the long block; its sibling λ re-solves
+//!   are the short blocks right after it — that visible length ratio
+//!   *is* the warm-start win the registry reports as `lp.warm.rate`.
+//! * **Heuristic spans named by acronym** (`MG`, `CTDA`, `UBCF`, …)
+//!   inside the heuristics phase, and `core.repair` spans on the
+//!   resilience sweeps.
+//!
+//! The matching `out.metrics.json` holds the aggregate registry
+//! (counters, gauges, `lp.solve_us`-style histograms with exact
+//! nearest-rank p50/p99, and derived ratios such as the FTRAN sparse
+//! skip rate) for the same run; `BENCH_obs.json` from the baseline
+//! binary is the checked-in snapshot of the same document on the
+//! reference workload.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

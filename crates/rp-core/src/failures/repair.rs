@@ -64,13 +64,22 @@ pub fn repair_after_failure(
     placement: &Placement,
     policy: Policy,
 ) -> RepairOutcome {
+    let _span = rp_obs::span(rp_obs::SpanKind::FailureRepair);
     if let Some(repaired) = surgical_repair(platform, placement, policy) {
+        rp_obs::incr(rp_obs::Counter::CoreRepairSurgical);
         return RepairOutcome::Full(repaired);
     }
     if let Some(rebuilt) = heuristic_fallback(platform, policy) {
+        rp_obs::incr(rp_obs::Counter::CoreRepairHeuristicRerun);
         return RepairOutcome::Full(rebuilt);
     }
-    RepairOutcome::Degraded(degraded_best_effort(platform, policy))
+    rp_obs::incr(rp_obs::Counter::CoreRepairDegraded);
+    let report = degraded_best_effort(platform, policy);
+    rp_obs::add(
+        rp_obs::Counter::CoreRepairDroppedClients,
+        report.unserved.len() as u64,
+    );
+    RepairOutcome::Degraded(report)
 }
 
 /// Steps 1–3: strip, shed, re-home. Returns a fully valid placement or
@@ -173,6 +182,7 @@ fn surgical_repair(
 
     // Re-home the orphans, hardest (largest) first.
     orphans.sort_by_key(|&(c, amount)| (std::cmp::Reverse(amount), c.index()));
+    let mut rehomed = 0u64;
     for (client, amount) in orphans {
         if !rehome(
             problem,
@@ -185,10 +195,15 @@ fn surgical_repair(
         ) {
             return None;
         }
+        rehomed += 1;
     }
 
     prune_idle_replicas(&mut survivor, tree.num_nodes());
-    survivor.is_valid(problem, policy).then_some(survivor)
+    let valid = survivor.is_valid(problem, policy);
+    if valid {
+        rp_obs::add(rp_obs::Counter::CoreRepairRehomedClients, rehomed);
+    }
+    valid.then_some(survivor)
 }
 
 /// Places `amount` orphaned requests of `client` onto surviving

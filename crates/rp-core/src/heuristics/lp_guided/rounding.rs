@@ -91,16 +91,27 @@ enum RoundingMode {
 /// rounding itself is pure integer bookkeeping, so both attempts
 /// together cost a fraction of the LP solve that fed them.
 pub fn round_fractional(problem: &ProblemInstance, fractional: &FractionalLp) -> Option<Placement> {
+    let _span = rp_obs::span(rp_obs::SpanKind::LpGuidedRound);
+    rp_obs::incr(rp_obs::Counter::CoreLpgRounds);
     let a = round_fractional_mode(problem, fractional, RoundingMode::CommitSaturate);
     let b = round_fractional_mode(problem, fractional, RoundingMode::ThinGuided);
-    match (a, b) {
-        (Some(a), Some(b)) => Some(if a.cost(problem) <= b.cost(problem) {
-            a
-        } else {
-            b
-        }),
-        (a, b) => a.or(b),
+    let (winner, win_counter) = match (a, b) {
+        (Some(a), Some(b)) => {
+            if a.cost(problem) <= b.cost(problem) {
+                (Some(a), Some(rp_obs::Counter::CoreLpgWinCommitSaturate))
+            } else {
+                (Some(b), Some(rp_obs::Counter::CoreLpgWinThinGuided))
+            }
+        }
+        (Some(a), None) => (Some(a), Some(rp_obs::Counter::CoreLpgWinCommitSaturate)),
+        (None, Some(b)) => (Some(b), Some(rp_obs::Counter::CoreLpgWinThinGuided)),
+        (None, None) => (None, None),
+    };
+    match win_counter {
+        Some(counter) => rp_obs::incr(counter),
+        None => rp_obs::incr(rp_obs::Counter::CoreLpgInfeasible),
     }
+    winner
 }
 
 fn round_fractional_mode(
@@ -226,6 +237,7 @@ fn round_fractional_mode(
             let amount =
                 remaining[client.index()].min(accounting.max_assignable(tree, client, server));
             if amount > 0 {
+                rp_obs::incr(rp_obs::Counter::CoreLpgMovesRehome);
                 accounting.assign(tree, client, server, amount);
                 placement.assign(client, server, amount);
                 remaining[client.index()] -= amount;
@@ -287,6 +299,7 @@ fn round_fractional_mode(
                 }
                 return None;
             };
+            rp_obs::incr(rp_obs::Counter::CoreLpgMovesEscalateOpen);
             placement.add_replica(server);
             let amount = remaining[client.index()].min(headroom);
             accounting.assign(tree, client, server, amount);
@@ -421,6 +434,10 @@ fn consolidate_replicas(
             continue;
         }
         if saved > problem.storage_cost(candidate) {
+            rp_obs::add(
+                rp_obs::Counter::CoreLpgMovesConsolidate,
+                absorbed.len() as u64,
+            );
             placement.add_replica(candidate);
         } else {
             // Not worth it: restore every absorbed replica.
@@ -489,6 +506,7 @@ fn rescue(
                     if take == 0 {
                         continue;
                     }
+                    rp_obs::incr(rp_obs::Counter::CoreLpgMovesRescue);
                     accounting.unassign(tree, other, server, take);
                     placement.unassign(other, server, take);
                     accounting.assign(tree, other, target, take);
@@ -557,6 +575,7 @@ fn push_down(
                 placement.unassign(client, server, left);
                 let take = left.min(accounting.max_assignable(tree, client, target));
                 if take > 0 {
+                    rp_obs::incr(rp_obs::Counter::CoreLpgMovesPushDown);
                     accounting.assign(tree, client, target, take);
                     placement.assign(client, target, take);
                 }
@@ -646,6 +665,7 @@ fn prune_replicas(
                 placement.assign(client, node, amount);
             }
         } else {
+            rp_obs::incr(rp_obs::Counter::CoreLpgMovesPruneDrop);
             placement.remove_replica(node);
         }
     }

@@ -156,7 +156,9 @@ impl Heuristic {
     /// Panics on [`Heuristic::MixedBest`], which composes the base
     /// heuristics and cannot run on a single shared state.
     pub fn run_with(self, state: &mut HeuristicState<'_>) -> bool {
-        match self {
+        let _span = rp_obs::span_labeled(rp_obs::SpanKind::HeuristicRun, self.acronym());
+        rp_obs::incr(rp_obs::Counter::CoreHeuristicRuns);
+        let served = match self {
             Heuristic::Ctda => closest::ctda_on(state),
             Heuristic::Ctdlf => closest::ctdlf_on(state),
             Heuristic::Cbu => closest::cbu_on(state),
@@ -168,7 +170,11 @@ impl Heuristic {
             Heuristic::MixedBest => {
                 panic!("MixedBest composes the base heuristics; use Heuristic::run")
             }
+        };
+        if !served {
+            rp_obs::incr(rp_obs::Counter::CoreHeuristicFailures);
         }
+        served
     }
 }
 

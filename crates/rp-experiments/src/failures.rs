@@ -172,6 +172,8 @@ pub fn run_resilience(config: &ResilienceConfig) -> ResilienceResults {
 
 /// Runs one (instance, failure) trial of a resilience sweep.
 pub fn run_resilience_trial(config: &ResilienceConfig, trial_index: usize) -> ResilienceTrial {
+    let _span = rp_obs::span(rp_obs::SpanKind::ResilienceTrial);
+    rp_obs::incr(rp_obs::Counter::ExpResilienceTrials);
     let seed = trial_seed(config.seed, trial_index);
     let problem =
         paper_scale_instance_sized(config.problem_size, config.platform, config.lambda, seed);
@@ -247,7 +249,7 @@ impl ResilienceResults {
                         .unwrap_or(0.0),
                     mean_cost_delta_pct: mean(deltas.iter().copied()),
                     mean_repair_ms: mean(repair_ms.iter().copied()).unwrap_or(0.0),
-                    p99_repair_ms: percentile(&repair_ms, 0.99),
+                    p99_repair_ms: rp_obs::nearest_rank(&repair_ms, 0.99),
                     unverified: runs.iter().filter(|r| !r.verified).count(),
                 }
             })
@@ -276,16 +278,6 @@ fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
     } else {
         Some(values.iter().sum::<f64>() / values.len() as f64)
     }
-}
-
-/// The `q`-th percentile of an **already sorted** sample (0.0 for an
-/// empty one), by the nearest-rank method.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Renders a resilience sweep as a table: one row per heuristic.
@@ -449,12 +441,14 @@ mod tests {
     }
 
     #[test]
-    fn percentile_uses_the_nearest_rank() {
-        assert_eq!(percentile(&[], 0.99), 0.0);
-        assert_eq!(percentile(&[5.0], 0.99), 5.0);
+    fn percentile_uses_the_shared_nearest_rank() {
+        // The summary's p99 routes through the workspace-wide
+        // implementation in rp-obs; pin the rule here too.
+        assert_eq!(rp_obs::nearest_rank(&[], 0.99), 0.0);
+        assert_eq!(rp_obs::nearest_rank(&[5.0], 0.99), 5.0);
         let sorted: Vec<f64> = (1..=100).map(|x| x as f64).collect();
-        assert_eq!(percentile(&sorted, 0.99), 99.0);
-        assert_eq!(percentile(&sorted, 0.5), 50.0);
-        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(rp_obs::nearest_rank(&sorted, 0.99), 99.0);
+        assert_eq!(rp_obs::nearest_rank(&sorted, 0.5), 50.0);
+        assert_eq!(rp_obs::nearest_rank(&sorted, 1.0), 100.0);
     }
 }

@@ -17,8 +17,6 @@
 //! the parallel runner as well: after warm-up, a worker's trial
 //! allocates only the tree/problem value vectors themselves.
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -226,10 +224,12 @@ pub fn run_single_trial_with(
     tree_index: usize,
     scratch: &mut WorkerScratch,
 ) -> TrialResult {
+    let _trial_span = rp_obs::span(rp_obs::SpanKind::Trial);
+    rp_obs::incr(rp_obs::Counter::ExpTrials);
     let problem =
         generate_trial_problem_reusing(config, lambda, tree_index, scratch.recycled_tree.take());
 
-    let heuristics_start = Instant::now();
+    let heuristics_span = rp_obs::timed_span(rp_obs::SpanKind::HeuristicsPhase);
     let heuristic_costs: Vec<(Heuristic, Option<u64>)> = config
         .heuristics
         .iter()
@@ -263,9 +263,9 @@ pub fn run_single_trial_with(
             (h, cost)
         })
         .collect();
-    let heuristics_seconds = heuristics_start.elapsed().as_secs_f64();
+    let heuristics_seconds = heuristics_span.finish_seconds();
 
-    let lp_start = Instant::now();
+    let lp_span = rp_obs::timed_span(rp_obs::SpanKind::LpBound);
     let mut ilp_options = IlpOptions::default();
     ilp_options.branch_bound.engine = config.engine;
     // Storage costs are integral, so the bound can always be rounded up
@@ -273,7 +273,7 @@ pub fn run_single_trial_with(
     // relaxation on Replica Counting instances.
     let lp_bound = lower_bound_reusing(&problem, config.bound, &ilp_options, &mut scratch.lp)
         .map(|raw| integral_lower_bound(raw) as f64);
-    let lp_seconds = lp_start.elapsed().as_secs_f64();
+    let lp_seconds = lp_span.finish_seconds();
 
     let result = TrialResult {
         tree_index,

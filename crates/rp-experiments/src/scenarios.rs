@@ -31,8 +31,6 @@
 //! markdown tables; the baseline binary records the same numbers in
 //! `BENCH_scenarios.json` / `BENCH_heuristics.json`.
 
-use std::time::Instant;
-
 use rp_core::heuristics::lp_guided::{lp_guided_multi_reusing, lp_guided_reusing, BandwidthRepair};
 use rp_core::ilp::{build_model, build_multi_model, IlpOptions, Integrality};
 use rp_core::multi::{solve_multi_greedy, MultiGreedyOptions, MultiObjectProblem};
@@ -389,6 +387,8 @@ pub fn run_scenario_trial(
     tree_index: usize,
     workspace: &mut LpWorkspace,
 ) -> ScenarioTrial {
+    let _span = rp_obs::span(rp_obs::SpanKind::Trial);
+    rp_obs::incr(rp_obs::Counter::ExpScenarioTrials);
     let seed = trial_seed(config.seed, tree_index);
     match config.family {
         ScenarioFamily::Bandwidth => {
@@ -424,9 +424,9 @@ fn solve_bound(
     workspace: &mut LpWorkspace,
 ) -> ScenarioTrial {
     let options = SimplexOptions::default();
-    let start = Instant::now();
+    let span = rp_obs::timed_span(rp_obs::SpanKind::LpBound);
     let solution = solve_lp_engine(model, config.engine, &options, workspace);
-    let solve_seconds = start.elapsed().as_secs_f64();
+    let solve_seconds = span.finish_seconds();
     let (iterations, scaling_spread) = match config.engine {
         LpEngine::Revised => (
             workspace.revised.last_stats().iterations(),
@@ -459,7 +459,7 @@ fn single_object_trial(
     let mut trial = solve_bound(&model, config, tree_index, workspace);
 
     let ilp_options = IlpOptions::with_engine(config.engine);
-    let start = Instant::now();
+    let span = rp_obs::timed_span(rp_obs::SpanKind::HeuristicsPhase);
     // Classic ensemble: best of the eight, bandwidth-repaired.
     trial.classic_cost = Heuristic::BASE
         .iter()
@@ -468,7 +468,7 @@ fn single_object_trial(
     // LP-guided rounding (re-solves the same matrix on the warm path).
     trial.lp_guided_cost =
         lp_guided_reusing(problem, &ilp_options, workspace).map(|p| p.cost(problem));
-    trial.heuristics_seconds = start.elapsed().as_secs_f64();
+    trial.heuristics_seconds = span.finish_seconds();
     trial
 }
 
@@ -482,7 +482,7 @@ fn multi_object_trial(
     let mut trial = solve_bound(&model, config, tree_index, workspace);
 
     let ilp_options = IlpOptions::with_engine(config.engine);
-    let start = Instant::now();
+    let span = rp_obs::timed_span(rp_obs::SpanKind::HeuristicsPhase);
     // Classic ensemble: the sequential greedy, kept only when its
     // placement also fits the shared links (the greedy itself is
     // capacity-only).
@@ -491,7 +491,7 @@ fn multi_object_trial(
         .map(|p| p.cost(problem));
     trial.lp_guided_cost =
         lp_guided_multi_reusing(problem, &ilp_options, workspace).map(|p| p.cost(problem));
-    trial.heuristics_seconds = start.elapsed().as_secs_f64();
+    trial.heuristics_seconds = span.finish_seconds();
     trial
 }
 

@@ -71,6 +71,50 @@ pub fn solve_lp_engine(
     }
 }
 
+/// Which rung of the hardened escalation ladder produced an answer.
+/// See [`solve_lp_hardened`] for the ladder itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EscalationRung {
+    /// The checked revised solve answered directly, with no forced
+    /// refactorisation along the way.
+    CheckedRevised,
+    /// The revised solve answered, but only after at least one refused
+    /// Forrest–Tomlin update forced a refactor-retry inside the engine.
+    RefactorRetry,
+    /// The dense-tableau oracle answered after the revised engine
+    /// stopped with a solver-internal failure.
+    DenseOracle,
+}
+
+impl EscalationRung {
+    /// The wire name used in metrics and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EscalationRung::CheckedRevised => "checked_revised",
+            EscalationRung::RefactorRetry => "refactor_retry",
+            EscalationRung::DenseOracle => "dense_oracle",
+        }
+    }
+}
+
+impl std::fmt::Display for EscalationRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A successful [`solve_lp_hardened`] outcome: the solution plus which
+/// escalation rung answered — a healthy instance must answer on
+/// [`EscalationRung::CheckedRevised`], and the perf-budget gate fails
+/// the build when dense-oracle fallbacks appear where none are allowed.
+#[derive(Clone, Debug)]
+pub struct HardenedSolve {
+    /// The solution the answering engine produced.
+    pub solution: Solution,
+    /// The rung that produced it.
+    pub rung: EscalationRung,
+}
+
 /// Hardened solve: revised simplex first, dense-tableau oracle as the
 /// safety net.
 ///
@@ -86,6 +130,9 @@ pub fn solve_lp_engine(
 /// 3. **typed error** — only when both engines fail does the caller see
 ///    an `Err`.
 ///
+/// The returned [`HardenedSolve`] names the rung that answered, and the
+/// same classification lands on the `lp.hardened.*` registry counters.
+///
 /// Budget stops ([`LpError::IterationLimit`] /
 /// [`LpError::DeadlineExceeded`]) are *intentional* and never retried —
 /// the best primal point found is returned when one exists, the typed
@@ -94,25 +141,51 @@ pub fn solve_lp_hardened(
     model: &Model,
     options: &SimplexOptions,
     workspace: &mut LpWorkspace,
-) -> Result<Solution, LpError> {
+) -> Result<HardenedSolve, LpError> {
     let solution = solve_lp_revised_reusing(model, options, &mut workspace.revised);
-    match workspace.revised.last_error() {
-        None => Ok(solution),
+    // A refused FT update that forced a mid-solve refactorisation is
+    // the ladder's first escalation, even though the engine absorbs it
+    // internally.
+    let revised_rung = if workspace.revised.last_stats().refactor_ft_refused > 0 {
+        EscalationRung::RefactorRetry
+    } else {
+        EscalationRung::CheckedRevised
+    };
+    let outcome = match workspace.revised.last_error() {
+        None => Ok(HardenedSolve {
+            solution,
+            rung: revised_rung,
+        }),
         Some(err @ (LpError::SingularBasis | LpError::NumericalLoss)) => {
             let oracle = solve_lp_reusing(model, options, &mut workspace.dense);
             match oracle.status {
-                Status::Optimal | Status::Infeasible | Status::Unbounded => Ok(oracle),
+                Status::Optimal | Status::Infeasible | Status::Unbounded => Ok(HardenedSolve {
+                    solution: oracle,
+                    rung: EscalationRung::DenseOracle,
+                }),
                 _ => Err(err),
             }
         }
         Some(err) => {
             if solution.has_point() {
-                Ok(solution)
+                Ok(HardenedSolve {
+                    solution,
+                    rung: revised_rung,
+                })
             } else {
                 Err(err)
             }
         }
-    }
+    };
+    rp_obs::incr(match &outcome {
+        Ok(answer) => match answer.rung {
+            EscalationRung::CheckedRevised => rp_obs::Counter::LpHardenedCheckedRevised,
+            EscalationRung::RefactorRetry => rp_obs::Counter::LpHardenedRefactorRetry,
+            EscalationRung::DenseOracle => rp_obs::Counter::LpHardenedDenseFallback,
+        },
+        Err(_) => rp_obs::Counter::LpHardenedError,
+    });
+    outcome
 }
 
 #[cfg(test)]
@@ -145,9 +218,12 @@ mod tests {
         let mut ws = LpWorkspace::new();
         let options = SimplexOptions::default();
         let hardened = solve_lp_hardened(&m, &options, &mut ws).expect("healthy solve");
-        assert_eq!(hardened.status, Status::Optimal);
+        assert_eq!(hardened.solution.status, Status::Optimal);
+        // A healthy instance answers on the first rung — no dense
+        // fallback, no FT-refused refactor-retry.
+        assert_eq!(hardened.rung, EscalationRung::CheckedRevised);
         let plain = solve_lp_engine(&m, LpEngine::Revised, &options, &mut ws);
-        assert!((hardened.objective - plain.objective).abs() < 1e-9);
+        assert!((hardened.solution.objective - plain.objective).abs() < 1e-9);
     }
 
     #[test]
@@ -176,5 +252,11 @@ mod tests {
         assert_eq!(LpEngine::default(), LpEngine::Revised);
         assert_eq!(LpEngine::Revised.to_string(), "revised");
         assert_eq!(LpEngine::DenseTableau.to_string(), "dense-tableau");
+        assert_eq!(
+            EscalationRung::CheckedRevised.to_string(),
+            "checked_revised"
+        );
+        assert_eq!(EscalationRung::RefactorRetry.to_string(), "refactor_retry");
+        assert_eq!(EscalationRung::DenseOracle.to_string(), "dense_oracle");
     }
 }

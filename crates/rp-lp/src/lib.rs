@@ -170,12 +170,14 @@ mod solution;
 pub use branch_bound::{
     solve_milp, solve_milp_reusing, solve_milp_with, BranchBoundOptions, MilpOutcome,
 };
-pub use engine::{solve_lp_engine, solve_lp_hardened, LpEngine, LpWorkspace};
+pub use engine::{
+    solve_lp_engine, solve_lp_hardened, EscalationRung, HardenedSolve, LpEngine, LpWorkspace,
+};
 pub use error::{LpError, SolveBudget};
 pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
 pub use revised::{
     solve_lp_revised, solve_lp_revised_checked, solve_lp_revised_reusing, solve_lp_revised_with,
-    Pricing, RevisedWorkspace, Scaling, SolveStats,
+    Pricing, RevisedWorkspace, Scaling, SolveStats, TranCounters, WarmStart,
 };
 pub use simplex::{solve_lp, solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 pub use solution::{Solution, Status};

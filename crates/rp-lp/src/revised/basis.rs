@@ -837,6 +837,16 @@ impl Presolve {
     pub(crate) fn matches_built(&self) -> bool {
         self.row_kept == self.built_row_kept && self.col_kept == self.built_col_kept
     }
+
+    /// Rows eliminated by the most recent [`Presolve::analyze`].
+    pub(crate) fn rows_removed(&self) -> usize {
+        self.row_kept.iter().filter(|&&kept| !kept).count()
+    }
+
+    /// Columns eliminated by the most recent [`Presolve::analyze`].
+    pub(crate) fn cols_removed(&self) -> usize {
+        self.col_kept.iter().filter(|&&kept| !kept).count()
+    }
 }
 
 /// Where a column currently sits.

@@ -38,6 +38,8 @@
 //! All buffers live in the struct and keep their capacity across solves
 //! and refactorisations.
 
+use super::TranCounters;
+
 /// Pivot magnitude below which a refactorisation declares the basis
 /// numerically singular.
 const SINGULAR_TOL: f64 = 1e-11;
@@ -118,6 +120,12 @@ pub(crate) struct Factorization {
     load_rows: Vec<u32>,
     load_vals: Vec<f64>,
     counts: Vec<usize>,
+    // ---- lifetime FTRAN/BTRAN input statistics ----
+    /// Counted in the permute-in loops (the sparse-skip ratio
+    /// diagnostics); monotone across refactorisations, so per-solve
+    /// numbers are deltas taken by the workspace.
+    ftran_io: TranCounters,
+    btran_io: TranCounters,
 }
 
 /// Clears every inner vector and grows the outer one to at least `len`.
@@ -135,6 +143,13 @@ impl Factorization {
     /// refactorisation.
     pub(crate) fn updates(&self) -> usize {
         self.num_updates
+    }
+
+    /// Lifetime `(ftran, btran)` input statistics — calls, input
+    /// nonzeros and summed dimensions since the factorisation was
+    /// created. Monotone; per-solve figures are deltas.
+    pub(crate) fn io_counters(&self) -> (TranCounters, TranCounters) {
+        (self.ftran_io, self.btran_io)
     }
 
     /// Nonzero counts `(nnz(L), nnz(U))` of the current factors
@@ -489,9 +504,15 @@ impl Factorization {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
         let work = &mut self.work;
+        let mut in_nnz = 0u64;
         for k in 0..m {
-            work[k] = v[self.p[k] as usize];
+            let t = v[self.p[k] as usize];
+            in_nnz += u64::from(t != 0.0);
+            work[k] = t;
         }
+        self.ftran_io.calls += 1;
+        self.ftran_io.in_nnz += in_nnz;
+        self.ftran_io.dim += m as u64;
         // L forward solve, scatter form with the zero skip.
         for k in 0..m {
             let t = work[k];
@@ -534,9 +555,15 @@ impl Factorization {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
         let work = &mut self.work;
+        let mut in_nnz = 0u64;
         for k in 0..m {
-            work[k] = v[self.q[k] as usize];
+            let t = v[self.q[k] as usize];
+            in_nnz += u64::from(t != 0.0);
+            work[k] = t;
         }
+        self.btran_io.calls += 1;
+        self.btran_io.in_nnz += in_nnz;
+        self.btran_io.dim += m as u64;
         // Uᵀ forward solve along the elimination order, scatter form
         // over the rows of U.
         for idx in 0..m {

@@ -118,6 +118,9 @@ pub struct RevisedWorkspace {
     alpha_vals: Vec<f64>,
     /// Pivot counters of the most recent solve.
     stats: SolveStats,
+    /// FTRAN/BTRAN lifetime counters at solve entry (the factorisation
+    /// counts monotonically; per-solve numbers are deltas).
+    io_entry: (TranCounters, TranCounters),
     /// Set once a solve left behind a basis usable for warm starts.
     warm_ready: bool,
     /// Wall-clock deadline of the current solve (from the options'
@@ -131,26 +134,120 @@ pub struct RevisedWorkspace {
     last_error: Option<LpError>,
 }
 
+/// Input-density counters of one transform direction (FTRAN or BTRAN):
+/// how many entries the permute-in pass saw, and how many were nonzero.
+/// The complement of the density is the share of work the hyper-sparse
+/// transforms may skip.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranCounters {
+    /// Transform invocations.
+    pub calls: u64,
+    /// Nonzero entries across all input vectors.
+    pub in_nnz: u64,
+    /// Summed input-vector dimensions (total entries seen).
+    pub dim: u64,
+}
+
+impl TranCounters {
+    /// Counter growth since an `earlier` snapshot of the same monotone
+    /// counters (per-solve deltas out of lifetime totals).
+    pub(crate) fn delta_since(self, earlier: TranCounters) -> TranCounters {
+        TranCounters {
+            calls: self.calls.saturating_sub(earlier.calls),
+            in_nnz: self.in_nnz.saturating_sub(earlier.in_nnz),
+            dim: self.dim.saturating_sub(earlier.dim),
+        }
+    }
+
+    /// Fraction of input entries that were exact zeros — the sparsity
+    /// the transforms can exploit. `0.0` before any call.
+    pub fn skip_ratio(self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            1.0 - self.in_nnz as f64 / self.dim as f64
+        }
+    }
+}
+
+/// How a [`RevisedWorkspace`] solve entered: cold, or which warm-start
+/// outcome answered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WarmStart {
+    /// Two-phase cold solve: no stored basis, a structural change, or a
+    /// mid-solve fallback after the warm cleanup stalled.
+    #[default]
+    Cold,
+    /// The warm path answered with only the entry refactorisation.
+    WarmHit,
+    /// The warm path answered but needed further refactorisations along
+    /// the way.
+    WarmRefactor,
+    /// A stored basis existed but the presolve or scaling mode changed,
+    /// forcing a cold rebuild.
+    ModeChangeCold,
+}
+
+impl WarmStart {
+    /// The wire name used in events and metrics JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WarmStart::Cold => "cold",
+            WarmStart::WarmHit => "warm_hit",
+            WarmStart::WarmRefactor => "warm_refactor",
+            WarmStart::ModeChangeCold => "mode_change_cold",
+        }
+    }
+}
+
 /// Counters describing the most recent solve of a
 /// [`RevisedWorkspace`] — what the iteration-count benchmarks (devex vs
-/// Dantzig) and the `BENCH_sparse.json` report read out.
+/// Dantzig), the `BENCH_sparse.json` report and the `rp-obs` registry
+/// read out.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolveStats {
     /// Primal simplex basis changes (phases 1 and 2 combined).
     pub primal_pivots: usize,
+    /// Primal basis changes during phase 1 (artificials allowed).
+    pub phase1_pivots: usize,
     /// Bound flips (nonbasic variable jumps to its opposite bound; no
     /// basis change).
     pub bound_flips: usize,
     /// Dual simplex basis changes (warm starts only).
     pub dual_pivots: usize,
+    /// Basis changes with a zero step length (primal or dual).
+    pub degenerate_pivots: usize,
     /// Refactorisations performed, the initial one included.
     pub refactorisations: usize,
+    /// Refactorisations triggered by the eta-file budget
+    /// ([`REFACTOR_EVERY`]).
+    pub refactor_scheduled: usize,
+    /// Refactorisations forced by a refused (numerically unsafe)
+    /// Forrest–Tomlin update.
+    pub refactor_ft_refused: usize,
+    /// Longest product-form eta chain reached before a refactorisation.
+    pub max_eta_chain: usize,
+    /// Rows eliminated by presolve (0 when presolve did not run).
+    pub presolve_rows_removed: usize,
+    /// Columns eliminated by presolve (0 when presolve did not run).
+    pub presolve_cols_removed: usize,
+    /// FTRAN input-density counters for this solve.
+    pub ftran: TranCounters,
+    /// BTRAN input-density counters for this solve.
+    pub btran: TranCounters,
+    /// Which warm-start outcome this solve took.
+    pub warm: WarmStart,
 }
 
 impl SolveStats {
     /// Total simplex iterations: pivots of both kinds plus bound flips.
     pub fn iterations(&self) -> usize {
         self.primal_pivots + self.bound_flips + self.dual_pivots
+    }
+
+    /// Primal basis changes during phase 2 (and the warm-start polish).
+    pub fn phase2_pivots(&self) -> usize {
+        self.primal_pivots - self.phase1_pivots
     }
 }
 
@@ -173,14 +270,30 @@ impl RevisedWorkspace {
     /// to a cold two-phase solve on any structural change, or when the
     /// dual-simplex cleanup fails.
     pub fn solve_warm(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        let _span = rp_obs::span(rp_obs::SpanKind::LpSolve);
         self.begin_solve(options);
+        let solution = self.solve_warm_inner(model, options);
+        self.finish_solve(&solution);
+        solution
+    }
+
+    /// The warm-path body of [`RevisedWorkspace::solve_warm`], without
+    /// budget reset or telemetry bookkeeping.
+    fn solve_warm_inner(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         self.stats = SolveStats::default();
         self.pricing = effective_pricing(model, options);
         if !self.warm_ready
             || self.presolved != effective_presolve(model, options)
             || self.scaling_mode != options.scaling
         {
-            return self.solve_cold_inner(model, options);
+            let was_warm = self.warm_ready;
+            let solution = self.solve_cold_inner(model, options);
+            if was_warm {
+                // A usable basis existed; only the mode mismatch forced
+                // the cold path.
+                self.stats.warm = WarmStart::ModeChangeCold;
+            }
+            return solution;
         }
         if self.presolved {
             // Re-run the (cheap, O(nnz)) analysis: the stored reduced
@@ -219,6 +332,11 @@ impl RevisedWorkspace {
         if !self.refactor_and_recompute() {
             return self.solve_cold_inner(model, options);
         }
+        // The stored basis is in play: classify the solve as a warm hit
+        // (upgraded to `WarmRefactor` by `finish_solve` if further
+        // refactorisations prove necessary). Mid-solve cold fallbacks
+        // below reset the stats, reverting the classification to cold.
+        self.stats.warm = WarmStart::WarmHit;
         match self.dual_loop(options) {
             DualOutcome::PrimalFeasible => {}
             DualOutcome::Infeasible => {
@@ -256,8 +374,11 @@ impl RevisedWorkspace {
 
     /// Cold two-phase solve, ignoring any stored basis.
     pub fn solve_cold(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
+        let _span = rp_obs::span(rp_obs::SpanKind::LpSolve);
         self.begin_solve(options);
-        self.solve_cold_inner(model, options)
+        let solution = self.solve_cold_inner(model, options);
+        self.finish_solve(&solution);
+        solution
     }
 
     /// [`RevisedWorkspace::solve_cold`] without resetting the solve
@@ -516,6 +637,125 @@ impl RevisedWorkspace {
             .deadline
             .map(|allowance| Instant::now() + allowance);
         self.budget_iters = options.budget.max_iterations;
+        self.io_entry = self.factor.io_counters();
+    }
+
+    /// Final per-solve bookkeeping: computes the FTRAN/BTRAN deltas,
+    /// settles the warm-start classification and the presolve reduction
+    /// counts on [`SolveStats`], then publishes everything into the
+    /// `rp-obs` registry (mode permitting). Pure observation — nothing
+    /// here feeds back into any solver decision.
+    fn finish_solve(&mut self, solution: &Solution) {
+        let (ftran_now, btran_now) = self.factor.io_counters();
+        self.stats.ftran = ftran_now.delta_since(self.io_entry.0);
+        self.stats.btran = btran_now.delta_since(self.io_entry.1);
+        self.stats.max_eta_chain = self.stats.max_eta_chain.max(self.factor.updates());
+        if self.stats.warm == WarmStart::WarmHit && self.stats.refactorisations > 1 {
+            self.stats.warm = WarmStart::WarmRefactor;
+        }
+        if self.presolved {
+            self.stats.presolve_rows_removed = self.presolve.rows_removed();
+            self.stats.presolve_cols_removed = self.presolve.cols_removed();
+        }
+        if rp_obs::counters_on() {
+            self.publish_stats(solution);
+        }
+    }
+
+    /// Publishes the settled [`SolveStats`] into the global `rp-obs`
+    /// registry; in `Full` mode additionally emits one structured
+    /// `lp.solve` event.
+    fn publish_stats(&self, solution: &Solution) {
+        use rp_obs::{Counter, Gauge, GaugeF};
+        let stats = &self.stats;
+        rp_obs::incr(Counter::LpSolves);
+        rp_obs::add(Counter::LpPhase1Pivots, stats.phase1_pivots as u64);
+        rp_obs::add(Counter::LpPhase2Pivots, stats.phase2_pivots() as u64);
+        rp_obs::add(Counter::LpDualPivots, stats.dual_pivots as u64);
+        rp_obs::add(Counter::LpBoundFlips, stats.bound_flips as u64);
+        rp_obs::add(Counter::LpDegeneratePivots, stats.degenerate_pivots as u64);
+        rp_obs::add(Counter::LpRefactorisations, stats.refactorisations as u64);
+        rp_obs::add(
+            Counter::LpRefactorScheduled,
+            stats.refactor_scheduled as u64,
+        );
+        rp_obs::add(
+            Counter::LpRefactorFtRefused,
+            stats.refactor_ft_refused as u64,
+        );
+        rp_obs::incr(match stats.warm {
+            WarmStart::Cold => Counter::LpWarmCold,
+            WarmStart::WarmHit => Counter::LpWarmHit,
+            WarmStart::WarmRefactor => Counter::LpWarmRefactor,
+            WarmStart::ModeChangeCold => Counter::LpWarmModeChangeCold,
+        });
+        rp_obs::add(
+            Counter::LpPresolveRowsRemoved,
+            stats.presolve_rows_removed as u64,
+        );
+        rp_obs::add(
+            Counter::LpPresolveColsRemoved,
+            stats.presolve_cols_removed as u64,
+        );
+        rp_obs::incr(match self.pricing {
+            Pricing::Devex => Counter::LpPricingDevex,
+            Pricing::Dantzig => Counter::LpPricingDantzig,
+            Pricing::Bland => Counter::LpPricingBland,
+        });
+        rp_obs::add(Counter::LpFtranCalls, stats.ftran.calls);
+        rp_obs::add(Counter::LpFtranInNnz, stats.ftran.in_nnz);
+        rp_obs::add(Counter::LpFtranDim, stats.ftran.dim);
+        rp_obs::add(Counter::LpBtranCalls, stats.btran.calls);
+        rp_obs::add(Counter::LpBtranInNnz, stats.btran.in_nnz);
+        rp_obs::add(Counter::LpBtranDim, stats.btran.dim);
+        let (nnz_l, nnz_u) = self.factor.nnz();
+        rp_obs::gauge_set(Gauge::LpFactorNnzL, nnz_l as u64);
+        rp_obs::gauge_set(Gauge::LpFactorNnzU, nnz_u as u64);
+        rp_obs::gauge_max(Gauge::LpEtaChainMax, stats.max_eta_chain as u64);
+        rp_obs::gauge_set(Gauge::LpLastIterations, stats.iterations() as u64);
+        if let Some((before, after)) = self.scaling_spread() {
+            rp_obs::gauge_f_set(GaugeF::LpScalingSpreadBefore, before);
+            rp_obs::gauge_f_set(GaugeF::LpScalingSpreadAfter, after);
+        }
+        if rp_obs::full_on() {
+            let status = solution.status.to_string();
+            rp_obs::emit_event(
+                "lp.solve",
+                &[
+                    ("status", rp_obs::JsonValue::Str(&status)),
+                    ("objective", rp_obs::JsonValue::F64(solution.objective)),
+                    (
+                        "iterations",
+                        rp_obs::JsonValue::U64(stats.iterations() as u64),
+                    ),
+                    (
+                        "primal_pivots",
+                        rp_obs::JsonValue::U64(stats.primal_pivots as u64),
+                    ),
+                    (
+                        "dual_pivots",
+                        rp_obs::JsonValue::U64(stats.dual_pivots as u64),
+                    ),
+                    (
+                        "bound_flips",
+                        rp_obs::JsonValue::U64(stats.bound_flips as u64),
+                    ),
+                    (
+                        "refactorisations",
+                        rp_obs::JsonValue::U64(stats.refactorisations as u64),
+                    ),
+                    ("warm", rp_obs::JsonValue::Str(stats.warm.as_str())),
+                    (
+                        "ftran_skip_ratio",
+                        rp_obs::JsonValue::F64(stats.ftran.skip_ratio()),
+                    ),
+                    (
+                        "btran_skip_ratio",
+                        rp_obs::JsonValue::F64(stats.btran.skip_ratio()),
+                    ),
+                ],
+            );
+        }
     }
 
     /// Charges one iteration against the whole-solve budget, returning
@@ -838,6 +1078,12 @@ impl RevisedWorkspace {
                     to_upper,
                 } => {
                     self.stats.primal_pivots += 1;
+                    if allow_artificial {
+                        self.stats.phase1_pivots += 1;
+                    }
+                    if step == 0.0 {
+                        self.stats.degenerate_pivots += 1;
+                    }
                     // Sparse pivot row on the pre-pivot basis: it
                     // drives the rank-one reduced-cost update and the
                     // devex weights.
@@ -876,7 +1122,17 @@ impl RevisedWorkspace {
                     // Forrest–Tomlin update from the spike the FTRAN
                     // saved; a refused (numerically unsafe) update or a
                     // full update budget forces a refactorisation.
-                    if !self.factor.update(row) || self.factor.updates() >= REFACTOR_EVERY {
+                    let ft_ok = self.factor.update(row);
+                    if ft_ok {
+                        self.stats.max_eta_chain =
+                            self.stats.max_eta_chain.max(self.factor.updates());
+                    }
+                    if !ft_ok || self.factor.updates() >= REFACTOR_EVERY {
+                        if ft_ok {
+                            self.stats.refactor_scheduled += 1;
+                        } else {
+                            self.stats.refactor_ft_refused += 1;
+                        }
                         if !self.refactor_and_recompute() {
                             return PhaseOutcome::Stopped(LpError::SingularBasis);
                         }
@@ -960,6 +1216,9 @@ impl RevisedWorkspace {
                 self.stats.dual_pivots += 1;
                 let theta_d = self.d[entering] / alpha;
                 let dxq = (self.basis.x_basic[row] - target) / alpha;
+                if dxq == 0.0 {
+                    self.stats.degenerate_pivots += 1;
+                }
                 let entering_value = self.basis.nonbasic_value(&self.form, entering) + dxq;
                 if dxq != 0.0 {
                     for (x, &wi) in self.basis.x_basic.iter_mut().zip(&self.w) {
@@ -975,7 +1234,16 @@ impl RevisedWorkspace {
                 self.basis.basic[row] = entering;
                 self.basis.x_basic[row] = entering_value;
                 self.update_reduced_costs(theta_d, entering);
-                if !self.factor.update(row) || self.factor.updates() >= REFACTOR_EVERY {
+                let ft_ok = self.factor.update(row);
+                if ft_ok {
+                    self.stats.max_eta_chain = self.stats.max_eta_chain.max(self.factor.updates());
+                }
+                if !ft_ok || self.factor.updates() >= REFACTOR_EVERY {
+                    if ft_ok {
+                        self.stats.refactor_scheduled += 1;
+                    } else {
+                        self.stats.refactor_ft_refused += 1;
+                    }
                     if !self.refactor_and_recompute() {
                         break 'search DualOutcome::Stopped(LpError::SingularBasis);
                     }
@@ -1217,6 +1485,51 @@ mod tests {
         let warm = ws.solve_warm(&m, &options);
         assert_eq!(warm.status, Status::Optimal);
         assert_close(warm.objective, 4.0); // x = 4, y = 0
+    }
+
+    #[test]
+    fn solve_stats_classify_warm_starts_and_count_transform_io() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 0.0, Some(3.0), 1.0);
+        let y = m.add_var("y", 0.0, None, 2.0);
+        m.add_constraint("cover", lin_sum([(1.0, x), (1.0, y)]), Cmp::Ge, 4.0);
+        let options = SimplexOptions::default();
+        let mut ws = RevisedWorkspace::new();
+
+        let first = ws.solve_cold(&m, &options);
+        assert_eq!(first.status, Status::Optimal);
+        let stats = ws.last_stats();
+        assert_eq!(stats.warm, WarmStart::Cold);
+        assert!(stats.ftran.calls > 0, "cold solve must run FTRANs");
+        assert_eq!(stats.ftran.dim, stats.ftran.calls); // m = 1 row
+        assert!(stats.ftran.in_nnz <= stats.ftran.dim);
+        assert!((0.0..=1.0).contains(&stats.ftran.skip_ratio()));
+        assert_eq!(
+            stats.phase1_pivots + stats.phase2_pivots(),
+            stats.primal_pivots
+        );
+
+        m.set_bounds(x, 0.0, Some(1.0));
+        let warm = ws.solve_warm(&m, &options);
+        assert_eq!(warm.status, Status::Optimal);
+        let stats = ws.last_stats();
+        assert!(
+            matches!(stats.warm, WarmStart::WarmHit | WarmStart::WarmRefactor),
+            "bound-change resolve must take the warm path, got {:?}",
+            stats.warm
+        );
+        // The per-solve IO deltas restart at each solve entry.
+        assert!(stats.ftran.calls > 0);
+
+        // A scaling-mode change with a stored basis is the one cold
+        // flavour that gets its own classification.
+        let scaled = SimplexOptions {
+            scaling: Scaling::Geometric,
+            ..SimplexOptions::default()
+        };
+        let resolved = ws.solve_warm(&m, &scaled);
+        assert_eq!(resolved.status, Status::Optimal);
+        assert_eq!(ws.last_stats().warm, WarmStart::ModeChangeCold);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The structured JSONL event sink.
+//!
+//! In `Full` mode, instrumentation sites emit one JSON object per
+//! interesting occurrence (a solve completing with its `SolveStats`, a
+//! repair escalating a rung, …). Events are rendered eagerly to single
+//! JSON lines and buffered in memory behind a mutex, capped so a
+//! runaway loop degrades to a drop counter instead of unbounded
+//! growth. Exporters write the buffer as a `.jsonl` file.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::full_on;
+use crate::json::{push_json_string, JsonValue};
+
+const EVENTS_CAP: usize = 1 << 18;
+
+static EVENTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static EVENTS_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Emits one structured event (no-op unless the mode is `Full`).
+///
+/// `fields` become the object's keys next to `"event": name`.
+pub fn emit_event(name: &str, fields: &[(&str, JsonValue)]) {
+    if !full_on() {
+        return;
+    }
+    let mut line = String::with_capacity(48 + fields.len() * 24);
+    line.push_str("{\"event\":");
+    push_json_string(&mut line, name);
+    for (key, value) in fields {
+        line.push(',');
+        push_json_string(&mut line, key);
+        line.push(':');
+        value.render(&mut line);
+    }
+    line.push('}');
+
+    let mut events = EVENTS.lock().unwrap();
+    if events.len() >= EVENTS_CAP {
+        EVENTS_DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(line);
+}
+
+/// Number of buffered events.
+pub fn event_count() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Number of events dropped at the cap since the last clear.
+pub fn events_dropped_count() -> u64 {
+    EVENTS_DROPPED.load(Ordering::Relaxed)
+}
+
+/// The buffered events as one newline-terminated JSONL document.
+pub fn events_jsonl() -> String {
+    let events = EVENTS.lock().unwrap();
+    let mut out = String::with_capacity(events.iter().map(|line| line.len() + 1).sum());
+    for line in events.iter() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Clears the buffer (and the dropped counter).
+pub fn clear_events() {
+    EVENTS.lock().unwrap().clear();
+    EVENTS_DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Writes [`events_jsonl`] to `path`.
+pub fn write_events_jsonl(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, events_jsonl())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_dropped_silently_when_mode_is_not_full() {
+        if crate::mode() != crate::ObsMode::Off {
+            return; // global mode flipped by a concurrent test
+        }
+        let before = event_count();
+        emit_event("lp.solve", &[("iterations", JsonValue::U64(12))]);
+        assert_eq!(event_count(), before);
+    }
+
+    #[test]
+    fn jsonl_lines_are_one_object_per_line() {
+        // Render path test without the global buffer: build the line
+        // the way emit_event does.
+        let mut line = String::new();
+        line.push_str("{\"event\":");
+        push_json_string(&mut line, "lp.solve");
+        line.push(',');
+        push_json_string(&mut line, "iterations");
+        line.push(':');
+        JsonValue::U64(12).render(&mut line);
+        line.push('}');
+        assert_eq!(line, "{\"event\":\"lp.solve\",\"iterations\":12}");
+    }
+}

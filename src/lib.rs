@@ -9,6 +9,8 @@
 //! * [`lp`] — the LP/MILP substrate (`rp-lp`);
 //! * [`core`] — problems, policies, exact algorithms, heuristics and ILP
 //!   formulations (`rp-core`);
+//! * [`obs`] — the dependency-free telemetry core: metrics registry,
+//!   scoped spans, trace/metrics exporters (`rp-obs`);
 //! * [`workloads`] — random tree/workload generators and the paper's
 //!   hand-crafted examples (`rp-workloads`);
 //! * [`experiments`] — the evaluation harness behind Figures 9–12
@@ -33,6 +35,7 @@
 pub use rp_core as core;
 pub use rp_experiments as experiments;
 pub use rp_lp as lp;
+pub use rp_obs as obs;
 pub use rp_tree as tree;
 pub use rp_workloads as workloads;
 
