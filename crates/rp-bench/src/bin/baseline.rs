@@ -7,12 +7,14 @@
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-revised
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-heuristics
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-failures
+//! cargo run --release -p rp-bench --bin baseline -- --smoke-online
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-obs
 //! cargo run --release -p rp-bench --bin baseline -- --check-budget [perf-budget.toml]
 //! cargo run --release -p rp-bench --bin baseline -- [--obs-out OUT.json] --obs-only
 //! cargo run --release -p rp-bench --bin baseline -- [--sparse-out OUT.json] --sparse-only
 //! cargo run --release -p rp-bench --bin baseline -- [--heuristics-out OUT.json] --heuristics-only
 //! cargo run --release -p rp-bench --bin baseline -- [--failures-out OUT.json] --failures-only
+//! cargo run --release -p rp-bench --bin baseline -- [--online-out OUT.json] --online-only
 //! ```
 //!
 //! Metrics (all medians over several samples):
@@ -48,9 +50,16 @@
 //! `--smoke-failures` is its fault-tolerance sibling: one seeded node
 //! failure and one seeded link failure on a paper-scale placement, each
 //! repaired within `RP_SMOKE_FAIL_MS` with a machine-checked outcome.
+//! `--smoke-online` drives the full 2000-delta churn sweep through the
+//! online `PlacementEngine` per policy at
+//! `s = 400` and requires every incumbent to pass its machine check
+//! within the `RP_SMOKE_ONLINE_MS` wall budget (see [`smoke_online`]).
 //! The full run also writes `BENCH_failures.json`: the 200-trial
 //! resilience sweep (survival / degradation / repair latency per
-//! heuristic; see [`write_failures_report`]) — and `BENCH_obs.json`:
+//! heuristic; see [`write_failures_report`]) — `BENCH_online.json`: the
+//! `s = 2000` churn trajectory (re-placements/sec, apply-latency
+//! percentiles and rung counters per policy; see
+//! [`write_online_report`]) — and `BENCH_obs.json`:
 //! the full metrics-registry snapshot of an instrumented representative
 //! workload (see [`write_obs_report`]). `--smoke-obs` gates the
 //! telemetry layer itself and `--check-budget` enforces the pinned
@@ -58,6 +67,8 @@
 //!
 //! With `--compare OLD.json` the output also contains a `speedup`
 //! section: `old / new` per metric shared with the old file.
+
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -433,6 +444,74 @@ fn smoke_failures() {
             },
             100.0 * outcome.served_fraction()
         );
+    }
+}
+
+/// The online-engine CI smoke: the default churn sweep — 2000 seeded
+/// mixed deltas per policy on a paper-scale (`s = 400`) instance, each
+/// apply under a 50 ms budget with the incumbent machine-verified
+/// after every one (`Paranoia::Full`). Exits non-zero on any
+/// unverified incumbent, any rollback leak (the outcome mix, the rung
+/// counters and the final generation must all account for exactly the
+/// absorbed deltas), or a total wall time over `RP_SMOKE_ONLINE_MS`
+/// (default 120 000 ms across all three policies).
+fn smoke_online() {
+    use rp_experiments::churn::{run_churn, ChurnRunConfig};
+
+    let config = ChurnRunConfig::new();
+    let budget_ms: f64 = std::env::var("RP_SMOKE_ONLINE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000.0);
+    let (ns, results) = time_once(|| run_churn(&config));
+    let unverified = results.total_unverified();
+    if unverified > 0 {
+        eprintln!("s=400 smoke-online: {unverified} incumbent(s) FAILED their machine check");
+        std::process::exit(1);
+    }
+    for outcome in &results.per_policy {
+        let absorbed = (outcome.applied + outcome.degraded) as u64;
+        let accounted = outcome.applied + outcome.degraded + outcome.deferred == config.deltas
+            && outcome.rungs.total() == absorbed
+            && outcome.final_generation == absorbed;
+        if !accounted {
+            eprintln!(
+                "s=400 smoke-online: {} leaked a rollback ({} applied + {} degraded + {} \
+                 deferred vs {} deltas; rungs {}, generation {})",
+                outcome.policy,
+                outcome.applied,
+                outcome.degraded,
+                outcome.deferred,
+                config.deltas,
+                outcome.rungs.total(),
+                outcome.final_generation
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "s={} {}: {} deltas absorbed ({} applied, {} degraded, {} deferred) — \
+             {:.0} re-placements/s, p99 {:.3} ms, rungs {}/{}/{}/{} \
+             (surgical/lp-repair/rerun/degraded), all incumbents verified",
+            config.problem_size,
+            outcome.policy,
+            absorbed,
+            outcome.applied,
+            outcome.degraded,
+            outcome.deferred,
+            outcome.replacements_per_sec,
+            outcome.p99_ms,
+            outcome.rungs.surgical,
+            outcome.rungs.lp_repair,
+            outcome.rungs.rerun,
+            outcome.rungs.degraded,
+        );
+    }
+    if ns / 1e6 > budget_ms {
+        eprintln!(
+            "s=400 smoke-online REGRESSED: {:.0} ms exceeds the {budget_ms} ms wall budget",
+            ns / 1e6
+        );
+        std::process::exit(1);
     }
 }
 
@@ -860,6 +939,83 @@ fn write_failures_report(path: &str) {
     for (i, (name, value)) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
         s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
+}
+
+/// Writes `BENCH_online.json`: the online-engine churn trajectory at
+/// `s = 2000` — per policy the sustained re-placements per second, the
+/// p50/p99/mean apply latency and the escalation-rung counters under
+/// the default 2000-delta / 50 ms-per-delta sweep. The base seed is
+/// recorded in the file, so every number is reproducible from it. Any
+/// incumbent failing its machine check aborts the report non-zero.
+fn write_online_report(path: &str) {
+    use rp_experiments::churn::{run_churn, ChurnRunConfig};
+
+    let mut config = ChurnRunConfig::new();
+    config.problem_size = 2000;
+    let results = run_churn(&config);
+    let unverified = results.total_unverified();
+    if unverified > 0 {
+        eprintln!("churn sweep produced {unverified} UNVERIFIED incumbent(s)");
+        std::process::exit(1);
+    }
+    let mut entries: Vec<(String, f64)> = vec![
+        ("config/seed".to_string(), config.seed as f64),
+        ("config/deltas".to_string(), config.deltas as f64),
+        (
+            "config/problem_size".to_string(),
+            config.problem_size as f64,
+        ),
+        (
+            "config/budget_ms".to_string(),
+            config.budget_ms.map(|ms| ms as f64).unwrap_or(-1.0),
+        ),
+    ];
+    for outcome in &results.per_policy {
+        let name = outcome.policy.to_string();
+        entries.push((format!("repl_per_sec/{name}"), outcome.replacements_per_sec));
+        entries.push((format!("apply_p50_ms/{name}"), outcome.p50_ms));
+        entries.push((format!("apply_p99_ms/{name}"), outcome.p99_ms));
+        entries.push((format!("apply_mean_ms/{name}"), outcome.mean_ms));
+        entries.push((format!("applied/{name}"), outcome.applied as f64));
+        entries.push((format!("degraded/{name}"), outcome.degraded as f64));
+        entries.push((format!("deferred/{name}"), outcome.deferred as f64));
+        entries.push((
+            format!("rung_surgical/{name}"),
+            outcome.rungs.surgical as f64,
+        ));
+        entries.push((
+            format!("rung_lp_repair/{name}"),
+            outcome.rungs.lp_repair as f64,
+        ));
+        entries.push((format!("rung_rerun/{name}"), outcome.rungs.rerun as f64));
+        entries.push((
+            format!("rung_degraded/{name}"),
+            outcome.rungs.degraded as f64,
+        ));
+    }
+
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str(
+        "  \"units\": \"repl_per_sec = absorbed deltas per wall second, apply_*_ms = \
+         wall-clock ms per apply, the rest are counts; config/seed reproduces the sweep\",\n",
+    );
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.3}{comma}\n"));
     }
     s.push_str("  }\n}\n");
     std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -1586,12 +1742,14 @@ fn main() {
     let mut scenarios_output = String::from("BENCH_scenarios.json");
     let mut heuristics_output = String::from("BENCH_heuristics.json");
     let mut failures_output = String::from("BENCH_failures.json");
+    let mut online_output = String::from("BENCH_online.json");
     let mut obs_output = String::from("BENCH_obs.json");
     let mut compare: Option<String> = None;
     let mut sparse_only = false;
     let mut scenarios_only = false;
     let mut heuristics_only = false;
     let mut failures_only = false;
+    let mut online_only = false;
     let mut obs_only = false;
     let mut i = 0;
     while i < args.len() {
@@ -1614,6 +1772,10 @@ fn main() {
             }
             "--smoke-failures" => {
                 smoke_failures();
+                return;
+            }
+            "--smoke-online" => {
+                smoke_online();
                 return;
             }
             "--smoke-obs" => {
@@ -1643,6 +1805,10 @@ fn main() {
             }
             "--failures-only" => {
                 failures_only = true;
+                i += 1;
+            }
+            "--online-only" => {
+                online_only = true;
                 i += 1;
             }
             "--obs-only" => {
@@ -1685,6 +1851,12 @@ fn main() {
                 }
                 i += 2;
             }
+            "--online-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    online_output = path.clone();
+                }
+                i += 2;
+            }
             other => {
                 output = other.to_string();
                 i += 1;
@@ -1705,6 +1877,10 @@ fn main() {
     }
     if failures_only {
         write_failures_report(&failures_output);
+        return;
+    }
+    if online_only {
+        write_online_report(&online_output);
         return;
     }
     if obs_only {
@@ -1867,6 +2043,7 @@ fn main() {
     write_scenarios_report(&scenarios_output);
     write_heuristics_report(&heuristics_output);
     write_failures_report(&failures_output);
+    write_online_report(&online_output);
     write_obs_report(&obs_output);
 }
 

@@ -17,6 +17,9 @@
 //! # the resilience sweep (single failures, survival/degradation table):
 //! cargo run --release -p rp-bench --bin reproduce -- failures
 //!
+//! # the online churn sweep (2000 deltas per policy, apply latency):
+//! cargo run --release -p rp-bench --bin reproduce -- churn
+//!
 //! # one figure, smaller and faster:
 //! cargo run --release -p rp-bench --bin reproduce -- fig9 --quick
 //!
@@ -35,6 +38,7 @@
 
 use std::path::PathBuf;
 
+use rp_experiments::churn::{churn_markdown, churn_table, run_churn, ChurnRunConfig};
 use rp_experiments::failures::{
     resilience_markdown, resilience_table, run_resilience, ResilienceConfig,
 };
@@ -50,6 +54,7 @@ struct CliOptions {
     figures: Vec<FigureId>,
     scenarios: Vec<ScenarioFamily>,
     resilience: bool,
+    churn: bool,
     quick: bool,
     trees: Option<usize>,
     size_max: Option<usize>,
@@ -64,6 +69,7 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut figures = Vec::new();
     let mut scenarios = Vec::new();
     let mut resilience = false;
+    let mut churn = false;
     let mut quick = false;
     let mut trees = None;
     let mut size_max = None;
@@ -88,6 +94,7 @@ fn parse_args() -> Result<CliOptions, String> {
                 ScenarioFamily::MultiObjectBandwidth,
             ]),
             "failures" => resilience = true,
+            "churn" => churn = true,
             "--quick" => quick = true,
             "--check-shape" => check_shape = true,
             "--trees" => {
@@ -125,7 +132,7 @@ fn parse_args() -> Result<CliOptions, String> {
             },
         }
     }
-    if figures.is_empty() && scenarios.is_empty() && !resilience {
+    if figures.is_empty() && scenarios.is_empty() && !resilience && !churn {
         figures.extend(FigureId::STANDARD);
     }
     figures.dedup();
@@ -134,6 +141,7 @@ fn parse_args() -> Result<CliOptions, String> {
         figures,
         scenarios,
         resilience,
+        churn,
         quick,
         trees,
         size_max,
@@ -190,7 +198,7 @@ fn main() {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: reproduce [all|paper|bandwidth|multi|failures|fig9|fig10|fig11|fig12|qos\
+                "usage: reproduce [all|paper|bandwidth|multi|failures|churn|fig9|fig10|fig11|fig12|qos\
                  |paper-success|paper-cost|bandwidth-ill|multi-bandwidth]... \
                  [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
                  [--out DIR] [--check-shape] [--trace FILE] [--metrics FILE]"
@@ -328,8 +336,48 @@ fn main() {
         }
     }
 
+    let mut unverified_incumbents = 0usize;
+    if options.churn {
+        let mut config = ChurnRunConfig::new();
+        config.problem_size = 2000;
+        if options.quick {
+            config.deltas = 400;
+            config.problem_size = 400;
+        }
+        if let Some(size_max) = options.size_max {
+            config.problem_size = size_max;
+        }
+        let budget = config
+            .budget_ms
+            .map(|ms| format!("{ms} ms"))
+            .unwrap_or_else(|| "unlimited".to_string());
+        eprintln!(
+            "running churn sweep ({} deltas per policy, s = {}, budget = {}, seed = {}) ...",
+            config.deltas, config.problem_size, budget, config.seed
+        );
+        let started = std::time::Instant::now();
+        let results = run_churn(&config);
+        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+
+        println!("{}", churn_markdown(&results));
+
+        unverified_incumbents = results.total_unverified();
+        if let Some(dir) = &options.out_dir {
+            let path = dir.join("churn.csv");
+            if let Err(error) = std::fs::write(&path, churn_table(&results).to_csv()) {
+                eprintln!("error: cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("  wrote {}", path.display());
+        }
+    }
+
     export_observability(&options);
 
+    if unverified_incumbents > 0 {
+        eprintln!("{unverified_incumbents} online incumbent(s) failed their machine check");
+        std::process::exit(1);
+    }
     if unverified_repairs > 0 {
         eprintln!("{unverified_repairs} repair outcome(s) failed their machine check");
         std::process::exit(1);

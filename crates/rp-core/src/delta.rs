@@ -1,0 +1,141 @@
+//! Typed instance deltas — the vocabulary of the online engine.
+//!
+//! A long-lived placement service does not see whole new instances; it
+//! sees a *stream of changes* against the instance it already solved:
+//! clients arriving and leaving, demand drifting, capacity being
+//! re-provisioned, and the failure/recovery events of
+//! [`failures`](crate::failures). [`InstanceDelta`] is that vocabulary.
+//!
+//! The tree topology itself is immutable (every precomputed traversal
+//! in `rp-tree` depends on it), so client arrival and departure are
+//! modelled as request transitions on existing client slots: a
+//! workload generator lays out the maximum client population up front
+//! and an absent client simply has zero requests. This mirrors the
+//! paper's model, where a client with `r_i = 0` constrains nothing.
+
+use std::fmt;
+
+use rp_tree::{ClientId, NodeId};
+
+use crate::failures::FailureEvent;
+
+/// One change to a live [`ProblemInstance`](crate::ProblemInstance),
+/// applied by the online engine against its current state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstanceDelta {
+    /// A client joins (or re-joins) with `requests > 0`. Applying it to
+    /// an already-present client overwrites its demand, so traces may
+    /// be replayed from any checkpoint without pre-state bookkeeping.
+    ClientArrived {
+        /// The client slot that becomes active.
+        client: ClientId,
+        /// Its request volume.
+        requests: u64,
+    },
+    /// A client leaves: its requests drop to zero and its assignments
+    /// become free capacity.
+    ClientDeparted {
+        /// The client slot that goes quiet.
+        client: ClientId,
+    },
+    /// A present client's demand drifts to a new absolute volume.
+    DemandChanged {
+        /// The client whose demand moved.
+        client: ClientId,
+        /// The new request volume (may be higher or lower).
+        requests: u64,
+    },
+    /// The server at `node` is re-provisioned to a new *healthy*
+    /// capacity. Independent of the failure axis: a crashed server that
+    /// is re-provisioned stays dead until it recovers, and then comes
+    /// back at the new capacity.
+    CapacityChanged {
+        /// The re-provisioned server.
+        node: NodeId,
+        /// Its new healthy capacity.
+        capacity: u64,
+    },
+    /// A platform failure or recovery (see [`FailureEvent`]).
+    Failure(FailureEvent),
+}
+
+impl InstanceDelta {
+    /// Short machine-readable tag used in traces and JSON output.
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            InstanceDelta::ClientArrived { .. } => "client-arrived",
+            InstanceDelta::ClientDeparted { .. } => "client-departed",
+            InstanceDelta::DemandChanged { .. } => "demand-changed",
+            InstanceDelta::CapacityChanged { .. } => "capacity-changed",
+            InstanceDelta::Failure(event) => event.kind_name(),
+        }
+    }
+}
+
+impl fmt::Display for InstanceDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceDelta::ClientArrived { client, requests } => {
+                write!(f, "client {client} arrived with {requests} requests")
+            }
+            InstanceDelta::ClientDeparted { client } => {
+                write!(f, "client {client} departed")
+            }
+            InstanceDelta::DemandChanged { client, requests } => {
+                write!(f, "client {client} demand changed to {requests}")
+            }
+            InstanceDelta::CapacityChanged { node, capacity } => {
+                write!(f, "server {node} re-provisioned to capacity {capacity}")
+            }
+            InstanceDelta::Failure(event) => event.fmt(f),
+        }
+    }
+}
+
+impl From<FailureEvent> for InstanceDelta {
+    fn from(event: FailureEvent) -> Self {
+        InstanceDelta::Failure(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failures::RecoveryScope;
+
+    #[test]
+    fn kind_names_and_display_are_informative() {
+        let client = ClientId::from_index(2);
+        let node = NodeId::from_index(1);
+        let deltas = [
+            InstanceDelta::ClientArrived {
+                client,
+                requests: 5,
+            },
+            InstanceDelta::ClientDeparted { client },
+            InstanceDelta::DemandChanged {
+                client,
+                requests: 9,
+            },
+            InstanceDelta::CapacityChanged { node, capacity: 12 },
+            InstanceDelta::Failure(FailureEvent::ServerCrash(node)),
+            FailureEvent::Recovered(RecoveryScope::Server(node)).into(),
+        ];
+        let kinds: Vec<_> = deltas.iter().map(|d| d.kind_name()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "client-arrived",
+                "client-departed",
+                "demand-changed",
+                "capacity-changed",
+                "server-crash",
+                "recovered"
+            ]
+        );
+        for delta in deltas {
+            assert!(!delta.to_string().is_empty());
+        }
+        assert!(deltas[0].to_string().contains("5 requests"));
+    }
+}

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use rp_tree::{ClientId, LinkId, NodeId, TreeNetwork};
 
-use crate::failures::event::FailureEvent;
+use crate::failures::event::{FailureEvent, RecoveryScope};
 use crate::problem::ProblemInstance;
 
 /// A [`ProblemInstance`] after a failure trace: the surviving platform.
@@ -16,6 +16,7 @@ use crate::problem::ProblemInstance;
 /// flags are kept alongside because a zero-capacity server and a
 /// crashed one differ for repair: a replica may not survive on either,
 /// but only a dead *link* severs routes.
+#[derive(Clone)]
 pub struct DegradedPlatform {
     problem: ProblemInstance,
     dead_servers: Vec<bool>,
@@ -60,6 +61,37 @@ pub fn apply_failures(problem: &ProblemInstance, events: &[FailureEvent]) -> Deg
                     kill_server(&mut capacities, &mut dead_servers, member);
                     if !tree.is_root(member) {
                         dead_node_links[member.index()] = true;
+                    }
+                }
+            }
+            FailureEvent::Recovered(scope) => {
+                let mut heal_server = |node: NodeId| {
+                    capacities[node.index()] = problem.capacity(node);
+                    dead_servers[node.index()] = false;
+                };
+                match scope {
+                    RecoveryScope::Server(node) => heal_server(node),
+                    RecoveryScope::Link(LinkId::Client(client)) => {
+                        dead_client_links[client.index()] = false;
+                    }
+                    RecoveryScope::Link(LinkId::Node(node)) => {
+                        dead_node_links[node.index()] = false;
+                    }
+                    RecoveryScope::Subtree(node) => {
+                        for &member in tree.subtree_nodes(node) {
+                            heal_server(member);
+                            dead_node_links[member.index()] = false;
+                        }
+                        for &client in tree.subtree_clients(node) {
+                            dead_client_links[client.index()] = false;
+                        }
+                    }
+                    RecoveryScope::All => {
+                        for node in tree.node_ids() {
+                            heal_server(node);
+                            dead_node_links[node.index()] = false;
+                        }
+                        dead_client_links.fill(false);
                     }
                 }
             }
@@ -129,6 +161,33 @@ fn rebuild_with(
 }
 
 impl DegradedPlatform {
+    /// Assembles a platform from an already-degraded instance plus its
+    /// dead flags. The online engine maintains these four pieces
+    /// incrementally (one delta at a time) rather than replaying a
+    /// growing trace through [`apply_failures`]; `problem` must already
+    /// encode the flags (capacity 0 on dead servers, bandwidth
+    /// `Some(0)` on dead links).
+    ///
+    /// # Panics
+    /// If a flag vector's length does not match the tree.
+    pub fn from_parts(
+        problem: ProblemInstance,
+        dead_servers: Vec<bool>,
+        dead_client_links: Vec<bool>,
+        dead_node_links: Vec<bool>,
+    ) -> Self {
+        let tree = problem.tree();
+        assert_eq!(dead_servers.len(), tree.num_nodes());
+        assert_eq!(dead_client_links.len(), tree.num_clients());
+        assert_eq!(dead_node_links.len(), tree.num_nodes());
+        DegradedPlatform {
+            problem,
+            dead_servers,
+            dead_client_links,
+            dead_node_links,
+        }
+    }
+
     /// The surviving instance (degraded capacities and bandwidths).
     pub fn problem(&self) -> &ProblemInstance {
         &self.problem
@@ -312,6 +371,98 @@ mod tests {
             assert!(!platform.path_is_alive(c[1], server));
         }
         assert!(platform.path_is_alive(c[2], n[0]));
+    }
+
+    #[test]
+    fn recovery_restores_pristine_capacity_and_links() {
+        let (p, n, c) = sample();
+        // Crash mid, degrade root, cut c0's uplink — then heal each.
+        let trace = [
+            FailureEvent::ServerCrash(n[1]),
+            FailureEvent::CapacityLoss {
+                node: n[0],
+                remaining: 2,
+            },
+            FailureEvent::UplinkDown(LinkId::Client(c[0])),
+            FailureEvent::Recovered(RecoveryScope::Server(n[1])),
+            FailureEvent::Recovered(RecoveryScope::Server(n[0])),
+            FailureEvent::Recovered(RecoveryScope::Link(LinkId::Client(c[0]))),
+        ];
+        let platform = apply_failures(&p, &trace);
+        assert!(!platform.is_server_dead(n[1]));
+        assert_eq!(platform.problem().capacity(n[1]), p.capacity(n[1]));
+        assert_eq!(platform.problem().capacity(n[0]), p.capacity(n[0]));
+        assert_eq!(platform.num_dead_links(), 0);
+        assert!(platform.path_is_alive(c[0], n[0]));
+    }
+
+    #[test]
+    fn recovery_order_matters() {
+        let (p, n, _) = sample();
+        // Heal, then crash again: the crash wins.
+        let platform = apply_failures(
+            &p,
+            &[
+                FailureEvent::ServerCrash(n[1]),
+                FailureEvent::Recovered(RecoveryScope::Server(n[1])),
+                FailureEvent::ServerCrash(n[1]),
+            ],
+        );
+        assert!(platform.is_server_dead(n[1]));
+        assert_eq!(platform.problem().capacity(n[1]), 0);
+    }
+
+    #[test]
+    fn subtree_recovery_heals_members_links_and_clients() {
+        let (p, n, c) = sample();
+        let platform = apply_failures(
+            &p,
+            &[
+                FailureEvent::SubtreeFailure(n[1]),
+                FailureEvent::UplinkDown(LinkId::Client(c[0])),
+                FailureEvent::Recovered(RecoveryScope::Subtree(n[1])),
+            ],
+        );
+        assert_eq!(platform.num_dead_servers(), 0);
+        assert_eq!(platform.num_dead_links(), 0);
+        assert!(platform.path_is_alive(c[0], n[0]));
+        assert!(platform.path_is_alive(c[1], n[1]));
+    }
+
+    #[test]
+    fn recover_all_returns_to_the_pristine_instance() {
+        let (p, n, c) = sample();
+        let platform = apply_failures(
+            &p,
+            &[
+                FailureEvent::SubtreeFailure(n[0]),
+                FailureEvent::UplinkDown(LinkId::Client(c[2])),
+                FailureEvent::Recovered(RecoveryScope::All),
+            ],
+        );
+        assert_eq!(platform.num_dead_servers(), 0);
+        assert_eq!(platform.num_dead_links(), 0);
+        for &node in &n {
+            assert_eq!(platform.problem().capacity(node), p.capacity(node));
+        }
+        for &client in &c {
+            assert!(platform.path_is_alive(client, n[0]));
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_applied_platform() {
+        let (p, n, _) = sample();
+        let applied = apply_failures(&p, &[FailureEvent::ServerCrash(n[2])]);
+        let rebuilt = DegradedPlatform::from_parts(
+            applied.problem().clone(),
+            applied.dead_servers.clone(),
+            applied.dead_client_links.clone(),
+            applied.dead_node_links.clone(),
+        );
+        assert!(rebuilt.is_server_dead(n[2]));
+        assert_eq!(rebuilt.problem().capacity(n[2]), 0);
+        assert_eq!(rebuilt.num_dead_servers(), 1);
     }
 
     #[test]

@@ -37,6 +37,35 @@ pub enum FailureEvent {
     /// uplink inside the subtree — including `node`'s own — goes down,
     /// so the subtree's clients are cut off entirely.
     SubtreeFailure(NodeId),
+    /// The scoped part of the platform *heals*: capacities return to
+    /// their pristine values and dead links come back up. Recovery is
+    /// the one event for which left-to-right order matters beyond
+    /// "worst effect wins" — a crash *after* a recovery kills the node
+    /// again, a crash *before* it is undone.
+    Recovered(RecoveryScope),
+}
+
+/// What part of the platform a [`FailureEvent::Recovered`] event heals.
+///
+/// Recovery always restores to the *pristine* instance — there is no
+/// partial heal. A scope that was never degraded is a no-op, so traces
+/// composed by a generator may recover liberally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryScope {
+    /// The server at `node` comes back: capacity returns to its
+    /// pristine value and the crashed flag clears. Undoes both
+    /// [`FailureEvent::ServerCrash`] and [`FailureEvent::CapacityLoss`].
+    Server(NodeId),
+    /// The named link comes back up at its pristine bandwidth.
+    Link(LinkId),
+    /// The whole subtree of `node` heals: every member server, every
+    /// internal uplink, **and** the uplinks of clients attached inside
+    /// the subtree (the site is back on power, so its last-hop links
+    /// are too).
+    Subtree(NodeId),
+    /// Everything heals — the platform returns to the pristine
+    /// instance.
+    All,
 }
 
 impl FailureEvent {
@@ -47,6 +76,7 @@ impl FailureEvent {
             FailureEvent::UplinkDown(_) => "uplink-down",
             FailureEvent::CapacityLoss { .. } => "capacity-loss",
             FailureEvent::SubtreeFailure(_) => "subtree-failure",
+            FailureEvent::Recovered(_) => "recovered",
         }
     }
 }
@@ -62,6 +92,12 @@ impl fmt::Display for FailureEvent {
             FailureEvent::SubtreeFailure(node) => {
                 write!(f, "subtree of {node} failed")
             }
+            FailureEvent::Recovered(scope) => match scope {
+                RecoveryScope::Server(node) => write!(f, "server {node} recovered"),
+                RecoveryScope::Link(link) => write!(f, "{link} restored"),
+                RecoveryScope::Subtree(node) => write!(f, "subtree of {node} recovered"),
+                RecoveryScope::All => write!(f, "platform fully recovered"),
+            },
         }
     }
 }
@@ -78,6 +114,8 @@ mod tests {
             FailureEvent::UplinkDown(LinkId::Node(node)),
             FailureEvent::CapacityLoss { node, remaining: 7 },
             FailureEvent::SubtreeFailure(node),
+            FailureEvent::Recovered(RecoveryScope::Server(node)),
+            FailureEvent::Recovered(RecoveryScope::All),
         ];
         let kinds: Vec<_> = events.iter().map(|e| e.kind_name()).collect();
         assert_eq!(
@@ -86,7 +124,9 @@ mod tests {
                 "server-crash",
                 "uplink-down",
                 "capacity-loss",
-                "subtree-failure"
+                "subtree-failure",
+                "recovered",
+                "recovered"
             ]
         );
         for event in events {

@@ -51,6 +51,9 @@ mod repair;
 mod report;
 
 pub use apply::{apply_failures, DegradedPlatform};
-pub use event::FailureEvent;
-pub use repair::{inject_and_repair, repair_after_failure};
+pub use event::{FailureEvent, RecoveryScope};
+pub use repair::{
+    degraded_best_effort, heuristic_fallback, inject_and_repair, prune_idle_replicas, rehome,
+    repair_after_failure, surgical_repair,
+};
 pub use report::{DegradedPlacement, RepairOutcome};

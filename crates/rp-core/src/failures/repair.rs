@@ -83,8 +83,11 @@ pub fn repair_after_failure(
 }
 
 /// Steps 1–3: strip, shed, re-home. Returns a fully valid placement or
-/// `None` when some orphan cannot be re-homed.
-fn surgical_repair(
+/// `None` when some orphan cannot be re-homed. Public because the
+/// online engine uses it as the cheapest rung of its own escalation
+/// ladder (failure-only deltas leave demand untouched, so this exact
+/// pass applies).
+pub fn surgical_repair(
     platform: &DegradedPlatform,
     placement: &Placement,
     policy: Policy,
@@ -209,8 +212,10 @@ fn surgical_repair(
 /// Places `amount` orphaned requests of `client` onto surviving
 /// servers; returns whether the whole amount found a home. Dead servers
 /// and dead links are excluded automatically — their residuals are zero
-/// in the degraded accounting.
-fn rehome(
+/// in the degraded accounting. `survivor` and `accounting` must agree
+/// (every assignment charged) before the call; on `false` they are left
+/// exactly as they were (partial moves under Multiple are rolled back).
+pub fn rehome(
     problem: &ProblemInstance,
     platform: &DegradedPlatform,
     survivor: &mut Placement,
@@ -361,7 +366,7 @@ fn closest_safe_to_open(tree: &rp_tree::TreeNetwork, survivor: &Placement, v: No
 /// Step 4: rebuild from scratch with the policy's own heuristics
 /// (bandwidth-repaired, since dead links surface as zero-bandwidth
 /// limits) and keep the cheapest valid placement.
-fn heuristic_fallback(platform: &DegradedPlatform, policy: Policy) -> Option<Placement> {
+pub fn heuristic_fallback(platform: &DegradedPlatform, policy: Policy) -> Option<Placement> {
     let problem = platform.problem();
     let mut best: Option<(u64, Placement)> = None;
     for heuristic in Heuristic::BASE {
@@ -379,8 +384,9 @@ fn heuristic_fallback(platform: &DegradedPlatform, policy: Policy) -> Option<Pla
 }
 
 /// Step 5: grow a best-effort partial placement from empty and shrink
-/// it by validate-and-drop until provably correct.
-fn degraded_best_effort(platform: &DegradedPlatform, policy: Policy) -> DegradedPlacement {
+/// it by validate-and-drop until provably correct. Total: every
+/// platform, however broken, yields a verified report.
+pub fn degraded_best_effort(platform: &DegradedPlatform, policy: Policy) -> DegradedPlacement {
     let problem = platform.problem();
     let tree = problem.tree();
     let mut placement = Placement::empty(tree.num_clients());
@@ -496,7 +502,7 @@ fn violating_client(
 
 /// Drops replicas that no longer serve anything (they cost money and,
 /// under Closest, can shadow the real server).
-fn prune_idle_replicas(placement: &mut Placement, num_nodes: usize) {
+pub fn prune_idle_replicas(placement: &mut Placement, num_nodes: usize) {
     let mut loads = rp_tree::NodeMap::filled(num_nodes, 0u64);
     placement.accumulate_server_loads(&mut loads);
     let idle: Vec<NodeId> = placement

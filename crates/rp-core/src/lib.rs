@@ -80,9 +80,14 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Predates the workspace ban on panicking accessors (see clippy.toml);
+// new long-lived code (rp-online, rp-obs) enforces it.
+#![allow(clippy::disallowed_methods)]
 
 pub mod assignment;
 pub mod bounds;
+pub mod delta;
+pub mod dirty;
 pub mod exact;
 pub mod failures;
 pub mod heuristics;
@@ -94,9 +99,11 @@ mod policy;
 mod problem;
 mod solution;
 
+pub use delta::InstanceDelta;
+pub use dirty::DirtyRegion;
 pub use failures::{
     apply_failures, inject_and_repair, repair_after_failure, DegradedPlacement, DegradedPlatform,
-    FailureEvent, RepairOutcome,
+    FailureEvent, RecoveryScope, RepairOutcome,
 };
 pub use heuristics::{mixed_best, BandwidthRepair, Heuristic, MixedBest, StateBuffers};
 pub use policy::Policy;

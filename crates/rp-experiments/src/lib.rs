@@ -28,8 +28,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Predates the workspace ban on panicking accessors (see clippy.toml);
+// new long-lived code (rp-online, rp-obs) enforces it.
+#![allow(clippy::disallowed_methods)]
 
 pub mod ablations;
+pub mod churn;
 pub mod failures;
 pub mod figures;
 pub mod metrics;
@@ -38,6 +42,9 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 
+pub use churn::{
+    churn_markdown, churn_table, run_churn, ChurnPolicyOutcome, ChurnResults, ChurnRunConfig,
+};
 pub use failures::{
     resilience_markdown, resilience_table, run_resilience, HeuristicSummary, ResilienceConfig,
     ResilienceResults,

@@ -48,6 +48,19 @@
 //! failure-repair pass need. A stop during phase 1 has no feasible
 //! point yet and returns a status-only solution.
 //!
+//! A deadline stop during the **warm dual cleanup** (the sibling /
+//! delta-resolve path, where only bounds or right-hand sides changed)
+//! returns the *dual-side* best bound: every basis the dual simplex
+//! visits is dual feasible, so by weak duality the objective of its
+//! basic solution bounds the optimum from the other side — a lower
+//! bound for a minimisation. The solution carries that value with **no
+//! point** ([`crate::Solution::bound_only`];
+//! [`crate::Solution::has_point`] is `false`, since the basic solution
+//! is primal infeasible mid-cleanup), and the basis stays warm so the
+//! next delta or a retry with a larger budget resumes where the clock
+//! ran out. This is what lets the online engine bound its per-delta
+//! work without ever running long under churn.
+//!
 //! [`Status`]: crate::Status
 //! [`Status::IterationLimit`]: crate::Status::IterationLimit
 //! [`Solution`]: crate::Solution

@@ -345,10 +345,17 @@ impl RevisedWorkspace {
                 return Solution::status_only(Status::Infeasible);
             }
             // A deadline stop must not restart from scratch — that
-            // would spend even longer. Everything else falls back to a
+            // would spend even longer. The dual simplex maintains dual
+            // feasibility at every basis it visits, so by weak duality
+            // the objective of the current (primal-infeasible) basic
+            // solution is a valid bound on the optimum: return it
+            // instead of discarding the cleanup work. The basis stays
+            // warm for the next delta. Everything else falls back to a
             // cold solve, which historically recovers these cases.
             DualOutcome::Stopped(LpError::DeadlineExceeded) => {
-                return self.fail(LpError::DeadlineExceeded);
+                let bound = self.dual_bound_objective(model);
+                self.last_error = Some(LpError::DeadlineExceeded);
+                return Solution::bound_only(Status::DeadlineExceeded, bound);
             }
             DualOutcome::Stopped(_) => return self.solve_cold_inner(model, options),
         }
@@ -833,6 +840,41 @@ impl RevisedWorkspace {
             objective,
             values,
         }
+    }
+
+    /// The objective of the current basic solution mapped back to the
+    /// original variable space **without** clamping onto the box.
+    ///
+    /// At a dual-feasible basis this value equals the dual objective of
+    /// the complementary dual point, so for a minimisation it is a
+    /// valid lower bound on the optimum (weak duality). Clamping — what
+    /// [`RevisedWorkspace::extract`] does for point extraction — would
+    /// move the out-of-bounds basic values and break that identity,
+    /// which is why the deadline-stopped warm cleanup uses this
+    /// separate path and returns the value through
+    /// [`Solution::bound_only`] with no point attached.
+    fn dual_bound_objective(&mut self, model: &Model) -> f64 {
+        let mut values = Vec::new();
+        self.basis.extract_values(&self.form, &mut values);
+        if self.form.scaled {
+            for (v, &c) in values.iter_mut().zip(&self.form.col_scale) {
+                *v *= c;
+            }
+        }
+        if self.presolved {
+            let n = model.num_vars();
+            let mut reduced = self.presolve.cols.len();
+            values.resize(n, 0.0);
+            for j in (0..n).rev() {
+                values[j] = if self.presolve.col_kept[j] {
+                    reduced -= 1;
+                    values[reduced]
+                } else {
+                    self.presolve.fixed[j]
+                };
+            }
+        }
+        model.objective_value(&values)
     }
 
     /// Pivot/refactorisation counters of the most recent solve.
@@ -1861,6 +1903,50 @@ mod tests {
         assert_eq!(sol.status, Status::DeadlineExceeded);
         assert!(!sol.has_point());
         assert_eq!(ws.last_error(), Some(LpError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn warm_dual_deadline_stop_returns_a_valid_bound_and_stays_warm() {
+        use crate::error::SolveBudget;
+        use std::time::Duration;
+        // min -x - y with row caps x ≤ 4, y ≤ 4: optimum -8 at (4, 4).
+        let build = |ub: f64| {
+            let mut m = Model::minimize();
+            let x = m.add_var("x", 0.0, Some(ub), -1.0);
+            let y = m.add_var("y", 0.0, Some(ub), -1.0);
+            m.add_constraint("cx", LinExpr::var(x), Cmp::Le, 4.0);
+            m.add_constraint("cy", LinExpr::var(y), Cmp::Le, 4.0);
+            m
+        };
+        let mut ws = RevisedWorkspace::new();
+        let first = ws.solve_warm(&build(10.0), &SimplexOptions::default());
+        assert_eq!(first.status, Status::Optimal);
+        assert_close(first.objective, -8.0);
+
+        // Tighten the variable boxes to 2 (the branch-and-bound /
+        // delta-cleanup pattern): the stored basis turns primal
+        // infeasible but stays dual feasible, so the cleanup needs
+        // dual pivots — which a zero deadline forbids.
+        let tightened = build(2.0);
+        let options = SimplexOptions {
+            budget: SolveBudget::with_deadline(Duration::ZERO),
+            ..SimplexOptions::default()
+        };
+        let stopped = ws.solve_warm(&tightened, &options);
+        assert_eq!(stopped.status, Status::DeadlineExceeded);
+        assert_eq!(ws.last_error(), Some(LpError::DeadlineExceeded));
+        // No primal point — but a finite, valid lower bound on the new
+        // optimum (-4 at (2, 2)).
+        assert!(!stopped.has_point());
+        assert!(stopped.objective.is_finite());
+        assert!(stopped.objective <= -4.0 + 1e-9);
+
+        // The basis survived the budget stop: a follow-up solve with an
+        // unlimited budget finishes the cleanup warm.
+        let finished = ws.solve_warm(&tightened, &SimplexOptions::default());
+        assert_eq!(finished.status, Status::Optimal);
+        assert_close(finished.objective, -4.0);
+        assert_ne!(ws.last_stats().warm, WarmStart::Cold);
     }
 
     #[test]

@@ -69,6 +69,21 @@ impl Solution {
         }
     }
 
+    /// Builds a solution carrying a *bound* but no point: `objective`
+    /// is a valid dual bound on the optimum (for a minimisation, a
+    /// lower bound) while no primal-feasible values exist yet.
+    /// [`Solution::has_point`] stays `false`, so point-consuming
+    /// callers are unaffected; bound-consuming callers (branch &
+    /// bound, the online engine's budgeted re-solves) read
+    /// `objective` directly.
+    pub fn bound_only(status: Status, objective: f64) -> Self {
+        Solution {
+            status,
+            objective,
+            values: Vec::new(),
+        }
+    }
+
     /// Value of a single variable.
     pub fn value(&self, var: VarId) -> f64 {
         self.values[var.index()]

@@ -221,6 +221,8 @@ impl Histogram {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may unwrap freely
+
     use super::*;
 
     #[test]

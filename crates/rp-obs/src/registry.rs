@@ -100,10 +100,19 @@ metric_enum! {
     CoreRepairDegraded => ("core.repair.rung.degraded", "1", "rp-core"),
     CoreRepairRehomedClients => ("core.repair.rehomed_clients", "1", "rp-core"),
     CoreRepairDroppedClients => ("core.repair.dropped_clients", "1", "rp-core"),
+    // --- rp-online: the incremental placement engine. ---
+    OnlineApplies => ("online.applies", "1", "rp-online"),
+    OnlineRungSurgical => ("online.rung.surgical", "1", "rp-online"),
+    OnlineRungLpRepair => ("online.rung.lp_repair", "1", "rp-online"),
+    OnlineRungRerun => ("online.rung.rerun", "1", "rp-online"),
+    OnlineRungDegraded => ("online.rung.degraded", "1", "rp-online"),
+    OnlineRollbacks => ("online.rollbacks", "1", "rp-online"),
+    OnlineDeferred => ("online.deferred", "1", "rp-online"),
     // --- rp-experiments: sweep drivers. ---
     ExpTrials => ("exp.trials", "1", "rp-experiments"),
     ExpScenarioTrials => ("exp.scenario_trials", "1", "rp-experiments"),
     ExpResilienceTrials => ("exp.resilience_trials", "1", "rp-experiments"),
+    ExpChurnTrials => ("exp.churn_trials", "1", "rp-experiments"),
 }
 
 metric_enum! {
@@ -113,6 +122,7 @@ metric_enum! {
     LpFactorNnzU => ("lp.factor.nnz_u", "nnz", "rp-lp"),
     LpEtaChainMax => ("lp.eta_chain.max", "updates", "rp-lp"),
     LpLastIterations => ("lp.last.iterations", "1", "rp-lp"),
+    OnlineGeneration => ("online.generation", "1", "rp-online"),
 }
 
 metric_enum! {
@@ -133,6 +143,7 @@ metric_enum! {
     ExpLpBoundUs => ("exp.lp_bound_us", "us", "rp-experiments"),
     ExpHeuristicsUs => ("exp.heuristics_us", "us", "rp-experiments"),
     ExpResilienceTrialUs => ("exp.resilience_trial_us", "us", "rp-experiments"),
+    OnlineApplyUs => ("online.apply_us", "us", "rp-online"),
 }
 
 /// A registry of every declared counter, gauge and histogram.

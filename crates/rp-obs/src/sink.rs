@@ -19,6 +19,15 @@ const EVENTS_CAP: usize = 1 << 18;
 static EVENTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
 static EVENTS_DROPPED: AtomicU64 = AtomicU64::new(0);
 
+/// Locks the buffer, recovering it if a panicking thread poisoned the
+/// mutex — telemetry must keep working after a panic elsewhere (each
+/// line is pushed fully formed, so the buffer stays well-formed).
+fn lock_events() -> std::sync::MutexGuard<'static, Vec<String>> {
+    EVENTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Emits one structured event (no-op unless the mode is `Full`).
 ///
 /// `fields` become the object's keys next to `"event": name`.
@@ -37,7 +46,7 @@ pub fn emit_event(name: &str, fields: &[(&str, JsonValue)]) {
     }
     line.push('}');
 
-    let mut events = EVENTS.lock().unwrap();
+    let mut events = lock_events();
     if events.len() >= EVENTS_CAP {
         EVENTS_DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
@@ -47,7 +56,7 @@ pub fn emit_event(name: &str, fields: &[(&str, JsonValue)]) {
 
 /// Number of buffered events.
 pub fn event_count() -> usize {
-    EVENTS.lock().unwrap().len()
+    lock_events().len()
 }
 
 /// Number of events dropped at the cap since the last clear.
@@ -57,7 +66,7 @@ pub fn events_dropped_count() -> u64 {
 
 /// The buffered events as one newline-terminated JSONL document.
 pub fn events_jsonl() -> String {
-    let events = EVENTS.lock().unwrap();
+    let events = lock_events();
     let mut out = String::with_capacity(events.iter().map(|line| line.len() + 1).sum());
     for line in events.iter() {
         out.push_str(line);
@@ -68,7 +77,7 @@ pub fn events_jsonl() -> String {
 
 /// Clears the buffer (and the dropped counter).
 pub fn clear_events() {
-    EVENTS.lock().unwrap().clear();
+    lock_events().clear();
     EVENTS_DROPPED.store(0, Ordering::Relaxed);
 }
 

@@ -47,6 +47,8 @@ pub enum SpanKind {
     HeuristicsPhase,
     /// One resilience (failure-injection) trial (`rp-experiments`).
     ResilienceTrial,
+    /// One delta apply in the online placement engine (`rp-online`).
+    OnlineApply,
 }
 
 impl SpanKind {
@@ -61,6 +63,7 @@ impl SpanKind {
             SpanKind::LpBound => "exp.lp_bound",
             SpanKind::HeuristicsPhase => "exp.heuristics",
             SpanKind::ResilienceTrial => "exp.resilience_trial",
+            SpanKind::OnlineApply => "online.apply",
         }
     }
 
@@ -73,6 +76,7 @@ impl SpanKind {
             | SpanKind::LpBound
             | SpanKind::HeuristicsPhase
             | SpanKind::ResilienceTrial => "rp-experiments",
+            SpanKind::OnlineApply => "rp-online",
         }
     }
 
@@ -87,6 +91,7 @@ impl SpanKind {
             SpanKind::LpBound => HistId::ExpLpBoundUs,
             SpanKind::HeuristicsPhase => HistId::ExpHeuristicsUs,
             SpanKind::ResilienceTrial => HistId::ExpResilienceTrialUs,
+            SpanKind::OnlineApply => HistId::OnlineApplyUs,
         }
     }
 }

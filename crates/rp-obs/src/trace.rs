@@ -34,12 +34,21 @@ const TRACE_CAP: usize = 1 << 20;
 static TRACE: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 static TRACE_DROPPED: AtomicU64 = AtomicU64::new(0);
 
+/// Locks the buffer, recovering it if a panicking thread poisoned the
+/// mutex — telemetry must keep working after a panic elsewhere (the
+/// worst case is one partially appended batch).
+fn lock_trace() -> std::sync::MutexGuard<'static, Vec<TraceEvent>> {
+    TRACE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Appends a batch of thread-local events to the global buffer.
 pub(crate) fn push_trace_events(events: &mut Vec<TraceEvent>) {
     if events.is_empty() {
         return;
     }
-    let mut buffer = TRACE.lock().unwrap();
+    let mut buffer = lock_trace();
     let room = TRACE_CAP.saturating_sub(buffer.len());
     if events.len() > room {
         TRACE_DROPPED.fetch_add((events.len() - room) as u64, Ordering::Relaxed);
@@ -50,7 +59,7 @@ pub(crate) fn push_trace_events(events: &mut Vec<TraceEvent>) {
 
 /// Number of events currently buffered.
 pub fn trace_event_count() -> usize {
-    TRACE.lock().unwrap().len()
+    lock_trace().len()
 }
 
 /// Number of events dropped at the cap since the last clear.
@@ -60,7 +69,7 @@ pub fn trace_dropped_count() -> u64 {
 
 /// Clears the buffer (and the dropped counter).
 pub fn clear_trace() {
-    TRACE.lock().unwrap().clear();
+    lock_trace().clear();
     TRACE_DROPPED.store(0, Ordering::Relaxed);
 }
 
@@ -69,7 +78,7 @@ pub fn clear_trace() {
 /// flush on exit, so call this after joins.
 pub fn chrome_trace_json() -> String {
     crate::span::flush_thread_trace();
-    let buffer = TRACE.lock().unwrap();
+    let buffer = lock_trace();
     let mut out = String::with_capacity(64 + buffer.len() * 96);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     out.push_str(

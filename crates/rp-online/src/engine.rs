@@ -1,0 +1,1069 @@
+//! The [`PlacementEngine`] itself: live state, the apply path, and the
+//! four-rung escalation ladder. See the crate docs for the contract.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rp_core::failures::{
+    degraded_best_effort, heuristic_fallback, prune_idle_replicas, rehome, DegradedPlacement,
+    DegradedPlatform, FailureEvent, RecoveryScope,
+};
+use rp_core::heuristics::lp_guided::accounting::FeasAccounting;
+use rp_core::heuristics::lp_guided::lp_guided_reusing;
+use rp_core::ilp::IlpOptions;
+use rp_core::{DirtyRegion, InstanceDelta, Placement, Policy, ProblemInstance};
+use rp_lp::{LpWorkspace, SolveBudget};
+use rp_tree::{ClientId, LinkId, NodeId};
+
+/// How thoroughly the engine re-checks its own incumbent after every
+/// accepted apply. The rung results are machine-verified before
+/// acceptance in *every* mode; paranoia is the extra end-to-end check
+/// on top.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Paranoia {
+    /// Full [`DegradedPlacement::verify`] behind `debug_assert!` only —
+    /// free in release builds.
+    #[default]
+    DebugOnly,
+    /// Full verification after every apply in release builds too; a
+    /// failed check rolls the apply back and defers the delta.
+    Full,
+}
+
+/// Which rung of the escalation ladder produced the accepted answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApplyRung {
+    /// Dirty-region surgical repair of the incumbent.
+    Surgical,
+    /// LP-guided re-solve warm-started from the engine's LP workspace.
+    LpRepair,
+    /// Full heuristic re-run from scratch.
+    Rerun,
+    /// A verified partial answer (some clients unserved).
+    Degraded,
+}
+
+impl ApplyRung {
+    /// Stable machine-readable tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApplyRung::Surgical => "surgical",
+            ApplyRung::LpRepair => "lp-repair",
+            ApplyRung::Rerun => "rerun",
+            ApplyRung::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for ApplyRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one [`PlacementEngine::apply`] call did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApplyOutcome {
+    /// The delta is absorbed and every request is served; the incumbent
+    /// advanced to `generation`.
+    Applied {
+        /// The incumbent generation after the apply.
+        generation: u64,
+        /// The ladder rung that produced the placement.
+        rung: ApplyRung,
+    },
+    /// The delta is absorbed but full service is infeasible (or was not
+    /// found in budget): the incumbent is a verified partial placement.
+    Degraded {
+        /// The incumbent generation after the apply.
+        generation: u64,
+        /// The ladder rung that produced the placement.
+        rung: ApplyRung,
+        /// How many clients the incumbent leaves unserved.
+        unserved: usize,
+    },
+    /// The budget expired before any rung produced a verified answer:
+    /// the engine **rolled back** to the previous incumbent and queued
+    /// the delta for [`PlacementEngine::retry_deferred`]. This is the
+    /// backpressure signal.
+    Deferred,
+}
+
+impl ApplyOutcome {
+    /// Whether the delta was deferred (rolled back, queued).
+    pub fn is_deferred(&self) -> bool {
+        matches!(self, ApplyOutcome::Deferred)
+    }
+
+    /// The ladder rung that answered, if the delta was absorbed.
+    pub fn rung(&self) -> Option<ApplyRung> {
+        match *self {
+            ApplyOutcome::Applied { rung, .. } | ApplyOutcome::Degraded { rung, .. } => Some(rung),
+            ApplyOutcome::Deferred => None,
+        }
+    }
+
+    /// The incumbent generation after the apply, if it advanced.
+    pub fn generation(&self) -> Option<u64> {
+        match *self {
+            ApplyOutcome::Applied { generation, .. }
+            | ApplyOutcome::Degraded { generation, .. } => Some(generation),
+            ApplyOutcome::Deferred => None,
+        }
+    }
+}
+
+/// Engine-local tallies of which ladder rung answered each absorbed
+/// apply (the same events also land in the global `rp-obs` counters;
+/// these are per-engine and deterministic under parallel tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RungCounts {
+    /// Applies answered by the surgical rung.
+    pub surgical: u64,
+    /// Applies answered by the LP-guided rung.
+    pub lp_repair: u64,
+    /// Applies answered by a full heuristic re-run.
+    pub rerun: u64,
+    /// Applies answered with a verified degraded placement.
+    pub degraded: u64,
+}
+
+impl RungCounts {
+    /// Total absorbed applies.
+    pub fn total(&self) -> u64 {
+        self.surgical + self.lp_repair + self.rerun + self.degraded
+    }
+
+    fn record(&mut self, rung: ApplyRung) {
+        match rung {
+            ApplyRung::Surgical => self.surgical += 1,
+            ApplyRung::LpRepair => self.lp_repair += 1,
+            ApplyRung::Rerun => self.rerun += 1,
+            ApplyRung::Degraded => self.degraded += 1,
+        }
+    }
+}
+
+/// The mutable engine state that a snapshot must capture. The incumbent
+/// rides behind an [`Arc`], so cloning this is O(s) vector copies plus
+/// one reference-count bump — never a placement deep-copy.
+#[derive(Clone)]
+struct EngineState {
+    /// Current request volume per client slot (0 = absent).
+    requests: Vec<u64>,
+    /// Current *healthy* capacity per node (the `CapacityChanged`
+    /// axis, independent of failures).
+    healthy_capacities: Vec<u64>,
+    /// Outstanding `CapacityLoss` per node (`None` = no loss); cleared
+    /// by a server recovery. Effective capacity is
+    /// `min(healthy, loss)`, or 0 while the server is dead.
+    failure_capacities: Vec<Option<u64>>,
+    dead_servers: Vec<bool>,
+    dead_client_links: Vec<bool>,
+    dead_node_links: Vec<bool>,
+    /// The last verified incumbent (copy-on-write).
+    incumbent: Arc<DegradedPlacement>,
+}
+
+impl EngineState {
+    fn effective_capacity(&self, index: usize) -> u64 {
+        if self.dead_servers[index] {
+            0
+        } else {
+            self.healthy_capacities[index].min(self.failure_capacities[index].unwrap_or(u64::MAX))
+        }
+    }
+}
+
+/// A replayable snapshot of the engine: the full state plus the
+/// generation counter. Produced by [`PlacementEngine::checkpoint`],
+/// consumed by [`PlacementEngine::restore`]. Replaying the same delta
+/// trace with the same budgets from a restored checkpoint reproduces
+/// the same sequence of incumbents and generations.
+#[derive(Clone)]
+pub struct EngineCheckpoint {
+    state: EngineState,
+    generation: u64,
+}
+
+impl EngineCheckpoint {
+    /// The generation the checkpoint was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// A long-lived placement service over one (topologically fixed) tree:
+/// owns the live instance and a verified incumbent placement, and
+/// absorbs [`InstanceDelta`]s under a per-delta [`SolveBudget`]. See
+/// the crate docs for the ladder and the rollback contract.
+pub struct PlacementEngine {
+    /// The instance the engine was built from — the source of truth for
+    /// pristine capacities, storage costs, QoS bounds and bandwidths.
+    pristine: ProblemInstance,
+    policy: Policy,
+    paranoia: Paranoia,
+    state: EngineState,
+    /// The current platform, rebuilt from `state` after every ingest
+    /// (and after every rollback) — always consistent with `state`.
+    platform: DegradedPlatform,
+    generation: u64,
+    deferred: VecDeque<InstanceDelta>,
+    dirty: DirtyRegion,
+    workspace: LpWorkspace,
+    rung_counts: RungCounts,
+}
+
+impl PlacementEngine {
+    /// Builds an engine over `problem` and solves the initial instance
+    /// (full heuristics, falling back to a verified degraded placement
+    /// if full service is infeasible from the start). Generation 0 is
+    /// that initial incumbent.
+    pub fn new(problem: ProblemInstance, policy: Policy) -> Self {
+        let tree = problem.tree();
+        let requests: Vec<u64> = tree.client_ids().map(|c| problem.requests(c)).collect();
+        let healthy_capacities: Vec<u64> = tree.node_ids().map(|n| problem.capacity(n)).collect();
+        let num_nodes = tree.num_nodes();
+        let num_clients = tree.num_clients();
+        let placeholder = Arc::new(DegradedPlacement {
+            placement: Placement::empty(num_clients),
+            unserved: Vec::new(),
+            served_requests: 0,
+            total_requests: 0,
+            cost: 0,
+        });
+        let state = EngineState {
+            requests,
+            healthy_capacities,
+            failure_capacities: vec![None; num_nodes],
+            dead_servers: vec![false; num_nodes],
+            dead_client_links: vec![false; num_clients],
+            dead_node_links: vec![false; num_nodes],
+            incumbent: placeholder,
+        };
+        let platform = build_platform(&problem, &state);
+        let incumbent = match heuristic_fallback(&platform, policy) {
+            Some(placement) => report_from(&platform, placement, Vec::new()),
+            None => degraded_best_effort(&platform, policy),
+        };
+        let dirty = DirtyRegion::for_tree(platform.problem().tree());
+        let mut engine = PlacementEngine {
+            pristine: problem,
+            policy,
+            paranoia: Paranoia::default(),
+            state,
+            platform,
+            generation: 0,
+            deferred: VecDeque::new(),
+            dirty,
+            workspace: LpWorkspace::new(),
+            rung_counts: RungCounts::default(),
+        };
+        engine.state.incumbent = Arc::new(incumbent);
+        debug_assert!(engine.verify_incumbent());
+        engine
+    }
+
+    /// Sets the paranoia level (builder-style).
+    pub fn with_paranoia(mut self, paranoia: Paranoia) -> Self {
+        self.paranoia = paranoia;
+        self
+    }
+
+    /// The policy the engine serves under.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The pristine (healthy, initial) instance.
+    pub fn pristine(&self) -> &ProblemInstance {
+        &self.pristine
+    }
+
+    /// The current surviving platform (current demand, effective
+    /// capacities, dead links encoded as zero bandwidth).
+    pub fn platform(&self) -> &DegradedPlatform {
+        &self.platform
+    }
+
+    /// The current instance (shorthand for `platform().problem()`).
+    pub fn problem(&self) -> &ProblemInstance {
+        self.platform.problem()
+    }
+
+    /// The current verified incumbent.
+    pub fn incumbent(&self) -> &DegradedPlacement {
+        &self.state.incumbent
+    }
+
+    /// The incumbent generation: 0 for the initial solve, +1 per
+    /// absorbed apply. Deferred applies do not advance it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the incumbent serves every request of the current
+    /// instance.
+    pub fn is_fully_served(&self) -> bool {
+        self.state.incumbent.unserved.is_empty()
+    }
+
+    /// Number of deltas waiting in the deferred (backpressure) queue.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Engine-local per-rung apply tallies.
+    pub fn rung_counts(&self) -> RungCounts {
+        self.rung_counts
+    }
+
+    /// Re-runs the full machine check of the incumbent against the
+    /// current platform. The engine maintains this as an invariant;
+    /// the chaos harness calls it after every apply.
+    pub fn verify_incumbent(&self) -> bool {
+        self.state.incumbent.verify(&self.platform, self.policy)
+    }
+
+    /// Takes a replayable snapshot of the engine (O(s) + one Arc bump).
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            state: self.state.clone(),
+            generation: self.generation,
+        }
+    }
+
+    /// Restores a snapshot taken by [`checkpoint`](Self::checkpoint):
+    /// state, incumbent and generation return to the checkpointed
+    /// values; the deferred queue is cleared (the checkpoint's trace
+    /// suffix is expected to be replayed).
+    pub fn restore(&mut self, checkpoint: &EngineCheckpoint) {
+        self.state = checkpoint.state.clone();
+        self.generation = checkpoint.generation;
+        self.platform = build_platform(&self.pristine, &self.state);
+        self.deferred.clear();
+        self.dirty.clear();
+        rp_obs::gauge_set(rp_obs::Gauge::OnlineGeneration, self.generation);
+    }
+
+    /// Absorbs one delta within `budget`. On success the incumbent
+    /// advances one generation and the outcome names the ladder rung
+    /// that answered; on a budget miss the engine rolls back to the
+    /// pre-apply incumbent and queues the delta
+    /// ([`ApplyOutcome::Deferred`]).
+    pub fn apply(&mut self, delta: InstanceDelta, budget: SolveBudget) -> ApplyOutcome {
+        let _span = rp_obs::span(rp_obs::SpanKind::OnlineApply);
+        rp_obs::incr(rp_obs::Counter::OnlineApplies);
+        let deadline = budget.deadline.map(|d| Instant::now() + d);
+        let snapshot = self.state.clone();
+        let snapshot_generation = self.generation;
+
+        self.dirty.clear();
+        self.ingest(delta);
+        self.platform = build_platform(&self.pristine, &self.state);
+
+        match self.resolve(deadline, budget) {
+            Some((report, rung)) => {
+                let unserved = report.unserved.len();
+                self.state.incumbent = Arc::new(report);
+                self.generation += 1;
+                debug_assert!(
+                    self.verify_incumbent(),
+                    "unverified incumbent after `{delta}` (rung {rung})"
+                );
+                if self.paranoia == Paranoia::Full && !self.verify_incumbent() {
+                    self.rollback(snapshot, snapshot_generation, delta);
+                    return ApplyOutcome::Deferred;
+                }
+                rp_obs::gauge_set(rp_obs::Gauge::OnlineGeneration, self.generation);
+                rp_obs::incr(match rung {
+                    ApplyRung::Surgical => rp_obs::Counter::OnlineRungSurgical,
+                    ApplyRung::LpRepair => rp_obs::Counter::OnlineRungLpRepair,
+                    ApplyRung::Rerun => rp_obs::Counter::OnlineRungRerun,
+                    ApplyRung::Degraded => rp_obs::Counter::OnlineRungDegraded,
+                });
+                self.rung_counts.record(rung);
+                if unserved == 0 {
+                    ApplyOutcome::Applied {
+                        generation: self.generation,
+                        rung,
+                    }
+                } else {
+                    ApplyOutcome::Degraded {
+                        generation: self.generation,
+                        rung,
+                        unserved,
+                    }
+                }
+            }
+            None => {
+                self.rollback(snapshot, snapshot_generation, delta);
+                ApplyOutcome::Deferred
+            }
+        }
+    }
+
+    /// Replays the deferred queue, each delta under its own `budget`.
+    /// Deltas that miss again re-enter the queue (the queue is drained
+    /// first, so one call retries each entry exactly once).
+    pub fn retry_deferred(&mut self, budget: SolveBudget) -> Vec<ApplyOutcome> {
+        let pending: Vec<InstanceDelta> = self.deferred.drain(..).collect();
+        pending
+            .into_iter()
+            .map(|delta| self.apply(delta, budget))
+            .collect()
+    }
+
+    /// Restores the pre-apply snapshot and queues the delta.
+    fn rollback(&mut self, snapshot: EngineState, generation: u64, delta: InstanceDelta) {
+        self.state = snapshot;
+        self.generation = generation;
+        self.platform = build_platform(&self.pristine, &self.state);
+        self.deferred.push_back(delta);
+        rp_obs::incr(rp_obs::Counter::OnlineRollbacks);
+        rp_obs::incr(rp_obs::Counter::OnlineDeferred);
+        debug_assert!(self.verify_incumbent(), "rollback left a broken incumbent");
+    }
+
+    /// Folds one delta into the engine state and marks the dirty
+    /// region it can affect.
+    fn ingest(&mut self, delta: InstanceDelta) {
+        let tree = self.pristine.tree();
+        match delta {
+            InstanceDelta::ClientArrived { client, requests }
+            | InstanceDelta::DemandChanged { client, requests } => {
+                self.state.requests[client.index()] = requests;
+                self.dirty.mark_client(tree, client);
+            }
+            InstanceDelta::ClientDeparted { client } => {
+                self.state.requests[client.index()] = 0;
+                self.dirty.mark_client(tree, client);
+            }
+            InstanceDelta::CapacityChanged { node, capacity } => {
+                self.state.healthy_capacities[node.index()] = capacity;
+                self.dirty.mark_subtree(tree, node);
+            }
+            InstanceDelta::Failure(event) => self.ingest_failure(event),
+        }
+    }
+
+    fn ingest_failure(&mut self, event: FailureEvent) {
+        let tree = self.pristine.tree();
+        let state = &mut self.state;
+        match event {
+            FailureEvent::ServerCrash(node) => {
+                state.dead_servers[node.index()] = true;
+                self.dirty.mark_subtree(tree, node);
+            }
+            FailureEvent::UplinkDown(LinkId::Client(client)) => {
+                state.dead_client_links[client.index()] = true;
+                self.dirty.mark_client(tree, client);
+            }
+            FailureEvent::UplinkDown(LinkId::Node(node)) => {
+                // The root has no uplink: nothing to sever.
+                if !tree.is_root(node) {
+                    state.dead_node_links[node.index()] = true;
+                }
+                self.dirty.mark_subtree(tree, node);
+            }
+            FailureEvent::CapacityLoss { node, remaining } => {
+                let slot = &mut state.failure_capacities[node.index()];
+                *slot = Some(slot.unwrap_or(u64::MAX).min(remaining));
+                self.dirty.mark_subtree(tree, node);
+            }
+            FailureEvent::SubtreeFailure(node) => {
+                for &member in tree.subtree_nodes(node) {
+                    state.dead_servers[member.index()] = true;
+                    if !tree.is_root(member) {
+                        state.dead_node_links[member.index()] = true;
+                    }
+                }
+                self.dirty.mark_subtree(tree, node);
+            }
+            FailureEvent::Recovered(scope) => match scope {
+                RecoveryScope::Server(node) => {
+                    state.dead_servers[node.index()] = false;
+                    state.failure_capacities[node.index()] = None;
+                    self.dirty.mark_subtree(tree, node);
+                }
+                RecoveryScope::Link(LinkId::Client(client)) => {
+                    state.dead_client_links[client.index()] = false;
+                    self.dirty.mark_client(tree, client);
+                }
+                RecoveryScope::Link(LinkId::Node(node)) => {
+                    state.dead_node_links[node.index()] = false;
+                    self.dirty.mark_subtree(tree, node);
+                }
+                RecoveryScope::Subtree(node) => {
+                    for &member in tree.subtree_nodes(node) {
+                        state.dead_servers[member.index()] = false;
+                        state.failure_capacities[member.index()] = None;
+                        state.dead_node_links[member.index()] = false;
+                    }
+                    for &client in tree.subtree_clients(node) {
+                        state.dead_client_links[client.index()] = false;
+                    }
+                    self.dirty.mark_subtree(tree, node);
+                }
+                RecoveryScope::All => {
+                    state.dead_servers.fill(false);
+                    state.failure_capacities.fill(None);
+                    state.dead_node_links.fill(false);
+                    state.dead_client_links.fill(false);
+                    self.dirty.mark_all(tree);
+                }
+            },
+        }
+    }
+
+    /// Climbs the ladder; `None` means the deadline expired before any
+    /// rung produced a verified answer (the caller rolls back).
+    fn resolve(
+        &mut self,
+        deadline: Option<Instant>,
+        budget: SolveBudget,
+    ) -> Option<(DegradedPlacement, ApplyRung)> {
+        // Clients the previous incumbent left unserved always rejoin
+        // the dirty set: any heal may make them servable again.
+        let pending: Vec<ClientId> = self.state.incumbent.unserved.clone();
+        for client in pending {
+            self.dirty.mark_client(self.pristine.tree(), client);
+        }
+
+        // Rung 1: surgical repair of the dirty region.
+        let mut partial: Option<(Placement, Vec<ClientId>)> = None;
+        if !expired(deadline) {
+            if let Some((placement, unserved)) = self.surgical() {
+                if unserved.is_empty() && placement.is_valid(self.platform.problem(), self.policy) {
+                    let report = report_from(&self.platform, placement, Vec::new());
+                    return Some((report, ApplyRung::Surgical));
+                }
+                partial = Some((placement, unserved));
+            }
+        }
+
+        // Rung 2: LP-guided re-solve. Multiple only — the fractional
+        // rounding splits clients across servers, which the
+        // single-server policies forbid.
+        if self.policy == Policy::Multiple && !expired(deadline) {
+            let options = lp_options(deadline, budget);
+            let problem = self.platform.problem();
+            if let Some(placement) = lp_guided_reusing(problem, &options, &mut self.workspace) {
+                if placement.is_valid(self.platform.problem(), self.policy) {
+                    let report = report_from(&self.platform, placement, Vec::new());
+                    return Some((report, ApplyRung::LpRepair));
+                }
+            }
+        }
+
+        // Rung 3: full heuristic re-run from scratch.
+        if !expired(deadline) {
+            if let Some(placement) = heuristic_fallback(&self.platform, self.policy) {
+                let report = report_from(&self.platform, placement, Vec::new());
+                return Some((report, ApplyRung::Rerun));
+            }
+        }
+
+        // Rung 4: a verified degraded answer. Prefer the surgical
+        // partial (it moved the fewest clients); fall back to the
+        // total grow-and-shrink construction.
+        if !expired(deadline) {
+            if let Some((placement, unserved)) = partial {
+                let report = report_from(&self.platform, placement, unserved);
+                if report.verify(&self.platform, self.policy) {
+                    return Some((report, ApplyRung::Degraded));
+                }
+            }
+            let report = degraded_best_effort(&self.platform, self.policy);
+            if report.verify(&self.platform, self.policy) {
+                return Some((report, ApplyRung::Degraded));
+            }
+        }
+        None
+    }
+
+    /// Rung 1: repair the incumbent touching only the dirty region.
+    /// Returns the repaired placement plus the clients it had to leave
+    /// unserved (empty = full service); `None` when overload shedding
+    /// cannot restore non-negative residuals.
+    fn surgical(&self) -> Option<(Placement, Vec<ClientId>)> {
+        let problem = self.platform.problem();
+        let tree = problem.tree();
+        let mut survivor = self.state.incumbent.placement.clone();
+
+        // Replicas on dead servers go first (all their clients are in
+        // the dead server's subtree, hence dirty).
+        let dead: Vec<NodeId> = survivor
+            .replicas()
+            .iter()
+            .copied()
+            .filter(|&n| self.platform.is_server_dead(n))
+            .collect();
+        for node in dead {
+            survivor.remove_replica(node);
+        }
+
+        // Tear down the dirty clients' broken routes and sync each to
+        // its current demand; deficits become orphans.
+        let mut orphans: Vec<(ClientId, u64)> = Vec::new();
+        for &client in self.dirty.dirty_clients() {
+            let broken: Vec<(NodeId, u64)> = survivor
+                .assignments(client)
+                .iter()
+                .filter(|a| !self.platform.path_is_alive(client, a.server))
+                .map(|a| (a.server, a.amount))
+                .collect();
+            for (server, amount) in broken {
+                survivor.unassign(client, server, amount);
+            }
+
+            let target = problem.requests(client);
+            let assigned = survivor.assigned_requests(client);
+            if assigned > target {
+                // Demand shrank: trim the excess in place (valid under
+                // every policy — the server set only shrinks).
+                let mut excess = assigned - target;
+                let current: Vec<(NodeId, u64)> = survivor
+                    .assignments(client)
+                    .iter()
+                    .map(|a| (a.server, a.amount))
+                    .collect();
+                for (server, amount) in current.into_iter().rev() {
+                    if excess == 0 {
+                        break;
+                    }
+                    excess -= survivor.unassign(client, server, amount.min(excess));
+                }
+            } else if assigned < target {
+                if self.policy.is_single_server() && assigned > 0 {
+                    // A single-server client cannot split its top-up:
+                    // re-home the whole client.
+                    let current: Vec<(NodeId, u64)> = survivor
+                        .assignments(client)
+                        .iter()
+                        .map(|a| (a.server, a.amount))
+                        .collect();
+                    for (server, amount) in current {
+                        survivor.unassign(client, server, amount);
+                    }
+                    orphans.push((client, target));
+                } else {
+                    orphans.push((client, target - assigned));
+                }
+            }
+        }
+
+        // Charge every surviving assignment into the exact accounting
+        // of the *current* instance.
+        let mut accounting = FeasAccounting::for_problem(problem);
+        for client in tree.client_ids() {
+            let current: Vec<(NodeId, u64)> = survivor
+                .assignments(client)
+                .iter()
+                .map(|a| (a.server, a.amount))
+                .collect();
+            for (server, amount) in current {
+                accounting.assign(tree, client, server, amount);
+            }
+        }
+
+        // Shed overload where the effective capacity dropped below the
+        // carried load (smallest assignments first; whole clients under
+        // the single-server policies).
+        for node in tree.node_ids() {
+            if accounting.node_residual(node) >= 0 {
+                continue;
+            }
+            let mut carried: Vec<(ClientId, u64)> = tree
+                .client_ids()
+                .flat_map(|c| {
+                    survivor
+                        .assignments(c)
+                        .iter()
+                        .filter(|a| a.server == node)
+                        .map(|a| (c, a.amount))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            carried.sort_by_key(|&(c, amount)| (amount, c.index()));
+            for (client, amount) in carried {
+                let deficit = -accounting.node_residual(node);
+                if deficit <= 0 {
+                    break;
+                }
+                let shed = if self.policy.is_single_server() {
+                    amount
+                } else {
+                    amount.min(deficit as u64)
+                };
+                let removed = survivor.unassign(client, node, shed);
+                accounting.unassign(tree, client, node, removed);
+                if removed > 0 {
+                    match orphans.iter_mut().find(|(c, _)| *c == client) {
+                        Some(entry) => entry.1 += removed,
+                        None => orphans.push((client, removed)),
+                    }
+                }
+            }
+            if accounting.node_residual(node) < 0 {
+                return None;
+            }
+        }
+
+        // Re-home the orphans hardest-first; what cannot be re-homed
+        // is fully unassigned and reported unserved.
+        let mut unserved: Vec<ClientId> = Vec::new();
+        orphans.sort_by_key(|&(c, amount)| (std::cmp::Reverse(amount), c.index()));
+        for (client, amount) in orphans {
+            if !rehome(
+                problem,
+                &self.platform,
+                &mut survivor,
+                &mut accounting,
+                client,
+                amount,
+                self.policy,
+            ) {
+                let current: Vec<(NodeId, u64)> = survivor
+                    .assignments(client)
+                    .iter()
+                    .map(|a| (a.server, a.amount))
+                    .collect();
+                for (server, held) in current {
+                    let removed = survivor.unassign(client, server, held);
+                    accounting.unassign(tree, client, server, removed);
+                }
+                unserved.push(client);
+            }
+        }
+
+        prune_idle_replicas(&mut survivor, tree.num_nodes());
+        Some((survivor, unserved))
+    }
+}
+
+/// Whether `deadline` has passed.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// The LP options for the guided rung: the remaining wall budget (and
+/// the caller's iteration cap) threaded into the warm simplex solve.
+fn lp_options(deadline: Option<Instant>, budget: SolveBudget) -> IlpOptions {
+    let mut options = IlpOptions::default();
+    options.branch_bound.simplex.budget = SolveBudget {
+        deadline: deadline.map(|d| d.saturating_duration_since(Instant::now())),
+        max_iterations: budget.max_iterations,
+    };
+    options
+}
+
+/// Rebuilds the current platform from the engine state: effective
+/// capacities (healthy ∧ loss ∧ alive), current requests, pristine
+/// costs/QoS, and zeroed bandwidth on dead links.
+fn build_platform(pristine: &ProblemInstance, state: &EngineState) -> DegradedPlatform {
+    let tree = pristine.tree();
+    let capacities: Vec<u64> = (0..tree.num_nodes())
+        .map(|i| state.effective_capacity(i))
+        .collect();
+    let storage_costs: Vec<u64> = tree.node_ids().map(|n| pristine.storage_cost(n)).collect();
+    let qos: Vec<Option<u32>> = tree.client_ids().map(|c| pristine.qos(c)).collect();
+    let client_bw: Vec<Option<u64>> = tree
+        .client_ids()
+        .map(|c| {
+            if state.dead_client_links[c.index()] {
+                Some(0)
+            } else {
+                pristine.bandwidth(LinkId::Client(c))
+            }
+        })
+        .collect();
+    let node_bw: Vec<Option<u64>> = tree
+        .node_ids()
+        .map(|n| {
+            if !tree.is_root(n) && state.dead_node_links[n.index()] {
+                Some(0)
+            } else {
+                pristine.bandwidth(LinkId::Node(n))
+            }
+        })
+        .collect();
+    let problem = ProblemInstance::builder(pristine.tree_arc())
+        .requests(state.requests.clone())
+        .capacities(capacities)
+        .storage_costs(storage_costs)
+        .qos(qos)
+        .client_link_bandwidths(client_bw)
+        .node_link_bandwidths(node_bw)
+        .kind(pristine.kind())
+        .build();
+    DegradedPlatform::from_parts(
+        problem,
+        state.dead_servers.clone(),
+        state.dead_client_links.clone(),
+        state.dead_node_links.clone(),
+    )
+}
+
+/// Wraps a placement plus its unserved list into a bookkept
+/// [`DegradedPlacement`] against the current platform.
+fn report_from(
+    platform: &DegradedPlatform,
+    placement: Placement,
+    mut unserved: Vec<ClientId>,
+) -> DegradedPlacement {
+    let problem = platform.problem();
+    let tree = problem.tree();
+    unserved.sort();
+    unserved.dedup();
+    let total_requests: u64 = tree.client_ids().map(|c| problem.requests(c)).sum();
+    let lost: u64 = unserved.iter().map(|&c| problem.requests(c)).sum();
+    let cost = placement.cost(problem);
+    DegradedPlacement {
+        placement,
+        unserved,
+        served_requests: total_requests - lost,
+        total_requests,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)]
+
+    use super::*;
+    use rp_tree::TreeBuilder;
+    use std::time::Duration;
+
+    /// root(W=10) -> mid(W=5) -> {c0: 4, c1: 2}; root -> c2: 3.
+    fn sample() -> (ProblemInstance, Vec<NodeId>, Vec<ClientId>) {
+        let mut b = TreeBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_node(root);
+        let c0 = b.add_client(mid);
+        let c1 = b.add_client(mid);
+        let c2 = b.add_client(root);
+        let tree = b.build().unwrap();
+        let p = ProblemInstance::replica_cost(tree, vec![4, 2, 3], vec![10, 5]);
+        (p, vec![root, mid], vec![c0, c1, c2])
+    }
+
+    #[test]
+    fn engine_starts_with_a_verified_full_incumbent() {
+        let (p, _, _) = sample();
+        for policy in Policy::ALL {
+            let engine = PlacementEngine::new(p.clone(), policy);
+            assert!(engine.verify_incumbent(), "{policy}");
+            assert!(engine.is_fully_served(), "{policy}");
+            assert_eq!(engine.generation(), 0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn demand_drift_is_absorbed_surgically() {
+        let (p, _, c) = sample();
+        for policy in Policy::ALL {
+            let mut engine = PlacementEngine::new(p.clone(), policy);
+            let outcome = engine.apply(
+                InstanceDelta::DemandChanged {
+                    client: c[0],
+                    requests: 3,
+                },
+                SolveBudget::UNLIMITED,
+            );
+            assert_eq!(outcome.rung(), Some(ApplyRung::Surgical), "{policy}");
+            assert_eq!(outcome.generation(), Some(1), "{policy}");
+            assert!(engine.verify_incumbent(), "{policy}");
+            assert!(engine.is_fully_served(), "{policy}");
+            assert_eq!(engine.problem().requests(c[0]), 3, "{policy}");
+        }
+    }
+
+    #[test]
+    fn crash_and_recovery_round_trip() {
+        let (p, n, _) = sample();
+        for policy in Policy::ALL {
+            let mut engine = PlacementEngine::new(p.clone(), policy).with_paranoia(Paranoia::Full);
+            let crash = engine.apply(
+                FailureEvent::ServerCrash(n[1]).into(),
+                SolveBudget::UNLIMITED,
+            );
+            assert!(!crash.is_deferred(), "{policy}");
+            assert!(engine.verify_incumbent(), "{policy}");
+            // Root capacity 10 covers all 9 requests: still full.
+            assert!(engine.is_fully_served(), "{policy}");
+
+            let heal = engine.apply(
+                FailureEvent::Recovered(RecoveryScope::Server(n[1])).into(),
+                SolveBudget::UNLIMITED,
+            );
+            assert!(!heal.is_deferred(), "{policy}");
+            assert!(engine.verify_incumbent(), "{policy}");
+            assert!(engine.is_fully_served(), "{policy}");
+            assert_eq!(engine.problem().capacity(n[1]), 5, "{policy}");
+            assert_eq!(engine.generation(), 2, "{policy}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_defers_and_rolls_back_bit_identically() {
+        let (p, n, _) = sample();
+        let mut engine = PlacementEngine::new(p, Policy::Upwards);
+        let before = engine.incumbent().placement.clone();
+        let outcome = engine.apply(
+            FailureEvent::ServerCrash(n[0]).into(),
+            SolveBudget::with_deadline(Duration::ZERO),
+        );
+        assert!(outcome.is_deferred());
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.deferred_len(), 1);
+        assert_eq!(engine.incumbent().placement, before);
+        assert!(engine.verify_incumbent());
+        // The platform rolled back too: the root is alive again.
+        assert!(!engine.platform().is_server_dead(n[0]));
+
+        // With a real budget the deferred delta is absorbed.
+        let retried = engine.retry_deferred(SolveBudget::UNLIMITED);
+        assert_eq!(retried.len(), 1);
+        assert!(!retried[0].is_deferred());
+        assert_eq!(engine.deferred_len(), 0);
+        assert!(engine.verify_incumbent());
+    }
+
+    #[test]
+    fn departure_frees_capacity_for_a_later_arrival() {
+        let (p, _, c) = sample();
+        let mut engine = PlacementEngine::new(p, Policy::Multiple);
+        let gone = engine.apply(
+            InstanceDelta::ClientDeparted { client: c[0] },
+            SolveBudget::UNLIMITED,
+        );
+        assert!(!gone.is_deferred());
+        assert_eq!(engine.problem().requests(c[0]), 0);
+        assert!(engine.incumbent().placement.assignments(c[0]).is_empty());
+
+        let back = engine.apply(
+            InstanceDelta::ClientArrived {
+                client: c[0],
+                requests: 6,
+            },
+            SolveBudget::UNLIMITED,
+        );
+        assert!(!back.is_deferred());
+        assert!(engine.verify_incumbent());
+        assert!(engine.is_fully_served());
+        assert_eq!(engine.incumbent().placement.assigned_requests(c[0]), 6);
+    }
+
+    #[test]
+    fn overload_degrades_then_recovers_when_demand_drops() {
+        let (p, _, c) = sample();
+        let mut engine = PlacementEngine::new(p, Policy::Upwards).with_paranoia(Paranoia::Full);
+        // 40 requests cannot fit in 15 total capacity.
+        let spike = engine.apply(
+            InstanceDelta::DemandChanged {
+                client: c[2],
+                requests: 40,
+            },
+            SolveBudget::UNLIMITED,
+        );
+        match spike {
+            ApplyOutcome::Degraded { unserved, .. } => assert!(unserved >= 1),
+            other => panic!("expected a degraded outcome, got {other:?}"),
+        }
+        assert!(engine.verify_incumbent());
+        assert!(!engine.is_fully_served());
+
+        // Dropping back restores full service (the unserved client is
+        // re-marked dirty on every apply).
+        let calm = engine.apply(
+            InstanceDelta::DemandChanged {
+                client: c[2],
+                requests: 3,
+            },
+            SolveBudget::UNLIMITED,
+        );
+        assert!(!calm.is_deferred());
+        assert!(engine.is_fully_served());
+        assert!(engine.verify_incumbent());
+    }
+
+    #[test]
+    fn capacity_reprovision_sheds_and_rehomes() {
+        let (p, n, _) = sample();
+        for policy in Policy::ALL {
+            let mut engine = PlacementEngine::new(p.clone(), policy).with_paranoia(Paranoia::Full);
+            // Mid shrinks to 2: at most 2 of its 6 subtree requests stay.
+            let outcome = engine.apply(
+                InstanceDelta::CapacityChanged {
+                    node: n[1],
+                    capacity: 2,
+                },
+                SolveBudget::UNLIMITED,
+            );
+            assert!(!outcome.is_deferred(), "{policy}");
+            assert!(engine.verify_incumbent(), "{policy}");
+            assert!(engine.is_fully_served(), "{policy}");
+            assert_eq!(engine.problem().capacity(n[1]), 2, "{policy}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_replay_reproduces_generations_and_placements() {
+        let (p, n, c) = sample();
+        let mut engine = PlacementEngine::new(p, Policy::Closest);
+        let trace = [
+            InstanceDelta::DemandChanged {
+                client: c[1],
+                requests: 4,
+            },
+            InstanceDelta::Failure(FailureEvent::ServerCrash(n[1])),
+            InstanceDelta::Failure(FailureEvent::Recovered(RecoveryScope::Server(n[1]))),
+            InstanceDelta::ClientDeparted { client: c[0] },
+        ];
+        let checkpoint = engine.checkpoint();
+        let first: Vec<(u64, Placement)> = trace
+            .iter()
+            .map(|&delta| {
+                engine.apply(delta, SolveBudget::UNLIMITED);
+                (engine.generation(), engine.incumbent().placement.clone())
+            })
+            .collect();
+        engine.restore(&checkpoint);
+        assert_eq!(engine.generation(), checkpoint.generation());
+        let second: Vec<(u64, Placement)> = trace
+            .iter()
+            .map(|&delta| {
+                engine.apply(delta, SolveBudget::UNLIMITED);
+                (engine.generation(), engine.incumbent().placement.clone())
+            })
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn rung_counts_tally_absorbed_applies() {
+        let (p, _, c) = sample();
+        let mut engine = PlacementEngine::new(p, Policy::Upwards);
+        engine.apply(
+            InstanceDelta::DemandChanged {
+                client: c[0],
+                requests: 1,
+            },
+            SolveBudget::UNLIMITED,
+        );
+        engine.apply(
+            InstanceDelta::DemandChanged {
+                client: c[0],
+                requests: 4,
+            },
+            SolveBudget::UNLIMITED,
+        );
+        let counts = engine.rung_counts();
+        assert_eq!(counts.total(), 2);
+        assert!(counts.surgical >= 1);
+    }
+}

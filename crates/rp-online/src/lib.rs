@@ -1,0 +1,76 @@
+//! `rp-online` — the long-lived online placement engine.
+//!
+//! Everything below this crate is batch: hand the stack a
+//! [`ProblemInstance`](rp_core::ProblemInstance) and it solves from
+//! scratch. A live video-on-demand tree — the paper's own motivating
+//! application — does not work like that: clients arrive, leave and
+//! drift, servers are re-provisioned, links fail and heal. This crate
+//! owns the long-lived [`PlacementEngine`] that absorbs that stream of
+//! [`InstanceDelta`](rp_core::InstanceDelta)s and keeps a **verified
+//! incumbent placement** at all times.
+//!
+//! # Engine lifecycle
+//!
+//! ```text
+//! PlacementEngine::new(problem, policy)        // solve the initial instance
+//!    ├─ apply(delta, budget) ──► Applied   { generation, rung }
+//!    │                       ──► Degraded  { generation, rung, unserved }
+//!    │                       ──► Deferred                  (rolled back)
+//!    ├─ retry_deferred(budget)      // drain the backpressure queue
+//!    ├─ checkpoint() / restore(..)  // snapshot & replay
+//!    └─ incumbent() / verify_incumbent() / generation()
+//! ```
+//!
+//! # The escalation ladder
+//!
+//! Each apply answers within a per-delta
+//! [`SolveBudget`](rp_lp::SolveBudget) by climbing four rungs, every
+//! rung deadline-checked before it starts and its result
+//! machine-verified before it is accepted:
+//!
+//! 1. **Surgical** ([`ApplyRung::Surgical`]) — dirty-root-path repair.
+//!    Only the root path of a changed node can change (the tree
+//!    structure guarantees it), so the engine re-examines just the
+//!    clients marked by [`DirtyRegion`](rp_core::DirtyRegion): strip
+//!    what died, sync assignments to the new demand, shed overload,
+//!    re-home orphans through the exact accounting.
+//! 2. **LP-guided** ([`ApplyRung::LpRepair`]) — under the Multiple
+//!    policy, a warm LP re-solve (dual-simplex cleanup from the
+//!    incumbent basis; the remaining budget is threaded into
+//!    [`SolveBudget`](rp_lp::SolveBudget)) rounded back to an integral
+//!    placement. Skipped under Closest/Upwards, whose single-server
+//!    rule the fractional rounding cannot respect.
+//! 3. **Re-run** ([`ApplyRung::Rerun`]) — the policy's own heuristics
+//!    from scratch on the current platform.
+//! 4. **Degrade** ([`ApplyRung::Degraded`]) — a machine-checkable
+//!    [`DegradedPlacement`](rp_core::DegradedPlacement): serve what
+//!    fits, report the rest as unserved. This rung is *total*.
+//!
+//! # Budget, rollback and backpressure
+//!
+//! Every apply starts from a copy-on-write snapshot of the engine
+//! state (the incumbent rides behind an `Arc`, so a snapshot is O(s)
+//! bookkeeping, not a placement deep-copy). If the budget expires
+//! before any rung produced a *verified* answer, the apply **rolls
+//! back** to that snapshot — the incumbent, its generation and the
+//! platform are exactly what they were — and the delta lands in the
+//! deferred queue ([`ApplyOutcome::Deferred`], the backpressure
+//! signal). [`PlacementEngine::retry_deferred`] replays the queue when
+//! the burst has passed.
+//!
+//! The engine re-verifies its incumbent after every accepted apply: a
+//! `debug_assert!` always, and a full
+//! [`DegradedPlacement::verify`](rp_core::DegradedPlacement::verify)
+//! in release builds too under [`Paranoia::Full`] — a failed paranoid
+//! check rolls back exactly like a budget miss, so an unverified
+//! incumbent can never be observed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+
+mod engine;
+
+pub use engine::{
+    ApplyOutcome, ApplyRung, EngineCheckpoint, Paranoia, PlacementEngine, RungCounts,
+};

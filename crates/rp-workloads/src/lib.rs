@@ -35,13 +35,18 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Predates the workspace ban on panicking accessors (see clippy.toml);
+// new long-lived code (rp-online, rp-obs) enforces it.
+#![allow(clippy::disallowed_methods)]
 
+pub mod churn;
 pub mod failures;
 pub mod paper_examples;
 pub mod platform;
 pub mod scenarios;
 pub mod tree_gen;
 
+pub use churn::{churn_trace, recovery_for, ChurnConfig, TimedDelta};
 pub use failures::{failure_trace, sample_link_failure, sample_node_failure};
 pub use platform::{
     generate_problem, paper_scale_instance, paper_scale_instance_sized, PlatformKind,

@@ -7,6 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use replica_placement::core::exact::solve_exhaustive;
 use replica_placement::prelude::*;
 

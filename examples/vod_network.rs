@@ -15,6 +15,8 @@
 //! cargo run --release --example vod_network
 //! ```
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

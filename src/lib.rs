@@ -36,6 +36,7 @@ pub use rp_core as core;
 pub use rp_experiments as experiments;
 pub use rp_lp as lp;
 pub use rp_obs as obs;
+pub use rp_online as online;
 pub use rp_tree as tree;
 pub use rp_workloads as workloads;
 
@@ -43,6 +44,7 @@ pub use rp_workloads as workloads;
 pub mod prelude {
     pub use rp_core::{Heuristic, Placement, Policy, ProblemBuilder, ProblemInstance, ProblemKind};
     pub use rp_experiments::{ExperimentConfig, FigureId};
+    pub use rp_online::{ApplyOutcome, PlacementEngine};
     pub use rp_tree::{ClientId, NodeId, TreeBuilder, TreeNetwork, TreeStats};
     pub use rp_workloads::{PlatformKind, TreeGenConfig, TreeShape, WorkloadConfig};
 }

@@ -4,6 +4,8 @@
 //! over the survivors or a correct degraded report — with no panic
 //! reachable from the public solve/repair APIs.
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use replica_placement::core::{inject_and_repair, Heuristic, Policy};
 use replica_placement::workloads::failures::{sample_link_failure, sample_node_failure};
 use replica_placement::workloads::platform::paper_scale_instance_sized;

@@ -3,6 +3,8 @@
 //! Multiple/homogeneous algorithm, the heuristics and the LP bounds must
 //! all tell a consistent story.
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -4,6 +4,8 @@
 //! of the Closest policy under load, and MixedBest tracking the LP
 //! bound.
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use replica_placement::core::Heuristic;
 use replica_placement::experiments::figures::{check_cost_shape, check_success_shape};
 use replica_placement::experiments::runner::{run_sweep, ExperimentConfig};

@@ -3,6 +3,8 @@
 //! about Figures 1–5, 7 and 8 is checked end to end (exact solvers,
 //! heuristics and LP bounds together).
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use replica_placement::core::bounds::replica_counting_lower_bound;
 use replica_placement::core::exact::{optimal_cost, solve_multiple_homogeneous};
 use replica_placement::core::heuristics::lp_guided::{lp_guided, lp_guided_multi};

@@ -3,6 +3,8 @@
 //! consistency on arbitrary instances, and round-trips of the text
 //! serialisation.
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use proptest::prelude::*;
 
 use replica_placement::core::exact::solve_multiple_homogeneous;

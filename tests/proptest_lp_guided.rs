@@ -19,6 +19,8 @@
 //! (Values are generated as small unsigned integers — the vendored
 //! proptest stand-in only implements unsigned range strategies.)
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use proptest::prelude::*;
 
 use replica_placement::core::heuristics::lp_guided::{lp_guided, lp_guided_multi, BandwidthRepair};

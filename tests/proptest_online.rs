@@ -1,0 +1,159 @@
+//! Property-based churn against the online engine: for arbitrary
+//! seeded delta sequences on randomized instances, the incumbent must
+//! verify after every apply, a forced budget miss must roll back
+//! bit-identically, and replaying a checkpoint must reproduce the
+//! generation/placement history exactly.
+
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use replica_placement::lp::SolveBudget;
+use replica_placement::online::Paranoia;
+use replica_placement::prelude::*;
+use replica_placement::workloads::{churn_trace, generate_problem, generate_tree, ChurnConfig};
+
+/// A random instance from one seed: tree shape, platform family and
+/// load factor all derive from it (same construction as the failure
+/// proptests, sized so a case stays in microseconds).
+fn instance_from_seed(seed: u64) -> ProblemInstance {
+    let num_nodes = 2 + (seed % 6) as usize;
+    let num_clients = 2 + ((seed >> 8) % 7) as usize;
+    let tree = generate_tree(
+        &TreeGenConfig {
+            num_nodes,
+            num_clients,
+            shape: TreeShape::RandomAttachment,
+        },
+        seed,
+    );
+    let platform = if seed.is_multiple_of(2) {
+        PlatformKind::Homogeneous {
+            capacity: 3 + (seed >> 16) % 10,
+        }
+    } else {
+        PlatformKind::HeterogeneousUniform { min: 2, max: 12 }
+    };
+    let lambda = 0.2 + ((seed >> 24) % 90) as f64 / 100.0;
+    generate_problem(tree, &WorkloadConfig::new(platform, lambda), seed ^ 0x5555)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: any churn sequence of up to 32 deltas,
+    /// applied under an unlimited budget, leaves a machine-verified
+    /// incumbent after **every** apply, under every policy, with the
+    /// outcome/generation bookkeeping accounting for every delta.
+    #[test]
+    fn every_apply_leaves_a_verified_incumbent(
+        instance_seed in 0u64..1_000_000,
+        trace_seed in 0u64..1_000_000,
+        trace_len in 1usize..=32,
+    ) {
+        let problem = instance_from_seed(instance_seed);
+        let trace = churn_trace(&problem, &ChurnConfig::new(), trace_len, trace_seed);
+        for policy in Policy::ALL {
+            let mut engine = PlacementEngine::new(problem.clone(), policy)
+                .with_paranoia(Paranoia::Full);
+            prop_assert!(engine.verify_incumbent(), "{policy}: initial incumbent");
+            let mut absorbed = 0u64;
+            for entry in &trace {
+                let outcome = engine.apply(entry.delta, SolveBudget::UNLIMITED);
+                prop_assert!(
+                    !outcome.is_deferred(),
+                    "{policy}: unlimited budget deferred {:?}", entry.delta
+                );
+                absorbed += 1;
+                prop_assert_eq!(outcome.generation(), Some(absorbed), "{}", policy);
+                prop_assert!(
+                    engine.verify_incumbent(),
+                    "{policy} after {:?}", entry.delta
+                );
+            }
+            prop_assert_eq!(engine.generation(), absorbed, "{}", policy);
+            prop_assert_eq!(engine.rung_counts().total(), absorbed, "{}", policy);
+        }
+    }
+
+    /// A zero budget can never be met, so every apply must defer — and
+    /// the rollback must be bit-identical: placement, unserved set,
+    /// generation and full-service flag exactly as before the attempt.
+    #[test]
+    fn forced_budget_misses_roll_back_bit_identically(
+        instance_seed in 0u64..1_000_000,
+        trace_seed in 0u64..1_000_000,
+        trace_len in 1usize..=8,
+    ) {
+        let problem = instance_from_seed(instance_seed);
+        let trace = churn_trace(&problem, &ChurnConfig::new(), trace_len, trace_seed);
+        let zero = SolveBudget::with_deadline(Duration::ZERO);
+        for policy in Policy::ALL {
+            let mut engine = PlacementEngine::new(problem.clone(), policy)
+                .with_paranoia(Paranoia::Full);
+            let placement_before = engine.incumbent().placement.clone();
+            let unserved_before = engine.incumbent().unserved.clone();
+            let generation_before = engine.generation();
+            let fully_served_before = engine.is_fully_served();
+            for (i, entry) in trace.iter().enumerate() {
+                let outcome = engine.apply(entry.delta, zero);
+                prop_assert!(outcome.is_deferred(), "{policy} delta {i}");
+                prop_assert_eq!(&engine.incumbent().placement, &placement_before,
+                    "{} delta {}", policy, i);
+                prop_assert_eq!(&engine.incumbent().unserved, &unserved_before,
+                    "{} delta {}", policy, i);
+                prop_assert_eq!(engine.generation(), generation_before,
+                    "{} delta {}", policy, i);
+                prop_assert_eq!(engine.is_fully_served(), fully_served_before,
+                    "{} delta {}", policy, i);
+                prop_assert!(engine.verify_incumbent(), "{policy} delta {i}");
+            }
+            // The deferred queue holds every delta in arrival order and
+            // drains fully once the clock stops mattering.
+            prop_assert_eq!(engine.deferred_len(), trace.len(), "{}", policy);
+            let outcomes = engine.retry_deferred(SolveBudget::UNLIMITED);
+            prop_assert_eq!(outcomes.len(), trace.len(), "{}", policy);
+            prop_assert!(outcomes.iter().all(|o| !o.is_deferred()), "{policy}");
+            prop_assert_eq!(engine.deferred_len(), 0, "{}", policy);
+            prop_assert!(engine.verify_incumbent(), "{policy}");
+        }
+    }
+
+    /// Checkpoint/replay determinism: restoring a checkpoint and
+    /// re-applying the same deltas reproduces the exact generation and
+    /// placement history of the first pass.
+    #[test]
+    fn checkpoint_replay_reproduces_the_history(
+        instance_seed in 0u64..1_000_000,
+        trace_seed in 0u64..1_000_000,
+        trace_len in 1usize..=16,
+    ) {
+        let problem = instance_from_seed(instance_seed);
+        let trace = churn_trace(&problem, &ChurnConfig::new(), trace_len, trace_seed);
+        for policy in Policy::ALL {
+            let mut engine = PlacementEngine::new(problem.clone(), policy)
+                .with_paranoia(Paranoia::Full);
+            let checkpoint = engine.checkpoint();
+            let first: Vec<(u64, Placement)> = trace
+                .iter()
+                .map(|entry| {
+                    engine.apply(entry.delta, SolveBudget::UNLIMITED);
+                    (engine.generation(), engine.incumbent().placement.clone())
+                })
+                .collect();
+
+            engine.restore(&checkpoint);
+            prop_assert_eq!(engine.generation(), checkpoint.generation(), "{}", policy);
+            let replay: Vec<(u64, Placement)> = trace
+                .iter()
+                .map(|entry| {
+                    engine.apply(entry.delta, SolveBudget::UNLIMITED);
+                    (engine.generation(), engine.incumbent().placement.clone())
+                })
+                .collect();
+            prop_assert_eq!(first, replay, "{}", policy);
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! `Vec` / `BTreeMap` / parent-walk implementations they replaced, on
 //! arbitrary random trees.
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;

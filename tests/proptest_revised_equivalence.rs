@@ -19,6 +19,8 @@
 //! signed coefficients/bounds — the vendored proptest stand-in only
 //! implements unsigned range strategies.)
 
+#![allow(clippy::disallowed_methods)] // test/driver code may unwrap freely
+
 use proptest::prelude::*;
 
 use replica_placement::lp::{
