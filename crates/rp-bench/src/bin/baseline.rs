@@ -9,12 +9,14 @@
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-failures
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-online
 //! cargo run --release -p rp-bench --bin baseline -- --smoke-obs
+//! cargo run --release -p rp-bench --bin baseline -- --smoke-pricing
 //! cargo run --release -p rp-bench --bin baseline -- --check-budget [perf-budget.toml]
 //! cargo run --release -p rp-bench --bin baseline -- [--obs-out OUT.json] --obs-only
 //! cargo run --release -p rp-bench --bin baseline -- [--sparse-out OUT.json] --sparse-only
 //! cargo run --release -p rp-bench --bin baseline -- [--heuristics-out OUT.json] --heuristics-only
 //! cargo run --release -p rp-bench --bin baseline -- [--failures-out OUT.json] --failures-only
 //! cargo run --release -p rp-bench --bin baseline -- [--online-out OUT.json] --online-only
+//! cargo run --release -p rp-bench --bin baseline -- [--pricing-out OUT.json] --pricing-only
 //! ```
 //!
 //! Metrics (all medians over several samples):
@@ -61,9 +63,14 @@
 //! percentiles and rung counters per policy; see
 //! [`write_online_report`]) — and `BENCH_obs.json`:
 //! the full metrics-registry snapshot of an instrumented representative
-//! workload (see [`write_obs_report`]). `--smoke-obs` gates the
-//! telemetry layer itself and `--check-budget` enforces the pinned
-//! ceilings of `perf-budget.toml` (see [`smoke_obs`] / [`check_budget`]).
+//! workload (see [`write_obs_report`]) — and `BENCH_pricing.json`: the
+//! per-rule pricing trajectory (cold and warm ms / iterations / bound
+//! flips at `s = 400` and `s = 2000`; see [`write_pricing_report`]).
+//! `--smoke-obs` gates the telemetry layer itself, `--smoke-pricing`
+//! gates the pricing machinery (dense-oracle agreement across rules +
+//! the `s = 2000` bound under `RP_SMOKE_PRICE_MS`), and
+//! `--check-budget` enforces the pinned ceilings of `perf-budget.toml`
+//! (see [`smoke_obs`] / [`smoke_pricing`] / [`check_budget`]).
 //!
 //! With `--compare OLD.json` the output also contains a `speedup`
 //! section: `old / new` per metric shared with the old file.
@@ -212,8 +219,10 @@ fn smoke_revised() {
 ///
 /// 1. A small (`s = 120`) **ill-scaled bandwidth-constrained** LP —
 ///    wide-range capacities spanning five decades plus per-link
-///    bandwidth rows — must solve on the revised engine (equilibration
-///    on auto) *and* agree with the dense-tableau oracle's objective.
+///    bandwidth rows — must solve on the revised engine with the
+///    equilibration pass forced on (its ~2e5 spread sits below the
+///    `Auto` threshold, so the smoke pins the scaled path explicitly)
+///    *and* agree with the dense-tableau oracle's objective.
 /// 2. The `s = 2000`-class bandwidth instance (multi-thousand rows once
 ///    the flow recurrences materialise) must solve with the revised
 ///    engine inside the `RP_SMOKE_BW_MS` wall budget; the dense oracle
@@ -222,16 +231,24 @@ fn smoke_revised() {
 fn smoke_bandwidth() {
     use rp_core::ilp::{build_model, Integrality};
     use rp_core::Policy;
-    use rp_lp::{solve_lp, solve_lp_revised_reusing, RevisedWorkspace, SimplexOptions, Status};
+    use rp_lp::{
+        solve_lp, solve_lp_revised_reusing, RevisedWorkspace, Scaling, SimplexOptions, Status,
+    };
     use rp_workloads::scenarios::{bandwidth_scale_instance, ill_scaled_bandwidth_instance};
 
     let mut workspace = RevisedWorkspace::new();
     let options = SimplexOptions::default();
 
-    // --- Dense-oracle agreement on the small ill-scaled instance. ---
+    // --- Dense-oracle agreement on the small ill-scaled instance, with
+    // the equilibration pass forced on so the scaled code path stays
+    // exercised now that `Auto` leaves ~2e5 spreads alone. ---
+    let scaled_options = SimplexOptions {
+        scaling: Scaling::Geometric,
+        ..SimplexOptions::default()
+    };
     let small = ill_scaled_bandwidth_instance(120, 0.4, 31);
     let formulation = build_model(&small, Policy::Multiple, Integrality::RationalBound);
-    let revised = solve_lp_revised_reusing(&formulation.model, &options, &mut workspace);
+    let revised = solve_lp_revised_reusing(&formulation.model, &scaled_options, &mut workspace);
     if revised.status != Status::Optimal || !revised.objective.is_finite() {
         eprintln!(
             "s=120 ill-scaled bandwidth bound FAILED: status {}, objective {}",
@@ -292,6 +309,119 @@ fn smoke_bandwidth() {
         formulation.model.num_constraints(),
         formulation.model.num_vars(),
         stats.iterations()
+    );
+    println!(
+        "  pivots: phase1 {} phase2 {} dual {} | flips: primal {} dual {} | queue: hits {} rebuilds {} | devex resets {}",
+        stats.phase1_pivots,
+        stats.phase2_pivots(),
+        stats.dual_pivots,
+        stats.bound_flips,
+        stats.dual_bound_flips,
+        stats.queue_hits,
+        stats.queue_rebuilds,
+        stats.devex_resets
+    );
+}
+
+/// The pricing-machinery CI smoke (PR 9): two checks back to back.
+///
+/// 1. Every pricing pair — candidate-queue partial, devex and Dantzig
+///    on the primal side, dual devex and most-violated-row on the dual
+///    side — must reach `Status::Optimal` on the paper-scale
+///    (`s = 400`) bound and agree with the dense-tableau oracle's
+///    objective. A pricing rule only reorders pivots; a rule that
+///    changes the answer is broken.
+/// 2. The `s = 2000` bandwidth bound under the **default** rules
+///    (partial pricing + dual devex + the bound-flipping ratio test)
+///    must land inside the pinned `RP_SMOKE_PRICE_MS` wall budget
+///    (default 500 ms — generous against the ~45 ms on a quiet
+///    machine, far below the ~700 ms the pre-PR-9 engine needed).
+fn smoke_pricing() {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{
+        solve_lp, solve_lp_revised_reusing, DualPricing, Pricing, RevisedWorkspace, SimplexOptions,
+        Status,
+    };
+    use rp_workloads::scenarios::{bandwidth_scale_instance, feasible_bandwidth_instance};
+
+    let mut workspace = RevisedWorkspace::new();
+
+    // --- Every rule pair agrees with the dense oracle at s = 400. ---
+    let problem = feasible_bandwidth_instance(400, 0.4, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    let dense = solve_lp(&formulation.model);
+    if dense.status != Status::Optimal {
+        eprintln!("s=400 dense oracle FAILED: status {}", dense.status);
+        std::process::exit(1);
+    }
+    for (pricing, dual_pricing, label) in [
+        (Pricing::Partial, DualPricing::Devex, "partial + dual devex"),
+        (Pricing::Devex, DualPricing::Devex, "devex + dual devex"),
+        (
+            Pricing::Dantzig,
+            DualPricing::MostViolated,
+            "dantzig + most-violated",
+        ),
+    ] {
+        let options = SimplexOptions {
+            pricing,
+            dual_pricing,
+            ..SimplexOptions::default()
+        };
+        workspace.invalidate();
+        let solution = solve_lp_revised_reusing(&formulation.model, &options, &mut workspace);
+        if solution.status != Status::Optimal
+            || (solution.objective - dense.objective).abs() > 1e-4 * dense.objective.abs().max(1.0)
+        {
+            eprintln!(
+                "s=400 pricing rule `{label}` disagrees: {} ({}) vs dense oracle {}",
+                solution.objective, solution.status, dense.objective
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "s=400 pricing rules all agree with the dense oracle ({:.3})",
+        dense.objective
+    );
+
+    // --- The s = 2000 bound inside the pricing-wall budget. ---
+    let problem = bandwidth_scale_instance(0.2, 31);
+    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+    workspace.invalidate();
+    let options = SimplexOptions::default();
+    let (ns, solution) =
+        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+    if solution.status != Status::Optimal || !solution.objective.is_finite() {
+        eprintln!(
+            "s=2000 pricing smoke FAILED: status {}, objective {}",
+            solution.status, solution.objective
+        );
+        std::process::exit(1);
+    }
+    let budget_ms: f64 = std::env::var("RP_SMOKE_PRICE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500.0);
+    if ns / 1e6 > budget_ms {
+        eprintln!(
+            "s=2000 pricing smoke REGRESSED: {:.1} ms exceeds the {budget_ms} ms budget",
+            ns / 1e6
+        );
+        std::process::exit(1);
+    }
+    let stats = workspace.last_stats();
+    println!(
+        "s=2000 bound = {:.3} in {:.1} ms under the default rules \
+         ({} dual pivots, {} dual bound flips, queue {} hits / {} rebuilds, {} devex resets)",
+        solution.objective,
+        ns / 1e6,
+        stats.dual_pivots,
+        stats.dual_bound_flips,
+        stats.queue_hits,
+        stats.queue_rebuilds,
+        stats.devex_resets
     );
 }
 
@@ -1217,11 +1347,20 @@ fn write_scenarios_report(path: &str) {
         }
     }
 
-    // Equilibration effect on the ill-scaled family: iteration counts
-    // and spreads with the pass on vs off.
+    // Equilibration effect on the ill-scaled family. Three runs:
+    // `scaled` is the shipping `Auto` decision (which deliberately
+    // leaves this family's ~2e5 spread alone — see `AUTO_SPREAD`),
+    // `unscaled` forces the pass off, and `geometric` forces it on to
+    // keep the iteration cost of equilibrating this family honest in
+    // the snapshot (it collapses the spread but pays extra iterations
+    // in scaled-unit tolerance/tie-break geometry).
     let problem = ill_scaled_bandwidth_instance(200, 0.4, 7);
     let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
-    for (scaling, label) in [(Scaling::Geometric, "scaled"), (Scaling::Off, "unscaled")] {
+    for (scaling, label) in [
+        (Scaling::Auto, "scaled"),
+        (Scaling::Off, "unscaled"),
+        (Scaling::Geometric, "geometric"),
+    ] {
         let scaled_options = SimplexOptions {
             scaling,
             ..SimplexOptions::default()
@@ -1236,8 +1375,7 @@ fn write_scenarios_report(path: &str) {
                 format!("scaling/illscaled_s200_{label}_iters"),
                 workspace.last_stats().iterations() as f64,
             ));
-            // The spread diagnostics belong to the scaled run; read
-            // them before the unscaled run resets the form.
+            // Spread diagnostics exist only for the forced-on run.
             if let Some((before, after)) = workspace.scaling_spread() {
                 entries.push(("scaling/illscaled_s200_spread_before".to_string(), before));
                 entries.push(("scaling/illscaled_s200_spread_after".to_string(), after));
@@ -1285,6 +1423,142 @@ fn write_scenarios_report(path: &str) {
     s.push_str(
         "  \"units\": \"*_ms = wall-clock ms (one shot), *_iters = simplex iterations, \
          spread_* = max|a|/min|a| of the constraint matrix\",\n",
+    );
+    s.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!("    \"{name}\": {value:.1}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(path, &s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("{s}");
+    eprintln!("wrote {path}");
+}
+
+/// Writes `BENCH_pricing.json`: the pricing-machinery trajectory that
+/// PR 9's tentpole pins. For each scale (`s = 400`, `s = 2000`) and
+/// each rule pair —
+///
+/// * `partial` — candidate-queue partial pricing + dual devex (the
+///   shipping default),
+/// * `devex` — full devex scan + dual devex,
+/// * `dantzig` — textbook most-negative reduced cost + dual devex,
+/// * `dual_mv` — partial pricing + the pre-PR-9 most-violated-row dual
+///   rule (isolates what the dual devex weights buy),
+///
+/// the report records a **cold** solve (wall ms, simplex iterations,
+/// primal + dual bound flips) followed by a **warm** sibling re-solve
+/// (same matrix, one right-hand side nudged — the `check_budget`
+/// sibling pattern) through the same workspace — the
+/// branch-and-bound / λ-sweep path that partial pricing is meant to
+/// keep cheap.
+fn write_pricing_report(path: &str) {
+    use rp_core::ilp::{build_model, Integrality};
+    use rp_core::Policy;
+    use rp_lp::{
+        solve_lp_revised_reusing, DualPricing, Pricing, RevisedWorkspace, SimplexOptions, Status,
+    };
+    use rp_workloads::scenarios::{bandwidth_scale_instance, feasible_bandwidth_instance};
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut workspace = RevisedWorkspace::new();
+    let rules: [(Pricing, DualPricing, &str); 4] = [
+        (Pricing::Partial, DualPricing::Devex, "partial"),
+        (Pricing::Devex, DualPricing::Devex, "devex"),
+        (Pricing::Dantzig, DualPricing::Devex, "dantzig"),
+        (Pricing::Partial, DualPricing::MostViolated, "dual_mv"),
+    ];
+    for size in [400usize, 2000] {
+        let problem = if size == 2000 {
+            bandwidth_scale_instance(0.2, 31)
+        } else {
+            feasible_bandwidth_instance(size, 0.4, 31)
+        };
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        // Untimed warm-up so the first rule doesn't pay the workspace's
+        // one-off buffer growth on this size.
+        workspace.invalidate();
+        solve_lp_revised_reusing(
+            &formulation.model,
+            &SimplexOptions::default(),
+            &mut workspace,
+        );
+        for (pricing, dual_pricing, label) in rules {
+            let options = SimplexOptions {
+                pricing,
+                dual_pricing,
+                ..SimplexOptions::default()
+            };
+            workspace.invalidate();
+            let (ns, solution) = time_once(|| {
+                solve_lp_revised_reusing(&formulation.model, &options, &mut workspace)
+            });
+            if solution.status != Status::Optimal {
+                eprintln!(
+                    "pricing report: s={size} {label} cold solve failed: {}",
+                    solution.status
+                );
+                continue;
+            }
+            let stats = workspace.last_stats();
+            entries.push((format!("pricing/s{size}_{label}_cold_ms"), ns / 1e6));
+            entries.push((
+                format!("pricing/s{size}_{label}_cold_iters"),
+                stats.iterations() as f64,
+            ));
+            entries.push((
+                format!("pricing/s{size}_{label}_cold_flips"),
+                (stats.bound_flips + stats.dual_bound_flips) as f64,
+            ));
+            // Warm sibling: identical matrix, one `<=` right-hand side
+            // relaxed by +1.0 (the `check_budget` sibling pattern;
+            // nudging a demand/flow row can tip the instance
+            // infeasible), so the workspace's basis and factorisation
+            // stay valid and the sibling provably stays feasible.
+            let mut sibling = formulation.model.clone();
+            let id = sibling
+                .constraint_ids()
+                .find(|&id| sibling.constraint(id).cmp == rp_lp::Cmp::Le);
+            let Some(id) = id else {
+                continue;
+            };
+            let rhs = sibling.constraint(id).rhs;
+            sibling.set_rhs(id, rhs + 1.0);
+            let (ns, solution) =
+                time_once(|| solve_lp_revised_reusing(&sibling, &options, &mut workspace));
+            if solution.status != Status::Optimal {
+                eprintln!(
+                    "pricing report: s={size} {label} warm sibling failed: {}",
+                    solution.status
+                );
+                continue;
+            }
+            let stats = workspace.last_stats();
+            entries.push((format!("pricing/s{size}_{label}_warm_ms"), ns / 1e6));
+            entries.push((
+                format!("pricing/s{size}_{label}_warm_iters"),
+                stats.iterations() as f64,
+            ));
+            entries.push((
+                format!("pricing/s{size}_{label}_warm_flips"),
+                (stats.bound_flips + stats.dual_bound_flips) as f64,
+            ));
+        }
+    }
+
+    entries.retain(|(name, value)| {
+        let keep = value.is_finite();
+        if !keep {
+            eprintln!("skipping non-finite metric {name} = {value}");
+        }
+        keep
+    });
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str(
+        "  \"units\": \"*_ms = wall-clock ms (one shot), *_iters = simplex iterations, \
+         *_flips = primal + dual bound flips; cold = fresh workspace, warm = same matrix \
+         with one <= right-hand side relaxed\",\n",
     );
     s.push_str("  \"metrics\": {\n");
     for (i, (name, value)) in entries.iter().enumerate() {
@@ -1744,6 +2018,7 @@ fn main() {
     let mut failures_output = String::from("BENCH_failures.json");
     let mut online_output = String::from("BENCH_online.json");
     let mut obs_output = String::from("BENCH_obs.json");
+    let mut pricing_output = String::from("BENCH_pricing.json");
     let mut compare: Option<String> = None;
     let mut sparse_only = false;
     let mut scenarios_only = false;
@@ -1751,6 +2026,7 @@ fn main() {
     let mut failures_only = false;
     let mut online_only = false;
     let mut obs_only = false;
+    let mut pricing_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1780,6 +2056,10 @@ fn main() {
             }
             "--smoke-obs" => {
                 smoke_obs();
+                return;
+            }
+            "--smoke-pricing" => {
+                smoke_pricing();
                 return;
             }
             "--check-budget" => {
@@ -1814,6 +2094,16 @@ fn main() {
             "--obs-only" => {
                 obs_only = true;
                 i += 1;
+            }
+            "--pricing-only" => {
+                pricing_only = true;
+                i += 1;
+            }
+            "--pricing-out" => {
+                if let Some(path) = args.get(i + 1) {
+                    pricing_output = path.clone();
+                }
+                i += 2;
             }
             "--obs-out" => {
                 if let Some(path) = args.get(i + 1) {
@@ -1885,6 +2175,10 @@ fn main() {
     }
     if obs_only {
         write_obs_report(&obs_output);
+        return;
+    }
+    if pricing_only {
+        write_pricing_report(&pricing_output);
         return;
     }
 
@@ -2045,6 +2339,7 @@ fn main() {
     write_failures_report(&failures_output);
     write_online_report(&online_output);
     write_obs_report(&obs_output);
+    write_pricing_report(&pricing_output);
 }
 
 /// Extracts the flat `"name": value` pairs of a previous baseline file.

@@ -664,31 +664,26 @@ mod tests {
     }
 
     #[test]
-    fn ill_scaled_scenarios_trigger_the_equilibration() {
-        let config = ScenarioConfig {
-            lambdas: vec![0.4],
-            trees_per_lambda: 2,
-            problem_size: 40,
-            ..ScenarioConfig::smoke_test(ScenarioFamily::BandwidthIllScaled)
-        };
-        let results = run_scenario(&config);
-        let batch = &results.batches[0];
-        assert!(
-            batch.scaled_rate() > 0.0,
-            "wide-range platform should scale"
-        );
-        for trial in &batch.trials {
-            if let Some((before, after)) = trial.scaling_spread {
-                assert!(after < before, "spread {before} -> {after}");
-            }
+    fn auto_scaling_leaves_both_bandwidth_families_unscaled() {
+        // The wide-range platform's ~2e5 entry spread sits below the
+        // retuned `Scaling::Auto` trigger (the solver is robust there
+        // without equilibration, and the pass costs iterations — see
+        // `AUTO_SPREAD`), so neither family scales under the default
+        // options; the forced-geometric path is pinned by the rp-lp
+        // unit tests and the `--smoke-bandwidth` CI gate instead.
+        for family in [
+            ScenarioFamily::BandwidthIllScaled,
+            ScenarioFamily::Bandwidth,
+        ] {
+            let results = run_scenario(&ScenarioConfig {
+                lambdas: vec![0.4],
+                trees_per_lambda: 2,
+                problem_size: 40,
+                ..ScenarioConfig::smoke_test(family)
+            });
+            let batch = &results.batches[0];
+            assert_eq!(batch.scaled_rate(), 0.0, "{family:?} should stay unscaled");
+            assert!(batch.trials.iter().all(|t| t.scaling_spread.is_none()));
         }
-        // The well-scaled bandwidth family must *not* scale.
-        let tame = run_scenario(&ScenarioConfig {
-            lambdas: vec![0.4],
-            trees_per_lambda: 2,
-            problem_size: 40,
-            ..ScenarioConfig::smoke_test(ScenarioFamily::Bandwidth)
-        });
-        assert_eq!(tame.batches[0].scaled_rate(), 0.0);
     }
 }

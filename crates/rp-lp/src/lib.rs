@@ -55,7 +55,9 @@
 //!   elimination order. `U` stays genuinely triangular across hundreds
 //!   of updates (unlike a product-form eta file, whose solve cost grows
 //!   with every eta), and a numerically unsafe update is refused,
-//!   triggering a refactorisation (cadence: every 64 updates).
+//!   triggering a refactorisation (cadence: every 256 updates — the
+//!   hyper-sparse solves keep eta-file growth cheap enough that a long
+//!   cadence wins).
 //! * **Hyper-sparse solves** — both factors are stored column-wise and
 //!   row-wise, and all four triangular solves run in scatter form,
 //!   skipping every position whose running value is exactly zero: an
@@ -67,14 +69,32 @@
 //!   `B⁻ᵀe_r` only. A pricing pass is a flat `O(n)` scan; the full
 //!   `O(nnz)` recomputation happens only at phase starts and
 //!   refactorisations (plus once to confirm optimality).
-//! * **Devex pricing** ([`Pricing`], the default) — Forrest–Goldfarb
-//!   reference-framework weights ride on the same sparse pivot row for
-//!   nearly free, cutting iterations on LPs with heterogeneous column
-//!   norms; Dantzig and Bland remain selectable. (On the replica
+//! * **Partial pricing** ([`Pricing`], default `Partial`) —
+//!   candidate-list multiple pricing on top of Forrest–Goldfarb devex
+//!   weights: a full `O(n)` scan runs only to rebuild a small queue of
+//!   the most attractive columns, and ordinary iterations re-price just
+//!   the queue. Optimality is still only ever declared by a full scan,
+//!   so the rule changes the pivot order but never the answer. Full
+//!   devex, Dantzig and Bland remain selectable, and the differential
+//!   proptests pin all of them to the same objective. (On the replica
 //!   relaxations themselves the constraint matrices are near-unimodular
-//!   — every tableau entry is ±1 — so the weights provably stay at 1
-//!   and devex coincides with Dantzig; `BENCH_sparse.json` records both
-//!   this equality and the devex win on an ill-scaled family.)
+//!   — every tableau entry is ±1 — so the devex weights provably stay
+//!   at 1 and devex coincides with Dantzig; `BENCH_sparse.json` records
+//!   both this equality and the devex win on an ill-scaled family, and
+//!   `BENCH_pricing.json` tracks every rule pair at `s = 400/2000`.)
+//! * **Dual cold start, dual devex and the bound-flipping ratio test**
+//!   — when the phase-2 costs are already dual feasible at the bound
+//!   point (true of all the min-cost replica relaxations), the solve
+//!   skips both primal phases and runs the dual simplex straight from
+//!   the slack basis. The leaving row comes from **dual devex** row
+//!   weights ([`DualPricing`], default) over an incrementally
+//!   maintained candidate list of violated rows (no `O(m)` rescan per
+//!   iteration), measured in *model units* so equilibration cannot bend
+//!   the pivot path; the entering column comes from a **bound-flipping
+//!   dual ratio test** that walks the pivot row's breakpoints and flips
+//!   boxed columns for longer dual steps. This is what broke the
+//!   pricing wall: the `s = 2000` bandwidth bound dropped from ~700 ms
+//!   to under 50 ms (see `perf-budget.toml`).
 //! * **Presolve** ([`SimplexOptions::presolve`], on by default) —
 //!   singleton rows become bound tightenings, redundant and forcing
 //!   rows (zero-request clients, saturated capacities, nodes with no
@@ -180,7 +200,7 @@ pub use error::{LpError, SolveBudget};
 pub use model::{lin_sum, Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, VarId, Variable};
 pub use revised::{
     solve_lp_revised, solve_lp_revised_checked, solve_lp_revised_reusing, solve_lp_revised_with,
-    Pricing, RevisedWorkspace, Scaling, SolveStats, TranCounters, WarmStart,
+    DualPricing, Pricing, RevisedWorkspace, Scaling, SolveStats, TranCounters, WarmStart,
 };
 pub use simplex::{solve_lp, solve_lp_reusing, solve_lp_with, SimplexOptions, SimplexWorkspace};
 pub use solution::{Solution, Status};

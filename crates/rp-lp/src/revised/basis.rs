@@ -254,6 +254,26 @@ impl StandardForm {
         }
     }
 
+    /// Multiplier converting a scaled bound violation of `col` back to
+    /// model units: a structural's scaled value is `x_j / c_j` so its
+    /// violation recovers `c_j`; a slack absorbed its row's scale
+    /// (`s' = r_i·s`) so its violation sheds `r_i`. Artificials only
+    /// exist in scaled row units and keep `1`. Pricing uses this to
+    /// rank violations by their model-unit magnitude — otherwise the
+    /// folded scales, not the geometry, decide the pivot order.
+    #[inline]
+    pub(crate) fn violation_unscale(&self, col: usize) -> f64 {
+        if !self.scaled {
+            1.0
+        } else if col < self.n_struct {
+            self.col_scale[col]
+        } else if col < self.n_struct + self.m {
+            1.0 / self.row_scale[col - self.n_struct]
+        } else {
+            1.0
+        }
+    }
+
     /// The combined multiplier a model coefficient in `(row, col)` picks
     /// up from the stored equilibration (`1` when unscaled).
     #[inline]

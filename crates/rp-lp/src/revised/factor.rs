@@ -52,6 +52,56 @@ const MARKOWITZ_THRESHOLD: f64 = 0.1;
 /// yielded at least one threshold-eligible candidate.
 const SEARCH_COLUMNS: usize = 4;
 
+/// Hole marker in `uorder`: a Forrest–Tomlin update re-appends the
+/// updated step at the back and leaves this sentinel at its old
+/// position instead of shifting the whole array.
+const UORDER_HOLE: u32 = u32::MAX;
+
+/// A sparse solve whose live pattern grows past `m / SPARSE_FALLBACK_DIV`
+/// finishes with the plain dense sweeps (the heap bookkeeping would
+/// cost more than it saves).
+const SPARSE_FALLBACK_DIV: usize = 8;
+
+/// Push onto the binary min-heap of packed `key << 32 | payload`
+/// entries kept in a plain reused `Vec`.
+fn heap_push(heap: &mut Vec<u64>, entry: u64) {
+    heap.push(entry);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent] <= heap[i] {
+            break;
+        }
+        heap.swap(parent, i);
+        i = parent;
+    }
+}
+
+/// Pop the minimum entry off the packed binary min-heap.
+fn heap_pop(heap: &mut Vec<u64>) -> Option<u64> {
+    let last = heap.len().checked_sub(1)?;
+    heap.swap(0, last);
+    let top = heap.pop();
+    let mut i = 0;
+    loop {
+        let left = 2 * i + 1;
+        let right = left + 1;
+        let mut smallest = i;
+        if left < heap.len() && heap[left] < heap[smallest] {
+            smallest = left;
+        }
+        if right < heap.len() && heap[right] < heap[smallest] {
+            smallest = right;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+    top
+}
+
 /// Sparse LU factors plus the Forrest–Tomlin update state. See the
 /// module docs.
 #[derive(Default)]
@@ -89,13 +139,23 @@ pub(crate) struct Factorization {
     num_updates: usize,
     /// Intermediate FTRAN vector (after `L` and the row etas, before
     /// `U`): exactly the spike column the next Forrest–Tomlin update
-    /// needs. Saved by every `ftran`.
+    /// needs. Saved by every `ftran`, with its nonzero pattern in
+    /// `spike_nz`.
     spike: Vec<f64>,
+    spike_nz: Vec<u32>,
     // ---- solve scratch ----
+    /// Dense solve vector in step space; **all-zero between calls** —
+    /// every solve path restores the zeros it wrote.
     work: Vec<f64>,
     acc: Vec<f64>,
-    touched: Vec<u32>,
     mults: Vec<(u32, f64)>,
+    /// Membership mask for the sparse-solve pattern (step space;
+    /// all-false between calls).
+    mask: Vec<bool>,
+    /// Packed binary heap driving the sparse triangular solves.
+    heap: Vec<u64>,
+    /// Current pattern of `work` during a sparse solve.
+    nzbuf: Vec<u32>,
     // ---- refactorisation working state ----
     /// Active-submatrix columns: `(constraint row, value)` pairs.
     acols: Vec<Vec<(u32, f64)>>,
@@ -491,10 +551,15 @@ impl Factorization {
         self.upos.extend(0..m as u32);
         self.spike.clear();
         self.spike.resize(m, 0.0);
+        self.spike_nz.clear();
         self.work.clear();
         self.work.resize(m, 0.0);
         self.acc.clear();
         self.acc.resize(m, 0.0);
+        self.mask.clear();
+        self.mask.resize(m, false);
+        self.heap.clear();
+        self.nzbuf.clear();
     }
 
     /// Solves `B·x = v` in place: `v` enters in constraint-row space and
@@ -532,9 +597,19 @@ impl Factorization {
         }
         self.spike.clear();
         self.spike.extend_from_slice(work);
+        self.spike_nz.clear();
+        for (k, &s) in self.spike.iter().enumerate() {
+            if s != 0.0 {
+                self.spike_nz.push(k as u32);
+            }
+        }
         // U backward solve along the elimination order, scatter form.
-        for idx in (0..m).rev() {
-            let k = self.uorder[idx] as usize;
+        for idx in (0..self.uorder.len()).rev() {
+            let k = self.uorder[idx];
+            if k == UORDER_HOLE {
+                continue;
+            }
+            let k = k as usize;
             let t = work[k];
             if t != 0.0 {
                 let x = t / self.udiag[k];
@@ -546,6 +621,7 @@ impl Factorization {
         }
         for k in 0..m {
             v[self.q[k] as usize] = work[k];
+            work[k] = 0.0;
         }
     }
 
@@ -566,8 +642,12 @@ impl Factorization {
         self.btran_io.dim += m as u64;
         // Uᵀ forward solve along the elimination order, scatter form
         // over the rows of U.
-        for idx in 0..m {
-            let k = self.uorder[idx] as usize;
+        for idx in 0..self.uorder.len() {
+            let k = self.uorder[idx];
+            if k == UORDER_HOLE {
+                continue;
+            }
+            let k = k as usize;
             let t = work[k];
             if t != 0.0 {
                 let a = t / self.udiag[k];
@@ -598,6 +678,334 @@ impl Factorization {
         }
         for k in 0..m {
             v[self.p[k] as usize] = work[k];
+            work[k] = 0.0;
+        }
+    }
+
+    /// [`Factorization::ftran`] with an explicit nonzero pattern:
+    /// `v` must be zero outside the positions in `nz` (duplicates
+    /// tolerated). The triangular solves walk only the structurally
+    /// reachable entries — heap-ordered scatter in elimination order —
+    /// so a unit-vector solve costs its true fill, not `O(m)`. Any
+    /// phase whose live pattern outgrows the sparse cutoff falls back
+    /// to the plain dense sweeps. On return `v` holds the solution,
+    /// `nz` its pattern, and the update spike is saved exactly like the
+    /// dense path.
+    pub(crate) fn ftran_sparse(&mut self, v: &mut [f64], nz: &mut Vec<u32>) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        self.ftran_io.calls += 1;
+        self.ftran_io.in_nnz += nz.len() as u64;
+        self.ftran_io.dim += m as u64;
+        let cutoff = (m / SPARSE_FALLBACK_DIV).max(32);
+        // Permute in: constraint-row space → step space.
+        self.nzbuf.clear();
+        for &r in nz.iter() {
+            let r = r as usize;
+            let k = self.row_step[r] as usize;
+            if !self.mask[k] {
+                self.mask[k] = true;
+                self.nzbuf.push(k as u32);
+            }
+            // `+=`: a duplicate entry re-reads the already-zeroed `v[r]`.
+            self.work[k] += v[r];
+            v[r] = 0.0;
+        }
+        let mut dense = self.nzbuf.len() > cutoff;
+        // L forward solve in increasing step order.
+        if dense {
+            for k in 0..m {
+                let t = self.work[k];
+                if t != 0.0 {
+                    for idx in self.lcol_ptr[k]..self.lcol_ptr[k + 1] {
+                        self.work[self.lcol_idx[idx] as usize] -= self.lcol_val[idx] * t;
+                    }
+                }
+            }
+        } else {
+            self.heap.clear();
+            for &k in &self.nzbuf {
+                heap_push(&mut self.heap, ((k as u64) << 32) | k as u64);
+            }
+            while let Some(entry) = heap_pop(&mut self.heap) {
+                let k = entry as u32 as usize;
+                let t = self.work[k];
+                if t == 0.0 {
+                    continue;
+                }
+                for idx in self.lcol_ptr[k]..self.lcol_ptr[k + 1] {
+                    let i = self.lcol_idx[idx] as usize;
+                    if !self.mask[i] {
+                        self.mask[i] = true;
+                        self.nzbuf.push(i as u32);
+                        heap_push(&mut self.heap, ((i as u64) << 32) | i as u64);
+                    }
+                    self.work[i] -= self.lcol_val[idx] * t;
+                }
+            }
+        }
+        // Forrest–Tomlin row etas, chronological; the dot already costs
+        // the eta's nonzeros, so no pattern check is worth it.
+        for e in 0..self.eta_target.len() {
+            let mut dot = 0.0;
+            for idx in self.eta_ptr[e]..self.eta_ptr[e + 1] {
+                dot += self.eta_val[idx] * self.work[self.eta_idx[idx] as usize];
+            }
+            if dot != 0.0 {
+                let tgt = self.eta_target[e] as usize;
+                if !dense && !self.mask[tgt] {
+                    self.mask[tgt] = true;
+                    self.nzbuf.push(tgt as u32);
+                }
+                self.work[tgt] -= dot;
+            }
+        }
+        // Save the spike (pattern included) for the next update.
+        for &k in &self.spike_nz {
+            self.spike[k as usize] = 0.0;
+        }
+        self.spike_nz.clear();
+        if dense {
+            self.spike.copy_from_slice(&self.work);
+            for (k, &s) in self.spike.iter().enumerate() {
+                if s != 0.0 {
+                    self.spike_nz.push(k as u32);
+                }
+            }
+        } else {
+            for &k in &self.nzbuf {
+                let s = self.work[k as usize];
+                if s != 0.0 {
+                    self.spike[k as usize] = s;
+                    self.spike_nz.push(k);
+                }
+            }
+        }
+        // U backward solve in decreasing elimination order.
+        if !dense && self.nzbuf.len() > cutoff {
+            dense = true;
+        }
+        if dense {
+            for idx in (0..self.uorder.len()).rev() {
+                let k = self.uorder[idx];
+                if k == UORDER_HOLE {
+                    continue;
+                }
+                let k = k as usize;
+                let t = self.work[k];
+                if t != 0.0 {
+                    let x = t / self.udiag[k];
+                    self.work[k] = x;
+                    for &(i, u) in &self.ucols[k] {
+                        self.work[i as usize] -= u * x;
+                    }
+                }
+            }
+        } else {
+            self.heap.clear();
+            for &k in &self.nzbuf {
+                let key = !self.upos[k as usize];
+                heap_push(&mut self.heap, ((key as u64) << 32) | k as u64);
+            }
+            while let Some(entry) = heap_pop(&mut self.heap) {
+                let k = entry as u32 as usize;
+                let t = self.work[k];
+                if t == 0.0 {
+                    continue;
+                }
+                let x = t / self.udiag[k];
+                self.work[k] = x;
+                for &(i, u) in &self.ucols[k] {
+                    let i_us = i as usize;
+                    if !self.mask[i_us] {
+                        self.mask[i_us] = true;
+                        self.nzbuf.push(i);
+                        let key = !self.upos[i_us];
+                        heap_push(&mut self.heap, ((key as u64) << 32) | i as u64);
+                    }
+                    self.work[i_us] -= u * x;
+                }
+            }
+        }
+        // Permute out (step → basis-slot space), restoring the all-zero
+        // scratch and all-false mask invariants.
+        nz.clear();
+        if dense {
+            for &k in &self.nzbuf {
+                self.mask[k as usize] = false;
+            }
+            for k in 0..m {
+                let val = self.work[k];
+                self.work[k] = 0.0;
+                if val != 0.0 {
+                    let slot = self.q[k] as usize;
+                    v[slot] = val;
+                    nz.push(slot as u32);
+                }
+            }
+        } else {
+            for &k in &self.nzbuf {
+                let k = k as usize;
+                self.mask[k] = false;
+                let val = self.work[k];
+                self.work[k] = 0.0;
+                if val != 0.0 {
+                    let slot = self.q[k] as usize;
+                    v[slot] = val;
+                    nz.push(slot as u32);
+                }
+            }
+        }
+    }
+
+    /// [`Factorization::btran`] with an explicit nonzero pattern — the
+    /// mirror of [`Factorization::ftran_sparse`]: `v` enters in
+    /// basis-slot space (zero outside `nz`, duplicates tolerated) and
+    /// leaves in constraint-row space with `nz` rewritten to the output
+    /// pattern.
+    pub(crate) fn btran_sparse(&mut self, v: &mut [f64], nz: &mut Vec<u32>) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        self.btran_io.calls += 1;
+        self.btran_io.in_nnz += nz.len() as u64;
+        self.btran_io.dim += m as u64;
+        let cutoff = (m / SPARSE_FALLBACK_DIV).max(32);
+        // Permute in: basis-slot space → step space.
+        self.nzbuf.clear();
+        for &s in nz.iter() {
+            let s = s as usize;
+            let k = self.step_of_slot[s] as usize;
+            if !self.mask[k] {
+                self.mask[k] = true;
+                self.nzbuf.push(k as u32);
+            }
+            // `+=`: a duplicate entry re-reads the already-zeroed `v[s]`.
+            self.work[k] += v[s];
+            v[s] = 0.0;
+        }
+        let mut dense = self.nzbuf.len() > cutoff;
+        // Uᵀ forward solve in increasing elimination order.
+        if dense {
+            for idx in 0..self.uorder.len() {
+                let k = self.uorder[idx];
+                if k == UORDER_HOLE {
+                    continue;
+                }
+                let k = k as usize;
+                let t = self.work[k];
+                if t != 0.0 {
+                    let a = t / self.udiag[k];
+                    self.work[k] = a;
+                    for &(j, u) in &self.urows[k] {
+                        self.work[j as usize] -= u * a;
+                    }
+                }
+            }
+        } else {
+            self.heap.clear();
+            for &k in &self.nzbuf {
+                let key = self.upos[k as usize];
+                heap_push(&mut self.heap, ((key as u64) << 32) | k as u64);
+            }
+            while let Some(entry) = heap_pop(&mut self.heap) {
+                let k = entry as u32 as usize;
+                let t = self.work[k];
+                if t == 0.0 {
+                    continue;
+                }
+                let a = t / self.udiag[k];
+                self.work[k] = a;
+                for &(j, u) in &self.urows[k] {
+                    let j_us = j as usize;
+                    if !self.mask[j_us] {
+                        self.mask[j_us] = true;
+                        self.nzbuf.push(j);
+                        let key = self.upos[j_us];
+                        heap_push(&mut self.heap, ((key as u64) << 32) | j as u64);
+                    }
+                    self.work[j_us] -= u * a;
+                }
+            }
+        }
+        // Transposed row etas, reverse chronological: only multiples of
+        // the target's value propagate.
+        for e in (0..self.eta_target.len()).rev() {
+            let t = self.work[self.eta_target[e] as usize];
+            if t != 0.0 {
+                for idx in self.eta_ptr[e]..self.eta_ptr[e + 1] {
+                    let i = self.eta_idx[idx] as usize;
+                    if !dense && !self.mask[i] {
+                        self.mask[i] = true;
+                        self.nzbuf.push(i as u32);
+                    }
+                    self.work[i] -= self.eta_val[idx] * t;
+                }
+            }
+        }
+        // Lᵀ backward solve in decreasing step order.
+        if !dense && self.nzbuf.len() > cutoff {
+            dense = true;
+        }
+        if dense {
+            for k in (0..m).rev() {
+                let t = self.work[k];
+                if t != 0.0 {
+                    for idx in self.lrow_ptr[k]..self.lrow_ptr[k + 1] {
+                        self.work[self.lrow_idx[idx] as usize] -= self.lrow_val[idx] * t;
+                    }
+                }
+            }
+        } else {
+            self.heap.clear();
+            for &k in &self.nzbuf {
+                heap_push(&mut self.heap, ((!k as u64) << 32) | k as u64);
+            }
+            while let Some(entry) = heap_pop(&mut self.heap) {
+                let k = entry as u32 as usize;
+                let t = self.work[k];
+                if t == 0.0 {
+                    continue;
+                }
+                for idx in self.lrow_ptr[k]..self.lrow_ptr[k + 1] {
+                    let j = self.lrow_idx[idx];
+                    let j_us = j as usize;
+                    if !self.mask[j_us] {
+                        self.mask[j_us] = true;
+                        self.nzbuf.push(j);
+                        heap_push(&mut self.heap, ((!j as u64) << 32) | j as u64);
+                    }
+                    self.work[j_us] -= self.lrow_val[idx] * t;
+                }
+            }
+        }
+        // Permute out (step → constraint-row space) with the same
+        // invariant restoration as the FTRAN.
+        nz.clear();
+        if dense {
+            for &k in &self.nzbuf {
+                self.mask[k as usize] = false;
+            }
+            for k in 0..m {
+                let val = self.work[k];
+                self.work[k] = 0.0;
+                if val != 0.0 {
+                    let row = self.p[k] as usize;
+                    v[row] = val;
+                    nz.push(row as u32);
+                }
+            }
+        } else {
+            for &k in &self.nzbuf {
+                let k = k as usize;
+                self.mask[k] = false;
+                let val = self.work[k];
+                self.work[k] = 0.0;
+                if val != 0.0 {
+                    let row = self.p[k] as usize;
+                    v[row] = val;
+                    nz.push(row as u32);
+                }
+            }
         }
     }
 
@@ -606,30 +1014,37 @@ impl Factorization {
     /// Returns `false` — leaving the factorisation untouched — when the
     /// new pivot is numerically unsafe; the caller must refactorise.
     pub(crate) fn update(&mut self, slot: usize) -> bool {
-        let m = self.m;
         let t = self.step_of_slot[slot] as usize;
         let tpos = self.upos[t] as usize;
         let mut spike_inf = 0.0f64;
-        for &s in &self.spike {
-            spike_inf = spike_inf.max(s.abs());
+        for &k in &self.spike_nz {
+            spike_inf = spike_inf.max(self.spike[k as usize].abs());
         }
         // Eliminate row t of the spiked U with row operations against
-        // the later pivot rows; the multipliers become a row eta and the
-        // surviving coefficient of the spike column the new pivot.
-        self.touched.clear();
+        // the later pivot rows, walked sparsely in elimination order
+        // (heap on `upos`; every U-row entry sits strictly later, so
+        // the order is topological); the multipliers become a row eta
+        // and the surviving coefficient of the spike column the new
+        // pivot.
         self.mults.clear();
+        self.heap.clear();
         for &(j, v) in &self.urows[t] {
-            self.acc[j as usize] = v;
-            self.touched.push(j);
+            let j_us = j as usize;
+            self.acc[j_us] = v;
+            if !self.mask[j_us] {
+                self.mask[j_us] = true;
+                heap_push(&mut self.heap, ((self.upos[j_us] as u64) << 32) | j as u64);
+            }
         }
         let mut d = self.spike[t];
-        for idx in tpos + 1..m {
-            let j = self.uorder[idx] as usize;
+        while let Some(entry) = heap_pop(&mut self.heap) {
+            let j = entry as u32 as usize;
+            self.mask[j] = false;
             let val = self.acc[j];
+            self.acc[j] = 0.0;
             if val == 0.0 {
                 continue;
             }
-            self.acc[j] = 0.0;
             let mu = val / self.udiag[j];
             self.mults.push((j as u32, mu));
             d -= mu * self.spike[j];
@@ -638,12 +1053,12 @@ impl Factorization {
                 if l_us == t {
                     continue;
                 }
-                self.touched.push(l);
+                if !self.mask[l_us] {
+                    self.mask[l_us] = true;
+                    heap_push(&mut self.heap, ((self.upos[l_us] as u64) << 32) | l as u64);
+                }
                 self.acc[l_us] -= mu * uv;
             }
-        }
-        for &l in &self.touched {
-            self.acc[l as usize] = 0.0;
         }
         if d.abs() <= SINGULAR_TOL.max(1e-10 * spike_inf) {
             return false;
@@ -665,10 +1080,12 @@ impl Factorization {
             }
         }
         old_row.clear();
-        for (i, &s) in self.spike.iter().enumerate() {
-            if i != t && s != 0.0 {
-                old_col.push((i as u32, s));
-                self.urows[i].push((t as u32, s));
+        for &i in &self.spike_nz {
+            let i_us = i as usize;
+            let s = self.spike[i_us];
+            if i_us != t && s != 0.0 {
+                old_col.push((i, s));
+                self.urows[i_us].push((t as u32, s));
             }
         }
         self.ucols[t] = old_col;
@@ -682,12 +1099,13 @@ impl Factorization {
             self.eta_ptr.push(self.eta_idx.len());
             self.eta_target.push(t as u32);
         }
-        // Cycle step t to the back of the elimination order.
-        self.uorder.remove(tpos);
+        // Cycle step t to the back of the elimination order: leave a
+        // hole at its old position and append (O(1); the array regrows
+        // by at most one slot per update until the next refactorisation
+        // compacts it).
+        self.uorder[tpos] = UORDER_HOLE;
+        self.upos[t] = self.uorder.len() as u32;
         self.uorder.push(t as u32);
-        for idx in tpos..m {
-            self.upos[self.uorder[idx] as usize] = idx as u32;
-        }
         self.num_updates += 1;
         true
     }

@@ -10,18 +10,28 @@
 //! variable bounds are handled implicitly by the ratio test
 //! ([`ratio`]) rather than materialised as rows.
 //!
-//! Solving runs the textbook two phases, both as bounded primal simplex
-//! ([`solve_lp_revised`] and friends), from a **crash basis** that
-//! covers infeasible rows with structural columns wherever possible so
-//! phase 1 starts with only a handful of artificials. For branch-and-bound, the
-//! workspace additionally supports **warm starts**
-//! ([`RevisedWorkspace::solve_warm`]): after a node changes variable
-//! bounds, the parent's optimal basis is still dual feasible (bounds do
-//! not enter the reduced costs), so a few dual-simplex pivots restore
-//! primal feasibility instead of re-running both phases from scratch.
-//! The basis is refactorised every [`REFACTOR_EVERY`] updates — and the
-//! basic values recomputed from the right-hand side — to keep the
-//! product form numerically honest.
+//! Cold solves pick between two routes. When the phase-2 costs are
+//! already **dual feasible at the bound point** — every structural
+//! column can sit at a finite bound whose sign agrees with its cost,
+//! which is true of all the min-cost replica relaxations (`c ≥ 0`,
+//! everything boxed at lower bound 0) — the solve starts from the slack
+//! basis and runs the **dual simplex** directly: no phase 1, no
+//! artificials, and the bound-flipping dual ratio test ([`ratio`])
+//! turns the many boxed columns into long dual steps. Otherwise the
+//! textbook two phases run as bounded primal simplex from a **crash
+//! basis** that covers infeasible rows with structural columns wherever
+//! possible, so phase 1 starts with only a handful of artificials.
+//!
+//! For branch-and-bound, the workspace additionally supports **warm
+//! starts** ([`RevisedWorkspace::solve_warm`]): after a node changes
+//! variable bounds, the parent's optimal basis is still dual feasible
+//! (bounds do not enter the reduced costs), so a few dual-simplex
+//! pivots restore primal feasibility instead of re-running both phases
+//! from scratch. The dual simplex prices its leaving row with **dual
+//! devex** weights by default ([`DualPricing`]) and its entering column
+//! with the bound-flipping ratio test. The basis is refactorised every
+//! [`REFACTOR_EVERY`] updates — and the basic values recomputed from
+//! the right-hand side — to keep the product form numerically honest.
 
 mod basis;
 mod factor;
@@ -39,17 +49,17 @@ use crate::solution::{Solution, Status};
 use basis::{BasisState, ColStatus, Presolve, StandardForm};
 use factor::Factorization;
 use pricing::{
-    choose_dual_entering, choose_entering, choose_leaving_row, devex_update, pivot_row_alphas,
-    Entering,
+    choose_entering, devex_update, dual_devex_update, pivot_row_alphas, CandidateQueue,
+    DualCandidates, Entering,
 };
-use ratio::{primal_ratio_test, Ratio};
+use ratio::{dual_ratio_test, primal_ratio_test, DualRatio, Ratio};
 
-pub use pricing::Pricing;
+pub use pricing::{DualPricing, Pricing};
 pub use scaling::Scaling;
 
 /// Eta updates tolerated before the basis is refactorised and the basic
 /// values recomputed from scratch.
-const REFACTOR_EVERY: usize = 64;
+const REFACTOR_EVERY: usize = 256;
 
 /// Pivot-magnitude tolerance of the ratio tests.
 const PIVOT_TOL: f64 = 1e-9;
@@ -66,11 +76,14 @@ fn effective_presolve(model: &Model, options: &SimplexOptions) -> bool {
     options.presolve && model.num_constraints() >= MICRO_LP_ROWS
 }
 
-/// The pricing rule a solve of `model` should actually use: devex
-/// downgrades to Dantzig on micro models (where the two rules pivot
-/// near-identically but devex pays for its weight updates).
+/// The pricing rule a solve of `model` should actually use: the
+/// weight-carrying rules (partial, devex) downgrade to Dantzig on micro
+/// models, where every rule pivots near-identically but the weight and
+/// queue bookkeeping still costs.
 fn effective_pricing(model: &Model, options: &SimplexOptions) -> Pricing {
-    if options.pricing == Pricing::Devex && model.num_constraints() < MICRO_LP_ROWS {
+    if matches!(options.pricing, Pricing::Partial | Pricing::Devex)
+        && model.num_constraints() < MICRO_LP_ROWS
+    {
         Pricing::Dantzig
     } else {
         options.pricing
@@ -95,14 +108,32 @@ pub struct RevisedWorkspace {
     /// The pricing rule of the current solve (the options' rule after
     /// the micro-size downgrade).
     pricing: Pricing,
+    /// The dual pricing rule of the current solve.
+    dual_pricing: DualPricing,
+    /// Partial-pricing candidate queue (see [`pricing`]).
+    queue: CandidateQueue,
+    /// Dual devex row weights (one per basis slot).
+    dual_weights: Vec<f64>,
+    /// Incremental list of primal-infeasible rows (dual pricing).
+    dual_cands: DualCandidates,
+    /// Bound-flipping dual ratio test scratch: `(ratio, |alpha|, col)`
+    /// breakpoints and the columns chosen to flip.
+    breakpoints: Vec<(f64, f64, u32)>,
+    flips: Vec<u32>,
     /// Dual values / BTRAN buffer.
     y: Vec<f64>,
     /// Pivot column / FTRAN buffer.
     w: Vec<f64>,
-    /// Dual pivot row buffer.
+    /// Nonzero pattern of `w` while the dual loop keeps it sparse.
+    w_nz: Vec<u32>,
+    /// Dual pivot row buffer, kept zero outside `rho_nz`.
     rho: Vec<f64>,
+    /// Nonzero pattern of `rho` (maintained by every writer of `rho`).
+    rho_nz: Vec<u32>,
     /// Residual right-hand-side buffer.
     residual: Vec<f64>,
+    /// Nonzero pattern of `residual` during the bound-flip FTRAN.
+    residual_nz: Vec<u32>,
     /// Per-row flags used by the crash-basis construction.
     row_flags: Vec<bool>,
     /// Phase-1 cost buffer.
@@ -213,8 +244,21 @@ pub struct SolveStats {
     /// Bound flips (nonbasic variable jumps to its opposite bound; no
     /// basis change).
     pub bound_flips: usize,
-    /// Dual simplex basis changes (warm starts only).
+    /// Dual simplex basis changes (warm cleanups and dual cold starts).
     pub dual_pivots: usize,
+    /// Bounds flipped by the bound-flipping dual ratio test, summed
+    /// over dual pivots. Each flip replaces a would-be pivot;
+    /// `dual_bound_flips / dual_pivots` is the long-step payoff.
+    pub dual_bound_flips: usize,
+    /// Entering candidates served straight from the partial-pricing
+    /// queue (no full scan).
+    pub queue_hits: usize,
+    /// Full-scan rebuilds of the partial-pricing queue (queue
+    /// exhaustion, phase starts and optimality confirmations).
+    pub queue_rebuilds: usize,
+    /// Devex reference-framework resets (primal weight overflows plus
+    /// dual row-weight overflows).
+    pub devex_resets: usize,
     /// Basis changes with a zero step length (primal or dual).
     pub degenerate_pivots: usize,
     /// Refactorisations performed, the initial one included.
@@ -282,6 +326,7 @@ impl RevisedWorkspace {
     fn solve_warm_inner(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         self.stats = SolveStats::default();
         self.pricing = effective_pricing(model, options);
+        self.dual_pricing = options.dual_pricing;
         if !self.warm_ready
             || self.presolved != effective_presolve(model, options)
             || self.scaling_mode != options.scaling
@@ -362,6 +407,13 @@ impl RevisedWorkspace {
         // Polish with primal phase 2: exits immediately when the dual
         // cleanup already reached optimality, and absorbs any residual
         // dual infeasibility (e.g. a bound that loosened back) otherwise.
+        self.polish_and_extract(model, options)
+    }
+
+    /// Primal phase-2 polish after a dual simplex run reached primal
+    /// feasibility, followed by solution extraction. Exits immediately
+    /// when the dual pass already proved optimality.
+    fn polish_and_extract(&mut self, model: &Model, options: &SimplexOptions) -> Solution {
         self.load_phase2_costs();
         let costs = std::mem::take(&mut self.phase_costs);
         let outcome = self.primal_loop(&costs, options, false);
@@ -370,7 +422,7 @@ impl RevisedWorkspace {
             PhaseOutcome::Optimal => self.extract(model, options, Status::Optimal),
             PhaseOutcome::Unbounded => Solution::status_only(Status::Unbounded),
             PhaseOutcome::Stopped(err) => {
-                // The dual cleanup reached primal feasibility and the
+                // The dual pass reached primal feasibility and the
                 // primal polish preserves it: extract the best point
                 // found so far instead of discarding the work.
                 self.last_error = Some(err);
@@ -395,6 +447,7 @@ impl RevisedWorkspace {
         self.stats = SolveStats::default();
         self.warm_ready = false;
         self.pricing = effective_pricing(model, options);
+        self.dual_pricing = options.dual_pricing;
         self.presolved = effective_presolve(model, options);
         self.scaling_mode = options.scaling;
         // Clear any previous model's scaling state up front: presolve
@@ -416,6 +469,42 @@ impl RevisedWorkspace {
         self.form.apply_scaling(options.scaling);
         let m = self.form.m;
         let n = self.form.n_struct;
+
+        // ---- Dual cold start. ----
+        // When every structural column can sit at a finite bound whose
+        // sign agrees with its cost, the slack basis is dual feasible
+        // and the dual simplex solves the LP in one pass: no phase 1,
+        // no artificials, and the bound-flipping ratio test exploits
+        // the boxed columns. The min-cost replica relaxations (c ≥ 0,
+        // everything boxed at lower bound 0) always qualify. Any
+        // abnormal stop falls through to the classic two-phase path.
+        if self.try_dual_start_basis(options.tolerance) {
+            if !self.refactor_and_recompute() {
+                return self.fail(LpError::SingularBasis);
+            }
+            match self.dual_loop(options) {
+                DualOutcome::PrimalFeasible => {
+                    return self.polish_and_extract(model, options);
+                }
+                // The start was dual feasible, so an unbounded dual
+                // step proves primal infeasibility.
+                DualOutcome::Infeasible => {
+                    return Solution::status_only(Status::Infeasible);
+                }
+                // Same weak-duality argument as the warm cleanup: the
+                // dual simplex only visits dual-feasible bases, so the
+                // current objective is a valid bound on the optimum.
+                DualOutcome::Stopped(LpError::DeadlineExceeded) => {
+                    let bound = self.dual_bound_objective(model);
+                    self.last_error = Some(LpError::DeadlineExceeded);
+                    return Solution::bound_only(Status::DeadlineExceeded, bound);
+                }
+                // Iteration cap or numerical trouble: rebuild from
+                // scratch on the historically hardened two-phase path
+                // (which carries the Bland anti-cycling fallback).
+                DualOutcome::Stopped(_) => {}
+            }
+        }
 
         // Initial point: structural columns at their (finite) lower
         // bounds; the residual decides, row by row, whether the slack
@@ -705,10 +794,15 @@ impl RevisedWorkspace {
             stats.presolve_cols_removed as u64,
         );
         rp_obs::incr(match self.pricing {
+            Pricing::Partial => Counter::LpPricingPartial,
             Pricing::Devex => Counter::LpPricingDevex,
             Pricing::Dantzig => Counter::LpPricingDantzig,
             Pricing::Bland => Counter::LpPricingBland,
         });
+        rp_obs::add(Counter::LpQueueHits, stats.queue_hits as u64);
+        rp_obs::add(Counter::LpQueueRebuilds, stats.queue_rebuilds as u64);
+        rp_obs::add(Counter::LpDualBoundFlips, stats.dual_bound_flips as u64);
+        rp_obs::add(Counter::LpDevexResets, stats.devex_resets as u64);
         rp_obs::add(Counter::LpFtranCalls, stats.ftran.calls);
         rp_obs::add(Counter::LpFtranInNnz, stats.ftran.in_nnz);
         rp_obs::add(Counter::LpFtranDim, stats.ftran.dim);
@@ -919,8 +1013,10 @@ impl RevisedWorkspace {
         }
         self.w.clear();
         self.w.resize(m, 0.0);
+        self.w_nz.clear();
         self.w[i % m] = 1.0;
-        self.factor.ftran(&mut self.w);
+        self.w_nz.push((i % m) as u32);
+        self.factor.ftran_sparse(&mut self.w, &mut self.w_nz);
     }
 
     /// Benchmark hook: one hyper-sparse BTRAN on the unit vector `e_i`.
@@ -932,8 +1028,10 @@ impl RevisedWorkspace {
         }
         self.rho.clear();
         self.rho.resize(m, 0.0);
+        self.rho_nz.clear();
         self.rho[i % m] = 1.0;
-        self.factor.btran(&mut self.rho);
+        self.rho_nz.push((i % m) as u32);
+        self.factor.btran_sparse(&mut self.rho, &mut self.rho_nz);
     }
 
     /// Benchmark hook: one sparse Markowitz refactorisation of the
@@ -959,6 +1057,39 @@ impl RevisedWorkspace {
         })
     }
 
+    /// Installs the slack basis with every structural column parked at
+    /// a finite bound whose sign agrees with its cost — the
+    /// dual-feasible start of the cold dual simplex route. Returns
+    /// `false` when some column has no such bound (wrong-signed cost
+    /// towards its only finite bound, or a genuinely free column); the
+    /// caller then runs the classic two-phase path, which rebuilds the
+    /// basis wholesale.
+    fn try_dual_start_basis(&mut self, tol: f64) -> bool {
+        let m = self.form.m;
+        let n = self.form.n_struct;
+        self.basis.status.clear();
+        self.basis.status.reserve(n + m);
+        for j in 0..n {
+            let cost = self.form.cost[j];
+            let status = if self.form.lower[j].is_finite() && cost >= -tol {
+                ColStatus::Lower
+            } else if self.form.upper[j].is_finite() && cost <= tol {
+                ColStatus::Upper
+            } else {
+                return false;
+            };
+            self.basis.status.push(status);
+        }
+        for row in 0..m {
+            self.basis.status.push(ColStatus::Basic(row as u32));
+        }
+        self.basis.basic.clear();
+        self.basis.basic.extend(n..n + m);
+        self.basis.x_basic.clear();
+        self.basis.x_basic.resize(m, 0.0);
+        true
+    }
+
     /// Refactorises and recomputes the basic values from the residual
     /// right-hand side (squashing accumulated product-form drift).
     fn refactor_and_recompute(&mut self) -> bool {
@@ -970,6 +1101,26 @@ impl RevisedWorkspace {
         self.basis.x_basic.clear();
         self.basis.x_basic.extend_from_slice(&self.residual);
         true
+    }
+
+    /// [`RevisedWorkspace::ftran_column`] through the hyper-sparse
+    /// FTRAN, maintaining `w_nz`. Requires the sparse-`w` invariant
+    /// (zero outside `w_nz`), which [`RevisedWorkspace::dual_loop`]
+    /// establishes at entry and every sparse call preserves.
+    fn ftran_column_sparse(&mut self, col: usize) {
+        for &r in &self.w_nz {
+            self.w[r as usize] = 0.0;
+        }
+        self.w_nz.clear();
+        let w = &mut self.w;
+        let w_nz = &mut self.w_nz;
+        self.form.for_each_entry(col, |row, val| {
+            if w[row] == 0.0 {
+                w_nz.push(row as u32);
+            }
+            w[row] += val;
+        });
+        self.factor.ftran_sparse(w, w_nz);
     }
 
     /// Loads `B⁻¹ a_col` into `self.w`.
@@ -1009,13 +1160,23 @@ impl RevisedWorkspace {
     /// `self.alpha_cols` / `self.alpha_vals` (must run on the
     /// *pre-pivot* factorisation).
     fn compute_pivot_row(&mut self, row: usize) {
-        self.rho.clear();
-        self.rho.resize(self.form.m, 0.0);
+        if self.rho.len() != self.form.m {
+            self.rho.clear();
+            self.rho.resize(self.form.m, 0.0);
+            self.rho_nz.clear();
+        }
+        // Clear the previous call's pattern instead of an `O(m)` memset.
+        for &r in &self.rho_nz {
+            self.rho[r as usize] = 0.0;
+        }
+        self.rho_nz.clear();
         self.rho[row] = 1.0;
-        self.factor.btran(&mut self.rho);
+        self.rho_nz.push(row as u32);
+        self.factor.btran_sparse(&mut self.rho, &mut self.rho_nz);
         pivot_row_alphas(
             &self.form,
             &self.rho,
+            &self.rho_nz,
             &mut self.alpha_acc,
             &mut self.alpha_cols,
             &mut self.alpha_vals,
@@ -1046,13 +1207,16 @@ impl RevisedWorkspace {
         let max_iter = options
             .max_iterations
             .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
-        // Each phase starts a fresh devex reference framework: the
-        // current nonbasic set with unit weights.
-        let devex_mode = self.pricing == Pricing::Devex;
+        // Each phase starts a fresh devex reference framework (the
+        // current nonbasic set with unit weights) and an empty
+        // candidate queue.
+        let queue_mode = self.pricing == Pricing::Partial;
+        let devex_mode = queue_mode || self.pricing == Pricing::Devex;
         if devex_mode {
             self.devex_weights.clear();
             self.devex_weights.resize(self.form.num_cols(), 1.0);
         }
+        self.queue.clear();
         self.compute_reduced_costs(costs);
         // Pivots since `d` was last computed from scratch: an
         // incrementally updated `d` may only declare optimality after a
@@ -1060,15 +1224,45 @@ impl RevisedWorkspace {
         let mut stale_pivots = 0usize;
         for iteration in 0..max_iter {
             let use_bland = iteration >= options.bland_after || self.pricing == Pricing::Bland;
-            let entering = match choose_entering(
-                &self.form,
-                &self.basis,
-                &self.d,
-                tol,
-                use_bland,
-                allow_artificial,
-                (devex_mode && !use_bland).then_some(self.devex_weights.as_slice()),
-            ) {
+            let candidate = if queue_mode && !use_bland {
+                // Partial pricing: serve from the candidate queue; only
+                // an exhausted queue pays for a full rebuild scan. A
+                // `None` out of the rebuilt queue is the full-scan
+                // optimality signal every other rule produces directly.
+                match self
+                    .queue
+                    .pick(&self.form, &self.basis, &self.d, tol, &self.devex_weights)
+                {
+                    Some(e) => {
+                        self.stats.queue_hits += 1;
+                        Some(e)
+                    }
+                    None => {
+                        self.stats.queue_rebuilds += 1;
+                        self.queue.rebuild(
+                            &self.form,
+                            &self.basis,
+                            &self.d,
+                            tol,
+                            allow_artificial,
+                            &self.devex_weights,
+                        );
+                        self.queue
+                            .pick(&self.form, &self.basis, &self.d, tol, &self.devex_weights)
+                    }
+                }
+            } else {
+                choose_entering(
+                    &self.form,
+                    &self.basis,
+                    &self.d,
+                    tol,
+                    use_bland,
+                    allow_artificial,
+                    (devex_mode && !use_bland).then_some(self.devex_weights.as_slice()),
+                )
+            };
+            let entering = match candidate {
                 Some(e) => e,
                 None => {
                     if stale_pivots == 0 {
@@ -1076,6 +1270,7 @@ impl RevisedWorkspace {
                     }
                     self.compute_reduced_costs(costs);
                     stale_pivots = 0;
+                    self.queue.clear();
                     continue;
                 }
             };
@@ -1158,6 +1353,7 @@ impl RevisedWorkspace {
                         );
                         if overflow {
                             self.devex_weights.iter_mut().for_each(|w| *w = 1.0);
+                            self.stats.devex_resets += 1;
                         }
                     }
                     self.update_reduced_costs(theta_d, entering.col);
@@ -1202,22 +1398,118 @@ impl RevisedWorkspace {
         }
     }
 
+    /// Applies the bound flips collected by the dual ratio test: each
+    /// column's status toggles to the opposite bound, and the combined
+    /// movement `B⁻¹ · Σ Δx_j a_j` is subtracted from the basic values
+    /// with a single FTRAN — the flips change no basis column.
+    fn apply_dual_flips(&mut self, flips: &[u32]) {
+        self.residual.clear();
+        self.residual.resize(self.form.m, 0.0);
+        self.residual_nz.clear();
+        for &col in flips {
+            let col = col as usize;
+            let (delta, flipped) = match self.basis.status[col] {
+                ColStatus::Lower => (
+                    self.form.upper[col] - self.form.lower[col],
+                    ColStatus::Upper,
+                ),
+                ColStatus::Upper => (
+                    self.form.lower[col] - self.form.upper[col],
+                    ColStatus::Lower,
+                ),
+                ColStatus::Basic(_) => {
+                    debug_assert!(false, "flip candidates are nonbasic");
+                    continue;
+                }
+            };
+            self.basis.status[col] = flipped;
+            let residual = &mut self.residual;
+            let residual_nz = &mut self.residual_nz;
+            self.form.for_each_entry(col, |row, val| {
+                if residual[row] == 0.0 {
+                    residual_nz.push(row as u32);
+                }
+                residual[row] += val * delta;
+            });
+        }
+        self.factor
+            .ftran_sparse(&mut self.residual, &mut self.residual_nz);
+        for &i in &self.residual_nz {
+            let i = i as usize;
+            self.basis.x_basic[i] -= self.residual[i];
+        }
+    }
+
     /// Dual simplex: restores primal feasibility while keeping the
-    /// reduced costs sign-feasible. Assumes the factorisation is fresh.
+    /// reduced costs sign-feasible. Serves both the warm cleanup and
+    /// the cold dual start; assumes the factorisation is fresh. The
+    /// leaving row comes from the configured [`DualPricing`] rule, the
+    /// entering column from the bound-flipping dual ratio test.
     fn dual_loop(&mut self, options: &SimplexOptions) -> DualOutcome {
         let tol = options.tolerance;
         let max_iter = options
             .max_iterations
             .unwrap_or_else(|| 200 + 50 * (self.form.m + self.form.num_cols()));
+        // Each dual run starts a fresh devex reference framework: the
+        // current basis with unit row weights.
+        let dual_devex = self.dual_pricing == DualPricing::Devex;
+        if dual_devex {
+            self.dual_weights.clear();
+            self.dual_weights.resize(self.form.m, 1.0);
+        }
+        // Establish the sparse-`w` invariant the loop's hyper-sparse
+        // FTRANs maintain: zero outside `w_nz`.
+        self.w.clear();
+        self.w.resize(self.form.m, 0.0);
+        self.w_nz.clear();
         // Dual pricing needs the phase-2 reduced costs; they are kept
         // current by the same rank-one pivot-row updates the primal
         // loop uses.
         self.load_phase2_costs();
         let costs = std::mem::take(&mut self.phase_costs);
         self.compute_reduced_costs(&costs);
+        self.dual_cands.rebuild(&self.form, &self.basis, tol);
+        let prof = std::env::var("RP_DUAL_PROF").is_ok();
+        let mut t_price = 0u128;
+        let mut t_prow = 0u128;
+        let mut t_ratio = 0u128;
+        let mut t_flips = 0u128;
+        let mut t_ftran = 0u128;
+        let mut t_xupd = 0u128;
+        let mut t_ftupd = 0u128;
+        let mut t_refac = 0u128;
+        let mut nnz_rho = 0u64;
+        let mut nnz_alpha = 0u64;
+        let mut nnz_w = 0u64;
+        let mut nnz_samples = 0u64;
+        macro_rules! tick {
+            ($acc:ident, $e:expr) => {{
+                if prof {
+                    let t0 = std::time::Instant::now();
+                    let r = $e;
+                    $acc += t0.elapsed().as_nanos();
+                    r
+                } else {
+                    $e
+                }
+            }};
+        }
         let outcome = 'search: {
             for _ in 0..max_iter {
-                let leaving = match choose_leaving_row(&self.form, &self.basis, tol) {
+                let weights = dual_devex.then_some(self.dual_weights.as_slice());
+                let leaving = tick!(t_price, {
+                    match self.dual_cands.pick(&self.form, &self.basis, tol, weights) {
+                        Some(l) => Some(l),
+                        None => {
+                            // The incremental list only tracks rows the
+                            // pivots touched — confirm primal feasibility
+                            // with a full rescan before declaring it.
+                            self.dual_cands.rebuild(&self.form, &self.basis, tol);
+                            self.dual_cands.pick(&self.form, &self.basis, tol, weights)
+                        }
+                    }
+                });
+                let leaving = match leaving {
                     Some(l) => l,
                     None => break 'search DualOutcome::PrimalFeasible,
                 };
@@ -1226,22 +1518,61 @@ impl RevisedWorkspace {
                     break 'search DualOutcome::Stopped(err);
                 }
                 // Sparse pivot row α = Aᵀ B⁻ᵀ e_r.
-                self.compute_pivot_row(leaving.row);
+                tick!(t_prow, self.compute_pivot_row(leaving.row));
+                if prof {
+                    nnz_rho += self.rho.iter().filter(|v| **v != 0.0).count() as u64;
+                    nnz_alpha += self.alpha_cols.len() as u64;
+                    nnz_samples += 1;
+                }
 
-                let entering = match choose_dual_entering(
-                    &self.form,
-                    &self.basis,
-                    &self.d,
-                    &self.alpha_cols,
-                    &self.alpha_vals,
-                    leaving.above,
-                    PIVOT_TOL,
-                ) {
-                    Some(col) => col,
-                    None => break 'search DualOutcome::Infeasible,
+                let mut breakpoints = std::mem::take(&mut self.breakpoints);
+                let mut flips = std::mem::take(&mut self.flips);
+                let ratio = tick!(
+                    t_ratio,
+                    dual_ratio_test(
+                        &self.form,
+                        &self.basis,
+                        &self.d,
+                        &self.alpha_cols,
+                        &self.alpha_vals,
+                        leaving.above,
+                        leaving.violation,
+                        PIVOT_TOL,
+                        &mut breakpoints,
+                        &mut flips,
+                    )
+                );
+                self.breakpoints = breakpoints;
+                let entering = match ratio {
+                    DualRatio::Infeasible => {
+                        self.flips = flips;
+                        break 'search DualOutcome::Infeasible;
+                    }
+                    DualRatio::Step { entering } => entering,
                 };
+                // Boxed columns the long dual step passed over jump to
+                // their opposite bounds; one combined FTRAN updates the
+                // basic values. This must happen before the entering
+                // FTRAN below, which owns the factorisation's saved
+                // spike for the upcoming basis update.
+                if !flips.is_empty() {
+                    self.stats.dual_bound_flips += flips.len();
+                    tick!(t_flips, self.apply_dual_flips(&flips));
+                    // The flip FTRAN moved the basic values in its
+                    // residual pattern; admit any newly violated rows.
+                    tick!(t_price, {
+                        for &i in &self.residual_nz {
+                            self.dual_cands
+                                .note(&self.form, &self.basis, tol, i as usize);
+                        }
+                    });
+                }
+                self.flips = flips;
 
-                self.ftran_column(entering);
+                tick!(t_ftran, self.ftran_column_sparse(entering));
+                if prof {
+                    nnz_w += self.w_nz.len() as u64;
+                }
                 let row = leaving.row;
                 let alpha = self.w[row];
                 if alpha.abs() <= PIVOT_TOL {
@@ -1263,9 +1594,12 @@ impl RevisedWorkspace {
                 }
                 let entering_value = self.basis.nonbasic_value(&self.form, entering) + dxq;
                 if dxq != 0.0 {
-                    for (x, &wi) in self.basis.x_basic.iter_mut().zip(&self.w) {
-                        *x -= dxq * wi;
-                    }
+                    tick!(t_xupd, {
+                        for &i in &self.w_nz {
+                            let i = i as usize;
+                            self.basis.x_basic[i] -= dxq * self.w[i];
+                        }
+                    });
                 }
                 self.basis.status[leaving_col] = if leaving.above {
                     ColStatus::Upper
@@ -1275,8 +1609,35 @@ impl RevisedWorkspace {
                 self.basis.status[entering] = ColStatus::Basic(row as u32);
                 self.basis.basic[row] = entering;
                 self.basis.x_basic[row] = entering_value;
+                // Patch the candidate list with the rows this pivot
+                // moved: the entering column's pattern + the pivot row.
+                tick!(t_price, {
+                    if dxq != 0.0 {
+                        for &i in &self.w_nz {
+                            self.dual_cands
+                                .note(&self.form, &self.basis, tol, i as usize);
+                        }
+                    }
+                    self.dual_cands.note(&self.form, &self.basis, tol, row);
+                });
                 self.update_reduced_costs(theta_d, entering);
-                let ft_ok = self.factor.update(row);
+                if dual_devex
+                    && dual_devex_update(
+                        &self.form,
+                        &self.basis,
+                        &mut self.dual_weights,
+                        &self.w,
+                        &self.w_nz,
+                        row,
+                        alpha,
+                        leaving_col,
+                    )
+                {
+                    // Weight overflow: restart the reference framework.
+                    self.dual_weights.iter_mut().for_each(|w| *w = 1.0);
+                    self.stats.devex_resets += 1;
+                }
+                let ft_ok = tick!(t_ftupd, self.factor.update(row));
                 if ft_ok {
                     self.stats.max_eta_chain = self.stats.max_eta_chain.max(self.factor.updates());
                 }
@@ -1286,14 +1647,43 @@ impl RevisedWorkspace {
                     } else {
                         self.stats.refactor_ft_refused += 1;
                     }
-                    if !self.refactor_and_recompute() {
+                    let ok = tick!(t_refac, self.refactor_and_recompute());
+                    if !ok {
                         break 'search DualOutcome::Stopped(LpError::SingularBasis);
                     }
-                    self.compute_reduced_costs(&costs);
+                    tick!(t_refac, self.compute_reduced_costs(&costs));
+                    // Recomputing the basic values from scratch can move
+                    // any row across the violation tolerance.
+                    tick!(
+                        t_refac,
+                        self.dual_cands.rebuild(&self.form, &self.basis, tol)
+                    );
                 }
             }
             DualOutcome::Stopped(LpError::IterationLimit)
         };
+        if prof {
+            eprintln!(
+                "dual_loop profile (ms): price {:.1} pivot-row {:.1} ratio {:.1} flips {:.1} ftran {:.1} x-upd {:.1} ft-upd {:.1} refac {:.1}",
+                t_price as f64 / 1e6,
+                t_prow as f64 / 1e6,
+                t_ratio as f64 / 1e6,
+                t_flips as f64 / 1e6,
+                t_ftran as f64 / 1e6,
+                t_xupd as f64 / 1e6,
+                t_ftupd as f64 / 1e6,
+                t_refac as f64 / 1e6
+            );
+            let s = nnz_samples.max(1);
+            eprintln!(
+                "dual_loop nnz (avg over {} pivots, m = {}): rho {} alpha {} w {}",
+                nnz_samples,
+                self.form.m,
+                nnz_rho / s,
+                nnz_alpha / s,
+                nnz_w / s
+            );
+        }
         self.phase_costs = costs;
         outcome
     }
@@ -1844,7 +2234,7 @@ mod tests {
         let large = cover_model(MICRO_LP_ROWS + 10);
         assert_eq!(ws.solve_cold(&large, &options).status, Status::Optimal);
         assert!(ws.last_solve_used_presolve());
-        assert_eq!(ws.last_solve_pricing(), Pricing::Devex);
+        assert_eq!(ws.last_solve_pricing(), Pricing::Partial);
     }
 
     #[test]

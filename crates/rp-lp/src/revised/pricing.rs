@@ -1,9 +1,21 @@
-//! Column pricing for the revised simplex.
+//! Column and row pricing for the revised simplex.
 //!
-//! Primal side: three rules behind the [`Pricing`] enum —
+//! Primal side: four rules behind the [`Pricing`] enum —
 //!
-//! * **Devex** (the default): Forrest–Goldfarb reference-framework
-//!   pricing. Every nonbasic column carries a weight `w_j ≥ 1`
+//! * **Partial** (the default): candidate-list *multiple pricing* on
+//!   top of devex metrics. A full `O(n)` scan runs only to **rebuild**
+//!   a small candidate queue (the [`PARTIAL_QUEUE_MAX`]-best attractive
+//!   columns by `d_j²/w_j`); every ordinary iteration then re-prices
+//!   just the queue — dozens of entries instead of ~20k columns —
+//!   dropping members that went basic, hit a fixed bound or lost their
+//!   attractiveness as the reduced costs drifted. When the queue runs
+//!   dry the next full scan recycles it. Optimality is still only ever
+//!   declared by a *full* scan (and, as for every rule, confirmed
+//!   against freshly recomputed reduced costs), so the rule changes the
+//!   pivot order but never the answer. Queue traffic is observable as
+//!   `SolveStats::queue_hits` / `queue_rebuilds`.
+//! * **Devex**: Forrest–Goldfarb reference-framework pricing over the
+//!   full column set. Every nonbasic column carries a weight `w_j ≥ 1`
 //!   approximating `‖B⁻¹a_j‖²` over the current reference framework,
 //!   and the entering column maximises `d_j² / w_j`. After a pivot with
 //!   entering column `q` and pivot row `r`, the weights update from the
@@ -11,20 +23,16 @@
 //!   `w_j ← max(w_j, (α_rj / α_rq)² · w_q)` and
 //!   `w_leaving ← max(w_q / α_rq², 1)`. The update rides on the sparse
 //!   pivot row the reduced-cost maintenance computes anyway, so it is
-//!   close to free. On LPs with heterogeneous column norms (the
-//!   ill-scaled family in `BENCH_sparse.json`) devex needs measurably
-//!   fewer iterations than Dantzig; on the replica relaxations
-//!   themselves the constraint matrices are near-unimodular — every
-//!   tableau entry is ±1, so `(α_rj/α_rq)² w_q = w_q` and the weights
-//!   provably never leave 1 — and the two rules coincide pivot for
-//!   pivot. The framework resets (all weights to 1) at every phase
-//!   start and whenever a weight overflows [`DEVEX_RESET`].
-//! * **Dantzig**: the classic most-negative reduced cost, `O(nnz)` per
+//!   close to free. The framework resets (all weights to 1) at every
+//!   phase start and whenever a weight overflows [`DEVEX_RESET`];
+//!   resets are counted in `SolveStats::devex_resets`. Partial pricing
+//!   shares these weights and reset rules.
+//! * **Dantzig**: the classic most-negative reduced cost, `O(n)` per
 //!   pass with no update cost — still the best choice for very short
-//!   solves.
+//!   solves (and what micro models downgrade to).
 //! * **Bland**: smallest eligible index, the anti-cycling guarantee.
 //!   Any rule degrades to Bland after `SimplexOptions::bland_after`
-//!   iterations.
+//!   iterations, bypassing the candidate queue entirely.
 //!
 //! The reduced costs `d_j = c_j − yᵀ a_j` are maintained
 //! **incrementally**: the driver computes them from scratch (`O(nnz)`)
@@ -32,21 +40,53 @@
 //! rank-one update `d ← d − (d_q/α_q)·α` after each pivot, where the
 //! pivot row `α = Aᵀ B⁻ᵀ e_r` comes out of [`pivot_row_alphas`] —
 //! computed **row-wise** over the nonzeros of `B⁻ᵀe_r` only, which on
-//! the tree-structured replica bases touches a handful of rows. A
-//! pricing pass is then a flat `O(n)` scan of `d` with no matrix access,
-//! and the same sparse `α` drives the devex weight update for free.
+//! the tree-structured replica bases touches a handful of rows. The
+//! same sparse `α` drives the devex weight update for free.
 //!
-//! Dual side: the leaving row is the basic variable with the largest
-//! bound violation; [`choose_dual_entering`] runs the dual ratio test
-//! over the sparse pivot row to keep the reduced costs sign-feasible.
+//! Dual side: two rules behind [`DualPricing`] pick the **leaving row**
+//! (the primal-infeasible basic variable the dual simplex repairs
+//! next) —
+//!
+//! * **Devex** (the default): dual devex row weights `w_r ≥ 1`
+//!   approximating `‖B⁻ᵀe_r‖²`; the leaving row maximises
+//!   `violation²/w_r`. After a dual pivot on row `r` with pivot column
+//!   `w = B⁻¹a_q` and pivot element `α_r`, the standard rank-one update
+//!   runs over the pivot *column*: `w_i ← max(w_i, (w_i/α_r)²·w_r)` for
+//!   `i ≠ r` and `w_r ← max(w_r/α_r², 1)`, with the same overflow reset
+//!   rule as the primal weights.
+//! * **MostViolated**: the historical rule — the largest bound
+//!   violation wins. Kept as the differential baseline.
+//!
+//! Both dual rules price in **model units**: the violation (and the
+//! devex update's pivot-column entries) are multiplied by
+//! [`StandardForm::violation_unscale`] so that, when the equilibration
+//! pass is on, the metric ranks rows by their *unscaled* violations.
+//! Without this, folded row/column scales bend the dual pivot path and
+//! the scaled solve of an ill-scaled family pays extra iterations for
+//! no numerical benefit (the PR 9 scaling-regression root cause).
+//!
+//! The violated-row set itself is kept **incrementally** in
+//! [`DualCandidates`]: a dual pivot only moves the basic values in the
+//! entering column's FTRAN pattern plus the bound-flip deltas, so the
+//! loop patches the list from those sparse updates and pays a full
+//! `O(m)` rebuild only at (re)factorisations and before declaring
+//! primal feasibility.
+//!
+//! The dual *entering* column comes out of the bound-flipping dual
+//! ratio test in [`super::ratio`], which walks the sparse pivot row's
+//! breakpoints and flips boxed columns for longer dual steps.
 
 use super::basis::{BasisState, ColStatus, StandardForm};
 
 /// Primal pricing rule of the revised simplex (see the module docs).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Pricing {
-    /// Devex reference-framework pricing (Forrest–Goldfarb).
+    /// Candidate-list multiple pricing with devex metrics: full scans
+    /// only rebuild the queue, ordinary iterations re-price the queue.
     #[default]
+    Partial,
+    /// Devex reference-framework pricing (Forrest–Goldfarb) over the
+    /// full column set.
     Devex,
     /// Most-negative reduced cost.
     Dantzig,
@@ -54,8 +94,27 @@ pub enum Pricing {
     Bland,
 }
 
-/// Weight magnitude that triggers a devex reference-framework reset.
+/// Dual pricing rule: how the dual simplex picks its leaving row (see
+/// the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DualPricing {
+    /// Dual devex row weights: the leaving row maximises
+    /// `violation² / w_r`.
+    #[default]
+    Devex,
+    /// Largest bound violation (the historical baseline rule).
+    MostViolated,
+}
+
+/// Weight magnitude that triggers a devex reference-framework reset
+/// (primal column weights and dual row weights alike).
 const DEVEX_RESET: f64 = 1e7;
+
+/// Candidate-queue capacity of [`Pricing::Partial`]: a full rebuild
+/// keeps at most this many attractive columns. Sized so a queue scan
+/// stays cache-resident while holding enough candidates that typical
+/// minor cycles run 20+ pivots between rebuilds.
+const PARTIAL_QUEUE_MAX: usize = 192;
 
 /// An entering candidate: the column and the direction it moves in
 /// (`+1.0` away from its lower bound, `−1.0` away from its upper).
@@ -113,15 +172,119 @@ pub(crate) fn choose_entering(
     best.map(|(col, sigma, _)| Entering { col, sigma })
 }
 
-/// Computes the sparse pivot row `α = Aᵀ·rho` **row-wise**: only
-/// constraint rows with a nonzero `rho` entry are visited, so the cost
-/// is proportional to the nonzeros of `rho` and their rows — on the
-/// tree-structured replica bases a handful of entries, not `O(nnz)`.
+/// The recycled candidate queue of [`Pricing::Partial`].
+///
+/// Lifecycle: [`CandidateQueue::rebuild`] runs one full `O(n)` scan and
+/// keeps the [`PARTIAL_QUEUE_MAX`]-best attractive columns by devex
+/// metric; [`CandidateQueue::pick`] then serves entering candidates
+/// from the queue alone, compacting away entries that went basic, hit a
+/// fixed bound or stopped being attractive. An empty pick after a fresh
+/// rebuild means no attractive column exists anywhere — the driver's
+/// optimality signal.
+#[derive(Default)]
+pub(crate) struct CandidateQueue {
+    cols: Vec<u32>,
+    /// Rebuild scratch: `(metric, col)` of every attractive column.
+    scratch: Vec<(f64, u32)>,
+}
+
+impl CandidateQueue {
+    /// Empties the queue (phase starts, reduced-cost recomputations
+    /// that invalidate the ranking wholesale).
+    pub(crate) fn clear(&mut self) {
+        self.cols.clear();
+    }
+
+    /// Best still-attractive candidate in the queue, or `None` when the
+    /// queue is exhausted. Entries that are no longer priceable are
+    /// swap-removed on the way.
+    pub(crate) fn pick(
+        &mut self,
+        form: &StandardForm,
+        basis: &BasisState,
+        d: &[f64],
+        tol: f64,
+        weights: &[f64],
+    ) -> Option<Entering> {
+        let mut best: Option<(usize, f64, f64)> = None; // (col, sigma, metric)
+        let mut i = 0;
+        while i < self.cols.len() {
+            let col = self.cols[i] as usize;
+            let sigma = match basis.status[col] {
+                ColStatus::Basic(_) => {
+                    self.cols.swap_remove(i);
+                    continue;
+                }
+                ColStatus::Lower => 1.0,
+                ColStatus::Upper => -1.0,
+            };
+            let reduced = d[col];
+            if form.is_fixed(col) || -sigma * reduced <= tol {
+                self.cols.swap_remove(i);
+                continue;
+            }
+            let metric = reduced * reduced / weights[col].max(1.0);
+            match best {
+                Some((_, _, best_metric)) if metric <= best_metric => {}
+                _ => best = Some((col, sigma, metric)),
+            }
+            i += 1;
+        }
+        best.map(|(col, sigma, _)| Entering { col, sigma })
+    }
+
+    /// Full `O(n)` rescan: refills the queue with the top
+    /// [`PARTIAL_QUEUE_MAX`] attractive columns by devex metric.
+    pub(crate) fn rebuild(
+        &mut self,
+        form: &StandardForm,
+        basis: &BasisState,
+        d: &[f64],
+        tol: f64,
+        allow_artificial: bool,
+        weights: &[f64],
+    ) {
+        self.cols.clear();
+        self.scratch.clear();
+        let art_base = form.art_base();
+        debug_assert_eq!(d.len(), form.num_cols());
+        for (col, &reduced) in d.iter().enumerate() {
+            let sigma = match basis.status[col] {
+                ColStatus::Basic(_) => continue,
+                ColStatus::Lower => 1.0,
+                ColStatus::Upper => -1.0,
+            };
+            if form.is_fixed(col) || (!allow_artificial && col >= art_base) {
+                continue;
+            }
+            if -sigma * reduced > tol {
+                let metric = reduced * reduced / weights[col].max(1.0);
+                self.scratch.push((metric, col as u32));
+            }
+        }
+        if self.scratch.len() > PARTIAL_QUEUE_MAX {
+            // Keep the best PARTIAL_QUEUE_MAX by metric (order inside
+            // the kept block is irrelevant — `pick` rescans it anyway).
+            self.scratch
+                .select_nth_unstable_by(PARTIAL_QUEUE_MAX - 1, |a, b| {
+                    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            self.scratch.truncate(PARTIAL_QUEUE_MAX);
+        }
+        self.cols.extend(self.scratch.iter().map(|&(_, col)| col));
+    }
+}
+
+/// Computes the sparse pivot row `α = Aᵀ·rho` **row-wise**: only the
+/// rows in `rho_nz` (the BTRAN's output pattern) are visited, so the
+/// cost is proportional to the nonzeros of `rho` and their rows — on
+/// the tree-structured replica bases a handful of entries, not `O(m)`.
 /// The result lands in `(cols, vals)`; `acc` is a dense accumulator
 /// that must be (and is left) all-zero.
 pub(crate) fn pivot_row_alphas(
     form: &StandardForm,
     rho: &[f64],
+    rho_nz: &[u32],
     acc: &mut [f64],
     cols: &mut Vec<u32>,
     vals: &mut Vec<f64>,
@@ -130,7 +293,9 @@ pub(crate) fn pivot_row_alphas(
     vals.clear();
     debug_assert_eq!(acc.len(), form.num_cols());
     let n = form.n_struct;
-    for (row, &r) in rho.iter().enumerate() {
+    for &row in rho_nz {
+        let row = row as usize;
+        let r = rho[row];
         if r == 0.0 {
             continue;
         }
@@ -213,6 +378,21 @@ pub(crate) fn devex_update(
     wmax > DEVEX_RESET
 }
 
+/// Bound violation of the basic variable in `row`: magnitude and side
+/// (`true` = above the upper bound).
+#[inline]
+fn row_violation(form: &StandardForm, basis: &BasisState, row: usize) -> (f64, bool) {
+    let col = basis.basic[row];
+    let value = basis.x_basic[row];
+    let below = form.lower[col] - value;
+    let above = value - form.upper[col];
+    if above > below {
+        (above, true)
+    } else {
+        (below, false)
+    }
+}
+
 /// A leaving candidate for the dual simplex: the row whose basic
 /// variable violates a bound, and on which side.
 pub(crate) struct Leaving {
@@ -220,96 +400,157 @@ pub(crate) struct Leaving {
     /// `true` when the basic value exceeds its upper bound, `false`
     /// when it undershoots its lower bound.
     pub(crate) above: bool,
+    /// Magnitude of the bound violation — the initial slope of the
+    /// bound-flipping dual ratio test.
+    pub(crate) violation: f64,
 }
 
-/// Picks the most-violated basic variable, or `None` when the basis is
-/// primal feasible.
-pub(crate) fn choose_leaving_row(
-    form: &StandardForm,
-    basis: &BasisState,
-    tol: f64,
-) -> Option<Leaving> {
-    let mut best: Option<(Leaving, f64)> = None;
-    for (row, &col) in basis.basic.iter().enumerate() {
-        let value = basis.x_basic[row];
-        let below = form.lower[col] - value;
-        let above = value - form.upper[col];
-        let (violation, is_above) = if above > below {
-            (above, true)
-        } else {
-            (below, false)
-        };
+/// Incremental leaving-row candidate list for the dual simplex.
+///
+/// A dual pivot only moves the basic values in the entering column's
+/// FTRAN pattern (plus the rows a bound-flip pass touches), so instead
+/// of rescanning all `m` rows per iteration the loop keeps the set of
+/// currently violated rows and patches it from those sparse deltas:
+/// [`Self::note`] admits rows whose value just moved, [`Self::pick`]
+/// evicts rows that pivoted back inside their bounds while selecting
+/// the best metric. The list is only a superset heuristic — before the
+/// loop may declare primal feasibility it must [`Self::rebuild`] from a
+/// full scan and pick again, and a refactorisation recomputes every
+/// basic value so it rebuilds too.
+#[derive(Default)]
+pub(crate) struct DualCandidates {
+    rows: Vec<u32>,
+    in_list: Vec<bool>,
+}
+
+impl DualCandidates {
+    /// Full O(m) rescan: repopulates the list with every violated row.
+    pub(crate) fn rebuild(&mut self, form: &StandardForm, basis: &BasisState, tol: f64) {
+        self.rows.clear();
+        self.in_list.clear();
+        self.in_list.resize(basis.basic.len(), false);
+        for row in 0..basis.basic.len() {
+            let (violation, _) = row_violation(form, basis, row);
+            if violation > tol {
+                self.rows.push(row as u32);
+                self.in_list[row] = true;
+            }
+        }
+    }
+
+    /// Re-checks a row whose basic value just changed and admits it if
+    /// it now violates a bound.
+    pub(crate) fn note(&mut self, form: &StandardForm, basis: &BasisState, tol: f64, row: usize) {
+        if self.in_list[row] {
+            return;
+        }
+        let (violation, _) = row_violation(form, basis, row);
         if violation > tol {
-            match best {
-                Some((_, best_violation)) if violation <= best_violation => {}
-                _ => {
-                    best = Some((
-                        Leaving {
-                            row,
-                            above: is_above,
-                        },
-                        violation,
-                    ))
-                }
-            }
+            self.rows.push(row as u32);
+            self.in_list[row] = true;
         }
     }
-    best.map(|(leaving, _)| leaving)
+
+    /// Best candidate under the dual devex metric (or raw violation
+    /// without `weights`), compacting away rows that no longer violate.
+    /// `None` means the *list* drained — the caller must `rebuild` and
+    /// pick once more before trusting it as primal feasibility.
+    pub(crate) fn pick(
+        &mut self,
+        form: &StandardForm,
+        basis: &BasisState,
+        tol: f64,
+        weights: Option<&[f64]>,
+    ) -> Option<Leaving> {
+        let mut best: Option<(Leaving, f64)> = None;
+        let mut i = 0;
+        while i < self.rows.len() {
+            let row = self.rows[i] as usize;
+            let (violation, is_above) = row_violation(form, basis, row);
+            if violation <= tol {
+                self.in_list[row] = false;
+                self.rows.swap_remove(i);
+                continue;
+            }
+            // Rank by the model-unit violation: the equilibration folds
+            // a per-column scale into every basic value, and without
+            // undoing it here the row/column scales — not the geometry
+            // — would drive the pivot order (the ill-scaled families
+            // paid ~20% extra iterations for exactly that bias).
+            let v = violation * form.violation_unscale(basis.basic[row]);
+            let metric = match weights {
+                Some(weights) => v * v / weights[row].max(1.0),
+                None => v,
+            };
+            // Ties break towards the smallest row so the selection is
+            // independent of the list's (compaction-dependent) order.
+            let better = match &best {
+                Some((best_leaving, best_metric)) => {
+                    metric > *best_metric || (metric == *best_metric && row < best_leaving.row)
+                }
+                None => true,
+            };
+            if better {
+                best = Some((
+                    Leaving {
+                        row,
+                        above: is_above,
+                        violation,
+                    },
+                    metric,
+                ));
+            }
+            i += 1;
+        }
+        best.map(|(leaving, _)| leaving)
+    }
 }
 
-/// Dual ratio test: given the sparse pivot row `(alpha_cols,
-/// alpha_vals)` (see [`pivot_row_alphas`]) and the reduced costs `d`,
-/// picks the nonbasic column that limits the dual step, keeping every
-/// reduced cost on its feasible side. Returns `None` when no column is
-/// eligible — the primal is infeasible. Only the pivot row's nonzeros
-/// are visited; a column with zero `α` can never be eligible.
-pub(crate) fn choose_dual_entering(
+/// Dual devex weight update after a dual pivot on `row`, from the pivot
+/// column `w = B⁻¹a_q` with pattern `w_nz` (computed on the *pre-pivot*
+/// basis, only the pattern's rows are touched) and pivot
+/// element `alpha = w[row]`: `w_i ← max(w_i, (w_i/α)²·w_r)` for every
+/// other row touched by the column, then `w_r ← max(w_r/α², 1)`.
+/// Returns `true` when a weight overflowed and the caller must reset
+/// the reference framework.
+///
+/// Like [`DualCandidates::pick`], the update runs in **model units**.
+/// On an equilibrated form row `i` of `w` carries the folded scale
+/// `c_q / c_{B_i}`; multiplying by each row's basic-column unscale
+/// factor (the leaving column's for the pivot row — `w` belongs to the
+/// pre-pivot basis) cancels the common `c_q` in the `w_i/α` ratios and
+/// reproduces the unscaled update exactly. Equilibration then only
+/// conditions the numerics; it no longer bends the dual pivot path.
+/// Must be called *after* the basis update, so `basis.basic[i]` is the
+/// post-pivot (= pre-pivot, for `i ≠ row`) basic column.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dual_devex_update(
     form: &StandardForm,
     basis: &BasisState,
-    d: &[f64],
-    alpha_cols: &[u32],
-    alpha_vals: &[f64],
-    above: bool,
-    pivot_tol: f64,
-) -> Option<usize> {
-    let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
-    debug_assert_eq!(d.len(), form.num_cols());
-    for (&col, &alpha) in alpha_cols.iter().zip(alpha_vals) {
-        let col = col as usize;
-        let at_lower = match basis.status[col] {
-            ColStatus::Basic(_) => continue,
-            ColStatus::Lower => true,
-            ColStatus::Upper => false,
-        };
-        if form.is_fixed(col) {
+    weights: &mut [f64],
+    w: &[f64],
+    w_nz: &[u32],
+    row: usize,
+    alpha: f64,
+    leaving_col: usize,
+) -> bool {
+    let alpha_model = alpha * form.violation_unscale(leaving_col);
+    let scale = weights[row].max(1.0) / (alpha_model * alpha_model);
+    let mut wmax = 0.0f64;
+    for &i in w_nz {
+        let i = i as usize;
+        let wi = w[i];
+        if wi == 0.0 || i == row {
             continue;
         }
-        if alpha.abs() <= pivot_tol {
-            continue;
-        }
-        // The leaving basic must move back towards its violated bound:
-        //   below lower (above = false): needs Δx_B[r] > 0, i.e. α·Δx_j < 0;
-        //   above upper (above = true):  needs Δx_B[r] < 0, i.e. α·Δx_j > 0.
-        // At-lower columns can only increase, at-upper only decrease.
-        let eligible = if above {
-            (at_lower && alpha > 0.0) || (!at_lower && alpha < 0.0)
-        } else {
-            (at_lower && alpha < 0.0) || (!at_lower && alpha > 0.0)
-        };
-        if !eligible {
-            continue;
-        }
-        let ratio = d[col].abs() / alpha.abs();
-        let better = match best {
-            None => true,
-            Some((_, best_ratio, best_alpha)) => {
-                ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12 && alpha.abs() > best_alpha)
-            }
-        };
-        if better {
-            best = Some((col, ratio, alpha.abs()));
+        let wi = wi * form.violation_unscale(basis.basic[i]);
+        let candidate = wi * wi * scale;
+        if candidate > weights[i] {
+            weights[i] = candidate;
+            wmax = wmax.max(candidate);
         }
     }
-    best.map(|(col, _, _)| col)
+    weights[row] = scale.max(1.0);
+    wmax = wmax.max(weights[row]);
+    wmax > DEVEX_RESET
 }

@@ -1,6 +1,7 @@
-//! The bounded-variable primal ratio test.
+//! The bounded-variable primal ratio test and the **bound-flipping
+//! dual ratio test**.
 //!
-//! This is where variable upper bounds are enforced **implicitly**: the
+//! Primal side: variable upper bounds are enforced **implicitly** — the
 //! entering column may be blocked not only by a basic variable hitting
 //! one of its bounds, but also by the entering variable itself reaching
 //! its opposite bound — a **bound flip**, which changes no basis column
@@ -8,8 +9,20 @@
 //! tableau, by contrast, materialises every finite upper bound as an
 //! extra `x_j ≤ u_j` row, doubling the row count of the replica
 //! formulations; tracking bounds here is what halves `m`.
+//!
+//! Dual side ([`dual_ratio_test`]): the classic dual ratio test stops
+//! at the *first* breakpoint — the nonbasic column whose reduced cost
+//! would change sign under the growing dual step `θ`. On the replica
+//! formulations nearly every column is **boxed** (`0 ≤ y ≤ r`), and a
+//! boxed column whose breakpoint is passed can simply **flip to its
+//! opposite bound** and stay dual feasible. The long-step variant walks
+//! the breakpoints in ratio order, tracking the slope of the dual
+//! objective — the residual primal infeasibility `δ`, which each flip
+//! shrinks by `|α_j|·(u_j−l_j)` — and keeps flipping while the slope
+//! stays positive. One dual pivot then absorbs many would-be pivots,
+//! and the flipped columns cost a single combined FTRAN in the driver.
 
-use super::basis::{BasisState, StandardForm};
+use super::basis::{BasisState, ColStatus, StandardForm};
 use super::pricing::Entering;
 
 /// Outcome of the primal ratio test.
@@ -105,4 +118,112 @@ pub(crate) fn primal_ratio_test(
         },
         None => Ratio::Unbounded,
     }
+}
+
+/// Outcome of the bound-flipping dual ratio test.
+pub(crate) enum DualRatio {
+    /// No eligible entering column: the dual is unbounded, so the
+    /// primal is infeasible.
+    Infeasible,
+    /// The dual step terminates at `entering`; the columns collected in
+    /// the caller's `flips` buffer must jump to their opposite bounds
+    /// first.
+    Step { entering: usize },
+}
+
+/// Runs the bound-flipping (long-step) dual ratio test over the sparse
+/// pivot row `(alpha_cols, alpha_vals)` of the leaving row.
+///
+/// `above` is the side on which the leaving basic variable violates its
+/// bound and `violation` the magnitude — the initial slope `δ` of the
+/// dual objective in the step direction. Breakpoints (eligible nonbasic
+/// columns, ordered by their dual ratio `|d_j|/|α_j|`) are passed over
+/// as long as flipping the column keeps the slope positive, i.e.
+/// `δ − |α_j|·(u_j−l_j) > 0`; the first breakpoint that cannot be
+/// flipped — an unboxed column, or a flip that would overshoot the
+/// leaving bound — terminates the step and enters the basis. Flipped
+/// columns land in `flips` (statuses untouched — the driver applies
+/// them with one combined FTRAN); `breakpoints` is reusable scratch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dual_ratio_test(
+    form: &StandardForm,
+    basis: &BasisState,
+    d: &[f64],
+    alpha_cols: &[u32],
+    alpha_vals: &[f64],
+    above: bool,
+    violation: f64,
+    pivot_tol: f64,
+    breakpoints: &mut Vec<(f64, f64, u32)>,
+    flips: &mut Vec<u32>,
+) -> DualRatio {
+    debug_assert_eq!(d.len(), form.num_cols());
+    breakpoints.clear();
+    flips.clear();
+    for (&col, &alpha) in alpha_cols.iter().zip(alpha_vals) {
+        let col = col as usize;
+        let at_lower = match basis.status[col] {
+            ColStatus::Basic(_) => continue,
+            ColStatus::Lower => true,
+            ColStatus::Upper => false,
+        };
+        if form.is_fixed(col) || alpha.abs() <= pivot_tol {
+            continue;
+        }
+        // The leaving basic must move back towards its violated bound:
+        //   below lower (above = false): needs Δx_B[r] > 0, i.e. α·Δx_j < 0;
+        //   above upper (above = true):  needs Δx_B[r] < 0, i.e. α·Δx_j > 0.
+        // At-lower columns can only increase, at-upper only decrease.
+        let eligible = if above {
+            (at_lower && alpha > 0.0) || (!at_lower && alpha < 0.0)
+        } else {
+            (at_lower && alpha < 0.0) || (!at_lower && alpha > 0.0)
+        };
+        if !eligible {
+            continue;
+        }
+        let ratio = d[col].abs() / alpha.abs();
+        breakpoints.push((ratio, alpha.abs(), col as u32));
+    }
+    if breakpoints.is_empty() {
+        return DualRatio::Infeasible;
+    }
+    // Ratio order; among (near-)ties prefer the larger pivot magnitude
+    // for stability — it is the entry most likely to end up pivotal.
+    breakpoints.sort_unstable_by(|a, b| {
+        (a.0, b.1)
+            .partial_cmp(&(b.0, a.1))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut slope = violation;
+    // Degenerate long steps can land the slope *exactly* on zero at the
+    // final breakpoint, and rounding in `slope − |α|·range` then leaves
+    // a residue of either sign (e.g. `0.5 − fl(1/3) − fl(1/6)` is
+    // `+3e−17`). Flipping on such a residue exhausts the breakpoint
+    // list with the slope still "positive" and turns a finished dual
+    // step into a spurious infeasibility certificate — which a warm
+    // branch-and-bound node solve would report as a pruned subtree. A
+    // residual slope within rounding distance of zero therefore
+    // terminates the step at the breakpoint instead of flipping it.
+    let slope_tol = pivot_tol * violation.max(1.0);
+    for &(_, alpha_abs, col) in breakpoints.iter() {
+        let range = form.upper[col as usize] - form.lower[col as usize];
+        // A boxed column whose flip keeps the slope positive is passed
+        // over; anything else terminates the dual step here.
+        if range.is_finite() {
+            let remaining = slope - alpha_abs * range;
+            if remaining > slope_tol {
+                slope = remaining;
+                flips.push(col);
+                continue;
+            }
+        }
+        return DualRatio::Step {
+            entering: col as usize,
+        };
+    }
+    // Every breakpoint flipped and the slope never reached zero: the
+    // dual step is unbounded.
+    flips.clear();
+    DualRatio::Infeasible
 }

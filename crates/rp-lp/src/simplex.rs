@@ -31,7 +31,7 @@
 
 use crate::error::SolveBudget;
 use crate::model::{Cmp, Model, Sense};
-use crate::revised::{Pricing, Scaling};
+use crate::revised::{DualPricing, Pricing, Scaling};
 use crate::solution::{Solution, Status};
 
 /// Tunable solver parameters.
@@ -48,6 +48,10 @@ pub struct SimplexOptions {
     /// Primal pricing rule of the **revised** engine (the dense tableau
     /// keeps its built-in Dantzig/Bland pricing).
     pub pricing: Pricing,
+    /// Leaving-row rule of the revised engine's dual simplex — the warm
+    /// cleanup after bound changes and the cold dual start. The dense
+    /// tableau has no dual path and ignores it.
+    pub dual_pricing: DualPricing,
     /// Run the presolve pass (singleton rows/columns, forcing and
     /// redundant constraints) before a cold solve. **Revised engine
     /// only**; branch-and-bound disables it for its node solves, where
@@ -78,6 +82,7 @@ impl Default for SimplexOptions {
             max_iterations: None,
             bland_after: 10_000,
             pricing: Pricing::default(),
+            dual_pricing: DualPricing::default(),
             presolve: true,
             scaling: Scaling::default(),
             budget: SolveBudget::UNLIMITED,

@@ -55,12 +55,35 @@ pub const BUCKET_COUNT: usize = BUCKET_EDGES_US.len() + 1;
 /// Exact nearest-rank quantile of an already **sorted** slice: the
 /// value at 1-based rank `⌈q·N⌉`, clamped to `[1, N]`. Returns 0.0 for
 /// an empty slice.
+///
+/// NaN samples have no rank: one NaN in the input silently corrupts
+/// whatever comparator sorted it, and with it the reported p99. Debug
+/// builds reject NaN outright; release builds skip NaN samples and
+/// rank the remaining values (`total_cmp`-style sorts place NaN last,
+/// so those still form a sorted prefix). Callers feeding raw
+/// wall-clock deltas (e.g. `rp-experiments::failures`) get a sane
+/// percentile either way.
 pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
+    debug_assert!(
+        sorted.iter().all(|v| !v.is_nan()),
+        "nearest_rank: NaN sample in quantile input"
+    );
+    let n = sorted.iter().filter(|v| !v.is_nan()).count();
+    if n == 0 {
         return 0.0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let rank = (q * n as f64).ceil() as usize;
+    let rank = rank.clamp(1, n);
+    let mut seen = 0usize;
+    for &v in sorted {
+        if !v.is_nan() {
+            seen += 1;
+            if seen == rank {
+                return v;
+            }
+        }
+    }
+    unreachable!("rank {rank} <= non-NaN count {n}")
 }
 
 /// A thread-safe fixed-bucket histogram of microsecond latencies.
@@ -263,6 +286,22 @@ mod tests {
         assert_eq!(nearest_rank(&sorted, 0.0), 10.0); // clamps to rank 1
         assert_eq!(nearest_rank(&sorted, 1.0), 50.0);
         assert_eq!(nearest_rank(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn nan_samples_are_rejected_or_filtered() {
+        // A raw wall-clock delta can come in NaN; it must never poison
+        // the reported percentile. Debug builds trip the assertion;
+        // release builds rank the remaining (still sorted) values.
+        let with_nan = [1.0, 2.0, 3.0, f64::NAN];
+        if cfg!(debug_assertions) {
+            let caught = std::panic::catch_unwind(|| nearest_rank(&with_nan, 0.99));
+            assert!(caught.is_err(), "debug build must reject NaN samples");
+        } else {
+            assert_eq!(nearest_rank(&with_nan, 0.99), 3.0);
+            assert_eq!(nearest_rank(&with_nan, 0.50), 2.0);
+            assert_eq!(nearest_rank(&[f64::NAN, f64::NAN], 0.99), 0.0);
+        }
     }
 
     #[test]

@@ -69,9 +69,14 @@ metric_enum! {
     LpWarmModeChangeCold => ("lp.warm.mode_change_cold", "1", "rp-lp"),
     LpPresolveRowsRemoved => ("lp.presolve.rows_removed", "1", "rp-lp"),
     LpPresolveColsRemoved => ("lp.presolve.cols_removed", "1", "rp-lp"),
+    LpPricingPartial => ("lp.pricing.partial", "1", "rp-lp"),
     LpPricingDevex => ("lp.pricing.devex", "1", "rp-lp"),
     LpPricingDantzig => ("lp.pricing.dantzig", "1", "rp-lp"),
     LpPricingBland => ("lp.pricing.bland", "1", "rp-lp"),
+    LpQueueHits => ("lp.queue.hits", "1", "rp-lp"),
+    LpQueueRebuilds => ("lp.queue.rebuilds", "1", "rp-lp"),
+    LpDualBoundFlips => ("lp.dual.bound_flips", "1", "rp-lp"),
+    LpDevexResets => ("lp.devex.resets", "1", "rp-lp"),
     LpFtranCalls => ("lp.ftran.calls", "1", "rp-lp"),
     LpFtranInNnz => ("lp.ftran.in_nnz", "1", "rp-lp"),
     LpFtranDim => ("lp.ftran.dim", "1", "rp-lp"),

@@ -25,8 +25,8 @@ use proptest::prelude::*;
 
 use replica_placement::lp::{
     solve_lp, solve_lp_revised, solve_lp_revised_reusing, solve_lp_revised_with, solve_milp_with,
-    BranchBoundOptions, Cmp, LinExpr, LpEngine, Model, Pricing, RevisedWorkspace, Sense,
-    SimplexOptions, Status,
+    BranchBoundOptions, Cmp, DualPricing, LinExpr, LpEngine, Model, Pricing, RevisedWorkspace,
+    Sense, SimplexOptions, Status,
 };
 
 /// One encoded variable: (bounded?, lower, range-above-lower, packed).
@@ -141,30 +141,69 @@ proptest! {
         }
     }
 
-    /// Devex, Dantzig and Bland pricing are different *routes* to the
-    /// same optimum: identical status and, when optimal, identical
-    /// objective (each point feasible for the model).
+    /// Partial, devex, Dantzig and Bland pricing are different *routes*
+    /// to the same optimum: identical status and, when optimal,
+    /// identical objective (each point feasible for the model).
     #[test]
     fn pricing_rules_agree_on_the_objective(spec in model_strategy(6, 5)) {
         let model = build_model(&spec, false);
         let solve = |pricing| {
             solve_lp_revised_with(&model, &SimplexOptions { pricing, ..SimplexOptions::default() })
         };
+        let partial = solve(Pricing::Partial);
         let devex = solve(Pricing::Devex);
         let dantzig = solve(Pricing::Dantzig);
         let bland = solve(Pricing::Bland);
-        prop_assert_eq!(devex.status, dantzig.status);
-        prop_assert_eq!(devex.status, bland.status);
+        prop_assert_eq!(partial.status, devex.status);
+        prop_assert_eq!(partial.status, dantzig.status);
+        prop_assert_eq!(partial.status, bland.status);
+        if partial.status == Status::Optimal {
+            prop_assert!(
+                (partial.objective - devex.objective).abs() < 1e-6,
+                "partial {} vs devex {} on\n{}", partial.objective, devex.objective, model
+            );
+            prop_assert!(
+                (partial.objective - dantzig.objective).abs() < 1e-6,
+                "partial {} vs dantzig {} on\n{}", partial.objective, dantzig.objective, model
+            );
+            prop_assert!(
+                (partial.objective - bland.objective).abs() < 1e-6,
+                "partial {} vs bland {} on\n{}", partial.objective, bland.objective, model
+            );
+            prop_assert!(model.is_feasible(&partial.values, 1e-6));
+            prop_assert!(model.is_feasible(&devex.values, 1e-6));
+        }
+    }
+
+    /// The two dual pricing rules (devex row weights vs most-violated
+    /// row) are different routes through the dual simplex to the same
+    /// optimum — and both must agree with the dense tableau oracle.
+    #[test]
+    fn dual_pricing_rules_agree_on_the_objective(spec in model_strategy(6, 5)) {
+        let model = build_model(&spec, false);
+        let solve = |dual_pricing| {
+            solve_lp_revised_with(
+                &model,
+                &SimplexOptions { dual_pricing, ..SimplexOptions::default() },
+            )
+        };
+        let devex = solve(DualPricing::Devex);
+        let most_violated = solve(DualPricing::MostViolated);
+        let dense = solve_lp(&model);
+        prop_assert_eq!(devex.status, most_violated.status);
+        prop_assert_eq!(devex.status, dense.status);
         if devex.status == Status::Optimal {
             prop_assert!(
-                (devex.objective - dantzig.objective).abs() < 1e-6,
-                "devex {} vs dantzig {} on\n{}", devex.objective, dantzig.objective, model
+                (devex.objective - most_violated.objective).abs() < 1e-6,
+                "dual devex {} vs most-violated {} on\n{}",
+                devex.objective, most_violated.objective, model
             );
             prop_assert!(
-                (devex.objective - bland.objective).abs() < 1e-6,
-                "devex {} vs bland {} on\n{}", devex.objective, bland.objective, model
+                (devex.objective - dense.objective).abs() < 1e-6,
+                "dual devex {} vs dense {} on\n{}", devex.objective, dense.objective, model
             );
             prop_assert!(model.is_feasible(&devex.values, 1e-6));
+            prop_assert!(model.is_feasible(&most_violated.values, 1e-6));
         }
     }
 
@@ -199,35 +238,41 @@ proptest! {
     #[test]
     fn warm_sibling_solves_match_cold_solves(spec in model_strategy(5, 4), shifts in collection::vec((0u32..=6, 0u32..=12), 3)) {
         let base = build_model(&spec, false);
-        let mut ws = RevisedWorkspace::new();
-        let options = SimplexOptions::default();
-        solve_lp_revised_reusing(&base, &options, &mut ws);
-        for (obj_shift, rhs_shift) in shifts {
-            let mut sibling = build_model(&spec, false);
-            // Shift every objective coefficient and right-hand side;
-            // the matrix (and thus the warm path's validity check)
-            // stays identical.
-            let delta_obj = f64::from(obj_shift) - 3.0;
-            let delta_rhs = f64::from(rhs_shift) - 6.0;
-            let vars: Vec<_> = sibling.var_ids().collect();
-            for id in vars {
-                let objective = sibling.variable(id).objective + delta_obj;
-                sibling.set_objective(id, objective);
-            }
-            let cons: Vec<_> = sibling.constraint_ids().collect();
-            for id in cons {
-                let rhs = sibling.constraint(id).rhs + delta_rhs;
-                sibling.set_rhs(id, rhs);
-            }
-            let warm = solve_lp_revised_reusing(&sibling, &options, &mut ws);
-            let cold = solve_lp_revised(&sibling);
-            prop_assert_eq!(warm.status, cold.status, "on\n{}", sibling);
-            if warm.status == Status::Optimal {
-                prop_assert!(
-                    (warm.objective - cold.objective).abs() < 1e-6,
-                    "warm {} vs cold {} on\n{}", warm.objective, cold.objective, sibling
-                );
-                prop_assert!(sibling.is_feasible(&warm.values, 1e-6));
+        // The warm path's dual cleanup must match cold solves under
+        // both dual rules — the new devex row weights and the
+        // historical most-violated-row rule.
+        for dual_pricing in [DualPricing::Devex, DualPricing::MostViolated] {
+            let mut ws = RevisedWorkspace::new();
+            let options = SimplexOptions { dual_pricing, ..SimplexOptions::default() };
+            solve_lp_revised_reusing(&base, &options, &mut ws);
+            for &(obj_shift, rhs_shift) in &shifts {
+                let mut sibling = build_model(&spec, false);
+                // Shift every objective coefficient and right-hand side;
+                // the matrix (and thus the warm path's validity check)
+                // stays identical.
+                let delta_obj = f64::from(obj_shift) - 3.0;
+                let delta_rhs = f64::from(rhs_shift) - 6.0;
+                let vars: Vec<_> = sibling.var_ids().collect();
+                for id in vars {
+                    let objective = sibling.variable(id).objective + delta_obj;
+                    sibling.set_objective(id, objective);
+                }
+                let cons: Vec<_> = sibling.constraint_ids().collect();
+                for id in cons {
+                    let rhs = sibling.constraint(id).rhs + delta_rhs;
+                    sibling.set_rhs(id, rhs);
+                }
+                let warm = solve_lp_revised_reusing(&sibling, &options, &mut ws);
+                let cold = solve_lp_revised(&sibling);
+                prop_assert_eq!(warm.status, cold.status, "dual rule {:?} on\n{}", dual_pricing, sibling);
+                if warm.status == Status::Optimal {
+                    prop_assert!(
+                        (warm.objective - cold.objective).abs() < 1e-6,
+                        "warm {} vs cold {} (dual rule {:?}) on\n{}",
+                        warm.objective, cold.objective, dual_pricing, sibling
+                    );
+                    prop_assert!(sibling.is_feasible(&warm.values, 1e-6));
+                }
             }
         }
     }
@@ -267,4 +312,53 @@ proptest! {
             }
         }
     }
+}
+
+/// Degenerate-instance regression: a cover LP built almost entirely
+/// from boxed columns with identical costs, identical bounds and tied
+/// right-hand sides — every dual pivot sees walls of equal ratios and
+/// equal violations, and most steps are degenerate. The bound-flipping
+/// dual ratio test must still terminate (no cycling) under a hard
+/// iteration cap, and on the optimum it must agree with the dense
+/// tableau oracle.
+#[test]
+fn degenerate_boxed_cover_does_not_cycle() {
+    let rows = 60usize;
+    let cols = 90usize;
+    let mut model = Model::new(Sense::Minimize);
+    // All-boxed, all-identical columns: cost 1, bounds [0, 1].
+    let vars: Vec<_> = (0..cols)
+        .map(|j| model.add_var(format!("x{j}"), 0.0, Some(1.0), 1.0))
+        .collect();
+    // Overlapping unit-coefficient cover rows with a tied rhs: row i
+    // covers five consecutive columns (wrapping), "≥ 2" each — the
+    // optimal basis is massively degenerate and every ratio ties.
+    for i in 0..rows {
+        let mut expr = LinExpr::new();
+        for k in 0..5 {
+            expr.add_term(1.0, vars[(i * 3 + k) % cols]);
+        }
+        model.add_constraint(format!("c{i}"), expr, Cmp::Ge, 2.0);
+    }
+    // A cap far below the default: cycling (or even mild stalling)
+    // blows straight through it, termination stays well under it.
+    let options = SimplexOptions {
+        max_iterations: Some(2_000),
+        ..SimplexOptions::default()
+    };
+    let revised = solve_lp_revised_with(&model, &options);
+    assert_eq!(
+        revised.status,
+        Status::Optimal,
+        "bound-flipping dual ratio test failed to terminate on the degenerate cover"
+    );
+    let dense = solve_lp(&model);
+    assert_eq!(dense.status, Status::Optimal);
+    assert!(
+        (revised.objective - dense.objective).abs() < 1e-6,
+        "revised {} vs dense {}",
+        revised.objective,
+        dense.objective
+    );
+    assert!(model.is_feasible(&revised.values, 1e-6));
 }
