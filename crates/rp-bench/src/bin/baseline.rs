@@ -703,12 +703,14 @@ fn json_is_well_formed(text: &str) -> bool {
     depth == 0 && !in_string
 }
 
-/// The observability CI smoke: three checks back to back.
+/// The observability CI smoke: four checks back to back.
 ///
 /// 1. **Key counters are live** — one instrumented (`ObsMode::Full`)
 ///    `s = 400` paper-scale solve must leave the solve counter, the
 ///    FTRAN counter, the iteration gauge, the solve histogram and a
-///    warm-start classification nonzero in the global registry.
+///    warm-start classification nonzero in the global registry —
+///    and its phase-time breakdown must sum to within 20% of the
+///    measured solve wall time (the profiler reconciles with reality).
 /// 2. **Exports round-trip** — the chrome trace and the metrics JSON
 ///    written from that run must be structurally well-formed and
 ///    contain the expected top-level keys.
@@ -732,7 +734,8 @@ fn smoke_obs() {
     rp_obs::clear_trace();
     let mut workspace = RevisedWorkspace::new();
     let options = SimplexOptions::default();
-    let solution = solve_lp_revised_reusing(&formulation.model, &options, &mut workspace);
+    let (wall_ns, solution) =
+        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
     if solution.status != Status::Optimal {
         eprintln!(
             "s=400 instrumented solve FAILED: status {}",
@@ -740,6 +743,27 @@ fn smoke_obs() {
         );
         std::process::exit(1);
     }
+    // The phase profiler's breakdown must reconcile with the measured
+    // wall time: phase timers never nest, so the sum can only fall
+    // short of the wall clock by untimed glue — more than 20% adrift
+    // means a phase lost its timer (or one started double-counting).
+    let phases = workspace.last_stats().phases;
+    let coverage = phases.total_nanos() as f64 / wall_ns.max(1.0);
+    if !(0.8..=1.2).contains(&coverage) {
+        eprintln!(
+            "smoke-obs FAILED: phase breakdown sums to {:.1}% of the instrumented s=400 \
+             solve wall time ({:.2} ms of {:.2} ms); need within 20%",
+            100.0 * coverage,
+            phases.total_nanos() as f64 / 1e6,
+            wall_ns / 1e6,
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "phase breakdown covers {:.1}% of the instrumented s=400 solve ({:.2} ms)",
+        100.0 * coverage,
+        wall_ns / 1e6,
+    );
     let registry = rp_obs::global();
     let warm_classified = registry.counter(Counter::LpWarmCold)
         + registry.counter(Counter::LpWarmHit)
@@ -825,6 +849,16 @@ fn smoke_obs() {
 /// the catalogue, so the telemetry trajectory is tracked across PRs
 /// alongside the timing baselines.
 fn write_obs_report(path: &str) {
+    let json = obs_metrics_snapshot();
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// Runs the representative instrumented workload (the smoke sweep plus
+/// the bandwidth scenario sweep) and returns the metrics-registry
+/// snapshot as JSON — the payload of `BENCH_obs.json` and the "fresh
+/// run" side of an obs-diff attribution.
+fn obs_metrics_snapshot() -> String {
     use rp_experiments::scenarios::{ScenarioConfig, ScenarioFamily};
 
     let previous = rp_obs::mode();
@@ -839,40 +873,298 @@ fn write_obs_report(path: &str) {
     black_box(&scenario);
     let json = rp_obs::metrics_json();
     rp_obs::set_mode(previous);
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    eprintln!("wrote {path}");
+    json
 }
 
-/// Parses the flat `key = value` numeric entries of `perf-budget.toml`
-/// (section headers group, comments explain — only the key names
-/// matter). Hand-rolled on purpose: the workspace is dependency-free
-/// and the format we control is a strict subset of TOML.
-fn parse_budget(text: &str) -> Vec<(String, f64)> {
+/// Parses the `key = value` numeric entries of `perf-budget.toml` into
+/// `(section, key, value)` triples (`[section]` headers group the keys;
+/// comments explain — only the names matter). Hand-rolled on purpose:
+/// the workspace is dependency-free and the format we control is a
+/// strict subset of TOML.
+fn parse_budget(text: &str) -> Vec<(String, String, f64)> {
     let mut out = Vec::new();
+    let mut section = String::new();
     for line in text.lines() {
         let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() || line.starts_with('[') {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .to_string();
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
             continue;
         };
         if let Ok(v) = value.trim().parse::<f64>() {
-            out.push((key.trim().to_string(), v));
+            out.push((section.clone(), key.trim().to_string(), v));
         }
     }
     out
 }
 
-fn budget_value(budget: &[(String, f64)], key: &str) -> f64 {
+fn budget_value(budget: &[(String, String, f64)], key: &str) -> f64 {
     budget
         .iter()
-        .find(|(k, _)| k == key)
-        .map(|&(_, v)| v)
+        .find(|(_, k, _)| k == key)
+        .map(|&(_, _, v)| v)
         .unwrap_or_else(|| {
             eprintln!("perf-budget.toml is missing the `{key}` ceiling");
             std::process::exit(1);
         })
+}
+
+/// Flattens a JSON document into dotted-path numeric leaves
+/// (`counters` → `lp.solves` becomes `counters.lp.solves`). Strings,
+/// booleans and nulls are skipped — a diff only ranks numbers. Arrays
+/// index their elements (`path.0`, `path.1`, …). Hand-rolled like the
+/// other parsers here: the inputs are the workspace's own exports.
+/// Returns `None` on malformed input.
+fn flatten_json_numbers(text: &str) -> Option<Vec<(String, f64)>> {
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            // Caller guarantees `bytes[pos] == b'"'`.
+            self.pos += 1;
+            let mut raw = Vec::new();
+            loop {
+                match self.bytes.get(self.pos)? {
+                    b'"' => {
+                        self.pos += 1;
+                        return Some(String::from_utf8_lossy(&raw).into_owned());
+                    }
+                    b'\\' => {
+                        // Keep the escaped byte verbatim — metric names
+                        // never contain escapes, and skipped string
+                        // values only need their closing quote found.
+                        self.pos += 1;
+                        raw.push(*self.bytes.get(self.pos)?);
+                        self.pos += 1;
+                    }
+                    &b => {
+                        raw.push(b);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+
+        fn literal(&mut self, word: &str) -> Option<()> {
+            let end = self.pos + word.len();
+            if self.bytes.get(self.pos..end)? == word.as_bytes() {
+                self.pos = end;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn value(&mut self, path: &str, out: &mut Vec<(String, f64)>) -> Option<()> {
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b'{' => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b'}') {
+                        self.pos += 1;
+                        return Some(());
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.skip_ws();
+                        self.literal(":")?;
+                        let child = if path.is_empty() {
+                            key
+                        } else {
+                            format!("{path}.{key}")
+                        };
+                        self.value(&child, out)?;
+                        self.skip_ws();
+                        match self.bytes.get(self.pos)? {
+                            b',' => self.pos += 1,
+                            b'}' => {
+                                self.pos += 1;
+                                return Some(());
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+                b'[' => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) == Some(&b']') {
+                        self.pos += 1;
+                        return Some(());
+                    }
+                    let mut index = 0usize;
+                    loop {
+                        self.value(&format!("{path}.{index}"), out)?;
+                        index += 1;
+                        self.skip_ws();
+                        match self.bytes.get(self.pos)? {
+                            b',' => self.pos += 1,
+                            b']' => {
+                                self.pos += 1;
+                                return Some(());
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+                b'"' => self.string().map(|_| ()),
+                b't' => self.literal("true"),
+                b'f' => self.literal("false"),
+                b'n' => self.literal("null"),
+                _ => {
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|b| {
+                        matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                    }) {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                    let v: f64 = raw.parse().ok()?;
+                    out.push((path.to_string(), v));
+                    Some(())
+                }
+            }
+        }
+    }
+
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    parser.value("", &mut out)?;
+    parser.skip_ws();
+    (parser.pos == parser.bytes.len()).then_some(out)
+}
+
+/// One metric that moved between two snapshots.
+struct MetricDelta {
+    name: String,
+    old: Option<f64>,
+    new: Option<f64>,
+    /// Relative movement, `|new − old| / max(|old|, 1)` — the ranking
+    /// key. Appearing or vanishing metrics score their absolute value.
+    score: f64,
+}
+
+/// Diffs two flattened snapshots and ranks the movers, biggest first.
+/// Metrics with identical values are dropped.
+fn diff_ranked(old: &[(String, f64)], new: &[(String, f64)]) -> Vec<MetricDelta> {
+    let mut deltas: Vec<MetricDelta> = Vec::new();
+    for (name, old_value) in old {
+        let new_value = new.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        match new_value {
+            Some(v) if v == *old_value => {}
+            Some(v) => deltas.push(MetricDelta {
+                name: name.clone(),
+                old: Some(*old_value),
+                new: Some(v),
+                score: (v - old_value).abs() / old_value.abs().max(1.0),
+            }),
+            None => deltas.push(MetricDelta {
+                name: name.clone(),
+                old: Some(*old_value),
+                new: None,
+                score: old_value.abs().max(1.0),
+            }),
+        }
+    }
+    for (name, new_value) in new {
+        if old.iter().all(|(n, _)| n != name) {
+            deltas.push(MetricDelta {
+                name: name.clone(),
+                old: None,
+                new: Some(*new_value),
+                score: new_value.abs().max(1.0),
+            });
+        }
+    }
+    deltas.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.name.cmp(&b.name)));
+    deltas
+}
+
+/// Renders an obs-diff attribution report: the top `top` movers between
+/// two metrics-JSON snapshots, one per line, biggest relative move
+/// first. This is what a `--check-budget` breach prints so the failure
+/// names its culprit.
+fn obs_diff_report(old_text: &str, new_text: &str, top: usize) -> Result<String, String> {
+    let old = flatten_json_numbers(old_text).ok_or("old snapshot is not valid JSON")?;
+    let new = flatten_json_numbers(new_text).ok_or("new snapshot is not valid JSON")?;
+    let deltas = diff_ranked(&old, &new);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "obs-diff: {} of {} metrics moved (top {} below)\n",
+        deltas.len(),
+        old.len().max(new.len()),
+        top.min(deltas.len())
+    ));
+    for delta in deltas.iter().take(top) {
+        let line = match (delta.old, delta.new) {
+            (Some(o), Some(n)) => {
+                // Same denominator as the ranking score, so a counter
+                // rising from zero reads `+4900.0%`, not `+inf%`.
+                let pct = 100.0 * (n - o) / o.abs().max(1.0);
+                format!("  {}: {o} -> {n} ({pct:+.1}%)\n", delta.name)
+            }
+            (None, Some(n)) => format!("  {}: (new) -> {n}\n", delta.name),
+            (Some(o), None) => format!("  {}: {o} -> (gone)\n", delta.name),
+            (None, None) => continue,
+        };
+        out.push_str(&line);
+    }
+    if deltas.is_empty() {
+        out.push_str("  (snapshots are numerically identical)\n");
+    }
+    Ok(out)
+}
+
+/// The `obs-diff` CLI mode: compares `old_path` against `new_path`, or
+/// — when `new_path` is absent — against a fresh run of the
+/// representative instrumented workload.
+fn obs_diff(old_path: &str, new_path: Option<&str>) {
+    let old_text = std::fs::read_to_string(old_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {old_path}: {e}");
+        std::process::exit(1);
+    });
+    let new_text = match new_path {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            eprintln!("(no second snapshot given: diffing {old_path} against a fresh run)");
+            obs_metrics_snapshot()
+        }
+    };
+    match obs_diff_report(&old_text, &new_text, 25) {
+        Ok(report) => print!("{report}"),
+        Err(error) => {
+            eprintln!("obs-diff FAILED: {error}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The perf-regression gate (CI): measures the ceilings pinned in
@@ -884,8 +1176,21 @@ fn budget_value(budget: &[(String, f64)], key: &str) -> f64 {
 /// * `warm_hit_rate_min` — sibling re-solves (same matrix, shifted
 ///   right-hand sides) must ride the warm path, not fall back cold;
 /// * `hardened_dense_fallbacks_max` — a healthy instance must be
-///   answered by the checked revised rung, never the dense oracle.
-fn check_budget(budget_path: &str) {
+///   answered by the checked revised rung, never the dense oracle;
+/// * `obs_phase_coverage_min` — the phase profiler's per-phase wall
+///   times must account for most of an instrumented solve.
+///
+/// `section` restricts the run to one `[section]` of the budget file
+/// (`lp` / `warm` / `hardened` / `obs`) — re-measuring one breached
+/// ceiling no longer pays for every other measurement.
+///
+/// On any breach the gate names the culprit before exiting non-zero:
+/// it re-runs the representative instrumented workload, diffs the
+/// fresh counters against the checked-in `BENCH_obs.json`, prints the
+/// top movers, and leaves `obs-breach.metrics.json`,
+/// `obs-breach.diff.txt` and `obs-breach.flight.jsonl` behind for CI
+/// to upload.
+fn check_budget(budget_path: &str, section: Option<&str>) {
     use rp_core::ilp::{build_model, Integrality};
     use rp_core::Policy;
     use rp_lp::{
@@ -895,6 +1200,19 @@ fn check_budget(budget_path: &str) {
     use rp_obs::Counter;
     use rp_workloads::scenarios::{bandwidth_scale_instance, feasible_bandwidth_instance};
 
+    const SECTIONS: [&str; 4] = ["lp", "warm", "hardened", "obs"];
+    if let Some(name) = section {
+        if !SECTIONS.contains(&name) {
+            eprintln!(
+                "unknown budget section `{name}` (expected one of: {})",
+                SECTIONS.join(", ")
+            );
+            std::process::exit(1);
+        }
+        println!("checking only the [{name}] section of {budget_path}");
+    }
+    let run = |name: &str| section.is_none_or(|s| s == name);
+
     let text = std::fs::read_to_string(budget_path).unwrap_or_else(|e| {
         eprintln!("cannot read {budget_path}: {e}");
         std::process::exit(1);
@@ -902,6 +1220,7 @@ fn check_budget(budget_path: &str) {
     let budget = parse_budget(&text);
     rp_obs::set_mode(rp_obs::ObsMode::Counters);
     rp_obs::reset_all();
+    let options = SimplexOptions::default();
     let mut failures = 0usize;
     let mut check = |name: &str, value: f64, ceiling: f64, higher_is_better: bool| {
         let ok = if higher_is_better {
@@ -917,94 +1236,155 @@ fn check_budget(budget_path: &str) {
         }
     };
 
-    // --- s = 400 paper-scale bound wall time. ---
-    let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
-    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
-    let ms = median_cold_solve_ms(&formulation.model, 5, "s=400 budget solve");
-    check(
-        "s400_bound_ms",
-        ms,
-        budget_value(&budget, "s400_bound_ms"),
-        false,
-    );
+    if run("lp") {
+        // --- s = 400 paper-scale bound wall time. ---
+        let problem = paper_scale_instance(PlatformKind::default_heterogeneous(), 0.4, 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let ms = median_cold_solve_ms(&formulation.model, 5, "s=400 budget solve");
+        check(
+            "s400_bound_ms",
+            ms,
+            budget_value(&budget, "s400_bound_ms"),
+            false,
+        );
 
-    // --- s = 2000 bandwidth bound: wall time and iterations. ---
-    let problem = bandwidth_scale_instance(0.2, 31);
-    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
-    let mut workspace = RevisedWorkspace::new();
-    let options = SimplexOptions::default();
-    let (ns, solution) =
-        time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
-    if solution.status != Status::Optimal {
-        eprintln!("s=2000 budget solve FAILED: status {}", solution.status);
-        std::process::exit(1);
-    }
-    check(
-        "s2000_bound_ms",
-        ns / 1e6,
-        budget_value(&budget, "s2000_bound_ms"),
-        false,
-    );
-    check(
-        "s2000_iterations_max",
-        workspace.last_stats().iterations() as f64,
-        budget_value(&budget, "s2000_iterations_max"),
-        false,
-    );
-
-    // --- Warm-start hit rate over sibling re-solves. ---
-    rp_obs::reset_all();
-    let problem = feasible_bandwidth_instance(120, 0.4, 31);
-    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
-    let mut model = formulation.model;
-    let mut workspace = RevisedWorkspace::new();
-    solve_lp_revised_reusing(&model, &options, &mut workspace);
-    let constraints: Vec<_> = model.constraint_ids().collect();
-    for step in 1..=9 {
-        // Perturb one right-hand side per sibling: the matrix — and so
-        // the warm path's validity check — stays identical.
-        let id = constraints[step % constraints.len()];
-        let rhs = model.constraint(id).rhs;
-        model.set_rhs(id, rhs + 1.0);
-        solve_lp_revised_reusing(&model, &options, &mut workspace);
-    }
-    check(
-        "warm_hit_rate_min",
-        rp_obs::global().warm_start_rate(),
-        budget_value(&budget, "warm_hit_rate_min"),
-        true,
-    );
-
-    // --- Hardened ladder on a healthy instance. ---
-    let problem = feasible_bandwidth_instance(120, 0.4, 31);
-    let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
-    let mut engine_workspace = LpWorkspace::default();
-    match solve_lp_hardened(&formulation.model, &options, &mut engine_workspace) {
-        Ok(hardened) => {
-            println!(
-                "         (healthy s=120 answered by the {} rung)",
-                hardened.rung
-            );
-        }
-        Err(error) => {
-            eprintln!("hardened budget solve FAILED: {error}");
+        // --- s = 2000 bandwidth bound: wall time and iterations. ---
+        let problem = bandwidth_scale_instance(0.2, 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let mut workspace = RevisedWorkspace::new();
+        let (ns, solution) =
+            time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+        if solution.status != Status::Optimal {
+            eprintln!("s=2000 budget solve FAILED: status {}", solution.status);
             std::process::exit(1);
         }
+        check(
+            "s2000_bound_ms",
+            ns / 1e6,
+            budget_value(&budget, "s2000_bound_ms"),
+            false,
+        );
+        check(
+            "s2000_iterations_max",
+            workspace.last_stats().iterations() as f64,
+            budget_value(&budget, "s2000_iterations_max"),
+            false,
+        );
     }
-    let registry = rp_obs::global();
-    check(
-        "hardened_dense_fallbacks_max",
-        (registry.counter(Counter::LpHardenedDenseFallback)
-            + registry.counter(Counter::LpHardenedError)) as f64,
-        budget_value(&budget, "hardened_dense_fallbacks_max"),
-        false,
-    );
+
+    if run("warm") {
+        // --- Warm-start hit rate over sibling re-solves. ---
+        rp_obs::reset_all();
+        let problem = feasible_bandwidth_instance(120, 0.4, 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let mut model = formulation.model;
+        let mut workspace = RevisedWorkspace::new();
+        solve_lp_revised_reusing(&model, &options, &mut workspace);
+        let constraints: Vec<_> = model.constraint_ids().collect();
+        for step in 1..=9 {
+            // Perturb one right-hand side per sibling: the matrix — and
+            // so the warm path's validity check — stays identical.
+            let id = constraints[step % constraints.len()];
+            let rhs = model.constraint(id).rhs;
+            model.set_rhs(id, rhs + 1.0);
+            solve_lp_revised_reusing(&model, &options, &mut workspace);
+        }
+        check(
+            "warm_hit_rate_min",
+            rp_obs::global().warm_start_rate(),
+            budget_value(&budget, "warm_hit_rate_min"),
+            true,
+        );
+    }
+
+    if run("hardened") {
+        // --- Hardened ladder on a healthy instance. ---
+        rp_obs::reset_all();
+        let problem = feasible_bandwidth_instance(120, 0.4, 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let mut engine_workspace = LpWorkspace::default();
+        match solve_lp_hardened(&formulation.model, &options, &mut engine_workspace) {
+            Ok(hardened) => {
+                println!(
+                    "         (healthy s=120 answered by the {} rung)",
+                    hardened.rung
+                );
+            }
+            Err(error) => {
+                eprintln!("hardened budget solve FAILED: {error}");
+                std::process::exit(1);
+            }
+        }
+        let registry = rp_obs::global();
+        check(
+            "hardened_dense_fallbacks_max",
+            (registry.counter(Counter::LpHardenedDenseFallback)
+                + registry.counter(Counter::LpHardenedError)) as f64,
+            budget_value(&budget, "hardened_dense_fallbacks_max"),
+            false,
+        );
+    }
+
+    if run("obs") {
+        // --- Phase-profiler coverage on the s = 2000 bandwidth bound:
+        // the per-phase wall times must account for most of the solve,
+        // or the attribution (and every obs-diff built on it) is
+        // watching a minority of the work. ---
+        rp_obs::reset_all();
+        let problem = bandwidth_scale_instance(0.2, 31);
+        let formulation = build_model(&problem, Policy::Multiple, Integrality::RationalBound);
+        let mut workspace = RevisedWorkspace::new();
+        let (ns, solution) =
+            time_once(|| solve_lp_revised_reusing(&formulation.model, &options, &mut workspace));
+        if solution.status != Status::Optimal {
+            eprintln!(
+                "s=2000 obs-coverage solve FAILED: status {}",
+                solution.status
+            );
+            std::process::exit(1);
+        }
+        let phases = workspace.last_stats().phases;
+        check(
+            "obs_phase_coverage_min",
+            phases.total_nanos() as f64 / ns.max(1.0),
+            budget_value(&budget, "obs_phase_coverage_min"),
+            true,
+        );
+    }
 
     if failures > 0 {
         eprintln!("{failures} perf-budget ceiling(s) breached (see {budget_path})");
+        // Name the culprit: snapshot the representative instrumented
+        // workload, rank its counters against the checked-in reference,
+        // and leave the evidence on disk for CI to upload.
+        let snapshot = obs_metrics_snapshot();
+        write_breach_artifact("obs-breach.metrics.json", &snapshot);
+        match std::fs::read_to_string("BENCH_obs.json") {
+            Ok(reference) => match obs_diff_report(&reference, &snapshot, 10) {
+                Ok(report) => {
+                    eprint!("top movers vs BENCH_obs.json:\n{report}");
+                    write_breach_artifact("obs-breach.diff.txt", &report);
+                }
+                Err(error) => eprintln!("(obs-diff attribution failed: {error})"),
+            },
+            Err(_) => {
+                eprintln!("(no BENCH_obs.json reference here; skipping the obs-diff attribution)");
+            }
+        }
+        let dump = rp_obs::flight_snapshot("budget_breach");
+        write_breach_artifact("obs-breach.flight.jsonl", &dump);
         std::process::exit(1);
     }
     println!("all perf-budget ceilings hold ({budget_path})");
+}
+
+/// Best-effort write of a breach artifact — attribution must never mask
+/// the original budget failure, so write errors only warn.
+fn write_breach_artifact(path: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(error) => eprintln!("(cannot write {path}: {error})"),
+    }
 }
 
 /// Writes `BENCH_failures.json`: the resilience trajectory — per
@@ -2063,12 +2443,34 @@ fn main() {
                 return;
             }
             "--check-budget" => {
-                let path = args
-                    .get(i + 1)
-                    .filter(|p| !p.starts_with("--"))
-                    .cloned()
-                    .unwrap_or_else(|| "perf-budget.toml".to_string());
-                check_budget(&path);
+                // Up to two operands, in either order: a budget file
+                // (recognised by its `.toml` suffix, default
+                // `perf-budget.toml`) and a section filter
+                // (`--check-budget lp` re-measures only `[lp]`).
+                let mut path: Option<String> = None;
+                let mut filter: Option<String> = None;
+                for arg in args.iter().skip(i + 1).take(2) {
+                    if arg.starts_with("--") {
+                        break;
+                    }
+                    if arg.ends_with(".toml") {
+                        path = Some(arg.clone());
+                    } else {
+                        filter = Some(arg.clone());
+                    }
+                }
+                let path = path.unwrap_or_else(|| "perf-budget.toml".to_string());
+                check_budget(&path, filter.as_deref());
+                return;
+            }
+            "--obs-diff" => {
+                let old_path = args.get(i + 1).filter(|p| !p.starts_with("--")).cloned();
+                let new_path = args.get(i + 2).filter(|p| !p.starts_with("--")).cloned();
+                let Some(old_path) = old_path else {
+                    eprintln!("--obs-diff needs at least one snapshot path (old [new])");
+                    std::process::exit(1);
+                };
+                obs_diff(&old_path, new_path.as_deref());
                 return;
             }
             "--sparse-only" => {
@@ -2412,4 +2814,86 @@ fn render_json(
     }
     s.push_str("\n}\n");
     s
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)]
+
+    use super::*;
+
+    #[test]
+    fn flatten_walks_nested_objects_into_dotted_paths() {
+        let json = r#"{"schema":1,"mode":"full","counters":{"lp.solves":4,"lp.ftran.calls":12},
+                       "derived":{"lp.warm.rate":0.5},"note":"text","ok":true,"gone":null,
+                       "arr":[7,8]}"#;
+        let flat = flatten_json_numbers(json).expect("well-formed");
+        let get = |name: &str| {
+            flat.iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(get("schema"), 1.0);
+        assert_eq!(get("counters.lp.solves"), 4.0);
+        assert_eq!(get("counters.lp.ftran.calls"), 12.0);
+        assert_eq!(get("derived.lp.warm.rate"), 0.5);
+        assert_eq!(get("arr.0"), 7.0);
+        assert_eq!(get("arr.1"), 8.0);
+        // Strings, booleans and nulls never become leaves.
+        assert!(flat
+            .iter()
+            .all(|(n, _)| n != "mode" && n != "note" && n != "ok" && n != "gone"));
+    }
+
+    #[test]
+    fn flatten_rejects_malformed_json() {
+        assert!(flatten_json_numbers("{\"a\":").is_none());
+        assert!(flatten_json_numbers("{\"a\":1} trailing").is_none());
+        assert!(flatten_json_numbers("{\"a\" 1}").is_none());
+    }
+
+    #[test]
+    fn obs_diff_names_the_injected_top_mover() {
+        // A doctored pair: one counter quadruples, one moves slightly,
+        // one appears, the rest hold still. The big relative move must
+        // rank first.
+        let old = r#"{"counters":{"lp.solves":10,"lp.ftran.calls":100,"lp.btran.calls":50}}"#;
+        let new = r#"{"counters":{"lp.solves":10,"lp.ftran.calls":400,"lp.btran.calls":51,
+                      "lp.queue.rebuilds":3}}"#;
+        let report = obs_diff_report(old, new, 10).expect("both parse");
+        let first_mover = report.lines().nth(1).expect("at least one mover");
+        assert!(
+            first_mover.contains("counters.lp.ftran.calls"),
+            "expected the injected mover first, got: {first_mover}"
+        );
+        assert!(report.contains("100 -> 400"));
+        assert!(report.contains("(+300.0%)"));
+        assert!(report.contains("counters.lp.queue.rebuilds: (new) -> 3"));
+        // The unchanged counter stays out of the report.
+        assert!(!report.contains("lp.solves:"));
+    }
+
+    #[test]
+    fn identical_snapshots_diff_to_nothing() {
+        let snap = r#"{"counters":{"lp.solves":10}}"#;
+        let report = obs_diff_report(snap, snap, 10).expect("parses");
+        assert!(report.contains("0 of 1 metrics moved"));
+        assert!(report.contains("numerically identical"));
+    }
+
+    #[test]
+    fn budget_parser_tracks_section_headers() {
+        let text = "# comment\n[lp]\ns400_bound_ms = 15.0 # inline\n\n[obs]\n\
+                    obs_phase_coverage_min = 0.8\n";
+        let budget = parse_budget(text);
+        assert_eq!(
+            budget,
+            vec![
+                ("lp".to_string(), "s400_bound_ms".to_string(), 15.0),
+                ("obs".to_string(), "obs_phase_coverage_min".to_string(), 0.8),
+            ]
+        );
+        assert_eq!(budget_value(&budget, "obs_phase_coverage_min"), 0.8);
+    }
 }

@@ -56,6 +56,7 @@ struct CliOptions {
     resilience: bool,
     churn: bool,
     quick: bool,
+    budget_ms: Option<u64>,
     trees: Option<usize>,
     size_max: Option<usize>,
     out_dir: Option<PathBuf>,
@@ -71,6 +72,7 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut resilience = false;
     let mut churn = false;
     let mut quick = false;
+    let mut budget_ms = None;
     let mut trees = None;
     let mut size_max = None;
     let mut out_dir = None;
@@ -97,6 +99,10 @@ fn parse_args() -> Result<CliOptions, String> {
             "churn" => churn = true,
             "--quick" => quick = true,
             "--check-shape" => check_shape = true,
+            "--budget-ms" => {
+                let value = iter.next().ok_or("--budget-ms needs a value")?;
+                budget_ms = Some(value.parse().map_err(|_| "invalid --budget-ms value")?);
+            }
             "--trees" => {
                 let value = iter.next().ok_or("--trees needs a value")?;
                 trees = Some(value.parse().map_err(|_| "invalid --trees value")?);
@@ -143,6 +149,7 @@ fn parse_args() -> Result<CliOptions, String> {
         resilience,
         churn,
         quick,
+        budget_ms,
         trees,
         size_max,
         out_dir,
@@ -200,7 +207,8 @@ fn main() {
             eprintln!(
                 "usage: reproduce [all|paper|bandwidth|multi|failures|churn|fig9|fig10|fig11|fig12|qos\
                  |paper-success|paper-cost|bandwidth-ill|multi-bandwidth]... \
-                 [--quick] [--trees N] [--size-max S] [--bound rational|mixed] \
+                 [--quick] [--trees N] [--size-max S] [--budget-ms MS] \
+                 [--bound rational|mixed] \
                  [--out DIR] [--check-shape] [--trace FILE] [--metrics FILE]"
             );
             std::process::exit(2);
@@ -346,6 +354,13 @@ fn main() {
         }
         if let Some(size_max) = options.size_max {
             config.problem_size = size_max;
+        }
+        if options.budget_ms.is_some() {
+            // Overriding the per-apply deadline is how the flight
+            // recorder's anomaly path is exercised on demand: a
+            // deliberately impossible budget forces misses, rollbacks
+            // and (under `RP_OBS=counters` + `RP_FLIGHT_DUMP`) dumps.
+            config.budget_ms = options.budget_ms;
         }
         let budget = config
             .budget_ms

@@ -51,6 +51,62 @@
 //! skip rate) for the same run; `BENCH_obs.json` from the baseline
 //! binary is the checked-in snapshot of the same document on the
 //! reference workload.
+//!
+//! # Reading a flight-recorder dump
+//!
+//! The flight recorder keeps a bounded ring of the most recent solves
+//! and snapshots it to JSONL whenever an anomaly fires: a budget miss,
+//! a solve slower than 8× the running median, a dense-oracle
+//! escalation, or an rp-online rollback. Set `RP_FLIGHT_DUMP` to a
+//! path (with at least `RP_OBS=counters`) and the latest dump lands
+//! there; the perf-budget gate also writes one as
+//! `obs-breach.flight.jsonl` on any breach. Force one on demand with a
+//! deliberately impossible per-apply budget:
+//!
+//! ```text
+//! RP_OBS=counters RP_FLIGHT_DUMP=flight.jsonl \
+//!     cargo run --release -p rp-bench --bin reproduce -- \
+//!     churn --quick --budget-ms 1
+//! ```
+//!
+//! The dump is line-oriented JSON. The first line is the meta header —
+//! `{"type":"flight_dump","reason":"rollback","records":30,...}` —
+//! naming which anomaly tripped the snapshot. Every following line is
+//! one `{"type":"solve",...}` record, oldest first: the instance shape
+//! (`rows`/`cols`), the warm-start class, status, iteration count,
+//! `solve_us`, whether the budget was missed, and the per-phase
+//! breakdown (`phase_ns`/`phase_calls` over pricing, ftran, btran,
+//! ratio_test, factorise, ft_update, presolve, scaling, extract).
+//! Read it back to front: the last records are the solves leading into
+//! the anomaly, and a phase whose share of `phase_total_ns` balloons
+//! relative to earlier records names the mechanism — e.g. `factorise`
+//! dominating where `ft_update` used to means the Forrest–Tomlin
+//! update started refusing pivots.
+//!
+//! # Reading an obs-diff report
+//!
+//! `baseline -- --obs-diff OLD.json [NEW.json]` compares two metrics
+//! snapshots (omit `NEW.json` to compare against a fresh run of the
+//! reference workload) and ranks every counter, gauge, histogram stat
+//! and derived ratio by relative movement, `|new − old| / max(|old|, 1)`:
+//!
+//! ```text
+//! obs-diff: 12 of 152 metrics moved (top 25 below)
+//!   counters.lp.refactor.count: 18 -> 124 (+588.9%)
+//!   counters.lp.phase.factorise_ns: 236221 -> 1893002 (+701.4%)
+//!   ...
+//! ```
+//!
+//! The top movers *are* the attribution: a wall-time regression with
+//! `lp.refactor.count` and `lp.phase.factorise_ns` leading the list is
+//! a factorisation-stability problem, one led by `lp.queue.rebuilds`
+//! and `lp.phase.pricing_ns` is a pricing problem. The perf-budget
+//! gate prints exactly this report (against the checked-in
+//! `BENCH_obs.json`) whenever a ceiling is breached, and saves it as
+//! `obs-breach.diff.txt` next to `obs-breach.metrics.json` and
+//! `obs-breach.flight.jsonl`. Re-measure just the breached section
+//! with a filter: `--check-budget lp` (or `warm` / `hardened` /
+//! `obs`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -109,6 +109,9 @@ pub struct ChurnPolicyOutcome {
     pub p50_ms: f64,
     /// 99th-percentile apply latency in milliseconds.
     pub p99_ms: f64,
+    /// Worst observed apply latency in milliseconds — the exact
+    /// maximum, not a percentile estimate.
+    pub max_ms: f64,
     /// Mean apply latency in milliseconds.
     pub mean_ms: f64,
 }
@@ -199,6 +202,7 @@ pub fn run_churn_policy(config: &ChurnRunConfig, policy: Policy) -> ChurnPolicyO
         replacements_per_sec: absorbed as f64 / wall_seconds,
         p50_ms: rp_obs::nearest_rank(&latencies_ms, 0.50),
         p99_ms: rp_obs::nearest_rank(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
         mean_ms,
     }
 }
@@ -217,6 +221,7 @@ pub fn churn_table(results: &ChurnResults) -> SeriesTable {
         "repl_per_s".to_string(),
         "p50_ms".to_string(),
         "p99_ms".to_string(),
+        "max_ms".to_string(),
         "unverified".to_string(),
     ];
     let rows = results
@@ -235,6 +240,7 @@ pub fn churn_table(results: &ChurnResults) -> SeriesTable {
                 format!("{:.0}", p.replacements_per_sec),
                 format!("{:.3}", p.p50_ms),
                 format!("{:.3}", p.p99_ms),
+                format!("{:.3}", p.max_ms),
                 p.unverified.to_string(),
             ]
         })
@@ -284,6 +290,8 @@ mod tests {
             assert_eq!(outcome.final_generation, outcome.rungs.total());
             assert!(outcome.replacements_per_sec > 0.0);
             assert!(outcome.p99_ms >= outcome.p50_ms);
+            // The exact max tops every percentile estimate.
+            assert!(outcome.max_ms >= outcome.p99_ms);
         }
     }
 

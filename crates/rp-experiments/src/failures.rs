@@ -148,6 +148,9 @@ pub struct HeuristicSummary {
     pub mean_repair_ms: f64,
     /// 99th-percentile repair wall-clock in milliseconds.
     pub p99_repair_ms: f64,
+    /// Worst observed repair wall-clock in milliseconds — the exact
+    /// maximum, not a percentile estimate.
+    pub max_repair_ms: f64,
     /// Outcomes that failed their machine check — must be zero.
     pub unverified: usize,
 }
@@ -250,6 +253,7 @@ impl ResilienceResults {
                     mean_cost_delta_pct: mean(deltas.iter().copied()),
                     mean_repair_ms: mean(repair_ms.iter().copied()).unwrap_or(0.0),
                     p99_repair_ms: rp_obs::nearest_rank(&repair_ms, 0.99),
+                    max_repair_ms: repair_ms.last().copied().unwrap_or(0.0),
                     unverified: runs.iter().filter(|r| !r.verified).count(),
                 }
             })
@@ -291,6 +295,7 @@ pub fn resilience_table(results: &ResilienceResults) -> SeriesTable {
         "cost_delta_pct".to_string(),
         "mean_ms".to_string(),
         "p99_ms".to_string(),
+        "max_ms".to_string(),
         "unverified".to_string(),
     ];
     let rows = results
@@ -308,6 +313,7 @@ pub fn resilience_table(results: &ResilienceResults) -> SeriesTable {
                     .unwrap_or_else(|| "-".to_string()),
                 format!("{:.2}", s.mean_repair_ms),
                 format!("{:.2}", s.p99_repair_ms),
+                format!("{:.2}", s.max_repair_ms),
                 s.unverified.to_string(),
             ]
         })
@@ -435,6 +441,11 @@ mod tests {
         let table = resilience_table(&results);
         assert_eq!(table.num_rows(), Heuristic::ALL.len());
         assert!(table.headers.contains(&"survival".to_string()));
+        assert!(table.headers.contains(&"max_ms".to_string()));
+        for summary in results.summaries() {
+            // The exact max tops every percentile estimate.
+            assert!(summary.max_repair_ms >= summary.p99_repair_ms);
+        }
         let markdown = resilience_markdown(&results);
         assert!(markdown.contains(&format!("seed = {}", config.seed)));
         assert!(markdown.contains("MB"));

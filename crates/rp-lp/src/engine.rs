@@ -185,6 +185,15 @@ pub fn solve_lp_hardened(
         },
         Err(_) => rp_obs::Counter::LpHardenedError,
     });
+    // Reaching the dense oracle means the revised engine lost the
+    // factorisation — rare enough that every occurrence is worth a
+    // flight-recorder dump.
+    if matches!(
+        &outcome,
+        Ok(answer) if answer.rung == EscalationRung::DenseOracle
+    ) {
+        rp_obs::note_anomaly(rp_obs::AnomalyKind::DenseOracle);
+    }
     outcome
 }
 

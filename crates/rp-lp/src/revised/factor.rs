@@ -1014,6 +1014,7 @@ impl Factorization {
     /// Returns `false` — leaving the factorisation untouched — when the
     /// new pivot is numerically unsafe; the caller must refactorise.
     pub(crate) fn update(&mut self, slot: usize) -> bool {
+        let _t_phase = rp_obs::phase_timer(rp_obs::Phase::FtUpdate);
         let t = self.step_of_slot[slot] as usize;
         let tpos = self.upos[t] as usize;
         let mut spike_inf = 0.0f64;

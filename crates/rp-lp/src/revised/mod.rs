@@ -163,6 +163,10 @@ pub struct RevisedWorkspace {
     /// Typed reason the most recent solve stopped abnormally, if it
     /// did. See [`RevisedWorkspace::last_error`].
     last_error: Option<LpError>,
+    /// Wall-clock start of the current solve, captured only while
+    /// observation is on (pure measurement — never read by any solver
+    /// decision, so instrumented runs stay bit-identical).
+    solve_started: Option<Instant>,
 }
 
 /// Input-density counters of one transform direction (FTRAN or BTRAN):
@@ -281,6 +285,9 @@ pub struct SolveStats {
     pub btran: TranCounters,
     /// Which warm-start outcome this solve took.
     pub warm: WarmStart,
+    /// Per-phase wall-time breakdown of this solve (all-zero under
+    /// `ObsMode::Off`, where no clock is read).
+    pub phases: rp_obs::PhaseTimes,
 }
 
 impl SolveStats {
@@ -374,7 +381,11 @@ impl RevisedWorkspace {
                 _ => {}
             }
         }
-        if !self.refactor_and_recompute() {
+        let warm_refac_ok = {
+            let _t = rp_obs::phase_timer(rp_obs::Phase::Factorise);
+            self.refactor_and_recompute()
+        };
+        if !warm_refac_ok {
             return self.solve_cold_inner(model, options);
         }
         // The stored basis is in play: classify the solve as a warm hit
@@ -454,6 +465,7 @@ impl RevisedWorkspace {
         // may prove infeasibility and return before the build runs, and
         // `scaling_spread` must not report the previous solve's data.
         self.form.reset_scaling();
+        let presolve_timer = rp_obs::phase_timer(rp_obs::Phase::Presolve);
         if self.presolved {
             if !self.presolve.analyze(model) {
                 return Solution::status_only(Status::Infeasible);
@@ -463,10 +475,14 @@ impl RevisedWorkspace {
         } else {
             self.form.build(model);
         }
+        drop(presolve_timer);
         if self.form.trivially_infeasible {
             return Solution::status_only(Status::Infeasible);
         }
-        self.form.apply_scaling(options.scaling);
+        {
+            let _t = rp_obs::phase_timer(rp_obs::Phase::Scaling);
+            self.form.apply_scaling(options.scaling);
+        }
         let m = self.form.m;
         let n = self.form.n_struct;
 
@@ -479,7 +495,11 @@ impl RevisedWorkspace {
         // everything boxed at lower bound 0) always qualify. Any
         // abnormal stop falls through to the classic two-phase path.
         if self.try_dual_start_basis(options.tolerance) {
-            if !self.refactor_and_recompute() {
+            let refac_ok = {
+                let _t = rp_obs::phase_timer(rp_obs::Phase::Factorise);
+                self.refactor_and_recompute()
+            };
+            if !refac_ok {
                 return self.fail(LpError::SingularBasis);
             }
             match self.dual_loop(options) {
@@ -651,7 +671,11 @@ impl RevisedWorkspace {
         // recomputing `x_B = B⁻¹(b − N·x_N)` makes the start exact.
         // The crash basis is block triangular by construction, so a
         // failure here means genuinely degenerate input data.
-        if !self.refactor_and_recompute() {
+        let crash_refac_ok = {
+            let _t = rp_obs::phase_timer(rp_obs::Phase::Factorise);
+            self.refactor_and_recompute()
+        };
+        if !crash_refac_ok {
             return self.fail(LpError::SingularBasis);
         }
 
@@ -734,6 +758,10 @@ impl RevisedWorkspace {
             .map(|allowance| Instant::now() + allowance);
         self.budget_iters = options.budget.max_iterations;
         self.io_entry = self.factor.io_counters();
+        self.solve_started = rp_obs::counters_on().then(Instant::now);
+        if self.solve_started.is_some() {
+            rp_obs::reset_solve_profile();
+        }
     }
 
     /// Final per-solve bookkeeping: computes the FTRAN/BTRAN deltas,
@@ -754,14 +782,20 @@ impl RevisedWorkspace {
             self.stats.presolve_cols_removed = self.presolve.cols_removed();
         }
         if rp_obs::counters_on() {
-            self.publish_stats(solution);
+            self.stats.phases = rp_obs::take_solve_profile();
+            let solve_us = self
+                .solve_started
+                .take()
+                .map(|start| start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64)
+                .unwrap_or(0);
+            self.publish_stats(solution, solve_us);
         }
     }
 
     /// Publishes the settled [`SolveStats`] into the global `rp-obs`
-    /// registry; in `Full` mode additionally emits one structured
-    /// `lp.solve` event.
-    fn publish_stats(&self, solution: &Solution) {
+    /// registry and files the solve with the flight recorder; in
+    /// `Full` mode additionally emits one structured `lp.solve` event.
+    fn publish_stats(&self, solution: &Solution, solve_us: u64) {
         use rp_obs::{Counter, Gauge, GaugeF};
         let stats = &self.stats;
         rp_obs::incr(Counter::LpSolves);
@@ -809,11 +843,29 @@ impl RevisedWorkspace {
         rp_obs::add(Counter::LpBtranCalls, stats.btran.calls);
         rp_obs::add(Counter::LpBtranInNnz, stats.btran.in_nnz);
         rp_obs::add(Counter::LpBtranDim, stats.btran.dim);
+        for phase in rp_obs::Phase::ALL {
+            rp_obs::add(phase.counter(), stats.phases.nanos(phase));
+        }
         let (nnz_l, nnz_u) = self.factor.nnz();
         rp_obs::gauge_set(Gauge::LpFactorNnzL, nnz_l as u64);
         rp_obs::gauge_set(Gauge::LpFactorNnzU, nnz_u as u64);
         rp_obs::gauge_max(Gauge::LpEtaChainMax, stats.max_eta_chain as u64);
         rp_obs::gauge_set(Gauge::LpLastIterations, stats.iterations() as u64);
+        rp_obs::record_solve(rp_obs::SolveRecord {
+            seq: 0, // assigned by the recorder
+            rows: self.form.m as u64,
+            cols: self.form.n_struct as u64,
+            warm: stats.warm.as_str(),
+            status: solution.status.to_string(),
+            iterations: stats.iterations() as u64,
+            solve_us,
+            budget_missed: matches!(
+                self.last_error,
+                Some(LpError::IterationLimit | LpError::DeadlineExceeded)
+            ),
+            stop_reason: self.last_error.map(|err| err.to_string()),
+            phases: stats.phases,
+        });
         if let Some((before, after)) = self.scaling_spread() {
             rp_obs::gauge_f_set(GaugeF::LpScalingSpreadBefore, before);
             rp_obs::gauge_f_set(GaugeF::LpScalingSpreadAfter, after);
@@ -894,6 +946,7 @@ impl RevisedWorkspace {
     /// primal-feasible basis, where the point is feasible but not
     /// proven optimal.
     fn extract(&mut self, model: &Model, options: &SimplexOptions, status: Status) -> Solution {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Extract);
         let mut values = Vec::new();
         self.basis.extract_values(&self.form, &mut values);
         // Clamp numerical dust onto the box so downstream feasibility
@@ -948,6 +1001,7 @@ impl RevisedWorkspace {
     /// separate path and returns the value through
     /// [`Solution::bound_only`] with no point attached.
     fn dual_bound_objective(&mut self, model: &Model) -> f64 {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Extract);
         let mut values = Vec::new();
         self.basis.extract_values(&self.form, &mut values);
         if self.form.scaled {
@@ -1108,6 +1162,7 @@ impl RevisedWorkspace {
     /// (zero outside `w_nz`), which [`RevisedWorkspace::dual_loop`]
     /// establishes at entry and every sparse call preserves.
     fn ftran_column_sparse(&mut self, col: usize) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Ftran);
         for &r in &self.w_nz {
             self.w[r as usize] = 0.0;
         }
@@ -1125,6 +1180,7 @@ impl RevisedWorkspace {
 
     /// Loads `B⁻¹ a_col` into `self.w`.
     fn ftran_column(&mut self, col: usize) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Ftran);
         self.w.clear();
         self.w.resize(self.form.m, 0.0);
         let w = &mut self.w;
@@ -1160,6 +1216,7 @@ impl RevisedWorkspace {
     /// `self.alpha_cols` / `self.alpha_vals` (must run on the
     /// *pre-pivot* factorisation).
     fn compute_pivot_row(&mut self, row: usize) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Btran);
         if self.rho.len() != self.form.m {
             self.rho.clear();
             self.rho.resize(self.form.m, 0.0);
@@ -1187,6 +1244,7 @@ impl RevisedWorkspace {
     /// `d ← d − θ_d·α` over the sparse pivot row, pinning the entering
     /// column's reduced cost to an exact zero.
     fn update_reduced_costs(&mut self, theta_d: f64, entering: usize) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
         if theta_d != 0.0 {
             for k in 0..self.alpha_cols.len() {
                 let col = self.alpha_cols[k] as usize;
@@ -1217,7 +1275,10 @@ impl RevisedWorkspace {
             self.devex_weights.resize(self.form.num_cols(), 1.0);
         }
         self.queue.clear();
-        self.compute_reduced_costs(costs);
+        {
+            let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
+            self.compute_reduced_costs(costs);
+        }
         // Pivots since `d` was last computed from scratch: an
         // incrementally updated `d` may only declare optimality after a
         // fresh recomputation confirms it.
@@ -1268,6 +1329,7 @@ impl RevisedWorkspace {
                     if stale_pivots == 0 {
                         return PhaseOutcome::Optimal;
                     }
+                    let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
                     self.compute_reduced_costs(costs);
                     stale_pivots = 0;
                     self.queue.clear();
@@ -1371,10 +1433,17 @@ impl RevisedWorkspace {
                         } else {
                             self.stats.refactor_ft_refused += 1;
                         }
-                        if !self.refactor_and_recompute() {
+                        let refac_ok = {
+                            let _t = rp_obs::phase_timer(rp_obs::Phase::Factorise);
+                            let ok = self.refactor_and_recompute();
+                            if ok {
+                                self.compute_reduced_costs(costs);
+                            }
+                            ok
+                        };
+                        if !refac_ok {
                             return PhaseOutcome::Stopped(LpError::SingularBasis);
                         }
-                        self.compute_reduced_costs(costs);
                         stale_pivots = 0;
                     } else {
                         stale_pivots += 1;
@@ -1392,6 +1461,7 @@ impl RevisedWorkspace {
         if step == 0.0 {
             return;
         }
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Ftran);
         let scale = entering.sigma * step;
         for (x, &wi) in self.basis.x_basic.iter_mut().zip(&self.w) {
             *x -= scale * wi;
@@ -1403,6 +1473,7 @@ impl RevisedWorkspace {
     /// movement `B⁻¹ · Σ Δx_j a_j` is subtracted from the basic values
     /// with a single FTRAN — the flips change no basis column.
     fn apply_dual_flips(&mut self, flips: &[u32]) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Ftran);
         self.residual.clear();
         self.residual.resize(self.form.m, 0.0);
         self.residual_nz.clear();
@@ -1467,48 +1538,24 @@ impl RevisedWorkspace {
         // loop uses.
         self.load_phase2_costs();
         let costs = std::mem::take(&mut self.phase_costs);
-        self.compute_reduced_costs(&costs);
-        self.dual_cands.rebuild(&self.form, &self.basis, tol);
-        let prof = std::env::var("RP_DUAL_PROF").is_ok();
-        let mut t_price = 0u128;
-        let mut t_prow = 0u128;
-        let mut t_ratio = 0u128;
-        let mut t_flips = 0u128;
-        let mut t_ftran = 0u128;
-        let mut t_xupd = 0u128;
-        let mut t_ftupd = 0u128;
-        let mut t_refac = 0u128;
-        let mut nnz_rho = 0u64;
-        let mut nnz_alpha = 0u64;
-        let mut nnz_w = 0u64;
-        let mut nnz_samples = 0u64;
-        macro_rules! tick {
-            ($acc:ident, $e:expr) => {{
-                if prof {
-                    let t0 = std::time::Instant::now();
-                    let r = $e;
-                    $acc += t0.elapsed().as_nanos();
-                    r
-                } else {
-                    $e
-                }
-            }};
+        {
+            let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
+            self.compute_reduced_costs(&costs);
         }
+        self.dual_cands.rebuild(&self.form, &self.basis, tol);
         let outcome = 'search: {
             for _ in 0..max_iter {
                 let weights = dual_devex.then_some(self.dual_weights.as_slice());
-                let leaving = tick!(t_price, {
-                    match self.dual_cands.pick(&self.form, &self.basis, tol, weights) {
-                        Some(l) => Some(l),
-                        None => {
-                            // The incremental list only tracks rows the
-                            // pivots touched — confirm primal feasibility
-                            // with a full rescan before declaring it.
-                            self.dual_cands.rebuild(&self.form, &self.basis, tol);
-                            self.dual_cands.pick(&self.form, &self.basis, tol, weights)
-                        }
+                let leaving = match self.dual_cands.pick(&self.form, &self.basis, tol, weights) {
+                    Some(l) => Some(l),
+                    None => {
+                        // The incremental list only tracks rows the
+                        // pivots touched — confirm primal feasibility
+                        // with a full rescan before declaring it.
+                        self.dual_cands.rebuild(&self.form, &self.basis, tol);
+                        self.dual_cands.pick(&self.form, &self.basis, tol, weights)
                     }
-                });
+                };
                 let leaving = match leaving {
                     Some(l) => l,
                     None => break 'search DualOutcome::PrimalFeasible,
@@ -1518,29 +1565,21 @@ impl RevisedWorkspace {
                     break 'search DualOutcome::Stopped(err);
                 }
                 // Sparse pivot row α = Aᵀ B⁻ᵀ e_r.
-                tick!(t_prow, self.compute_pivot_row(leaving.row));
-                if prof {
-                    nnz_rho += self.rho.iter().filter(|v| **v != 0.0).count() as u64;
-                    nnz_alpha += self.alpha_cols.len() as u64;
-                    nnz_samples += 1;
-                }
+                self.compute_pivot_row(leaving.row);
 
                 let mut breakpoints = std::mem::take(&mut self.breakpoints);
                 let mut flips = std::mem::take(&mut self.flips);
-                let ratio = tick!(
-                    t_ratio,
-                    dual_ratio_test(
-                        &self.form,
-                        &self.basis,
-                        &self.d,
-                        &self.alpha_cols,
-                        &self.alpha_vals,
-                        leaving.above,
-                        leaving.violation,
-                        PIVOT_TOL,
-                        &mut breakpoints,
-                        &mut flips,
-                    )
+                let ratio = dual_ratio_test(
+                    &self.form,
+                    &self.basis,
+                    &self.d,
+                    &self.alpha_cols,
+                    &self.alpha_vals,
+                    leaving.above,
+                    leaving.violation,
+                    PIVOT_TOL,
+                    &mut breakpoints,
+                    &mut flips,
                 );
                 self.breakpoints = breakpoints;
                 let entering = match ratio {
@@ -1557,22 +1596,18 @@ impl RevisedWorkspace {
                 // spike for the upcoming basis update.
                 if !flips.is_empty() {
                     self.stats.dual_bound_flips += flips.len();
-                    tick!(t_flips, self.apply_dual_flips(&flips));
+                    self.apply_dual_flips(&flips);
                     // The flip FTRAN moved the basic values in its
                     // residual pattern; admit any newly violated rows.
-                    tick!(t_price, {
-                        for &i in &self.residual_nz {
-                            self.dual_cands
-                                .note(&self.form, &self.basis, tol, i as usize);
-                        }
-                    });
+                    let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
+                    for &i in &self.residual_nz {
+                        self.dual_cands
+                            .note(&self.form, &self.basis, tol, i as usize);
+                    }
                 }
                 self.flips = flips;
 
-                tick!(t_ftran, self.ftran_column_sparse(entering));
-                if prof {
-                    nnz_w += self.w_nz.len() as u64;
-                }
+                self.ftran_column_sparse(entering);
                 let row = leaving.row;
                 let alpha = self.w[row];
                 if alpha.abs() <= PIVOT_TOL {
@@ -1594,12 +1629,11 @@ impl RevisedWorkspace {
                 }
                 let entering_value = self.basis.nonbasic_value(&self.form, entering) + dxq;
                 if dxq != 0.0 {
-                    tick!(t_xupd, {
-                        for &i in &self.w_nz {
-                            let i = i as usize;
-                            self.basis.x_basic[i] -= dxq * self.w[i];
-                        }
-                    });
+                    let _t = rp_obs::phase_timer(rp_obs::Phase::Ftran);
+                    for &i in &self.w_nz {
+                        let i = i as usize;
+                        self.basis.x_basic[i] -= dxq * self.w[i];
+                    }
                 }
                 self.basis.status[leaving_col] = if leaving.above {
                     ColStatus::Upper
@@ -1611,7 +1645,8 @@ impl RevisedWorkspace {
                 self.basis.x_basic[row] = entering_value;
                 // Patch the candidate list with the rows this pivot
                 // moved: the entering column's pattern + the pivot row.
-                tick!(t_price, {
+                {
+                    let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
                     if dxq != 0.0 {
                         for &i in &self.w_nz {
                             self.dual_cands
@@ -1619,7 +1654,7 @@ impl RevisedWorkspace {
                         }
                     }
                     self.dual_cands.note(&self.form, &self.basis, tol, row);
-                });
+                }
                 self.update_reduced_costs(theta_d, entering);
                 if dual_devex
                     && dual_devex_update(
@@ -1637,7 +1672,7 @@ impl RevisedWorkspace {
                     self.dual_weights.iter_mut().for_each(|w| *w = 1.0);
                     self.stats.devex_resets += 1;
                 }
-                let ft_ok = tick!(t_ftupd, self.factor.update(row));
+                let ft_ok = self.factor.update(row);
                 if ft_ok {
                     self.stats.max_eta_chain = self.stats.max_eta_chain.max(self.factor.updates());
                 }
@@ -1647,43 +1682,24 @@ impl RevisedWorkspace {
                     } else {
                         self.stats.refactor_ft_refused += 1;
                     }
-                    let ok = tick!(t_refac, self.refactor_and_recompute());
+                    let ok = {
+                        let _t = rp_obs::phase_timer(rp_obs::Phase::Factorise);
+                        let ok = self.refactor_and_recompute();
+                        if ok {
+                            self.compute_reduced_costs(&costs);
+                        }
+                        ok
+                    };
                     if !ok {
                         break 'search DualOutcome::Stopped(LpError::SingularBasis);
                     }
-                    tick!(t_refac, self.compute_reduced_costs(&costs));
                     // Recomputing the basic values from scratch can move
                     // any row across the violation tolerance.
-                    tick!(
-                        t_refac,
-                        self.dual_cands.rebuild(&self.form, &self.basis, tol)
-                    );
+                    self.dual_cands.rebuild(&self.form, &self.basis, tol);
                 }
             }
             DualOutcome::Stopped(LpError::IterationLimit)
         };
-        if prof {
-            eprintln!(
-                "dual_loop profile (ms): price {:.1} pivot-row {:.1} ratio {:.1} flips {:.1} ftran {:.1} x-upd {:.1} ft-upd {:.1} refac {:.1}",
-                t_price as f64 / 1e6,
-                t_prow as f64 / 1e6,
-                t_ratio as f64 / 1e6,
-                t_flips as f64 / 1e6,
-                t_ftran as f64 / 1e6,
-                t_xupd as f64 / 1e6,
-                t_ftupd as f64 / 1e6,
-                t_refac as f64 / 1e6
-            );
-            let s = nnz_samples.max(1);
-            eprintln!(
-                "dual_loop nnz (avg over {} pivots, m = {}): rho {} alpha {} w {}",
-                nnz_samples,
-                self.form.m,
-                nnz_rho / s,
-                nnz_alpha / s,
-                nnz_w / s
-            );
-        }
         self.phase_costs = costs;
         outcome
     }

@@ -138,6 +138,7 @@ pub(crate) fn choose_entering(
     allow_artificial: bool,
     devex_weights: Option<&[f64]>,
 ) -> Option<Entering> {
+    let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
     let art_base = form.art_base();
     let mut best: Option<(usize, f64, f64)> = None; // (col, sigma, metric)
     debug_assert_eq!(d.len(), form.num_cols());
@@ -206,6 +207,7 @@ impl CandidateQueue {
         tol: f64,
         weights: &[f64],
     ) -> Option<Entering> {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
         let mut best: Option<(usize, f64, f64)> = None; // (col, sigma, metric)
         let mut i = 0;
         while i < self.cols.len() {
@@ -244,6 +246,7 @@ impl CandidateQueue {
         allow_artificial: bool,
         weights: &[f64],
     ) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
         self.cols.clear();
         self.scratch.clear();
         let art_base = form.art_base();
@@ -353,6 +356,7 @@ pub(crate) fn devex_update(
     wq: f64,
     leaving: usize,
 ) -> bool {
+    let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
     let scale = wq / (alpha_q * alpha_q);
     let mut wmax = 0.0f64;
     for (&col, &alpha) in alpha_cols.iter().zip(alpha_vals) {
@@ -426,6 +430,7 @@ pub(crate) struct DualCandidates {
 impl DualCandidates {
     /// Full O(m) rescan: repopulates the list with every violated row.
     pub(crate) fn rebuild(&mut self, form: &StandardForm, basis: &BasisState, tol: f64) {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
         self.rows.clear();
         self.in_list.clear();
         self.in_list.resize(basis.basic.len(), false);
@@ -462,6 +467,7 @@ impl DualCandidates {
         tol: f64,
         weights: Option<&[f64]>,
     ) -> Option<Leaving> {
+        let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
         let mut best: Option<(Leaving, f64)> = None;
         let mut i = 0;
         while i < self.rows.len() {
@@ -534,6 +540,7 @@ pub(crate) fn dual_devex_update(
     alpha: f64,
     leaving_col: usize,
 ) -> bool {
+    let _t = rp_obs::phase_timer(rp_obs::Phase::Pricing);
     let alpha_model = alpha * form.violation_unscale(leaving_col);
     let scale = weights[row].max(1.0) / (alpha_model * alpha_model);
     let mut wmax = 0.0f64;

@@ -55,6 +55,7 @@ pub(crate) fn primal_ratio_test(
     pivot_tol: f64,
     use_bland: bool,
 ) -> Ratio {
+    let _t = rp_obs::phase_timer(rp_obs::Phase::RatioTest);
     let sigma = entering.sigma;
     let mut best_step = f64::INFINITY;
     let mut best_row: Option<(usize, bool)> = None; // (row, leaves at upper)
@@ -157,6 +158,7 @@ pub(crate) fn dual_ratio_test(
     breakpoints: &mut Vec<(f64, f64, u32)>,
     flips: &mut Vec<u32>,
 ) -> DualRatio {
+    let _t = rp_obs::phase_timer(rp_obs::Phase::RatioTest);
     debug_assert_eq!(d.len(), form.num_cols());
     breakpoints.clear();
     flips.clear();

@@ -339,6 +339,23 @@ mod tests {
     }
 
     #[test]
+    fn exact_max_is_not_quantised_to_a_bucket_edge() {
+        // A long-tail apply latency must come back as observed, not
+        // rounded up to the 1-2-5 edge of its bucket: the tables in
+        // `reproduce churn` / failures report this max verbatim.
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record_us(80); // inside the (50, 100] bucket
+        }
+        h.record_us(987_654); // inside the (500_000, 1_000_000] bucket
+        assert_eq!(h.max_us(), 987_654);
+        // N = 11: the p99 rank (11) lands in the tail bucket, whose
+        // edge is 1_000_000 — the exact max clamps the report back to
+        // the observed value.
+        assert_eq!(h.p99_us(), 987_654);
+    }
+
+    #[test]
     fn overflow_bucket_reports_the_recorded_max() {
         let h = Histogram::new();
         h.record_us(1);

@@ -12,7 +12,12 @@
 //! * a structured **JSONL event sink** ([`emit_event`]);
 //! * a **chrome://tracing** exporter ([`write_chrome_trace`]) — load
 //!   the emitted `.trace.json` straight into chrome://tracing or
-//!   Perfetto.
+//!   Perfetto;
+//! * a per-solve **phase profiler** ([`phase_timer`], [`PhaseTimes`])
+//!   attributing solver wall time to a fixed set of simplex phases;
+//! * a **flight recorder** ([`record_solve`], [`note_anomaly`]) — a
+//!   bounded ring of recent solves snapshotted to a JSONL dump when
+//!   an anomalous solve fires.
 //!
 //! Everything is gated by a single global [`ObsMode`]:
 //!
@@ -41,6 +46,8 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 mod histogram;
 mod json;
+mod profile;
+mod recorder;
 mod registry;
 mod sink;
 mod span;
@@ -48,6 +55,14 @@ mod trace;
 
 pub use histogram::{nearest_rank, Histogram, BUCKET_COUNT, BUCKET_EDGES_US};
 pub use json::JsonValue;
+pub use profile::{
+    phase_timer, reset_solve_profile, take_solve_profile, Phase, PhaseTimer, PhaseTimes,
+    PHASE_COUNT,
+};
+pub use recorder::{
+    clear_flight_recorder, flight_recorder, flight_snapshot, last_flight_dump, note_anomaly,
+    record_solve, AnomalyKind, FlightRecorder, SolveRecord, FLIGHT_RING_CAP,
+};
 pub use registry::{catalogue_markdown, global, Counter, Gauge, GaugeF, HistId, MetricsRegistry};
 pub use sink::{
     clear_events, emit_event, event_count, events_dropped_count, events_jsonl, write_events_jsonl,
@@ -197,12 +212,14 @@ pub fn write_metrics_json(path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, metrics_json())
 }
 
-/// Resets everything: the global registry, the trace buffer and the
-/// event sink. Benchmarks call this between phases.
+/// Resets everything: the global registry, the trace buffer, the
+/// event sink and the flight recorder. Benchmarks call this between
+/// phases.
 pub fn reset_all() {
     global().reset();
     clear_trace();
     clear_events();
+    clear_flight_recorder();
 }
 
 #[cfg(test)]

@@ -87,6 +87,15 @@ metric_enum! {
     LpHardenedRefactorRetry => ("lp.hardened.refactor_retry", "1", "rp-lp"),
     LpHardenedDenseFallback => ("lp.hardened.dense_fallback", "1", "rp-lp"),
     LpHardenedError => ("lp.hardened.error", "1", "rp-lp"),
+    LpPhasePricingNs => ("lp.phase.pricing_ns", "ns", "rp-lp"),
+    LpPhaseFtranNs => ("lp.phase.ftran_ns", "ns", "rp-lp"),
+    LpPhaseBtranNs => ("lp.phase.btran_ns", "ns", "rp-lp"),
+    LpPhaseRatioTestNs => ("lp.phase.ratio_test_ns", "ns", "rp-lp"),
+    LpPhaseFactoriseNs => ("lp.phase.factorise_ns", "ns", "rp-lp"),
+    LpPhaseFtUpdateNs => ("lp.phase.ft_update_ns", "ns", "rp-lp"),
+    LpPhasePresolveNs => ("lp.phase.presolve_ns", "ns", "rp-lp"),
+    LpPhaseScalingNs => ("lp.phase.scaling_ns", "ns", "rp-lp"),
+    LpPhaseExtractNs => ("lp.phase.extract_ns", "ns", "rp-lp"),
     // --- rp-core: heuristics, LP-guided rounding, failure repair. ---
     CoreHeuristicRuns => ("core.heuristic.runs", "1", "rp-core"),
     CoreHeuristicFailures => ("core.heuristic.failures", "1", "rp-core"),
@@ -118,6 +127,15 @@ metric_enum! {
     ExpScenarioTrials => ("exp.scenario_trials", "1", "rp-experiments"),
     ExpResilienceTrials => ("exp.resilience_trials", "1", "rp-experiments"),
     ExpChurnTrials => ("exp.churn_trials", "1", "rp-experiments"),
+    // --- rp-obs: the telemetry layer watching itself. ---
+    TraceEventsDropped => ("trace.events_dropped", "1", "rp-obs"),
+    RecRecords => ("rec.records", "1", "rp-obs"),
+    RecAnomalies => ("rec.anomalies", "1", "rp-obs"),
+    RecDumps => ("rec.dumps", "1", "rp-obs"),
+    RecAnomalySlow => ("rec.anomaly.slow", "1", "rp-obs"),
+    RecAnomalyBudgetMiss => ("rec.anomaly.budget_miss", "1", "rp-obs"),
+    RecAnomalyDenseOracle => ("rec.anomaly.dense_oracle", "1", "rp-obs"),
+    RecAnomalyRollback => ("rec.anomaly.rollback", "1", "rp-obs"),
 }
 
 metric_enum! {

@@ -43,18 +43,43 @@ fn lock_trace() -> std::sync::MutexGuard<'static, Vec<TraceEvent>> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Appends a batch of thread-local events to the global buffer.
+/// Appends `events` to `buffer`, evicting the *oldest* events first
+/// when the combined size exceeds `cap`. Returns how many events were
+/// evicted. Oldest-first keeps the most recent activity in the trace
+/// — a truncated export shows the end of the run, not the start.
+fn append_with_cap(buffer: &mut Vec<TraceEvent>, events: &mut Vec<TraceEvent>, cap: usize) -> u64 {
+    let total = buffer.len() + events.len();
+    if total <= cap {
+        buffer.append(events);
+        return 0;
+    }
+    let evict = total - cap;
+    let from_buffer = evict.min(buffer.len());
+    buffer.drain(..from_buffer);
+    // Only when the incoming batch alone exceeds the cap does the
+    // batch's own head go too.
+    events.drain(..evict - from_buffer);
+    buffer.append(events);
+    evict as u64
+}
+
+/// Appends a batch of thread-local events to the global buffer
+/// (oldest-first eviction at the cap; drops are counted so a
+/// truncated export is detectable).
 pub(crate) fn push_trace_events(events: &mut Vec<TraceEvent>) {
     if events.is_empty() {
         return;
     }
-    let mut buffer = lock_trace();
-    let room = TRACE_CAP.saturating_sub(buffer.len());
-    if events.len() > room {
-        TRACE_DROPPED.fetch_add((events.len() - room) as u64, Ordering::Relaxed);
-        events.truncate(room);
+    let dropped = {
+        let mut buffer = lock_trace();
+        append_with_cap(&mut buffer, events, TRACE_CAP)
+    };
+    if dropped > 0 {
+        TRACE_DROPPED.fetch_add(dropped, Ordering::Relaxed);
+        if crate::counters_on() {
+            crate::global().add(crate::Counter::TraceEventsDropped, dropped);
+        }
     }
-    buffer.append(events);
 }
 
 /// Number of events currently buffered.
@@ -135,5 +160,44 @@ mod tests {
         let mut events: Vec<TraceEvent> = Vec::new();
         push_trace_events(&mut events); // empty push is a no-op
         assert_eq!(trace_dropped_count(), 0);
+    }
+
+    fn event_at(ts_us: u64) -> TraceEvent {
+        TraceEvent {
+            name: "e",
+            cat: "t",
+            ts_us,
+            dur_us: 1,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn eviction_drops_the_oldest_events_first() {
+        let mut buffer: Vec<TraceEvent> = (0..4).map(event_at).collect();
+        let mut batch: Vec<TraceEvent> = (4..7).map(event_at).collect();
+        let dropped = append_with_cap(&mut buffer, &mut batch, 5);
+        assert_eq!(dropped, 2);
+        let kept: Vec<u64> = buffer.iter().map(|e| e.ts_us).collect();
+        // The two oldest buffered events went; the new batch survived.
+        assert_eq!(kept, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn a_batch_larger_than_the_cap_keeps_its_newest_tail() {
+        let mut buffer: Vec<TraceEvent> = (0..2).map(event_at).collect();
+        let mut batch: Vec<TraceEvent> = (10..20).map(event_at).collect();
+        let dropped = append_with_cap(&mut buffer, &mut batch, 3);
+        assert_eq!(dropped, 9);
+        let kept: Vec<u64> = buffer.iter().map(|e| e.ts_us).collect();
+        assert_eq!(kept, vec![17, 18, 19]);
+    }
+
+    #[test]
+    fn under_cap_appends_drop_nothing() {
+        let mut buffer: Vec<TraceEvent> = (0..2).map(event_at).collect();
+        let mut batch: Vec<TraceEvent> = (2..4).map(event_at).collect();
+        assert_eq!(append_with_cap(&mut buffer, &mut batch, 10), 0);
+        assert_eq!(buffer.len(), 4);
     }
 }

@@ -424,6 +424,7 @@ impl PlacementEngine {
         self.deferred.push_back(delta);
         rp_obs::incr(rp_obs::Counter::OnlineRollbacks);
         rp_obs::incr(rp_obs::Counter::OnlineDeferred);
+        rp_obs::note_anomaly(rp_obs::AnomalyKind::Rollback);
         debug_assert!(self.verify_incumbent(), "rollback left a broken incumbent");
     }
 

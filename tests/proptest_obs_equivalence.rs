@@ -23,7 +23,9 @@ use replica_placement::core::heuristics::lp_guided::lp_guided_with;
 use replica_placement::core::ilp::IlpOptions;
 use replica_placement::core::{inject_and_repair, Heuristic, Policy};
 use replica_placement::experiments::runner::{run_single_trial, ExperimentConfig};
-use replica_placement::lp::{Cmp, LinExpr, Model, RevisedWorkspace, Sense, SimplexOptions, Status};
+use replica_placement::lp::{
+    solve_lp_revised_reusing, Cmp, LinExpr, Model, RevisedWorkspace, Sense, SimplexOptions, Status,
+};
 use replica_placement::obs::{self, ObsMode};
 use replica_placement::workloads::failures::sample_node_failure;
 use replica_placement::workloads::scenarios::feasible_bandwidth_instance;
@@ -118,23 +120,73 @@ proptest! {
 
     /// A cold revised solve takes the same pivot path under `Full` as
     /// under `Off`: same status, bit-identical objective and point,
-    /// same iteration and refactorisation counts.
+    /// same iteration and refactorisation counts. The per-phase wall
+    /// times are deliberately *outside* the fingerprint (they are real
+    /// clock readings and differ run to run) — instead the test pins
+    /// the gating itself: all-zero under `Off`.
     #[test]
     fn instrumented_lp_solves_are_bit_identical(spec in model_strategy(6, 5)) {
         let model = build_model(&spec);
-        let (off, full) = under_both_modes(|| {
+        let ((off, off_phases), (full, _full_phases)) = under_both_modes(|| {
             let mut workspace = RevisedWorkspace::new();
             let solution = workspace.solve_cold(&model, &SimplexOptions::default());
             let stats = workspace.last_stats();
-            SolveFingerprint {
-                status: solution.status,
-                objective_bits: solution.objective.to_bits(),
-                value_bits: solution.values.iter().map(|v| v.to_bits()).collect(),
-                iterations: stats.iterations(),
-                refactorisations: stats.refactorisations,
-            }
+            (
+                SolveFingerprint {
+                    status: solution.status,
+                    objective_bits: solution.objective.to_bits(),
+                    value_bits: solution.values.iter().map(|v| v.to_bits()).collect(),
+                    iterations: stats.iterations(),
+                    refactorisations: stats.refactorisations,
+                },
+                stats.phases,
+            )
         });
         prop_assert_eq!(off, full, "mode changed the solve on\n{}", model);
+        prop_assert!(
+            off_phases.is_zero(),
+            "Off-mode solve recorded phase time: {:?}", off_phases
+        );
+    }
+
+    /// The warm path — a cold solve followed by a right-hand-side
+    /// perturbation and a warm re-solve in the same workspace — is
+    /// bit-identical across modes too: the profiler's per-solve reset
+    /// and the flight recorder's record hook ride `finish_solve`, so
+    /// they must not perturb the warm validity check or the dual
+    /// cleanup pivots.
+    #[test]
+    fn instrumented_warm_resolves_are_bit_identical(spec in model_strategy(6, 5), bump in 1u32..=4) {
+        let model = build_model(&spec);
+        let (off, full) = under_both_modes(|| {
+            let mut workspace = RevisedWorkspace::new();
+            let options = SimplexOptions::default();
+            let mut model = model.clone();
+            solve_lp_revised_reusing(&model, &options, &mut workspace);
+            let first_constraint = model.constraint_ids().next();
+            let warm = match first_constraint {
+                Some(id) => {
+                    let rhs = model.constraint(id).rhs;
+                    model.set_rhs(id, rhs + f64::from(bump));
+                    solve_lp_revised_reusing(&model, &options, &mut workspace)
+                }
+                // No constraints: the re-solve is the interesting call
+                // all the same (bound-only models warm-start too).
+                None => solve_lp_revised_reusing(&model, &options, &mut workspace),
+            };
+            let stats = workspace.last_stats();
+            (
+                SolveFingerprint {
+                    status: warm.status,
+                    objective_bits: warm.objective.to_bits(),
+                    value_bits: warm.values.iter().map(|v| v.to_bits()).collect(),
+                    iterations: stats.iterations(),
+                    refactorisations: stats.refactorisations,
+                },
+                stats.warm.as_str(),
+            )
+        });
+        prop_assert_eq!(off, full, "mode changed the warm re-solve on\n{}", model);
     }
 
     /// One full experiment trial — tree generation, all heuristics, the
